@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) of the inference kernels: factor
+// algebra scaling, moralization/triangulation, junction-tree potential
+// initialization and message passing, and end-to-end compile/update on a
+// mid-size circuit.
+#include <benchmark/benchmark.h>
+
+#include "bn/exact.h"
+#include "bn/junction_tree.h"
+#include "gen/benchmarks.h"
+#include "lidag/estimator.h"
+#include "lidag/lidag.h"
+#include "util/rng.h"
+
+namespace bns {
+namespace {
+
+Factor random_factor(std::vector<VarId> vars, Rng& rng) {
+  Factor f(std::move(vars), std::vector<int>(vars.size(), 4));
+  for (std::size_t i = 0; i < f.size(); ++i) f.set_value(i, rng.uniform() + 0.1);
+  return f;
+}
+
+void BM_FactorProduct(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<VarId> va;
+  std::vector<VarId> vb;
+  for (int i = 0; i < k; ++i) va.push_back(i);
+  for (int i = k / 2; i < k + k / 2; ++i) vb.push_back(i); // half overlap
+  const Factor a = random_factor(va, rng);
+  const Factor b = random_factor(vb, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.product(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FactorProduct)->DenseRange(2, 8)->Complexity();
+
+void BM_FactorMarginal(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<VarId> va;
+  for (int i = 0; i < k; ++i) va.push_back(i);
+  const Factor a = random_factor(va, rng);
+  const VarId keep[] = {0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.marginal(keep));
+  }
+}
+BENCHMARK(BM_FactorMarginal)->DenseRange(3, 9);
+
+void BM_Moralize(benchmark::State& state) {
+  const Netlist nl = make_benchmark("c880");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const LidagBn lb = build_lidag(nl, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moral_graph(lb.bn));
+  }
+}
+BENCHMARK(BM_Moralize);
+
+void BM_Triangulate(benchmark::State& state) {
+  const Netlist nl = make_benchmark("c432");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const LidagBn lb = build_lidag(nl, m);
+  const UndirectedGraph g = moral_graph(lb.bn);
+  const auto h = state.range(0) == 0 ? EliminationHeuristic::MinFill
+                                     : EliminationHeuristic::MinDegree;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(triangulate(g, h));
+  }
+}
+BENCHMARK(BM_Triangulate)->Arg(0)->Arg(1);
+
+void BM_CompileC880(benchmark::State& state) {
+  const Netlist nl = make_benchmark("c880");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  for (auto _ : state) {
+    LidagEstimator est(nl, m);
+    benchmark::DoNotOptimize(est.num_segments());
+  }
+}
+BENCHMARK(BM_CompileC880)->Unit(benchmark::kMillisecond);
+
+void BM_UpdateC880(benchmark::State& state) {
+  const Netlist nl = make_benchmark("c880");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  LidagEstimator est(nl, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate(m));
+  }
+}
+BENCHMARK(BM_UpdateC880)->Unit(benchmark::kMillisecond);
+
+void BM_VariableEliminationC17(benchmark::State& state) {
+  const Netlist nl = make_benchmark("c17");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  LidagBn lb = build_lidag(nl, m);
+  std::vector<std::array<double, 4>> bd(static_cast<std::size_t>(nl.num_nodes()));
+  quantify_lidag(lb, m, bd);
+  const VarId last = lb.bn.num_variables() - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ve_marginal(lb.bn, last));
+  }
+}
+BENCHMARK(BM_VariableEliminationC17);
+
+} // namespace
+} // namespace bns
+
+BENCHMARK_MAIN();

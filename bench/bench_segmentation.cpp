@@ -1,0 +1,130 @@
+// Ablation bench for the multiple-Bayesian-network segmentation scheme —
+// the component the paper identifies as its error source ("the errors
+// encountered in larger circuits are contributed by the loss of some
+// correlations in the network boundaries") and its stated future work
+// ("an efficient segmentation technique").
+//
+// Sweeps, on a fixed circuit set:
+//   1. segment size (accuracy/time tradeoff),
+//   2. overlap window (0 = the paper's preliminary scheme),
+//   3. boundary forwarding (independent marginals vs pairwise-joint links),
+//   4. cut placement (fixed ranges vs minimum live-net frontier),
+//   5. elimination heuristic (min-fill vs min-degree).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/benchmarks.h"
+#include "lidag/estimator.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace bns;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  EstimatorOptions opts;
+};
+
+void run_suite(const std::vector<std::string>& circuits,
+               const std::vector<Variant>& variants, std::uint64_t sim_pairs) {
+  Table table({"Circuit", "Variant", "muErr", "sigErr", "maxErr", "Segs",
+               "Compile(s)", "Update(s)"});
+  for (const std::string& name : circuits) {
+    const Netlist nl = make_benchmark(name);
+    const InputModel model = InputModel::uniform(nl.num_inputs());
+    const SimResult sim = SwitchingSimulator(nl).run(model, sim_pairs, 7);
+    const std::vector<double> ref = sim.activities();
+    for (const Variant& v : variants) {
+      EstimatorOptions opts = v.opts;
+      LidagEstimator est(nl, model, opts);
+      const SwitchingEstimate sw = est.estimate(model);
+      const ErrorStats err = compute_error_stats(sw.activities(), ref);
+      table.add_row({name, v.label, strformat("%.4f", err.mu_err),
+                     strformat("%.4f", err.sigma_err),
+                     strformat("%.4f", err.max_err),
+                     std::to_string(est.num_segments()),
+                     strformat("%.3f", est.compile_seconds()),
+                     strformat("%.4f", sw.propagate_seconds)});
+    }
+    std::cerr << "done: " << name << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+EstimatorOptions base_opts() {
+  EstimatorOptions o;
+  o.single_bn_nodes = 0; // force segmentation even on small circuits
+  return o;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t sim_pairs = 1 << 21;
+  std::vector<std::string> circuits;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      sim_pairs = 1 << 18;
+    } else {
+      circuits.push_back(arg);
+    }
+  }
+  if (circuits.empty()) circuits = {"c432", "c880", "c1355", "c6288"};
+
+  std::cout << "Ablation 1 — segment size\n";
+  {
+    std::vector<Variant> vs;
+    for (int size : {40, 80, 140, 240}) {
+      Variant v{strformat("size=%d", size), base_opts()};
+      v.opts.segment_nodes = size;
+      vs.push_back(v);
+    }
+    run_suite(circuits, vs, sim_pairs);
+  }
+
+  std::cout << "Ablation 2 — overlap window\n";
+  {
+    std::vector<Variant> vs;
+    for (int ov : {0, 16, 64, 128}) {
+      Variant v{strformat("overlap=%d", ov), base_opts()};
+      v.opts.segment_overlap = ov;
+      vs.push_back(v);
+    }
+    run_suite(circuits, vs, sim_pairs);
+  }
+
+  std::cout << "Ablation 3 — boundary forwarding\n";
+  {
+    Variant indep{"marginals", base_opts()};
+    indep.opts.lidag.boundary_chain = false;
+    Variant chain{"pair-joints", base_opts()};
+    chain.opts.lidag.boundary_chain = true;
+    run_suite(circuits, {indep, chain}, sim_pairs);
+  }
+
+  std::cout << "Ablation 4 — cut placement\n";
+  {
+    Variant fixed{"fixed-range", base_opts()};
+    fixed.opts.segmentation = SegmentationStrategy::FixedRange;
+    Variant frontier{"min-frontier", base_opts()};
+    frontier.opts.segmentation = SegmentationStrategy::MinFrontier;
+    run_suite(circuits, {fixed, frontier}, sim_pairs);
+  }
+
+  std::cout << "Ablation 5 — elimination heuristic\n";
+  {
+    Variant fill{"min-fill", base_opts()};
+    fill.opts.heuristic = EliminationHeuristic::MinFill;
+    Variant deg{"min-degree", base_opts()};
+    deg.opts.heuristic = EliminationHeuristic::MinDegree;
+    run_suite(circuits, {fill, deg}, sim_pairs);
+  }
+  return 0;
+}

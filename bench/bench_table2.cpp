@@ -1,0 +1,92 @@
+// Reproduces Table 2 of the paper: accuracy/time comparison of the
+// Bayesian-network estimator against the prior-art estimator families on
+// the ten large ISCAS-85 circuits.
+//
+// Column mapping to the paper (we reimplement algorithm families, not
+// binaries — see DESIGN.md §2):
+//   paircorr     ~ Marculescu'94 [7] / Marculescu'98 [9] pairwise
+//                  spatio-temporal correlation coefficients
+//   localbdd     ~ Schneider'96 [19] / Ding'98 [13] local-region methods
+//                  (exact within a truncated fanin cone, independent at
+//                  its frontier)
+//   independence ~ zero-spatial-correlation reference
+//   density      ~ Najm'93 transition density propagation [11]
+//   bn           = this paper
+//
+// Usage: bench_table2 [--quick] [--csv] [--sim-pairs N] [circuit...]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "gen/benchmarks.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace bns;
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  std::uint64_t sim_pairs = 1 << 22;
+  std::vector<std::string> circuits;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--quick") {
+      sim_pairs = 1 << 19;
+    } else if (arg == "--sim-pairs" && i + 1 < argc) {
+      sim_pairs = std::stoull(argv[++i]);
+    } else {
+      circuits.push_back(arg);
+    }
+  }
+  if (circuits.empty()) circuits = table2_names();
+
+  std::cout << "Table 2 — comparison of estimation techniques on ISCAS-85 "
+               "circuits\n(muErr/sigErr vs simulation; times in seconds)\n\n";
+
+  Table table({"Circuit", "mu[paircorr]", "t[paircorr]", "mu[localbdd]",
+               "t[localbdd]", "mu[indep]", "t[indep]", "mu[density]",
+               "t[density]", "mu[BN]", "sig[BN]", "t[BN]"});
+  RunningStats bn_mu;
+  RunningStats pc_mu;
+  for (const std::string& name : circuits) {
+    const Netlist nl = make_benchmark(name);
+    ExperimentConfig cfg;
+    cfg.sim_pairs = sim_pairs;
+    cfg.run_local_bdd = true;
+    const ExperimentResult r = run_experiment(nl, cfg);
+    const MethodResult& bn = r.method("bn");
+    const MethodResult& in = r.method("independence");
+    const MethodResult& de = r.method("density");
+    const MethodResult& pc = r.method("paircorr");
+    const MethodResult& lb = r.method("localbdd");
+    bn_mu.add(bn.err.mu_err);
+    pc_mu.add(pc.err.mu_err);
+    table.add_row({name,
+                   strformat("%.4f", pc.err.mu_err),
+                   strformat("%.3f", pc.seconds),
+                   strformat("%.4f", lb.err.mu_err),
+                   strformat("%.3f", lb.seconds),
+                   strformat("%.4f", in.err.mu_err),
+                   strformat("%.3f", in.seconds),
+                   strformat("%.4f", de.err.mu_err),
+                   strformat("%.3f", de.seconds),
+                   strformat("%.4f", bn.err.mu_err),
+                   strformat("%.4f", bn.err.sigma_err),
+                   strformat("%.3f", bn.seconds + bn.extra_seconds)});
+    std::cerr << "done: " << name << "\n";
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\naverage muErr: BN = " << strformat("%.4f", bn_mu.mean())
+            << ", paircorr = " << strformat("%.4f", pc_mu.mean())
+            << "; the BN advantage concentrates on the parity/arithmetic "
+               "circuits (c499/c1355/c6288) whose higher-order correlations "
+               "pairwise composition cannot represent.\n";
+  return 0;
+}

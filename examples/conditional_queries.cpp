@@ -1,0 +1,59 @@
+// Conditional switching queries — the capability the paper lists as its
+// advantage #4: because the LIDAG is a full Bayesian network, posteriors
+// under observations come from the same compiled junction tree.
+//
+// Scenario: a designer asks "how does the activity downstream change
+// when I know this control line just rose?" — useful for peak-power and
+// vector-dependent analysis that forward-only estimators cannot answer.
+#include <cstdio>
+
+#include "gen/circuits.h"
+#include "lidag/estimator.h"
+
+using namespace bns;
+
+namespace {
+
+const char* state_name(Trans t) {
+  switch (t) {
+    case T00: return "0->0";
+    case T01: return "0->1";
+    case T10: return "1->0";
+    case T11: return "1->1";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  // The paper's own example circuit (Figure 1).
+  const Netlist nl = figure1_circuit();
+  const InputModel model = InputModel::uniform(nl.num_inputs());
+  LidagEstimator est(nl, model);
+
+  const SwitchingEstimate base = est.estimate(model);
+  const NodeId x5 = nl.find("5"); // OR-gate output
+  const NodeId x7 = nl.find("7");
+  const NodeId x9 = nl.find("9"); // primary output
+
+  std::printf("unconditional activity:  line7 = %.4f   line9 = %.4f\n\n",
+              base.activity(x7), base.activity(x9));
+
+  std::printf("activity of lines 7 and 9 given the observed transition of "
+              "line 5:\n");
+  std::printf("  observed line5   act(line7)  act(line9)\n");
+  for (Trans s : {T00, T01, T10, T11}) {
+    const auto d7 = est.conditional_dist(x7, x5, s, model);
+    const auto d9 = est.conditional_dist(x9, x5, s, model);
+    if (!d7 || !d9) continue;
+    std::printf("  %-14s   %.4f      %.4f\n", state_name(s),
+                activity_of(*d7), activity_of(*d9));
+  }
+
+  std::printf("\nReading: when line 5 stays low (0->0), the AND gate at "
+              "line 7 cannot switch at all; when line 5 toggles, line 7's "
+              "switching probability jumps — structure the unconditional "
+              "average hides.\n");
+  return 0;
+}

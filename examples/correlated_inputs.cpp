@@ -1,0 +1,57 @@
+// Correlated input streams: the paper's future-work extension ("input
+// modeling for capturing spatial correlation at the primary inputs using
+// the same BN model"), implemented here with hidden shared-source group
+// variables.
+//
+// A bus whose bits are noisy copies of one source drives a comparator
+// against an independent bus. With spatial correlation modeled, the BN
+// predicts the strong activity shift at the equality output; assuming
+// independent inputs misses it badly. Ground truth from simulation.
+#include <cstdio>
+
+#include "baselines/independence.h"
+#include "core/analyzer.h"
+#include "gen/generators.h"
+
+using namespace bns;
+
+int main() {
+  const int bits = 6;
+  const Netlist nl = comparator(bits); // inputs a0..a5, b0..b5; outputs gt,lt,eq
+
+  // Bus a: all bits noisy copies (flip 10%) of one slow source.
+  // Bus b: independent equiprobable bits.
+  std::vector<InputSpec> specs;
+  for (int i = 0; i < bits; ++i) specs.push_back({0.5, 0.0, /*group=*/0, 0.1});
+  for (int i = 0; i < bits; ++i) specs.push_back({0.5, 0.0, -1, 0.0});
+  const std::vector<GroupSpec> groups = {{0.5, 0.6}};
+  const InputModel model = InputModel::custom(specs, groups);
+
+  SwitchingAnalyzer analyzer(nl, {}, model);
+  const SwitchingEstimate bn = analyzer.estimate(model);
+
+  // Reference points: simulation truth and the independence assumption.
+  const SimResult sim = analyzer.simulate(model, 1 << 22, /*seed=*/11);
+  const IndependenceResult indep = estimate_independence(nl, model);
+
+  std::printf("comparator(%d) with one correlated input bus "
+              "(group source rho=0.6, flip=0.1)\n\n", bits);
+  std::printf("%-8s %10s %10s %10s\n", "line", "BN", "indep", "simulated");
+  for (NodeId out : nl.outputs()) {
+    std::printf("%-8s %10.4f %10.4f %10.4f\n", nl.node(out).name.c_str(),
+                bn.activity(out), activity_of(indep.dist[static_cast<std::size_t>(out)]),
+                sim.activity(out));
+  }
+
+  double bn_err = 0.0;
+  double in_err = 0.0;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    bn_err += std::abs(bn.activity(id) - sim.activity(id));
+    in_err += std::abs(activity_of(indep.dist[static_cast<std::size_t>(id)]) -
+                       sim.activity(id));
+  }
+  std::printf("\nmean |error| over all %d lines: BN = %.5f, independence = "
+              "%.5f\n", nl.num_nodes(), bn_err / nl.num_nodes(),
+              in_err / nl.num_nodes());
+  return 0;
+}

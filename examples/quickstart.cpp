@@ -1,0 +1,53 @@
+// Quickstart: build a small circuit with the netlist API, compile the
+// LIDAG Bayesian network once, and read off per-line switching
+// activities — first under random inputs, then under biased ones.
+#include <cstdio>
+
+#include "core/analyzer.h"
+
+using namespace bns;
+
+int main() {
+  // A 2:1 multiplexer with an enable: out = en & (sel ? b : a).
+  Netlist nl("mux_en");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId sel = nl.add_input("sel");
+  const NodeId en = nl.add_input("en");
+  const NodeId nsel = nl.add_gate(GateType::Not, "nsel", {sel});
+  const NodeId ta = nl.add_gate(GateType::And, "ta", {a, nsel});
+  const NodeId tb = nl.add_gate(GateType::And, "tb", {b, sel});
+  const NodeId mux = nl.add_gate(GateType::Or, "mux", {ta, tb});
+  const NodeId out = nl.add_gate(GateType::And, "out", {mux, en});
+  nl.mark_output(out);
+
+  // Compile once; the junction tree is reused for every estimate below.
+  SwitchingAnalyzer analyzer(nl);
+
+  std::printf("random inputs (p = 0.5, temporally independent):\n");
+  const SwitchingEstimate random = analyzer.estimate();
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    std::printf("  %-5s activity = %.4f\n", nl.node(id).name.c_str(),
+                random.activity(id));
+  }
+
+  // What if the enable is mostly on and rarely toggles, and the select
+  // is slow-moving? Only the cheap propagation step re-runs.
+  std::vector<InputSpec> specs = {
+      {0.5, 0.0, -1, 0.0},  // a
+      {0.5, 0.0, -1, 0.0},  // b
+      {0.5, 0.9, -1, 0.0},  // sel: high temporal correlation
+      {0.95, 0.5, -1, 0.0}, // en: mostly 1
+  };
+  const SwitchingEstimate biased =
+      analyzer.estimate(InputModel::custom(specs));
+  std::printf("\nbiased inputs (sticky sel, mostly-on en):\n");
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    std::printf("  %-5s activity = %.4f\n", nl.node(id).name.c_str(),
+                biased.activity(id));
+  }
+
+  std::printf("\nupdate took %.3f ms on the precompiled network\n",
+              biased.propagate_seconds * 1e3);
+  return 0;
+}

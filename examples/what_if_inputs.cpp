@@ -1,0 +1,52 @@
+// What-if input analysis: the workflow the paper advocates in Section 6
+// ("the circuits can be precompiled, only propagation has to be done for
+// different input statistics"). Compile a circuit once, then sweep input
+// signal probability and temporal correlation, reporting how average
+// switching activity (and therefore power) responds — each point costs
+// only one cheap propagation.
+#include <cstdio>
+#include <string>
+
+#include "core/analyzer.h"
+#include "gen/benchmarks.h"
+
+using namespace bns;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "c1355";
+  const Netlist nl = make_benchmark(name);
+
+  SwitchingAnalyzer analyzer(nl);
+  std::printf("circuit %s compiled in %.3f s (%d segment BNs)\n\n",
+              nl.name().c_str(), analyzer.estimator().compile_seconds(),
+              analyzer.estimator().num_segments());
+
+  std::printf("avg switching activity as input statistics vary\n");
+  std::printf("%-8s", "p \\ rho");
+  for (double rho : {-0.4, 0.0, 0.4, 0.8}) std::printf("  rho=%+.1f", rho);
+  std::printf("   (update ms)\n");
+
+  double total_update_ms = 0.0;
+  int updates = 0;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::printf("p=%.1f   ", p);
+    double row_ms = 0.0;
+    for (double rho : {-0.4, 0.0, 0.4, 0.8}) {
+      const double r = std::max(rho, rho_min(p)); // keep the chain valid
+      const SwitchingEstimate est =
+          analyzer.estimate(InputModel::uniform(nl.num_inputs(), p, r));
+      std::printf("  %7.4f", est.average_activity());
+      row_ms += est.propagate_seconds * 1e3;
+      total_update_ms += est.propagate_seconds * 1e3;
+      ++updates;
+    }
+    std::printf("   %8.2f\n", row_ms / 4.0);
+  }
+  std::printf("\n%d what-if points, %.2f ms average per update — vs %.3f s "
+              "to compile\n",
+              updates, total_update_ms / updates,
+              analyzer.estimator().compile_seconds());
+  std::printf("(activity peaks at p=0.5 with anticorrelated inputs and "
+              "collapses for sticky inputs — the expected shape)\n");
+  return 0;
+}

@@ -1,0 +1,319 @@
+#include "baselines/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "netlist/transforms.h"
+#include "netlist/truth_table.h"
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace bns {
+namespace {
+
+// Joint value table of two lines from their 1-probabilities and the
+// correlation coefficient SC = P(1,1)/(px*py), Frechet-clamped.
+struct PairJoint {
+  // joint[a][b] = P(x = a, y = b); corr[a][b] = joint / (P(a) P(b)).
+  double corr[2][2];
+
+  PairJoint(double px, double py, double sc, double eps) {
+    const double lo = std::max(0.0, px + py - 1.0);
+    const double hi = std::min(px, py);
+    const double p11 = std::clamp(sc * px * py, lo, hi);
+    const double j[2][2] = {{1.0 - px - py + p11, py - p11},
+                            {px - p11, p11}};
+    const double pa[2] = {std::max(eps, 1.0 - px), std::max(eps, px)};
+    const double pb[2] = {std::max(eps, 1.0 - py), std::max(eps, py)};
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        corr[a][b] = std::max(0.0, j[a][b]) / (pa[a] * pb[b]);
+      }
+    }
+  }
+};
+
+class Propagator {
+ public:
+  Propagator(const Netlist& nl, const InputModel& model,
+             const CorrelationOptions& opts)
+      : nl_(nl), model_(model), opts_(opts) {
+    const std::size_t n = static_cast<std::size_t>(nl.num_nodes());
+    result_.dist.assign(n, {});
+    p_.assign(n, 0.0);
+    partners_.assign(n, {});
+    uses_left_ = nl.fanout_counts();
+  }
+
+  CorrelationResult run() {
+    Timer t;
+    std::vector<int> pi_index(static_cast<std::size_t>(nl_.num_nodes()), -1);
+    for (int i = 0; i < nl_.num_inputs(); ++i) {
+      pi_index[static_cast<std::size_t>(nl_.inputs()[static_cast<std::size_t>(i)])] = i;
+    }
+
+    for (NodeId id = 0; id < nl_.num_nodes(); ++id) {
+      const Node& nd = nl_.node(id);
+      switch (nd.type) {
+        case GateType::Input:
+          set_dist(id, model_.transition_dist(pi_index[static_cast<std::size_t>(id)]));
+          break;
+        case GateType::Const0:
+          set_dist(id, {1, 0, 0, 0});
+          break;
+        case GateType::Const1:
+          set_dist(id, {0, 0, 0, 1});
+          break;
+        default:
+          process_gate(id, nd);
+          break;
+      }
+    }
+    result_.seconds = t.seconds();
+    return std::move(result_);
+  }
+
+ private:
+  void set_dist(NodeId id, const std::array<double, 4>& d) {
+    result_.dist[static_cast<std::size_t>(id)] = d;
+    p_[static_cast<std::size_t>(id)] = d[T01] + d[T11];
+  }
+
+  double sc_of(NodeId a, NodeId b) const {
+    const auto& m = partners_[static_cast<std::size_t>(a)];
+    const auto it = m.find(b);
+    return it == m.end() ? 1.0 : it->second;
+  }
+
+  void set_sc(NodeId a, NodeId b, double sc) {
+    if (std::abs(sc - 1.0) < 1e-9) return;
+    auto& ma = partners_[static_cast<std::size_t>(a)];
+    if (ma.emplace(b, sc).second) {
+      partners_[static_cast<std::size_t>(b)].emplace(a, sc);
+      ++live_pairs_;
+      result_.max_live_pairs = std::max(result_.max_live_pairs, live_pairs_);
+    } else {
+      ma[b] = sc;
+      partners_[static_cast<std::size_t>(b)][a] = sc;
+    }
+  }
+
+  // Grouped PIs are spatially correlated; seed their pairwise
+  // coefficients before the first gate consumes them (inputs always
+  // precede gates in NodeId order).
+  void seed_groups_now() {
+    if (groups_seeded_) return;
+    groups_seeded_ = true;
+    const auto& inputs = nl_.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const InputSpec& si = model_.spec(static_cast<int>(i));
+      if (si.group < 0) continue;
+      for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+        const InputSpec& sj = model_.spec(static_cast<int>(j));
+        if (sj.group != si.group) continue;
+        // P(x_i = 1, x_j = 1) via the shared source s:
+        //   x = s xor n, flips independent.
+        const GroupSpec& g = model_.group(si.group);
+        const double ps = g.p;
+        const double p11 = ps * (1 - si.flip) * (1 - sj.flip) +
+                           (1 - ps) * si.flip * sj.flip;
+        const double pi1 = p_[static_cast<std::size_t>(inputs[i])];
+        const double pj1 = p_[static_cast<std::size_t>(inputs[j])];
+        if (pi1 > opts_.eps && pj1 > opts_.eps) {
+          set_sc(inputs[i], inputs[j], p11 / (pi1 * pj1));
+        }
+      }
+    }
+  }
+
+  void process_gate(NodeId id, const Node& nd) {
+    seed_groups_now();
+    const int k = static_cast<int>(nd.fanin.size());
+    BNS_EXPECTS(k <= 8); // 4^8 enumeration cap for the baseline
+    const TruthTable tt =
+        nd.type == GateType::Lut ? *nd.lut
+                                 : TruthTable::of_gate(nd.type, k);
+
+    // Pairwise correction tables among the fanins.
+    std::vector<PairJoint> pj;
+    std::vector<std::pair<int, int>> pj_idx;
+    for (int i = 0; i < k; ++i) {
+      for (int j = i + 1; j < k; ++j) {
+        const NodeId a = nd.fanin[static_cast<std::size_t>(i)];
+        const NodeId b = nd.fanin[static_cast<std::size_t>(j)];
+        const double sc = a == b ? 1.0 / std::max(opts_.eps, p_[static_cast<std::size_t>(a)]) : sc_of(a, b);
+        pj.emplace_back(p_[static_cast<std::size_t>(a)], p_[static_cast<std::size_t>(b)], sc,
+                        opts_.eps);
+        pj_idx.emplace_back(i, j);
+      }
+    }
+
+    // 4-state output distribution.
+    std::array<double, 4> out{};
+    bool prev[8];
+    bool cur[8];
+    const std::uint64_t n_assign = 1ULL << (2 * k);
+    for (std::uint64_t a = 0; a < n_assign; ++a) {
+      double w = 1.0;
+      for (int i = 0; i < k && w != 0.0; ++i) {
+        const int s = static_cast<int>((a >> (2 * i)) & 3);
+        w *= result_.dist[static_cast<std::size_t>(
+            nd.fanin[static_cast<std::size_t>(i)])][static_cast<std::size_t>(s)];
+        prev[i] = (s >> 1) != 0;
+        cur[i] = (s & 1) != 0;
+      }
+      if (w == 0.0) continue;
+      for (std::size_t e = 0; e < pj.size(); ++e) {
+        const auto [i, j] = pj_idx[e];
+        w *= pj[e].corr[prev[i]][prev[j]] * pj[e].corr[cur[i]][cur[j]];
+      }
+      if (w == 0.0) continue;
+      const int op = tt.eval(std::span<const bool>(prev, static_cast<std::size_t>(k))) ? 1 : 0;
+      const int oc = tt.eval(std::span<const bool>(cur, static_cast<std::size_t>(k))) ? 1 : 0;
+      out[static_cast<std::size_t>(op * 2 + oc)] += w;
+    }
+    double z = out[0] + out[1] + out[2] + out[3];
+    if (z <= opts_.eps) {
+      out = {0.25, 0.25, 0.25, 0.25};
+      z = 1.0;
+    }
+    for (double& v : out) v /= z;
+    set_dist(id, out);
+
+    compute_output_correlations(id, nd, tt, pj, pj_idx);
+
+    // Retire fanins with no remaining consumers.
+    for (NodeId f : nd.fanin) {
+      if (--uses_left_[static_cast<std::size_t>(f)] <= 0) retire(f);
+    }
+  }
+
+  void compute_output_correlations(NodeId id, const Node& nd,
+                                   const TruthTable& tt,
+                                   const std::vector<PairJoint>& pj,
+                                   const std::vector<std::pair<int, int>>& pj_idx) {
+    const double py = p_[static_cast<std::size_t>(id)];
+    if (py <= opts_.eps || py >= 1.0 - opts_.eps) return;
+    const int k = static_cast<int>(nd.fanin.size());
+
+    // Candidate partners: the fanins and everything correlated with them.
+    std::vector<NodeId> cands;
+    auto consider = [&](NodeId z) {
+      if (z == id) return;
+      if (std::find(cands.begin(), cands.end(), z) == cands.end()) {
+        cands.push_back(z);
+      }
+    };
+    for (NodeId f : nd.fanin) {
+      consider(f);
+      for (const auto& [z, sc] : partners_[static_cast<std::size_t>(f)]) {
+        (void)sc;
+        consider(z);
+      }
+    }
+
+    bool bits[8];
+    for (NodeId z : cands) {
+      const double pz = p_[static_cast<std::size_t>(z)];
+      if (pz <= opts_.eps || pz >= 1.0 - opts_.eps) continue;
+
+      // P(y = 1, z = 1) by single-time enumeration with pairwise
+      // corrections among fanins and between each fanin and z.
+      PairJoint zc[8] = {PairJoint(0.5, 0.5, 1.0, opts_.eps), PairJoint(0.5, 0.5, 1.0, opts_.eps),
+                         PairJoint(0.5, 0.5, 1.0, opts_.eps), PairJoint(0.5, 0.5, 1.0, opts_.eps),
+                         PairJoint(0.5, 0.5, 1.0, opts_.eps), PairJoint(0.5, 0.5, 1.0, opts_.eps),
+                         PairJoint(0.5, 0.5, 1.0, opts_.eps), PairJoint(0.5, 0.5, 1.0, opts_.eps)};
+      int z_as_fanin = -1;
+      for (int i = 0; i < k; ++i) {
+        const NodeId f = nd.fanin[static_cast<std::size_t>(i)];
+        if (f == z) {
+          z_as_fanin = i;
+        } else {
+          zc[i] = PairJoint(p_[static_cast<std::size_t>(f)], pz, sc_of(f, z), opts_.eps);
+        }
+      }
+
+      double p_y1_z1 = 0.0;
+      const std::uint64_t n_assign = 1ULL << k;
+      for (std::uint64_t a = 0; a < n_assign; ++a) {
+        double w = 1.0;
+        for (int i = 0; i < k && w != 0.0; ++i) {
+          const bool b = (a >> i) & 1;
+          bits[i] = b;
+          const double pf = p_[static_cast<std::size_t>(nd.fanin[static_cast<std::size_t>(i)])];
+          w *= b ? pf : 1.0 - pf;
+        }
+        if (w == 0.0) continue;
+        if (!tt.eval(std::span<const bool>(bits, static_cast<std::size_t>(k)))) continue;
+        for (std::size_t e = 0; e < pj.size(); ++e) {
+          const auto [i, j] = pj_idx[e];
+          w *= pj[e].corr[bits[i]][bits[j]];
+        }
+        if (z_as_fanin >= 0) {
+          if (!bits[z_as_fanin]) continue;
+          w /= std::max(opts_.eps, pz); // condition on z = 1 exactly
+        } else {
+          for (int i = 0; i < k; ++i) w *= zc[i].corr[bits[i]][1];
+        }
+        p_y1_z1 += w;
+      }
+      // The enumeration computed P(y=1 | corrections)·(P(z=1) factored
+      // out), i.e. p_y1_z1 ≈ P(y=1, z=1)/P(z=1) when z is a fanin, and
+      // ≈ P(y=1 | z=1) via pairwise composition otherwise. Either way:
+      const double sc = std::clamp(p_y1_z1 / py, 0.0, 1.0 / std::max(py, pz));
+      set_sc(id, z, sc);
+    }
+  }
+
+  void retire(NodeId f) {
+    auto& m = partners_[static_cast<std::size_t>(f)];
+    for (const auto& [z, sc] : m) {
+      (void)sc;
+      partners_[static_cast<std::size_t>(z)].erase(f);
+      --live_pairs_;
+    }
+    m.clear();
+  }
+
+  const Netlist& nl_;
+  const InputModel& model_;
+  const CorrelationOptions& opts_;
+  CorrelationResult result_;
+  std::vector<double> p_;
+  std::vector<std::unordered_map<NodeId, double>> partners_;
+  std::vector<int> uses_left_;
+  std::size_t live_pairs_ = 0;
+  bool groups_seeded_ = false;
+};
+
+} // namespace
+
+std::vector<double> CorrelationResult::activities() const {
+  std::vector<double> out(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) out[i] = activity_of(dist[i]);
+  return out;
+}
+
+CorrelationResult estimate_correlation(const Netlist& nl,
+                                       const InputModel& model,
+                                       const CorrelationOptions& opts) {
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  if (nl.max_fanin() > 5) {
+    // Bound the 4^k gate enumeration by folding wide gates into trees.
+    const MappedNetlist m = decompose_wide_gates(nl, 4);
+    CorrelationResult full = Propagator(m.netlist, model, opts).run();
+    CorrelationResult r;
+    r.seconds = full.seconds;
+    r.max_live_pairs = full.max_live_pairs;
+    r.dist.resize(static_cast<std::size_t>(nl.num_nodes()));
+    for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+      r.dist[static_cast<std::size_t>(id)] =
+          full.dist[static_cast<std::size_t>(m.map[static_cast<std::size_t>(id)])];
+    }
+    return r;
+  }
+  return Propagator(nl, model, opts).run();
+}
+
+} // namespace bns

@@ -1,0 +1,43 @@
+// Pairwise spatio-temporal correlation-coefficient propagation — the
+// algorithmic family of Ercolani'92 / Marculescu'94/'98 ([12], [7], [8],
+// [9] in the paper) that Table 2 compares against.
+//
+// Per line: the stationary 4-state transition distribution (temporal
+// lag-1 correlation, like the BN). Between lines: the same-time-step
+// spatial correlation coefficient
+//     SC(x, y) = P(x_t = 1, y_t = 1) / (P(x)P(y)),
+// maintained for every pair of *live* lines (lines with remaining
+// fanout). Gate outputs are computed by enumerating fanin transition
+// assignments weighted by the product of the marginals and of the
+// pairwise corrections at both time steps; higher-order correlations are
+// approximated as products of pairwise ones (the composition of [8]).
+// This is precisely the approximation whose failure on reconvergent
+// logic motivates the paper's exact BN model.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+
+namespace bns {
+
+struct CorrelationOptions {
+  // Clamp for probabilities entering divisions.
+  double eps = 1e-12;
+};
+
+struct CorrelationResult {
+  std::vector<std::array<double, 4>> dist; // per NodeId
+  double seconds = 0.0;
+  std::size_t max_live_pairs = 0; // peak number of tracked coefficients
+
+  std::vector<double> activities() const;
+};
+
+CorrelationResult estimate_correlation(const Netlist& nl,
+                                       const InputModel& model,
+                                       const CorrelationOptions& opts = {});
+
+} // namespace bns

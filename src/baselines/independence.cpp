@@ -1,0 +1,105 @@
+#include "baselines/independence.h"
+
+#include "netlist/transforms.h"
+#include "netlist/truth_table.h"
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace bns {
+namespace {
+
+// Output transition distribution of a function under independent fanin
+// transition distributions: a 4^k weighted enumeration.
+std::array<double, 4> propagate_gate(const TruthTable& tt,
+                                     std::span<const std::array<double, 4>> in) {
+  const int k = tt.num_inputs();
+  std::array<double, 4> out{};
+  bool prev[TruthTable::kMaxInputs];
+  bool cur[TruthTable::kMaxInputs];
+  const std::uint64_t n = 1ULL << (2 * k);
+  for (std::uint64_t a = 0; a < n; ++a) {
+    double w = 1.0;
+    for (int i = 0; i < k; ++i) {
+      const int s = static_cast<int>((a >> (2 * i)) & 3);
+      w *= in[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)];
+      prev[i] = (s >> 1) != 0;
+      cur[i] = (s & 1) != 0;
+    }
+    if (w == 0.0) continue;
+    const int op = tt.eval(std::span<const bool>(prev, static_cast<std::size_t>(k))) ? 1 : 0;
+    const int oc = tt.eval(std::span<const bool>(cur, static_cast<std::size_t>(k))) ? 1 : 0;
+    out[static_cast<std::size_t>(op * 2 + oc)] += w;
+  }
+  // Renormalize: the exact sum is 1, and letting rounding drift pass
+  // through compounds exponentially along deep reconvergent chains.
+  const double z = out[0] + out[1] + out[2] + out[3];
+  BNS_ASSERT(z > 0.0);
+  for (double& v : out) v /= z;
+  return out;
+}
+
+} // namespace
+
+std::vector<double> IndependenceResult::activities() const {
+  std::vector<double> out(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) out[i] = activity_of(dist[i]);
+  return out;
+}
+
+IndependenceResult estimate_independence(const Netlist& nl,
+                                         const InputModel& model) {
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  if (nl.max_fanin() > 8) {
+    const MappedNetlist m = decompose_wide_gates(nl, 4);
+    IndependenceResult full = estimate_independence(m.netlist, model);
+    IndependenceResult r;
+    r.seconds = full.seconds;
+    r.dist.resize(static_cast<std::size_t>(nl.num_nodes()));
+    for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+      r.dist[static_cast<std::size_t>(id)] =
+          full.dist[static_cast<std::size_t>(m.map[static_cast<std::size_t>(id)])];
+    }
+    return r;
+  }
+  Timer t;
+  IndependenceResult r;
+  r.dist.assign(static_cast<std::size_t>(nl.num_nodes()), {});
+
+  std::vector<int> pi_index(static_cast<std::size_t>(nl.num_nodes()), -1);
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    pi_index[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])] = i;
+  }
+
+  std::vector<std::array<double, 4>> fanin_dists;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& n = nl.node(id);
+    auto& d = r.dist[static_cast<std::size_t>(id)];
+    switch (n.type) {
+      case GateType::Input:
+        d = model.transition_dist(pi_index[static_cast<std::size_t>(id)]);
+        break;
+      case GateType::Const0:
+        d = {1, 0, 0, 0};
+        break;
+      case GateType::Const1:
+        d = {0, 0, 0, 1};
+        break;
+      default: {
+        fanin_dists.clear();
+        for (NodeId f : n.fanin) {
+          fanin_dists.push_back(r.dist[static_cast<std::size_t>(f)]);
+        }
+        const TruthTable tt =
+            n.type == GateType::Lut
+                ? *n.lut
+                : TruthTable::of_gate(n.type, static_cast<int>(n.fanin.size()));
+        d = propagate_gate(tt, fanin_dists);
+        break;
+      }
+    }
+  }
+  r.seconds = t.seconds();
+  return r;
+}
+
+} // namespace bns

@@ -1,0 +1,27 @@
+// Zero-correlation baseline (Parker–McCluskey style, lifted to 4-state
+// transition variables): propagates each line's stationary transition
+// distribution through its gate assuming all fanins are mutually
+// independent. Temporal (lag-1) correlation of each line is kept — the
+// 4-state encoding carries it — but all spatial correlation is dropped,
+// which is exactly the assumption the paper's BN removes.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+
+namespace bns {
+
+struct IndependenceResult {
+  std::vector<std::array<double, 4>> dist; // per NodeId
+  double seconds = 0.0;
+
+  std::vector<double> activities() const;
+};
+
+IndependenceResult estimate_independence(const Netlist& nl,
+                                         const InputModel& model);
+
+} // namespace bns

@@ -1,0 +1,158 @@
+#include "baselines/local_bdd.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "bdd/circuit_bdd.h"
+#include "bdd/pair_prob.h"
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace bns {
+namespace {
+
+// The fanin region of a target line truncated at `levels`: `internal`
+// holds the region's gates in ascending (= topological) order ending
+// with the target itself; `frontier` holds the independent sources.
+struct Region {
+  std::vector<NodeId> internal;
+  std::vector<NodeId> frontier;
+};
+
+Region build_region(const Netlist& nl, NodeId target, int levels,
+                    int max_frontier) {
+  for (int lv = levels; lv >= 1; --lv) {
+    Region r;
+    // FIFO BFS: first visit = shortest distance from the target, so a
+    // reconvergent net stays internal whenever any short path reaches it.
+    std::unordered_map<NodeId, int> depth; // node -> distance from target
+    std::vector<NodeId> queue{target};
+    depth.emplace(target, 0);
+    std::vector<NodeId> frontier_set;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId id = queue[head];
+      const int d = depth.at(id);
+      const Node& n = nl.node(id);
+      const bool is_source = n.type == GateType::Input || n.fanin.empty();
+      if ((d == lv && id != target) || is_source) {
+        frontier_set.push_back(id);
+        continue;
+      }
+      r.internal.push_back(id);
+      for (NodeId f : n.fanin) {
+        if (depth.emplace(f, d + 1).second) queue.push_back(f);
+      }
+    }
+    std::sort(r.internal.begin(), r.internal.end());
+    std::sort(frontier_set.begin(), frontier_set.end());
+    frontier_set.erase(std::unique(frontier_set.begin(), frontier_set.end()),
+                       frontier_set.end());
+    // A net can appear both internal (via a short path) and frontier
+    // (via a path that hits the depth limit): internal wins — it is
+    // modeled exactly there.
+    std::vector<NodeId> frontier;
+    for (NodeId f : frontier_set) {
+      if (!std::binary_search(r.internal.begin(), r.internal.end(), f)) {
+        frontier.push_back(f);
+      }
+    }
+    r.frontier = std::move(frontier);
+    if (static_cast<int>(r.frontier.size()) <= max_frontier) return r;
+  }
+  // levels = 0: direct fanins are the frontier.
+  Region r;
+  r.internal.push_back(target);
+  r.frontier = nl.node(target).fanin;
+  std::sort(r.frontier.begin(), r.frontier.end());
+  r.frontier.erase(std::unique(r.frontier.begin(), r.frontier.end()),
+                   r.frontier.end());
+  return r;
+}
+
+} // namespace
+
+std::vector<double> LocalBddResult::activities() const {
+  std::vector<double> out(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) out[i] = activity_of(dist[i]);
+  return out;
+}
+
+LocalBddResult estimate_local_bdd(const Netlist& nl, const InputModel& model,
+                                  const LocalBddOptions& opts) {
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  BNS_EXPECTS(opts.levels >= 0);
+  BNS_EXPECTS(opts.max_region_inputs >= 1);
+  Timer t;
+
+  LocalBddResult r;
+  r.dist.assign(static_cast<std::size_t>(nl.num_nodes()), {});
+
+  std::vector<int> pi_index(static_cast<std::size_t>(nl.num_nodes()), -1);
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    pi_index[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])] = i;
+  }
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& nd = nl.node(id);
+    auto& out = r.dist[static_cast<std::size_t>(id)];
+    if (nd.type == GateType::Input) {
+      out = model.transition_dist(pi_index[static_cast<std::size_t>(id)]);
+      continue;
+    }
+    if (nd.type == GateType::Const0) {
+      out = {1, 0, 0, 0};
+      continue;
+    }
+    if (nd.type == GateType::Const1) {
+      out = {0, 0, 0, 1};
+      continue;
+    }
+
+    // Exact within the truncated region; frontier nets are independent
+    // 4-state sources with their previously computed distributions.
+    for (int lv = opts.levels;; --lv) {
+      const Region region = build_region(nl, id, lv, opts.max_region_inputs);
+      r.max_region_size = std::max(
+          r.max_region_size, static_cast<int>(region.internal.size() +
+                                              region.frontier.size()));
+      try {
+        BddManager mgr(2 * static_cast<int>(region.frontier.size()),
+                       opts.max_nodes);
+        std::vector<std::array<double, 4>> sources;
+        std::unordered_map<NodeId, std::pair<BddRef, BddRef>> fn;
+        for (std::size_t i = 0; i < region.frontier.size(); ++i) {
+          const NodeId f = region.frontier[i];
+          sources.push_back(r.dist[static_cast<std::size_t>(f)]);
+          fn.emplace(f, std::make_pair(mgr.var(2 * static_cast<int>(i)),
+                                       mgr.var(2 * static_cast<int>(i) + 1)));
+        }
+        for (NodeId g : region.internal) {
+          const Node& gn = nl.node(g);
+          std::vector<BddRef> ops_prev;
+          std::vector<BddRef> ops_cur;
+          for (NodeId f : gn.fanin) {
+            const auto& [p, c] = fn.at(f);
+            ops_prev.push_back(p);
+            ops_cur.push_back(c);
+          }
+          fn.emplace(g, std::make_pair(build_gate_bdd(mgr, gn, ops_prev),
+                                       build_gate_bdd(mgr, gn, ops_cur)));
+        }
+        const auto& [fp, fc] = fn.at(id);
+        PairProbEvaluator pp(mgr, sources);
+        const double p01 = pp.prob(mgr.land(mgr.lnot(fp), fc));
+        const double p10 = pp.prob(mgr.land(fp, mgr.lnot(fc)));
+        const double p11 = pp.prob(mgr.land(fp, fc));
+        out = {std::max(0.0, 1.0 - p01 - p10 - p11), p01, p10, p11};
+        break;
+      } catch (const BddNodeLimit&) {
+        BNS_ASSERT_MSG(lv > 0, "level-0 region exceeded the node budget");
+        // Shrink the region and retry.
+      }
+    }
+  }
+  r.seconds = t.seconds();
+  return r;
+}
+
+} // namespace bns

@@ -1,0 +1,109 @@
+#include "baselines/monte_carlo.h"
+
+#include <cmath>
+
+#include "sim/simulator.h"
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace bns {
+namespace {
+
+// Inverse standard-normal CDF for the upper tail (Acklam-style rational
+// approximation is overkill here; the harness only uses a handful of
+// common alphas, so a small bisection on the complementary error
+// function keeps the code dependency-free and exact to ~1e-10).
+double z_upper(double tail) {
+  BNS_EXPECTS(tail > 0.0 && tail < 0.5);
+  double lo = 0.0;
+  double hi = 10.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double upper = 0.5 * std::erfc(mid / std::sqrt(2.0));
+    if (upper > tail) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+std::vector<double> MonteCarloResult::activities() const {
+  std::vector<double> out(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) out[i] = activity_of(dist[i]);
+  return out;
+}
+
+MonteCarloResult estimate_monte_carlo(const Netlist& nl,
+                                      const InputModel& model,
+                                      const MonteCarloOptions& opts) {
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  BNS_EXPECTS(opts.batch_pairs > 0);
+  Timer t;
+
+  const double z = z_upper(opts.alpha / 2.0);
+  const SwitchingSimulator sim(nl);
+  const std::size_t n = static_cast<std::size_t>(nl.num_nodes());
+
+  std::vector<std::array<std::uint64_t, 4>> counts(n, std::array<std::uint64_t, 4>{});
+  std::uint64_t total = 0;
+  std::uint64_t seed = opts.seed;
+  bool converged = false;
+
+  MonteCarloResult r;
+  r.half_width.assign(n, 1.0);
+
+  while (total < opts.max_pairs && !converged) {
+    // Each batch is an independent stream (fresh seed) — batches are
+    // i.i.d., so pooling the counters is valid.
+    const SimResult batch = sim.run(model, opts.batch_pairs, seed++);
+    for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+      const auto& c = batch.counts(id);
+      for (int s = 0; s < 4; ++s) {
+        counts[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)] +=
+            c[static_cast<std::size_t>(s)];
+      }
+    }
+    total += batch.num_samples();
+
+    converged = true;
+    for (std::size_t i = 0; i < n && converged; ++i) {
+      const double sw = static_cast<double>(counts[i][T01] + counts[i][T10]);
+      const double a = sw / static_cast<double>(total);
+      const double hw =
+          z * std::sqrt(std::max(a * (1.0 - a), 1e-12) /
+                        static_cast<double>(total));
+      r.half_width[i] = hw;
+      if (hw > std::max(opts.abs_tol, opts.rel_tol * a)) converged = false;
+    }
+    if (!converged) {
+      // Refresh the half-widths for reporting even when stopping early.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double a =
+            static_cast<double>(counts[i][T01] + counts[i][T10]) /
+            static_cast<double>(total);
+        r.half_width[i] =
+            z * std::sqrt(std::max(a * (1.0 - a), 1e-12) /
+                          static_cast<double>(total));
+      }
+    }
+  }
+
+  r.dist.assign(n, {});
+  const double inv = 1.0 / static_cast<double>(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int s = 0; s < 4; ++s) {
+      r.dist[i][static_cast<std::size_t>(s)] =
+          static_cast<double>(counts[i][static_cast<std::size_t>(s)]) * inv;
+    }
+  }
+  r.pairs_used = total;
+  r.converged = converged;
+  r.seconds = t.seconds();
+  return r;
+}
+
+} // namespace bns

@@ -1,0 +1,47 @@
+// Statistically simulative estimation (Burch–Najm–Trick, reference [6]
+// of the paper): Monte-Carlo logic simulation with a per-line normal-
+// approximation stopping criterion. The paper's taxonomy places this in
+// the "estimation by simulation" family — accurate but input-sensitive
+// and slow compared to probabilistic propagation; this implementation
+// exists to quantify that trade on the same circuits.
+//
+// Sampling proceeds in batches of 64-lane bit-parallel rounds; after
+// each batch the half-width of the (1 - alpha) confidence interval of
+// every line's activity is checked, and sampling stops when
+//     half_width <= max(abs_tol, rel_tol * activity)
+// holds for every line, or when `max_pairs` is reached.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+
+namespace bns {
+
+struct MonteCarloOptions {
+  double alpha = 0.01;      // two-sided confidence level (99% default)
+  double abs_tol = 0.005;   // absolute half-width floor
+  double rel_tol = 0.05;    // relative half-width target
+  std::uint64_t batch_pairs = 1 << 16;
+  std::uint64_t max_pairs = 1 << 26;
+  std::uint64_t seed = 1;
+};
+
+struct MonteCarloResult {
+  std::vector<std::array<double, 4>> dist; // per NodeId
+  std::vector<double> half_width;          // CI half-width of the activity
+  std::uint64_t pairs_used = 0;
+  bool converged = false; // all lines met the tolerance before max_pairs
+  double seconds = 0.0;
+
+  std::vector<double> activities() const;
+};
+
+MonteCarloResult estimate_monte_carlo(const Netlist& nl,
+                                      const InputModel& model,
+                                      const MonteCarloOptions& opts = {});
+
+} // namespace bns

@@ -1,0 +1,135 @@
+#include "baselines/transition_density.h"
+
+#include <algorithm>
+
+#include "netlist/transforms.h"
+#include "netlist/truth_table.h"
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace bns {
+namespace {
+
+// P(f(..., x_i=0, ...) != f(..., x_i=1, ...)) with the other inputs
+// independent with probabilities `p`.
+double boolean_difference(const TruthTable& tt, int i,
+                          std::span<const double> p) {
+  const int k = tt.num_inputs();
+  double total = 0.0;
+  bool in[TruthTable::kMaxInputs];
+  const std::uint64_t n = 1ULL << (k - 1);
+  for (std::uint64_t a = 0; a < n; ++a) {
+    double w = 1.0;
+    int bit = 0;
+    for (int j = 0; j < k; ++j) {
+      if (j == i) continue;
+      const bool v = (a >> bit) & 1;
+      ++bit;
+      in[j] = v;
+      w *= v ? p[static_cast<std::size_t>(j)] : 1.0 - p[static_cast<std::size_t>(j)];
+    }
+    if (w == 0.0) continue;
+    in[i] = false;
+    const bool f0 = tt.eval(std::span<const bool>(in, static_cast<std::size_t>(k)));
+    in[i] = true;
+    const bool f1 = tt.eval(std::span<const bool>(in, static_cast<std::size_t>(k)));
+    if (f0 != f1) total += w;
+  }
+  return total;
+}
+
+double signal_prob_of(const TruthTable& tt, std::span<const double> p) {
+  const int k = tt.num_inputs();
+  double total = 0.0;
+  bool in[TruthTable::kMaxInputs];
+  const std::uint64_t n = 1ULL << k;
+  for (std::uint64_t a = 0; a < n; ++a) {
+    double w = 1.0;
+    for (int j = 0; j < k; ++j) {
+      const bool v = (a >> j) & 1;
+      in[j] = v;
+      w *= v ? p[static_cast<std::size_t>(j)] : 1.0 - p[static_cast<std::size_t>(j)];
+    }
+    if (w != 0.0 && tt.eval(std::span<const bool>(in, static_cast<std::size_t>(k)))) {
+      total += w;
+    }
+  }
+  return total;
+}
+
+} // namespace
+
+std::vector<double> TransitionDensityResult::activities() const {
+  std::vector<double> out(density.size());
+  for (std::size_t i = 0; i < density.size(); ++i) {
+    out[i] = std::clamp(density[i], 0.0, 1.0);
+  }
+  return out;
+}
+
+TransitionDensityResult estimate_transition_density(const Netlist& nl,
+                                                    const InputModel& model) {
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  if (nl.max_fanin() > 12) {
+    const MappedNetlist m = decompose_wide_gates(nl, 4);
+    TransitionDensityResult full = estimate_transition_density(m.netlist, model);
+    TransitionDensityResult r;
+    r.seconds = full.seconds;
+    r.signal_prob.resize(static_cast<std::size_t>(nl.num_nodes()));
+    r.density.resize(static_cast<std::size_t>(nl.num_nodes()));
+    for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+      const std::size_t src = static_cast<std::size_t>(m.map[static_cast<std::size_t>(id)]);
+      r.signal_prob[static_cast<std::size_t>(id)] = full.signal_prob[src];
+      r.density[static_cast<std::size_t>(id)] = full.density[src];
+    }
+    return r;
+  }
+  Timer t;
+  TransitionDensityResult r;
+  const std::size_t n = static_cast<std::size_t>(nl.num_nodes());
+  r.signal_prob.assign(n, 0.0);
+  r.density.assign(n, 0.0);
+
+  std::vector<int> pi_index(n, -1);
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    pi_index[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])] = i;
+  }
+
+  std::vector<double> fp;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& nd = nl.node(id);
+    switch (nd.type) {
+      case GateType::Input: {
+        const auto d = model.transition_dist(pi_index[static_cast<std::size_t>(id)]);
+        r.signal_prob[static_cast<std::size_t>(id)] = d[T01] + d[T11];
+        r.density[static_cast<std::size_t>(id)] = d[T01] + d[T10];
+        break;
+      }
+      case GateType::Const0:
+      case GateType::Const1:
+        r.signal_prob[static_cast<std::size_t>(id)] =
+            nd.type == GateType::Const1 ? 1.0 : 0.0;
+        break;
+      default: {
+        fp.clear();
+        for (NodeId f : nd.fanin) fp.push_back(r.signal_prob[static_cast<std::size_t>(f)]);
+        const TruthTable tt =
+            nd.type == GateType::Lut
+                ? *nd.lut
+                : TruthTable::of_gate(nd.type, static_cast<int>(nd.fanin.size()));
+        r.signal_prob[static_cast<std::size_t>(id)] = signal_prob_of(tt, fp);
+        double d = 0.0;
+        for (int i = 0; i < static_cast<int>(nd.fanin.size()); ++i) {
+          d += boolean_difference(tt, i, fp) *
+               r.density[static_cast<std::size_t>(nd.fanin[static_cast<std::size_t>(i)])];
+        }
+        r.density[static_cast<std::size_t>(id)] = d;
+        break;
+      }
+    }
+  }
+  r.seconds = t.seconds();
+  return r;
+}
+
+} // namespace bns

@@ -1,0 +1,32 @@
+// Najm's transition-density propagation (reference [11] of the paper):
+//   D(y) = sum_i P(dy/dx_i) * D(x_i)
+// with Boolean differences evaluated gate-locally under spatial
+// independence, and signal probabilities propagated the same way.
+//
+// Densities add transitions that in a zero-delay semantics can cancel
+// (simultaneous input switching), so the per-cycle activity estimate
+// min(D, 1) systematically *over*-estimates switching on reconvergent
+// and wide-fanin logic — one of the inaccuracies the paper contrasts
+// against.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+
+namespace bns {
+
+struct TransitionDensityResult {
+  std::vector<double> signal_prob; // P(line = 1), independence model
+  std::vector<double> density;     // expected transitions per cycle
+  double seconds = 0.0;
+
+  // Per-cycle switching activity estimate: density clamped to [0, 1].
+  std::vector<double> activities() const;
+};
+
+TransitionDensityResult estimate_transition_density(const Netlist& nl,
+                                                    const InputModel& model);
+
+} // namespace bns

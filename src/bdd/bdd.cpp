@@ -1,0 +1,202 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+std::uint64_t pack3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  // 21 bits each is plenty below the node cap; mix to one key.
+  return (static_cast<std::uint64_t>(a) << 42) ^
+         (static_cast<std::uint64_t>(b) << 21) ^ c;
+}
+
+} // namespace
+
+BddManager::BddManager(int num_vars, std::size_t max_nodes)
+    : num_vars_(num_vars), max_nodes_(max_nodes) {
+  BNS_EXPECTS(num_vars >= 0);
+  BNS_EXPECTS(max_nodes >= 16);
+  nodes_.push_back({num_vars_, kBddFalse, kBddFalse}); // terminal 0
+  nodes_.push_back({num_vars_, kBddTrue, kBddTrue});   // terminal 1
+}
+
+BddRef BddManager::mk(int var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo; // reduction rule
+  const std::uint64_t key =
+      pack3(static_cast<std::uint32_t>(var) + 2, lo, hi);
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= max_nodes_) throw BddNodeLimit();
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::var(int i) {
+  BNS_EXPECTS(i >= 0 && i < num_vars_);
+  return mk(i, kBddFalse, kBddTrue);
+}
+
+BddRef BddManager::nvar(int i) {
+  BNS_EXPECTS(i >= 0 && i < num_vars_);
+  return mk(i, kBddTrue, kBddFalse);
+}
+
+int BddManager::var_of(BddRef f) const {
+  BNS_EXPECTS(!is_terminal(f));
+  return node(f).var;
+}
+
+BddRef BddManager::low(BddRef f) const {
+  BNS_EXPECTS(!is_terminal(f));
+  return node(f).lo;
+}
+
+BddRef BddManager::high(BddRef f) const {
+  BNS_EXPECTS(!is_terminal(f));
+  return node(f).hi;
+}
+
+int BddManager::top_var(BddRef f, BddRef g, BddRef h) const {
+  int v = num_vars_;
+  if (!is_terminal(f)) v = std::min(v, node(f).var);
+  if (!is_terminal(g)) v = std::min(v, node(g).var);
+  if (!is_terminal(h)) v = std::min(v, node(h).var);
+  return v;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+
+  const std::uint64_t key =
+      pack3(f, g, h) * 0x100000001b3ULL ^ 0x9e3779b9u;
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int v = top_var(f, g, h);
+  auto cof = [&](BddRef x, bool hi) {
+    if (is_terminal(x) || node(x).var != v) return x;
+    return hi ? node(x).hi : node(x).lo;
+  };
+  const BddRef lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const BddRef hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const BddRef r = mk(v, lo, hi);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+BddRef BddManager::lxor(BddRef f, BddRef g) {
+  return ite(f, lnot(g), g);
+}
+
+BddRef BddManager::cofactor(BddRef f, int i, bool value) {
+  BNS_EXPECTS(i >= 0 && i < num_vars_);
+  if (is_terminal(f) || node(f).var > i) return f;
+  if (node(f).var == i) return value ? node(f).hi : node(f).lo;
+  // Recurse (no memo: used on small BDDs / tests).
+  const BddRef lo = cofactor(node(f).lo, i, value);
+  const BddRef hi = cofactor(node(f).hi, i, value);
+  return mk(node(f).var, lo, hi);
+}
+
+BddRef BddManager::exists(BddRef f, int i) {
+  return lor(cofactor(f, i, false), cofactor(f, i, true));
+}
+
+std::vector<int> BddManager::support(BddRef f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> in_support(static_cast<std::size_t>(num_vars_), false);
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef u = stack.back();
+    stack.pop_back();
+    if (is_terminal(u) || seen[u]) continue;
+    seen[u] = true;
+    in_support[static_cast<std::size_t>(node(u).var)] = true;
+    stack.push_back(node(u).lo);
+    stack.push_back(node(u).hi);
+  }
+  std::vector<int> out;
+  for (int i = 0; i < num_vars_; ++i) {
+    if (in_support[static_cast<std::size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t BddManager::size(BddRef f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<BddRef> stack{f};
+  std::size_t n = 0;
+  while (!stack.empty()) {
+    const BddRef u = stack.back();
+    stack.pop_back();
+    if (is_terminal(u) || seen[u]) continue;
+    seen[u] = true;
+    ++n;
+    stack.push_back(node(u).lo);
+    stack.push_back(node(u).hi);
+  }
+  return n;
+}
+
+bool BddManager::eval(BddRef f, std::span<const bool> assignment) const {
+  BNS_EXPECTS(static_cast<int>(assignment.size()) == num_vars_);
+  while (!is_terminal(f)) {
+    f = assignment[static_cast<std::size_t>(node(f).var)] ? node(f).hi
+                                                          : node(f).lo;
+  }
+  return f == kBddTrue;
+}
+
+double BddManager::sat_count(BddRef f) const {
+  std::unordered_map<BddRef, double> memo;
+  // Fraction of assignments satisfying f, then scale by 2^num_vars.
+  auto density = [&](auto&& self, BddRef u) -> double {
+    if (u == kBddFalse) return 0.0;
+    if (u == kBddTrue) return 1.0;
+    const auto it = memo.find(u);
+    if (it != memo.end()) return it->second;
+    const double d = 0.5 * self(self, node(u).lo) + 0.5 * self(self, node(u).hi);
+    memo.emplace(u, d);
+    return d;
+  };
+  double scale = 1.0;
+  for (int i = 0; i < num_vars_; ++i) scale *= 2.0;
+  return density(density, f) * scale;
+}
+
+double BddManager::signal_prob(BddRef f, std::span<const double> p) const {
+  BNS_EXPECTS(static_cast<int>(p.size()) == num_vars_);
+  std::unordered_map<BddRef, double> memo;
+  auto walk = [&](auto&& self, BddRef u) -> double {
+    if (u == kBddFalse) return 0.0;
+    if (u == kBddTrue) return 1.0;
+    const auto it = memo.find(u);
+    if (it != memo.end()) return it->second;
+    const double pv = p[static_cast<std::size_t>(node(u).var)];
+    const double d =
+        (1.0 - pv) * self(self, node(u).lo) + pv * self(self, node(u).hi);
+    memo.emplace(u, d);
+    return d;
+  };
+  return walk(walk, f);
+}
+
+std::string BddManager::to_string(BddRef f) const {
+  if (f == kBddFalse) return "0";
+  if (f == kBddTrue) return "1";
+  return strformat("x%d ? (%s) : (%s)", node(f).var,
+                   to_string(node(f).hi).c_str(),
+                   to_string(node(f).lo).c_str());
+}
+
+} // namespace bns

@@ -1,0 +1,113 @@
+// Reduced Ordered Binary Decision Diagrams (Bryant 1986 — reference
+// [10] of the paper). The paper's background contrasts the BN approach
+// with exact OBDD-based switching estimation, which is accurate but has
+// "a high space requirement"; this package provides that comparator and
+// the substrate for local-OBDD techniques like tagged probabilistic
+// simulation [13].
+//
+// Design: a manager with a unique table (hash-consing, so equal
+// functions are pointer-equal), an ITE-based apply with memoization, and
+// weighted path probability under per-variable independence. No
+// complement edges; garbage is reclaimed only when the manager dies
+// (fine for the bounded builds we do).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bns {
+
+// Index into the manager's node array. 0 and 1 are the terminals.
+using BddRef = std::uint32_t;
+inline constexpr BddRef kBddFalse = 0;
+inline constexpr BddRef kBddTrue = 1;
+
+class BddManager {
+ public:
+  // `num_vars` variables with fixed order: variable 0 at the top.
+  // `max_nodes` bounds the unique table; exceeding it throws
+  // BddNodeLimit (exact methods are expected to hit limits — callers
+  // treat it as "this circuit is out of reach", like the paper treats
+  // the space blow-up of exact OBDD methods).
+  explicit BddManager(int num_vars, std::size_t max_nodes = 1u << 22);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  // --- construction ---------------------------------------------------
+  BddRef var(int i);      // the function x_i
+  BddRef nvar(int i);     // the function !x_i
+
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+  BddRef land(BddRef f, BddRef g) { return ite(f, g, kBddFalse); }
+  BddRef lor(BddRef f, BddRef g) { return ite(f, kBddTrue, g); }
+  BddRef lnot(BddRef f) { return ite(f, kBddFalse, kBddTrue); }
+  BddRef lxor(BddRef f, BddRef g);
+  BddRef lxnor(BddRef f, BddRef g) { return lnot(lxor(f, g)); }
+
+  // --- structure ------------------------------------------------------
+  bool is_terminal(BddRef f) const { return f <= kBddTrue; }
+  int var_of(BddRef f) const;    // precondition: !is_terminal(f)
+  BddRef low(BddRef f) const;    // cofactor var=0
+  BddRef high(BddRef f) const;   // cofactor var=1
+
+  // Shannon cofactor of f with variable i fixed (i need not be the top).
+  BddRef cofactor(BddRef f, int i, bool value);
+
+  // Existential quantification over variable i.
+  BddRef exists(BddRef f, int i);
+
+  // Variables f depends on (ascending).
+  std::vector<int> support(BddRef f) const;
+
+  // Number of BDD nodes reachable from f (excluding terminals).
+  std::size_t size(BddRef f) const;
+
+  // Evaluate on a full assignment.
+  bool eval(BddRef f, std::span<const bool> assignment) const;
+
+  // Number of satisfying assignments over all num_vars() variables.
+  double sat_count(BddRef f) const;
+
+  // P(f = 1) with independent variables, P(x_i = 1) = p[i].
+  double signal_prob(BddRef f, std::span<const double> p) const;
+
+  // Diagnostic dump ("x2 ? (x3 ? 1 : 0) : 0"-ish), for small BDDs.
+  std::string to_string(BddRef f) const;
+
+ private:
+  struct Node {
+    std::int32_t var;
+    BddRef lo;
+    BddRef hi;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const std::uint64_t& k) const {
+      std::uint64_t x = k * 0x9e3779b97f4a7c15ULL;
+      return static_cast<std::size_t>(x ^ (x >> 32));
+    }
+  };
+
+  BddRef mk(int var, BddRef lo, BddRef hi);
+  const Node& node(BddRef f) const { return nodes_[f]; }
+  int top_var(BddRef f, BddRef g, BddRef h) const;
+
+  int num_vars_;
+  std::size_t max_nodes_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<std::uint64_t, BddRef, NodeKeyHash> ite_cache_;
+};
+
+// Thrown when a build exceeds the manager's node budget.
+class BddNodeLimit : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "BDD node limit exceeded";
+  }
+};
+
+} // namespace bns

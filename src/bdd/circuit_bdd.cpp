@@ -1,0 +1,58 @@
+#include "bdd/circuit_bdd.h"
+
+#include "util/assert.h"
+
+namespace bns {
+namespace {
+
+// Composes a truth table over already-built operand BDDs via Shannon
+// expansion on the last operand.
+BddRef compose_tt(BddManager& mgr, const TruthTable& tt,
+                  std::span<const BddRef> ops) {
+  const int k = tt.num_inputs();
+  BNS_EXPECTS(static_cast<int>(ops.size()) == k);
+  if (k == 0) return tt.value(0) ? kBddTrue : kBddFalse;
+  const TruthTable lo = tt.cofactor(k - 1, false);
+  const TruthTable hi = tt.cofactor(k - 1, true);
+  const std::span<const BddRef> rest = ops.first(static_cast<std::size_t>(k - 1));
+  return mgr.ite(ops[static_cast<std::size_t>(k - 1)],
+                 compose_tt(mgr, hi, rest), compose_tt(mgr, lo, rest));
+}
+
+} // namespace
+
+BddRef build_gate_bdd(BddManager& mgr, const Node& n,
+                      std::span<const BddRef> ops) {
+  switch (n.type) {
+    case GateType::Const0: return kBddFalse;
+    case GateType::Const1: return kBddTrue;
+    case GateType::Buf: return ops[0];
+    case GateType::Not: return mgr.lnot(ops[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      BddRef acc = kBddTrue;
+      for (BddRef o : ops) acc = mgr.land(acc, o);
+      return n.type == GateType::And ? acc : mgr.lnot(acc);
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      BddRef acc = kBddFalse;
+      for (BddRef o : ops) acc = mgr.lor(acc, o);
+      return n.type == GateType::Or ? acc : mgr.lnot(acc);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      BddRef acc = kBddFalse;
+      for (BddRef o : ops) acc = mgr.lxor(acc, o);
+      return n.type == GateType::Xor ? acc : mgr.lnot(acc);
+    }
+    case GateType::Lut:
+      return compose_tt(mgr, *n.lut, ops);
+    case GateType::Input:
+      break;
+  }
+  BNS_ASSERT_MSG(false, "unexpected node type");
+  return kBddFalse;
+}
+
+} // namespace bns

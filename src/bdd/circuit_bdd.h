@@ -1,0 +1,17 @@
+// Building BDDs from netlist gates (shared by the global and local
+// OBDD estimators).
+#pragma once
+
+#include <span>
+
+#include "bdd/bdd.h"
+#include "netlist/netlist.h"
+
+namespace bns {
+
+// BDD of one gate's function over the BDDs of its operands.
+// Precondition: n is a logic node (not an Input).
+BddRef build_gate_bdd(BddManager& mgr, const Node& n,
+                      std::span<const BddRef> ops);
+
+} // namespace bns

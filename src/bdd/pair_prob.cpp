@@ -1,0 +1,88 @@
+#include "bdd/pair_prob.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace bns {
+
+struct PairProbEvaluator::Impl {
+  Impl(const BddManager& mgr, std::span<const std::array<double, 4>> d)
+      : mgr(mgr) {
+    BNS_EXPECTS(mgr.num_vars() == 2 * static_cast<int>(d.size()));
+    marg.reserve(d.size());
+    cur_marg.reserve(d.size());
+    p1g0.reserve(d.size());
+    p1g1.reserve(d.size());
+    for (const auto& pd : d) {
+      marg.push_back(pd[2] + pd[3]); // P(prev = 1)
+      cur_marg.push_back(pd[1] + pd[3]); // P(cur = 1)
+      const double d0 = pd[0] + pd[1];
+      const double d1 = pd[2] + pd[3];
+      p1g0.push_back(d0 > 0.0 ? pd[1] / d0 : 0.0); // P(cur=1 | prev=0)
+      p1g1.push_back(d1 > 0.0 ? pd[3] / d1 : 0.0); // P(cur=1 | prev=1)
+    }
+  }
+
+  // pending: value of prev_i on the current path when u tests cur_i
+  // right after prev_i; -1 when prev_i was skipped (marginal applies).
+  double walk(BddRef u, int pending) {
+    if (u == kBddFalse) return 0.0;
+    if (u == kBddTrue) return 1.0;
+    auto& m = memo[static_cast<std::size_t>(pending + 1)];
+    const auto it = m.find(u);
+    if (it != m.end()) return it->second;
+
+    const int v = mgr.var_of(u);
+    const std::size_t pair = static_cast<std::size_t>(v / 2);
+    double result;
+    if ((v & 1) == 0) {
+      const double p = marg[pair];
+      result = (1.0 - p) * child(mgr.low(u), v, 0) +
+               p * child(mgr.high(u), v, 1);
+    } else {
+      const double p = pending < 0 ? cur_marg[pair]
+                       : pending == 0 ? p1g0[pair]
+                                      : p1g1[pair];
+      result = (1.0 - p) * walk(mgr.low(u), -1) + p * walk(mgr.high(u), -1);
+    }
+    m.emplace(u, result);
+    return result;
+  }
+
+  // A skipped cur variable sums out to 1, so pending only survives into
+  // a child that tests the matching cur variable immediately.
+  double child(BddRef c, int prev_var, int value) {
+    if (!mgr.is_terminal(c) && mgr.var_of(c) == prev_var + 1) {
+      return walk(c, value);
+    }
+    return walk(c, -1);
+  }
+
+  const BddManager& mgr;
+  std::vector<double> marg;
+  std::vector<double> cur_marg;
+  std::vector<double> p1g0;
+  std::vector<double> p1g1;
+  std::unordered_map<BddRef, double> memo[3];
+};
+
+PairProbEvaluator::PairProbEvaluator(
+    const BddManager& mgr, std::span<const std::array<double, 4>> pair_dists)
+    : impl_(std::make_unique<Impl>(mgr, pair_dists)) {}
+
+PairProbEvaluator::~PairProbEvaluator() = default;
+PairProbEvaluator::PairProbEvaluator(PairProbEvaluator&&) noexcept = default;
+PairProbEvaluator& PairProbEvaluator::operator=(PairProbEvaluator&&) noexcept =
+    default;
+
+double PairProbEvaluator::prob(BddRef f) { return impl_->walk(f, -1); }
+
+double pair_signal_prob(const BddManager& mgr, BddRef f,
+                        std::span<const std::array<double, 4>> pair_dists) {
+  PairProbEvaluator eval(mgr, pair_dists);
+  return eval.prob(f);
+}
+
+} // namespace bns

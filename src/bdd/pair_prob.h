@@ -1,0 +1,44 @@
+// Probability of BDDs under *paired* sources: the BDD's variables are
+// interleaved as (prev_0, cur_0, prev_1, cur_1, ...) and source i has an
+// arbitrary joint distribution over its (prev, cur) pair — sources are
+// independent of each other, the two variables of one source are not.
+//
+// Used by both the exact global-OBDD estimator (sources = primary
+// inputs with lag-1 Markov pair distributions) and the local-OBDD
+// estimator (sources = frontier nets with their previously computed
+// 4-state transition distributions).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+
+#include "bdd/bdd.h"
+
+namespace bns {
+
+// Evaluator with a memo shared across queries (queries against the same
+// manager reuse sub-BDD probabilities).
+class PairProbEvaluator {
+ public:
+  // pair_dists[i] = [P00, P01, P10, P11] of source i (state = 2*prev +
+  // cur). The manager must have exactly 2 * pair_dists.size() variables.
+  PairProbEvaluator(const BddManager& mgr,
+                    std::span<const std::array<double, 4>> pair_dists);
+  ~PairProbEvaluator();
+  PairProbEvaluator(PairProbEvaluator&&) noexcept;
+  PairProbEvaluator& operator=(PairProbEvaluator&&) noexcept;
+
+  // P(f = 1).
+  double prob(BddRef f);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// One-shot convenience.
+double pair_signal_prob(const BddManager& mgr, BddRef f,
+                        std::span<const std::array<double, 4>> pair_dists);
+
+} // namespace bns

@@ -1,0 +1,158 @@
+#include "bn/bayes_net.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace bns {
+
+VarId BayesianNetwork::add_variable(std::string name, int cardinality) {
+  BNS_EXPECTS(cardinality >= 1);
+  const VarId id = static_cast<VarId>(card_.size());
+  card_.push_back(cardinality);
+  names_.push_back(std::move(name));
+  parents_.emplace_back();
+  cpts_.emplace_back();
+  has_cpt_.push_back(false);
+  return id;
+}
+
+void BayesianNetwork::set_cpt(VarId v, std::vector<VarId> parents, Factor cpt) {
+  BNS_EXPECTS(v >= 0 && v < num_variables());
+  // Scope check: {v} ∪ parents, sorted and unique.
+  std::vector<VarId> scope = parents;
+  scope.push_back(v);
+  std::sort(scope.begin(), scope.end());
+  BNS_EXPECTS_MSG(std::adjacent_find(scope.begin(), scope.end()) == scope.end(),
+                  "duplicate variable in CPT scope");
+  BNS_EXPECTS_MSG(scope == cpt.vars(), "CPT scope must be {v} ∪ parents");
+  for (std::size_t k = 0; k < scope.size(); ++k) {
+    BNS_EXPECTS_MSG(cpt.cards()[k] == cardinality(scope[k]),
+                    "CPT cardinality mismatch");
+  }
+  parents_[static_cast<std::size_t>(v)] = std::move(parents);
+  cpts_[static_cast<std::size_t>(v)] = std::move(cpt);
+  has_cpt_[static_cast<std::size_t>(v)] = true;
+}
+
+int BayesianNetwork::cardinality(VarId v) const {
+  BNS_EXPECTS(v >= 0 && v < num_variables());
+  return card_[static_cast<std::size_t>(v)];
+}
+
+const std::string& BayesianNetwork::name(VarId v) const {
+  BNS_EXPECTS(v >= 0 && v < num_variables());
+  return names_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<VarId>& BayesianNetwork::parents(VarId v) const {
+  BNS_EXPECTS(v >= 0 && v < num_variables());
+  return parents_[static_cast<std::size_t>(v)];
+}
+
+const Factor& BayesianNetwork::cpt(VarId v) const {
+  BNS_EXPECTS(v >= 0 && v < num_variables());
+  BNS_EXPECTS(has_cpt_[static_cast<std::size_t>(v)]);
+  return cpts_[static_cast<std::size_t>(v)];
+}
+
+bool BayesianNetwork::has_cpt(VarId v) const {
+  BNS_EXPECTS(v >= 0 && v < num_variables());
+  return has_cpt_[static_cast<std::size_t>(v)];
+}
+
+std::vector<std::vector<VarId>> BayesianNetwork::children() const {
+  std::vector<std::vector<VarId>> ch(static_cast<std::size_t>(num_variables()));
+  for (VarId v = 0; v < num_variables(); ++v) {
+    for (VarId p : parents_[static_cast<std::size_t>(v)]) {
+      ch[static_cast<std::size_t>(p)].push_back(v);
+    }
+  }
+  return ch;
+}
+
+std::vector<VarId> BayesianNetwork::topological_order() const {
+  const int n = num_variables();
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (VarId v = 0; v < n; ++v) {
+    indeg[static_cast<std::size_t>(v)] =
+        static_cast<int>(parents_[static_cast<std::size_t>(v)].size());
+  }
+  const auto ch = children();
+  std::vector<VarId> queue;
+  for (VarId v = 0; v < n; ++v) {
+    if (indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+  }
+  std::vector<VarId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VarId v = queue[head];
+    order.push_back(v);
+    for (VarId c : ch[static_cast<std::size_t>(v)]) {
+      if (--indeg[static_cast<std::size_t>(c)] == 0) queue.push_back(c);
+    }
+  }
+  BNS_ENSURES(static_cast<int>(order.size()) == n); // acyclic
+  return order;
+}
+
+std::string BayesianNetwork::validate(double tol) const {
+  const int n = num_variables();
+  for (VarId v = 0; v < n; ++v) {
+    if (!has_cpt_[static_cast<std::size_t>(v)]) {
+      return strformat("variable %d (%s) has no CPT", v,
+                       names_[static_cast<std::size_t>(v)].c_str());
+    }
+  }
+
+  // Acyclicity via Kahn count.
+  {
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    for (VarId v = 0; v < n; ++v) {
+      indeg[static_cast<std::size_t>(v)] =
+          static_cast<int>(parents_[static_cast<std::size_t>(v)].size());
+    }
+    const auto ch = children();
+    std::vector<VarId> queue;
+    for (VarId v = 0; v < n; ++v) {
+      if (indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+    }
+    std::size_t seen = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head, ++seen) {
+      for (VarId c : ch[static_cast<std::size_t>(queue[head])]) {
+        if (--indeg[static_cast<std::size_t>(c)] == 0) queue.push_back(c);
+      }
+    }
+    if (seen != static_cast<std::size_t>(n)) return "parent graph has a cycle";
+  }
+
+  // CPT normalization: for each parent configuration, sum over v == 1.
+  for (VarId v = 0; v < n; ++v) {
+    const Factor& f = cpts_[static_cast<std::size_t>(v)];
+    const Factor s = f.sum_out(v);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (std::abs(s.value(i) - 1.0) > tol) {
+        return strformat(
+            "CPT of variable %d (%s) does not normalize (config %zu: %g)", v,
+            names_[static_cast<std::size_t>(v)].c_str(), i, s.value(i));
+      }
+    }
+  }
+  return "";
+}
+
+double BayesianNetwork::joint_probability(std::span<const int> states) const {
+  BNS_EXPECTS(static_cast<int>(states.size()) == num_variables());
+  double p = 1.0;
+  std::vector<int> local;
+  for (VarId v = 0; v < num_variables(); ++v) {
+    const Factor& f = cpt(v);
+    local.clear();
+    for (VarId u : f.vars()) local.push_back(states[static_cast<std::size_t>(u)]);
+    p *= f.at(local);
+  }
+  return p;
+}
+
+} // namespace bns

@@ -1,0 +1,56 @@
+// Discrete Bayesian network: a DAG over categorical variables with one
+// conditional probability table per variable, P(X | parents(X)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bn/factor.h"
+
+namespace bns {
+
+class BayesianNetwork {
+ public:
+  // Adds a variable with the given cardinality; returns its id (dense,
+  // starting at 0).
+  VarId add_variable(std::string name, int cardinality);
+
+  // Sets the parents and CPT of `v`. The CPT factor's scope must be
+  // exactly {v} ∪ parents (any order of declaration; factor scopes are
+  // sorted), and for every parent configuration the entries over the
+  // states of v must sum to 1 (validated by validate()). Parents must
+  // have smaller... no ordering requirement, but the parent relation
+  // must be acyclic overall (checked by validate()).
+  void set_cpt(VarId v, std::vector<VarId> parents, Factor cpt);
+
+  int num_variables() const { return static_cast<int>(card_.size()); }
+  int cardinality(VarId v) const;
+  const std::string& name(VarId v) const;
+  const std::vector<VarId>& parents(VarId v) const;
+  const Factor& cpt(VarId v) const;
+  bool has_cpt(VarId v) const;
+
+  // Children lists (computed).
+  std::vector<std::vector<VarId>> children() const;
+
+  // A topological order of the DAG. Precondition: validate() passes.
+  std::vector<VarId> topological_order() const;
+
+  // Checks: every variable has a CPT, scopes are consistent, the parent
+  // graph is acyclic, and all CPT columns sum to 1 (within tol).
+  // Returns an empty string if valid, else a diagnostic.
+  std::string validate(double tol = 1e-9) const;
+
+  // Joint probability of a full assignment (states indexed by VarId) —
+  // the product form of Eq. 6 in the paper. For testing.
+  double joint_probability(std::span<const int> states) const;
+
+ private:
+  std::vector<int> card_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<VarId>> parents_;
+  std::vector<Factor> cpts_;
+  std::vector<bool> has_cpt_;
+};
+
+} // namespace bns

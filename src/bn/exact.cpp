@@ -1,0 +1,158 @@
+#include "bn/exact.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.h"
+
+namespace bns {
+namespace {
+
+// Multiplies all factors mentioning `v`, sums v out, and replaces them
+// with the result. Factors are kept in a work list.
+void eliminate_var(std::vector<Factor>& work, VarId v) {
+  Factor acc = Factor::scalar(1.0);
+  std::vector<Factor> rest;
+  rest.reserve(work.size());
+  for (Factor& f : work) {
+    if (f.contains(v)) {
+      acc = acc.product(f);
+    } else {
+      rest.push_back(std::move(f));
+    }
+  }
+  rest.push_back(acc.sum_out(v));
+  work = std::move(rest);
+}
+
+std::vector<Factor> reduced_cpts(const BayesianNetwork& bn,
+                                 const Evidence& evidence) {
+  std::vector<Factor> work;
+  work.reserve(static_cast<std::size_t>(bn.num_variables()));
+  for (VarId u = 0; u < bn.num_variables(); ++u) work.push_back(bn.cpt(u));
+  for (const auto& [ev, es] : evidence) {
+    for (Factor& f : work) {
+      if (f.contains(ev)) f.reduce(ev, es);
+    }
+  }
+  return work;
+}
+
+// Min-degree elimination order over the variables in `keep_out` = all
+// variables except those we must not eliminate.
+std::vector<VarId> elimination_order(const BayesianNetwork& bn,
+                                     const std::set<VarId>& protect) {
+  // Interaction graph of the CPT scopes.
+  const int n = bn.num_variables();
+  std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+  for (VarId u = 0; u < n; ++u) {
+    const auto& scope = bn.cpt(u).vars();
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+      for (std::size_t j = i + 1; j < scope.size(); ++j) {
+        adj[static_cast<std::size_t>(scope[i])].insert(scope[j]);
+        adj[static_cast<std::size_t>(scope[j])].insert(scope[i]);
+      }
+    }
+  }
+  std::vector<bool> gone(static_cast<std::size_t>(n), false);
+  std::vector<VarId> order;
+  for (int step = 0; step < n - static_cast<int>(protect.size()); ++step) {
+    int best = -1;
+    std::size_t best_deg = 0;
+    for (int v = 0; v < n; ++v) {
+      if (gone[static_cast<std::size_t>(v)] || protect.count(v)) continue;
+      const std::size_t deg = adj[static_cast<std::size_t>(v)].size();
+      if (best == -1 || deg < best_deg) {
+        best = v;
+        best_deg = deg;
+      }
+    }
+    BNS_ASSERT(best >= 0);
+    // Connect neighbors, remove best.
+    std::vector<int> nb(adj[static_cast<std::size_t>(best)].begin(),
+                        adj[static_cast<std::size_t>(best)].end());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        adj[static_cast<std::size_t>(nb[i])].insert(nb[j]);
+        adj[static_cast<std::size_t>(nb[j])].insert(nb[i]);
+      }
+    }
+    for (int u : nb) adj[static_cast<std::size_t>(u)].erase(best);
+    adj[static_cast<std::size_t>(best)].clear();
+    gone[static_cast<std::size_t>(best)] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+} // namespace
+
+Factor ve_marginal(const BayesianNetwork& bn, VarId v,
+                   const Evidence& evidence) {
+  std::vector<Factor> work = reduced_cpts(bn, evidence);
+  for (VarId u : elimination_order(bn, {v})) eliminate_var(work, u);
+  Factor acc = Factor::scalar(1.0);
+  for (const Factor& f : work) acc = acc.product(f);
+  Factor m = acc.marginal(std::span<const VarId>(&v, 1));
+  m.normalize();
+  return m;
+}
+
+double ve_evidence_probability(const BayesianNetwork& bn,
+                               const Evidence& evidence) {
+  std::vector<Factor> work = reduced_cpts(bn, evidence);
+  for (VarId u : elimination_order(bn, {})) eliminate_var(work, u);
+  double p = 1.0;
+  for (const Factor& f : work) {
+    BNS_ASSERT(f.arity() == 0);
+    p *= f.value(0);
+  }
+  return p;
+}
+
+std::vector<Factor> brute_force_marginals(const BayesianNetwork& bn,
+                                          const Evidence& evidence) {
+  const int n = bn.num_variables();
+  double total_states = 1.0;
+  for (VarId v = 0; v < n; ++v) total_states *= bn.cardinality(v);
+  BNS_EXPECTS_MSG(total_states <= 4.2e6, "joint too large for brute force");
+
+  std::vector<Factor> marg;
+  marg.reserve(static_cast<std::size_t>(n));
+  for (VarId v = 0; v < n; ++v) {
+    marg.emplace_back(std::vector<VarId>{v}, std::vector<int>{bn.cardinality(v)});
+  }
+
+  std::vector<int> states(static_cast<std::size_t>(n), 0);
+  double z = 0.0;
+  for (;;) {
+    bool consistent = true;
+    for (const auto& [ev, es] : evidence) {
+      if (states[static_cast<std::size_t>(ev)] != es) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) {
+      const double p = bn.joint_probability(states);
+      z += p;
+      for (VarId v = 0; v < n; ++v) {
+        const std::size_t s = static_cast<std::size_t>(states[static_cast<std::size_t>(v)]);
+        marg[static_cast<std::size_t>(v)].set_value(
+            s, marg[static_cast<std::size_t>(v)].value(s) + p);
+      }
+    }
+    // Mixed-radix increment.
+    int k = 0;
+    for (; k < n; ++k) {
+      if (++states[static_cast<std::size_t>(k)] < bn.cardinality(k)) break;
+      states[static_cast<std::size_t>(k)] = 0;
+    }
+    if (k == n) break;
+  }
+  BNS_ASSERT_MSG(z > 0.0, "evidence has probability zero");
+  for (Factor& f : marg) f.normalize();
+  return marg;
+}
+
+} // namespace bns

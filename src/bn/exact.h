@@ -1,0 +1,31 @@
+// Reference inference engines used to validate the junction-tree
+// implementation: variable elimination and brute-force enumeration.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bn/bayes_net.h"
+
+namespace bns {
+
+// Hard evidence as (variable, state) pairs.
+using Evidence = std::vector<std::pair<VarId, int>>;
+
+// Posterior marginal P(v | evidence) by variable elimination with a
+// min-degree order computed on the evidence-reduced factor graph.
+Factor ve_marginal(const BayesianNetwork& bn, VarId v,
+                   const Evidence& evidence = {});
+
+// Probability of the evidence by variable elimination.
+double ve_evidence_probability(const BayesianNetwork& bn,
+                               const Evidence& evidence);
+
+// Posterior marginals of every variable by brute-force enumeration of
+// the full joint. Exponential; intended for networks with total state
+// space <= ~2^22.
+std::vector<Factor> brute_force_marginals(const BayesianNetwork& bn,
+                                          const Evidence& evidence = {});
+
+} // namespace bns

@@ -1,0 +1,287 @@
+#include "bn/factor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace bns {
+namespace {
+
+// Hard cap on factor size: 2^28 doubles = 2 GiB is far beyond anything a
+// sane compilation should produce; hitting this indicates a missing
+// segmentation/decomposition step, so fail loudly.
+constexpr std::size_t kMaxFactorSize = std::size_t{1} << 28;
+
+std::size_t checked_size(std::span<const int> cards) {
+  std::size_t n = 1;
+  for (int c : cards) {
+    BNS_EXPECTS(c >= 1);
+    BNS_EXPECTS_MSG(n <= kMaxFactorSize / static_cast<std::size_t>(c),
+                    "factor size overflow — clique too large");
+    n *= static_cast<std::size_t>(c);
+  }
+  return n;
+}
+
+// Walks `outer` (a mixed-radix counter over scope/cards) while keeping a
+// linear offset into another factor in sync.
+class SyncedCounter {
+ public:
+  SyncedCounter(std::span<const int> cards, std::vector<std::size_t> strides)
+      : cards_(cards.begin(), cards.end()),
+        strides_(std::move(strides)),
+        state_(cards.size(), 0) {}
+
+  std::size_t offset() const { return offset_; }
+
+  void advance() {
+    for (std::size_t k = 0; k < cards_.size(); ++k) {
+      if (++state_[k] < cards_[k]) {
+        offset_ += strides_[k];
+        return;
+      }
+      state_[k] = 0;
+      offset_ -= strides_[k] * static_cast<std::size_t>(cards_[k] - 1);
+    }
+  }
+
+ private:
+  std::vector<int> cards_;
+  std::vector<std::size_t> strides_;
+  std::vector<int> state_;
+  std::size_t offset_ = 0;
+};
+
+} // namespace
+
+std::vector<std::size_t> strides_in(const Factor& f,
+                                    std::span<const VarId> scope_vars) {
+  std::vector<std::size_t> out(scope_vars.size(), 0);
+  const auto& fv = f.vars();
+  const auto& fc = f.cards();
+  for (std::size_t k = 0; k < scope_vars.size(); ++k) {
+    std::size_t stride = 1;
+    for (std::size_t j = 0; j < fv.size(); ++j) {
+      if (fv[j] == scope_vars[k]) {
+        out[k] = stride;
+        break;
+      }
+      stride *= static_cast<std::size_t>(fc[j]);
+    }
+  }
+  return out;
+}
+
+Factor::Factor() : values_(1, 1.0) {}
+
+Factor::Factor(std::vector<VarId> vars, std::vector<int> cards)
+    : vars_(std::move(vars)), cards_(std::move(cards)) {
+  BNS_EXPECTS(vars_.size() == cards_.size());
+  BNS_EXPECTS_MSG(std::is_sorted(vars_.begin(), vars_.end()) &&
+                      std::adjacent_find(vars_.begin(), vars_.end()) ==
+                          vars_.end(),
+                  "scope must be strictly ascending");
+  values_.assign(checked_size(cards_), 0.0);
+}
+
+Factor Factor::scalar(double v) {
+  Factor f;
+  f.values_[0] = v;
+  return f;
+}
+
+Factor Factor::uniform(std::vector<VarId> vars, std::vector<int> cards) {
+  Factor f(std::move(vars), std::move(cards));
+  const double v = 1.0 / static_cast<double>(f.size());
+  std::fill(f.values_.begin(), f.values_.end(), v);
+  return f;
+}
+
+bool Factor::contains(VarId v) const {
+  return std::binary_search(vars_.begin(), vars_.end(), v);
+}
+
+int Factor::card_of(VarId v) const {
+  const auto it = std::lower_bound(vars_.begin(), vars_.end(), v);
+  BNS_EXPECTS(it != vars_.end() && *it == v);
+  return cards_[static_cast<std::size_t>(it - vars_.begin())];
+}
+
+std::size_t Factor::index_of(std::span<const int> states) const {
+  BNS_EXPECTS(states.size() == vars_.size());
+  std::size_t idx = 0;
+  std::size_t stride = 1;
+  for (std::size_t k = 0; k < vars_.size(); ++k) {
+    BNS_EXPECTS(states[k] >= 0 && states[k] < cards_[k]);
+    idx += static_cast<std::size_t>(states[k]) * stride;
+    stride *= static_cast<std::size_t>(cards_[k]);
+  }
+  return idx;
+}
+
+void Factor::states_of(std::size_t idx, std::span<int> states) const {
+  BNS_EXPECTS(states.size() == vars_.size());
+  BNS_EXPECTS(idx < size());
+  for (std::size_t k = 0; k < vars_.size(); ++k) {
+    states[k] = static_cast<int>(idx % static_cast<std::size_t>(cards_[k]));
+    idx /= static_cast<std::size_t>(cards_[k]);
+  }
+}
+
+double Factor::at(std::span<const int> states) const {
+  return values_[index_of(states)];
+}
+
+double& Factor::at(std::span<const int> states) {
+  return values_[index_of(states)];
+}
+
+Factor Factor::product(const Factor& other) const {
+  // Union scope (both inputs are sorted).
+  std::vector<VarId> uvars;
+  std::vector<int> ucards;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < vars_.size() || j < other.vars_.size()) {
+    if (j == other.vars_.size() ||
+        (i < vars_.size() && vars_[i] < other.vars_[j])) {
+      uvars.push_back(vars_[i]);
+      ucards.push_back(cards_[i]);
+      ++i;
+    } else if (i == vars_.size() || other.vars_[j] < vars_[i]) {
+      uvars.push_back(other.vars_[j]);
+      ucards.push_back(other.cards_[j]);
+      ++j;
+    } else {
+      BNS_EXPECTS_MSG(cards_[i] == other.cards_[j],
+                      "cardinality mismatch for shared variable");
+      uvars.push_back(vars_[i]);
+      ucards.push_back(cards_[i]);
+      ++i;
+      ++j;
+    }
+  }
+
+  Factor out(std::move(uvars), std::move(ucards));
+  SyncedCounter ca(out.cards_, strides_in(*this, out.vars_));
+  SyncedCounter cb(out.cards_, strides_in(other, out.vars_));
+  for (std::size_t idx = 0; idx < out.size(); ++idx) {
+    out.values_[idx] = values_[ca.offset()] * other.values_[cb.offset()];
+    ca.advance();
+    cb.advance();
+  }
+  return out;
+}
+
+void Factor::multiply_in(const Factor& other) {
+  for (VarId v : other.vars_) {
+    BNS_EXPECTS_MSG(contains(v), "multiply_in: scope not a subset");
+  }
+  SyncedCounter c(cards_, strides_in(other, vars_));
+  for (std::size_t idx = 0; idx < size(); ++idx) {
+    values_[idx] *= other.values_[c.offset()];
+    c.advance();
+  }
+}
+
+void Factor::divide_in(const Factor& other) {
+  for (VarId v : other.vars_) {
+    BNS_EXPECTS_MSG(contains(v), "divide_in: scope not a subset");
+  }
+  SyncedCounter c(cards_, strides_in(other, vars_));
+  for (std::size_t idx = 0; idx < size(); ++idx) {
+    const double denom = other.values_[c.offset()];
+    if (denom == 0.0) {
+      BNS_ASSERT_MSG(values_[idx] == 0.0, "divide_in: x/0 with x != 0");
+      values_[idx] = 0.0;
+    } else {
+      values_[idx] /= denom;
+    }
+    c.advance();
+  }
+}
+
+Factor Factor::marginal(std::span<const VarId> keep) const {
+  std::vector<VarId> kvars(keep.begin(), keep.end());
+  std::vector<int> kcards;
+  kcards.reserve(kvars.size());
+  for (VarId v : kvars) kcards.push_back(card_of(v));
+
+  Factor out(std::move(kvars), std::move(kcards));
+  SyncedCounter c(cards_, strides_in(out, vars_));
+  for (std::size_t idx = 0; idx < size(); ++idx) {
+    out.values_[c.offset()] += values_[idx];
+    c.advance();
+  }
+  return out;
+}
+
+Factor Factor::sum_out(VarId v) const {
+  BNS_EXPECTS(contains(v));
+  std::vector<VarId> keep;
+  keep.reserve(vars_.size() - 1);
+  for (VarId u : vars_) {
+    if (u != v) keep.push_back(u);
+  }
+  return marginal(keep);
+}
+
+void Factor::reduce(VarId v, int state) {
+  BNS_EXPECTS(contains(v));
+  BNS_EXPECTS(state >= 0 && state < card_of(v));
+  const auto it = std::lower_bound(vars_.begin(), vars_.end(), v);
+  const std::size_t axis = static_cast<std::size_t>(it - vars_.begin());
+  std::size_t stride = 1;
+  for (std::size_t k = 0; k < axis; ++k) stride *= static_cast<std::size_t>(cards_[k]);
+  const std::size_t card = static_cast<std::size_t>(cards_[axis]);
+  const std::size_t block = stride * card;
+  for (std::size_t base = 0; base < size(); base += block) {
+    for (std::size_t s = 0; s < card; ++s) {
+      if (static_cast<int>(s) == state) continue;
+      const std::size_t off = base + s * stride;
+      std::fill_n(values_.begin() + static_cast<std::ptrdiff_t>(off), stride, 0.0);
+    }
+  }
+}
+
+double Factor::sum() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+void Factor::normalize() {
+  const double s = sum();
+  BNS_EXPECTS_MSG(s > 0.0, "cannot normalize an all-zero factor");
+  const double inv = 1.0 / s;
+  for (double& v : values_) v *= inv;
+}
+
+double Factor::max_abs_diff(const Factor& other) const {
+  BNS_EXPECTS(vars_ == other.vars_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    m = std::max(m, std::abs(values_[i] - other.values_[i]));
+  }
+  return m;
+}
+
+std::string Factor::to_string() const {
+  std::ostringstream os;
+  os << "Factor(";
+  for (std::size_t k = 0; k < vars_.size(); ++k) {
+    if (k) os << ",";
+    os << "X" << vars_[k] << ":" << cards_[k];
+  }
+  os << ")[";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i) os << " ";
+    os << values_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+} // namespace bns

@@ -1,0 +1,101 @@
+// Dense discrete probability potentials (factors) and their algebra:
+// product, division, marginalization, evidence reduction. These are the
+// workhorse of both junction-tree propagation and variable elimination.
+//
+// A factor's scope is a strictly ascending list of variable ids with
+// per-variable cardinalities. Values are stored in mixed-radix order
+// with the *first* scope variable fastest-varying:
+//   index = sum_k state[k] * stride[k],  stride[0] = 1,
+//   stride[k+1] = stride[k] * card[k].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bns {
+
+using VarId = std::int32_t;
+
+class Factor {
+ public:
+  // Scalar factor with value 1 (the multiplicative identity).
+  Factor();
+
+  // Zero-initialized factor. `vars` must be strictly ascending; cards
+  // must be aligned and all >= 1. Total size must fit comfortably in
+  // memory (checked).
+  Factor(std::vector<VarId> vars, std::vector<int> cards);
+
+  static Factor scalar(double v);
+
+  // Uniform factor normalized over the scope (each entry 1/size).
+  static Factor uniform(std::vector<VarId> vars, std::vector<int> cards);
+
+  const std::vector<VarId>& vars() const { return vars_; }
+  const std::vector<int>& cards() const { return cards_; }
+  int arity() const { return static_cast<int>(vars_.size()); }
+  std::size_t size() const { return values_.size(); }
+  bool contains(VarId v) const;
+  int card_of(VarId v) const; // precondition: contains(v)
+
+  double value(std::size_t idx) const { return values_[idx]; }
+  void set_value(std::size_t idx, double v) { values_[idx] = v; }
+  std::span<double> values() { return values_; }
+  std::span<const double> values() const { return values_; }
+
+  // Entry addressed by per-scope-variable states (aligned with vars()).
+  double at(std::span<const int> states) const;
+  double& at(std::span<const int> states);
+
+  // Linear index of a state vector.
+  std::size_t index_of(std::span<const int> states) const;
+  // Inverse: decodes idx into states (size arity()).
+  void states_of(std::size_t idx, std::span<int> states) const;
+
+  // --- algebra --------------------------------------------------------
+
+  // Pointwise product over the union scope.
+  Factor product(const Factor& other) const;
+
+  // In-place multiply by a factor whose scope is a subset of this one's.
+  void multiply_in(const Factor& other);
+
+  // In-place divide by a factor whose scope is a subset of this one's.
+  // Hugin convention: 0/0 = 0; x/0 for x != 0 is a contract violation.
+  void divide_in(const Factor& other);
+
+  // Sums out all variables not in `keep`; `keep` must be a subset of the
+  // scope (strictly ascending).
+  Factor marginal(std::span<const VarId> keep) const;
+
+  // Sums out a single variable.
+  Factor sum_out(VarId v) const;
+
+  // Zeroes all entries inconsistent with evidence var = state.
+  void reduce(VarId v, int state);
+
+  double sum() const;
+
+  // Scales so that sum() == 1. Precondition: sum() > 0.
+  void normalize();
+
+  // Max absolute difference over entries (same scope required).
+  double max_abs_diff(const Factor& other) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<VarId> vars_;
+  std::vector<int> cards_;
+  std::vector<double> values_;
+};
+
+// For each axis of `scope_vars` (with cards `scope_cards`), the stride of
+// that variable inside `f` (0 when f does not contain it). Used to walk a
+// sub- or super-scope factor in lockstep with a mixed-radix counter.
+std::vector<std::size_t> strides_in(const Factor& f,
+                                    std::span<const VarId> scope_vars);
+
+} // namespace bns

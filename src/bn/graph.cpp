@@ -1,0 +1,231 @@
+#include "bn/graph.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace bns {
+
+UndirectedGraph::UndirectedGraph(int n) : adj_(static_cast<std::size_t>(n)) {
+  BNS_EXPECTS(n >= 0);
+}
+
+void UndirectedGraph::add_edge(int a, int b) {
+  BNS_EXPECTS(a >= 0 && a < num_vertices());
+  BNS_EXPECTS(b >= 0 && b < num_vertices());
+  BNS_EXPECTS(a != b);
+  adj_[static_cast<std::size_t>(a)].insert(b);
+  adj_[static_cast<std::size_t>(b)].insert(a);
+}
+
+bool UndirectedGraph::has_edge(int a, int b) const {
+  BNS_EXPECTS(a >= 0 && a < num_vertices());
+  BNS_EXPECTS(b >= 0 && b < num_vertices());
+  return adj_[static_cast<std::size_t>(a)].count(b) > 0;
+}
+
+const std::set<int>& UndirectedGraph::neighbors(int v) const {
+  BNS_EXPECTS(v >= 0 && v < num_vertices());
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+std::size_t UndirectedGraph::num_edges() const {
+  std::size_t twice = 0;
+  for (const auto& s : adj_) twice += s.size();
+  return twice / 2;
+}
+
+int UndirectedGraph::degree(int v) const {
+  return static_cast<int>(neighbors(v).size());
+}
+
+std::vector<std::pair<int, int>> UndirectedGraph::edges() const {
+  std::vector<std::pair<int, int>> out;
+  for (int a = 0; a < num_vertices(); ++a) {
+    for (int b : adj_[static_cast<std::size_t>(a)]) {
+      if (a < b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+UndirectedGraph moral_graph(const BayesianNetwork& bn) {
+  UndirectedGraph g(bn.num_variables());
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const auto& ps = bn.parents(v);
+    for (VarId p : ps) g.add_edge(v, p);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      for (std::size_t j = i + 1; j < ps.size(); ++j) {
+        g.add_edge(ps[i], ps[j]); // marry co-parents
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+// Shared elimination machinery: given a function that picks the next
+// vertex from the remaining set, run the elimination and collect fill
+// edges and elimination cliques.
+struct EliminationState {
+  std::vector<std::set<int>> adj; // working copy
+  std::vector<bool> eliminated;
+
+  explicit EliminationState(const UndirectedGraph& g)
+      : eliminated(static_cast<std::size_t>(g.num_vertices()), false) {
+    adj.reserve(static_cast<std::size_t>(g.num_vertices()));
+    for (int v = 0; v < g.num_vertices(); ++v) adj.push_back(g.neighbors(v));
+  }
+
+  // Number of missing edges among the current neighbors of v.
+  int fill_count(int v) const {
+    const auto& nb = adj[static_cast<std::size_t>(v)];
+    int missing = 0;
+    for (auto it = nb.begin(); it != nb.end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != nb.end(); ++jt) {
+        if (!adj[static_cast<std::size_t>(*it)].count(*jt)) ++missing;
+      }
+    }
+    return missing;
+  }
+
+  // Eliminates v: connects its neighborhood into a clique, records fill
+  // edges, removes v. Returns the elimination clique {v} ∪ N(v), sorted.
+  std::vector<int> eliminate(int v, std::vector<std::pair<int, int>>& fill) {
+    auto& nb = adj[static_cast<std::size_t>(v)];
+    std::vector<int> clique(nb.begin(), nb.end());
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      for (std::size_t j = i + 1; j < clique.size(); ++j) {
+        const int a = clique[i];
+        const int b = clique[j];
+        if (!adj[static_cast<std::size_t>(a)].count(b)) {
+          adj[static_cast<std::size_t>(a)].insert(b);
+          adj[static_cast<std::size_t>(b)].insert(a);
+          fill.emplace_back(std::min(a, b), std::max(a, b));
+        }
+      }
+    }
+    for (int u : clique) adj[static_cast<std::size_t>(u)].erase(v);
+    clique.push_back(v);
+    std::sort(clique.begin(), clique.end());
+    nb.clear();
+    eliminated[static_cast<std::size_t>(v)] = true;
+    return clique;
+  }
+};
+
+// Drops cliques that are subsets of other cliques. All keep decisions
+// are made before anything is moved: moving eagerly would leave behind
+// empty vectors that later subset checks silently compare against.
+std::vector<std::vector<int>> maximal_only(std::vector<std::vector<int>> cliques) {
+  std::vector<bool> keep(cliques.size(), true);
+  for (std::size_t i = 0; i < cliques.size(); ++i) {
+    for (std::size_t j = 0; j < cliques.size(); ++j) {
+      if (i == j) continue;
+      if (cliques[i].size() > cliques[j].size()) continue;
+      // Equal-sized duplicates: keep only the first copy.
+      if (cliques[i].size() == cliques[j].size() && i < j) continue;
+      if (std::includes(cliques[j].begin(), cliques[j].end(),
+                        cliques[i].begin(), cliques[i].end())) {
+        keep[i] = false;
+        break;
+      }
+    }
+  }
+  std::vector<std::vector<int>> out;
+  for (std::size_t i = 0; i < cliques.size(); ++i) {
+    if (keep[i]) out.push_back(std::move(cliques[i]));
+  }
+  return out;
+}
+
+Triangulation finish(const UndirectedGraph& g, std::vector<int> order,
+                     std::vector<std::pair<int, int>> fill,
+                     std::vector<std::vector<int>> cliques) {
+  Triangulation t;
+  t.graph = g;
+  for (const auto& [a, b] : fill) t.graph.add_edge(a, b);
+  t.fill_edges = std::move(fill);
+  t.elimination_order = std::move(order);
+  t.cliques = maximal_only(std::move(cliques));
+  return t;
+}
+
+} // namespace
+
+double Triangulation::total_state_space(std::span<const int> cards) const {
+  double total = 0.0;
+  for (const auto& c : cliques) {
+    double s = 1.0;
+    for (int v : c) s *= static_cast<double>(cards[static_cast<std::size_t>(v)]);
+    total += s;
+  }
+  return total;
+}
+
+std::size_t Triangulation::max_clique_size() const {
+  std::size_t m = 0;
+  for (const auto& c : cliques) m = std::max(m, c.size());
+  return m;
+}
+
+Triangulation triangulate(const UndirectedGraph& g, EliminationHeuristic h) {
+  const int n = g.num_vertices();
+  EliminationState st(g);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<std::pair<int, int>> fill;
+  std::vector<std::vector<int>> cliques;
+
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    long best_key = 0;
+    int best_deg = 0;
+    for (int v = 0; v < n; ++v) {
+      if (st.eliminated[static_cast<std::size_t>(v)]) continue;
+      const int deg = static_cast<int>(st.adj[static_cast<std::size_t>(v)].size());
+      const long key = h == EliminationHeuristic::MinFill
+                           ? static_cast<long>(st.fill_count(v))
+                           : static_cast<long>(deg);
+      if (best == -1 || key < best_key ||
+          (key == best_key && deg < best_deg)) {
+        best = v;
+        best_key = key;
+        best_deg = deg;
+      }
+    }
+    order.push_back(best);
+    cliques.push_back(st.eliminate(best, fill));
+  }
+  return finish(g, std::move(order), std::move(fill), std::move(cliques));
+}
+
+Triangulation triangulate_with_order(const UndirectedGraph& g,
+                                     std::span<const int> order) {
+  BNS_EXPECTS(static_cast<int>(order.size()) == g.num_vertices());
+  EliminationState st(g);
+  std::vector<std::pair<int, int>> fill;
+  std::vector<std::vector<int>> cliques;
+  for (int v : order) {
+    BNS_EXPECTS(!st.eliminated[static_cast<std::size_t>(v)]);
+    cliques.push_back(st.eliminate(v, fill));
+  }
+  return finish(g, std::vector<int>(order.begin(), order.end()),
+                std::move(fill), std::move(cliques));
+}
+
+bool is_perfect_elimination_order(const UndirectedGraph& g,
+                                  std::span<const int> order) {
+  EliminationState st(g);
+  std::vector<std::pair<int, int>> fill;
+  for (int v : order) {
+    if (st.eliminated[static_cast<std::size_t>(v)]) return false;
+    st.eliminate(v, fill);
+    if (!fill.empty()) return false;
+  }
+  return true;
+}
+
+} // namespace bns

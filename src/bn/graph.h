@@ -1,0 +1,68 @@
+// Undirected graphs, moralization and triangulation — the structural
+// half of the Bayesian-network compilation process (Section 5 of the
+// paper: DAG → moral graph → triangulated graph → cliques).
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bn/bayes_net.h"
+
+namespace bns {
+
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(int n = 0);
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+  void add_edge(int a, int b); // idempotent; a != b
+  bool has_edge(int a, int b) const;
+  const std::set<int>& neighbors(int v) const;
+  std::size_t num_edges() const;
+  int degree(int v) const;
+
+  // All edges as ordered (a < b) pairs, ascending — deterministic.
+  std::vector<std::pair<int, int>> edges() const;
+
+ private:
+  std::vector<std::set<int>> adj_;
+};
+
+// Moral graph of a BN: connect each variable to its parents, marry all
+// co-parents, drop directions.
+UndirectedGraph moral_graph(const BayesianNetwork& bn);
+
+enum class EliminationHeuristic {
+  MinFill,   // fewest fill edges introduced (paper-quality default)
+  MinDegree, // smallest current degree
+};
+
+struct Triangulation {
+  UndirectedGraph graph;                      // original + fill edges
+  std::vector<std::pair<int, int>> fill_edges;
+  std::vector<int> elimination_order;         // a perfect order of `graph`
+  std::vector<std::vector<int>> cliques;      // maximal cliques, each sorted
+  // Sum over cliques of prod(card) — the junction-tree state-space size,
+  // used as the cost measure when deciding whether to segment.
+  double total_state_space(std::span<const int> cards) const;
+  std::size_t max_clique_size() const;
+};
+
+// Triangulates `g` by vertex elimination with the given heuristic.
+// Deterministic (ties broken by vertex id). The returned cliques are the
+// maximal cliques of the triangulated graph.
+Triangulation triangulate(const UndirectedGraph& g,
+                          EliminationHeuristic h = EliminationHeuristic::MinFill);
+
+// Triangulates along a caller-supplied elimination order (for tests and
+// for reproducing textbook examples).
+Triangulation triangulate_with_order(const UndirectedGraph& g,
+                                     std::span<const int> order);
+
+// True if `order` is a perfect elimination order of g (i.e. g is chordal
+// with respect to it).
+bool is_perfect_elimination_order(const UndirectedGraph& g,
+                                  std::span<const int> order);
+
+} // namespace bns

@@ -1,0 +1,311 @@
+#include "bn/junction_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+std::vector<int> sorted_intersection(const std::vector<int>& a,
+                                     const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+} // namespace
+
+JunctionTree::JunctionTree(const Triangulation& t) : cliques_(t.cliques) {
+  const int n = num_cliques();
+  BNS_EXPECTS(n > 0);
+
+  // Candidate edges: all clique pairs with non-empty intersection,
+  // sorted by descending separator size (Kruskal max-spanning forest).
+  struct Cand {
+    int a;
+    int b;
+    int w;
+  };
+  std::vector<Cand> cands;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const auto sep = sorted_intersection(cliques_[static_cast<std::size_t>(a)],
+                                           cliques_[static_cast<std::size_t>(b)]);
+      if (!sep.empty()) cands.push_back({a, b, static_cast<int>(sep.size())});
+    }
+  }
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& x, const Cand& y) { return x.w > y.w; });
+
+  // Union-find.
+  std::vector<int> uf(static_cast<std::size_t>(n));
+  std::iota(uf.begin(), uf.end(), 0);
+  auto find = [&](int x) {
+    while (uf[static_cast<std::size_t>(x)] != x) {
+      uf[static_cast<std::size_t>(x)] =
+          uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(x)])];
+      x = uf[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  std::vector<std::vector<std::pair<int, int>>> adj(static_cast<std::size_t>(n));
+  for (const Cand& c : cands) {
+    const int ra = find(c.a);
+    const int rb = find(c.b);
+    if (ra == rb) continue;
+    uf[static_cast<std::size_t>(ra)] = rb;
+    JunctionTreeEdge e;
+    e.a = c.a;
+    e.b = c.b;
+    e.separator = sorted_intersection(cliques_[static_cast<std::size_t>(c.a)],
+                                      cliques_[static_cast<std::size_t>(c.b)]);
+    const int idx = static_cast<int>(edges_.size());
+    edges_.push_back(std::move(e));
+    adj[static_cast<std::size_t>(c.a)].emplace_back(c.b, idx);
+    adj[static_cast<std::size_t>(c.b)].emplace_back(c.a, idx);
+  }
+
+  // Root each component at its lowest-index clique; BFS preorder.
+  parents_.assign(static_cast<std::size_t>(n), -2);
+  parent_edge_.assign(static_cast<std::size_t>(n), -1);
+  for (int c = 0; c < n; ++c) {
+    if (parents_[static_cast<std::size_t>(c)] != -2) continue;
+    roots_.push_back(c);
+    parents_[static_cast<std::size_t>(c)] = -1;
+    std::vector<int> queue{c};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int u = queue[head];
+      preorder_.push_back(u);
+      for (const auto& [v, eidx] : adj[static_cast<std::size_t>(u)]) {
+        if (parents_[static_cast<std::size_t>(v)] != -2) continue;
+        parents_[static_cast<std::size_t>(v)] = u;
+        parent_edge_[static_cast<std::size_t>(v)] = eidx;
+        queue.push_back(v);
+      }
+    }
+  }
+  BNS_ENSURES(static_cast<int>(preorder_.size()) == n);
+}
+
+const std::vector<int>& JunctionTree::clique(int i) const {
+  BNS_EXPECTS(i >= 0 && i < num_cliques());
+  return cliques_[static_cast<std::size_t>(i)];
+}
+
+int JunctionTree::clique_containing(int v) const {
+  int best = -1;
+  for (int i = 0; i < num_cliques(); ++i) {
+    const auto& c = cliques_[static_cast<std::size_t>(i)];
+    if (std::binary_search(c.begin(), c.end(), v)) {
+      if (best == -1 ||
+          c.size() < cliques_[static_cast<std::size_t>(best)].size()) {
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+int JunctionTree::clique_containing_all(std::span<const int> vs) const {
+  int best = -1;
+  for (int i = 0; i < num_cliques(); ++i) {
+    const auto& c = cliques_[static_cast<std::size_t>(i)];
+    if (std::includes(c.begin(), c.end(), vs.begin(), vs.end())) {
+      if (best == -1 ||
+          c.size() < cliques_[static_cast<std::size_t>(best)].size()) {
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+std::string JunctionTree::check_running_intersection() const {
+  // For each variable: the induced subgraph of cliques containing it
+  // must be connected in the tree. Count cliques containing v and edges
+  // whose separator contains v: connected subtree <=> #edges = #cliques-1.
+  int max_var = -1;
+  for (const auto& c : cliques_) {
+    for (int v : c) max_var = std::max(max_var, v);
+  }
+  for (int v = 0; v <= max_var; ++v) {
+    int n_cl = 0;
+    for (const auto& c : cliques_) {
+      if (std::binary_search(c.begin(), c.end(), v)) ++n_cl;
+    }
+    if (n_cl == 0) continue;
+    int n_ed = 0;
+    for (const auto& e : edges_) {
+      if (std::binary_search(e.separator.begin(), e.separator.end(), v)) ++n_ed;
+    }
+    if (n_ed != n_cl - 1) {
+      return strformat(
+          "running intersection violated for variable %d (%d cliques, %d "
+          "separator edges)",
+          v, n_cl, n_ed);
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// JunctionTreeEngine
+// ---------------------------------------------------------------------------
+
+JunctionTreeEngine::JunctionTreeEngine(const BayesianNetwork& bn,
+                                       CompileOptions opts)
+    : bn_(&bn),
+      tri_(triangulate(moral_graph(bn), opts.heuristic)),
+      tree_(tri_) {
+  // Assign each CPT to the smallest clique covering its scope. Such a
+  // clique always exists: {v} ∪ parents(v) is a clique of the moral
+  // graph, preserved by triangulation.
+  cpt_home_.assign(static_cast<std::size_t>(bn.num_variables()), -1);
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const auto& scope = bn.cpt(v).vars();
+    const int home = tree_.clique_containing_all(
+        std::span<const int>(scope.data(), scope.size()));
+    BNS_ASSERT_MSG(home >= 0, "no clique covers a CPT family");
+    cpt_home_[static_cast<std::size_t>(v)] = home;
+  }
+}
+
+double JunctionTreeEngine::state_space() const {
+  double total = 0.0;
+  for (const auto& c : tree_.cliques()) {
+    double s = 1.0;
+    for (int v : c) s *= static_cast<double>(bn_->cardinality(v));
+    total += s;
+  }
+  return total;
+}
+
+void JunctionTreeEngine::reset_potentials() {
+  const int n = tree_.num_cliques();
+  clique_pot_.clear();
+  clique_pot_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& c = tree_.clique(i);
+    std::vector<VarId> vars(c.begin(), c.end());
+    std::vector<int> cards;
+    cards.reserve(vars.size());
+    for (VarId v : vars) cards.push_back(bn_->cardinality(v));
+    Factor f(std::move(vars), std::move(cards));
+    std::fill(f.values().begin(), f.values().end(), 1.0);
+    clique_pot_.push_back(std::move(f));
+  }
+  for (VarId v = 0; v < bn_->num_variables(); ++v) {
+    clique_pot_[static_cast<std::size_t>(cpt_home_[static_cast<std::size_t>(v)])]
+        .multiply_in(bn_->cpt(v));
+  }
+
+  sep_pot_.clear();
+  sep_pot_.reserve(tree_.edges().size());
+  for (const auto& e : tree_.edges()) {
+    std::vector<VarId> vars(e.separator.begin(), e.separator.end());
+    std::vector<int> cards;
+    cards.reserve(vars.size());
+    for (VarId v : vars) cards.push_back(bn_->cardinality(v));
+    Factor f(std::move(vars), std::move(cards));
+    std::fill(f.values().begin(), f.values().end(), 1.0);
+    sep_pot_.push_back(std::move(f));
+  }
+  potentials_ready_ = true;
+  propagated_ = false;
+}
+
+void JunctionTreeEngine::set_evidence(VarId v, int state) {
+  BNS_EXPECTS(potentials_ready_);
+  const int home = tree_.clique_containing(v);
+  BNS_ASSERT(home >= 0);
+  clique_pot_[static_cast<std::size_t>(home)].reduce(v, state);
+  propagated_ = false;
+}
+
+void JunctionTreeEngine::set_soft_evidence(VarId v,
+                                           std::span<const double> likelihood) {
+  BNS_EXPECTS(potentials_ready_);
+  BNS_EXPECTS(static_cast<int>(likelihood.size()) == bn_->cardinality(v));
+  Factor lambda({v}, {bn_->cardinality(v)});
+  for (std::size_t s = 0; s < likelihood.size(); ++s) {
+    lambda.set_value(s, likelihood[s]);
+  }
+  const int home = tree_.clique_containing(v);
+  BNS_ASSERT(home >= 0);
+  clique_pot_[static_cast<std::size_t>(home)].multiply_in(lambda);
+  propagated_ = false;
+}
+
+void JunctionTreeEngine::pass_message(int from, int to, int edge) {
+  Factor& sep = sep_pot_[static_cast<std::size_t>(edge)];
+  const auto& sep_scope = sep.vars();
+  Factor msg = clique_pot_[static_cast<std::size_t>(from)].marginal(sep_scope);
+  Factor update = msg;             // msg / old separator
+  update.divide_in(sep);
+  clique_pot_[static_cast<std::size_t>(to)].multiply_in(update);
+  sep = std::move(msg);
+}
+
+void JunctionTreeEngine::propagate() {
+  BNS_EXPECTS(potentials_ready_);
+  const auto& pre = tree_.preorder();
+  // Collect: children to parents, reverse preorder.
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const int c = *it;
+    const int p = tree_.parent(c);
+    if (p >= 0) pass_message(c, p, tree_.parent_edge(c));
+  }
+  // Distribute: parents to children, preorder.
+  for (int c : pre) {
+    const int p = tree_.parent(c);
+    if (p >= 0) pass_message(p, c, tree_.parent_edge(c));
+  }
+  propagated_ = true;
+}
+
+Factor JunctionTreeEngine::marginal(VarId v) const {
+  BNS_EXPECTS(propagated_);
+  const int home = tree_.clique_containing(v);
+  BNS_ASSERT(home >= 0);
+  Factor m = clique_pot_[static_cast<std::size_t>(home)].marginal(
+      std::span<const VarId>(&v, 1));
+  m.normalize();
+  return m;
+}
+
+Factor JunctionTreeEngine::joint_marginal(std::span<const VarId> vs) const {
+  std::optional<Factor> m = try_joint_marginal(vs);
+  BNS_EXPECTS_MSG(m.has_value(), "queried variables do not share a clique");
+  return *std::move(m);
+}
+
+std::optional<Factor> JunctionTreeEngine::try_joint_marginal(
+    std::span<const VarId> vs) const {
+  BNS_EXPECTS(propagated_);
+  std::vector<int> sorted(vs.begin(), vs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const int home = tree_.clique_containing_all(sorted);
+  if (home < 0) return std::nullopt;
+  std::vector<VarId> keep(sorted.begin(), sorted.end());
+  Factor m = clique_pot_[static_cast<std::size_t>(home)].marginal(keep);
+  m.normalize();
+  return m;
+}
+
+double JunctionTreeEngine::evidence_probability() const {
+  BNS_EXPECTS(propagated_);
+  // After a full propagation every clique sums to P(evidence); use a
+  // root. (Each disconnected component carries its own factor; multiply.)
+  double p = 1.0;
+  for (int r : tree_.roots()) {
+    p *= clique_pot_[static_cast<std::size_t>(r)].sum();
+  }
+  return p;
+}
+
+} // namespace bns

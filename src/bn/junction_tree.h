@@ -1,0 +1,140 @@
+// Junction tree (join tree) of cliques and the Hugin propagation engine.
+//
+// This is the computational mechanism of the paper's Section 5: the
+// compiled secondary structure on which switching probabilities are
+// obtained by local message passing between neighboring cliques through
+// their separators.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "bn/graph.h"
+
+namespace bns {
+
+struct JunctionTreeEdge {
+  int a = 0;
+  int b = 0;
+  std::vector<int> separator; // sorted intersection of cliques a and b
+};
+
+class JunctionTree {
+ public:
+  // Builds a maximum-weight spanning tree (weight = separator size) over
+  // the clique graph of `t.cliques`. Disconnected moral graphs yield a
+  // forest; each component gets its own root.
+  explicit JunctionTree(const Triangulation& t);
+
+  int num_cliques() const { return static_cast<int>(cliques_.size()); }
+  const std::vector<int>& clique(int i) const;
+  const std::vector<std::vector<int>>& cliques() const { return cliques_; }
+  const std::vector<JunctionTreeEdge>& edges() const { return edges_; }
+
+  // Tree structure rooted per component: parent(root) == -1.
+  int parent(int i) const { return parents_[static_cast<std::size_t>(i)]; }
+  // Edge index connecting i to parent(i); -1 for roots.
+  int parent_edge(int i) const { return parent_edge_[static_cast<std::size_t>(i)]; }
+  const std::vector<int>& roots() const { return roots_; }
+  // Cliques in root-first (pre)order; reversed it is a valid collect order.
+  const std::vector<int>& preorder() const { return preorder_; }
+
+  // Smallest clique containing variable v, or -1.
+  int clique_containing(int v) const;
+  // Smallest clique containing all of `vs` (sorted), or -1.
+  int clique_containing_all(std::span<const int> vs) const;
+
+  // Verifies the running intersection property: for every variable, the
+  // cliques containing it form a connected subtree. Returns "" or a
+  // diagnostic string.
+  std::string check_running_intersection() const;
+
+ private:
+  std::vector<std::vector<int>> cliques_;
+  std::vector<JunctionTreeEdge> edges_;
+  std::vector<int> parents_;
+  std::vector<int> parent_edge_;
+  std::vector<int> roots_;
+  std::vector<int> preorder_;
+};
+
+// Options controlling compilation.
+struct CompileOptions {
+  EliminationHeuristic heuristic = EliminationHeuristic::MinFill;
+  // If > 0, compilation fails (returns nullopt at the caller level /
+  // reports via compiled_state_space) when the junction tree's total
+  // state space exceeds this budget. Enforced by the LIDAG segmenter,
+  // not here.
+  double max_state_space = 0.0;
+};
+
+// The Hugin-style inference engine over a compiled junction tree.
+//
+// Lifecycle:
+//   JunctionTreeEngine eng(bn, opts);   // compile: moralize/triangulate/tree
+//   eng.reset_potentials();             // load CPTs into clique potentials
+//   eng.set_evidence(v, s); ...         // optional (hard or soft)
+//   eng.propagate();                    // collect + distribute
+//   eng.marginal(v);                    // normalized posterior of v
+//
+// reset_potentials() + propagate() can be repeated with updated CPTs
+// (bn is referenced, not copied), which is exactly the paper's cheap
+// "update" step when only the input statistics change.
+class JunctionTreeEngine {
+ public:
+  explicit JunctionTreeEngine(const BayesianNetwork& bn,
+                              CompileOptions opts = {});
+
+  const JunctionTree& tree() const { return tree_; }
+  const Triangulation& triangulation() const { return tri_; }
+
+  // Sum over cliques of their table sizes (the paper's complexity measure).
+  double state_space() const;
+
+  // Re-initializes clique/separator potentials from the current CPTs of
+  // the referenced network and clears evidence.
+  void reset_potentials();
+
+  // Hard evidence: variable v is observed in state s.
+  void set_evidence(VarId v, int state);
+  // Soft (likelihood) evidence: multiplies a per-state weight into a
+  // clique containing v. `likelihood.size()` must equal cardinality(v).
+  void set_soft_evidence(VarId v, std::span<const double> likelihood);
+
+  // Full two-phase propagation (collect to roots, then distribute).
+  void propagate();
+
+  // Normalized marginal of one variable. Precondition: propagate() has
+  // been called since the last potential/evidence change.
+  Factor marginal(VarId v) const;
+
+  // Joint marginal over a set of variables that live in one clique.
+  // Precondition: some clique contains all of them.
+  Factor joint_marginal(std::span<const VarId> vs) const;
+
+  // As joint_marginal, but returns nullopt when no clique contains all
+  // the queried variables (their exact joint is not locally available).
+  std::optional<Factor> try_joint_marginal(std::span<const VarId> vs) const;
+
+  // Probability of the evidence entered before the last propagate().
+  double evidence_probability() const;
+
+  bool propagated() const { return propagated_; }
+
+ private:
+  void pass_message(int from, int to, int edge);
+
+  const BayesianNetwork* bn_; // non-owning; must outlive the engine
+  Triangulation tri_;
+  JunctionTree tree_;
+  // cpt_home_[v] = clique index whose potential absorbs CPT of v.
+  std::vector<int> cpt_home_;
+  std::vector<Factor> clique_pot_;
+  std::vector<Factor> sep_pot_;
+  bool potentials_ready_ = false;
+  bool propagated_ = false;
+};
+
+} // namespace bns

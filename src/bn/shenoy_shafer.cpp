@@ -1,0 +1,150 @@
+#include "bn/shenoy_shafer.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace bns {
+
+ShenoyShaferEngine::ShenoyShaferEngine(const BayesianNetwork& bn,
+                                       CompileOptions opts)
+    : bn_(&bn),
+      tri_(triangulate(moral_graph(bn), opts.heuristic)),
+      tree_(tri_) {
+  cpt_home_.assign(static_cast<std::size_t>(bn.num_variables()), -1);
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const auto& scope = bn.cpt(v).vars();
+    const int home = tree_.clique_containing_all(
+        std::span<const int>(scope.data(), scope.size()));
+    BNS_ASSERT_MSG(home >= 0, "no clique covers a CPT family");
+    cpt_home_[static_cast<std::size_t>(v)] = home;
+  }
+}
+
+void ShenoyShaferEngine::reset_potentials() {
+  const int n = tree_.num_cliques();
+  base_pot_.clear();
+  base_pot_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& c = tree_.clique(i);
+    std::vector<VarId> vars(c.begin(), c.end());
+    std::vector<int> cards;
+    cards.reserve(vars.size());
+    for (VarId v : vars) cards.push_back(bn_->cardinality(v));
+    Factor f(std::move(vars), std::move(cards));
+    std::fill(f.values().begin(), f.values().end(), 1.0);
+    base_pot_.push_back(std::move(f));
+  }
+  for (VarId v = 0; v < bn_->num_variables(); ++v) {
+    base_pot_[static_cast<std::size_t>(cpt_home_[static_cast<std::size_t>(v)])]
+        .multiply_in(bn_->cpt(v));
+  }
+  for (auto& m : msg_) {
+    m.assign(tree_.edges().size(), Factor());
+  }
+  for (auto& r : msg_ready_) {
+    r.assign(tree_.edges().size(), false);
+  }
+  potentials_ready_ = true;
+  propagated_ = false;
+}
+
+void ShenoyShaferEngine::set_evidence(VarId v, int state) {
+  BNS_EXPECTS(potentials_ready_);
+  const int home = tree_.clique_containing(v);
+  BNS_ASSERT(home >= 0);
+  base_pot_[static_cast<std::size_t>(home)].reduce(v, state);
+  propagated_ = false;
+  for (auto& r : msg_ready_) {
+    std::fill(r.begin(), r.end(), false);
+  }
+}
+
+Factor ShenoyShaferEngine::compute_message(int edge, bool from_a) const {
+  const JunctionTreeEdge& e = tree_.edges()[static_cast<std::size_t>(edge)];
+  const int src = from_a ? e.a : e.b;
+  // Product of the source's base potential and all messages into it
+  // except the one along `edge`, marginalized to the separator.
+  Factor pot = base_pot_[static_cast<std::size_t>(src)];
+  for (std::size_t k = 0; k < tree_.edges().size(); ++k) {
+    if (static_cast<int>(k) == edge) continue;
+    const JunctionTreeEdge& other = tree_.edges()[k];
+    if (other.a == src) {
+      pot.multiply_in(message(static_cast<int>(k), /*from_a=*/false));
+    } else if (other.b == src) {
+      pot.multiply_in(message(static_cast<int>(k), /*from_a=*/true));
+    }
+  }
+  std::vector<VarId> sep(e.separator.begin(), e.separator.end());
+  return pot.marginal(sep);
+}
+
+const Factor& ShenoyShaferEngine::message(int edge, bool from_a) const {
+  const std::size_t slot = from_a ? 0 : 1;
+  BNS_ASSERT(msg_ready_[slot][static_cast<std::size_t>(edge)]);
+  return msg_[slot][static_cast<std::size_t>(edge)];
+}
+
+void ShenoyShaferEngine::propagate() {
+  BNS_EXPECTS(potentials_ready_);
+  // Inward pass (leaves to roots): reverse preorder guarantees all
+  // children's messages exist before a node sends to its parent.
+  const auto& pre = tree_.preorder();
+  auto send = [&](int child, int parent, int edge) {
+    const JunctionTreeEdge& e = tree_.edges()[static_cast<std::size_t>(edge)];
+    const bool from_a = e.a == child;
+    BNS_ASSERT((from_a ? e.b : e.a) == parent);
+    const std::size_t slot = from_a ? 0 : 1;
+    msg_[slot][static_cast<std::size_t>(edge)] = compute_message(edge, from_a);
+    msg_ready_[slot][static_cast<std::size_t>(edge)] = true;
+  };
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const int c = *it;
+    const int p = tree_.parent(c);
+    if (p >= 0) send(c, p, tree_.parent_edge(c));
+  }
+  // Outward pass (roots to leaves).
+  for (int c : pre) {
+    const int p = tree_.parent(c);
+    if (p >= 0) send(p, c, tree_.parent_edge(c));
+  }
+  propagated_ = true;
+}
+
+Factor ShenoyShaferEngine::marginal(VarId v) const {
+  BNS_EXPECTS(propagated_);
+  const int home = tree_.clique_containing(v);
+  BNS_ASSERT(home >= 0);
+  Factor pot = base_pot_[static_cast<std::size_t>(home)];
+  for (std::size_t k = 0; k < tree_.edges().size(); ++k) {
+    const JunctionTreeEdge& e = tree_.edges()[k];
+    if (e.a == home) {
+      pot.multiply_in(message(static_cast<int>(k), /*from_a=*/false));
+    } else if (e.b == home) {
+      pot.multiply_in(message(static_cast<int>(k), /*from_a=*/true));
+    }
+  }
+  Factor m = pot.marginal(std::span<const VarId>(&v, 1));
+  m.normalize();
+  return m;
+}
+
+double ShenoyShaferEngine::evidence_probability() const {
+  BNS_EXPECTS(propagated_);
+  double p = 1.0;
+  for (int r : tree_.roots()) {
+    Factor pot = base_pot_[static_cast<std::size_t>(r)];
+    for (std::size_t k = 0; k < tree_.edges().size(); ++k) {
+      const JunctionTreeEdge& e = tree_.edges()[k];
+      if (e.a == r) {
+        pot.multiply_in(message(static_cast<int>(k), /*from_a=*/false));
+      } else if (e.b == r) {
+        pot.multiply_in(message(static_cast<int>(k), /*from_a=*/true));
+      }
+    }
+    p *= pot.sum();
+  }
+  return p;
+}
+
+} // namespace bns

@@ -1,0 +1,53 @@
+// Shenoy–Shafer propagation: the other classical junction-tree
+// message-passing architecture. Unlike Hugin propagation it keeps the
+// clique potentials immutable and stores one message per directed tree
+// edge (no separator division), trading memory for divisions. Having
+// two independently derived exact engines lets the test suite
+// cross-check the inference core against itself as well as against
+// variable elimination and brute force.
+#pragma once
+
+#include "bn/junction_tree.h"
+
+namespace bns {
+
+class ShenoyShaferEngine {
+ public:
+  explicit ShenoyShaferEngine(const BayesianNetwork& bn,
+                              CompileOptions opts = {});
+
+  const JunctionTree& tree() const { return tree_; }
+
+  // Loads CPTs into per-clique base potentials and clears evidence.
+  void reset_potentials();
+
+  // Hard evidence: variable v observed in state s.
+  void set_evidence(VarId v, int state);
+
+  // Computes all inward and outward messages.
+  void propagate();
+
+  // Normalized posterior marginal of one variable.
+  Factor marginal(VarId v) const;
+
+  // Probability of the evidence entered before propagate().
+  double evidence_probability() const;
+
+ private:
+  // Message along edge e in the direction a->b (directions_[e] selects
+  // storage slot 0 for a->b with a == edges()[e].a, slot 1 for b->a).
+  Factor compute_message(int edge, bool from_a) const;
+  const Factor& message(int edge, bool from_a) const;
+
+  const BayesianNetwork* bn_; // non-owning
+  Triangulation tri_;
+  JunctionTree tree_;
+  std::vector<int> cpt_home_;
+  std::vector<Factor> base_pot_;    // immutable clique potentials
+  std::vector<Factor> msg_[2];      // [0]: a->b, [1]: b->a per edge
+  std::vector<bool> msg_ready_[2];
+  bool potentials_ready_ = false;
+  bool propagated_ = false;
+};
+
+} // namespace bns

@@ -1,0 +1,32 @@
+#include "core/analyzer.h"
+
+#include "util/assert.h"
+
+namespace bns {
+
+SwitchingAnalyzer::SwitchingAnalyzer(const Netlist& nl, EstimatorOptions opts,
+                                     std::optional<InputModel> default_model)
+    : nl_(&nl),
+      default_model_(default_model.has_value()
+                         ? *std::move(default_model)
+                         : InputModel::uniform(nl.num_inputs())),
+      estimator_(std::make_unique<LidagEstimator>(nl, default_model_, opts)) {
+  BNS_EXPECTS(default_model_.num_inputs() == nl.num_inputs());
+}
+
+double SwitchingAnalyzer::dynamic_power_watts(const SwitchingEstimate& est,
+                                              double vdd, double freq_hz,
+                                              double cap_per_fanout_f,
+                                              double cap_gate_f) const {
+  BNS_EXPECTS(static_cast<int>(est.dist.size()) == nl_->num_nodes());
+  const auto fanout = nl_->fanout_counts();
+  double weighted_activity_cap = 0.0;
+  for (NodeId id = 0; id < nl_->num_nodes(); ++id) {
+    const double cap =
+        cap_gate_f + cap_per_fanout_f * fanout[static_cast<std::size_t>(id)];
+    weighted_activity_cap += cap * est.activity(id);
+  }
+  return 0.5 * vdd * vdd * freq_hz * weighted_activity_cap;
+}
+
+} // namespace bns

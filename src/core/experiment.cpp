@@ -1,0 +1,86 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+
+#include "baselines/correlation.h"
+#include "baselines/independence.h"
+#include "baselines/local_bdd.h"
+#include "baselines/monte_carlo.h"
+#include "baselines/transition_density.h"
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace bns {
+
+const MethodResult& ExperimentResult::method(const std::string& name) const {
+  for (const MethodResult& m : methods) {
+    if (m.method == name) return m;
+  }
+  throw std::invalid_argument("no such method in result: " + name);
+}
+
+ExperimentResult run_experiment(const Netlist& nl, const ExperimentConfig& cfg,
+                                std::optional<InputModel> model) {
+  ExperimentResult out;
+  out.circuit = nl.name();
+  out.stats = compute_stats(nl);
+
+  const InputModel m =
+      model.has_value() ? *std::move(model) : InputModel::uniform(nl.num_inputs());
+
+  // Ground truth.
+  Timer t;
+  const SimResult sim = SwitchingSimulator(nl).run(m, cfg.sim_pairs, cfg.seed);
+  out.sim_seconds = t.seconds();
+  const std::vector<double> ref = sim.activities();
+  {
+    RunningStats rs;
+    for (double a : ref) rs.add(a);
+    out.sim_avg_activity = rs.mean();
+  }
+
+  auto push = [&](std::string name, const std::vector<double>& act,
+                  double seconds, double extra) {
+    MethodResult mr;
+    mr.method = std::move(name);
+    mr.err = compute_error_stats(act, ref);
+    mr.seconds = seconds;
+    mr.extra_seconds = extra;
+    RunningStats rs;
+    for (double a : act) rs.add(a);
+    mr.avg_activity = rs.mean();
+    out.methods.push_back(std::move(mr));
+  };
+
+  // LIDAG Bayesian network (the paper's method).
+  {
+    LidagEstimator est(nl, m, cfg.estimator);
+    const SwitchingEstimate sw = est.estimate(m);
+    out.bn_segments = est.num_segments();
+    out.bn_state_space = est.total_state_space();
+    push("bn", sw.activities(), sw.propagate_seconds, est.compile_seconds());
+  }
+  if (cfg.run_independence) {
+    const IndependenceResult r = estimate_independence(nl, m);
+    push("independence", r.activities(), r.seconds, 0.0);
+  }
+  if (cfg.run_density) {
+    const TransitionDensityResult r = estimate_transition_density(nl, m);
+    push("density", r.activities(), r.seconds, 0.0);
+  }
+  if (cfg.run_correlation) {
+    const CorrelationResult r = estimate_correlation(nl, m);
+    push("paircorr", r.activities(), r.seconds, 0.0);
+  }
+  if (cfg.run_local_bdd) {
+    const LocalBddResult r = estimate_local_bdd(nl, m);
+    push("localbdd", r.activities(), r.seconds, 0.0);
+  }
+  if (cfg.run_monte_carlo) {
+    const MonteCarloResult r = estimate_monte_carlo(nl, m);
+    push("montecarlo", r.activities(), r.seconds, 0.0);
+  }
+  return out;
+}
+
+} // namespace bns

@@ -1,0 +1,53 @@
+// Experiment runner shared by the benchmark harnesses: runs one circuit
+// through the BN estimator, the reference estimators, and the simulation
+// ground truth, and packages the error/time statistics the paper's
+// tables report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "util/stats.h"
+
+namespace bns {
+
+struct MethodResult {
+  std::string method; // "bn", "independence", "density", "paircorr", "sim"
+  ErrorStats err;     // vs the simulation ground truth
+  double seconds = 0.0;
+  double extra_seconds = 0.0; // bn: compile time (seconds = update time)
+  double avg_activity = 0.0;
+};
+
+struct ExperimentConfig {
+  std::uint64_t sim_pairs = 1 << 22; // ground-truth sample budget (4M)
+  std::uint64_t seed = 20010618;     // DAC 2001 started June 18, 2001
+  bool run_independence = true;
+  bool run_density = true;
+  bool run_correlation = true;
+  bool run_local_bdd = false;   // Schneider'96-style local-region method
+  bool run_monte_carlo = false; // Burch–Najm statistical simulation
+  EstimatorOptions estimator;
+};
+
+struct ExperimentResult {
+  std::string circuit;
+  NetlistStats stats;
+  double sim_seconds = 0.0;
+  double sim_avg_activity = 0.0;
+  int bn_segments = 0;
+  double bn_state_space = 0.0;
+  std::vector<MethodResult> methods;
+
+  const MethodResult& method(const std::string& name) const;
+};
+
+// Runs the full method comparison on one circuit under the given input
+// model (default: random equiprobable streams, as in the paper).
+ExperimentResult run_experiment(const Netlist& nl,
+                                const ExperimentConfig& cfg = {},
+                                std::optional<InputModel> model = {});
+
+} // namespace bns

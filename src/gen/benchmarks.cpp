@@ -1,0 +1,93 @@
+#include "gen/benchmarks.h"
+
+#include <stdexcept>
+
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "util/assert.h"
+
+namespace bns {
+namespace {
+
+Netlist random_named(const std::string& name, int in, int out, int gates,
+                     int depth, std::uint64_t seed) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = in;
+  spec.num_outputs = out;
+  spec.num_gates = gates;
+  spec.depth = depth;
+  spec.seed = seed;
+  return random_circuit(spec, name);
+}
+
+Netlist renamed(Netlist nl, const std::string& name) {
+  nl.set_name(name);
+  return nl;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo>& benchmark_suite() {
+  static const std::vector<BenchmarkInfo> kSuite = {
+      // name       family     origin        in   out  gates (published)
+      {"c17", "iscas85", "exact", 5, 2, 6},
+      {"c432", "iscas85", "random", 36, 7, 160},
+      {"c499", "iscas85", "structural", 41, 32, 202},
+      {"c880", "iscas85", "random", 60, 26, 383},
+      {"c1355", "iscas85", "structural", 41, 32, 546},
+      {"c1908", "iscas85", "structural", 33, 25, 880},
+      {"c2670", "iscas85", "random", 233, 140, 1193},
+      {"c3540", "iscas85", "random", 50, 22, 1669},
+      {"c5315", "iscas85", "random", 178, 123, 2307},
+      {"c6288", "iscas85", "structural", 32, 32, 2406},
+      {"c7552", "iscas85", "random", 207, 108, 3512},
+      {"alu4", "mcnc89", "structural", 27, 13, 160},
+      {"malu4", "mcnc89", "structural", 43, 21, 260},
+      {"max_flat", "mcnc89", "random", 32, 16, 450},
+      {"voter", "mcnc89", "structural", 60, 12, 144},
+      {"b9", "mcnc89", "random", 41, 21, 140},
+      {"count", "mcnc89", "structural", 35, 35, 137},
+      {"comp", "mcnc89", "structural", 32, 3, 125},
+      {"pcler8", "mcnc89", "random", 27, 17, 96},
+  };
+  return kSuite;
+}
+
+std::vector<std::string> table2_names() {
+  return {"c432",  "c499",  "c880",  "c1355", "c1908",
+          "c2670", "c3540", "c5315", "c6288", "c7552"};
+}
+
+const BenchmarkInfo& benchmark_info(const std::string& name) {
+  for (const BenchmarkInfo& b : benchmark_suite()) {
+    if (b.name == name) return b;
+  }
+  throw std::invalid_argument("unknown benchmark circuit: " + name);
+}
+
+Netlist make_benchmark(const std::string& name) {
+  // Seeds are fixed per circuit so every run of the harness sees the
+  // same stand-in netlist.
+  if (name == "c17") return c17();
+  if (name == "c432") return random_named("c432", 36, 7, 160, 26, 0x432);
+  if (name == "c499") return renamed(sec_corrector(32, 9), "c499");
+  if (name == "c880") return random_named("c880", 60, 26, 383, 24, 0x880);
+  if (name == "c1355") return renamed(expand_xor_to_nand(sec_corrector(32, 9)), "c1355");
+  if (name == "c1908") return renamed(expand_xor_to_nand(sec_corrector(24, 9)), "c1908");
+  if (name == "c2670") return random_named("c2670", 233, 140, 1193, 32, 0x2670);
+  if (name == "c3540") return random_named("c3540", 50, 22, 1669, 47, 0x3540);
+  if (name == "c5315") return random_named("c5315", 178, 123, 2307, 49, 0x5315);
+  if (name == "c6288") return renamed(array_multiplier(16), "c6288");
+  if (name == "c7552") return random_named("c7552", 207, 108, 3512, 43, 0x7552);
+  if (name == "alu4") return renamed(alu(12), "alu4");
+  if (name == "malu4") return renamed(alu(20), "malu4");
+  if (name == "max_flat") return random_named("max_flat", 32, 16, 450, 14, 0xAF1A);
+  if (name == "voter") return renamed(majority_voter(12, 5), "voter");
+  if (name == "b9") return random_named("b9", 41, 21, 140, 10, 0xB9);
+  if (name == "count") return renamed(incrementer_chain(35, 2), "count");
+  if (name == "comp") return renamed(comparator(16), "comp");
+  if (name == "pcler8") return random_named("pcler8", 27, 17, 96, 9, 0x9C1E);
+  throw std::invalid_argument("unknown benchmark circuit: " + name);
+}
+
+} // namespace bns

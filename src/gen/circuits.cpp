@@ -1,0 +1,40 @@
+#include "gen/circuits.h"
+
+#include "netlist/bench_io.h"
+
+namespace bns {
+
+Netlist figure1_circuit() {
+  Netlist nl("figure1");
+  const NodeId x1 = nl.add_input("1");
+  const NodeId x2 = nl.add_input("2");
+  const NodeId x3 = nl.add_input("3");
+  const NodeId x4 = nl.add_input("4");
+  const NodeId x5 = nl.add_gate(GateType::Or, "5", {x1, x2});
+  const NodeId x6 = nl.add_gate(GateType::Nand, "6", {x3, x4});
+  const NodeId x7 = nl.add_gate(GateType::And, "7", {x5, x6});
+  const NodeId x8 = nl.add_gate(GateType::Not, "8", {x4});
+  const NodeId x9 = nl.add_gate(GateType::Nor, "9", {x7, x8});
+  nl.mark_output(x9);
+  return nl;
+}
+
+const char* const kC17Bench = R"(# c17 — ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+Netlist c17() { return read_bench_string(kC17Bench, "c17"); }
+
+} // namespace bns

@@ -1,0 +1,22 @@
+// Hand-built reference circuits: the paper's running example (Figure 1)
+// and the one ISCAS-85 circuit small enough to embed verbatim (c17).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace bns {
+
+// The 5-gate, 9-line circuit of Figure 1. Line numbering matches the
+// paper: lines 1–4 are primary inputs; line 5 = OR(1,2) (the gate type
+// the paper names explicitly); the remaining gate types are chosen
+// representatively — the structural results (Figures 2–4) depend only
+// on connectivity. Node ids are line number - 1.
+Netlist figure1_circuit();
+
+// ISCAS-85 c17: 5 inputs, 2 outputs, 6 NAND2 gates (the real netlist).
+Netlist c17();
+
+// The .bench text of c17, for parser round-trip tests.
+extern const char* const kC17Bench;
+
+} // namespace bns

@@ -1,0 +1,730 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+// Full adder over existing nodes; returns {sum, carry}.
+struct FullAdderOut {
+  NodeId sum;
+  NodeId carry;
+};
+
+FullAdderOut full_adder(Netlist& nl, const std::string& prefix, NodeId a,
+                        NodeId b, NodeId c) {
+  const NodeId axb = nl.add_gate(GateType::Xor, prefix + "_axb", {a, b});
+  const NodeId sum = nl.add_gate(GateType::Xor, prefix + "_s", {axb, c});
+  const NodeId g1 = nl.add_gate(GateType::And, prefix + "_g1", {a, b});
+  const NodeId g2 = nl.add_gate(GateType::And, prefix + "_g2", {axb, c});
+  const NodeId carry = nl.add_gate(GateType::Or, prefix + "_co", {g1, g2});
+  return {sum, carry};
+}
+
+// Half adder; returns {sum, carry}.
+FullAdderOut half_adder(Netlist& nl, const std::string& prefix, NodeId a,
+                        NodeId b) {
+  const NodeId sum = nl.add_gate(GateType::Xor, prefix + "_s", {a, b});
+  const NodeId carry = nl.add_gate(GateType::And, prefix + "_c", {a, b});
+  return {sum, carry};
+}
+
+// Balanced tree of 2-input `type` gates over `leaves`.
+NodeId balanced_tree(Netlist& nl, GateType type, const std::string& prefix,
+                     std::vector<NodeId> leaves) {
+  BNS_EXPECTS(!leaves.empty());
+  int level = 0;
+  while (leaves.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      next.push_back(nl.add_gate(
+          type, strformat("%s_l%d_%zu", prefix.c_str(), level, i / 2),
+          {leaves[i], leaves[i + 1]}));
+    }
+    if (leaves.size() % 2 == 1) next.push_back(leaves.back());
+    leaves = std::move(next);
+    ++level;
+  }
+  return leaves[0];
+}
+
+} // namespace
+
+Netlist ripple_adder(int bits) {
+  BNS_EXPECTS(bits >= 1);
+  Netlist nl(strformat("radd%d", bits));
+  std::vector<NodeId> a(static_cast<std::size_t>(bits));
+  std::vector<NodeId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.add_input(strformat("a%d", i));
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.add_input(strformat("b%d", i));
+  NodeId carry = nl.add_input("cin");
+  for (int i = 0; i < bits; ++i) {
+    const auto fa = full_adder(nl, strformat("fa%d", i),
+                               a[static_cast<std::size_t>(i)],
+                               b[static_cast<std::size_t>(i)], carry);
+    nl.mark_output(fa.sum);
+    carry = fa.carry;
+  }
+  nl.mark_output(carry);
+  return nl;
+}
+
+Netlist array_multiplier(int bits) {
+  BNS_EXPECTS(bits >= 2);
+  Netlist nl(strformat("mult%dx%d", bits, bits));
+  std::vector<NodeId> a(static_cast<std::size_t>(bits));
+  std::vector<NodeId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.add_input(strformat("a%d", i));
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.add_input(strformat("b%d", i));
+
+  // Row 0: partial products of b0.
+  std::vector<NodeId> acc; // running sum, LSB first (grows each row)
+  for (int i = 0; i < bits; ++i) {
+    acc.push_back(nl.add_gate(GateType::And, strformat("pp0_%d", i),
+                              {a[static_cast<std::size_t>(i)], b[0]}));
+  }
+
+  // Rows 1..bits-1: add the shifted partial-product row into acc, one
+  // carry-propagate row per b bit (the classic array structure).
+  for (int j = 1; j < bits; ++j) {
+    std::vector<NodeId> pp(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) {
+      pp[static_cast<std::size_t>(i)] =
+          nl.add_gate(GateType::And, strformat("pp%d_%d", j, i),
+                      {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(j)]});
+    }
+    // acc[j..] += pp; bit j+i pairs with pp[i].
+    NodeId carry = kInvalidNode;
+    for (int i = 0; i < bits; ++i) {
+      const std::size_t pos = static_cast<std::size_t>(j + i);
+      const std::string prefix = strformat("r%d_%d", j, i);
+      if (pos < acc.size()) {
+        if (carry == kInvalidNode) {
+          const auto ha = half_adder(nl, prefix, acc[pos], pp[static_cast<std::size_t>(i)]);
+          acc[pos] = ha.sum;
+          carry = ha.carry;
+        } else {
+          const auto fa = full_adder(nl, prefix, acc[pos],
+                                     pp[static_cast<std::size_t>(i)], carry);
+          acc[pos] = fa.sum;
+          carry = fa.carry;
+        }
+      } else {
+        if (carry == kInvalidNode) {
+          acc.push_back(pp[static_cast<std::size_t>(i)]);
+        } else {
+          const auto ha = half_adder(nl, prefix, pp[static_cast<std::size_t>(i)], carry);
+          acc.push_back(ha.sum);
+          carry = ha.carry;
+        }
+      }
+    }
+    if (carry != kInvalidNode) acc.push_back(carry);
+  }
+
+  for (NodeId s : acc) nl.mark_output(s);
+  return nl;
+}
+
+Netlist incrementer_chain(int bits, int stages) {
+  BNS_EXPECTS(bits >= 1 && stages >= 1);
+  Netlist nl(strformat("inc%dx%d", bits, stages));
+  std::vector<NodeId> x(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) x[static_cast<std::size_t>(i)] = nl.add_input(strformat("x%d", i));
+  for (int s = 0; s < stages; ++s) {
+    std::vector<NodeId> next(static_cast<std::size_t>(bits));
+    next[0] = nl.add_gate(GateType::Not, strformat("s%d_b0", s), {x[0]});
+    NodeId carry = x[0];
+    for (int i = 1; i < bits; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          nl.add_gate(GateType::Xor, strformat("s%d_b%d", s, i),
+                      {x[static_cast<std::size_t>(i)], carry});
+      if (i + 1 < bits) {
+        carry = nl.add_gate(GateType::And, strformat("s%d_c%d", s, i),
+                            {x[static_cast<std::size_t>(i)], carry});
+      }
+    }
+    x = std::move(next);
+  }
+  for (NodeId o : x) nl.mark_output(o);
+  return nl;
+}
+
+Netlist parity_tree(int width) {
+  BNS_EXPECTS(width >= 2);
+  Netlist nl(strformat("parity%d", width));
+  std::vector<NodeId> in(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) in[static_cast<std::size_t>(i)] = nl.add_input(strformat("x%d", i));
+  nl.mark_output(balanced_tree(nl, GateType::Xor, "p", in));
+  return nl;
+}
+
+Netlist sec_corrector(int data_bits, int parity_bits) {
+  BNS_EXPECTS(data_bits >= 2 && parity_bits >= 2);
+  BNS_EXPECTS((1 << parity_bits) - 1 >= 1); // always true; keeps intent visible
+  Netlist nl(strformat("sec%d_%d", data_bits, parity_bits));
+  std::vector<NodeId> d(static_cast<std::size_t>(data_bits));
+  std::vector<NodeId> p(static_cast<std::size_t>(parity_bits));
+  for (int i = 0; i < data_bits; ++i) d[static_cast<std::size_t>(i)] = nl.add_input(strformat("d%d", i));
+  for (int k = 0; k < parity_bits; ++k) p[static_cast<std::size_t>(k)] = nl.add_input(strformat("p%d", k));
+
+  // Data bit i carries (nonzero) code word code(i); syndrome bit k is
+  // the received check bit xored with the parity of the data bits whose
+  // code has bit k set.
+  auto code = [&](int i) {
+    return (i % ((1 << parity_bits) - 1)) + 1;
+  };
+
+  std::vector<NodeId> syndrome(static_cast<std::size_t>(parity_bits));
+  for (int k = 0; k < parity_bits; ++k) {
+    std::vector<NodeId> leaves{p[static_cast<std::size_t>(k)]};
+    for (int i = 0; i < data_bits; ++i) {
+      if ((code(i) >> k) & 1) leaves.push_back(d[static_cast<std::size_t>(i)]);
+    }
+    syndrome[static_cast<std::size_t>(k)] =
+        balanced_tree(nl, GateType::Xor, strformat("syn%d", k), leaves);
+  }
+  std::vector<NodeId> syn_n(static_cast<std::size_t>(parity_bits));
+  for (int k = 0; k < parity_bits; ++k) {
+    syn_n[static_cast<std::size_t>(k)] = nl.add_gate(
+        GateType::Not, strformat("synn%d", k), {syndrome[static_cast<std::size_t>(k)]});
+  }
+
+  // err_i = 1 iff syndrome == code(i); corrected_i = d_i xor err_i.
+  for (int i = 0; i < data_bits; ++i) {
+    std::vector<NodeId> lits;
+    for (int k = 0; k < parity_bits; ++k) {
+      lits.push_back(((code(i) >> k) & 1) ? syndrome[static_cast<std::size_t>(k)]
+                                          : syn_n[static_cast<std::size_t>(k)]);
+    }
+    const NodeId err = nl.add_gate(GateType::And, strformat("err%d", i), lits);
+    const NodeId cor = nl.add_gate(GateType::Xor, strformat("cor%d", i),
+                                   {d[static_cast<std::size_t>(i)], err});
+    nl.mark_output(cor);
+  }
+  return nl;
+}
+
+Netlist expand_xor_to_nand(const Netlist& src) {
+  Netlist nl(src.name() + "_nand");
+  std::vector<NodeId> map(static_cast<std::size_t>(src.num_nodes()), kInvalidNode);
+
+  auto xor2_nand = [&](const std::string& prefix, NodeId a, NodeId b) {
+    const NodeId t1 = nl.add_gate(GateType::Nand, prefix + "_t1", {a, b});
+    const NodeId t2 = nl.add_gate(GateType::Nand, prefix + "_t2", {a, t1});
+    const NodeId t3 = nl.add_gate(GateType::Nand, prefix + "_t3", {b, t1});
+    return nl.add_gate(GateType::Nand, prefix + "_o", {t2, t3});
+  };
+
+  for (NodeId id = 0; id < src.num_nodes(); ++id) {
+    const Node& n = src.node(id);
+    NodeId out = kInvalidNode;
+    switch (n.type) {
+      case GateType::Input:
+        out = nl.add_input(n.name);
+        break;
+      case GateType::Const0:
+      case GateType::Const1:
+        out = nl.add_const(n.name, n.type == GateType::Const1);
+        break;
+      case GateType::Xor:
+      case GateType::Xnor: {
+        std::vector<NodeId> ops;
+        for (NodeId f : n.fanin) ops.push_back(map[static_cast<std::size_t>(f)]);
+        NodeId acc = ops[0];
+        for (std::size_t i = 1; i < ops.size(); ++i) {
+          acc = xor2_nand(strformat("%s_x%zu", n.name.c_str(), i), acc, ops[i]);
+        }
+        if (n.type == GateType::Xnor) {
+          acc = nl.add_gate(GateType::Nand, n.name + "_inv", {acc, acc});
+        }
+        // Alias the final node under the original name via a BUF to keep
+        // name lookup working... instead, rename: add BUF with original name.
+        out = nl.add_gate(GateType::Buf, n.name, {acc});
+        break;
+      }
+      case GateType::Lut: {
+        std::vector<NodeId> fanin;
+        for (NodeId f : n.fanin) fanin.push_back(map[static_cast<std::size_t>(f)]);
+        out = nl.add_lut(n.name, std::move(fanin), *n.lut);
+        break;
+      }
+      default: {
+        std::vector<NodeId> fanin;
+        for (NodeId f : n.fanin) fanin.push_back(map[static_cast<std::size_t>(f)]);
+        out = nl.add_gate(n.type, n.name, std::move(fanin));
+        break;
+      }
+    }
+    map[static_cast<std::size_t>(id)] = out;
+    if (src.is_output(id)) nl.mark_output(out);
+  }
+  return nl;
+}
+
+Netlist comparator(int bits) {
+  BNS_EXPECTS(bits >= 1);
+  Netlist nl(strformat("comp%d", bits));
+  std::vector<NodeId> a(static_cast<std::size_t>(bits));
+  std::vector<NodeId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.add_input(strformat("a%d", i));
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.add_input(strformat("b%d", i));
+
+  NodeId gt = kInvalidNode;
+  NodeId lt = kInvalidNode;
+  NodeId eq = kInvalidNode;
+  for (int i = bits - 1; i >= 0; --i) {
+    const NodeId ai = a[static_cast<std::size_t>(i)];
+    const NodeId bi = b[static_cast<std::size_t>(i)];
+    const NodeId nb = nl.add_gate(GateType::Not, strformat("nb%d", i), {bi});
+    const NodeId na = nl.add_gate(GateType::Not, strformat("na%d", i), {ai});
+    const NodeId eq_i = nl.add_gate(GateType::Xnor, strformat("eq%d", i), {ai, bi});
+    if (eq == kInvalidNode) {
+      gt = nl.add_gate(GateType::And, strformat("gt%d", i), {ai, nb});
+      lt = nl.add_gate(GateType::And, strformat("lt%d", i), {na, bi});
+      eq = eq_i;
+    } else {
+      const NodeId g_here = nl.add_gate(GateType::And, strformat("gth%d", i), {eq, ai, nb});
+      const NodeId l_here = nl.add_gate(GateType::And, strformat("lth%d", i), {eq, na, bi});
+      gt = nl.add_gate(GateType::Or, strformat("gt%d", i), {gt, g_here});
+      lt = nl.add_gate(GateType::Or, strformat("lt%d", i), {lt, l_here});
+      eq = nl.add_gate(GateType::And, strformat("eqa%d", i), {eq, eq_i});
+    }
+  }
+  nl.mark_output(gt);
+  nl.mark_output(lt);
+  nl.mark_output(eq);
+  return nl;
+}
+
+Netlist mux_tree(int select_bits) {
+  BNS_EXPECTS(select_bits >= 1 && select_bits <= 8);
+  Netlist nl(strformat("mux%d", 1 << select_bits));
+  const int n_data = 1 << select_bits;
+  std::vector<NodeId> data(static_cast<std::size_t>(n_data));
+  std::vector<NodeId> sel(static_cast<std::size_t>(select_bits));
+  for (int i = 0; i < n_data; ++i) data[static_cast<std::size_t>(i)] = nl.add_input(strformat("d%d", i));
+  for (int s = 0; s < select_bits; ++s) sel[static_cast<std::size_t>(s)] = nl.add_input(strformat("s%d", s));
+
+  std::vector<NodeId> layer = data;
+  for (int s = 0; s < select_bits; ++s) {
+    const NodeId sn = nl.add_gate(GateType::Not, strformat("sn%d", s),
+                                  {sel[static_cast<std::size_t>(s)]});
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const std::string prefix = strformat("m%d_%zu", s, i / 2);
+      const NodeId t0 = nl.add_gate(GateType::And, prefix + "_a", {layer[i], sn});
+      const NodeId t1 = nl.add_gate(GateType::And, prefix + "_b",
+                                    {layer[i + 1], sel[static_cast<std::size_t>(s)]});
+      next.push_back(nl.add_gate(GateType::Or, prefix + "_o", {t0, t1}));
+    }
+    layer = std::move(next);
+  }
+  nl.mark_output(layer[0]);
+  return nl;
+}
+
+Netlist decoder(int select_bits) {
+  BNS_EXPECTS(select_bits >= 1 && select_bits <= 6);
+  Netlist nl(strformat("dec%d", select_bits));
+  std::vector<NodeId> sel(static_cast<std::size_t>(select_bits));
+  for (int s = 0; s < select_bits; ++s) sel[static_cast<std::size_t>(s)] = nl.add_input(strformat("s%d", s));
+  const NodeId en = nl.add_input("en");
+  std::vector<NodeId> sel_n(static_cast<std::size_t>(select_bits));
+  for (int s = 0; s < select_bits; ++s) {
+    sel_n[static_cast<std::size_t>(s)] =
+        nl.add_gate(GateType::Not, strformat("sn%d", s), {sel[static_cast<std::size_t>(s)]});
+  }
+  for (int v = 0; v < (1 << select_bits); ++v) {
+    std::vector<NodeId> lits{en};
+    for (int s = 0; s < select_bits; ++s) {
+      lits.push_back(((v >> s) & 1) ? sel[static_cast<std::size_t>(s)]
+                                    : sel_n[static_cast<std::size_t>(s)]);
+    }
+    nl.mark_output(nl.add_gate(GateType::And, strformat("o%d", v), lits));
+  }
+  return nl;
+}
+
+Netlist majority_voter(int bits, int ways) {
+  BNS_EXPECTS(bits >= 1);
+  BNS_EXPECTS_MSG(ways == 3 || ways == 5, "supported voter widths: 3, 5");
+  Netlist nl(strformat("voter%dx%d", bits, ways));
+  std::vector<std::vector<NodeId>> in(static_cast<std::size_t>(ways));
+  for (int w = 0; w < ways; ++w) {
+    for (int i = 0; i < bits; ++i) {
+      in[static_cast<std::size_t>(w)].push_back(nl.add_input(strformat("w%d_b%d", w, i)));
+    }
+  }
+  for (int i = 0; i < bits; ++i) {
+    std::vector<NodeId> terms;
+    const int majority = ways / 2 + 1;
+    // Sum of products over all `majority`-subsets of the ways.
+    std::vector<int> idx(static_cast<std::size_t>(majority));
+    for (int k = 0; k < majority; ++k) idx[static_cast<std::size_t>(k)] = k;
+    for (;;) {
+      std::vector<NodeId> ands;
+      for (int k : idx) ands.push_back(in[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)]);
+      terms.push_back(nl.add_gate(GateType::And,
+                                  strformat("b%d_t%zu", i, terms.size()), ands));
+      // Next combination.
+      int k = majority - 1;
+      while (k >= 0 && idx[static_cast<std::size_t>(k)] == ways - majority + k) --k;
+      if (k < 0) break;
+      ++idx[static_cast<std::size_t>(k)];
+      for (int j = k + 1; j < majority; ++j) {
+        idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+      }
+    }
+    nl.mark_output(nl.add_gate(GateType::Or, strformat("maj%d", i), terms));
+  }
+  return nl;
+}
+
+Netlist alu(int bits) {
+  BNS_EXPECTS(bits >= 1);
+  Netlist nl(strformat("alu%d", bits));
+  std::vector<NodeId> a(static_cast<std::size_t>(bits));
+  std::vector<NodeId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.add_input(strformat("a%d", i));
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.add_input(strformat("b%d", i));
+  const NodeId op0 = nl.add_input("op0");
+  const NodeId op1 = nl.add_input("op1");
+  const NodeId cin = nl.add_input("cin");
+
+  const NodeId op0n = nl.add_gate(GateType::Not, "op0n", {op0});
+  const NodeId op1n = nl.add_gate(GateType::Not, "op1n", {op1});
+  const NodeId d_add = nl.add_gate(GateType::And, "d_add", {op0n, op1n});
+  const NodeId d_and = nl.add_gate(GateType::And, "d_and", {op0, op1n});
+  const NodeId d_or = nl.add_gate(GateType::And, "d_or", {op0n, op1});
+  const NodeId d_xor = nl.add_gate(GateType::And, "d_xor", {op0, op1});
+
+  NodeId carry = cin;
+  for (int i = 0; i < bits; ++i) {
+    const NodeId ai = a[static_cast<std::size_t>(i)];
+    const NodeId bi = b[static_cast<std::size_t>(i)];
+    const auto fa = full_adder(nl, strformat("add%d", i), ai, bi, carry);
+    carry = fa.carry;
+    const NodeId and_i = nl.add_gate(GateType::And, strformat("and%d", i), {ai, bi});
+    const NodeId or_i = nl.add_gate(GateType::Or, strformat("or%d", i), {ai, bi});
+    const NodeId xor_i = nl.add_gate(GateType::Xor, strformat("xor%d", i), {ai, bi});
+    const NodeId m0 = nl.add_gate(GateType::And, strformat("sel_add%d", i), {d_add, fa.sum});
+    const NodeId m1 = nl.add_gate(GateType::And, strformat("sel_and%d", i), {d_and, and_i});
+    const NodeId m2 = nl.add_gate(GateType::And, strformat("sel_or%d", i), {d_or, or_i});
+    const NodeId m3 = nl.add_gate(GateType::And, strformat("sel_xor%d", i), {d_xor, xor_i});
+    nl.mark_output(nl.add_gate(GateType::Or, strformat("out%d", i), {m0, m1, m2, m3}));
+  }
+  nl.mark_output(nl.add_gate(GateType::And, "cout", {d_add, carry}));
+  return nl;
+}
+
+Netlist carry_lookahead_adder(int bits) {
+  BNS_EXPECTS(bits >= 1);
+  Netlist nl(strformat("cla%d", bits));
+  std::vector<NodeId> a(static_cast<std::size_t>(bits));
+  std::vector<NodeId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.add_input(strformat("a%d", i));
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.add_input(strformat("b%d", i));
+  const NodeId cin = nl.add_input("cin");
+
+  // Generate/propagate per bit, then the carries by explicit lookahead:
+  //   c[i+1] = g[i] | p[i]g[i-1] | ... | p[i]..p[0]c0.
+  std::vector<NodeId> g(static_cast<std::size_t>(bits));
+  std::vector<NodeId> p(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    g[static_cast<std::size_t>(i)] =
+        nl.add_gate(GateType::And, strformat("g%d", i),
+                    {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]});
+    p[static_cast<std::size_t>(i)] =
+        nl.add_gate(GateType::Xor, strformat("p%d", i),
+                    {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]});
+  }
+  std::vector<NodeId> carry(static_cast<std::size_t>(bits) + 1);
+  carry[0] = cin;
+  for (int i = 0; i < bits; ++i) {
+    // Terms: g[i], and for each j < i: p[i]&..&p[j+1]&g[j], plus
+    // p[i]&..&p[0]&cin.
+    std::vector<NodeId> terms{g[static_cast<std::size_t>(i)]};
+    for (int j = i - 1; j >= -1; --j) {
+      std::vector<NodeId> lits;
+      for (int k = i; k > j; --k) lits.push_back(p[static_cast<std::size_t>(k)]);
+      lits.push_back(j >= 0 ? g[static_cast<std::size_t>(j)] : cin);
+      terms.push_back(nl.add_gate(GateType::And,
+                                  strformat("t%d_%d", i, j + 1), lits));
+    }
+    carry[static_cast<std::size_t>(i) + 1] =
+        terms.size() == 1
+            ? terms[0]
+            : nl.add_gate(GateType::Or, strformat("c%d", i + 1), terms);
+    nl.mark_output(nl.add_gate(GateType::Xor, strformat("s%d", i),
+                               {p[static_cast<std::size_t>(i)],
+                                carry[static_cast<std::size_t>(i)]}));
+  }
+  nl.mark_output(nl.add_gate(GateType::Buf, "cout",
+                             {carry[static_cast<std::size_t>(bits)]}));
+  return nl;
+}
+
+Netlist barrel_shifter(int stages) {
+  BNS_EXPECTS(stages >= 1 && stages <= 5);
+  const int width = 1 << stages;
+  Netlist nl(strformat("bshift%d", width));
+  std::vector<NodeId> data(static_cast<std::size_t>(width));
+  std::vector<NodeId> amt(static_cast<std::size_t>(stages));
+  for (int i = 0; i < width; ++i) data[static_cast<std::size_t>(i)] = nl.add_input(strformat("d%d", i));
+  for (int s = 0; s < stages; ++s) amt[static_cast<std::size_t>(s)] = nl.add_input(strformat("s%d", s));
+
+  std::vector<NodeId> cur = data;
+  for (int s = 0; s < stages; ++s) {
+    const int shift = 1 << s;
+    const NodeId sel = amt[static_cast<std::size_t>(s)];
+    const NodeId nsel = nl.add_gate(GateType::Not, strformat("ns%d", s), {sel});
+    std::vector<NodeId> next(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      // Rotate left by `shift` when sel: out[i] = sel ? in[(i - shift)
+      // mod width] : in[i].
+      const int src = ((i - shift) % width + width) % width;
+      const NodeId keep = nl.add_gate(GateType::And, strformat("k%d_%d", s, i),
+                                      {cur[static_cast<std::size_t>(i)], nsel});
+      const NodeId rot = nl.add_gate(GateType::And, strformat("r%d_%d", s, i),
+                                     {cur[static_cast<std::size_t>(src)], sel});
+      next[static_cast<std::size_t>(i)] =
+          nl.add_gate(GateType::Or, strformat("m%d_%d", s, i), {keep, rot});
+    }
+    cur = std::move(next);
+  }
+  for (NodeId o : cur) nl.mark_output(o);
+  return nl;
+}
+
+Netlist priority_encoder(int width) {
+  BNS_EXPECTS(width >= 2);
+  Netlist nl(strformat("prienc%d", width));
+  std::vector<NodeId> req(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) req[static_cast<std::size_t>(i)] = nl.add_input(strformat("r%d", i));
+
+  // grant[i] = r[i] & !r[i+1] & ... & !r[width-1] (highest index wins).
+  std::vector<NodeId> notr(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    notr[static_cast<std::size_t>(i)] =
+        nl.add_gate(GateType::Not, strformat("nr%d", i), {req[static_cast<std::size_t>(i)]});
+  }
+  for (int i = 0; i < width; ++i) {
+    std::vector<NodeId> lits{req[static_cast<std::size_t>(i)]};
+    for (int j = i + 1; j < width; ++j) lits.push_back(notr[static_cast<std::size_t>(j)]);
+    nl.mark_output(lits.size() == 1
+                       ? nl.add_gate(GateType::Buf, strformat("gr%d", i), lits)
+                       : nl.add_gate(GateType::And, strformat("gr%d", i), lits));
+  }
+  nl.mark_output(nl.add_gate(GateType::Or, "valid", req));
+  return nl;
+}
+
+Netlist gray_converter(int bits) {
+  BNS_EXPECTS(bits >= 2);
+  Netlist nl(strformat("gray%d", bits));
+  std::vector<NodeId> bin(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) bin[static_cast<std::size_t>(i)] = nl.add_input(strformat("b%d", i));
+
+  // Binary -> Gray: gray[i] = b[i] ^ b[i+1] (MSB passes through).
+  std::vector<NodeId> gray(static_cast<std::size_t>(bits));
+  gray[static_cast<std::size_t>(bits) - 1] = nl.add_gate(
+      GateType::Buf, strformat("gy%d", bits - 1),
+      {bin[static_cast<std::size_t>(bits) - 1]});
+  for (int i = bits - 2; i >= 0; --i) {
+    gray[static_cast<std::size_t>(i)] = nl.add_gate(
+        GateType::Xor, strformat("gy%d", i),
+        {bin[static_cast<std::size_t>(i)], bin[static_cast<std::size_t>(i) + 1]});
+  }
+  for (NodeId gnode : gray) nl.mark_output(gnode);
+
+  // Gray -> binary round trip: rb[i] = gray[i] ^ rb[i+1].
+  NodeId acc = gray[static_cast<std::size_t>(bits) - 1];
+  std::vector<NodeId> round(static_cast<std::size_t>(bits));
+  round[static_cast<std::size_t>(bits) - 1] =
+      nl.add_gate(GateType::Buf, strformat("rb%d", bits - 1), {acc});
+  for (int i = bits - 2; i >= 0; --i) {
+    acc = nl.add_gate(GateType::Xor, strformat("rb%d", i),
+                      {gray[static_cast<std::size_t>(i)], acc});
+    round[static_cast<std::size_t>(i)] = acc;
+  }
+  for (NodeId r : round) nl.mark_output(r);
+  return nl;
+}
+
+Netlist random_circuit(const RandomCircuitSpec& spec, std::string name) {
+  BNS_EXPECTS(spec.num_inputs >= 1);
+  BNS_EXPECTS(spec.num_outputs >= 1);
+  BNS_EXPECTS(spec.num_gates >= spec.num_outputs);
+  BNS_EXPECTS(spec.depth >= 1);
+  Rng rng(spec.seed);
+  Netlist nl(std::move(name));
+
+  // Level 0: the primary inputs.
+  std::vector<std::vector<NodeId>> level(1);
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    level[0].push_back(nl.add_input(strformat("i%d", i)));
+  }
+
+  const int depth = std::min(spec.depth, spec.num_gates);
+  const double w1[] = {0.2, 0.8}; // BUF : NOT
+  const double wtype[] = {0.30, 0.22, 0.20, 0.20, 0.05, 0.03};
+  const GateType types[] = {GateType::Nand, GateType::Nor, GateType::And,
+                            GateType::Or,   GateType::Xor, GateType::Xnor};
+
+  // Draws a source from a level below `l`, geometrically biased toward
+  // the immediately preceding one.
+  auto pick_from_below = [&](int l) -> NodeId {
+    int src = l - 1;
+    while (src > 0 && !rng.bernoulli(spec.adjacency)) --src;
+    const auto& lv = level[static_cast<std::size_t>(src)];
+    return lv[static_cast<std::size_t>(rng.below(lv.size()))];
+  };
+
+  // Independence-approximated signal probability per node, used to keep
+  // the generated logic *informative*: deep random NAND/NOR cascades
+  // otherwise drift every line to a near-constant 0/1, which no designed
+  // circuit exhibits.
+  std::vector<double> prob(static_cast<std::size_t>(spec.num_inputs), 0.5);
+
+  auto type_output_prob = [](GateType t, std::span<const double> ps) {
+    double and_p = 1.0;
+    double or_q = 1.0;
+    double xor_p = 0.0;
+    for (double p : ps) {
+      and_p *= p;
+      or_q *= 1.0 - p;
+      xor_p = xor_p * (1.0 - p) + (1.0 - xor_p) * p;
+    }
+    switch (t) {
+      case GateType::And: return and_p;
+      case GateType::Nand: return 1.0 - and_p;
+      case GateType::Or: return 1.0 - or_q;
+      case GateType::Nor: return or_q;
+      case GateType::Xor: return xor_p;
+      case GateType::Xnor: return 1.0 - xor_p;
+      default: return ps.empty() ? 0.5 : ps[0];
+    }
+  };
+
+  int made = 0;
+  int unconsumed_input = 0;
+  for (int l = 1; l <= depth; ++l) {
+    // Spread the remaining gates evenly over the remaining levels.
+    const int remaining_levels = depth - l + 1;
+    const int width = std::max(
+        1, (spec.num_gates - made + remaining_levels - 1) / remaining_levels);
+    level.emplace_back();
+    for (int gi = 0; gi < width && made < spec.num_gates; ++gi, ++made) {
+      int fanin = 1 + rng.weighted(spec.fanin_weights, 5);
+
+      std::vector<NodeId> fin;
+      // Enforce the level structure: first fanin comes from level l-1
+      // (unless inputs remain unconsumed and we are at level 1).
+      if (l == 1 && unconsumed_input < spec.num_inputs) {
+        fin.push_back(level[0][static_cast<std::size_t>(unconsumed_input++)]);
+      } else {
+        const auto& prev = level[static_cast<std::size_t>(l - 1)];
+        fin.push_back(prev[static_cast<std::size_t>(rng.below(prev.size()))]);
+      }
+      // Feed not-yet-consumed inputs as secondary fanins so wide-input
+      // circuits (c2670-class) consume all their PIs without inflating
+      // the gate count.
+      if (static_cast<int>(fin.size()) < fanin &&
+          unconsumed_input < spec.num_inputs) {
+        fin.push_back(level[0][static_cast<std::size_t>(unconsumed_input++)]);
+      }
+      int attempts = 0;
+      while (static_cast<int>(fin.size()) < fanin && attempts < 64) {
+        const NodeId s = pick_from_below(l);
+        if (std::find(fin.begin(), fin.end(), s) == fin.end()) fin.push_back(s);
+        ++attempts;
+      }
+
+      std::vector<double> fps;
+      for (NodeId f : fin) fps.push_back(prob[static_cast<std::size_t>(f)]);
+
+      GateType type;
+      double out_p;
+      if (fin.size() == 1) {
+        type = rng.weighted(w1, 2) == 0 ? GateType::Buf : GateType::Not;
+        out_p = type == GateType::Buf ? fps[0] : 1.0 - fps[0];
+      } else {
+        // Draw from the realistic mix but redraw (a few times) when the
+        // output would be nearly constant.
+        type = types[rng.weighted(wtype, 6)];
+        out_p = type_output_prob(type, fps);
+        // Redraw from the same mix while the line would be nearly
+        // constant; the first acceptable draw wins so the overall gate
+        // mix stays realistic instead of drifting toward XOR.
+        for (int redraw = 0; redraw < 4 && (out_p < 0.1 || out_p > 0.9);
+             ++redraw) {
+          const GateType cand = types[rng.weighted(wtype, 6)];
+          const double cand_p = type_output_prob(cand, fps);
+          if (cand_p >= 0.1 && cand_p <= 0.9) {
+            type = cand;
+            out_p = cand_p;
+            break;
+          }
+          if (std::abs(cand_p - 0.5) < std::abs(out_p - 0.5)) {
+            type = cand;
+            out_p = cand_p;
+          }
+        }
+      }
+      prob.push_back(out_p);
+      level.back().push_back(
+          nl.add_gate(type, strformat("g%d", made), std::move(fin)));
+    }
+    if (level.back().empty()) level.pop_back();
+  }
+  // Any inputs not consumed at level 1 get a consumer now (a NOT at the
+  // end keeps them from dangling).
+  while (unconsumed_input < spec.num_inputs) {
+    const NodeId in = level[0][static_cast<std::size_t>(unconsumed_input)];
+    // Only if genuinely unused:
+    bool used = false;
+    for (NodeId id = 0; id < nl.num_nodes() && !used; ++id) {
+      for (NodeId f : nl.node(id).fanin) {
+        if (f == in) {
+          used = true;
+          break;
+        }
+      }
+    }
+    if (!used) {
+      level.back().push_back(
+          nl.add_gate(GateType::Not, strformat("gi%d", unconsumed_input), {in}));
+      prob.push_back(1.0 - prob[static_cast<std::size_t>(in)]);
+    }
+    ++unconsumed_input;
+  }
+
+  // Outputs: prefer sinks (fanout-0 gates), newest first; top up with
+  // the newest non-sink gates if the circuit converged too much.
+  const auto fo = nl.fanout_counts();
+  std::vector<NodeId> sinks;
+  for (NodeId id = nl.num_nodes() - 1; id >= 0; --id) {
+    if (nl.node(id).type != GateType::Input && fo[static_cast<std::size_t>(id)] == 0) {
+      sinks.push_back(id);
+    }
+  }
+  int marked = 0;
+  for (NodeId id : sinks) {
+    if (marked >= spec.num_outputs) break;
+    nl.mark_output(id);
+    ++marked;
+  }
+  for (NodeId id = nl.num_nodes() - 1; id >= 0 && marked < spec.num_outputs; --id) {
+    if (nl.node(id).type == GateType::Input || nl.is_output(id)) continue;
+    nl.mark_output(id);
+    ++marked;
+  }
+  return nl;
+}
+
+} // namespace bns

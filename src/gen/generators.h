@@ -1,0 +1,114 @@
+// Parameterized circuit generators.
+//
+// Two families:
+//  * Structural generators for circuit classes whose architecture is
+//    public and regular (adders, array multipliers, parity/Hamming
+//    trees, comparators, ALUs, decoders, muxes). These reproduce the
+//    real structure of benchmarks like c6288 (16x16 array multiplier)
+//    and c499/c1355 (32-bit SEC circuit).
+//  * A seeded layered random generator that hits target input/output/
+//    gate counts with an ISCAS-like gate mix and reconvergent fanout,
+//    used as stand-ins for benchmarks whose netlists are irregular
+//    proprietary controllers (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace bns {
+
+// --- arithmetic ------------------------------------------------------
+
+// Ripple-carry adder: 2n+1 inputs (a, b, cin), n+1 outputs (sum, cout).
+Netlist ripple_adder(int bits);
+
+// Array multiplier over unsigned a[bits] x b[bits] (carry-save rows with
+// ripple final stage) — the architecture of ISCAS-85 c6288 at bits=16.
+Netlist array_multiplier(int bits);
+
+// n-bit incrementer chain: `stages` cascaded +1 blocks (MCNC `count`-like
+// combinational counter logic).
+Netlist incrementer_chain(int bits, int stages);
+
+// --- coding / trees --------------------------------------------------
+
+// Balanced XOR parity tree over `width` inputs.
+Netlist parity_tree(int width);
+
+// Single-error-correct Hamming-style circuit: `data_bits` data +
+// `parity_bits` received check bits in; syndrome decode; corrected data
+// out. With data_bits=32, parity_bits=9... no: pass explicit counts.
+// (c499/c1355 class at data_bits=32.)
+Netlist sec_corrector(int data_bits, int parity_bits);
+
+// Same function with every XOR2 expanded to 4 NAND2s (the c1355
+// transformation of c499). Applied to any netlist.
+Netlist expand_xor_to_nand(const Netlist& nl);
+
+// --- selection / control ---------------------------------------------
+
+// Magnitude + equality ripple comparator over two n-bit words
+// (MCNC `comp` class): outputs gt, lt, eq.
+Netlist comparator(int bits);
+
+// 2^sel : 1 multiplexer tree.
+Netlist mux_tree(int select_bits);
+
+// sel -> 2^sel one-hot decoder with enable.
+Netlist decoder(int select_bits);
+
+// Majority voter over `ways` replicated `bits`-bit words (TMR-style,
+// MCNC `voter` class).
+Netlist majority_voter(int bits, int ways);
+
+// Small ALU slice array: ops = {ADD, AND, OR, XOR} selected by 2 op
+// bits; n-bit operands; n+1 outputs. (c880/alu4 class.)
+Netlist alu(int bits);
+
+// Carry-lookahead adder (two-level lookahead over 4-bit groups):
+// structurally distinct from the ripple adder — shallow and wide.
+Netlist carry_lookahead_adder(int bits);
+
+// Logarithmic barrel shifter: data[2^stages] rotated left by the
+// `stages`-bit shift amount.
+Netlist barrel_shifter(int stages);
+
+// Priority encoder: highest set bit of `width` requests, one-hot grant
+// outputs plus a valid flag.
+Netlist priority_encoder(int width);
+
+// Binary-to-Gray and Gray-to-binary converter pair in one netlist
+// (binary in, gray out and round-tripped binary out) — XOR chains with
+// reconvergence.
+Netlist gray_converter(int bits);
+
+// --- random ------------------------------------------------------------
+
+struct RandomCircuitSpec {
+  int num_inputs = 16;
+  int num_outputs = 8;
+  int num_gates = 100;
+  // Target logic depth; gates are spread over this many levels, so the
+  // generated circuit is wide-and-shallow like real ISCAS controllers
+  // rather than a deep sausage.
+  int depth = 20;
+  std::uint64_t seed = 1;
+  // Fanin distribution weights for fanin 1..5 (fanin-1 gates are
+  // BUF/NOT). Defaults follow a typical ISCAS-85 mix dominated by
+  // 2-input gates with a tail of wide gates.
+  double fanin_weights[5] = {0.14, 0.52, 0.18, 0.10, 0.06};
+  // Geometric decay for how far back (in levels) a fanin reaches: a
+  // fanin comes from level l-1 with probability `adjacency`, from l-2
+  // with adjacency*(1-adjacency), etc. Smaller values create more
+  // long-range reconvergence.
+  double adjacency = 0.55;
+};
+
+// Levelized random circuit with the exact requested input/output/gate
+// counts and approximately the requested depth. Every gate has at least
+// one fanin on the immediately preceding level; outputs are drawn from
+// sinks (newest first). Deterministic in `seed`.
+Netlist random_circuit(const RandomCircuitSpec& spec, std::string name);
+
+} // namespace bns

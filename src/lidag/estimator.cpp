@@ -1,0 +1,373 @@
+#include "lidag/estimator.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace bns {
+
+std::vector<double> SwitchingEstimate::activities() const {
+  std::vector<double> out(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) out[i] = activity_of(dist[i]);
+  return out;
+}
+
+double SwitchingEstimate::activity(NodeId id) const {
+  BNS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < dist.size());
+  return activity_of(dist[static_cast<std::size_t>(id)]);
+}
+
+double SwitchingEstimate::average_activity() const {
+  BNS_EXPECTS(!dist.empty());
+  double s = 0.0;
+  for (const auto& d : dist) s += activity_of(d);
+  return s / static_cast<double>(dist.size());
+}
+
+LidagEstimator::LidagEstimator(const Netlist& nl, const InputModel& model,
+                               EstimatorOptions opts)
+    : nl_(&nl), inner_(reorder_cone_dfs(nl)), opts_(opts) {
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  Timer t;
+
+  // Inner input position -> original input index.
+  std::vector<int> pos_of_inner_node(static_cast<std::size_t>(nl.num_nodes()), -1);
+  const auto& inner_inputs = inner_.netlist.inputs();
+  for (int j = 0; j < static_cast<int>(inner_inputs.size()); ++j) {
+    pos_of_inner_node[static_cast<std::size_t>(inner_inputs[static_cast<std::size_t>(j)])] = j;
+  }
+  input_perm_.assign(inner_inputs.size(), -1);
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    const NodeId inner_id =
+        inner_.map[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])];
+    input_perm_[static_cast<std::size_t>(pos_of_inner_node[static_cast<std::size_t>(inner_id)])] = i;
+  }
+
+  const InputModel inner_model = permute_inputs(model);
+  const NodeId n = inner_.netlist.num_nodes();
+  if (n == 0) return;
+
+  // Primary-input support bitsets, used to pick boundary links.
+  {
+    const Netlist& inl = inner_.netlist;
+    const std::size_t words =
+        (static_cast<std::size_t>(inl.num_inputs()) + 63) / 64;
+    support_.assign(static_cast<std::size_t>(n),
+                    std::vector<std::uint64_t>(words, 0));
+    for (int i = 0; i < inl.num_inputs(); ++i) {
+      const NodeId id = inl.inputs()[static_cast<std::size_t>(i)];
+      support_[static_cast<std::size_t>(id)][static_cast<std::size_t>(i) / 64] |=
+          1ULL << (i % 64);
+    }
+    for (NodeId id = 0; id < n; ++id) {
+      auto& sup = support_[static_cast<std::size_t>(id)];
+      for (NodeId f : inl.node(id).fanin) {
+        const auto& fs = support_[static_cast<std::size_t>(f)];
+        for (std::size_t w = 0; w < words; ++w) sup[w] |= fs[w];
+      }
+    }
+  }
+  bool done = false;
+  if (n <= opts_.single_bn_nodes) {
+    // Attempt the whole circuit as one BN; fall back to segmentation if
+    // its junction tree blows the state-space budget.
+    Segment seg;
+    seg.begin = 0;
+    seg.end = n;
+    seg.lidag = std::make_unique<LidagBn>(
+        build_lidag(inner_.netlist, 0, n, inner_model, opts_.lidag));
+    CompileOptions copts;
+    copts.heuristic = opts_.heuristic;
+    seg.engine = std::make_unique<JunctionTreeEngine>(seg.lidag->bn, copts);
+    if (seg.engine->state_space() <= opts_.max_segment_states || n <= 1) {
+      segments_.push_back(std::move(seg));
+      done = true;
+    }
+  }
+  if (!done) {
+    // Segment the circuit chunk by chunk with an adaptive chunk size:
+    // chunks that had to be split shrink the working size, smooth
+    // sailing grows it back toward the configured target.
+    const std::vector<int> frontier =
+        opts_.segmentation == SegmentationStrategy::MinFrontier
+            ? boundary_frontier()
+            : std::vector<int>();
+    NodeId b = 0;
+    int size = opts_.segment_nodes;
+    while (b < n) {
+      NodeId e;
+      if (n - b <= size + size / 2) {
+        e = n;
+      } else if (frontier.empty()) {
+        e = b + size;
+      } else {
+        // Cut where the live-net frontier is smallest within the window.
+        e = b + std::max(1, size / 2);
+        for (NodeId p = e; p <= b + size + size / 2; ++p) {
+          if (frontier[static_cast<std::size_t>(p)] <=
+              frontier[static_cast<std::size_t>(e)]) {
+            e = p;
+          }
+        }
+      }
+      const int before = static_cast<int>(segments_.size());
+      compile_range(b, e, inner_model);
+      const int produced = static_cast<int>(segments_.size()) - before;
+      if (produced > 1) {
+        size = std::max(16, size / 2);
+      } else if (size < opts_.segment_nodes) {
+        size = std::min(opts_.segment_nodes, size + size / 2);
+      }
+      b = e;
+    }
+  }
+  compile_seconds_ = t.seconds();
+}
+
+std::vector<int> LidagEstimator::boundary_frontier() const {
+  const Netlist& nl = inner_.netlist;
+  const NodeId n = nl.num_nodes();
+
+  // frontier[p] = number of nets defined before p that are consumed at
+  // or after p — the marginals that a cut between p-1 and p forwards.
+  std::vector<NodeId> last_use(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) last_use[static_cast<std::size_t>(id)] = id;
+  for (NodeId id = 0; id < n; ++id) {
+    for (NodeId f : nl.node(id).fanin) {
+      last_use[static_cast<std::size_t>(f)] =
+          std::max(last_use[static_cast<std::size_t>(f)], id);
+    }
+  }
+  std::vector<int> delta(static_cast<std::size_t>(n) + 2, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    if (last_use[static_cast<std::size_t>(id)] > id) {
+      ++delta[static_cast<std::size_t>(id) + 1];
+      --delta[static_cast<std::size_t>(last_use[static_cast<std::size_t>(id)]) + 1];
+    }
+  }
+  std::vector<int> frontier(static_cast<std::size_t>(n) + 1, 0);
+  int acc = 0;
+  for (NodeId p = 0; p <= n; ++p) {
+    acc += delta[static_cast<std::size_t>(p)];
+    frontier[static_cast<std::size_t>(p)] = acc;
+  }
+  return frontier;
+}
+
+void LidagEstimator::compile_range(NodeId begin, NodeId end,
+                                   const InputModel& model) {
+  BNS_EXPECTS(begin < end);
+  CompileOptions copts;
+  copts.heuristic = opts_.heuristic;
+
+  // Try with the full overlap window, then with progressively smaller
+  // windows; only if even a zero-overlap junction tree blows the budget
+  // is the range itself split.
+  for (int ov = opts_.segment_overlap;; ov /= 4) {
+    Segment seg;
+    seg.begin = begin;
+    seg.end = end;
+    const NodeId ctx = std::max<NodeId>(0, begin - ov);
+    seg.lidag = std::make_unique<LidagBn>(
+        build_lidag(inner_.netlist, ctx, begin, end, model, opts_.lidag));
+    if (opts_.lidag.boundary_chain) {
+      const auto links = pick_boundary_links(*seg.lidag);
+      link_boundary_roots(*seg.lidag, links);
+    }
+    seg.engine = std::make_unique<JunctionTreeEngine>(seg.lidag->bn, copts);
+    if (seg.engine->state_space() <= opts_.max_segment_states ||
+        (ov == 0 && end - begin <= 1)) {
+      segments_.push_back(std::move(seg));
+      return;
+    }
+    if (ov == 0) break;
+  }
+
+  // Split the range and recompile the halves. The boundary-marginal
+  // forwarding between the halves loses some correlation — the error
+  // source the paper attributes to its segmentation scheme.
+  const NodeId mid = begin + (end - begin) / 2;
+  compile_range(begin, mid, model);
+  compile_range(mid, end, model);
+}
+
+SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
+  BNS_EXPECTS(model.num_inputs() == nl_->num_inputs());
+  const InputModel inner_model = permute_inputs(model);
+  std::vector<std::array<double, 4>> inner_dist(
+      static_cast<std::size_t>(inner_.netlist.num_nodes()));
+
+  // Pairwise boundary-joint provider: when two boundary lines were
+  // defined in the same earlier segment and share a clique there, their
+  // exact pairwise joint is forwarded instead of independent marginals.
+  const BoundaryJointFn pair_joint = [this](NodeId a, NodeId b,
+                                            std::array<double, 16>& joint) {
+    const Segment* owner = nullptr;
+    for (const Segment& s : segments_) {
+      if (a >= s.begin && a < s.end) {
+        owner = &s;
+        break;
+      }
+    }
+    if (owner == nullptr || b < owner->begin || b >= owner->end) return false;
+    if (!owner->engine->propagated()) return false;
+    const VarId va = owner->lidag->var_of_node[static_cast<std::size_t>(a)];
+    const VarId vb = owner->lidag->var_of_node[static_cast<std::size_t>(b)];
+    BNS_ASSERT(va >= 0 && vb >= 0);
+    const VarId vs[2] = {va, vb};
+    const std::optional<Factor> j = owner->engine->try_joint_marginal(vs);
+    if (!j.has_value()) return false;
+    // Factor scope is sorted by variable id; map to (a, b) order.
+    const bool a_first = j->vars()[0] == va;
+    std::vector<int> st(2, 0);
+    for (int sa = 0; sa < 4; ++sa) {
+      for (int sb = 0; sb < 4; ++sb) {
+        st[0] = a_first ? sa : sb;
+        st[1] = a_first ? sb : sa;
+        joint[static_cast<std::size_t>(sa * 4 + sb)] = j->at(st);
+      }
+    }
+    return true;
+  };
+
+  Timer t;
+  for (Segment& seg : segments_) {
+    quantify_lidag(*seg.lidag, inner_model, inner_dist, pair_joint,
+                   opts_.lidag);
+    seg.engine->reset_potentials();
+    seg.engine->propagate();
+    for (NodeId id : seg.lidag->defined_nodes) {
+      const VarId v = seg.lidag->var_of_node[static_cast<std::size_t>(id)];
+      const Factor m = seg.engine->marginal(v);
+      auto& d = inner_dist[static_cast<std::size_t>(id)];
+      for (std::size_t s = 0; s < 4; ++s) d[s] = m.value(s);
+    }
+  }
+
+  SwitchingEstimate out;
+  out.dist.resize(static_cast<std::size_t>(nl_->num_nodes()));
+  for (NodeId id = 0; id < nl_->num_nodes(); ++id) {
+    out.dist[static_cast<std::size_t>(id)] =
+        inner_dist[static_cast<std::size_t>(inner_.map[static_cast<std::size_t>(id)])];
+  }
+  out.propagate_seconds = t.seconds();
+  return out;
+}
+
+const LidagEstimator::Segment* LidagEstimator::owner_of(NodeId inner_node) const {
+  for (const Segment& s : segments_) {
+    if (inner_node >= s.begin && inner_node < s.end) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<NodeId, NodeId>> LidagEstimator::pick_boundary_links(
+    const LidagBn& lb) const {
+  std::vector<NodeId> boundary;
+  for (const LidagRoot& r : lb.roots) {
+    if (r.kind == RootKind::Boundary) boundary.push_back(r.node);
+  }
+  std::sort(boundary.begin(), boundary.end());
+
+  std::vector<std::pair<NodeId, NodeId>> links;
+  for (std::size_t i = 1; i < boundary.size(); ++i) {
+    const NodeId child = boundary[i];
+    const Segment* owner = owner_of(child);
+    if (owner == nullptr) continue;
+    const VarId cv = owner->lidag->var_of_node[static_cast<std::size_t>(child)];
+    if (cv < 0) continue;
+    const auto& csup = support_[static_cast<std::size_t>(child)];
+
+    NodeId best = kInvalidNode;
+    int best_overlap = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const NodeId cand = boundary[j];
+      if (cand < owner->begin || cand >= owner->end) continue;
+      const auto& asup = support_[static_cast<std::size_t>(cand)];
+      int overlap = 0;
+      for (std::size_t w = 0; w < csup.size(); ++w) {
+        overlap += std::popcount(csup[w] & asup[w]);
+      }
+      if (overlap == 0 || overlap < best_overlap) continue;
+      const VarId av = owner->lidag->var_of_node[static_cast<std::size_t>(cand)];
+      if (av < 0) continue;
+      // The pairwise joint must be locally available in the owner.
+      const int both[2] = {std::min(av, cv), std::max(av, cv)};
+      if (owner->engine->tree().clique_containing_all(both) < 0) continue;
+      // >= keeps the latest (closest) candidate on overlap ties.
+      best = cand;
+      best_overlap = overlap;
+    }
+    if (best != kInvalidNode && best_overlap > 0) {
+      links.emplace_back(child, best);
+    }
+  }
+  return links;
+}
+
+std::optional<std::array<double, 4>> LidagEstimator::conditional_dist(
+    NodeId target, NodeId given, Trans state, const InputModel& model) {
+  BNS_EXPECTS(target >= 0 && target < nl_->num_nodes());
+  BNS_EXPECTS(given >= 0 && given < nl_->num_nodes());
+  BNS_EXPECTS(target != given);
+
+  // A full unconditional pass populates the boundary marginals the
+  // owning segment's quantification needs (and leaves every engine
+  // propagated, so the pairwise boundary joints stay available).
+  const SwitchingEstimate base = estimate(model);
+  (void)base;
+
+  const NodeId it = inner_.map[static_cast<std::size_t>(target)];
+  const NodeId ig = inner_.map[static_cast<std::size_t>(given)];
+  for (Segment& seg : segments_) {
+    const VarId tv = seg.lidag->var_of_node[static_cast<std::size_t>(it)];
+    const VarId gv = seg.lidag->var_of_node[static_cast<std::size_t>(ig)];
+    if (tv < 0 || gv < 0) continue;
+    // Potentials are already loaded and propagated by estimate();
+    // re-load them cleanly, enter the evidence, and re-propagate.
+    seg.engine->reset_potentials();
+    seg.engine->set_evidence(gv, static_cast<int>(state));
+    seg.engine->propagate();
+    if (seg.engine->evidence_probability() <= 0.0) return std::nullopt;
+    const Factor m = seg.engine->marginal(tv);
+    std::array<double, 4> out{};
+    for (std::size_t s = 0; s < 4; ++s) out[s] = m.value(s);
+    // Restore the unconditional state for subsequent queries.
+    seg.engine->reset_potentials();
+    seg.engine->propagate();
+    return out;
+  }
+  return std::nullopt;
+}
+
+InputModel LidagEstimator::permute_inputs(const InputModel& model) const {
+  std::vector<InputSpec> specs(input_perm_.size());
+  for (std::size_t j = 0; j < input_perm_.size(); ++j) {
+    specs[j] = model.spec(input_perm_[j]);
+  }
+  return InputModel::custom(std::move(specs), model.groups());
+}
+
+double LidagEstimator::total_state_space() const {
+  double s = 0.0;
+  for (const Segment& seg : segments_) s += seg.engine->state_space();
+  return s;
+}
+
+std::size_t LidagEstimator::max_clique_vars() const {
+  std::size_t m = 0;
+  for (const Segment& seg : segments_) {
+    m = std::max(m, seg.engine->triangulation().max_clique_size());
+  }
+  return m;
+}
+
+int LidagEstimator::total_bn_variables() const {
+  int n = 0;
+  for (const Segment& seg : segments_) n += seg.lidag->bn.num_variables();
+  return n;
+}
+
+} // namespace bns

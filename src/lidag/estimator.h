@@ -1,0 +1,147 @@
+// The end-to-end switching-activity estimator of the paper: netlist →
+// (segmented) LIDAG Bayesian networks → junction-tree compilation →
+// propagation → per-line 4-state transition distributions.
+//
+// Compilation (structure + triangulation) is separated from propagation
+// so that re-estimating under different input statistics only pays the
+// cheap propagation ("update") cost — the workflow the paper advocates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bn/junction_tree.h"
+#include "lidag/lidag.h"
+#include "netlist/netlist.h"
+#include "netlist/transforms.h"
+#include "sim/input_model.h"
+
+namespace bns {
+
+enum class SegmentationStrategy {
+  // Cut at fixed node-count boundaries (the paper's "preliminary
+  // segmentation scheme").
+  FixedRange,
+  // Cut where the set of live nets crossing the boundary is smallest
+  // within a window — fewer forwarded marginals, less correlation loss
+  // (the "efficient segmentation technique" the paper announces as
+  // future work).
+  MinFrontier,
+};
+
+struct EstimatorOptions {
+  LidagOptions lidag;
+  EliminationHeuristic heuristic = EliminationHeuristic::MinFill;
+  SegmentationStrategy segmentation = SegmentationStrategy::MinFrontier;
+  // Junction-tree state-space budget per segment (sum over cliques of
+  // the clique table sizes). A segment exceeding it is split in half and
+  // recompiled. 4^10 * 16 ≈ 16.8M doubles ≈ 134 MB worst case.
+  double max_segment_states = 4.0e6;
+  // Initial segmentation chunk size in netlist nodes. Circuits with at
+  // most `single_bn_nodes` lines are first attempted as one BN.
+  int segment_nodes = 140;
+  int single_bn_nodes = 320;
+  // Overlap window: each segment rebuilds this many preceding nodes as
+  // internal context so that correlations among nets just behind the cut
+  // are re-derived locally instead of being broken into independent
+  // marginals. 0 disables overlap (the paper's preliminary scheme).
+  int segment_overlap = 64;
+};
+
+struct SwitchingEstimate {
+  // Per-line transition distribution, indexed by NodeId. Auxiliary
+  // decomposition variables are internal and not reported.
+  std::vector<std::array<double, 4>> dist;
+  // Seconds spent in propagation (potential reload + message passing)
+  // for this estimate — the paper's "update" time.
+  double propagate_seconds = 0.0;
+
+  std::vector<double> activities() const;
+  double activity(NodeId id) const;
+  // Average switching activity over all lines.
+  double average_activity() const;
+};
+
+class LidagEstimator {
+ public:
+  // Builds and compiles all segment BNs. `model` provides the input
+  // *structure* (grouping); statistics may differ between estimate()
+  // calls as long as the grouping layout matches.
+  LidagEstimator(const Netlist& nl, const InputModel& model,
+                 EstimatorOptions opts = {});
+
+  // Propagates the given input statistics through all segments.
+  SwitchingEstimate estimate(const InputModel& model);
+
+  // Conditional switching query — the capability unique to the BN model
+  // (the paper's advantage #4: conditional independencies are modeled,
+  // so posteriors under observations come for free): the transition
+  // distribution of line `target` given hard evidence that line `given`
+  // is in transition state `state`. Returns nullopt when the two lines
+  // are not modeled in the same segment BN (cross-segment conditionals
+  // would need the joint that segmentation gave up) or when the
+  // evidence has probability 0.
+  std::optional<std::array<double, 4>> conditional_dist(
+      NodeId target, NodeId given, Trans state, const InputModel& model);
+
+  // --- compile-time diagnostics --------------------------------------
+  double compile_seconds() const { return compile_seconds_; }
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  bool single_bn() const { return segments_.size() == 1; }
+  // Sum of junction-tree state spaces over segments.
+  double total_state_space() const;
+  // Largest clique (in variables) over all segments.
+  std::size_t max_clique_vars() const;
+  int total_bn_variables() const;
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  struct Segment {
+    // Heap-allocated: the engine keeps a pointer into the contained
+    // BayesianNetwork, so its address must survive vector reallocation.
+    std::unique_ptr<LidagBn> lidag;
+    std::unique_ptr<JunctionTreeEngine> engine;
+    NodeId begin = 0;
+    NodeId end = 0;
+  };
+
+  // Compiles [begin, end); splits on state-space blowup.
+  void compile_range(NodeId begin, NodeId end, const InputModel& model);
+
+  // frontier[p] = number of live nets crossing a cut between node p-1
+  // and node p (see SegmentationStrategy::MinFrontier).
+  std::vector<int> boundary_frontier() const;
+
+  // Remaps an input model given for the original netlist onto the
+  // reordered internal one.
+  InputModel permute_inputs(const InputModel& model) const;
+
+  // Picks (child, parent) boundary links for a freshly built segment BN:
+  // the parent is the earlier boundary line with the largest shared
+  // primary-input support that lives in the same owning segment and
+  // shares a clique there (so its exact pairwise joint is available).
+  std::vector<std::pair<NodeId, NodeId>> pick_boundary_links(
+      const LidagBn& lb) const;
+
+  // Owning (already compiled) segment of an inner line, or nullptr.
+  const Segment* owner_of(NodeId inner_node) const;
+
+  const Netlist* nl_; // non-owning; must outlive the estimator
+  // support_[id] = bitset over primary-input positions in the transitive
+  // fanin of inner line id (used to pick boundary links).
+  std::vector<std::vector<std::uint64_t>> support_;
+  // Internal working copy renumbered into DFS cone order — contiguous
+  // segmentation ranges then align with output cones, which is where
+  // range cuts lose the least correlation.
+  MappedNetlist inner_;
+  std::vector<int> input_perm_; // inner input position -> original index
+  EstimatorOptions opts_;
+  std::vector<Segment> segments_;
+  double compile_seconds_ = 0.0;
+};
+
+} // namespace bns

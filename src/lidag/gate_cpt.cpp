@@ -1,0 +1,112 @@
+#include "lidag/gate_cpt.h"
+
+#include <algorithm>
+
+#include "sim/input_model.h"
+#include "util/assert.h"
+
+namespace bns {
+namespace {
+
+// Transition-state encoding: state = 2*value(t-1) + value(t), i.e.
+// T00=0, T01=1, T10=2, T11=3 — consistent with sim/input_model.h.
+int prev_bit(int state) { return state >> 1; }
+int cur_bit(int state) { return state & 1; }
+
+} // namespace
+
+Factor transition_cpt(const TruthTable& tt, std::span<const VarId> in_vars,
+                      VarId out_var) {
+  const int k = tt.num_inputs();
+  BNS_EXPECTS(static_cast<int>(in_vars.size()) == k);
+
+  // De-duplicate fanin variables, keeping the position -> unique-index map.
+  std::vector<VarId> uniq(in_vars.begin(), in_vars.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  BNS_EXPECTS_MSG(!std::binary_search(uniq.begin(), uniq.end(), out_var),
+                  "gate output cannot be its own fanin");
+  std::vector<int> pos_of(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    pos_of[static_cast<std::size_t>(i)] = static_cast<int>(
+        std::lower_bound(uniq.begin(), uniq.end(),
+                         in_vars[static_cast<std::size_t>(i)]) -
+        uniq.begin());
+  }
+
+  const int m = static_cast<int>(uniq.size());
+  std::vector<VarId> scope = uniq;
+  scope.push_back(out_var);
+  std::sort(scope.begin(), scope.end());
+  const std::size_t out_axis = static_cast<std::size_t>(
+      std::lower_bound(scope.begin(), scope.end(), out_var) - scope.begin());
+  std::vector<std::size_t> axis_of_uniq(static_cast<std::size_t>(m));
+  for (int u = 0; u < m; ++u) {
+    axis_of_uniq[static_cast<std::size_t>(u)] = static_cast<std::size_t>(
+        std::lower_bound(scope.begin(), scope.end(),
+                         uniq[static_cast<std::size_t>(u)]) -
+        scope.begin());
+  }
+
+  Factor f(scope, std::vector<int>(scope.size(), 4));
+
+  std::vector<int> states(scope.size(), 0);
+  bool prev_in[TruthTable::kMaxInputs];
+  bool cur_in[TruthTable::kMaxInputs];
+  const std::uint64_t n_assign = 1ULL << (2 * m); // 4^m
+  for (std::uint64_t a = 0; a < n_assign; ++a) {
+    // Decode the assignment over unique fanins.
+    for (int u = 0; u < m; ++u) {
+      states[axis_of_uniq[static_cast<std::size_t>(u)]] =
+          static_cast<int>((a >> (2 * u)) & 3);
+    }
+    for (int i = 0; i < k; ++i) {
+      const int s = states[axis_of_uniq[static_cast<std::size_t>(
+          pos_of[static_cast<std::size_t>(i)])]];
+      prev_in[i] = prev_bit(s) != 0;
+      cur_in[i] = cur_bit(s) != 0;
+    }
+    const int out_prev = tt.eval(std::span<const bool>(prev_in, static_cast<std::size_t>(k))) ? 1 : 0;
+    const int out_cur = tt.eval(std::span<const bool>(cur_in, static_cast<std::size_t>(k))) ? 1 : 0;
+    states[out_axis] = out_prev * 2 + out_cur;
+    f.at(states) = 1.0;
+  }
+  return f;
+}
+
+Factor transition_cpt(GateType type, std::span<const VarId> in_vars,
+                      VarId out_var) {
+  return transition_cpt(
+      TruthTable::of_gate(type, static_cast<int>(in_vars.size())), in_vars,
+      out_var);
+}
+
+Factor transition_prior(VarId v, const std::array<double, 4>& dist) {
+  Factor f({v}, {4});
+  for (std::size_t s = 0; s < 4; ++s) f.set_value(s, dist[s]);
+  return f;
+}
+
+Factor noisy_copy_cpt(VarId source_var, VarId input_var, double flip) {
+  BNS_EXPECTS(source_var != input_var);
+  BNS_EXPECTS(flip >= 0.0 && flip <= 0.5);
+  std::vector<VarId> scope{source_var, input_var};
+  std::sort(scope.begin(), scope.end());
+  Factor f(scope, {4, 4});
+  std::vector<int> states(2, 0);
+  const std::size_t src_axis = scope[0] == source_var ? 0 : 1;
+  const std::size_t in_axis = 1 - src_axis;
+  for (int ss = 0; ss < 4; ++ss) {
+    for (int xs = 0; xs < 4; ++xs) {
+      const double f_prev =
+          (prev_bit(ss) == prev_bit(xs)) ? (1.0 - flip) : flip;
+      const double f_cur = (cur_bit(ss) == cur_bit(xs)) ? (1.0 - flip) : flip;
+      states[src_axis] = ss;
+      states[in_axis] = xs;
+      f.at(states) = f_prev * f_cur;
+    }
+  }
+  return f;
+}
+
+} // namespace bns

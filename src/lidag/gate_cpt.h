@@ -1,0 +1,38 @@
+// Conditional probability tables of switching (transition) variables.
+//
+// Section 4 of the paper: every line is a 4-state variable over
+// {x00, x01, x10, x11}; the CPT of a gate-output variable given the
+// gate-input variables is *deterministic* and fully determined by the
+// gate function applied independently at t-1 and t. E.g. for an OR gate,
+// P(out = x01 | a = x01, b = x00) = 1.
+#pragma once
+
+#include "bn/factor.h"
+#include "netlist/truth_table.h"
+
+namespace bns {
+
+// Builds the deterministic transition CPT of a function `tt` whose k
+// inputs are BN variables `in_vars` (aligned with the truth-table input
+// order) and whose output is `out_var`. All variables have cardinality 4.
+//
+// Repeated fanin variables are allowed (e.g. AND(a, a)); the CPT is then
+// over the de-duplicated scope and remains consistent.
+//
+// The returned factor's scope is sorted; entries are 0/1.
+Factor transition_cpt(const TruthTable& tt, std::span<const VarId> in_vars,
+                      VarId out_var);
+
+// Convenience overload for a primitive gate type with n inputs.
+Factor transition_cpt(GateType type, std::span<const VarId> in_vars,
+                      VarId out_var);
+
+// Prior factor over one 4-state root variable.
+Factor transition_prior(VarId v, const std::array<double, 4>& dist);
+
+// CPT of a noisy-copy input given its shared source (both 4-state):
+// X_t = S_t xor N_t with i.i.d. P(N = 1) = flip at each time step.
+// Used for the spatially-correlated-input extension.
+Factor noisy_copy_cpt(VarId source_var, VarId input_var, double flip);
+
+} // namespace bns

@@ -1,0 +1,392 @@
+#include "lidag/lidag.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "lidag/gate_cpt.h"
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+// CPTs are identical for every gate of the same type and width, so we
+// build each once per (type-or-table, width, scope-shape). The scope
+// shape matters only through the *rank* of the output variable among the
+// sorted scope; we key on that.
+struct CptCache {
+  std::unordered_map<std::string, Factor> by_key;
+
+  const Factor* find(const std::string& key) const {
+    const auto it = by_key.find(key);
+    return it == by_key.end() ? nullptr : &it->second;
+  }
+  const Factor& put(std::string key, Factor f) {
+    return by_key.emplace(std::move(key), std::move(f)).first->second;
+  }
+};
+
+class Builder {
+ public:
+  Builder(const Netlist& nl, NodeId context_begin, NodeId begin, NodeId end,
+          const InputModel& model, const LidagOptions& opts)
+      : nl_(nl), context_begin_(context_begin), begin_(begin), end_(end),
+        model_(model), opts_(opts) {
+    BNS_EXPECTS(context_begin >= 0 && context_begin <= begin && begin <= end &&
+                end <= nl.num_nodes());
+    BNS_EXPECTS(opts.max_fanin >= 2);
+    out_.var_of_node.assign(static_cast<std::size_t>(nl.num_nodes()), -1);
+    // Map PI node -> index into the input model.
+    pi_index_.assign(static_cast<std::size_t>(nl.num_nodes()), -1);
+    for (int i = 0; i < nl.num_inputs(); ++i) {
+      pi_index_[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])] = i;
+    }
+  }
+
+  LidagBn run() {
+    // Context pruning: only nodes in [context_begin_, begin_) that feed
+    // the segment (transitively, within the window) are rebuilt.
+    if (context_begin_ < begin_) {
+      std::vector<bool> needed(static_cast<std::size_t>(begin_), false);
+      std::vector<NodeId> work;
+      auto want = [&](NodeId f) {
+        if (f >= context_begin_ && f < begin_ &&
+            !needed[static_cast<std::size_t>(f)]) {
+          needed[static_cast<std::size_t>(f)] = true;
+          work.push_back(f);
+        }
+      };
+      for (NodeId id = begin_; id < end_; ++id) {
+        for (NodeId f : nl_.node(id).fanin) want(f);
+      }
+      while (!work.empty()) {
+        const NodeId id = work.back();
+        work.pop_back();
+        for (NodeId f : nl_.node(id).fanin) want(f);
+      }
+      for (NodeId id = context_begin_; id < begin_; ++id) {
+        if (needed[static_cast<std::size_t>(id)]) add_node(id);
+      }
+    }
+    for (NodeId id = begin_; id < end_; ++id) add_node(id);
+    return std::move(out_);
+  }
+
+ private:
+  VarId new_var(const std::string& name) {
+    return out_.bn.add_variable(name, 4);
+  }
+
+  // Returns the BN variable of line `id`, creating a root for it if it
+  // is not (yet) represented — used for fanins outside [begin_, end_).
+  VarId var_for_fanin(NodeId id) {
+    VarId v = out_.var_of_node[static_cast<std::size_t>(id)];
+    if (v >= 0) return v;
+    BNS_ASSERT_MSG(id < begin_, "fanin inside range must already be built");
+    v = new_var(nl_.node(id).name + "@boundary");
+    out_.var_of_node[static_cast<std::size_t>(id)] = v;
+    LidagRoot r;
+    r.var = v;
+    r.kind = RootKind::Boundary;
+    r.node = id;
+    out_.roots.push_back(r);
+    placeholder_prior(v);
+    return v;
+  }
+
+  void placeholder_prior(VarId v) {
+    out_.bn.set_cpt(v, {}, transition_prior(v, {0.25, 0.25, 0.25, 0.25}));
+  }
+
+  VarId group_source_var(int group) {
+    const auto it = group_var_.find(group);
+    if (it != group_var_.end()) return it->second;
+    const VarId v = new_var(strformat("group%d@source", group));
+    group_var_.emplace(group, v);
+    LidagRoot r;
+    r.var = v;
+    r.kind = RootKind::GroupSource;
+    r.group = group;
+    out_.roots.push_back(r);
+    placeholder_prior(v);
+    return v;
+  }
+
+  void add_node(NodeId id) {
+    const Node& n = nl_.node(id);
+    const VarId v = new_var(n.name);
+    out_.var_of_node[static_cast<std::size_t>(id)] = v;
+    if (id >= begin_) out_.defined_nodes.push_back(id);
+
+    switch (n.type) {
+      case GateType::Input: {
+        const int pi = pi_index_[static_cast<std::size_t>(id)];
+        BNS_ASSERT(pi >= 0);
+        const InputSpec& spec = model_.spec(pi);
+        LidagRoot r;
+        r.var = v;
+        r.node = id;
+        r.input_index = pi;
+        if (opts_.model_input_groups && spec.group >= 0) {
+          // Noisy copy of a hidden source; CPT quantified later.
+          const VarId src = group_source_var(spec.group);
+          out_.bn.set_cpt(v, {src}, noisy_copy_cpt(src, v, spec.flip));
+          r.kind = RootKind::PrimaryInput; // quantified via grouped_inputs
+          out_.grouped_inputs.push_back(r);
+        } else {
+          r.kind = RootKind::PrimaryInput;
+          out_.roots.push_back(r);
+          placeholder_prior(v);
+        }
+        return;
+      }
+      case GateType::Const0:
+      case GateType::Const1: {
+        LidagRoot r;
+        r.var = v;
+        r.kind = RootKind::Constant;
+        r.node = id;
+        out_.roots.push_back(r);
+        const bool one = n.type == GateType::Const1;
+        out_.bn.set_cpt(
+            v, {},
+            transition_prior(v, one ? std::array<double, 4>{0, 0, 0, 1}
+                                    : std::array<double, 4>{1, 0, 0, 0}));
+        return;
+      }
+      case GateType::Lut: {
+        if (n.lut->num_inputs() > opts_.max_lut_fanin) {
+          throw std::invalid_argument(
+              strformat("LUT '%s' has %d inputs, exceeding max_lut_fanin=%d",
+                        n.name.c_str(), n.lut->num_inputs(),
+                        opts_.max_lut_fanin));
+        }
+        std::vector<VarId> in_vars;
+        in_vars.reserve(n.fanin.size());
+        for (NodeId f : n.fanin) in_vars.push_back(var_for_fanin(f));
+        set_table_cpt(v, *n.lut, in_vars, "lut:" + n.lut->to_string());
+        return;
+      }
+      default:
+        add_gate(id, n, v);
+        return;
+    }
+  }
+
+  void add_gate(NodeId id, const Node& n, VarId v) {
+    std::vector<VarId> in_vars;
+    in_vars.reserve(n.fanin.size());
+    for (NodeId f : n.fanin) in_vars.push_back(var_for_fanin(f));
+
+    const int k = static_cast<int>(in_vars.size());
+    if (k <= opts_.max_fanin) {
+      set_gate_cpt(v, n.type, in_vars);
+      return;
+    }
+
+    // Parent divorcing: rounds of max_fanin-ary core gates over
+    // auxiliary variables, with the original (possibly inverting) gate
+    // type applied at the root so that line `id` keeps its semantics.
+    const GateType core = uninverted_core(n.type);
+    BNS_ASSERT_MSG(is_associative(core),
+                   "wide gate must have an associative core");
+    std::vector<VarId> layer = in_vars;
+    int aux_count = 0;
+    while (static_cast<int>(layer.size()) > opts_.max_fanin) {
+      std::vector<VarId> next;
+      for (std::size_t i = 0; i < layer.size(); i += static_cast<std::size_t>(opts_.max_fanin)) {
+        const std::size_t end =
+            std::min(layer.size(), i + static_cast<std::size_t>(opts_.max_fanin));
+        if (end - i == 1) {
+          next.push_back(layer[i]); // odd remainder passes through
+          continue;
+        }
+        const VarId aux = new_var(
+            strformat("%s#d%d", nl_.node(id).name.c_str(), aux_count++));
+        ++out_.num_aux;
+        set_gate_cpt(aux, core,
+                     std::vector<VarId>(layer.begin() + static_cast<std::ptrdiff_t>(i),
+                                        layer.begin() + static_cast<std::ptrdiff_t>(end)));
+        next.push_back(aux);
+      }
+      layer = std::move(next);
+    }
+    set_gate_cpt(v, n.type, layer);
+  }
+
+  void set_gate_cpt(VarId v, GateType type, const std::vector<VarId>& in_vars) {
+    set_table_cpt(v, TruthTable::of_gate(type, static_cast<int>(in_vars.size())),
+                  in_vars, std::string(gate_type_name(type)));
+  }
+
+  void set_table_cpt(VarId v, const TruthTable& tt,
+                     const std::vector<VarId>& in_vars,
+                     const std::string& fn_key) {
+    // The cached factor depends on the *relative order* of the scope
+    // variables, not their identities. Because variables are created in
+    // ascending id order and the output is created before any auxiliary
+    // variable but after its fanins... the output may be lower than a
+    // boundary fanin's id, so the rank of the output among the sorted
+    // scope is part of the key, as is the fanin permutation.
+    std::string key = fn_key;
+    key += '/';
+    std::vector<VarId> sorted(in_vars);
+    sorted.push_back(v);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (VarId u : in_vars) {
+      key += std::to_string(std::lower_bound(sorted.begin(), sorted.end(), u) -
+                            sorted.begin());
+      key += ',';
+    }
+    key += '|';
+    key += std::to_string(std::lower_bound(sorted.begin(), sorted.end(), v) -
+                          sorted.begin());
+
+    const Factor* cached = cache_.find(key);
+    Factor cpt = cached != nullptr
+                     ? *cached
+                     : cache_.put(key, transition_cpt(tt, in_vars, v));
+    // Re-label the cached factor's scope with the actual variable ids:
+    // same shape, same entries, different names.
+    if (cached != nullptr) {
+      Factor fresh(sorted, std::vector<int>(sorted.size(), 4));
+      BNS_ASSERT(fresh.size() == cpt.size());
+      std::copy(cpt.values().begin(), cpt.values().end(),
+                fresh.values().begin());
+      cpt = std::move(fresh);
+    }
+    // Parents are the de-duplicated fanins (a gate may list a line twice).
+    std::vector<VarId> parents(sorted);
+    parents.erase(std::remove(parents.begin(), parents.end(), v), parents.end());
+    out_.bn.set_cpt(v, std::move(parents), std::move(cpt));
+  }
+
+  const Netlist& nl_;
+  NodeId context_begin_;
+  NodeId begin_;
+  NodeId end_;
+  const InputModel& model_;
+  const LidagOptions& opts_;
+  LidagBn out_;
+  std::vector<int> pi_index_;
+  std::unordered_map<int, VarId> group_var_;
+  CptCache cache_;
+};
+
+} // namespace
+
+LidagBn build_lidag(const Netlist& nl, NodeId context_begin, NodeId begin,
+                    NodeId end, const InputModel& model,
+                    const LidagOptions& opts) {
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  return Builder(nl, context_begin, begin, end, model, opts).run();
+}
+
+LidagBn build_lidag(const Netlist& nl, const InputModel& model,
+                    const LidagOptions& opts) {
+  return build_lidag(nl, 0, 0, nl.num_nodes(), model, opts);
+}
+
+void link_boundary_roots(LidagBn& lb,
+                         std::span<const std::pair<NodeId, NodeId>> links) {
+  for (const auto& [child, parent] : links) {
+    BNS_EXPECTS(parent < child);
+    const VarId cv = lb.var_of_node[static_cast<std::size_t>(child)];
+    const VarId pv = lb.var_of_node[static_cast<std::size_t>(parent)];
+    BNS_EXPECTS(cv >= 0 && pv >= 0);
+    std::vector<VarId> scope{std::min(pv, cv), std::max(pv, cv)};
+    Factor placeholder(scope, {4, 4});
+    std::fill(placeholder.values().begin(), placeholder.values().end(), 0.25);
+    lb.bn.set_cpt(cv, {pv}, std::move(placeholder));
+    lb.boundary_links.emplace_back(child, parent);
+  }
+}
+
+void quantify_lidag(LidagBn& lb, const InputModel& model,
+                    std::span<const std::array<double, 4>> boundary_dist,
+                    const BoundaryJointFn& pair_joint,
+                    const LidagOptions& opts) {
+  // Boundary roots in line order, to rebuild the chain conditionals.
+  std::vector<const LidagRoot*> chain;
+  for (const LidagRoot& r : lb.roots) {
+    switch (r.kind) {
+      case RootKind::PrimaryInput: {
+        const InputSpec& spec = model.spec(r.input_index);
+        // Ungrouped PI (grouped ones live in grouped_inputs).
+        lb.bn.set_cpt(r.var, {},
+                      transition_prior(
+                          r.var, transition_distribution(spec.p, spec.rho)));
+        break;
+      }
+      case RootKind::Boundary:
+        BNS_EXPECTS(static_cast<std::size_t>(r.node) < boundary_dist.size());
+        chain.push_back(&r);
+        break;
+      case RootKind::Constant:
+        break; // fixed at build time
+      case RootKind::GroupSource:
+        lb.bn.set_cpt(r.var, {},
+                      transition_prior(r.var,
+                                       model.group_transition_dist(r.group)));
+        break;
+    }
+  }
+
+  // child line -> parent line for linked boundary roots.
+  std::vector<std::pair<NodeId, NodeId>> links = lb.boundary_links;
+  std::sort(links.begin(), links.end());
+  auto parent_of = [&](NodeId child) -> NodeId {
+    const auto it = std::lower_bound(
+        links.begin(), links.end(), std::make_pair(child, NodeId{-1}));
+    return (it != links.end() && it->first == child) ? it->second
+                                                     : kInvalidNode;
+  };
+
+  for (const LidagRoot* rp : chain) {
+    const LidagRoot& r = *rp;
+    const auto& marg = boundary_dist[static_cast<std::size_t>(r.node)];
+    const NodeId parent = parent_of(r.node);
+    if (parent == kInvalidNode) {
+      lb.bn.set_cpt(r.var, {}, transition_prior(r.var, marg));
+      continue;
+    }
+    const VarId pv = lb.var_of_node[static_cast<std::size_t>(parent)];
+    std::array<double, 16> joint{};
+    const bool have_joint = pair_joint && pair_joint(parent, r.node, joint);
+
+    std::vector<VarId> scope{std::min(pv, r.var), std::max(pv, r.var)};
+    Factor cpt(scope, {4, 4});
+    std::vector<int> st(2, 0);
+    const std::size_t prev_axis = scope[0] == pv ? 0 : 1;
+    const std::size_t cur_axis = 1 - prev_axis;
+    for (int sa = 0; sa < 4; ++sa) {
+      double row[4];
+      double rowsum = 0.0;
+      for (int sb = 0; sb < 4; ++sb) {
+        row[sb] = have_joint
+                      ? joint[static_cast<std::size_t>(sa * 4 + sb)]
+                      : marg[static_cast<std::size_t>(sb)];
+        rowsum += row[sb];
+      }
+      for (int sb = 0; sb < 4; ++sb) {
+        st[prev_axis] = sa;
+        st[cur_axis] = sb;
+        // Impossible parent states get an arbitrary (unused) row.
+        cpt.at(st) = rowsum > 0.0 ? row[sb] / rowsum
+                                  : marg[static_cast<std::size_t>(sb)];
+      }
+    }
+    lb.bn.set_cpt(r.var, {pv}, std::move(cpt));
+  }
+
+  for (const LidagRoot& r : lb.grouped_inputs) {
+    const InputSpec& spec = model.spec(r.input_index);
+    BNS_EXPECTS(opts.model_input_groups && spec.group >= 0);
+    const VarId src = lb.bn.parents(r.var).at(0);
+    lb.bn.set_cpt(r.var, {src}, noisy_copy_cpt(src, r.var, spec.flip));
+  }
+}
+
+} // namespace bns

@@ -1,0 +1,127 @@
+// LIDAG construction (Definition 8 / Theorem 3 of the paper): the
+// Bayesian network whose nodes are the 4-state switching variables of
+// the circuit lines and whose directed edges run from the switchings of
+// a gate's input lines to the switching of its output line.
+//
+// The builder operates on a contiguous NodeId range of the netlist so
+// that the same code serves both single-BN compilation (the full range)
+// and the multiple-BN segmentation scheme for large circuits: fanins
+// defined outside the range become *root* variables whose priors are the
+// marginals forwarded from the segment that defines them.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+
+namespace bns {
+
+struct LidagOptions {
+  // Associative gates (AND/OR/XOR and their inverted forms) with more
+  // fanins than this are decomposed into balanced trees of narrower
+  // gates over auxiliary variables ("parent divorcing"). This bounds CPT
+  // size at 4^(max_fanin+1) without changing the joint distribution over
+  // the original lines.
+  int max_fanin = 4;
+  // Hard cap for non-decomposable functions (LUTs); a LUT wider than
+  // this raises std::invalid_argument.
+  int max_lut_fanin = 8;
+  // When true and the input model has shared-source groups, a hidden
+  // source variable per group is added and grouped inputs become noisy
+  // copies of it (the paper's future-work input spatial correlation).
+  bool model_input_groups = true;
+  // When true, the boundary roots of a segment are linked into a Markov
+  // chain (in circuit-line order) so that *pairwise* joints computed in
+  // the defining segment can be forwarded instead of bare marginals —
+  // strictly more of the cross-boundary correlation survives the cut.
+  bool boundary_chain = true;
+};
+
+// Why a root variable exists in a segment BN.
+enum class RootKind {
+  PrimaryInput, // a PI of the circuit; prior = input model distribution
+  Boundary,     // defined in an earlier segment; prior = forwarded marginal
+  Constant,     // constant line; degenerate prior
+  GroupSource,  // hidden shared source of an input group
+};
+
+struct LidagRoot {
+  VarId var = 0;
+  RootKind kind = RootKind::PrimaryInput;
+  NodeId node = kInvalidNode; // circuit line (PI/boundary/const); -1 for sources
+  int group = -1;             // group id for GroupSource roots
+  int input_index = -1;       // PI index into InputModel for PrimaryInput roots
+};
+
+struct LidagBn {
+  BayesianNetwork bn;
+  // Global NodeId -> variable id in `bn`, or -1 when the line is not
+  // represented in this segment.
+  std::vector<VarId> var_of_node;
+  std::vector<LidagRoot> roots;
+  // Grouped PIs additionally carry a noisy-copy CPT that depends on the
+  // input model's flip probability; recorded for re-quantification.
+  std::vector<LidagRoot> grouped_inputs;
+  // Original (non-auxiliary) lines whose CPT/prior lives in this
+  // segment, i.e. whose posterior marginal this segment owns.
+  std::vector<NodeId> defined_nodes;
+  // (child, parent) links among Boundary roots installed by
+  // link_boundary_roots(); quantify_lidag turns each into a conditional
+  // CPT built from the forwarded pairwise joint.
+  std::vector<std::pair<NodeId, NodeId>> boundary_links;
+  int num_aux = 0; // decomposition variables
+};
+
+// Builds the LIDAG BN for netlist nodes with begin <= id < end.
+// `model` is consulted only for its *structure* (which inputs are
+// grouped); all priors are placeholders until quantify() is called.
+//
+// `context_begin` (<= begin) opens an overlap window: nodes in
+// [context_begin, begin) that lie in the transitive fanin of the segment
+// are rebuilt *inside* this BN — with their own CPTs, so correlations
+// among them are re-derived locally — but their marginals remain owned
+// by the segment that defines them (they are not in defined_nodes).
+// Root variables are created only for fanins outside the rebuilt
+// context. context_begin == begin disables the overlap.
+LidagBn build_lidag(const Netlist& nl, NodeId context_begin, NodeId begin,
+                    NodeId end, const InputModel& model,
+                    const LidagOptions& opts = {});
+
+inline LidagBn build_lidag(const Netlist& nl, NodeId begin, NodeId end,
+                           const InputModel& model,
+                           const LidagOptions& opts = {}) {
+  return build_lidag(nl, begin, begin, end, model, opts);
+}
+
+// Convenience: the whole circuit as a single BN.
+LidagBn build_lidag(const Netlist& nl, const InputModel& model,
+                    const LidagOptions& opts = {});
+
+// Installs directed links parent -> child between Boundary roots (both
+// must be Boundary roots of `lb`; parent's line must precede child's).
+// Call before compiling the BN into a junction tree: the links become
+// part of the DAG. Each child may appear in at most one link.
+void link_boundary_roots(LidagBn& lb,
+                         std::span<const std::pair<NodeId, NodeId>> links);
+
+// Supplies the joint distribution over two boundary lines (a before b in
+// line order), as joint[sa * 4 + sb]. Returns false when the exact joint
+// is not available (different owning segments / no shared clique) — the
+// caller then falls back to the product of marginals.
+using BoundaryJointFn =
+    std::function<bool(NodeId a, NodeId b, std::array<double, 16>& joint)>;
+
+// (Re-)loads the numerical priors of `lb` from the input model and the
+// forwarded boundary marginals. `boundary_dist[node]` must hold the
+// 4-state distribution of every Boundary root's line. When the LIDAG was
+// built with boundary_chain and `pair_joint` is non-null, chained
+// boundary roots get conditional CPTs derived from the pairwise joints.
+void quantify_lidag(LidagBn& lb, const InputModel& model,
+                    std::span<const std::array<double, 4>> boundary_dist,
+                    const BoundaryJointFn& pair_joint = nullptr,
+                    const LidagOptions& opts = {});
+
+} // namespace bns

@@ -1,0 +1,210 @@
+#include "netlist/bench_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+struct RawGate {
+  std::string output;
+  GateType type = GateType::Buf;
+  std::vector<std::string> fanin;
+  int line = 0;
+};
+
+struct RawDesign {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<RawGate> gates;
+};
+
+RawDesign scan(std::istream& in) {
+  RawDesign d;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view s = trim(line);
+    if (s.empty() || s.front() == '#') continue;
+
+    auto inner = [&](std::string_view decl) -> std::string {
+      const std::size_t open = decl.find('(');
+      const std::size_t close = decl.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close <= open) {
+        throw ParseError("malformed declaration: " + std::string(decl), lineno);
+      }
+      return std::string(trim(decl.substr(open + 1, close - open - 1)));
+    };
+
+    if (starts_with(to_upper(s.substr(0, 5)), "INPUT") && s.find('=') == std::string_view::npos) {
+      d.inputs.push_back(inner(s));
+      continue;
+    }
+    if (starts_with(to_upper(s.substr(0, 6)), "OUTPUT") && s.find('=') == std::string_view::npos) {
+      d.outputs.push_back(inner(s));
+      continue;
+    }
+
+    const std::size_t eq = s.find('=');
+    if (eq == std::string_view::npos) {
+      throw ParseError("expected `name = GATE(args)`: " + std::string(s), lineno);
+    }
+    RawGate g;
+    g.line = lineno;
+    g.output = std::string(trim(s.substr(0, eq)));
+    std::string_view rhs = trim(s.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close <= open) {
+      throw ParseError("malformed gate RHS: " + std::string(rhs), lineno);
+    }
+    const std::string_view type_name = trim(rhs.substr(0, open));
+    if (!parse_gate_type(type_name, g.type)) {
+      throw ParseError("unknown gate type: " + std::string(type_name), lineno);
+    }
+    if (g.type == GateType::Input || g.type == GateType::Lut) {
+      throw ParseError("gate type not allowed on RHS: " + std::string(type_name),
+                       lineno);
+    }
+    for (std::string_view arg : split(rhs.substr(open + 1, close - open - 1), ',')) {
+      if (!arg.empty()) g.fanin.emplace_back(arg);
+    }
+    if (!fanin_count_ok(g.type, g.fanin.size())) {
+      throw ParseError("bad fanin count for " + std::string(type_name), lineno);
+    }
+    d.gates.push_back(std::move(g));
+  }
+  return d;
+}
+
+Netlist build(const RawDesign& d, std::string name) {
+  Netlist nl(std::move(name));
+
+  std::unordered_map<std::string, NodeId> ids;
+  std::unordered_map<std::string, int> gate_of; // signal -> index in d.gates
+  for (int i = 0; i < static_cast<int>(d.gates.size()); ++i) {
+    const RawGate& g = d.gates[static_cast<std::size_t>(i)];
+    if (!gate_of.emplace(g.output, i).second) {
+      throw ParseError("signal defined twice: " + g.output, g.line);
+    }
+  }
+
+  for (const std::string& in_name : d.inputs) {
+    if (gate_of.count(in_name)) {
+      throw ParseError("signal is both INPUT and gate output: " + in_name, 0);
+    }
+    if (ids.count(in_name)) throw ParseError("duplicate INPUT: " + in_name, 0);
+    ids.emplace(in_name, nl.add_input(in_name));
+  }
+
+  // Iterative DFS topological insertion with cycle detection.
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::unordered_map<std::string, Mark> mark;
+
+  auto define = [&](const std::string& signal) {
+    if (ids.count(signal)) return;
+    std::vector<std::pair<std::string, std::size_t>> stack; // (signal, next fanin)
+    stack.emplace_back(signal, 0);
+    mark[signal] = Mark::Grey;
+    while (!stack.empty()) {
+      auto& [cur, next] = stack.back();
+      const auto git = gate_of.find(cur);
+      if (git == gate_of.end()) {
+        throw ParseError("undefined signal: " + cur, 0);
+      }
+      const RawGate& g = d.gates[static_cast<std::size_t>(git->second)];
+      if (next < g.fanin.size()) {
+        const std::string& dep = g.fanin[next];
+        ++next;
+        if (ids.count(dep)) continue;
+        if (mark[dep] == Mark::Grey) {
+          throw ParseError("combinational cycle through: " + dep, g.line);
+        }
+        mark[dep] = Mark::Grey;
+        stack.emplace_back(dep, 0);
+      } else {
+        if (g.type == GateType::Const0 || g.type == GateType::Const1) {
+          ids.emplace(cur, nl.add_const(cur, g.type == GateType::Const1));
+        } else {
+          std::vector<NodeId> fanin;
+          fanin.reserve(g.fanin.size());
+          for (const std::string& f : g.fanin) fanin.push_back(ids.at(f));
+          ids.emplace(cur, nl.add_gate(g.type, cur, std::move(fanin)));
+        }
+        mark[cur] = Mark::Black;
+        stack.pop_back();
+      }
+    }
+  };
+
+  for (const RawGate& g : d.gates) define(g.output);
+  for (const std::string& out_name : d.outputs) {
+    const auto it = ids.find(out_name);
+    if (it == ids.end()) throw ParseError("OUTPUT of undefined signal: " + out_name, 0);
+    nl.mark_output(it->second);
+  }
+  return nl;
+}
+
+} // namespace
+
+Netlist read_bench(std::istream& in, std::string name) {
+  return build(scan(in), std::move(name));
+}
+
+Netlist read_bench_string(std::string_view text, std::string name) {
+  std::istringstream is{std::string(text)};
+  return read_bench(is, std::move(name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open file: " + path);
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return read_bench(f, std::move(name));
+}
+
+void write_bench(const Netlist& nl, std::ostream& out) {
+  out << "# " << nl.name() << " — written by bns\n";
+  for (NodeId id : nl.inputs()) out << "INPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.outputs()) out << "OUTPUT(" << nl.node(id).name << ")\n";
+  out << '\n';
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    if (n.type == GateType::Lut) {
+      throw std::invalid_argument("LUT nodes cannot be written as .bench");
+    }
+    out << n.name << " = " << gate_type_name(n.type) << '(';
+    for (std::size_t i = 0; i < n.fanin.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.node(n.fanin[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(nl, os);
+  return os.str();
+}
+
+void write_bench_file(const Netlist& nl, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open file for writing: " + path);
+  write_bench(nl, f);
+}
+
+} // namespace bns

@@ -1,0 +1,45 @@
+// Reader/writer for the ISCAS-85 ".bench" netlist format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//
+// Gate definitions may reference signals defined later in the file; the
+// reader topologically sorts them. Malformed input (unknown gate type,
+// undefined signal, combinational cycle, duplicate definition) raises
+// ParseError — these are user-data errors, not contract violations.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace bns {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line)
+      : std::runtime_error(what + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Parses a .bench netlist. `name` becomes the Netlist name.
+Netlist read_bench(std::istream& in, std::string name = "bench");
+Netlist read_bench_string(std::string_view text, std::string name = "bench");
+Netlist read_bench_file(const std::string& path);
+
+// Emits .bench text. LUT nodes cannot be represented in .bench and raise
+// std::invalid_argument.
+void write_bench(const Netlist& nl, std::ostream& out);
+std::string write_bench_string(const Netlist& nl);
+void write_bench_file(const Netlist& nl, const std::string& path);
+
+} // namespace bns

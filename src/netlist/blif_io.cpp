@@ -1,0 +1,262 @@
+#include "netlist/blif_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+struct RawNames {
+  std::vector<std::string> signals; // inputs..., output last
+  std::vector<std::pair<std::string, char>> cubes; // (pattern, out value)
+  int line = 0;
+};
+
+struct RawBlif {
+  std::string model;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<RawNames> names;
+};
+
+// Reads logical lines, folding '\'-continuations and stripping comments.
+std::vector<std::pair<std::string, int>> logical_lines(std::istream& in) {
+  std::vector<std::pair<std::string, int>> out;
+  std::string line;
+  std::string acc;
+  int lineno = 0;
+  int acc_line = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string_view s = trim(line);
+    if (acc.empty()) acc_line = lineno;
+    if (!s.empty() && s.back() == '\\') {
+      acc += std::string(s.substr(0, s.size() - 1));
+      acc += ' ';
+      continue;
+    }
+    acc += std::string(s);
+    if (!trim(acc).empty()) out.emplace_back(std::string(trim(acc)), acc_line);
+    acc.clear();
+  }
+  if (!trim(acc).empty()) out.emplace_back(std::string(trim(acc)), acc_line);
+  return out;
+}
+
+TruthTable cover_to_table(const RawNames& block) {
+  const int n = static_cast<int>(block.signals.size()) - 1;
+  if (n > TruthTable::kMaxInputs) {
+    throw ParseError(".names with too many inputs", block.line);
+  }
+  // BLIF semantics: all cubes of one block share the same output value;
+  // the function is the union of the cubes if that value is 1, or the
+  // complement of the union if it is 0. An empty cover is constant 0.
+  bool on_set = true;
+  for (const auto& [pat, val] : block.cubes) {
+    (void)pat;
+    on_set = (val == '1');
+    break;
+  }
+  TruthTable tt(n);
+  for (std::uint64_t m = 0; m < tt.num_rows(); ++m) {
+    bool in_union = false;
+    for (const auto& [pat, val] : block.cubes) {
+      (void)val;
+      bool match = true;
+      for (int i = 0; i < n && match; ++i) {
+        const char c = pat[static_cast<std::size_t>(i)];
+        const bool bit = (m >> i) & 1;
+        if (c == '1' && !bit) match = false;
+        if (c == '0' && bit) match = false;
+      }
+      if (match) {
+        in_union = true;
+        break;
+      }
+    }
+    tt.set_value(m, on_set ? in_union : !in_union);
+  }
+  return tt;
+}
+
+Netlist build(const RawBlif& d, std::string fallback_name) {
+  Netlist nl(d.model.empty() ? std::move(fallback_name) : d.model);
+  std::unordered_map<std::string, NodeId> ids;
+  std::unordered_map<std::string, int> block_of;
+  for (int i = 0; i < static_cast<int>(d.names.size()); ++i) {
+    const RawNames& b = d.names[static_cast<std::size_t>(i)];
+    if (!block_of.emplace(b.signals.back(), i).second) {
+      throw ParseError("signal defined twice: " + b.signals.back(), b.line);
+    }
+  }
+  for (const std::string& in_name : d.inputs) {
+    ids.emplace(in_name, nl.add_input(in_name));
+  }
+
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::unordered_map<std::string, Mark> mark;
+  auto define = [&](const std::string& signal) {
+    if (ids.count(signal)) return;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(signal, 0);
+    mark[signal] = Mark::Grey;
+    while (!stack.empty()) {
+      auto& [cur, next] = stack.back();
+      const auto bit = block_of.find(cur);
+      if (bit == block_of.end()) throw ParseError("undefined signal: " + cur, 0);
+      const RawNames& b = d.names[static_cast<std::size_t>(bit->second)];
+      const std::size_t n_in = b.signals.size() - 1;
+      if (next < n_in) {
+        const std::string& dep = b.signals[next];
+        ++next;
+        if (ids.count(dep)) continue;
+        if (mark[dep] == Mark::Grey) {
+          throw ParseError("combinational cycle through: " + dep, b.line);
+        }
+        mark[dep] = Mark::Grey;
+        stack.emplace_back(dep, 0);
+      } else {
+        std::vector<NodeId> fanin;
+        fanin.reserve(n_in);
+        for (std::size_t i = 0; i < n_in; ++i) fanin.push_back(ids.at(b.signals[i]));
+        ids.emplace(cur, nl.add_lut(cur, std::move(fanin), cover_to_table(b)));
+        mark[cur] = Mark::Black;
+        stack.pop_back();
+      }
+    }
+  };
+
+  for (const RawNames& b : d.names) define(b.signals.back());
+  for (const std::string& out_name : d.outputs) {
+    const auto it = ids.find(out_name);
+    if (it == ids.end()) throw ParseError(".outputs of undefined signal: " + out_name, 0);
+    nl.mark_output(it->second);
+  }
+  return nl;
+}
+
+} // namespace
+
+Netlist read_blif(std::istream& in, std::string fallback_name) {
+  RawBlif d;
+  RawNames* current = nullptr;
+  bool seen_model = false;
+  for (const auto& [line, lineno] : logical_lines(in)) {
+    if (line[0] == '.') {
+      const auto tok = split_ws(line);
+      const std::string_view cmd = tok[0];
+      current = nullptr;
+      if (cmd == ".model") {
+        if (seen_model) throw ParseError("multiple .model sections", lineno);
+        seen_model = true;
+        if (tok.size() > 1) d.model = std::string(tok[1]);
+      } else if (cmd == ".inputs") {
+        for (std::size_t i = 1; i < tok.size(); ++i) d.inputs.emplace_back(tok[i]);
+      } else if (cmd == ".outputs") {
+        for (std::size_t i = 1; i < tok.size(); ++i) d.outputs.emplace_back(tok[i]);
+      } else if (cmd == ".names") {
+        if (tok.size() < 2) throw ParseError(".names needs an output", lineno);
+        RawNames b;
+        b.line = lineno;
+        for (std::size_t i = 1; i < tok.size(); ++i) b.signals.emplace_back(tok[i]);
+        d.names.push_back(std::move(b));
+        current = &d.names.back();
+      } else if (cmd == ".end") {
+        break;
+      } else if (cmd == ".latch" || cmd == ".subckt" || cmd == ".gate") {
+        throw ParseError("unsupported BLIF construct: " + std::string(cmd), lineno);
+      } else {
+        // Ignore unknown dot-commands (.default_input_arrival etc.).
+      }
+      continue;
+    }
+    if (current == nullptr) {
+      throw ParseError("cover line outside .names block: " + line, lineno);
+    }
+    const auto tok = split_ws(line);
+    const std::size_t n_in = current->signals.size() - 1;
+    std::string pattern;
+    char out_val = '1';
+    if (n_in == 0) {
+      if (tok.size() != 1 || tok[0].size() != 1) {
+        throw ParseError("bad constant cover: " + line, lineno);
+      }
+      out_val = tok[0][0];
+    } else {
+      if (tok.size() != 2 || tok[0].size() != n_in || tok[1].size() != 1) {
+        throw ParseError("bad cover line: " + line, lineno);
+      }
+      pattern = std::string(tok[0]);
+      out_val = tok[1][0];
+    }
+    if (out_val != '0' && out_val != '1') {
+      throw ParseError("cover output must be 0 or 1", lineno);
+    }
+    if (!current->cubes.empty() && current->cubes.front().second != out_val) {
+      throw ParseError("mixed on-set/off-set cover", lineno);
+    }
+    current->cubes.emplace_back(std::move(pattern), out_val);
+  }
+  return build(d, std::move(fallback_name));
+}
+
+Netlist read_blif_string(std::string_view text, std::string fallback_name) {
+  std::istringstream is{std::string(text)};
+  return read_blif(is, std::move(fallback_name));
+}
+
+Netlist read_blif_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open file: " + path);
+  return read_blif(f, path);
+}
+
+void write_blif(const Netlist& nl, std::ostream& out) {
+  out << ".model " << nl.name() << "\n.inputs";
+  for (NodeId id : nl.inputs()) out << ' ' << nl.node(id).name;
+  out << "\n.outputs";
+  for (NodeId id : nl.outputs()) out << ' ' << nl.node(id).name;
+  out << '\n';
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    const TruthTable tt =
+        n.type == GateType::Lut
+            ? *n.lut
+            : TruthTable::of_gate(n.type, static_cast<int>(n.fanin.size()));
+    out << ".names";
+    for (NodeId f : n.fanin) out << ' ' << nl.node(f).name;
+    out << ' ' << n.name << '\n';
+    for (std::uint64_t m = 0; m < tt.num_rows(); ++m) {
+      if (!tt.value(m)) continue;
+      if (tt.num_inputs() == 0) {
+        out << "1\n";
+        continue;
+      }
+      for (int i = 0; i < tt.num_inputs(); ++i) {
+        out << (((m >> i) & 1) ? '1' : '0');
+      }
+      out << " 1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_blif(nl, os);
+  return os.str();
+}
+
+void write_blif_file(const Netlist& nl, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open file for writing: " + path);
+  write_blif(nl, f);
+}
+
+} // namespace bns

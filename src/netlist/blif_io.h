@@ -1,0 +1,29 @@
+// Reader for a combinational subset of the Berkeley BLIF format:
+// .model/.inputs/.outputs/.names/.end with single-output SOP covers.
+// Latches, subcircuits and multiple .model sections are rejected.
+//
+// Each .names block becomes a LUT node; blocks whose cover matches a
+// primitive gate exactly are still stored as LUTs (the LIDAG builder
+// treats both uniformly through the truth table).
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "netlist/bench_io.h" // ParseError
+#include "netlist/netlist.h"
+
+namespace bns {
+
+Netlist read_blif(std::istream& in, std::string fallback_name = "blif");
+Netlist read_blif_string(std::string_view text,
+                         std::string fallback_name = "blif");
+Netlist read_blif_file(const std::string& path);
+
+// Writes the netlist as BLIF: one .names block per gate, with the
+// on-set emitted as minterm cubes (compact covers are not attempted).
+void write_blif(const Netlist& nl, std::ostream& out);
+std::string write_blif_string(const Netlist& nl);
+void write_blif_file(const Netlist& nl, const std::string& path);
+
+} // namespace bns

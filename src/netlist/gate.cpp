@@ -1,0 +1,155 @@
+#include "netlist/gate.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace bns {
+
+std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Lut: return "LUT";
+  }
+  BNS_ASSERT_MSG(false, "unreachable gate type");
+  return "";
+}
+
+bool parse_gate_type(std::string_view name, GateType& out) {
+  struct Entry {
+    std::string_view name;
+    GateType type;
+  };
+  static constexpr Entry kTable[] = {
+      {"INPUT", GateType::Input}, {"CONST0", GateType::Const0},
+      {"CONST1", GateType::Const1}, {"BUF", GateType::Buf},
+      {"BUFF", GateType::Buf},    {"NOT", GateType::Not},
+      {"INV", GateType::Not},     {"AND", GateType::And},
+      {"NAND", GateType::Nand},   {"OR", GateType::Or},
+      {"NOR", GateType::Nor},     {"XOR", GateType::Xor},
+      {"XNOR", GateType::Xnor},   {"LUT", GateType::Lut},
+  };
+  for (const auto& e : kTable) {
+    if (iequals(name, e.name)) {
+      out = e.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_associative(GateType t) {
+  return t == GateType::And || t == GateType::Or || t == GateType::Xor;
+}
+
+GateType uninverted_core(GateType t) {
+  switch (t) {
+    case GateType::Nand: return GateType::And;
+    case GateType::Nor: return GateType::Or;
+    case GateType::Xnor: return GateType::Xor;
+    case GateType::Not: return GateType::Buf;
+    default: return t;
+  }
+}
+
+bool is_inverting(GateType t) {
+  return t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor ||
+         t == GateType::Not;
+}
+
+bool fanin_count_ok(GateType t, std::size_t n_fanin) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return n_fanin == 0;
+    case GateType::Buf:
+    case GateType::Not:
+      return n_fanin == 1;
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return n_fanin >= 1;
+    case GateType::Lut:
+      return true; // validated against the truth table instead
+  }
+  return false;
+}
+
+bool eval_gate(GateType t, std::span<const bool> in) {
+  BNS_EXPECTS(fanin_count_ok(t, in.size()));
+  switch (t) {
+    case GateType::Const0: return false;
+    case GateType::Const1: return true;
+    case GateType::Buf: return in[0];
+    case GateType::Not: return !in[0];
+    case GateType::And:
+    case GateType::Nand: {
+      bool v = true;
+      for (bool b : in) v = v && b;
+      return t == GateType::And ? v : !v;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool v = false;
+      for (bool b : in) v = v || b;
+      return t == GateType::Or ? v : !v;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      bool v = false;
+      for (bool b : in) v = v != b;
+      return t == GateType::Xor ? v : !v;
+    }
+    case GateType::Input:
+    case GateType::Lut:
+      BNS_ASSERT_MSG(false, "eval_gate: not a primitive logic gate");
+  }
+  return false;
+}
+
+std::uint64_t eval_gate_words(GateType t, std::span<const std::uint64_t> in) {
+  BNS_EXPECTS(fanin_count_ok(t, in.size()));
+  switch (t) {
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~0ULL;
+    case GateType::Buf: return in[0];
+    case GateType::Not: return ~in[0];
+    case GateType::And:
+    case GateType::Nand: {
+      std::uint64_t v = ~0ULL;
+      for (std::uint64_t w : in) v &= w;
+      return t == GateType::And ? v : ~v;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      std::uint64_t v = 0;
+      for (std::uint64_t w : in) v |= w;
+      return t == GateType::Or ? v : ~v;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      std::uint64_t v = 0;
+      for (std::uint64_t w : in) v ^= w;
+      return t == GateType::Xor ? v : ~v;
+    }
+    case GateType::Input:
+    case GateType::Lut:
+      BNS_ASSERT_MSG(false, "eval_gate_words: not a primitive logic gate");
+  }
+  return 0;
+}
+
+} // namespace bns

@@ -1,0 +1,59 @@
+// Gate types and their Boolean semantics.
+//
+// The library models zero-delay combinational logic at the gate level,
+// matching the abstraction of the paper (ISCAS-85 style netlists built
+// from the primitive types below plus general LUTs parsed from BLIF).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace bns {
+
+enum class GateType : std::uint8_t {
+  Input,  // primary input; no fanin
+  Const0, // constant 0; no fanin
+  Const1, // constant 1; no fanin
+  Buf,    // identity; 1 fanin
+  Not,    // inversion; 1 fanin
+  And,    // >= 1 fanin (associative)
+  Nand,   // >= 1 fanin
+  Or,     // >= 1 fanin (associative)
+  Nor,    // >= 1 fanin
+  Xor,    // >= 1 fanin (associative, parity)
+  Xnor,   // >= 1 fanin (inverted parity)
+  Lut,    // general truth table; fanin given by the table
+};
+
+// Human-readable, ISCAS-85-compatible name ("NAND", "INPUT", ...).
+std::string_view gate_type_name(GateType t);
+
+// Parses an ISCAS-85 gate keyword (case-insensitive; accepts BUFF as an
+// alias for BUF). Returns true and sets `out` on success.
+bool parse_gate_type(std::string_view name, GateType& out);
+
+// True for gates whose n-ary form is the fold of the 2-ary form
+// (AND/OR/XOR); their inverted versions NAND/NOR/XNOR are *not*
+// associative but decompose as INV(fold).
+bool is_associative(GateType t);
+
+// The non-inverting core of a gate (NAND->And, NOR->Or, XNOR->Xor,
+// Not->Buf); identity for other types.
+GateType uninverted_core(GateType t);
+
+// True if the gate is the inverted form of its core.
+bool is_inverting(GateType t);
+
+// Evaluates a primitive (non-Lut, non-Input) gate on scalar inputs.
+// Preconditions: t is a logic gate; `in.size()` is valid for t.
+bool eval_gate(GateType t, std::span<const bool> in);
+
+// 64-way bit-parallel evaluation: each word carries 64 independent
+// simulation lanes. Same preconditions as eval_gate.
+std::uint64_t eval_gate_words(GateType t, std::span<const std::uint64_t> in);
+
+// True if `n_fanin` is an acceptable fanin count for gate type t.
+bool fanin_count_ok(GateType t, std::size_t n_fanin);
+
+} // namespace bns

@@ -1,0 +1,170 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace bns {
+
+NodeId Netlist::add_node(Node n) {
+  BNS_EXPECTS_MSG(!n.name.empty(), "node name must be non-empty");
+  BNS_EXPECTS_MSG(by_name_.find(n.name) == by_name_.end(),
+                  "duplicate node name");
+  for (NodeId f : n.fanin) {
+    BNS_EXPECTS_MSG(f >= 0 && f < num_nodes(),
+                    "fanin must refer to an already-added node");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  by_name_.emplace(n.name, id);
+  nodes_.push_back(std::move(n));
+  is_output_.push_back(false);
+  return id;
+}
+
+NodeId Netlist::add_input(std::string name) {
+  Node n;
+  n.name = std::move(name);
+  n.type = GateType::Input;
+  const NodeId id = add_node(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_const(std::string name, bool value) {
+  Node n;
+  n.name = std::move(name);
+  n.type = value ? GateType::Const1 : GateType::Const0;
+  return add_node(std::move(n));
+}
+
+NodeId Netlist::add_gate(GateType type, std::string name,
+                         std::vector<NodeId> fanin) {
+  BNS_EXPECTS_MSG(type != GateType::Input && type != GateType::Lut &&
+                      type != GateType::Const0 && type != GateType::Const1,
+                  "use the dedicated add_* functions");
+  BNS_EXPECTS(fanin_count_ok(type, fanin.size()));
+  Node n;
+  n.name = std::move(name);
+  n.type = type;
+  n.fanin = std::move(fanin);
+  return add_node(std::move(n));
+}
+
+NodeId Netlist::add_lut(std::string name, std::vector<NodeId> fanin,
+                        TruthTable table) {
+  BNS_EXPECTS(static_cast<int>(fanin.size()) == table.num_inputs());
+  Node n;
+  n.name = std::move(name);
+  n.type = GateType::Lut;
+  n.fanin = std::move(fanin);
+  n.lut = std::move(table);
+  return add_node(std::move(n));
+}
+
+void Netlist::mark_output(NodeId id) {
+  BNS_EXPECTS(id >= 0 && id < num_nodes());
+  if (!is_output_[static_cast<std::size_t>(id)]) {
+    is_output_[static_cast<std::size_t>(id)] = true;
+    outputs_.push_back(id);
+  }
+}
+
+const Node& Netlist::node(NodeId id) const {
+  BNS_EXPECTS(id >= 0 && id < num_nodes());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+bool Netlist::is_output(NodeId id) const {
+  BNS_EXPECTS(id >= 0 && id < num_nodes());
+  return is_output_[static_cast<std::size_t>(id)];
+}
+
+int Netlist::num_gates() const {
+  int n = 0;
+  for (const Node& nd : nodes_) {
+    if (nd.type != GateType::Input && nd.type != GateType::Const0 &&
+        nd.type != GateType::Const1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<NodeId> Netlist::topological_order() const {
+  std::vector<NodeId> order(static_cast<std::size_t>(num_nodes()));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<int> Netlist::levels() const {
+  std::vector<int> lvl(static_cast<std::size_t>(num_nodes()), 0);
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    int m = 0;
+    for (NodeId f : n.fanin) m = std::max(m, lvl[static_cast<std::size_t>(f)] + 1);
+    lvl[static_cast<std::size_t>(id)] = m;
+  }
+  return lvl;
+}
+
+int Netlist::depth() const {
+  const auto lvl = levels();
+  return lvl.empty() ? 0 : *std::max_element(lvl.begin(), lvl.end());
+}
+
+std::vector<int> Netlist::fanout_counts() const {
+  std::vector<int> fo(static_cast<std::size_t>(num_nodes()), 0);
+  for (const Node& n : nodes_) {
+    for (NodeId f : n.fanin) ++fo[static_cast<std::size_t>(f)];
+  }
+  return fo;
+}
+
+std::vector<std::vector<NodeId>> Netlist::fanout_lists() const {
+  std::vector<std::vector<NodeId>> fo(static_cast<std::size_t>(num_nodes()));
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    for (NodeId f : nodes_[static_cast<std::size_t>(id)].fanin) {
+      fo[static_cast<std::size_t>(f)].push_back(id);
+    }
+  }
+  return fo;
+}
+
+NodeId Netlist::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+int Netlist::max_fanin() const {
+  int m = 0;
+  for (const Node& n : nodes_) m = std::max(m, static_cast<int>(n.fanin.size()));
+  return m;
+}
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.num_inputs = nl.num_inputs();
+  s.num_outputs = nl.num_outputs();
+  s.num_gates = nl.num_gates();
+  s.num_nodes = nl.num_nodes();
+  s.depth = nl.depth();
+  s.max_fanin = nl.max_fanin();
+
+  std::size_t fanin_total = 0;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    fanin_total += nl.node(id).fanin.size();
+  }
+  s.avg_fanin = s.num_gates == 0
+                    ? 0.0
+                    : static_cast<double>(fanin_total) / s.num_gates;
+
+  const auto fo = nl.fanout_counts();
+  for (int c : fo) {
+    s.max_fanout = std::max(s.max_fanout, c);
+    if (c >= 2) ++s.reconvergent_nodes;
+  }
+  return s;
+}
+
+} // namespace bns

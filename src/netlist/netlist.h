@@ -1,0 +1,110 @@
+// Gate-level combinational netlist.
+//
+// Each *node* is a signal line together with its driver (a primary
+// input, a constant, or a gate over earlier-defined lines). This matches
+// the paper's view where the random variables of interest are the
+// switchings of the input lines and the gate output lines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "netlist/truth_table.h"
+
+namespace bns {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Node {
+  std::string name;
+  GateType type = GateType::Input;
+  std::vector<NodeId> fanin;
+  // Present iff type == GateType::Lut.
+  std::optional<TruthTable> lut;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // --- construction -------------------------------------------------
+  // Nodes must be added in topological order: every fanin id must refer
+  // to an already-added node (enforced). Names must be unique.
+
+  NodeId add_input(std::string name);
+  NodeId add_const(std::string name, bool value);
+  NodeId add_gate(GateType type, std::string name, std::vector<NodeId> fanin);
+  NodeId add_lut(std::string name, std::vector<NodeId> fanin, TruthTable table);
+
+  // Declares an existing node a primary output (idempotent).
+  void mark_output(NodeId id);
+
+  // --- access --------------------------------------------------------
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const;
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+  bool is_output(NodeId id) const;
+
+  // Number of nodes that are gates (everything except inputs/constants).
+  int num_gates() const;
+
+  // Node ids 0..num_nodes-1 are already a topological order by
+  // construction; this returns that order explicitly.
+  std::vector<NodeId> topological_order() const;
+
+  // Logic depth of each node (inputs/constants at level 0).
+  std::vector<int> levels() const;
+  int depth() const;
+
+  // fanout[i] = number of gate fanin slots fed by node i.
+  std::vector<int> fanout_counts() const;
+
+  // Reverse adjacency: for each node, the list of nodes it feeds.
+  std::vector<std::vector<NodeId>> fanout_lists() const;
+
+  // Looks up a node id by name; kInvalidNode if absent.
+  NodeId find(std::string_view name) const;
+
+  // Largest gate fanin in the design (0 if no gates).
+  int max_fanin() const;
+
+ private:
+  NodeId add_node(Node n);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<bool> is_output_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+// Summary statistics used by the benchmark tables and the generators.
+struct NetlistStats {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int num_gates = 0;
+  int num_nodes = 0;
+  int depth = 0;
+  int max_fanin = 0;
+  double avg_fanin = 0.0;
+  int max_fanout = 0;
+  int reconvergent_nodes = 0; // nodes with fanout >= 2 (branching points)
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+} // namespace bns

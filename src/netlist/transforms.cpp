@@ -1,0 +1,141 @@
+#include "netlist/transforms.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace bns {
+
+MappedNetlist decompose_wide_gates(const Netlist& src, int max_fanin) {
+  BNS_EXPECTS(max_fanin >= 2);
+  MappedNetlist out;
+  out.netlist.set_name(src.name());
+  out.map.assign(static_cast<std::size_t>(src.num_nodes()), kInvalidNode);
+  Netlist& nl = out.netlist;
+
+  for (NodeId id = 0; id < src.num_nodes(); ++id) {
+    const Node& n = src.node(id);
+    NodeId mapped = kInvalidNode;
+    switch (n.type) {
+      case GateType::Input:
+        mapped = nl.add_input(n.name);
+        break;
+      case GateType::Const0:
+      case GateType::Const1:
+        mapped = nl.add_const(n.name, n.type == GateType::Const1);
+        break;
+      case GateType::Lut: {
+        std::vector<NodeId> fanin;
+        for (NodeId f : n.fanin) fanin.push_back(out.map[static_cast<std::size_t>(f)]);
+        mapped = nl.add_lut(n.name, std::move(fanin), *n.lut);
+        break;
+      }
+      default: {
+        std::vector<NodeId> layer;
+        for (NodeId f : n.fanin) layer.push_back(out.map[static_cast<std::size_t>(f)]);
+        if (static_cast<int>(layer.size()) <= max_fanin) {
+          mapped = nl.add_gate(n.type, n.name, std::move(layer));
+          break;
+        }
+        const GateType core = uninverted_core(n.type);
+        BNS_ASSERT_MSG(is_associative(core),
+                       "wide gate must have an associative core");
+        int aux = 0;
+        while (static_cast<int>(layer.size()) > max_fanin) {
+          std::vector<NodeId> next;
+          for (std::size_t i = 0; i < layer.size();
+               i += static_cast<std::size_t>(max_fanin)) {
+            const std::size_t hi = std::min(
+                layer.size(), i + static_cast<std::size_t>(max_fanin));
+            if (hi - i == 1) {
+              next.push_back(layer[i]);
+              continue;
+            }
+            next.push_back(nl.add_gate(
+                core, strformat("%s#t%d", n.name.c_str(), aux++),
+                std::vector<NodeId>(layer.begin() + static_cast<std::ptrdiff_t>(i),
+                                    layer.begin() + static_cast<std::ptrdiff_t>(hi))));
+          }
+          layer = std::move(next);
+        }
+        mapped = nl.add_gate(n.type, n.name, std::move(layer));
+        break;
+      }
+    }
+    out.map[static_cast<std::size_t>(id)] = mapped;
+    if (src.is_output(id)) nl.mark_output(mapped);
+  }
+  return out;
+}
+
+MappedNetlist reorder_cone_dfs(const Netlist& src) {
+  const int n = src.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+
+  // Primary inputs first, in their original order: their relative order
+  // defines the input-statistics mapping, and as exact-prior roots they
+  // gain nothing from cone placement.
+  for (NodeId in : src.inputs()) {
+    visited[static_cast<std::size_t>(in)] = true;
+    order.push_back(in);
+  }
+
+  // Iterative post-order DFS over fanins.
+  auto visit = [&](NodeId root) {
+    if (visited[static_cast<std::size_t>(root)]) return;
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    visited[static_cast<std::size_t>(root)] = true;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const auto& fanin = src.node(id).fanin;
+      if (next < fanin.size()) {
+        const NodeId f = fanin[next];
+        ++next;
+        if (!visited[static_cast<std::size_t>(f)]) {
+          visited[static_cast<std::size_t>(f)] = true;
+          stack.emplace_back(f, 0);
+        }
+      } else {
+        order.push_back(id);
+        stack.pop_back();
+      }
+    }
+  };
+  for (NodeId out : src.outputs()) visit(out);
+  for (NodeId id = 0; id < n; ++id) visit(id); // dangling logic
+
+  MappedNetlist out;
+  out.netlist.set_name(src.name());
+  out.map.assign(static_cast<std::size_t>(n), kInvalidNode);
+  for (NodeId id : order) {
+    const Node& nd = src.node(id);
+    NodeId mapped = kInvalidNode;
+    switch (nd.type) {
+      case GateType::Input:
+        mapped = out.netlist.add_input(nd.name);
+        break;
+      case GateType::Const0:
+      case GateType::Const1:
+        mapped = out.netlist.add_const(nd.name, nd.type == GateType::Const1);
+        break;
+      case GateType::Lut: {
+        std::vector<NodeId> fanin;
+        for (NodeId f : nd.fanin) fanin.push_back(out.map[static_cast<std::size_t>(f)]);
+        mapped = out.netlist.add_lut(nd.name, std::move(fanin), *nd.lut);
+        break;
+      }
+      default: {
+        std::vector<NodeId> fanin;
+        for (NodeId f : nd.fanin) fanin.push_back(out.map[static_cast<std::size_t>(f)]);
+        mapped = out.netlist.add_gate(nd.type, nd.name, std::move(fanin));
+        break;
+      }
+    }
+    out.map[static_cast<std::size_t>(id)] = mapped;
+    if (src.is_output(id)) out.netlist.mark_output(mapped);
+  }
+  return out;
+}
+
+} // namespace bns

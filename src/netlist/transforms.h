@@ -1,0 +1,31 @@
+// Structure-preserving netlist transforms.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace bns {
+
+// A transformed netlist together with the mapping from the original
+// node ids to the corresponding nodes of the transformed netlist.
+struct MappedNetlist {
+  Netlist netlist;
+  std::vector<NodeId> map; // map[old_id] = new_id of the same line
+};
+
+// Rewrites every associative gate (AND/OR/XOR and inverted forms) with
+// more than `max_fanin` inputs as a balanced tree of narrower gates of
+// the same core function. Non-associative nodes (LUTs) are copied
+// unchanged. Logic function of every original line is preserved.
+MappedNetlist decompose_wide_gates(const Netlist& src, int max_fanin);
+
+// Renumbers the nodes in depth-first *cone* order: for each primary
+// output in turn, its transitive fanin is emitted in post-order. The
+// result is still a valid topological order, but contiguous id ranges
+// now correspond to output cones rather than to logic levels — the
+// order in which range-based segmentation loses the least correlation.
+// Nodes unreachable from any output are appended at the end.
+MappedNetlist reorder_cone_dfs(const Netlist& src);
+
+} // namespace bns

@@ -1,0 +1,92 @@
+#include "netlist/truth_table.h"
+
+#include "util/assert.h"
+
+namespace bns {
+
+TruthTable::TruthTable(int n_inputs) : n_inputs_(n_inputs) {
+  BNS_EXPECTS(n_inputs >= 0 && n_inputs <= kMaxInputs);
+  const std::uint64_t rows = 1ULL << n_inputs;
+  bits_.assign((rows + 63) / 64, 0);
+}
+
+TruthTable TruthTable::of_gate(GateType t, int n_inputs) {
+  BNS_EXPECTS(fanin_count_ok(t, static_cast<std::size_t>(n_inputs)));
+  TruthTable tt(n_inputs);
+  std::vector<bool> in(static_cast<std::size_t>(n_inputs));
+  for (std::uint64_t m = 0; m < tt.num_rows(); ++m) {
+    for (int i = 0; i < n_inputs; ++i) in[static_cast<std::size_t>(i)] = (m >> i) & 1;
+    // span<const bool> cannot view vector<bool>; use a small buffer.
+    bool buf[kMaxInputs];
+    for (int i = 0; i < n_inputs; ++i) buf[i] = in[static_cast<std::size_t>(i)];
+    tt.set_value(m, eval_gate(t, std::span<const bool>(buf, static_cast<std::size_t>(n_inputs))));
+  }
+  return tt;
+}
+
+bool TruthTable::value(std::uint64_t minterm) const {
+  BNS_EXPECTS(minterm < num_rows());
+  return (bits_[minterm >> 6] >> (minterm & 63)) & 1;
+}
+
+void TruthTable::set_value(std::uint64_t minterm, bool v) {
+  BNS_EXPECTS(minterm < num_rows());
+  const std::uint64_t mask = 1ULL << (minterm & 63);
+  if (v) {
+    bits_[minterm >> 6] |= mask;
+  } else {
+    bits_[minterm >> 6] &= ~mask;
+  }
+}
+
+bool TruthTable::eval(std::span<const bool> in) const {
+  BNS_EXPECTS(static_cast<int>(in.size()) == n_inputs_);
+  std::uint64_t m = 0;
+  for (int i = 0; i < n_inputs_; ++i) {
+    if (in[static_cast<std::size_t>(i)]) m |= 1ULL << i;
+  }
+  return value(m);
+}
+
+std::uint64_t TruthTable::eval_words(std::span<const std::uint64_t> in) const {
+  BNS_EXPECTS(static_cast<int>(in.size()) == n_inputs_);
+  // For each lane, select the table row addressed by the lane's input
+  // bits: out = OR over minterms m of (table[m] ? AND_i lit_i(m) : 0).
+  std::uint64_t out = 0;
+  for (std::uint64_t m = 0; m < num_rows(); ++m) {
+    if (!value(m)) continue;
+    std::uint64_t sel = ~0ULL;
+    for (int i = 0; i < n_inputs_; ++i) {
+      const std::uint64_t w = in[static_cast<std::size_t>(i)];
+      sel &= ((m >> i) & 1) ? w : ~w;
+    }
+    out |= sel;
+  }
+  return out;
+}
+
+bool TruthTable::input_is_redundant(int i) const {
+  BNS_EXPECTS(i >= 0 && i < n_inputs_);
+  return cofactor(i, false) == cofactor(i, true);
+}
+
+TruthTable TruthTable::cofactor(int i, bool v) const {
+  BNS_EXPECTS(i >= 0 && i < n_inputs_);
+  TruthTable out(n_inputs_ - 1);
+  for (std::uint64_t m = 0; m < out.num_rows(); ++m) {
+    const std::uint64_t low = m & ((1ULL << i) - 1);
+    const std::uint64_t high = (m >> i) << (i + 1);
+    const std::uint64_t full = high | (static_cast<std::uint64_t>(v) << i) | low;
+    out.set_value(m, value(full));
+  }
+  return out;
+}
+
+std::string TruthTable::to_string() const {
+  std::string s;
+  s.reserve(num_rows());
+  for (std::uint64_t m = 0; m < num_rows(); ++m) s.push_back(value(m) ? '1' : '0');
+  return s;
+}
+
+} // namespace bns

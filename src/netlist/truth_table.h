@@ -1,0 +1,57 @@
+// Dense single-output truth tables, used for general (LUT) gates parsed
+// from BLIF and for deriving transition CPTs in the LIDAG builder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace bns {
+
+// Truth table over n inputs, bit i holds f(minterm i) where input 0 is
+// the least-significant bit of the minterm index.
+class TruthTable {
+ public:
+  TruthTable() = default;
+
+  // All-zero table over n inputs. Precondition: 0 <= n <= kMaxInputs.
+  explicit TruthTable(int n_inputs);
+
+  static constexpr int kMaxInputs = 16;
+
+  // Table of a primitive gate with `n_inputs` fanins.
+  static TruthTable of_gate(GateType t, int n_inputs);
+
+  int num_inputs() const { return n_inputs_; }
+  std::uint64_t num_rows() const { return 1ULL << n_inputs_; }
+
+  bool value(std::uint64_t minterm) const;
+  void set_value(std::uint64_t minterm, bool v);
+
+  // Evaluates on explicit input bits (in[0] = input 0).
+  bool eval(std::span<const bool> in) const;
+
+  // 64-lane bit-parallel evaluation via Shannon cofactoring on the table.
+  std::uint64_t eval_words(std::span<const std::uint64_t> in) const;
+
+  // True if the function ignores input `i`.
+  bool input_is_redundant(int i) const;
+
+  // Cofactor with input i fixed to v (result has one fewer input; the
+  // remaining inputs keep their relative order).
+  TruthTable cofactor(int i, bool v) const;
+
+  // "0101..."-style string, minterm 0 first.
+  std::string to_string() const;
+
+  bool operator==(const TruthTable& other) const = default;
+
+ private:
+  int n_inputs_ = 0;
+  std::vector<std::uint64_t> bits_; // ceil(2^n / 64) words
+};
+
+} // namespace bns

@@ -1,0 +1,104 @@
+#include "sim/input_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace bns {
+
+double rho_min(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0; // constant stream: rho is moot
+  return std::max(-p / (1.0 - p), -(1.0 - p) / p);
+}
+
+double p1_given_1(double p, double rho) { return p + rho * (1.0 - p); }
+
+double p1_given_0(double p, double rho) { return p * (1.0 - rho); }
+
+std::array<double, 4> transition_distribution(double p, double rho) {
+  BNS_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return {1.0, 0.0, 0.0, 0.0};
+  if (p >= 1.0) return {0.0, 0.0, 0.0, 1.0};
+  BNS_EXPECTS(rho >= rho_min(p) - 1e-12 && rho <= 1.0 + 1e-12);
+  const double p11 = p1_given_1(p, rho);
+  const double p01 = p1_given_0(p, rho);
+  return {
+      (1.0 - p) * (1.0 - p01), // 00
+      (1.0 - p) * p01,         // 01
+      p * (1.0 - p11),         // 10
+      p * p11,                 // 11
+  };
+}
+
+InputModel InputModel::uniform(int n, double p, double rho) {
+  BNS_EXPECTS(n >= 0);
+  std::vector<InputSpec> specs(static_cast<std::size_t>(n), InputSpec{p, rho, -1, 0.0});
+  return custom(std::move(specs));
+}
+
+InputModel InputModel::custom(std::vector<InputSpec> specs,
+                              std::vector<GroupSpec> groups) {
+  InputModel m;
+  for (const InputSpec& s : specs) {
+    BNS_EXPECTS(s.p >= 0.0 && s.p <= 1.0);
+    BNS_EXPECTS(s.rho >= rho_min(s.p) - 1e-12 && s.rho <= 1.0 + 1e-12);
+    BNS_EXPECTS(s.flip >= 0.0 && s.flip <= 0.5);
+    BNS_EXPECTS(s.group == -1 ||
+                (s.group >= 0 && s.group < static_cast<int>(groups.size())));
+  }
+  for (const GroupSpec& g : groups) {
+    BNS_EXPECTS(g.p >= 0.0 && g.p <= 1.0);
+    BNS_EXPECTS(g.rho >= rho_min(g.p) - 1e-12 && g.rho <= 1.0 + 1e-12);
+  }
+  m.specs_ = std::move(specs);
+  m.groups_ = std::move(groups);
+  return m;
+}
+
+const InputSpec& InputModel::spec(int i) const {
+  BNS_EXPECTS(i >= 0 && i < num_inputs());
+  return specs_[static_cast<std::size_t>(i)];
+}
+
+const GroupSpec& InputModel::group(int g) const {
+  BNS_EXPECTS(g >= 0 && g < num_groups());
+  return groups_[static_cast<std::size_t>(g)];
+}
+
+bool InputModel::has_spatial_correlation() const {
+  return std::any_of(specs_.begin(), specs_.end(),
+                     [](const InputSpec& s) { return s.group >= 0; });
+}
+
+std::array<double, 4> InputModel::transition_dist(int i) const {
+  const InputSpec& s = spec(i);
+  if (s.group < 0) return transition_distribution(s.p, s.rho);
+
+  // Grouped input: X_t = S_t xor N_t with i.i.d. noise N. Its own (p,
+  // rho) fields are ignored; the pair distribution is the source's,
+  // smeared by independent flips at both time points.
+  const std::array<double, 4> src = group_transition_dist(s.group);
+  const double q = s.flip;
+  std::array<double, 4> out{};
+  for (int sa = 0; sa < 2; ++sa) {
+    for (int sb = 0; sb < 2; ++sb) {
+      const double ps = src[static_cast<std::size_t>(sa * 2 + sb)];
+      for (int xa = 0; xa < 2; ++xa) {
+        for (int xb = 0; xb < 2; ++xb) {
+          const double fa = (xa == sa) ? (1.0 - q) : q;
+          const double fb = (xb == sb) ? (1.0 - q) : q;
+          out[static_cast<std::size_t>(xa * 2 + xb)] += ps * fa * fb;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::array<double, 4> InputModel::group_transition_dist(int g) const {
+  const GroupSpec& gs = group(g);
+  return transition_distribution(gs.p, gs.rho);
+}
+
+} // namespace bns

@@ -1,0 +1,86 @@
+// Statistical models of the primary-input streams.
+//
+// Each input is a stationary two-state lag-1 Markov chain parameterized
+// by its signal probability p = P(X_t = 1) and its lag-1 autocorrelation
+// coefficient rho (rho = 0 gives an i.i.d. Bernoulli(p) stream). This is
+// exactly the statistics the 4-state transition variables of the paper
+// consume: the stationary distribution over (X_{t-1}, X_t) pairs.
+//
+// Optional *spatial* correlation is modeled with shared-source groups:
+// inputs in the same group are noisy copies of one hidden source stream
+// (X_i = S xor N_i with P(N_i = 1) = flip), which is the kind of
+// correlated-input modeling the paper lists as future work.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace bns {
+
+// Indices into a 4-state transition distribution, in the paper's order.
+enum Trans : int { T00 = 0, T01 = 1, T10 = 2, T11 = 3 };
+
+// Activity contribution of a 4-state distribution: P(01) + P(10).
+inline double activity_of(const std::array<double, 4>& d) {
+  return d[T01] + d[T10];
+}
+
+struct InputSpec {
+  double p = 0.5;    // P(X = 1), in [0, 1]
+  double rho = 0.0;  // lag-1 autocorrelation, in [rho_min(p), 1]
+  int group = -1;    // shared-source group id, or -1 for independent
+  double flip = 0.0; // P(input differs from group source), in [0, 0.5]
+};
+
+// Smallest admissible rho for a stationary chain with P(1) = p.
+double rho_min(double p);
+
+// Conditional next-state probabilities of the chain.
+// P(X_t = 1 | X_{t-1} = 1) and P(X_t = 1 | X_{t-1} = 0).
+double p1_given_1(double p, double rho);
+double p1_given_0(double p, double rho);
+
+// Stationary distribution over (X_{t-1}, X_t) as [P00, P01, P10, P11].
+std::array<double, 4> transition_distribution(double p, double rho);
+
+// A shared-source group's own stream statistics.
+struct GroupSpec {
+  double p = 0.5;
+  double rho = 0.0;
+};
+
+class InputModel {
+ public:
+  InputModel() = default;
+
+  // n independent streams with identical (p, rho).
+  static InputModel uniform(int n, double p = 0.5, double rho = 0.0);
+
+  // Fully custom per-input specs (validated).
+  static InputModel custom(std::vector<InputSpec> specs,
+                           std::vector<GroupSpec> groups = {});
+
+  int num_inputs() const { return static_cast<int>(specs_.size()); }
+  const InputSpec& spec(int i) const;
+  const std::vector<InputSpec>& specs() const { return specs_; }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  const GroupSpec& group(int g) const;
+  const std::vector<GroupSpec>& groups() const { return groups_; }
+
+  bool has_spatial_correlation() const;
+
+  // Per-input stationary 4-state transition distribution, *marginalized*
+  // over the group source when the input belongs to a group.
+  std::array<double, 4> transition_dist(int i) const;
+
+  // Stationary 4-state distribution of group g's source stream.
+  std::array<double, 4> group_transition_dist(int g) const;
+
+ private:
+  std::vector<InputSpec> specs_;
+  std::vector<GroupSpec> groups_;
+};
+
+} // namespace bns

@@ -1,0 +1,238 @@
+#include "sim/simulator.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace bns {
+
+std::uint64_t bernoulli_word(Rng& rng, double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~0ULL;
+  if (p == 0.5) return rng.bits64();
+  // Dyadic composition: with acc_K = 0 and, for k = K..1,
+  //   acc <- b_k ? (fresh | acc) : (fresh & acc),
+  // each output bit is 1 with probability 0.b1 b2 ... bK (binary).
+  const std::uint32_t frac =
+      static_cast<std::uint32_t>(std::lround(p * 4294967296.0 /*2^32*/));
+  if (frac == 0) return 0;
+  std::uint64_t acc = 0;
+  for (int k = 0; k < 32; ++k) { // k = 0 is the least significant bit b_32
+    const bool bit = (frac >> k) & 1;
+    const std::uint64_t fresh = rng.bits64();
+    acc = bit ? (fresh | acc) : (fresh & acc);
+  }
+  return acc;
+}
+
+SimResult::SimResult(int num_nodes, std::uint64_t num_samples)
+    : counts_(static_cast<std::size_t>(num_nodes)), n_(num_samples) {
+  BNS_EXPECTS(num_nodes >= 0);
+}
+
+std::array<double, 4> SimResult::transition_dist(NodeId id) const {
+  const auto& c = counts(id);
+  BNS_EXPECTS(n_ > 0);
+  const double inv = 1.0 / static_cast<double>(n_);
+  return {static_cast<double>(c[0]) * inv, static_cast<double>(c[1]) * inv,
+          static_cast<double>(c[2]) * inv, static_cast<double>(c[3]) * inv};
+}
+
+double SimResult::activity(NodeId id) const {
+  const auto d = transition_dist(id);
+  return d[T01] + d[T10];
+}
+
+double SimResult::signal_prob(NodeId id) const {
+  const auto d = transition_dist(id);
+  return d[T01] + d[T11]; // P(X_t = 1)
+}
+
+std::vector<double> SimResult::activities() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = activity(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::array<std::uint64_t, 4>& SimResult::counts(NodeId id) {
+  BNS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < counts_.size());
+  return counts_[static_cast<std::size_t>(id)];
+}
+
+const std::array<std::uint64_t, 4>& SimResult::counts(NodeId id) const {
+  BNS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < counts_.size());
+  return counts_[static_cast<std::size_t>(id)];
+}
+
+SwitchingSimulator::SwitchingSimulator(const Netlist& nl) : nl_(&nl) {}
+
+SimResult SwitchingSimulator::run(const InputModel& model,
+                                  std::uint64_t min_pairs,
+                                  std::uint64_t seed) const {
+  const Netlist& nl = *nl_;
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  BNS_EXPECTS(min_pairs > 0);
+
+  Rng rng(seed);
+  const int n_nodes = nl.num_nodes();
+  const int n_inputs = nl.num_inputs();
+  const int n_groups = model.num_groups();
+
+  // 64 independent lanes; ceil(min_pairs / 64) transition steps.
+  const std::uint64_t steps = (min_pairs + 63) / 64;
+
+  std::vector<std::uint64_t> cur(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<std::uint64_t> prev(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<std::uint64_t> group_state(static_cast<std::size_t>(n_groups), 0);
+  std::vector<std::uint64_t> input_state(static_cast<std::size_t>(n_inputs), 0);
+
+  // Advances a lag-1 Markov word: bits at 1 stay with prob p11, bits at
+  // 0 rise with prob p01.
+  auto markov_step = [&](std::uint64_t state, double p, double rho) {
+    const std::uint64_t stay = bernoulli_word(rng, p1_given_1(p, rho));
+    const std::uint64_t rise = bernoulli_word(rng, p1_given_0(p, rho));
+    return (state & stay) | (~state & rise);
+  };
+
+  // Initialize every stream from its stationary marginal.
+  for (int g = 0; g < n_groups; ++g) {
+    group_state[static_cast<std::size_t>(g)] =
+        bernoulli_word(rng, model.group(g).p);
+  }
+  auto gen_inputs = [&](bool first) {
+    if (!first) {
+      for (int g = 0; g < n_groups; ++g) {
+        const GroupSpec& gs = model.group(g);
+        group_state[static_cast<std::size_t>(g)] =
+            markov_step(group_state[static_cast<std::size_t>(g)], gs.p, gs.rho);
+      }
+    }
+    for (int i = 0; i < n_inputs; ++i) {
+      const InputSpec& s = model.spec(i);
+      std::uint64_t w;
+      if (s.group >= 0) {
+        const std::uint64_t noise = bernoulli_word(rng, s.flip);
+        w = group_state[static_cast<std::size_t>(s.group)] ^ noise;
+      } else if (first) {
+        w = bernoulli_word(rng, s.p);
+      } else {
+        w = markov_step(input_state[static_cast<std::size_t>(i)], s.p, s.rho);
+      }
+      input_state[static_cast<std::size_t>(i)] = w;
+    }
+  };
+
+  auto eval_all = [&](std::vector<std::uint64_t>& vals) {
+    for (int i = 0; i < n_inputs; ++i) {
+      vals[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])] =
+          input_state[static_cast<std::size_t>(i)];
+    }
+    std::vector<std::uint64_t> fanin_vals;
+    for (NodeId id = 0; id < n_nodes; ++id) {
+      const Node& n = nl.node(id);
+      if (n.type == GateType::Input) continue;
+      fanin_vals.clear();
+      for (NodeId f : n.fanin) fanin_vals.push_back(vals[static_cast<std::size_t>(f)]);
+      vals[static_cast<std::size_t>(id)] =
+          n.type == GateType::Lut ? n.lut->eval_words(fanin_vals)
+                                  : eval_gate_words(n.type, fanin_vals);
+    }
+  };
+
+  SimResult result(n_nodes, steps * 64);
+
+  gen_inputs(/*first=*/true);
+  eval_all(prev);
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    gen_inputs(/*first=*/false);
+    eval_all(cur);
+    for (NodeId id = 0; id < n_nodes; ++id) {
+      const std::uint64_t a = prev[static_cast<std::size_t>(id)];
+      const std::uint64_t b = cur[static_cast<std::size_t>(id)];
+      auto& c = result.counts(id);
+      c[T00] += static_cast<std::uint64_t>(std::popcount(~a & ~b));
+      c[T01] += static_cast<std::uint64_t>(std::popcount(~a & b));
+      c[T10] += static_cast<std::uint64_t>(std::popcount(a & ~b));
+      c[T11] += static_cast<std::uint64_t>(std::popcount(a & b));
+    }
+    std::swap(prev, cur);
+  }
+  return result;
+}
+
+std::vector<std::array<double, 4>> exact_transition_dists(
+    const Netlist& nl, const InputModel& model) {
+  BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  BNS_EXPECTS_MSG(!model.has_spatial_correlation(),
+                  "exact enumeration does not support input groups");
+  const int n = nl.num_inputs();
+  BNS_EXPECTS_MSG(n <= 10, "exhaustive enumeration is exponential in inputs");
+
+  const int n_nodes = nl.num_nodes();
+  std::vector<std::array<double, 4>> dist(
+      static_cast<std::size_t>(n_nodes), std::array<double, 4>{});
+
+  // Per-input pair distribution.
+  std::vector<std::array<double, 4>> in_dist;
+  in_dist.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) in_dist.push_back(model.transition_dist(i));
+
+  std::vector<bool> va(static_cast<std::size_t>(n_nodes));
+  std::vector<bool> vb(static_cast<std::size_t>(n_nodes));
+  std::vector<bool> buf;
+
+  auto eval_vec = [&](std::uint64_t assign, std::vector<bool>& vals) {
+    for (int i = 0; i < n; ++i) {
+      vals[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])] =
+          (assign >> i) & 1;
+    }
+    for (NodeId id = 0; id < n_nodes; ++id) {
+      const Node& nd = nl.node(id);
+      if (nd.type == GateType::Input) continue;
+      buf.assign(nd.fanin.size(), false);
+      bool scratch[24];
+      BNS_ASSERT(nd.fanin.size() <= 24);
+      for (std::size_t k = 0; k < nd.fanin.size(); ++k) {
+        scratch[k] = vals[static_cast<std::size_t>(nd.fanin[k])];
+      }
+      const std::span<const bool> in(scratch, nd.fanin.size());
+      vals[static_cast<std::size_t>(id)] =
+          nd.type == GateType::Lut ? nd.lut->eval(in) : eval_gate(nd.type, in);
+    }
+  };
+
+  const std::uint64_t total = 1ULL << n;
+  for (std::uint64_t a = 0; a < total; ++a) {
+    eval_vec(a, va);
+    for (std::uint64_t b = 0; b < total; ++b) {
+      double w = 1.0;
+      for (int i = 0; i < n; ++i) {
+        const int xa = (a >> i) & 1;
+        const int xb = (b >> i) & 1;
+        w *= in_dist[static_cast<std::size_t>(i)]
+                    [static_cast<std::size_t>(xa * 2 + xb)];
+      }
+      if (w == 0.0) continue;
+      eval_vec(b, vb);
+      for (NodeId id = 0; id < n_nodes; ++id) {
+        const int sa = va[static_cast<std::size_t>(id)] ? 1 : 0;
+        const int sb = vb[static_cast<std::size_t>(id)] ? 1 : 0;
+        dist[static_cast<std::size_t>(id)][static_cast<std::size_t>(sa * 2 + sb)] += w;
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> exact_activities(const Netlist& nl,
+                                     const InputModel& model) {
+  const auto dists = exact_transition_dists(nl, model);
+  std::vector<double> out(dists.size());
+  for (std::size_t i = 0; i < dists.size(); ++i) out[i] = activity_of(dists[i]);
+  return out;
+}
+
+} // namespace bns

@@ -1,0 +1,77 @@
+// Ground-truth switching-activity estimation by 64-lane bit-parallel
+// zero-delay logic simulation, the "logic simulation providing ground
+// truth estimates of switching" of the paper's Section 6.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+#include "util/rng.h"
+
+namespace bns {
+
+// One Bernoulli(p) draw per bit of the returned word, bits independent.
+// Uses a 32-term dyadic expansion of p (resolution 2^-32).
+std::uint64_t bernoulli_word(Rng& rng, double p);
+
+// Per-node transition counts accumulated over a simulated input stream.
+class SimResult {
+ public:
+  SimResult(int num_nodes, std::uint64_t num_samples);
+
+  std::uint64_t num_samples() const { return n_; }
+
+  // Empirical distribution over {00,01,10,11} transitions of node id.
+  std::array<double, 4> transition_dist(NodeId id) const;
+
+  // Empirical switching activity P(01) + P(10).
+  double activity(NodeId id) const;
+
+  // Empirical signal probability P(X_t = 1) (from the pair samples).
+  double signal_prob(NodeId id) const;
+
+  // Activities for all nodes, indexed by NodeId.
+  std::vector<double> activities() const;
+
+  // Raw counters (testing / merging).
+  std::array<std::uint64_t, 4>& counts(NodeId id);
+  const std::array<std::uint64_t, 4>& counts(NodeId id) const;
+  void add_samples(std::uint64_t n) { n_ += n; }
+
+ private:
+  std::vector<std::array<std::uint64_t, 4>> counts_;
+  std::uint64_t n_ = 0;
+};
+
+class SwitchingSimulator {
+ public:
+  explicit SwitchingSimulator(const Netlist& nl);
+
+  // Simulates a stream of consecutive random vectors and counts the
+  // transition of every node between consecutive time steps, until at
+  // least `min_pairs` (node, step) transition samples per node are
+  // collected. The stream statistics follow `model`, whose input count
+  // must match the netlist. Deterministic in `seed`.
+  SimResult run(const InputModel& model, std::uint64_t min_pairs,
+                std::uint64_t seed) const;
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_; // non-owning; must outlive the simulator
+};
+
+// Exact switching activity by exhaustive enumeration of all input pair
+// assignments, weighted by the input model (the true marginals the BN
+// must reproduce). Exponential in the number of inputs.
+// Preconditions: no spatial groups in `model`; nl.num_inputs() <= 10.
+std::vector<std::array<double, 4>> exact_transition_dists(
+    const Netlist& nl, const InputModel& model);
+
+std::vector<double> exact_activities(const Netlist& nl,
+                                     const InputModel& model);
+
+} // namespace bns

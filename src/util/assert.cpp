@@ -1,0 +1,19 @@
+#include "util/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bns::detail {
+
+void contract_violation(std::string_view kind, std::string_view cond,
+                        std::string_view file, int line, std::string_view msg) {
+  std::fprintf(stderr, "%.*s failed: %.*s (%.*s:%d)%s%.*s\n",
+               static_cast<int>(kind.size()), kind.data(),
+               static_cast<int>(cond.size()), cond.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               msg.empty() ? "" : " — ",
+               static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+} // namespace bns::detail

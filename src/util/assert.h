@@ -1,0 +1,31 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// Expects/Ensures (I.6, I.8). Violations are programming errors, so they
+// terminate with a diagnostic rather than throw.
+#pragma once
+
+#include <string_view>
+
+namespace bns::detail {
+
+// Prints "<kind> failed: <cond> (<file>:<line>) <msg>" to stderr and aborts.
+[[noreturn]] void contract_violation(std::string_view kind, std::string_view cond,
+                                     std::string_view file, int line,
+                                     std::string_view msg);
+
+} // namespace bns::detail
+
+#define BNS_CONTRACT_IMPL(kind, cond, msg)                                       \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::bns::detail::contract_violation(kind, #cond, __FILE__, __LINE__, msg);   \
+    }                                                                            \
+  } while (false)
+
+// Precondition on a function's arguments / object state.
+#define BNS_EXPECTS(cond) BNS_CONTRACT_IMPL("Precondition", cond, "")
+#define BNS_EXPECTS_MSG(cond, msg) BNS_CONTRACT_IMPL("Precondition", cond, msg)
+
+// Postcondition / internal invariant.
+#define BNS_ENSURES(cond) BNS_CONTRACT_IMPL("Postcondition", cond, "")
+#define BNS_ASSERT(cond) BNS_CONTRACT_IMPL("Assertion", cond, "")
+#define BNS_ASSERT_MSG(cond, msg) BNS_CONTRACT_IMPL("Assertion", cond, msg)

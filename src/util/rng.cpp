@@ -1,0 +1,86 @@
+#include "util/rng.h"
+
+#include "util/assert.h"
+
+namespace bns {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+} // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // SplitMix64 output can in principle be all zero for adversarial seeds;
+  // xoshiro requires non-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  BNS_EXPECTS(n > 0);
+  // Lemire-style rejection-free-ish bounded draw; bias is negligible for
+  // our n (<< 2^32) but we reject to keep it exact.
+  const std::uint64_t threshold = (~n + 1) % n; // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  BNS_EXPECTS(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+int Rng::weighted(const double* weights, int weights_size) {
+  BNS_EXPECTS(weights_size > 0);
+  double total = 0.0;
+  for (int i = 0; i < weights_size; ++i) {
+    BNS_EXPECTS(weights[i] >= 0.0);
+    total += weights[i];
+  }
+  BNS_EXPECTS(total > 0.0);
+  double r = uniform() * total;
+  for (int i = 0; i < weights_size; ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights_size - 1; // floating-point edge: land on the last bucket
+}
+
+} // namespace bns

@@ -1,0 +1,53 @@
+// Seeded, reproducible pseudo-random number generation.
+//
+// All stochastic components of the library (input-stream generation,
+// random circuit generation, Monte-Carlo ground truth) draw from this
+// xoshiro256++ generator so that every experiment is reproducible from a
+// single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+
+namespace bns {
+
+// xoshiro256++ 1.0 (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  // Re-initializes state from `seed` via SplitMix64 (never all-zero).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  // Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // 64 independent fair coin flips packed into a word.
+  std::uint64_t bits64() { return next(); }
+
+  // Draws an index in [0, weights_size) proportional to weights[i].
+  // Precondition: all weights >= 0 and their sum > 0.
+  int weighted(const double* weights, int weights_size);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+} // namespace bns

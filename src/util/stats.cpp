@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace bns {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  BNS_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  BNS_EXPECTS(n_ > 0);
+  if (n_ == 1) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  BNS_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  BNS_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double RunningStats::sum() const { return sum_; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+ErrorStats compute_error_stats(std::span<const double> estimate,
+                               std::span<const double> reference) {
+  BNS_EXPECTS(estimate.size() == reference.size());
+  BNS_EXPECTS(!estimate.empty());
+
+  RunningStats abs_err;
+  RunningStats est_mean;
+  RunningStats ref_mean;
+  for (std::size_t i = 0; i < estimate.size(); ++i) {
+    abs_err.add(std::abs(estimate[i] - reference[i]));
+    est_mean.add(estimate[i]);
+    ref_mean.add(reference[i]);
+  }
+
+  ErrorStats out;
+  out.n = estimate.size();
+  out.mu_err = abs_err.mean();
+  out.sigma_err = abs_err.stddev();
+  out.max_err = abs_err.max();
+  out.pct_err = ref_mean.mean() == 0.0
+                    ? 0.0
+                    : std::abs(est_mean.mean() - ref_mean.mean()) /
+                          ref_mean.mean() * 100.0;
+  return out;
+}
+
+} // namespace bns

@@ -1,0 +1,59 @@
+// Streaming statistics accumulators used by the error-metric and
+// benchmark reporting code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace bns {
+
+// Welford single-pass accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  // Mean of the observed samples. Precondition: !empty().
+  double mean() const;
+  // Unbiased sample variance (0 for a single sample). Precondition: !empty().
+  double variance() const;
+  // Sample standard deviation. Precondition: !empty().
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+
+  // Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Error metrics between an estimate and a reference, as reported in the
+// paper's Table 1:
+//   mu_err  — mean over nodes of |est - ref|
+//   sigma_err — standard deviation over nodes of |est - ref|
+//   pct_err — |mean(est) - mean(ref)| / mean(ref) * 100
+struct ErrorStats {
+  double mu_err = 0.0;
+  double sigma_err = 0.0;
+  double pct_err = 0.0;
+  double max_err = 0.0;
+  std::size_t n = 0;
+};
+
+// Computes ErrorStats over paired samples. Preconditions: equal,
+// non-zero lengths; mean(ref) != 0 for pct_err to be meaningful (it is
+// reported as 0 when mean(ref) == 0).
+ErrorStats compute_error_stats(std::span<const double> estimate,
+                               std::span<const double> reference);
+
+} // namespace bns

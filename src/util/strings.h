@@ -1,0 +1,30 @@
+// Small string utilities shared by the parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bns {
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+// Splits on `sep`, trimming each piece; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Splits on any amount of ASCII whitespace; empty pieces are dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+// ASCII upper-casing.
+std::string to_upper(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace bns

@@ -1,0 +1,30 @@
+// Wall-clock timing.
+//
+// The paper reports *elapsed* (wall) time rather than CPU time, arguing
+// that CPU time underestimates memory-bound workloads; we follow suit and
+// use std::chrono::steady_clock throughout.
+#pragma once
+
+#include <chrono>
+
+namespace bns {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+} // namespace bns

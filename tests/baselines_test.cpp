@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/correlation.h"
+#include "baselines/independence.h"
+#include "baselines/transition_density.h"
+#include "gen/benchmarks.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace bns {
+namespace {
+
+// A fanout-free (tree) circuit: every estimator that keeps per-line
+// temporal statistics and assumes spatial independence is exact here.
+Netlist tree_circuit() {
+  Netlist nl("tree");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId d = nl.add_input("d");
+  const NodeId g1 = nl.add_gate(GateType::Nand, "g1", {a, b});
+  const NodeId g2 = nl.add_gate(GateType::Xor, "g2", {c, d});
+  const NodeId g3 = nl.add_gate(GateType::Or, "g3", {g1, g2});
+  nl.mark_output(g3);
+  return nl;
+}
+
+TEST(Independence, ExactOnTreeCircuits) {
+  const Netlist nl = tree_circuit();
+  std::vector<InputSpec> specs = {{0.3, 0.0, -1, 0},
+                                  {0.6, 0.2, -1, 0},
+                                  {0.5, -0.3, -1, 0},
+                                  {0.8, 0.5, -1, 0}};
+  const InputModel m = InputModel::custom(specs);
+  const IndependenceResult r = estimate_independence(nl, m);
+  const auto exact = exact_transition_dists(nl, m);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_NEAR(r.dist[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  exact[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  1e-10);
+    }
+  }
+}
+
+TEST(Independence, WrongOnReconvergentFanout) {
+  // y = AND(a, NOT a) is constant 0, but independence predicts
+  // activity 2 * 1/4 * 3/4 = 0.375 for P(y = 1) = 0.25.
+  Netlist nl("glitch");
+  const NodeId a = nl.add_input("a");
+  const NodeId na = nl.add_gate(GateType::Not, "na", {a});
+  const NodeId y = nl.add_gate(GateType::And, "y", {a, na});
+  nl.mark_output(y);
+  const InputModel m = InputModel::uniform(1);
+  const IndependenceResult r = estimate_independence(nl, m);
+  EXPECT_NEAR(activity_of(r.dist[static_cast<std::size_t>(y)]), 0.375, 1e-10);
+  EXPECT_NEAR(exact_activities(nl, m)[static_cast<std::size_t>(y)], 0.0, 1e-12);
+}
+
+TEST(Independence, WideGatesViaDecomposition) {
+  Netlist nl("wide");
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 10; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const NodeId y = nl.add_gate(GateType::And, "y", ins);
+  nl.mark_output(y);
+  const InputModel m = InputModel::uniform(10, 0.8, 0.0);
+  const IndependenceResult r = estimate_independence(nl, m);
+  // P(y=1) = 0.8^10; activity = 2 p (1-p) under temporal independence.
+  const double p = std::pow(0.8, 10);
+  EXPECT_NEAR(activity_of(r.dist[static_cast<std::size_t>(y)]),
+              2 * p * (1 - p), 1e-9);
+}
+
+TEST(Independence, NoDriftOnDeepChains) {
+  // Regression: output distributions must stay normalized through
+  // hundreds of levels (rounding used to compound exponentially).
+  RandomCircuitSpec spec;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.num_gates = 600;
+  spec.depth = 150;
+  spec.seed = 5;
+  const Netlist nl = random_circuit(spec, "deep");
+  const IndependenceResult r =
+      estimate_independence(nl, InputModel::uniform(8));
+  for (const auto& d : r.dist) {
+    EXPECT_NEAR(d[0] + d[1] + d[2] + d[3], 1.0, 1e-9);
+    for (double v : d) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(TransitionDensity, InverterChainPreservesDensity) {
+  Netlist nl("chain");
+  NodeId prev = nl.add_input("a");
+  for (int i = 0; i < 5; ++i) {
+    prev = nl.add_gate(GateType::Not, "n" + std::to_string(i), {prev});
+  }
+  nl.mark_output(prev);
+  const InputModel m = InputModel::uniform(1, 0.5, 0.6);
+  const TransitionDensityResult r = estimate_transition_density(nl, m);
+  const double input_density =
+      activity_of(transition_distribution(0.5, 0.6));
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    EXPECT_NEAR(r.density[static_cast<std::size_t>(id)], input_density, 1e-10);
+  }
+}
+
+TEST(TransitionDensity, AndGateBooleanDifference) {
+  // D(y) = P(b)D(a) + P(a)D(b) for y = AND(a, b).
+  Netlist nl("and");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId y = nl.add_gate(GateType::And, "y", {a, b});
+  nl.mark_output(y);
+  const InputModel m =
+      InputModel::custom({{0.3, 0.0, -1, 0}, {0.8, 0.0, -1, 0}});
+  const TransitionDensityResult r = estimate_transition_density(nl, m);
+  const double da = 2 * 0.3 * 0.7;
+  const double db = 2 * 0.8 * 0.2;
+  EXPECT_NEAR(r.density[static_cast<std::size_t>(y)], 0.8 * da + 0.3 * db,
+              1e-10);
+  EXPECT_NEAR(r.signal_prob[static_cast<std::size_t>(y)], 0.24, 1e-10);
+}
+
+TEST(TransitionDensity, OverestimatesOnXorReconvergence) {
+  // y = XOR(a, a) is constant; the density model charges 2*D(a).
+  Netlist nl("xx");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_gate(GateType::Buf, "b", {a});
+  const NodeId y = nl.add_gate(GateType::Xor, "y", {a, b});
+  nl.mark_output(y);
+  const InputModel m = InputModel::uniform(1);
+  const TransitionDensityResult r = estimate_transition_density(nl, m);
+  EXPECT_NEAR(r.density[static_cast<std::size_t>(y)], 1.0, 1e-10); // 2 * 0.5
+  EXPECT_NEAR(exact_activities(nl, m)[static_cast<std::size_t>(y)], 0.0, 1e-12);
+}
+
+TEST(Correlation, ExactOnTreeCircuits) {
+  const Netlist nl = tree_circuit();
+  const InputModel m = InputModel::uniform(4, 0.4, 0.2);
+  const CorrelationResult r = estimate_correlation(nl, m);
+  const auto exact = exact_transition_dists(nl, m);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_NEAR(r.dist[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  exact[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(Correlation, CapturesSimpleReconvergence) {
+  // y = AND(a, NOT a): pairwise correlation suffices here (SC(a,na)=0).
+  Netlist nl("glitch");
+  const NodeId a = nl.add_input("a");
+  const NodeId na = nl.add_gate(GateType::Not, "na", {a});
+  const NodeId y = nl.add_gate(GateType::And, "y", {a, na});
+  nl.mark_output(y);
+  const InputModel m = InputModel::uniform(1);
+  const CorrelationResult r = estimate_correlation(nl, m);
+  EXPECT_NEAR(activity_of(r.dist[static_cast<std::size_t>(y)]), 0.0, 1e-9);
+}
+
+TEST(Correlation, MissesHigherOrderXorCorrelation) {
+  // s = XOR(a, b), y = XOR(s, b) == a. Pairwise coefficients between s
+  // and b are 1 (uncorrelated pairwise!), so the composition predicts a
+  // fresh random signal, while the truth is y == a — exactly the
+  // limitation the paper's BN removes.
+  Netlist nl("xor3");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId s = nl.add_gate(GateType::Xor, "s", {a, b});
+  const NodeId y = nl.add_gate(GateType::Xor, "y", {s, b});
+  nl.mark_output(y);
+  const InputModel m = InputModel::custom(
+      {{0.5, 0.8, -1, 0}, {0.5, 0.0, -1, 0}}); // a is sticky, b is not
+  const CorrelationResult r = estimate_correlation(nl, m);
+  const double truth = exact_activities(nl, m)[static_cast<std::size_t>(y)];
+  EXPECT_NEAR(truth, activity_of(transition_distribution(0.5, 0.8)), 1e-12);
+  // The pairwise model cannot see y == a; it misestimates materially.
+  EXPECT_GT(std::abs(activity_of(r.dist[static_cast<std::size_t>(y)]) - truth),
+            0.05);
+}
+
+TEST(Correlation, BetterThanIndependenceOnReconvergentControl) {
+  // On controller-style reconvergent logic the pairwise coefficients
+  // recover most of the correlation that independence drops.
+  const Netlist nl = make_benchmark("c432");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const SimResult sim = SwitchingSimulator(nl).run(m, 1 << 21, 3);
+  const auto ref = sim.activities();
+  const ErrorStats corr =
+      compute_error_stats(estimate_correlation(nl, m).activities(), ref);
+  const ErrorStats indep =
+      compute_error_stats(estimate_independence(nl, m).activities(), ref);
+  EXPECT_LT(corr.mu_err, indep.mu_err * 0.5);
+}
+
+TEST(Correlation, GroupedInputCorrelationSeeded) {
+  // Two noisy copies into an XNOR: activity depends on the correlation.
+  Netlist nl("pair");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId eq = nl.add_gate(GateType::Xnor, "eq", {a, b});
+  nl.mark_output(eq);
+  const InputModel m = InputModel::custom(
+      {{0.5, 0.0, 0, 0.05}, {0.5, 0.0, 0, 0.05}}, {{0.5, 0.0}});
+  const CorrelationResult r = estimate_correlation(nl, m);
+  // P(eq = 1) = 0.905 (see sim test); pairwise gets signal prob right.
+  const auto d = r.dist[static_cast<std::size_t>(eq)];
+  EXPECT_NEAR(d[T01] + d[T11], 0.905, 1e-2);
+}
+
+TEST(Correlation, RetiresDeadLinesToBoundMemory) {
+  const Netlist nl = comparator(12);
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const CorrelationResult r = estimate_correlation(nl, m);
+  EXPECT_GT(r.max_live_pairs, 0u);
+  EXPECT_LT(r.max_live_pairs, 5000u); // far below all-pairs (~180k)
+}
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "test_helpers.h"
+
+namespace bns {
+namespace {
+
+using testing_helpers::random_bayes_net;
+
+BayesianNetwork coin_and_or() {
+  // a, b fair coins; y = OR(a, b) deterministic.
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId b = bn.add_variable("b", 2);
+  const VarId y = bn.add_variable("y", 2);
+  Factor pa({a}, {2});
+  pa.set_value(0, 0.5);
+  pa.set_value(1, 0.5);
+  bn.set_cpt(a, {}, pa);
+  Factor pb({b}, {2});
+  pb.set_value(0, 0.5);
+  pb.set_value(1, 0.5);
+  bn.set_cpt(b, {}, pb);
+  Factor py({a, b, y}, {2, 2, 2});
+  for (int sa = 0; sa < 2; ++sa) {
+    for (int sb = 0; sb < 2; ++sb) {
+      const int out = (sa || sb) ? 1 : 0;
+      py.at(std::vector<int>{sa, sb, out}) = 1.0;
+    }
+  }
+  bn.set_cpt(y, {a, b}, py);
+  return bn;
+}
+
+TEST(BayesNet, ValidNetworkPassesValidation) {
+  EXPECT_EQ(coin_and_or().validate(), "");
+  EXPECT_EQ(random_bayes_net(12, 3, 4, 1).validate(), "");
+}
+
+TEST(BayesNet, MissingCptDetected) {
+  BayesianNetwork bn;
+  bn.add_variable("a", 2);
+  EXPECT_NE(bn.validate(), "");
+}
+
+TEST(BayesNet, NonNormalizedCptDetected) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  Factor pa({a}, {2});
+  pa.set_value(0, 0.6);
+  pa.set_value(1, 0.6);
+  bn.set_cpt(a, {}, pa);
+  EXPECT_NE(bn.validate(), "");
+}
+
+TEST(BayesNet, CycleDetected) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId b = bn.add_variable("b", 2);
+  Factor f({a, b}, {2, 2});
+  for (std::size_t i = 0; i < 4; ++i) f.set_value(i, 0.5);
+  bn.set_cpt(a, {b}, f);
+  bn.set_cpt(b, {a}, f);
+  EXPECT_NE(bn.validate(), "");
+}
+
+TEST(BayesNet, TopologicalOrderRespectsParents) {
+  const BayesianNetwork bn = random_bayes_net(20, 4, 3, 5);
+  const auto order = bn.topological_order();
+  ASSERT_EQ(order.size(), 20u);
+  std::vector<int> pos(20);
+  for (int i = 0; i < 20; ++i) pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  for (VarId v = 0; v < 20; ++v) {
+    for (VarId p : bn.parents(v)) {
+      EXPECT_LT(pos[static_cast<std::size_t>(p)], pos[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(BayesNet, JointProbabilitySumsToOne) {
+  const BayesianNetwork bn = random_bayes_net(6, 2, 3, 9);
+  std::vector<int> st(6, 0);
+  double total = 0.0;
+  for (;;) {
+    total += bn.joint_probability(st);
+    int k = 0;
+    for (; k < 6; ++k) {
+      if (++st[static_cast<std::size_t>(k)] < bn.cardinality(k)) break;
+      st[static_cast<std::size_t>(k)] = 0;
+    }
+    if (k == 6) break;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BayesNet, JointProbabilityOfDeterministicNode) {
+  const BayesianNetwork bn = coin_and_or();
+  // P(a=1, b=0, y=1) = 0.25; P(a=1, b=0, y=0) = 0.
+  EXPECT_NEAR(bn.joint_probability(std::vector<int>{1, 0, 1}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(bn.joint_probability(std::vector<int>{1, 0, 0}), 0.0);
+}
+
+TEST(BayesNet, ChildrenLists) {
+  const BayesianNetwork bn = coin_and_or();
+  const auto ch = bn.children();
+  EXPECT_EQ(ch[0], (std::vector<VarId>{2}));
+  EXPECT_EQ(ch[1], (std::vector<VarId>{2}));
+  EXPECT_TRUE(ch[2].empty());
+}
+
+TEST(BayesNet, SetCptReplaces) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  Factor p1({a}, {2});
+  p1.set_value(0, 0.5);
+  p1.set_value(1, 0.5);
+  bn.set_cpt(a, {}, p1);
+  Factor p2({a}, {2});
+  p2.set_value(0, 0.9);
+  p2.set_value(1, 0.1);
+  bn.set_cpt(a, {}, p2);
+  EXPECT_DOUBLE_EQ(bn.cpt(a).value(0), 0.9);
+  EXPECT_EQ(bn.validate(), "");
+}
+
+} // namespace
+} // namespace bns

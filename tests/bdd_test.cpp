@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+#include "bdd/bdd_estimator.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace bns {
+namespace {
+
+TEST(Bdd, TerminalAndVarBasics) {
+  BddManager mgr(3);
+  EXPECT_TRUE(mgr.is_terminal(kBddFalse));
+  EXPECT_TRUE(mgr.is_terminal(kBddTrue));
+  const BddRef x0 = mgr.var(0);
+  EXPECT_FALSE(mgr.is_terminal(x0));
+  EXPECT_EQ(mgr.var_of(x0), 0);
+  EXPECT_EQ(mgr.low(x0), kBddFalse);
+  EXPECT_EQ(mgr.high(x0), kBddTrue);
+  // Hash-consing: same function, same node.
+  EXPECT_EQ(mgr.var(0), x0);
+  EXPECT_EQ(mgr.lnot(mgr.lnot(x0)), x0);
+}
+
+TEST(Bdd, CanonicityOfEquivalentFormulas) {
+  BddManager mgr(3);
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef c = mgr.var(2);
+  // De Morgan: !(a & b) == !a | !b.
+  EXPECT_EQ(mgr.lnot(mgr.land(a, b)), mgr.lor(mgr.lnot(a), mgr.lnot(b)));
+  // Distribution: a & (b | c) == (a & b) | (a & c).
+  EXPECT_EQ(mgr.land(a, mgr.lor(b, c)),
+            mgr.lor(mgr.land(a, b), mgr.land(a, c)));
+  // XOR associativity and self-cancellation.
+  EXPECT_EQ(mgr.lxor(mgr.lxor(a, b), b), a);
+  EXPECT_EQ(mgr.lxor(a, a), kBddFalse);
+  EXPECT_EQ(mgr.lxnor(a, a), kBddTrue);
+}
+
+TEST(Bdd, IteMatchesTruthTableSemantics) {
+  BddManager mgr(3);
+  const BddRef f = mgr.ite(mgr.var(0), mgr.var(1), mgr.var(2));
+  for (int m = 0; m < 8; ++m) {
+    const bool assign[3] = {(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    const bool expect = assign[0] ? assign[1] : assign[2];
+    EXPECT_EQ(mgr.eval(f, assign), expect) << m;
+  }
+}
+
+TEST(Bdd, RandomFormulaEvalAgainstDirectEvaluation) {
+  Rng rng(5);
+  const int n = 6;
+  BddManager mgr(n);
+  // Build a random formula tree and an equivalent evaluator closure.
+  std::vector<BddRef> leaves;
+  for (int i = 0; i < n; ++i) leaves.push_back(mgr.var(i));
+  // f = ((x0 & x1) ^ (x2 | !x3)) | (x4 ^ x5)
+  const BddRef f = mgr.lor(
+      mgr.lxor(mgr.land(leaves[0], leaves[1]),
+               mgr.lor(leaves[2], mgr.lnot(leaves[3]))),
+      mgr.lxor(leaves[4], leaves[5]));
+  for (int m = 0; m < 64; ++m) {
+    bool a[6];
+    for (int i = 0; i < 6; ++i) a[i] = (m >> i) & 1;
+    const bool expect = ((a[0] && a[1]) != (a[2] || !a[3])) || (a[4] != a[5]);
+    EXPECT_EQ(mgr.eval(f, a), expect) << m;
+  }
+  (void)rng;
+}
+
+TEST(Bdd, CofactorAndQuantification) {
+  BddManager mgr(3);
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef f = mgr.land(a, b);
+  EXPECT_EQ(mgr.cofactor(f, 0, true), b);
+  EXPECT_EQ(mgr.cofactor(f, 0, false), kBddFalse);
+  EXPECT_EQ(mgr.exists(f, 0), b);   // ∃a. a&b = b
+  EXPECT_EQ(mgr.exists(f, 2), f);   // free variable
+}
+
+TEST(Bdd, SupportAndSize) {
+  BddManager mgr(4);
+  const BddRef f = mgr.lxor(mgr.var(0), mgr.var(3));
+  EXPECT_EQ(mgr.support(f), (std::vector<int>{0, 3}));
+  EXPECT_EQ(mgr.size(f), 3u); // x0 node + two x3 nodes
+  EXPECT_EQ(mgr.size(kBddTrue), 0u);
+}
+
+TEST(Bdd, SatCount) {
+  BddManager mgr(3);
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.land(a, b)), 2.0);  // a&b, free x2
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.lor(a, b)), 6.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(kBddTrue), 8.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(kBddFalse), 0.0);
+}
+
+TEST(Bdd, SignalProbabilityIndependentVars) {
+  BddManager mgr(2);
+  const double p[2] = {0.3, 0.6};
+  EXPECT_NEAR(mgr.signal_prob(mgr.land(mgr.var(0), mgr.var(1)), p), 0.18,
+              1e-12);
+  EXPECT_NEAR(mgr.signal_prob(mgr.lor(mgr.var(0), mgr.var(1)), p),
+              0.3 + 0.6 - 0.18, 1e-12);
+  EXPECT_NEAR(mgr.signal_prob(mgr.lxor(mgr.var(0), mgr.var(1)), p),
+              0.3 * 0.4 + 0.7 * 0.6, 1e-12);
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  BddManager mgr(24, /*max_nodes=*/64);
+  // Parity over many variables exceeds 64 nodes quickly.
+  BddRef acc = kBddFalse;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 24; ++i) {
+          acc = mgr.lxor(acc, mgr.var(i));
+          // Also conjoin shifted ANDs to force growth.
+          if (i >= 2) {
+            acc = mgr.lor(acc, mgr.land(mgr.var(i - 1), mgr.var(i - 2)));
+          }
+        }
+      },
+      BddNodeLimit);
+}
+
+// --- exact BDD switching estimator -----------------------------------------
+
+TEST(BddEstimator, MatchesExhaustiveEnumeration) {
+  const Netlist nl = c17();
+  std::vector<InputSpec> specs;
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    specs.push_back({0.25 + 0.1 * i, 0.15 * i - 0.1, -1, 0.0});
+  }
+  const InputModel m = InputModel::custom(specs);
+  const BddSwitchingResult r = estimate_bdd_exact(nl, m);
+  ASSERT_TRUE(r.completed);
+  const auto exact = exact_transition_dists(nl, m);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_NEAR(r.dist[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  exact[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  1e-10)
+          << "node " << id << " state " << s;
+    }
+  }
+}
+
+TEST(BddEstimator, ExactOnReconvergentParityLogic) {
+  // The circuit class where pairwise methods fail; BDD must be exact.
+  const Netlist nl = sec_corrector(6, 3);
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.5, 0.4);
+  const BddSwitchingResult r = estimate_bdd_exact(nl, m);
+  ASSERT_TRUE(r.completed);
+  const auto exact = exact_transition_dists(nl, m);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    EXPECT_NEAR(activity_of(r.dist[static_cast<std::size_t>(id)]),
+                activity_of(exact[static_cast<std::size_t>(id)]), 1e-10);
+  }
+}
+
+TEST(BddEstimator, TemporalCorrelationHandledExactly) {
+  // An inverter sees exactly the input's pair distribution, whatever rho.
+  Netlist nl("inv");
+  const NodeId a = nl.add_input("a");
+  const NodeId y = nl.add_gate(GateType::Not, "y", {a});
+  nl.mark_output(y);
+  for (double rho : {-0.6, 0.0, 0.7}) {
+    const InputModel m = InputModel::uniform(1, 0.4, rho);
+    const BddSwitchingResult r = estimate_bdd_exact(nl, m);
+    ASSERT_TRUE(r.completed);
+    const auto d = transition_distribution(0.4, rho);
+    EXPECT_NEAR(r.dist[static_cast<std::size_t>(a)][T01], d[T01], 1e-12);
+    // The inverter's distribution mirrors prev/cur bit flips: P(y: 01) =
+    // P(a: 10) etc.
+    EXPECT_NEAR(r.dist[static_cast<std::size_t>(y)][T01], d[T10], 1e-12);
+    EXPECT_NEAR(r.dist[static_cast<std::size_t>(y)][T11], d[T00], 1e-12);
+  }
+}
+
+TEST(BddEstimator, OverflowReportsPartialResult) {
+  const Netlist nl = array_multiplier(8);
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const BddSwitchingResult r = estimate_bdd_exact(nl, m, /*max_nodes=*/2000);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GT(r.lines_done, 0);
+  EXPECT_LT(r.lines_done, nl.num_nodes());
+}
+
+TEST(BddEstimator, LutCircuit) {
+  const char* blif_like_mux = nullptr;
+  (void)blif_like_mux;
+  Netlist nl("lut");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  TruthTable tt(2); // a & !b
+  tt.set_value(1, true);
+  nl.mark_output(nl.add_lut("y", {a, b}, tt));
+  const InputModel m = InputModel::uniform(2, 0.5, 0.0);
+  const BddSwitchingResult r = estimate_bdd_exact(nl, m);
+  ASSERT_TRUE(r.completed);
+  const auto exact = exact_activities(nl, m);
+  EXPECT_NEAR(activity_of(r.dist.back()), exact.back(), 1e-12);
+}
+
+} // namespace
+} // namespace bns

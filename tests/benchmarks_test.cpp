@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "gen/benchmarks.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "netlist/bench_io.h"
+#include "sim/simulator.h"
+
+namespace bns {
+namespace {
+
+TEST(Benchmarks, SuiteHasNineteenCircuitsInTableOrder) {
+  const auto& suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 19u);
+  EXPECT_EQ(suite.front().name, "c17");
+  EXPECT_EQ(suite.back().name, "pcler8");
+  int iscas = 0;
+  int mcnc = 0;
+  for (const auto& b : suite) {
+    (b.family == "iscas85" ? iscas : mcnc)++;
+  }
+  EXPECT_EQ(iscas, 11);
+  EXPECT_EQ(mcnc, 8);
+}
+
+TEST(Benchmarks, Table2NamesAreTheTenLargeIscas) {
+  const auto names = table2_names();
+  ASSERT_EQ(names.size(), 10u);
+  for (const auto& n : names) {
+    EXPECT_EQ(benchmark_info(n).family, "iscas85");
+    EXPECT_NE(n, "c17");
+  }
+}
+
+class SuiteCircuit : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteCircuit, BuildsWithDeclaredInterface) {
+  const BenchmarkInfo& info = benchmark_info(GetParam());
+  const Netlist nl = make_benchmark(GetParam());
+  EXPECT_EQ(nl.name(), info.name);
+  EXPECT_EQ(nl.num_inputs(), info.paper_inputs)
+      << "PI count must match the published circuit";
+  if (info.origin == "random") {
+    EXPECT_EQ(nl.num_outputs(), info.paper_outputs);
+    EXPECT_EQ(nl.num_gates(), info.paper_gates);
+  } else {
+    // Structural generators approximate gate counts but must be in the
+    // same size regime (0.4x .. 2.5x).
+    EXPECT_GT(nl.num_gates(), info.paper_gates * 2 / 5);
+    EXPECT_LT(nl.num_gates(), info.paper_gates * 5 / 2);
+  }
+}
+
+TEST_P(SuiteCircuit, Deterministic) {
+  const Netlist a = make_benchmark(GetParam());
+  const Netlist b = make_benchmark(GetParam());
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+}
+
+TEST_P(SuiteCircuit, BenchRoundTripPreservesFunction) {
+  const Netlist a = make_benchmark(GetParam());
+  const Netlist b = read_bench_string(write_bench_string(a), a.name());
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  const InputModel m = InputModel::uniform(a.num_inputs());
+  const SimResult ra = SwitchingSimulator(a).run(m, 64 * 64, 9);
+  const SimResult rb = SwitchingSimulator(b).run(m, 64 * 64, 9);
+  // Compare outputs by name (node ids may differ after re-parsing).
+  for (NodeId out : a.outputs()) {
+    const NodeId bout = b.find(a.node(out).name);
+    ASSERT_NE(bout, kInvalidNode);
+    EXPECT_EQ(ra.counts(out), rb.counts(bout)) << a.node(out).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SuiteCircuit,
+    ::testing::Values("c17", "c432", "c499", "c880", "c1355", "c1908",
+                      "c2670", "c3540", "c5315", "c6288", "c7552", "alu4",
+                      "malu4", "max_flat", "voter", "b9", "count", "comp",
+                      "pcler8"));
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("c9999"), std::invalid_argument);
+  EXPECT_THROW(benchmark_info("c9999"), std::invalid_argument);
+}
+
+// --- generator functional checks -------------------------------------------
+
+TEST(Generators, RippleAdderAdds) {
+  const int bits = 4;
+  const Netlist nl = ripple_adder(bits);
+  // Exhaustively check a + b + cin on all 512 input combinations using
+  // the bit-parallel evaluator through exact enumeration of outputs.
+  std::vector<bool> vals(static_cast<std::size_t>(nl.num_nodes()));
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        for (int i = 0; i < bits; ++i) {
+          vals[static_cast<std::size_t>(nl.find("a" + std::to_string(i)))] = (a >> i) & 1;
+          vals[static_cast<std::size_t>(nl.find("b" + std::to_string(i)))] = (b >> i) & 1;
+        }
+        vals[static_cast<std::size_t>(nl.find("cin"))] = cin != 0;
+        for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+          const Node& n = nl.node(id);
+          if (n.type == GateType::Input) continue;
+          bool in[4];
+          for (std::size_t k = 0; k < n.fanin.size(); ++k) {
+            in[k] = vals[static_cast<std::size_t>(n.fanin[k])];
+          }
+          vals[static_cast<std::size_t>(id)] =
+              eval_gate(n.type, std::span<const bool>(in, n.fanin.size()));
+        }
+        int sum = 0;
+        for (std::size_t k = 0; k < nl.outputs().size(); ++k) {
+          if (vals[static_cast<std::size_t>(nl.outputs()[k])]) sum |= 1 << k;
+        }
+        EXPECT_EQ(sum, a + b + cin) << a << "+" << b << "+" << cin;
+      }
+    }
+  }
+}
+
+TEST(Generators, ArrayMultiplierMultiplies) {
+  const int bits = 3;
+  const Netlist nl = array_multiplier(bits);
+  ASSERT_EQ(nl.num_outputs(), 2 * bits);
+  std::vector<bool> vals(static_cast<std::size_t>(nl.num_nodes()));
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      for (int i = 0; i < bits; ++i) {
+        vals[static_cast<std::size_t>(nl.find("a" + std::to_string(i)))] = (a >> i) & 1;
+        vals[static_cast<std::size_t>(nl.find("b" + std::to_string(i)))] = (b >> i) & 1;
+      }
+      for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+        const Node& n = nl.node(id);
+        if (n.type == GateType::Input) continue;
+        bool in[4];
+        for (std::size_t k = 0; k < n.fanin.size(); ++k) {
+          in[k] = vals[static_cast<std::size_t>(n.fanin[k])];
+        }
+        vals[static_cast<std::size_t>(id)] =
+            eval_gate(n.type, std::span<const bool>(in, n.fanin.size()));
+      }
+      int prod = 0;
+      for (std::size_t k = 0; k < nl.outputs().size(); ++k) {
+        if (vals[static_cast<std::size_t>(nl.outputs()[k])]) prod |= 1 << k;
+      }
+      EXPECT_EQ(prod, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Generators, ExpandXorToNandRemovesXors) {
+  const Netlist src = sec_corrector(8, 4);
+  const Netlist dst = expand_xor_to_nand(src);
+  for (NodeId id = 0; id < dst.num_nodes(); ++id) {
+    EXPECT_NE(dst.node(id).type, GateType::Xor);
+    EXPECT_NE(dst.node(id).type, GateType::Xnor);
+  }
+  EXPECT_GT(dst.num_gates(), src.num_gates());
+}
+
+TEST(Generators, SecCorrectorFixesSingleBitErrors) {
+  // Inject an error on data bit i; the corrected output must equal the
+  // original word when the parity bits are consistent.
+  const int data = 8;
+  const int parity = 4;
+  const Netlist nl = sec_corrector(data, parity);
+  auto code = [&](int i) { return (i % ((1 << parity) - 1)) + 1; };
+
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int word = static_cast<int>(rng.below(1 << data));
+    // Compute consistent parity for the clean word.
+    int par = 0;
+    for (int k = 0; k < parity; ++k) {
+      int bit = 0;
+      for (int i = 0; i < data; ++i) {
+        if ((code(i) >> k) & 1) bit ^= (word >> i) & 1;
+      }
+      par |= bit << k;
+    }
+    const int flip = static_cast<int>(rng.below(data + 1)) - 1; // -1: none
+    int received = word;
+    if (flip >= 0) received ^= 1 << flip;
+
+    std::vector<bool> vals(static_cast<std::size_t>(nl.num_nodes()));
+    for (int i = 0; i < data; ++i) {
+      vals[static_cast<std::size_t>(nl.find("d" + std::to_string(i)))] = (received >> i) & 1;
+    }
+    for (int k = 0; k < parity; ++k) {
+      vals[static_cast<std::size_t>(nl.find("p" + std::to_string(k)))] = (par >> k) & 1;
+    }
+    for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+      const Node& n = nl.node(id);
+      if (n.type == GateType::Input) continue;
+      bool in[16];
+      for (std::size_t k = 0; k < n.fanin.size(); ++k) {
+        in[k] = vals[static_cast<std::size_t>(n.fanin[k])];
+      }
+      vals[static_cast<std::size_t>(id)] =
+          eval_gate(n.type, std::span<const bool>(in, n.fanin.size()));
+    }
+    int corrected = 0;
+    for (int i = 0; i < data; ++i) {
+      if (vals[static_cast<std::size_t>(nl.find("cor" + std::to_string(i)))]) {
+        corrected |= 1 << i;
+      }
+    }
+    // Codes are distinct for data <= 2^parity - 1, so any single data-bit
+    // error is corrected.
+    EXPECT_EQ(corrected, word) << "flip=" << flip;
+  }
+}
+
+TEST(Generators, RandomCircuitMeetsSpec) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 9;
+  spec.num_gates = 300;
+  spec.depth = 15;
+  spec.seed = 99;
+  const Netlist nl = random_circuit(spec, "r");
+  EXPECT_EQ(nl.num_inputs(), 20);
+  EXPECT_EQ(nl.num_outputs(), 9);
+  EXPECT_EQ(nl.num_gates(), 300);
+  EXPECT_NEAR(nl.depth(), 15, 3);
+  // All inputs drive something.
+  const auto fo = nl.fanout_counts();
+  for (NodeId in : nl.inputs()) {
+    EXPECT_GT(fo[static_cast<std::size_t>(in)], 0) << nl.node(in).name;
+  }
+}
+
+TEST(Generators, MajorityVoterVotes) {
+  const Netlist nl = majority_voter(1, 3);
+  std::vector<bool> vals(static_cast<std::size_t>(nl.num_nodes()));
+  for (int m = 0; m < 8; ++m) {
+    for (int w = 0; w < 3; ++w) {
+      vals[static_cast<std::size_t>(nl.find("w" + std::to_string(w) + "_b0"))] = (m >> w) & 1;
+    }
+    for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+      const Node& n = nl.node(id);
+      if (n.type == GateType::Input) continue;
+      bool in[8];
+      for (std::size_t k = 0; k < n.fanin.size(); ++k) {
+        in[k] = vals[static_cast<std::size_t>(n.fanin[k])];
+      }
+      vals[static_cast<std::size_t>(id)] =
+          eval_gate(n.type, std::span<const bool>(in, n.fanin.size()));
+    }
+    const bool expect = std::popcount(static_cast<unsigned>(m)) >= 2;
+    EXPECT_EQ(vals[static_cast<std::size_t>(nl.outputs()[0])], expect) << m;
+  }
+}
+
+} // namespace
+} // namespace bns

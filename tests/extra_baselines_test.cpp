@@ -1,0 +1,224 @@
+// Tests for the Monte-Carlo (Burch–Najm style) and local-OBDD (tagged-
+// simulation style) estimator families, plus the BN conditional-query
+// capability.
+#include <gtest/gtest.h>
+
+#include "baselines/local_bdd.h"
+#include "baselines/monte_carlo.h"
+#include "gen/benchmarks.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "lidag/estimator.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace bns {
+namespace {
+
+// --- Monte Carlo ------------------------------------------------------
+
+TEST(MonteCarlo, ConvergesToExactWithinStatedConfidence) {
+  const Netlist nl = c17();
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.4, 0.2);
+  MonteCarloOptions opts;
+  opts.abs_tol = 0.002;
+  opts.rel_tol = 0.0;
+  opts.seed = 9;
+  const MonteCarloResult r = estimate_monte_carlo(nl, m, opts);
+  ASSERT_TRUE(r.converged);
+  const auto exact = exact_activities(nl, m);
+  int outside = 0;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const double err = std::abs(activity_of(r.dist[static_cast<std::size_t>(id)]) -
+                                exact[static_cast<std::size_t>(id)]);
+    // 99% CI: allow a single line to fall slightly outside.
+    if (err > r.half_width[static_cast<std::size_t>(id)]) ++outside;
+  }
+  EXPECT_LE(outside, 1);
+}
+
+TEST(MonteCarlo, TighterToleranceUsesMoreSamples) {
+  const Netlist nl = make_benchmark("comp");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  MonteCarloOptions loose;
+  loose.abs_tol = 0.02;
+  loose.rel_tol = 0.0;
+  MonteCarloOptions tight = loose;
+  tight.abs_tol = 0.004;
+  const MonteCarloResult rl = estimate_monte_carlo(nl, m, loose);
+  const MonteCarloResult rt = estimate_monte_carlo(nl, m, tight);
+  ASSERT_TRUE(rl.converged);
+  ASSERT_TRUE(rt.converged);
+  EXPECT_GT(rt.pairs_used, rl.pairs_used);
+}
+
+TEST(MonteCarlo, RespectsSampleBudget) {
+  const Netlist nl = make_benchmark("comp");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  MonteCarloOptions opts;
+  opts.abs_tol = 1e-6; // unreachable
+  opts.rel_tol = 0.0;
+  opts.batch_pairs = 1 << 14;
+  opts.max_pairs = 1 << 16;
+  const MonteCarloResult r = estimate_monte_carlo(nl, m, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.pairs_used, (1u << 16) + (1u << 14) + 64);
+}
+
+// --- local BDD ---------------------------------------------------------
+
+TEST(LocalBdd, ExactWhenRegionCoversTheCircuit) {
+  const Netlist nl = c17(); // depth 3
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.35, 0.3);
+  LocalBddOptions opts;
+  opts.levels = 8; // > depth: regions reach the PIs everywhere
+  const LocalBddResult r = estimate_local_bdd(nl, m, opts);
+  const auto exact = exact_transition_dists(nl, m);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_NEAR(r.dist[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  exact[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  1e-10);
+    }
+  }
+}
+
+TEST(LocalBdd, DepthZeroEqualsIndependenceAssumption) {
+  // levels = 0: the direct fanins are independent sources, so the
+  // classic witness y = AND(a, NOT a) regains spurious activity.
+  Netlist nl("glitch");
+  const NodeId a = nl.add_input("a");
+  const NodeId na = nl.add_gate(GateType::Not, "na", {a});
+  const NodeId y = nl.add_gate(GateType::And, "y", {a, na});
+  nl.mark_output(y);
+  const InputModel m = InputModel::uniform(1);
+  LocalBddOptions shallow;
+  shallow.levels = 0;
+  const LocalBddResult r0 = estimate_local_bdd(nl, m, shallow);
+  EXPECT_NEAR(activity_of(r0.dist[static_cast<std::size_t>(y)]), 0.375, 1e-10);
+  LocalBddOptions deep;
+  deep.levels = 2;
+  const LocalBddResult r2 = estimate_local_bdd(nl, m, deep);
+  EXPECT_NEAR(activity_of(r2.dist[static_cast<std::size_t>(y)]), 0.0, 1e-10);
+}
+
+TEST(LocalBdd, AccuracyImprovesWithDepth) {
+  const Netlist nl = make_benchmark("c1355");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const SimResult sim = SwitchingSimulator(nl).run(m, 1 << 20, 3);
+  double prev_err = 1e9;
+  for (int lv : {0, 2, 5}) {
+    LocalBddOptions opts;
+    opts.levels = lv;
+    const LocalBddResult r = estimate_local_bdd(nl, m, opts);
+    const ErrorStats err = compute_error_stats(r.activities(), sim.activities());
+    EXPECT_LE(err.mu_err, prev_err + 1e-4) << "levels=" << lv;
+    prev_err = err.mu_err;
+  }
+  EXPECT_LT(prev_err, 0.02);
+}
+
+TEST(LocalBdd, HandlesWideFaninAndLuts) {
+  Netlist nl("mix");
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 9; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const NodeId wide = nl.add_gate(GateType::Nand, "wide", ins);
+  TruthTable tt(2);
+  tt.set_value(2, true); // !a & b
+  nl.mark_output(nl.add_lut("y", {wide, ins[0]}, tt));
+  const InputModel m = InputModel::uniform(9, 0.6, 0.0);
+  const LocalBddResult r = estimate_local_bdd(nl, m);
+  const auto exact = exact_transition_dists(nl, m);
+  EXPECT_NEAR(activity_of(r.dist[static_cast<std::size_t>(wide)]),
+              activity_of(exact[static_cast<std::size_t>(wide)]), 1e-10);
+}
+
+// --- BN conditional queries ---------------------------------------------
+
+TEST(ConditionalQuery, MatchesEnumeratedPosterior) {
+  const Netlist nl = figure1_circuit();
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
+  LidagEstimator est(nl, m);
+
+  const NodeId x9 = nl.find("9");
+  const NodeId x5 = nl.find("5");
+  const auto cond = est.conditional_dist(x9, x5, T01, m);
+  ASSERT_TRUE(cond.has_value());
+
+  // Reference: exhaustive joint over the 4^4 input pairs.
+  Netlist copy = figure1_circuit();
+  const auto joint = [&] {
+    // P(x9 = s, x5 = T01) by enumeration.
+    std::array<double, 4> num{};
+    double den = 0.0;
+    const int n = copy.num_inputs();
+    std::vector<bool> va(static_cast<std::size_t>(copy.num_nodes()));
+    std::vector<bool> vb(static_cast<std::size_t>(copy.num_nodes()));
+    auto eval = [&](std::uint64_t assign, std::vector<bool>& vals) {
+      for (int i = 0; i < n; ++i) {
+        vals[static_cast<std::size_t>(copy.inputs()[static_cast<std::size_t>(i)])] =
+            (assign >> i) & 1;
+      }
+      for (NodeId id = 0; id < copy.num_nodes(); ++id) {
+        const Node& nd = copy.node(id);
+        if (nd.type == GateType::Input) continue;
+        bool in[4];
+        for (std::size_t k = 0; k < nd.fanin.size(); ++k) {
+          in[k] = vals[static_cast<std::size_t>(nd.fanin[k])];
+        }
+        vals[static_cast<std::size_t>(id)] =
+            eval_gate(nd.type, std::span<const bool>(in, nd.fanin.size()));
+      }
+    };
+    const double w = 1.0 / (16.0 * 16.0); // all pairs equally likely
+    for (std::uint64_t a = 0; a < 16; ++a) {
+      eval(a, va);
+      for (std::uint64_t b = 0; b < 16; ++b) {
+        eval(b, vb);
+        const int s5 = (va[static_cast<std::size_t>(x5)] ? 2 : 0) +
+                       (vb[static_cast<std::size_t>(x5)] ? 1 : 0);
+        if (s5 != T01) continue;
+        const int s9 = (va[static_cast<std::size_t>(x9)] ? 2 : 0) +
+                       (vb[static_cast<std::size_t>(x9)] ? 1 : 0);
+        num[static_cast<std::size_t>(s9)] += w;
+        den += w;
+      }
+    }
+    std::array<double, 4> out{};
+    for (int s = 0; s < 4; ++s) out[static_cast<std::size_t>(s)] = num[static_cast<std::size_t>(s)] / den;
+    return out;
+  }();
+
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR((*cond)[static_cast<std::size_t>(s)],
+                joint[static_cast<std::size_t>(s)], 1e-10)
+        << "state " << s;
+  }
+}
+
+TEST(ConditionalQuery, UnconditionalResultsUnchangedAfterQuery) {
+  const Netlist nl = c17();
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  LidagEstimator est(nl, m);
+  const SwitchingEstimate before = est.estimate(m);
+  (void)est.conditional_dist(nl.find("22"), nl.find("10"), T11, m);
+  const SwitchingEstimate after = est.estimate(m);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    EXPECT_DOUBLE_EQ(before.activity(id), after.activity(id));
+  }
+}
+
+TEST(ConditionalQuery, ImpossibleEvidenceReturnsNullopt) {
+  // Line "one" is constant 1: observing transition x00 has prob 0.
+  Netlist nl("const");
+  const NodeId one = nl.add_const("one", true);
+  const NodeId a = nl.add_input("a");
+  const NodeId y = nl.add_gate(GateType::And, "y", {one, a});
+  nl.mark_output(y);
+  const InputModel m = InputModel::uniform(1);
+  LidagEstimator est(nl, m);
+  EXPECT_FALSE(est.conditional_dist(y, one, T00, m).has_value());
+}
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/factor.h"
+#include "util/rng.h"
+
+namespace bns {
+namespace {
+
+Factor random_factor(std::vector<VarId> vars, std::vector<int> cards,
+                     Rng& rng) {
+  Factor f(std::move(vars), std::move(cards));
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f.set_value(i, rng.uniform() + 0.01);
+  }
+  return f;
+}
+
+TEST(Factor, ScalarIdentity) {
+  const Factor one;
+  EXPECT_EQ(one.arity(), 0);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.value(0), 1.0);
+
+  Rng rng(1);
+  const Factor f = random_factor({0, 2}, {3, 2}, rng);
+  const Factor g = f.product(one);
+  EXPECT_EQ(g.vars(), f.vars());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.value(i), f.value(i));
+  }
+}
+
+TEST(Factor, IndexingRoundTrip) {
+  Factor f({1, 4, 7}, {2, 3, 4});
+  EXPECT_EQ(f.size(), 24u);
+  std::vector<int> st(3);
+  for (std::size_t idx = 0; idx < f.size(); ++idx) {
+    f.states_of(idx, st);
+    EXPECT_EQ(f.index_of(st), idx);
+  }
+  // First variable varies fastest.
+  EXPECT_EQ(f.index_of(std::vector<int>{1, 0, 0}), 1u);
+  EXPECT_EQ(f.index_of(std::vector<int>{0, 1, 0}), 2u);
+  EXPECT_EQ(f.index_of(std::vector<int>{0, 0, 1}), 6u);
+}
+
+TEST(Factor, AtAccessors) {
+  Factor f({3, 5}, {2, 2});
+  f.at(std::vector<int>{1, 0}) = 7.0;
+  EXPECT_DOUBLE_EQ(f.at(std::vector<int>{1, 0}), 7.0);
+  EXPECT_DOUBLE_EQ(f.value(1), 7.0);
+  EXPECT_TRUE(f.contains(3));
+  EXPECT_FALSE(f.contains(4));
+  EXPECT_EQ(f.card_of(5), 2);
+}
+
+TEST(Factor, ProductMatchesManualComputation) {
+  // f(a, b) * g(b, c) over binary vars.
+  Factor f({0, 1}, {2, 2});
+  Factor g({1, 2}, {2, 2});
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.set_value(i, static_cast<double>(i + 1));        // 1..4
+    g.set_value(i, static_cast<double>(10 * (i + 1))); // 10..40
+  }
+  const Factor p = f.product(g);
+  ASSERT_EQ(p.vars(), (std::vector<VarId>{0, 1, 2}));
+  std::vector<int> st(3);
+  for (std::size_t idx = 0; idx < p.size(); ++idx) {
+    p.states_of(idx, st);
+    const double fv = f.at(std::vector<int>{st[0], st[1]});
+    const double gv = g.at(std::vector<int>{st[1], st[2]});
+    EXPECT_DOUBLE_EQ(p.value(idx), fv * gv);
+  }
+}
+
+TEST(Factor, ProductIsCommutative) {
+  Rng rng(2);
+  const Factor f = random_factor({0, 3}, {2, 4}, rng);
+  const Factor g = random_factor({1, 3}, {3, 4}, rng);
+  const Factor fg = f.product(g);
+  const Factor gf = g.product(f);
+  ASSERT_EQ(fg.vars(), gf.vars());
+  EXPECT_NEAR(fg.max_abs_diff(gf), 0.0, 1e-15);
+}
+
+TEST(Factor, ProductSumDecomposes) {
+  // sum(f*g) = sum_b [ sum_a f(a,b) * sum_c g(b,c) ] — check via marginals.
+  Rng rng(3);
+  const Factor f = random_factor({0, 1}, {3, 2}, rng);
+  const Factor g = random_factor({1, 2}, {2, 5}, rng);
+  const Factor p = f.product(g);
+  const VarId b = 1;
+  const Factor fb = f.marginal(std::span<const VarId>(&b, 1));
+  const Factor gb = g.marginal(std::span<const VarId>(&b, 1));
+  double expect = 0.0;
+  for (int s = 0; s < 2; ++s) expect += fb.value(static_cast<std::size_t>(s)) * gb.value(static_cast<std::size_t>(s));
+  EXPECT_NEAR(p.sum(), expect, 1e-12);
+}
+
+TEST(Factor, MultiplyInMatchesProduct) {
+  Rng rng(4);
+  Factor f = random_factor({0, 1, 2}, {2, 3, 2}, rng);
+  const Factor g = random_factor({1}, {3}, rng);
+  const Factor expect = f.product(g);
+  f.multiply_in(g);
+  EXPECT_EQ(f.vars(), expect.vars());
+  EXPECT_NEAR(f.max_abs_diff(expect), 0.0, 1e-15);
+}
+
+TEST(Factor, DivideUndoesMultiply) {
+  Rng rng(5);
+  Factor f = random_factor({0, 1}, {4, 4}, rng);
+  const Factor orig = f;
+  const Factor g = random_factor({1}, {4}, rng);
+  f.multiply_in(g);
+  f.divide_in(g);
+  EXPECT_NEAR(f.max_abs_diff(orig), 0.0, 1e-12);
+}
+
+TEST(Factor, DivideZeroByZeroIsZero) {
+  Factor f({0}, {2});
+  Factor g({0}, {2});
+  f.set_value(0, 0.0);
+  f.set_value(1, 3.0);
+  g.set_value(0, 0.0);
+  g.set_value(1, 1.5);
+  f.divide_in(g);
+  EXPECT_DOUBLE_EQ(f.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(1), 2.0);
+}
+
+TEST(Factor, MarginalPreservesTotalMass) {
+  Rng rng(6);
+  const Factor f = random_factor({0, 1, 2, 3}, {2, 3, 2, 2}, rng);
+  const std::vector<VarId> keep{1, 3};
+  const Factor m = f.marginal(keep);
+  EXPECT_EQ(m.vars(), keep);
+  EXPECT_NEAR(m.sum(), f.sum(), 1e-12);
+}
+
+TEST(Factor, MarginalOrderIrrelevant) {
+  Rng rng(7);
+  const Factor f = random_factor({0, 1, 2}, {3, 2, 4}, rng);
+  // Sum out 0 then 2 == sum out 2 then 0 == marginal to {1}.
+  const Factor a = f.sum_out(0).sum_out(2);
+  const Factor b = f.sum_out(2).sum_out(0);
+  const VarId keep = 1;
+  const Factor c = f.marginal(std::span<const VarId>(&keep, 1));
+  EXPECT_NEAR(a.max_abs_diff(b), 0.0, 1e-12);
+  EXPECT_NEAR(a.max_abs_diff(c), 0.0, 1e-12);
+}
+
+TEST(Factor, MarginalToEmptyScopeIsSum) {
+  Rng rng(8);
+  const Factor f = random_factor({0, 1}, {2, 2}, rng);
+  const Factor s = f.marginal({});
+  EXPECT_EQ(s.arity(), 0);
+  EXPECT_NEAR(s.value(0), f.sum(), 1e-12);
+}
+
+TEST(Factor, ReduceZeroesInconsistentEntries) {
+  Rng rng(9);
+  Factor f = random_factor({0, 1}, {3, 2}, rng);
+  const Factor orig = f;
+  f.reduce(0, 2);
+  std::vector<int> st(2);
+  for (std::size_t idx = 0; idx < f.size(); ++idx) {
+    f.states_of(idx, st);
+    if (st[0] == 2) {
+      EXPECT_DOUBLE_EQ(f.value(idx), orig.value(idx));
+    } else {
+      EXPECT_DOUBLE_EQ(f.value(idx), 0.0);
+    }
+  }
+}
+
+TEST(Factor, NormalizeSumsToOne) {
+  Rng rng(10);
+  Factor f = random_factor({0, 1}, {4, 4}, rng);
+  f.normalize();
+  EXPECT_NEAR(f.sum(), 1.0, 1e-12);
+}
+
+TEST(Factor, UniformFactor) {
+  const Factor u = Factor::uniform({0, 1}, {2, 4});
+  EXPECT_NEAR(u.sum(), 1.0, 1e-12);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_DOUBLE_EQ(u.value(i), 1.0 / 8.0);
+  }
+}
+
+TEST(Factor, StridesInSubsetAndSuperset) {
+  const Factor f({2, 5, 9}, {2, 3, 4});
+  const VarId scope[] = {2, 5, 9};
+  const auto s = strides_in(f, scope);
+  EXPECT_EQ(s, (std::vector<std::size_t>{1, 2, 6}));
+  const VarId partial[] = {5, 7};
+  const auto p = strides_in(f, partial);
+  EXPECT_EQ(p, (std::vector<std::size_t>{2, 0})); // 7 absent -> stride 0
+}
+
+// Property sweep: random factor algebra identities at several shapes.
+class FactorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorProperty, ProductAssociative) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Factor a = random_factor({0, 1}, {2, 3}, rng);
+  const Factor b = random_factor({1, 2}, {3, 2}, rng);
+  const Factor c = random_factor({0, 2}, {2, 2}, rng);
+  const Factor left = a.product(b).product(c);
+  const Factor right = a.product(b.product(c));
+  ASSERT_EQ(left.vars(), right.vars());
+  EXPECT_NEAR(left.max_abs_diff(right), 0.0, 1e-12);
+}
+
+TEST_P(FactorProperty, MarginalCommutesWithProductOnDisjointVar) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const Factor a = random_factor({0, 1}, {2, 4}, rng);
+  const Factor b = random_factor({2, 3}, {3, 2}, rng);
+  // Var 3 only occurs in b: (a*b) summed over 3 == a * (b summed over 3).
+  const Factor lhs = a.product(b).sum_out(3);
+  const Factor rhs = a.product(b.sum_out(3));
+  ASSERT_EQ(lhs.vars(), rhs.vars());
+  EXPECT_NEAR(lhs.max_abs_diff(rhs), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactorProperty, ::testing::Range(1, 11));
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "lidag/gate_cpt.h"
+#include "sim/input_model.h"
+#include "util/rng.h"
+
+namespace bns {
+namespace {
+
+// Transition-state encoding helpers (state = 2*prev + cur).
+int state_of(int prev, int cur) { return prev * 2 + cur; }
+
+TEST(GateCpt, PaperOrGateExample) {
+  // Section 4: P(X5 = x01 | X1 = x01, X2 = x00) = 1 for an OR gate.
+  const VarId x1 = 0;
+  const VarId x2 = 1;
+  const VarId x5 = 2;
+  const Factor cpt = transition_cpt(GateType::Or, std::vector<VarId>{x1, x2}, x5);
+  ASSERT_EQ(cpt.vars(), (std::vector<VarId>{0, 1, 2}));
+  // scope order x1, x2, x5; states: x1=01, x2=00 -> x5=01 certain.
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T01, T00, T01}), 1.0);
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T01, T00, T00}), 0.0);
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T01, T00, T11}), 0.0);
+  // Both inputs rise: output 0->1 ... both were 0 before, 1 after: x01.
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T01, T01, T01}), 1.0);
+  // One falls one rises: output stays 1: x11.
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T10, T01, T11}), 1.0);
+}
+
+TEST(GateCpt, RowsAreDeterministicDistributions) {
+  Rng rng(1);
+  for (GateType t : {GateType::And, GateType::Nand, GateType::Or,
+                     GateType::Nor, GateType::Xor, GateType::Xnor}) {
+    for (int k = 1; k <= 3; ++k) {
+      std::vector<VarId> in_vars;
+      for (int i = 0; i < k; ++i) in_vars.push_back(i);
+      const VarId out = k;
+      const Factor cpt = transition_cpt(t, in_vars, out);
+      // Summing out the output leaves exactly 1 per parent state, and
+      // every entry is 0 or 1.
+      const Factor ones = cpt.sum_out(out);
+      for (std::size_t i = 0; i < ones.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ones.value(i), 1.0);
+      }
+      for (std::size_t i = 0; i < cpt.size(); ++i) {
+        EXPECT_TRUE(cpt.value(i) == 0.0 || cpt.value(i) == 1.0);
+      }
+    }
+  }
+}
+
+TEST(GateCpt, NotGateSwapsRiseAndFall) {
+  const Factor cpt = transition_cpt(GateType::Not, std::vector<VarId>{0}, 1);
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T01, T10}), 1.0);
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T10, T01}), 1.0);
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T00, T11}), 1.0);
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T11, T00}), 1.0);
+}
+
+TEST(GateCpt, OutputVarMayHaveLowerIdThanInputs) {
+  // Boundary roots can receive higher variable ids than the gate output;
+  // the CPT must respect the sorted scope regardless.
+  const Factor cpt = transition_cpt(GateType::And, std::vector<VarId>{5, 9}, 2);
+  ASSERT_EQ(cpt.vars(), (std::vector<VarId>{2, 5, 9}));
+  // inputs (5, 9) = (x11, x11) -> output x11; scope order is (2, 5, 9).
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T11, T11, T11}), 1.0);
+  EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{T00, T11, T11}), 0.0);
+}
+
+TEST(GateCpt, DuplicateFaninCollapsesScope) {
+  // AND(a, a) = a: CPT over {a, out} only, out mirrors a.
+  const Factor cpt = transition_cpt(GateType::And, std::vector<VarId>{3, 3}, 7);
+  ASSERT_EQ(cpt.vars(), (std::vector<VarId>{3, 7}));
+  for (int s = 0; s < 4; ++s) {
+    for (int o = 0; o < 4; ++o) {
+      EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{s, o}), s == o ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(GateCpt, XorDuplicateIsConstantZero) {
+  // XOR(a, a) = 0 regardless of a: output always x00.
+  const Factor cpt = transition_cpt(GateType::Xor, std::vector<VarId>{1, 1}, 4);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{s, T00}), 1.0);
+  }
+}
+
+TEST(GateCpt, AgreesWithEnumerationForRandomLut) {
+  Rng rng(3);
+  TruthTable tt(3);
+  for (std::uint64_t m = 0; m < 8; ++m) tt.set_value(m, rng.bernoulli(0.5));
+  const std::vector<VarId> in_vars{0, 1, 2};
+  const Factor cpt = transition_cpt(tt, in_vars, 3);
+  // Check every parent assignment maps to the enumerated output pair.
+  for (int s0 = 0; s0 < 4; ++s0) {
+    for (int s1 = 0; s1 < 4; ++s1) {
+      for (int s2 = 0; s2 < 4; ++s2) {
+        const bool prev[3] = {(s0 >> 1) != 0, (s1 >> 1) != 0, (s2 >> 1) != 0};
+        const bool cur[3] = {(s0 & 1) != 0, (s1 & 1) != 0, (s2 & 1) != 0};
+        const int expect =
+            state_of(tt.eval(prev) ? 1 : 0, tt.eval(cur) ? 1 : 0);
+        for (int o = 0; o < 4; ++o) {
+          EXPECT_DOUBLE_EQ(cpt.at(std::vector<int>{s0, s1, s2, o}),
+                           o == expect ? 1.0 : 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(GateCpt, TransitionPrior) {
+  const Factor p = transition_prior(4, {0.1, 0.2, 0.3, 0.4});
+  ASSERT_EQ(p.vars(), (std::vector<VarId>{4}));
+  EXPECT_DOUBLE_EQ(p.value(0), 0.1);
+  EXPECT_DOUBLE_EQ(p.value(3), 0.4);
+}
+
+TEST(GateCpt, NoisyCopyCptRowsNormalize) {
+  const Factor cpt = noisy_copy_cpt(0, 1, 0.1);
+  const Factor rows = cpt.sum_out(1);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows.value(i), 1.0, 1e-12);
+  }
+  // No flips: identity transition.
+  const Factor exact = noisy_copy_cpt(0, 1, 0.0);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(exact.at(std::vector<int>{s, s}), 1.0);
+  }
+  // P(copy = source both steps) = (1-q)^2 on the diagonal.
+  EXPECT_NEAR(cpt.at(std::vector<int>{T01, T01}), 0.81, 1e-12);
+  // One step flipped: q(1-q).
+  EXPECT_NEAR(cpt.at(std::vector<int>{T01, T00}), 0.09, 1e-12);
+}
+
+} // namespace
+} // namespace bns

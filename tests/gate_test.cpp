@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "netlist/gate.h"
+#include "netlist/truth_table.h"
+#include "util/rng.h"
+
+namespace bns {
+namespace {
+
+const GateType kLogicGates[] = {GateType::And, GateType::Nand, GateType::Or,
+                                GateType::Nor, GateType::Xor, GateType::Xnor};
+
+TEST(Gate, NamesRoundTrip) {
+  for (GateType t : {GateType::Input, GateType::Buf, GateType::Not,
+                     GateType::And, GateType::Nand, GateType::Or,
+                     GateType::Nor, GateType::Xor, GateType::Xnor,
+                     GateType::Const0, GateType::Const1}) {
+    GateType parsed;
+    ASSERT_TRUE(parse_gate_type(gate_type_name(t), parsed));
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+TEST(Gate, ParseAliasesAndCase) {
+  GateType t;
+  ASSERT_TRUE(parse_gate_type("buff", t));
+  EXPECT_EQ(t, GateType::Buf);
+  ASSERT_TRUE(parse_gate_type("inv", t));
+  EXPECT_EQ(t, GateType::Not);
+  ASSERT_TRUE(parse_gate_type("nAnD", t));
+  EXPECT_EQ(t, GateType::Nand);
+  EXPECT_FALSE(parse_gate_type("frobnicate", t));
+}
+
+TEST(Gate, TwoInputSemantics) {
+  struct Case {
+    GateType t;
+    bool expect[4]; // inputs 00, 01, 10, 11 (a = bit0, b = bit1)
+  };
+  const Case cases[] = {
+      {GateType::And, {false, false, false, true}},
+      {GateType::Nand, {true, true, true, false}},
+      {GateType::Or, {false, true, true, true}},
+      {GateType::Nor, {true, false, false, false}},
+      {GateType::Xor, {false, true, true, false}},
+      {GateType::Xnor, {true, false, false, true}},
+  };
+  for (const Case& c : cases) {
+    for (int m = 0; m < 4; ++m) {
+      const bool in[2] = {(m & 1) != 0, (m & 2) != 0};
+      EXPECT_EQ(eval_gate(c.t, in), c.expect[m]) << gate_type_name(c.t) << m;
+    }
+  }
+}
+
+TEST(Gate, UnaryAndConstants) {
+  const bool t = true;
+  const bool f = false;
+  EXPECT_TRUE(eval_gate(GateType::Buf, {&t, 1}));
+  EXPECT_FALSE(eval_gate(GateType::Not, {&t, 1}));
+  EXPECT_TRUE(eval_gate(GateType::Not, {&f, 1}));
+  EXPECT_FALSE(eval_gate(GateType::Const0, {}));
+  EXPECT_TRUE(eval_gate(GateType::Const1, {}));
+}
+
+TEST(Gate, WordEvalMatchesScalarForAllTypesAndFanins) {
+  Rng rng(23);
+  for (GateType t : kLogicGates) {
+    for (int k = 1; k <= 6; ++k) {
+      std::vector<std::uint64_t> words(static_cast<std::size_t>(k));
+      for (auto& w : words) w = rng.bits64();
+      const std::uint64_t out = eval_gate_words(t, words);
+      for (int lane = 0; lane < 64; ++lane) {
+        std::vector<bool> in;
+        bool buf[8];
+        for (int i = 0; i < k; ++i) buf[i] = (words[static_cast<std::size_t>(i)] >> lane) & 1;
+        (void)in;
+        const bool expect = eval_gate(t, std::span<const bool>(buf, static_cast<std::size_t>(k)));
+        EXPECT_EQ(((out >> lane) & 1) != 0, expect)
+            << gate_type_name(t) << " k=" << k << " lane=" << lane;
+      }
+    }
+  }
+}
+
+TEST(Gate, AssociativityClassification) {
+  EXPECT_TRUE(is_associative(GateType::And));
+  EXPECT_TRUE(is_associative(GateType::Or));
+  EXPECT_TRUE(is_associative(GateType::Xor));
+  EXPECT_FALSE(is_associative(GateType::Nand));
+  EXPECT_FALSE(is_associative(GateType::Not));
+  EXPECT_EQ(uninverted_core(GateType::Nand), GateType::And);
+  EXPECT_EQ(uninverted_core(GateType::Nor), GateType::Or);
+  EXPECT_EQ(uninverted_core(GateType::Xnor), GateType::Xor);
+  EXPECT_EQ(uninverted_core(GateType::Not), GateType::Buf);
+  EXPECT_EQ(uninverted_core(GateType::And), GateType::And);
+  EXPECT_TRUE(is_inverting(GateType::Nor));
+  EXPECT_FALSE(is_inverting(GateType::Or));
+}
+
+TEST(Gate, FaninCountValidation) {
+  EXPECT_TRUE(fanin_count_ok(GateType::Input, 0));
+  EXPECT_FALSE(fanin_count_ok(GateType::Input, 1));
+  EXPECT_TRUE(fanin_count_ok(GateType::Not, 1));
+  EXPECT_FALSE(fanin_count_ok(GateType::Not, 2));
+  EXPECT_TRUE(fanin_count_ok(GateType::Nand, 9));
+  EXPECT_FALSE(fanin_count_ok(GateType::And, 0));
+}
+
+// --- TruthTable ----------------------------------------------------------
+
+TEST(TruthTable, OfGateMatchesEval) {
+  for (GateType t : kLogicGates) {
+    for (int k = 1; k <= 5; ++k) {
+      const TruthTable tt = TruthTable::of_gate(t, k);
+      for (std::uint64_t m = 0; m < (1ULL << k); ++m) {
+        bool in[8];
+        for (int i = 0; i < k; ++i) in[i] = (m >> i) & 1;
+        EXPECT_EQ(tt.value(m),
+                  eval_gate(t, std::span<const bool>(in, static_cast<std::size_t>(k))));
+      }
+    }
+  }
+}
+
+TEST(TruthTable, SetAndGet) {
+  TruthTable tt(3);
+  for (std::uint64_t m = 0; m < 8; ++m) EXPECT_FALSE(tt.value(m));
+  tt.set_value(5, true);
+  EXPECT_TRUE(tt.value(5));
+  tt.set_value(5, false);
+  EXPECT_FALSE(tt.value(5));
+}
+
+TEST(TruthTable, LargeTableCrossesWordBoundary) {
+  TruthTable tt(8); // 256 rows = 4 words
+  tt.set_value(0, true);
+  tt.set_value(63, true);
+  tt.set_value(64, true);
+  tt.set_value(255, true);
+  EXPECT_TRUE(tt.value(0));
+  EXPECT_TRUE(tt.value(63));
+  EXPECT_TRUE(tt.value(64));
+  EXPECT_TRUE(tt.value(255));
+  EXPECT_FALSE(tt.value(128));
+}
+
+TEST(TruthTable, EvalWordsMatchesScalar) {
+  Rng rng(29);
+  for (int k = 1; k <= 6; ++k) {
+    TruthTable tt(k);
+    for (std::uint64_t m = 0; m < tt.num_rows(); ++m) {
+      tt.set_value(m, rng.bernoulli(0.5));
+    }
+    std::vector<std::uint64_t> words(static_cast<std::size_t>(k));
+    for (auto& w : words) w = rng.bits64();
+    const std::uint64_t out = tt.eval_words(words);
+    for (int lane = 0; lane < 64; ++lane) {
+      bool in[8];
+      for (int i = 0; i < k; ++i) in[i] = (words[static_cast<std::size_t>(i)] >> lane) & 1;
+      EXPECT_EQ(((out >> lane) & 1) != 0,
+                tt.eval(std::span<const bool>(in, static_cast<std::size_t>(k))));
+    }
+  }
+}
+
+TEST(TruthTable, CofactorAndRedundancy) {
+  // f(a, b, c) = a AND c: b is redundant.
+  TruthTable tt(3);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    tt.set_value(m, ((m & 1) != 0) && ((m & 4) != 0));
+  }
+  EXPECT_FALSE(tt.input_is_redundant(0));
+  EXPECT_TRUE(tt.input_is_redundant(1));
+  EXPECT_FALSE(tt.input_is_redundant(2));
+
+  const TruthTable c1 = tt.cofactor(2, true); // fix c=1 -> f = a
+  EXPECT_EQ(c1.num_inputs(), 2);
+  for (std::uint64_t m = 0; m < 4; ++m) EXPECT_EQ(c1.value(m), (m & 1) != 0);
+  const TruthTable c0 = tt.cofactor(2, false); // f = 0
+  for (std::uint64_t m = 0; m < 4; ++m) EXPECT_FALSE(c0.value(m));
+}
+
+TEST(TruthTable, ToString) {
+  EXPECT_EQ(TruthTable::of_gate(GateType::And, 2).to_string(), "0001");
+  EXPECT_EQ(TruthTable::of_gate(GateType::Xor, 2).to_string(), "0110");
+}
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,142 @@
+// Functional checks for the second wave of structural generators, plus
+// single-BN exactness of the estimator on each (they are all small
+// enough for exhaustive reference enumeration).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "lidag/estimator.h"
+#include "sim/simulator.h"
+
+namespace bns {
+namespace {
+
+// Evaluates a netlist on one full input assignment (bit i of `assign`
+// drives input i) and packs the outputs into an integer.
+int eval_outputs(const Netlist& nl, std::uint64_t assign) {
+  std::vector<bool> vals(static_cast<std::size_t>(nl.num_nodes()));
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    vals[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])] =
+        (assign >> i) & 1;
+  }
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input) continue;
+    bool in[24];
+    for (std::size_t k = 0; k < n.fanin.size(); ++k) {
+      in[k] = vals[static_cast<std::size_t>(n.fanin[k])];
+    }
+    const std::span<const bool> sp(in, n.fanin.size());
+    vals[static_cast<std::size_t>(id)] =
+        n.type == GateType::Lut ? n.lut->eval(sp) : eval_gate(n.type, sp);
+  }
+  int out = 0;
+  for (std::size_t k = 0; k < nl.outputs().size(); ++k) {
+    if (vals[static_cast<std::size_t>(nl.outputs()[k])]) out |= 1 << k;
+  }
+  return out;
+}
+
+TEST(CarryLookaheadAdder, AddsExhaustively) {
+  const int bits = 4;
+  const Netlist nl = carry_lookahead_adder(bits);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        const std::uint64_t assign =
+            static_cast<std::uint64_t>(a) |
+            (static_cast<std::uint64_t>(b) << bits) |
+            (static_cast<std::uint64_t>(c) << (2 * bits));
+        EXPECT_EQ(eval_outputs(nl, assign), a + b + c) << a << "+" << b;
+      }
+    }
+  }
+}
+
+TEST(CarryLookaheadAdder, ShallowerThanRipple) {
+  EXPECT_LT(carry_lookahead_adder(8).depth(), ripple_adder(8).depth());
+}
+
+TEST(BarrelShifter, RotatesExhaustively) {
+  const int stages = 2; // 4-bit data, 2-bit amount
+  const Netlist nl = barrel_shifter(stages);
+  const int width = 1 << stages;
+  for (int d = 0; d < (1 << width); ++d) {
+    for (int s = 0; s < width; ++s) {
+      const std::uint64_t assign =
+          static_cast<std::uint64_t>(d) |
+          (static_cast<std::uint64_t>(s) << width);
+      const int expect = ((d << s) | (d >> (width - s))) & (width == 4 ? 0xF : (1 << width) - 1);
+      EXPECT_EQ(eval_outputs(nl, assign), expect) << "d=" << d << " s=" << s;
+    }
+  }
+}
+
+TEST(PriorityEncoder, HighestRequestWins) {
+  const int width = 5;
+  const Netlist nl = priority_encoder(width);
+  for (int r = 0; r < (1 << width); ++r) {
+    const int out = eval_outputs(nl, static_cast<std::uint64_t>(r));
+    const int grants = out & ((1 << width) - 1);
+    const bool valid = (out >> width) & 1;
+    if (r == 0) {
+      EXPECT_EQ(grants, 0);
+      EXPECT_FALSE(valid);
+    } else {
+      int top = width - 1;
+      while (((r >> top) & 1) == 0) --top;
+      EXPECT_EQ(grants, 1 << top) << "r=" << r;
+      EXPECT_TRUE(valid);
+    }
+  }
+}
+
+TEST(GrayConverter, RoundTripsAndUnitDistance) {
+  const int bits = 5;
+  const Netlist nl = gray_converter(bits);
+  int prev_gray = -1;
+  for (int b = 0; b < (1 << bits); ++b) {
+    const int out = eval_outputs(nl, static_cast<std::uint64_t>(b));
+    const int gray = out & ((1 << bits) - 1);
+    const int round = out >> bits;
+    EXPECT_EQ(gray, b ^ (b >> 1));
+    EXPECT_EQ(round, b) << "round trip";
+    if (prev_gray >= 0) {
+      EXPECT_EQ(std::popcount(static_cast<unsigned>(gray ^ prev_gray)), 1)
+          << "consecutive codes differ in one bit";
+    }
+    prev_gray = gray;
+  }
+}
+
+// Estimator exactness on each of the new circuit classes.
+class NewGeneratorExactness
+    : public ::testing::TestWithParam<std::pair<const char*, Netlist (*)()>> {};
+
+Netlist make_cla() { return carry_lookahead_adder(3); }
+Netlist make_barrel() { return barrel_shifter(2); }
+Netlist make_prienc() { return priority_encoder(7); }
+Netlist make_gray() { return gray_converter(6); }
+
+TEST_P(NewGeneratorExactness, SingleBnMatchesEnumeration) {
+  const Netlist nl = GetParam().second();
+  ASSERT_LE(nl.num_inputs(), 10);
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.45, 0.15);
+  LidagEstimator est(nl, m);
+  const SwitchingEstimate sw = est.estimate(m);
+  const auto exact = exact_activities(nl, m);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    EXPECT_NEAR(sw.activity(id), exact[static_cast<std::size_t>(id)], 1e-9)
+        << GetParam().first << " " << nl.node(id).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Circuits, NewGeneratorExactness,
+    ::testing::Values(std::make_pair("cla3", &make_cla),
+                      std::make_pair("barrel4", &make_barrel),
+                      std::make_pair("prienc7", &make_prienc),
+                      std::make_pair("gray6", &make_gray)),
+    [](const auto& info) { return std::string(info.param.first); });
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "bn/graph.h"
+#include "gen/circuits.h"
+#include "lidag/lidag.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace bns {
+namespace {
+
+using testing_helpers::random_bayes_net;
+
+UndirectedGraph cycle_graph(int n) {
+  UndirectedGraph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+TEST(UndirectedGraph, BasicOps) {
+  UndirectedGraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(0, 2); // idempotent
+  g.add_edge(1, 3);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.edges(), (std::vector<std::pair<int, int>>{{0, 2}, {1, 3}}));
+}
+
+TEST(MoralGraph, MarriesCoParents) {
+  // The paper's example: moralization adds X1–X2 (co-parents of X5).
+  const Netlist nl = figure1_circuit();
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const LidagBn lb = build_lidag(nl, m);
+  const UndirectedGraph g = moral_graph(lb.bn);
+  const VarId x1 = lb.var_of_node[0];
+  const VarId x2 = lb.var_of_node[1];
+  const VarId x3 = lb.var_of_node[2];
+  const VarId x4 = lb.var_of_node[3];
+  const VarId x5 = lb.var_of_node[4];
+  EXPECT_TRUE(g.has_edge(x1, x2)); // married
+  EXPECT_TRUE(g.has_edge(x3, x4)); // married
+  EXPECT_TRUE(g.has_edge(x1, x5)); // original (dropped direction)
+  EXPECT_FALSE(g.has_edge(x1, x3));
+}
+
+TEST(Triangulate, ChordalGraphNeedsNoFill) {
+  // A tree is chordal.
+  UndirectedGraph tree(6);
+  tree.add_edge(0, 1);
+  tree.add_edge(0, 2);
+  tree.add_edge(2, 3);
+  tree.add_edge(2, 4);
+  tree.add_edge(4, 5);
+  for (const auto h :
+       {EliminationHeuristic::MinFill, EliminationHeuristic::MinDegree}) {
+    const Triangulation t = triangulate(tree, h);
+    EXPECT_TRUE(t.fill_edges.empty());
+    EXPECT_EQ(t.max_clique_size(), 2u);
+    EXPECT_EQ(t.cliques.size(), 5u); // one per edge
+  }
+}
+
+TEST(Triangulate, CompleteGraphIsOneClique) {
+  UndirectedGraph k4(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) k4.add_edge(i, j);
+  }
+  const Triangulation t = triangulate(k4);
+  EXPECT_TRUE(t.fill_edges.empty());
+  ASSERT_EQ(t.cliques.size(), 1u);
+  EXPECT_EQ(t.cliques[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Triangulate, FourCycleGetsOneChord) {
+  const Triangulation t = triangulate(cycle_graph(4));
+  EXPECT_EQ(t.fill_edges.size(), 1u);
+  ASSERT_EQ(t.cliques.size(), 2u);
+  EXPECT_EQ(t.cliques[0].size(), 3u);
+  EXPECT_EQ(t.cliques[1].size(), 3u);
+}
+
+TEST(Triangulate, SixCycleMinFill) {
+  const Triangulation t = triangulate(cycle_graph(6));
+  // A 6-cycle triangulates with 3 chords into 4 triangles.
+  EXPECT_EQ(t.fill_edges.size(), 3u);
+  EXPECT_EQ(t.cliques.size(), 4u);
+  EXPECT_EQ(t.max_clique_size(), 3u);
+}
+
+TEST(Triangulate, EliminationOrderIsPerfectForOwnResult) {
+  Rng rng(31);
+  // Random graph: the computed elimination order must be perfect for the
+  // *filled* graph.
+  for (int trial = 0; trial < 10; ++trial) {
+    UndirectedGraph g(12);
+    for (int e = 0; e < 20; ++e) {
+      const int a = static_cast<int>(rng.below(12));
+      const int b = static_cast<int>(rng.below(12));
+      if (a != b) g.add_edge(a, b);
+    }
+    for (const auto h :
+         {EliminationHeuristic::MinFill, EliminationHeuristic::MinDegree}) {
+      const Triangulation t = triangulate(g, h);
+      EXPECT_TRUE(is_perfect_elimination_order(t.graph, t.elimination_order));
+    }
+  }
+}
+
+TEST(Triangulate, CliquesAreMaximalAndCoverEdges) {
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    UndirectedGraph g(10);
+    for (int e = 0; e < 16; ++e) {
+      const int a = static_cast<int>(rng.below(10));
+      const int b = static_cast<int>(rng.below(10));
+      if (a != b) g.add_edge(a, b);
+    }
+    const Triangulation t = triangulate(g);
+    // No clique is a subset of another.
+    for (std::size_t i = 0; i < t.cliques.size(); ++i) {
+      for (std::size_t j = 0; j < t.cliques.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(std::includes(t.cliques[j].begin(), t.cliques[j].end(),
+                                   t.cliques[i].begin(), t.cliques[i].end()))
+            << "clique " << i << " within " << j;
+      }
+    }
+    // Every edge of the filled graph lies inside some clique.
+    for (const auto& [a, b] : t.graph.edges()) {
+      bool covered = false;
+      for (const auto& c : t.cliques) {
+        covered |= std::binary_search(c.begin(), c.end(), a) &&
+                   std::binary_search(c.begin(), c.end(), b);
+      }
+      EXPECT_TRUE(covered) << a << "-" << b;
+    }
+    // Every clique is actually complete in the filled graph.
+    for (const auto& c : t.cliques) {
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        for (std::size_t j = i + 1; j < c.size(); ++j) {
+          EXPECT_TRUE(t.graph.has_edge(c[i], c[j]));
+        }
+      }
+    }
+  }
+}
+
+TEST(Triangulate, WithExplicitOrder) {
+  // Eliminating a 4-cycle in order 0,1,2,3 fills the 1–3 chord.
+  const Triangulation t =
+      triangulate_with_order(cycle_graph(4), std::vector<int>{0, 1, 2, 3});
+  ASSERT_EQ(t.fill_edges.size(), 1u);
+  EXPECT_EQ(t.fill_edges[0], (std::pair<int, int>{1, 3}));
+}
+
+TEST(Triangulate, StateSpaceAccountsForCards) {
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Triangulation t = triangulate(g);
+  const int cards[] = {4, 4, 4};
+  EXPECT_DOUBLE_EQ(t.total_state_space(cards), 32.0); // two 16-state cliques
+}
+
+TEST(Triangulate, FigureExampleFillsOnce) {
+  // The paper adds exactly one fill edge to the moralized example
+  // (X4–X7 with their order; min-fill finds a different single chord).
+  const Netlist nl = figure1_circuit();
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const LidagBn lb = build_lidag(nl, m);
+  const Triangulation t = triangulate(moral_graph(lb.bn));
+  EXPECT_EQ(t.fill_edges.size(), 1u);
+  EXPECT_EQ(t.cliques.size(), 6u); // Figure 4 has six cliques
+  EXPECT_EQ(t.max_clique_size(), 3u);
+}
+
+TEST(Triangulate, MoralGraphOfRandomBnIsCovered) {
+  const BayesianNetwork bn = random_bayes_net(15, 3, 3, 41);
+  const Triangulation t = triangulate(moral_graph(bn));
+  // Each CPT family {v} ∪ parents must be inside one clique.
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    std::vector<int> fam(bn.parents(v).begin(), bn.parents(v).end());
+    fam.push_back(v);
+    std::sort(fam.begin(), fam.end());
+    bool covered = false;
+    for (const auto& c : t.cliques) {
+      covered |= std::includes(c.begin(), c.end(), fam.begin(), fam.end());
+    }
+    EXPECT_TRUE(covered) << "family of " << v;
+  }
+}
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "sim/input_model.h"
+
+namespace bns {
+namespace {
+
+TEST(TransitionDistribution, IidEquiprobable) {
+  const auto d = transition_distribution(0.5, 0.0);
+  for (double p : d) EXPECT_NEAR(p, 0.25, 1e-12);
+  EXPECT_NEAR(activity_of(d), 0.5, 1e-12);
+}
+
+TEST(TransitionDistribution, MarginalsAreStationary) {
+  for (double p : {0.1, 0.3, 0.5, 0.8}) {
+    for (double rho : {0.0, 0.4, 0.9, -0.05}) {
+      if (rho < rho_min(p)) continue;
+      const auto d = transition_distribution(p, rho);
+      EXPECT_NEAR(d[T10] + d[T11], p, 1e-12) << "P(prev=1)";
+      EXPECT_NEAR(d[T01] + d[T11], p, 1e-12) << "P(cur=1)";
+      EXPECT_NEAR(d[T01], d[T10], 1e-12) << "stationarity";
+      EXPECT_NEAR(d[0] + d[1] + d[2] + d[3], 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(TransitionDistribution, FullCorrelationFreezesSignal) {
+  const auto d = transition_distribution(0.3, 1.0);
+  EXPECT_NEAR(d[T01], 0.0, 1e-12);
+  EXPECT_NEAR(d[T10], 0.0, 1e-12);
+  EXPECT_NEAR(d[T11], 0.3, 1e-12);
+  EXPECT_NEAR(activity_of(d), 0.0, 1e-12);
+}
+
+TEST(TransitionDistribution, MaxAnticorrelationAtHalf) {
+  // p = 0.5, rho = -1: the signal alternates every cycle.
+  EXPECT_NEAR(rho_min(0.5), -1.0, 1e-12);
+  const auto d = transition_distribution(0.5, -1.0);
+  EXPECT_NEAR(activity_of(d), 1.0, 1e-12);
+  EXPECT_NEAR(d[T00], 0.0, 1e-12);
+  EXPECT_NEAR(d[T11], 0.0, 1e-12);
+}
+
+TEST(TransitionDistribution, DegenerateProbabilities) {
+  const auto zero = transition_distribution(0.0, 0.0);
+  EXPECT_NEAR(zero[T00], 1.0, 1e-12);
+  const auto one = transition_distribution(1.0, 0.0);
+  EXPECT_NEAR(one[T11], 1.0, 1e-12);
+}
+
+TEST(TransitionDistribution, ActivityIsTwoPQWhenIndependent) {
+  for (double p : {0.2, 0.5, 0.7}) {
+    const auto d = transition_distribution(p, 0.0);
+    EXPECT_NEAR(activity_of(d), 2 * p * (1 - p), 1e-12);
+  }
+}
+
+TEST(RhoMin, SymmetricAndBounded) {
+  EXPECT_NEAR(rho_min(0.2), rho_min(0.8), 1e-12);
+  EXPECT_LE(rho_min(0.3), 0.0);
+  EXPECT_NEAR(rho_min(0.1), -1.0 / 9.0, 1e-9);
+}
+
+TEST(InputModel, UniformFactory) {
+  const InputModel m = InputModel::uniform(4, 0.3, 0.2);
+  EXPECT_EQ(m.num_inputs(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(m.spec(i).p, 0.3);
+    EXPECT_DOUBLE_EQ(m.spec(i).rho, 0.2);
+  }
+  EXPECT_FALSE(m.has_spatial_correlation());
+}
+
+TEST(InputModel, GroupedTransitionDistMarginalizesSource) {
+  // flip = 0: the input IS the source.
+  const InputModel m = InputModel::custom({{0.0, 0.0, 0, 0.0}}, {{0.3, 0.5}});
+  const auto d = m.transition_dist(0);
+  const auto src = transition_distribution(0.3, 0.5);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR(d[static_cast<std::size_t>(s)], src[static_cast<std::size_t>(s)], 1e-12);
+  }
+}
+
+TEST(InputModel, GroupedFlipHalfIsPureNoise) {
+  // flip = 0.5 decorrelates completely: uniform pair distribution.
+  const InputModel m = InputModel::custom({{0.0, 0.0, 0, 0.5}}, {{0.2, 0.9}});
+  const auto d = m.transition_dist(0);
+  for (double v : d) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(InputModel, GroupedFlipKeepsStationarity) {
+  const InputModel m = InputModel::custom({{0.0, 0.0, 0, 0.2}}, {{0.7, 0.4}});
+  const auto d = m.transition_dist(0);
+  EXPECT_NEAR(d[0] + d[1] + d[2] + d[3], 1.0, 1e-12);
+  // P(x=1) = p_src(1-q) + (1-p_src)q = 0.7*0.8 + 0.3*0.2
+  EXPECT_NEAR(d[T01] + d[T11], 0.62, 1e-12);
+  EXPECT_NEAR(d[T01], d[T10], 1e-12);
+}
+
+TEST(InputModel, HasSpatialCorrelation) {
+  const InputModel m =
+      InputModel::custom({{0.5, 0, -1, 0}, {0.5, 0, 0, 0.1}}, {{0.5, 0.0}});
+  EXPECT_TRUE(m.has_spatial_correlation());
+}
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "bn/exact.h"
+#include "bn/junction_tree.h"
+#include "test_helpers.h"
+
+namespace bns {
+namespace {
+
+using testing_helpers::random_bayes_net;
+
+TEST(JunctionTree, RunningIntersectionOnExample) {
+  const BayesianNetwork bn = random_bayes_net(12, 3, 3, 7);
+  const JunctionTreeEngine eng(bn);
+  EXPECT_EQ(eng.tree().check_running_intersection(), "");
+}
+
+TEST(JunctionTree, ForestForDisconnectedNetwork) {
+  // Two independent coins: no clique connects them.
+  BayesianNetwork bn;
+  for (int i = 0; i < 2; ++i) {
+    const VarId v = bn.add_variable("c" + std::to_string(i), 2);
+    Factor p({v}, {2});
+    p.set_value(0, 0.5);
+    p.set_value(1, 0.5);
+    bn.set_cpt(v, {}, p);
+  }
+  JunctionTreeEngine eng(bn);
+  EXPECT_EQ(eng.tree().num_cliques(), 2);
+  EXPECT_EQ(eng.tree().roots().size(), 2u);
+  eng.reset_potentials();
+  eng.propagate();
+  EXPECT_NEAR(eng.marginal(0).value(1), 0.5, 1e-12);
+  EXPECT_NEAR(eng.evidence_probability(), 1.0, 1e-12);
+}
+
+TEST(JunctionTree, CliqueContainingQueries) {
+  const BayesianNetwork bn = random_bayes_net(10, 2, 3, 13);
+  const JunctionTreeEngine eng(bn);
+  const JunctionTree& jt = eng.tree();
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const int c = jt.clique_containing(v);
+    ASSERT_GE(c, 0);
+    const auto& clique = jt.clique(c);
+    EXPECT_TRUE(std::binary_search(clique.begin(), clique.end(), v));
+  }
+  EXPECT_EQ(jt.clique_containing(999), -1);
+}
+
+// The central correctness property: junction-tree marginals equal
+// brute-force enumeration on random networks of varying shapes.
+class EngineVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineVsBruteForce, PosteriorMarginalsMatch) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const BayesianNetwork bn =
+      random_bayes_net(8 + GetParam() % 5, 3, 3, seed * 1234567 + 1);
+  ASSERT_EQ(bn.validate(), "");
+
+  JunctionTreeEngine eng(bn);
+  ASSERT_EQ(eng.tree().check_running_intersection(), "");
+  eng.reset_potentials();
+  eng.propagate();
+
+  const auto expect = brute_force_marginals(bn);
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const Factor m = eng.marginal(v);
+    EXPECT_NEAR(m.max_abs_diff(expect[static_cast<std::size_t>(v)]), 0.0, 1e-10)
+        << "marginal of v" << v;
+  }
+}
+
+TEST_P(EngineVsBruteForce, HardEvidenceMatches) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const BayesianNetwork bn = random_bayes_net(9, 3, 3, seed * 777 + 3);
+
+  // Observe two variables.
+  const Evidence ev = {{2, 1}, {5, 0}};
+  JunctionTreeEngine eng(bn);
+  eng.reset_potentials();
+  for (const auto& [v, s] : ev) eng.set_evidence(v, s);
+  eng.propagate();
+
+  const auto expect = brute_force_marginals(bn, ev);
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const Factor m = eng.marginal(v);
+    EXPECT_NEAR(m.max_abs_diff(expect[static_cast<std::size_t>(v)]), 0.0, 1e-10);
+  }
+}
+
+TEST_P(EngineVsBruteForce, EvidenceProbabilityMatchesVe) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const BayesianNetwork bn = random_bayes_net(8, 2, 3, seed * 31 + 17);
+  const Evidence ev = {{1, 0}, {6, 1}};
+
+  JunctionTreeEngine eng(bn);
+  eng.reset_potentials();
+  for (const auto& [v, s] : ev) eng.set_evidence(v, s);
+  eng.propagate();
+
+  EXPECT_NEAR(eng.evidence_probability(), ve_evidence_probability(bn, ev),
+              1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsBruteForce, ::testing::Range(1, 13));
+
+TEST(JunctionTree, SoftEvidenceMatchesManualReweighting) {
+  const BayesianNetwork bn = random_bayes_net(7, 2, 2, 99);
+  const VarId target = 3;
+  const double lambda[2] = {0.2, 0.9};
+
+  JunctionTreeEngine eng(bn);
+  eng.reset_potentials();
+  eng.set_soft_evidence(target, lambda);
+  eng.propagate();
+  const Factor got = eng.marginal(0);
+
+  // Manual: P'(x0) ∝ sum_s lambda(s) P(x0, target=s).
+  JunctionTreeEngine plain(bn);
+  plain.reset_potentials();
+  plain.propagate();
+  const Factor joint = [&] {
+    // P(x0, target = s) via two hard-evidence runs.
+    Factor acc({0}, {bn.cardinality(0)});
+    for (int s = 0; s < 2; ++s) {
+      JunctionTreeEngine e2(bn);
+      e2.reset_potentials();
+      e2.set_evidence(target, s);
+      e2.propagate();
+      const double pe = e2.evidence_probability();
+      const Factor m = e2.marginal(0);
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc.set_value(i, acc.value(i) + lambda[s] * pe * m.value(i));
+      }
+    }
+    acc.normalize();
+    return acc;
+  }();
+  EXPECT_NEAR(got.max_abs_diff(joint), 0.0, 1e-10);
+}
+
+TEST(JunctionTree, JointMarginalWithinClique) {
+  const BayesianNetwork bn = random_bayes_net(8, 2, 2, 55);
+  JunctionTreeEngine eng(bn);
+  eng.reset_potentials();
+  eng.propagate();
+
+  // Any CPT family shares a clique; query a variable with a parent.
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    if (bn.parents(v).empty()) continue;
+    const VarId p = bn.parents(v)[0];
+    const VarId vs[2] = {v, p};
+    const auto j = eng.try_joint_marginal(vs);
+    ASSERT_TRUE(j.has_value());
+    EXPECT_NEAR(j->sum(), 1.0, 1e-10);
+    // Marginalizing the joint gives the single marginals.
+    const Factor mv = j->sum_out(p);
+    EXPECT_NEAR(mv.max_abs_diff(eng.marginal(v)), 0.0, 1e-10);
+    return; // one pair suffices
+  }
+}
+
+TEST(JunctionTree, RepeatedPropagationWithNewCpts) {
+  // The paper's update workflow: change root priors, re-propagate on the
+  // same compiled structure, get the new exact posterior.
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId y = bn.add_variable("y", 2);
+  Factor pa({a}, {2});
+  pa.set_value(0, 0.5);
+  pa.set_value(1, 0.5);
+  bn.set_cpt(a, {}, pa);
+  Factor py({a, y}, {2, 2});
+  py.at(std::vector<int>{0, 1}) = 0.1; // P(y=1|a=0)
+  py.at(std::vector<int>{0, 0}) = 0.9;
+  py.at(std::vector<int>{1, 1}) = 0.8;
+  py.at(std::vector<int>{1, 0}) = 0.2;
+  bn.set_cpt(y, {a}, py);
+
+  JunctionTreeEngine eng(bn);
+  eng.reset_potentials();
+  eng.propagate();
+  EXPECT_NEAR(eng.marginal(y).value(1), 0.5 * 0.1 + 0.5 * 0.8, 1e-12);
+
+  Factor pa2({a}, {2});
+  pa2.set_value(0, 0.25);
+  pa2.set_value(1, 0.75);
+  bn.set_cpt(a, {}, pa2);
+  eng.reset_potentials(); // same structure, new numbers
+  eng.propagate();
+  EXPECT_NEAR(eng.marginal(y).value(1), 0.25 * 0.1 + 0.75 * 0.8, 1e-12);
+}
+
+TEST(JunctionTree, StateSpaceMatchesTriangulation) {
+  const BayesianNetwork bn = random_bayes_net(10, 3, 4, 77);
+  const JunctionTreeEngine eng(bn);
+  std::vector<int> cards;
+  for (VarId v = 0; v < bn.num_variables(); ++v) cards.push_back(bn.cardinality(v));
+  EXPECT_DOUBLE_EQ(eng.state_space(),
+                   eng.triangulation().total_state_space(cards));
+}
+
+// --- exact engines cross-check -------------------------------------------
+
+class VeVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(VeVsBruteForce, MarginalsMatch) {
+  const BayesianNetwork bn = random_bayes_net(
+      9, 3, 3, static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  const auto expect = brute_force_marginals(bn);
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    EXPECT_NEAR(ve_marginal(bn, v).max_abs_diff(expect[static_cast<std::size_t>(v)]),
+                0.0, 1e-10);
+  }
+}
+
+TEST_P(VeVsBruteForce, EvidenceMarginalsMatch) {
+  const BayesianNetwork bn = random_bayes_net(
+      8, 2, 3, static_cast<std::uint64_t>(GetParam()) * 271 + 11);
+  const Evidence ev = {{0, 1}};
+  const auto expect = brute_force_marginals(bn, ev);
+  for (VarId v = 1; v < bn.num_variables(); ++v) {
+    EXPECT_NEAR(
+        ve_marginal(bn, v, ev).max_abs_diff(expect[static_cast<std::size_t>(v)]),
+        0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VeVsBruteForce, ::testing::Range(1, 8));
+
+} // namespace
+} // namespace bns

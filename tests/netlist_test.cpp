@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuits.h"
+#include "netlist/bench_io.h"
+#include "netlist/blif_io.h"
+#include "netlist/netlist.h"
+
+namespace bns {
+namespace {
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, "g", {a, b});
+  nl.mark_output(g);
+
+  EXPECT_EQ(nl.num_nodes(), 3);
+  EXPECT_EQ(nl.num_inputs(), 2);
+  EXPECT_EQ(nl.num_outputs(), 1);
+  EXPECT_EQ(nl.num_gates(), 1);
+  EXPECT_TRUE(nl.is_output(g));
+  EXPECT_FALSE(nl.is_output(a));
+  EXPECT_EQ(nl.find("g"), g);
+  EXPECT_EQ(nl.find("nope"), kInvalidNode);
+  EXPECT_EQ(nl.node(g).fanin.size(), 2u);
+}
+
+TEST(Netlist, MarkOutputIdempotent) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.mark_output(a);
+  nl.mark_output(a);
+  EXPECT_EQ(nl.num_outputs(), 1);
+}
+
+TEST(Netlist, LevelsAndDepth) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(GateType::And, "g1", {a, b});
+  const NodeId g2 = nl.add_gate(GateType::Not, "g2", {g1});
+  const NodeId g3 = nl.add_gate(GateType::Or, "g3", {a, g2});
+  const auto lvl = nl.levels();
+  EXPECT_EQ(lvl[static_cast<std::size_t>(a)], 0);
+  EXPECT_EQ(lvl[static_cast<std::size_t>(g1)], 1);
+  EXPECT_EQ(lvl[static_cast<std::size_t>(g2)], 2);
+  EXPECT_EQ(lvl[static_cast<std::size_t>(g3)], 3);
+  EXPECT_EQ(nl.depth(), 3);
+}
+
+TEST(Netlist, FanoutCountsAndLists) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(GateType::And, "g1", {a, b});
+  const NodeId g2 = nl.add_gate(GateType::Or, "g2", {a, g1});
+  const auto fo = nl.fanout_counts();
+  EXPECT_EQ(fo[static_cast<std::size_t>(a)], 2);
+  EXPECT_EQ(fo[static_cast<std::size_t>(b)], 1);
+  EXPECT_EQ(fo[static_cast<std::size_t>(g1)], 1);
+  EXPECT_EQ(fo[static_cast<std::size_t>(g2)], 0);
+  const auto fl = nl.fanout_lists();
+  EXPECT_EQ(fl[static_cast<std::size_t>(a)], (std::vector<NodeId>{g1, g2}));
+}
+
+TEST(Netlist, StatsOfC17) {
+  const NetlistStats s = compute_stats(c17());
+  EXPECT_EQ(s.num_inputs, 5);
+  EXPECT_EQ(s.num_outputs, 2);
+  EXPECT_EQ(s.num_gates, 6);
+  EXPECT_EQ(s.num_nodes, 11);
+  EXPECT_EQ(s.depth, 3);
+  EXPECT_EQ(s.max_fanin, 2);
+  EXPECT_DOUBLE_EQ(s.avg_fanin, 2.0);
+}
+
+// --- .bench reader/writer ------------------------------------------------
+
+TEST(BenchIO, ParsesC17) {
+  const Netlist nl = read_bench_string(kC17Bench, "c17");
+  EXPECT_EQ(nl.num_inputs(), 5);
+  EXPECT_EQ(nl.num_outputs(), 2);
+  EXPECT_EQ(nl.num_gates(), 6);
+  const NodeId g22 = nl.find("22");
+  ASSERT_NE(g22, kInvalidNode);
+  EXPECT_TRUE(nl.is_output(g22));
+  EXPECT_EQ(nl.node(g22).type, GateType::Nand);
+}
+
+TEST(BenchIO, RoundTrip) {
+  const Netlist original = c17();
+  const std::string text = write_bench_string(original);
+  const Netlist reparsed = read_bench_string(text, "c17");
+  ASSERT_EQ(reparsed.num_nodes(), original.num_nodes());
+  for (NodeId id = 0; id < original.num_nodes(); ++id) {
+    const NodeId rid = reparsed.find(original.node(id).name);
+    ASSERT_NE(rid, kInvalidNode);
+    EXPECT_EQ(reparsed.node(rid).type, original.node(id).type);
+    EXPECT_EQ(reparsed.node(rid).fanin.size(), original.node(id).fanin.size());
+  }
+  EXPECT_EQ(reparsed.num_outputs(), original.num_outputs());
+}
+
+TEST(BenchIO, ForwardReferencesAreResolved) {
+  // `top` is defined before its operand.
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(top)
+top = AND(mid, a)
+mid = OR(a, b)
+)";
+  const Netlist nl = read_bench_string(text);
+  const NodeId top = nl.find("top");
+  const NodeId mid = nl.find("mid");
+  ASSERT_NE(top, kInvalidNode);
+  ASSERT_NE(mid, kInvalidNode);
+  EXPECT_LT(mid, top); // topological: operand first
+}
+
+TEST(BenchIO, DetectsCycle) {
+  const char* text = R"(
+INPUT(a)
+x = AND(a, y)
+y = OR(x, a)
+)";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIO, DetectsUndefinedSignal) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = AND(a, ghost)\n"), ParseError);
+}
+
+TEST(BenchIO, DetectsDuplicateDefinition) {
+  const char* text = "INPUT(a)\nx = NOT(a)\nx = BUF(a)\n";
+  EXPECT_THROW(read_bench_string(text), ParseError);
+}
+
+TEST(BenchIO, DetectsUnknownGate) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = FROB(a)\n"), ParseError);
+}
+
+TEST(BenchIO, DetectsBadFaninCount) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nINPUT(b)\nx = NOT(a, b)\n"),
+               ParseError);
+}
+
+TEST(BenchIO, CommentsAndBlankLinesIgnored) {
+  const char* text = "# hello\n\nINPUT(a)\n  # indented comment\nx = NOT(a)\n";
+  EXPECT_EQ(read_bench_string(text).num_nodes(), 2);
+}
+
+// --- BLIF reader ----------------------------------------------------------
+
+TEST(BlifIO, ParsesOnSetCover) {
+  const char* text = R"(
+.model tiny
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+)";
+  const Netlist nl = read_blif_string(text);
+  EXPECT_EQ(nl.name(), "tiny");
+  const NodeId y = nl.find("y");
+  ASSERT_NE(y, kInvalidNode);
+  ASSERT_EQ(nl.node(y).type, GateType::Lut);
+  EXPECT_EQ(nl.node(y).lut->to_string(), "0001"); // AND
+}
+
+TEST(BlifIO, ParsesOffSetCover) {
+  const char* text = ".inputs a b\n.outputs y\n.names a b y\n11 0\n";
+  const Netlist nl = read_blif_string(text);
+  // Complement of the 11 cube: NAND.
+  EXPECT_EQ(nl.node(nl.find("y")).lut->to_string(), "1110");
+}
+
+TEST(BlifIO, DontCaresInCubes) {
+  const char* text = ".inputs a b c\n.outputs y\n.names a b c y\n1-1 1\n01- 1\n";
+  const Netlist nl = read_blif_string(text);
+  const TruthTable& tt = *nl.node(nl.find("y")).lut;
+  // y = (a & c) | (!a & b); minterm order: a = bit0, b = bit1, c = bit2.
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const bool a = m & 1;
+    const bool b = m & 2;
+    const bool c = m & 4;
+    EXPECT_EQ(tt.value(m), (a && c) || (!a && b)) << m;
+  }
+}
+
+TEST(BlifIO, ConstantNodes) {
+  const char* text = ".inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.names sink a\n1 1\n";
+  const Netlist nl = read_blif_string(text);
+  EXPECT_EQ(nl.node(nl.find("one")).lut->to_string(), "1");
+  EXPECT_EQ(nl.node(nl.find("zero")).lut->to_string(), "0");
+}
+
+TEST(BlifIO, ContinuationLines) {
+  const char* text = ".inputs a \\\n b\n.outputs y\n.names a b y\n11 1\n";
+  const Netlist nl = read_blif_string(text);
+  EXPECT_EQ(nl.num_inputs(), 2);
+}
+
+TEST(BlifIO, RejectsLatches) {
+  EXPECT_THROW(read_blif_string(".inputs a\n.latch a b 0\n"), ParseError);
+}
+
+TEST(BlifIO, RejectsMixedCover) {
+  EXPECT_THROW(
+      read_blif_string(".inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n"),
+      ParseError);
+}
+
+TEST(BlifIO, WriteReadRoundTrip) {
+  // c17 written as BLIF and re-read must compute the same functions.
+  const Netlist a = c17();
+  const Netlist b = read_blif_string(write_blif_string(a), "c17");
+  EXPECT_EQ(b.name(), "c17");
+  ASSERT_EQ(b.num_inputs(), a.num_inputs());
+  ASSERT_EQ(b.num_outputs(), a.num_outputs());
+  // Exhaustive functional equivalence over all 32 input patterns.
+  for (int m = 0; m < 32; ++m) {
+    auto eval = [&](const Netlist& nl) {
+      std::vector<bool> vals(static_cast<std::size_t>(nl.num_nodes()));
+      for (int i = 0; i < nl.num_inputs(); ++i) {
+        vals[static_cast<std::size_t>(nl.inputs()[static_cast<std::size_t>(i)])] =
+            (m >> i) & 1;
+      }
+      for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+        const Node& n = nl.node(id);
+        if (n.type == GateType::Input) continue;
+        bool in[4];
+        for (std::size_t k = 0; k < n.fanin.size(); ++k) {
+          in[k] = vals[static_cast<std::size_t>(n.fanin[k])];
+        }
+        const std::span<const bool> sp(in, n.fanin.size());
+        vals[static_cast<std::size_t>(id)] =
+            n.type == GateType::Lut ? n.lut->eval(sp) : eval_gate(n.type, sp);
+      }
+      int out = 0;
+      for (std::size_t k = 0; k < nl.outputs().size(); ++k) {
+        if (vals[static_cast<std::size_t>(nl.outputs()[k])]) out |= 1 << k;
+      }
+      return out;
+    };
+    EXPECT_EQ(eval(a), eval(b)) << "pattern " << m;
+  }
+}
+
+TEST(BlifIO, ForwardReferencesAndCycles) {
+  const char* fwd =
+      ".inputs a\n.outputs y\n.names m y\n1 1\n.names a m\n0 1\n";
+  EXPECT_EQ(read_blif_string(fwd).num_nodes(), 3);
+  const char* cyc = ".inputs a\n.outputs y\n.names y m\n1 1\n.names m y\n1 1\n";
+  EXPECT_THROW(read_blif_string(cyc), ParseError);
+}
+
+} // namespace
+} // namespace bns

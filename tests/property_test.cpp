@@ -1,0 +1,120 @@
+// Randomized cross-engine property sweeps: for random small circuits
+// and random input statistics, all exact engines must agree, and the
+// approximate ones must degrade in the documented directions.
+#include <gtest/gtest.h>
+
+#include "baselines/correlation.h"
+#include "baselines/independence.h"
+#include "bdd/bdd_estimator.h"
+#include "gen/generators.h"
+#include "lidag/estimator.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace bns {
+namespace {
+
+Netlist random_small(std::uint64_t seed, int inputs, int gates) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = inputs;
+  spec.num_outputs = std::max(1, inputs / 2);
+  spec.num_gates = gates;
+  spec.depth = std::max(3, gates / 6);
+  spec.seed = seed;
+  return random_circuit(spec, "rnd" + std::to_string(seed));
+}
+
+InputModel random_model(std::uint64_t seed, int inputs) {
+  Rng rng(seed * 7919 + 13);
+  std::vector<InputSpec> specs;
+  for (int i = 0; i < inputs; ++i) {
+    const double p = 0.15 + 0.7 * rng.uniform();
+    const double lo = rho_min(p);
+    const double rho = lo + (0.9 - lo) * rng.uniform();
+    specs.push_back({p, rho, -1, 0.0});
+  }
+  return InputModel::custom(std::move(specs));
+}
+
+class RandomCircuitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuitSweep, ExactEnginesAgree) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const int inputs = 4 + GetParam() % 4; // 4..7
+  const Netlist nl = random_small(seed, inputs, 24);
+  const InputModel m = random_model(seed, inputs);
+
+  // Three independent exact computations of every line's distribution.
+  const auto enumerated = exact_transition_dists(nl, m);
+  const BddSwitchingResult bdd = estimate_bdd_exact(nl, m);
+  ASSERT_TRUE(bdd.completed);
+  EstimatorOptions opts;
+  opts.max_segment_states = 3.2e7; // room for unlucky treewidths
+  LidagEstimator est(nl, m, opts);
+  ASSERT_TRUE(est.single_bn()); // small circuits must stay exact
+  const SwitchingEstimate bn = est.estimate(m);
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    for (int s = 0; s < 4; ++s) {
+      const double ref =
+          enumerated[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)];
+      EXPECT_NEAR(bdd.dist[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  ref, 1e-9)
+          << "bdd node " << id;
+      EXPECT_NEAR(bn.dist[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  ref, 1e-9)
+          << "bn node " << id;
+    }
+  }
+}
+
+TEST_P(RandomCircuitSweep, SegmentedBnBeatsIndependenceOnAverage) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const int inputs = 6;
+  const Netlist nl = random_small(seed + 100, inputs, 48);
+  const InputModel m = random_model(seed + 100, inputs);
+  const auto ref = exact_activities(nl, m);
+
+  EstimatorOptions opts;
+  opts.single_bn_nodes = 0;
+  opts.segment_nodes = 12; // force aggressive segmentation
+  LidagEstimator est(nl, m, opts);
+  EXPECT_GT(est.num_segments(), 1);
+  const ErrorStats bn = compute_error_stats(est.estimate(m).activities(), ref);
+  const ErrorStats indep =
+      compute_error_stats(estimate_independence(nl, m).activities(), ref);
+  // Segmented BN must never be (meaningfully) worse than dropping all
+  // spatial correlation.
+  EXPECT_LE(bn.mu_err, indep.mu_err + 1e-6) << "seed " << seed;
+}
+
+TEST_P(RandomCircuitSweep, DistributionsWellFormedEverywhere) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Netlist nl = random_small(seed + 200, 8, 80);
+  const InputModel m = random_model(seed + 200, 8);
+  EstimatorOptions opts;
+  opts.single_bn_nodes = 0;
+  opts.segment_nodes = 20;
+  LidagEstimator est(nl, m, opts);
+  const SwitchingEstimate sw = est.estimate(m);
+  const CorrelationResult pc = estimate_correlation(nl, m);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    for (const auto* dists : {&sw.dist, &pc.dist}) {
+      const auto& d = (*dists)[static_cast<std::size_t>(id)];
+      double sum = 0.0;
+      for (double v : d) {
+        EXPECT_GE(v, -1e-9);
+        sum += v;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-6);
+      // Stationarity survives inference: P(01) == P(10).
+      EXPECT_NEAR(d[T01], d[T10], 1e-6) << "node " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitSweep, ::testing::Range(1, 15));
+
+} // namespace
+} // namespace bns

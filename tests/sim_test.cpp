@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace bns {
+namespace {
+
+TEST(BernoulliWord, MatchesProbability) {
+  Rng rng(1);
+  for (double p : {0.0, 0.1, 0.25, 0.5, 0.73, 1.0}) {
+    std::uint64_t ones = 0;
+    const int words = 4000;
+    for (int i = 0; i < words; ++i) {
+      ones += static_cast<std::uint64_t>(std::popcount(bernoulli_word(rng, p)));
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / (words * 64.0), p, 0.01) << p;
+  }
+}
+
+TEST(BernoulliWord, BitsIndependentAcrossLanes) {
+  // Adjacent lanes must be uncorrelated: E[b_i b_j] ≈ p^2.
+  Rng rng(2);
+  const double p = 0.3;
+  int both = 0;
+  const int words = 20000;
+  for (int i = 0; i < words; ++i) {
+    const std::uint64_t w = bernoulli_word(rng, p);
+    both += std::popcount(w & (w >> 1));
+  }
+  EXPECT_NEAR(static_cast<double>(both) / (words * 63.0), p * p, 0.01);
+}
+
+TEST(Simulator, InputStatisticsReproduced) {
+  // A pass-through circuit exposes the generated input streams.
+  Netlist nl("wires");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.mark_output(nl.add_gate(GateType::Buf, "oa", {a}));
+  nl.mark_output(nl.add_gate(GateType::Buf, "ob", {b}));
+
+  const InputModel m = InputModel::custom({{0.7, 0.0, -1, 0.0},
+                                           {0.4, 0.5, -1, 0.0}});
+  const SimResult r = SwitchingSimulator(nl).run(m, 4'000'000, 3);
+
+  EXPECT_NEAR(r.signal_prob(a), 0.7, 3e-3);
+  const auto expect_b = transition_distribution(0.4, 0.5);
+  const auto got_b = r.transition_dist(b);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR(got_b[static_cast<std::size_t>(s)],
+                expect_b[static_cast<std::size_t>(s)], 3e-3);
+  }
+  EXPECT_NEAR(r.activity(b), activity_of(expect_b), 3e-3);
+}
+
+TEST(Simulator, GroupedInputsAreCorrelated) {
+  Netlist nl("pair");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId eq = nl.add_gate(GateType::Xnor, "eq", {a, b});
+  nl.mark_output(eq);
+
+  // Same source, 5% flips each: P(a == b) = 0.95^2 + 0.05^2 = 0.905.
+  const InputModel m = InputModel::custom(
+      {{0.5, 0.0, 0, 0.05}, {0.5, 0.0, 0, 0.05}}, {{0.5, 0.0}});
+  const SimResult r = SwitchingSimulator(nl).run(m, 4'000'000, 5);
+  EXPECT_NEAR(r.signal_prob(eq), 0.905, 3e-3);
+}
+
+TEST(Simulator, TransitionCountsSumToSamples) {
+  const Netlist nl = c17();
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const SimResult r = SwitchingSimulator(nl).run(m, 100'000, 9);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const auto& c = r.counts(id);
+    EXPECT_EQ(c[0] + c[1] + c[2] + c[3], r.num_samples());
+  }
+}
+
+TEST(Simulator, DeterministicInSeed) {
+  const Netlist nl = c17();
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  const SimResult r1 = SwitchingSimulator(nl).run(m, 100'000, 42);
+  const SimResult r2 = SwitchingSimulator(nl).run(m, 100'000, 42);
+  const SimResult r3 = SwitchingSimulator(nl).run(m, 100'000, 43);
+  bool any_diff = false;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    EXPECT_EQ(r1.counts(id), r2.counts(id));
+    any_diff |= r1.counts(id) != r3.counts(id);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Simulator, MatchesExactEnumerationOnC17) {
+  const Netlist nl = c17();
+  std::vector<InputSpec> specs;
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    specs.push_back({0.25 + 0.1 * i, 0.1 * i, -1, 0.0});
+  }
+  const InputModel m = InputModel::custom(specs);
+  const auto exact = exact_transition_dists(nl, m);
+  const SimResult r = SwitchingSimulator(nl).run(m, 8'000'000, 17);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const auto got = r.transition_dist(id);
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(s)],
+                  exact[static_cast<std::size_t>(id)][static_cast<std::size_t>(s)],
+                  2e-3)
+          << "node " << id << " state " << s;
+    }
+  }
+}
+
+TEST(Simulator, LutCircuit) {
+  // A LUT implementing a 2:1 mux must behave like its gate equivalent.
+  Netlist nl("lutmux");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId s = nl.add_input("s");
+  TruthTable mux(3); // inputs a(bit0), b(bit1), s(bit2): out = s ? b : a
+  for (std::uint64_t mt = 0; mt < 8; ++mt) {
+    const bool av = mt & 1;
+    const bool bv = mt & 2;
+    const bool sv = mt & 4;
+    mux.set_value(mt, sv ? bv : av);
+  }
+  nl.mark_output(nl.add_lut("y", {a, b, s}, mux));
+
+  const InputModel m = InputModel::uniform(3, 0.5, 0.0);
+  const auto exact = exact_activities(nl, m);
+  const SimResult r = SwitchingSimulator(nl).run(m, 2'000'000, 23);
+  EXPECT_NEAR(r.activity(nl.find("y")), exact.back(), 3e-3);
+}
+
+TEST(ExactEnumeration, KnownSingleGateValues) {
+  // AND of two independent equiprobable inputs: P(y=1) = 1/4 at each
+  // time; activity = 2 * 1/4 * 3/4 = 0.375.
+  Netlist nl("and2");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId y = nl.add_gate(GateType::And, "y", {a, b});
+  nl.mark_output(y);
+  const auto act = exact_activities(nl, InputModel::uniform(2));
+  EXPECT_NEAR(act[static_cast<std::size_t>(y)], 0.375, 1e-12);
+  // XOR stays equiprobable: activity 0.5.
+  Netlist nx("xor2");
+  const NodeId xa = nx.add_input("a");
+  const NodeId xb = nx.add_input("b");
+  const NodeId xy = nx.add_gate(GateType::Xor, "y", {xa, xb});
+  nx.mark_output(xy);
+  EXPECT_NEAR(exact_activities(nx, InputModel::uniform(2))
+                  [static_cast<std::size_t>(xy)],
+              0.5, 1e-12);
+}
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,60 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "util/rng.h"
+
+namespace bns::testing_helpers {
+
+// Random discrete BN: `n` variables in topological id order, each with
+// up to `max_parents` parents drawn from earlier variables and a random
+// strictly-positive CPT. Cardinalities in [2, max_card].
+inline BayesianNetwork random_bayes_net(int n, int max_parents, int max_card,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  BayesianNetwork bn;
+  for (VarId v = 0; v < n; ++v) {
+    bn.add_variable("v" + std::to_string(v),
+                    2 + static_cast<int>(rng.below(static_cast<std::uint64_t>(max_card - 1))));
+  }
+  for (VarId v = 0; v < n; ++v) {
+    std::vector<VarId> parents;
+    const int k = v == 0 ? 0
+                         : static_cast<int>(rng.below(
+                               static_cast<std::uint64_t>(
+                                   std::min(max_parents, static_cast<int>(v)) + 1)));
+    while (static_cast<int>(parents.size()) < k) {
+      const VarId p = static_cast<VarId>(rng.below(static_cast<std::uint64_t>(v)));
+      bool dup = false;
+      for (VarId q : parents) dup |= q == p;
+      if (!dup) parents.push_back(p);
+    }
+    std::vector<VarId> scope = parents;
+    scope.push_back(v);
+    std::sort(scope.begin(), scope.end());
+    std::vector<int> cards;
+    for (VarId u : scope) cards.push_back(bn.cardinality(u));
+    Factor cpt(scope, cards);
+    for (std::size_t i = 0; i < cpt.size(); ++i) {
+      cpt.set_value(i, rng.uniform() + 0.05);
+    }
+    // Normalize each column over v.
+    Factor denom = cpt.sum_out(v);
+    // Divide columns: expand denom back over the scope.
+    std::vector<int> st(scope.size());
+    for (std::size_t i = 0; i < cpt.size(); ++i) {
+      cpt.states_of(i, st);
+      std::vector<int> pst;
+      for (std::size_t kk = 0; kk < scope.size(); ++kk) {
+        if (scope[kk] != v) pst.push_back(st[kk]);
+      }
+      cpt.set_value(i, cpt.value(i) / denom.at(pst));
+    }
+    bn.set_cpt(v, parents, std::move(cpt));
+  }
+  return bn;
+}
+
+} // namespace bns::testing_helpers

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace bns {
+namespace {
+
+// --- Rng -------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(3);
+  int counts[7] = {};
+  for (int i = 0; i < 70000; ++i) ++counts[rng.below(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(13);
+  const double w[3] = {1.0, 2.0, 7.0};
+  int counts[3] = {};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.weighted(w, 3)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.7, 0.01);
+}
+
+TEST(Rng, WeightedZeroWeightNeverDrawn) {
+  Rng rng(17);
+  const double w[3] = {1.0, 0.0, 1.0};
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(rng.weighted(w, 3), 1);
+}
+
+// --- RunningStats ------------------------------------------------------
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const double xs[] = {1.5, -2.0, 0.0, 4.25, 3.0, -1.0};
+  RunningStats s;
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / 6.0;
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), m2 / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.25);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+  EXPECT_EQ(s.count(), 6u);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(19);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10 - 5;
+    all.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(ErrorStats, MatchesPaperDefinition) {
+  const double est[] = {0.5, 0.3, 0.1};
+  const double ref[] = {0.4, 0.3, 0.3};
+  const ErrorStats e = compute_error_stats(est, ref);
+  // |errors| = {0.1, 0.0, 0.2}
+  EXPECT_NEAR(e.mu_err, 0.1, 1e-12);
+  EXPECT_NEAR(e.max_err, 0.2, 1e-12);
+  // mean(est) = 0.3, mean(ref) = 1/3 -> pct = |0.3 - 1/3|/(1/3)*100 = 10
+  EXPECT_NEAR(e.pct_err, 10.0, 1e-9);
+  EXPECT_EQ(e.n, 3u);
+}
+
+TEST(ErrorStats, ZeroReferenceMeanGivesZeroPct) {
+  const double est[] = {0.1};
+  const double ref[] = {0.0};
+  EXPECT_DOUBLE_EQ(compute_error_stats(est, ref).pct_err, 0.0);
+}
+
+// --- strings -----------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a, b ,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = split_ws("  one\ttwo   three ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("NaNd", "nAnD"));
+  EXPECT_FALSE(iequals("nand", "nands"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%.2f", 1.0 / 3.0), "0.33");
+}
+
+// --- Table -------------------------------------------------------------
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+// --- Timer -------------------------------------------------------------
+
+TEST(Timer, MonotoneAndRestartable) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  t.restart();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+} // namespace
+} // namespace bns

@@ -1,0 +1,304 @@
+// bns — command-line front end to the switching-activity library.
+//
+//   bns stats    <circuit>                     netlist statistics
+//   bns estimate <circuit> [options]           per-line switching activity
+//   bns compare  <circuit> [options]           all estimators vs simulation
+//   bns power    <circuit> [options]           dynamic power report
+//   bns convert  <in> <out>                    .bench <-> .blif conversion
+//   bns list                                   the built-in benchmark suite
+//
+// <circuit> is a built-in suite name (see `bns list`) or a path ending
+// in .bench or .blif. Common options:
+//   --p <v>          input signal probability        (default 0.5)
+//   --rho <v>        input lag-1 temporal correlation (default 0)
+//   --method <m>     estimate with bn|independence|density|paircorr|bdd
+//   --sim-pairs <n>  simulation sample budget for `compare`
+//   --csv            machine-readable output
+//   --top <n>        only the n most active lines for `estimate`
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/correlation.h"
+#include "baselines/independence.h"
+#include "baselines/local_bdd.h"
+#include "baselines/monte_carlo.h"
+#include "baselines/transition_density.h"
+#include "bdd/bdd_estimator.h"
+#include "core/analyzer.h"
+#include "core/experiment.h"
+#include "gen/benchmarks.h"
+#include "netlist/bench_io.h"
+#include "netlist/blif_io.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace bns {
+namespace {
+
+struct Options {
+  double p = 0.5;
+  double rho = 0.0;
+  std::string method = "bn";
+  std::uint64_t sim_pairs = 1 << 21;
+  bool csv = false;
+  int top = 0;
+  std::vector<std::string> positional;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr, "%s", R"(usage:
+  bns stats    <circuit>
+  bns estimate <circuit> [--p V] [--rho V] [--method bn|independence|density|paircorr|bdd|localbdd|montecarlo] [--top N] [--csv]
+  bns compare  <circuit> [--p V] [--rho V] [--sim-pairs N] [--csv]
+  bns power    <circuit> [--p V] [--rho V]
+  bns convert  <in.bench|in.blif> <out.bench|out.blif>
+  bns list
+<circuit> = built-in name (see `bns list`) or path to .bench/.blif
+)");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--p") {
+      o.p = std::stod(next());
+    } else if (a == "--rho") {
+      o.rho = std::stod(next());
+    } else if (a == "--method") {
+      o.method = next();
+    } else if (a == "--sim-pairs") {
+      o.sim_pairs = std::stoull(next());
+    } else if (a == "--top") {
+      o.top = std::stoi(next());
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (!a.empty() && a[0] == '-') {
+      usage();
+    } else {
+      o.positional.push_back(a);
+    }
+  }
+  return o;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Netlist load_circuit(const std::string& spec) {
+  if (ends_with(spec, ".bench")) return read_bench_file(spec);
+  if (ends_with(spec, ".blif")) return read_blif_file(spec);
+  return make_benchmark(spec);
+}
+
+int cmd_list() {
+  Table t({"name", "family", "origin", "PIs", "POs", "gates(published)"});
+  for (const BenchmarkInfo& b : benchmark_suite()) {
+    t.add_row({b.name, b.family, b.origin, std::to_string(b.paper_inputs),
+               std::to_string(b.paper_outputs),
+               std::to_string(b.paper_gates)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_stats(const Options& o) {
+  const Netlist nl = load_circuit(o.positional.at(0));
+  const NetlistStats s = compute_stats(nl);
+  std::printf("circuit      %s\n", nl.name().c_str());
+  std::printf("inputs       %d\n", s.num_inputs);
+  std::printf("outputs      %d\n", s.num_outputs);
+  std::printf("gates        %d\n", s.num_gates);
+  std::printf("lines        %d\n", s.num_nodes);
+  std::printf("depth        %d\n", s.depth);
+  std::printf("max fanin    %d\n", s.max_fanin);
+  std::printf("avg fanin    %.2f\n", s.avg_fanin);
+  std::printf("max fanout   %d\n", s.max_fanout);
+  std::printf("branch nets  %d\n", s.reconvergent_nodes);
+  return 0;
+}
+
+std::vector<std::array<double, 4>> run_method(const Netlist& nl,
+                                              const InputModel& m,
+                                              const std::string& method,
+                                              double& seconds) {
+  if (method == "bn") {
+    LidagEstimator est(nl, m);
+    const SwitchingEstimate sw = est.estimate(m);
+    seconds = est.compile_seconds() + sw.propagate_seconds;
+    return sw.dist;
+  }
+  if (method == "independence") {
+    const IndependenceResult r = estimate_independence(nl, m);
+    seconds = r.seconds;
+    return r.dist;
+  }
+  if (method == "density") {
+    const TransitionDensityResult r = estimate_transition_density(nl, m);
+    seconds = r.seconds;
+    std::vector<std::array<double, 4>> dist(r.density.size());
+    for (std::size_t i = 0; i < r.density.size(); ++i) {
+      const double a = std::min(1.0, r.density[i]) / 2.0;
+      const double p1 = r.signal_prob[i];
+      dist[i] = {std::max(0.0, 1 - p1 - a), a, a, std::max(0.0, p1 - a)};
+    }
+    return dist;
+  }
+  if (method == "paircorr") {
+    const CorrelationResult r = estimate_correlation(nl, m);
+    seconds = r.seconds;
+    return r.dist;
+  }
+  if (method == "montecarlo") {
+    const MonteCarloResult r = estimate_monte_carlo(nl, m);
+    seconds = r.seconds;
+    return r.dist;
+  }
+  if (method == "localbdd") {
+    const LocalBddResult r = estimate_local_bdd(nl, m);
+    seconds = r.seconds;
+    return r.dist;
+  }
+  if (method == "bdd") {
+    const BddSwitchingResult r = estimate_bdd_exact(nl, m);
+    seconds = r.seconds;
+    if (!r.completed) {
+      throw std::runtime_error(
+          "exact BDD estimation exceeded the node budget on this circuit");
+    }
+    return r.dist;
+  }
+  throw std::runtime_error("unknown method: " + method);
+}
+
+int cmd_estimate(const Options& o) {
+  const Netlist nl = load_circuit(o.positional.at(0));
+  const InputModel m = InputModel::uniform(nl.num_inputs(), o.p, o.rho);
+  double seconds = 0.0;
+  const auto dist = run_method(nl, m, o.method, seconds);
+
+  std::vector<NodeId> order(static_cast<std::size_t>(nl.num_nodes()));
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) order[static_cast<std::size_t>(id)] = id;
+  if (o.top > 0) {
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return activity_of(dist[static_cast<std::size_t>(a)]) >
+             activity_of(dist[static_cast<std::size_t>(b)]);
+    });
+    order.resize(std::min<std::size_t>(order.size(), static_cast<std::size_t>(o.top)));
+  }
+
+  Table t({"line", "activity", "P00", "P01", "P10", "P11"});
+  double total = 0.0;
+  for (const auto& d : dist) total += activity_of(d);
+  for (NodeId id : order) {
+    const auto& d = dist[static_cast<std::size_t>(id)];
+    t.add_row({nl.node(id).name, strformat("%.5f", activity_of(d)),
+               strformat("%.5f", d[0]), strformat("%.5f", d[1]),
+               strformat("%.5f", d[2]), strformat("%.5f", d[3])});
+  }
+  if (o.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+    std::printf("\nmethod=%s  avg activity=%.5f  time=%.3fs\n",
+                o.method.c_str(), total / nl.num_nodes(), seconds);
+  }
+  return 0;
+}
+
+int cmd_compare(const Options& o) {
+  const Netlist nl = load_circuit(o.positional.at(0));
+  ExperimentConfig cfg;
+  cfg.sim_pairs = o.sim_pairs;
+  const ExperimentResult r = run_experiment(
+      nl, cfg, InputModel::uniform(nl.num_inputs(), o.p, o.rho));
+  Table t({"method", "muErr", "sigErr", "%Err", "maxErr", "time(s)"});
+  for (const MethodResult& mr : r.methods) {
+    t.add_row({mr.method, strformat("%.5f", mr.err.mu_err),
+               strformat("%.5f", mr.err.sigma_err),
+               strformat("%.3f", mr.err.pct_err),
+               strformat("%.4f", mr.err.max_err),
+               strformat("%.3f", mr.seconds + mr.extra_seconds)});
+  }
+  if (o.csv) {
+    t.print_csv(std::cout);
+  } else {
+    std::printf("circuit %s: %d lines, ground truth = %llu simulated pairs "
+                "(%.2fs), avg activity %.4f\n\n",
+                nl.name().c_str(), r.stats.num_nodes,
+                static_cast<unsigned long long>(cfg.sim_pairs), r.sim_seconds,
+                r.sim_avg_activity);
+    t.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_power(const Options& o) {
+  const Netlist nl = load_circuit(o.positional.at(0));
+  SwitchingAnalyzer an(nl, {},
+                       InputModel::uniform(nl.num_inputs(), o.p, o.rho));
+  const SwitchingEstimate est = an.estimate();
+  std::printf("circuit %s  (p=%.2f rho=%.2f)\n", nl.name().c_str(), o.p,
+              o.rho);
+  std::printf("avg switching activity  %.5f\n", est.average_activity());
+  std::printf("dynamic power           %.3f uW @ 1.8V, 100MHz\n",
+              an.dynamic_power_watts(est) * 1e6);
+  std::printf("compile %.3fs (%d segment BNs), update %.3f ms\n",
+              an.estimator().compile_seconds(), an.estimator().num_segments(),
+              est.propagate_seconds * 1e3);
+  return 0;
+}
+
+int cmd_convert(const Options& o) {
+  const Netlist nl = load_circuit(o.positional.at(0));
+  const std::string& out = o.positional.at(1);
+  if (ends_with(out, ".bench")) {
+    write_bench_file(nl, out);
+  } else if (ends_with(out, ".blif")) {
+    write_blif_file(nl, out);
+  } else {
+    throw std::runtime_error("output must end in .bench or .blif");
+  }
+  std::printf("wrote %s (%d lines)\n", out.c_str(), nl.num_nodes());
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Options o = parse(argc, argv);
+  if (cmd == "list") return cmd_list();
+  if (o.positional.empty()) usage();
+  if (cmd == "stats") return cmd_stats(o);
+  if (cmd == "estimate") return cmd_estimate(o);
+  if (cmd == "compare") return cmd_compare(o);
+  if (cmd == "power") return cmd_power(o);
+  if (cmd == "convert") {
+    if (o.positional.size() < 2) usage();
+    return cmd_convert(o);
+  }
+  usage();
+}
+
+} // namespace
+} // namespace bns
+
+int main(int argc, char** argv) {
+  try {
+    return bns::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
