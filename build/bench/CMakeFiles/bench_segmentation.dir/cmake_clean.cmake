@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segmentation.dir/bench_segmentation.cpp.o"
+  "CMakeFiles/bench_segmentation.dir/bench_segmentation.cpp.o.d"
+  "bench_segmentation"
+  "bench_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_queries.dir/conditional_queries.cpp.o"
+  "CMakeFiles/conditional_queries.dir/conditional_queries.cpp.o.d"
+  "conditional_queries"
+  "conditional_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlated_inputs.dir/correlated_inputs.cpp.o"
+  "CMakeFiles/correlated_inputs.dir/correlated_inputs.cpp.o.d"
+  "correlated_inputs"
+  "correlated_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlated_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

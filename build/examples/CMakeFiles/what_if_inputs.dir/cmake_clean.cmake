@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_inputs.dir/what_if_inputs.cpp.o"
+  "CMakeFiles/what_if_inputs.dir/what_if_inputs.cpp.o.d"
+  "what_if_inputs"
+  "what_if_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/correlation.cpp" "src/baselines/CMakeFiles/bns_baselines.dir/correlation.cpp.o" "gcc" "src/baselines/CMakeFiles/bns_baselines.dir/correlation.cpp.o.d"
+  "/root/repo/src/baselines/independence.cpp" "src/baselines/CMakeFiles/bns_baselines.dir/independence.cpp.o" "gcc" "src/baselines/CMakeFiles/bns_baselines.dir/independence.cpp.o.d"
+  "/root/repo/src/baselines/local_bdd.cpp" "src/baselines/CMakeFiles/bns_baselines.dir/local_bdd.cpp.o" "gcc" "src/baselines/CMakeFiles/bns_baselines.dir/local_bdd.cpp.o.d"
+  "/root/repo/src/baselines/monte_carlo.cpp" "src/baselines/CMakeFiles/bns_baselines.dir/monte_carlo.cpp.o" "gcc" "src/baselines/CMakeFiles/bns_baselines.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/baselines/transition_density.cpp" "src/baselines/CMakeFiles/bns_baselines.dir/transition_density.cpp.o" "gcc" "src/baselines/CMakeFiles/bns_baselines.dir/transition_density.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/bns_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/bns_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

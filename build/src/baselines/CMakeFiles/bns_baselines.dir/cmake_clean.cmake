@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_baselines.dir/correlation.cpp.o"
+  "CMakeFiles/bns_baselines.dir/correlation.cpp.o.d"
+  "CMakeFiles/bns_baselines.dir/independence.cpp.o"
+  "CMakeFiles/bns_baselines.dir/independence.cpp.o.d"
+  "CMakeFiles/bns_baselines.dir/local_bdd.cpp.o"
+  "CMakeFiles/bns_baselines.dir/local_bdd.cpp.o.d"
+  "CMakeFiles/bns_baselines.dir/monte_carlo.cpp.o"
+  "CMakeFiles/bns_baselines.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/bns_baselines.dir/transition_density.cpp.o"
+  "CMakeFiles/bns_baselines.dir/transition_density.cpp.o.d"
+  "libbns_baselines.a"
+  "libbns_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/bdd.cpp" "src/bdd/CMakeFiles/bns_bdd.dir/bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/bns_bdd.dir/bdd.cpp.o.d"
+  "/root/repo/src/bdd/bdd_estimator.cpp" "src/bdd/CMakeFiles/bns_bdd.dir/bdd_estimator.cpp.o" "gcc" "src/bdd/CMakeFiles/bns_bdd.dir/bdd_estimator.cpp.o.d"
+  "/root/repo/src/bdd/circuit_bdd.cpp" "src/bdd/CMakeFiles/bns_bdd.dir/circuit_bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/bns_bdd.dir/circuit_bdd.cpp.o.d"
+  "/root/repo/src/bdd/pair_prob.cpp" "src/bdd/CMakeFiles/bns_bdd.dir/pair_prob.cpp.o" "gcc" "src/bdd/CMakeFiles/bns_bdd.dir/pair_prob.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/bns_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/bns_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/bns_bdd.dir/bdd_estimator.cpp.o"
+  "CMakeFiles/bns_bdd.dir/bdd_estimator.cpp.o.d"
+  "CMakeFiles/bns_bdd.dir/circuit_bdd.cpp.o"
+  "CMakeFiles/bns_bdd.dir/circuit_bdd.cpp.o.d"
+  "CMakeFiles/bns_bdd.dir/pair_prob.cpp.o"
+  "CMakeFiles/bns_bdd.dir/pair_prob.cpp.o.d"
+  "libbns_bdd.a"
+  "libbns_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

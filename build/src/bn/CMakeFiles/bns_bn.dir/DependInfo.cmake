@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/bayes_net.cpp" "src/bn/CMakeFiles/bns_bn.dir/bayes_net.cpp.o" "gcc" "src/bn/CMakeFiles/bns_bn.dir/bayes_net.cpp.o.d"
+  "/root/repo/src/bn/exact.cpp" "src/bn/CMakeFiles/bns_bn.dir/exact.cpp.o" "gcc" "src/bn/CMakeFiles/bns_bn.dir/exact.cpp.o.d"
+  "/root/repo/src/bn/factor.cpp" "src/bn/CMakeFiles/bns_bn.dir/factor.cpp.o" "gcc" "src/bn/CMakeFiles/bns_bn.dir/factor.cpp.o.d"
+  "/root/repo/src/bn/graph.cpp" "src/bn/CMakeFiles/bns_bn.dir/graph.cpp.o" "gcc" "src/bn/CMakeFiles/bns_bn.dir/graph.cpp.o.d"
+  "/root/repo/src/bn/junction_tree.cpp" "src/bn/CMakeFiles/bns_bn.dir/junction_tree.cpp.o" "gcc" "src/bn/CMakeFiles/bns_bn.dir/junction_tree.cpp.o.d"
+  "/root/repo/src/bn/shenoy_shafer.cpp" "src/bn/CMakeFiles/bns_bn.dir/shenoy_shafer.cpp.o" "gcc" "src/bn/CMakeFiles/bns_bn.dir/shenoy_shafer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_bn.dir/bayes_net.cpp.o"
+  "CMakeFiles/bns_bn.dir/bayes_net.cpp.o.d"
+  "CMakeFiles/bns_bn.dir/exact.cpp.o"
+  "CMakeFiles/bns_bn.dir/exact.cpp.o.d"
+  "CMakeFiles/bns_bn.dir/factor.cpp.o"
+  "CMakeFiles/bns_bn.dir/factor.cpp.o.d"
+  "CMakeFiles/bns_bn.dir/graph.cpp.o"
+  "CMakeFiles/bns_bn.dir/graph.cpp.o.d"
+  "CMakeFiles/bns_bn.dir/junction_tree.cpp.o"
+  "CMakeFiles/bns_bn.dir/junction_tree.cpp.o.d"
+  "CMakeFiles/bns_bn.dir/shenoy_shafer.cpp.o"
+  "CMakeFiles/bns_bn.dir/shenoy_shafer.cpp.o.d"
+  "libbns_bn.a"
+  "libbns_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

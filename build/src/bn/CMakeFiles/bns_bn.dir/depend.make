@@ -1,0 +1,2 @@
+# Empty dependencies file for bns_bn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/bns_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/bns_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/bns_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/bns_core.dir/experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lidag/CMakeFiles/bns_lidag.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bns_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/bns_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/bns_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/bns_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_core.dir/analyzer.cpp.o"
+  "CMakeFiles/bns_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/bns_core.dir/experiment.cpp.o"
+  "CMakeFiles/bns_core.dir/experiment.cpp.o.d"
+  "libbns_core.a"
+  "libbns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_gen.dir/benchmarks.cpp.o"
+  "CMakeFiles/bns_gen.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/bns_gen.dir/circuits.cpp.o"
+  "CMakeFiles/bns_gen.dir/circuits.cpp.o.d"
+  "CMakeFiles/bns_gen.dir/generators.cpp.o"
+  "CMakeFiles/bns_gen.dir/generators.cpp.o.d"
+  "libbns_gen.a"
+  "libbns_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

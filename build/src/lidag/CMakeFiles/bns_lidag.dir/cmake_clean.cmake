@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_lidag.dir/estimator.cpp.o"
+  "CMakeFiles/bns_lidag.dir/estimator.cpp.o.d"
+  "CMakeFiles/bns_lidag.dir/gate_cpt.cpp.o"
+  "CMakeFiles/bns_lidag.dir/gate_cpt.cpp.o.d"
+  "CMakeFiles/bns_lidag.dir/lidag.cpp.o"
+  "CMakeFiles/bns_lidag.dir/lidag.cpp.o.d"
+  "libbns_lidag.a"
+  "libbns_lidag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_lidag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bns_lidag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/bns_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/bns_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/blif_io.cpp" "src/netlist/CMakeFiles/bns_netlist.dir/blif_io.cpp.o" "gcc" "src/netlist/CMakeFiles/bns_netlist.dir/blif_io.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/netlist/CMakeFiles/bns_netlist.dir/gate.cpp.o" "gcc" "src/netlist/CMakeFiles/bns_netlist.dir/gate.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/bns_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/bns_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/transforms.cpp" "src/netlist/CMakeFiles/bns_netlist.dir/transforms.cpp.o" "gcc" "src/netlist/CMakeFiles/bns_netlist.dir/transforms.cpp.o.d"
+  "/root/repo/src/netlist/truth_table.cpp" "src/netlist/CMakeFiles/bns_netlist.dir/truth_table.cpp.o" "gcc" "src/netlist/CMakeFiles/bns_netlist.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

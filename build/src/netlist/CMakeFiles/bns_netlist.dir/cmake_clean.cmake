@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/bns_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/bns_netlist.dir/blif_io.cpp.o"
+  "CMakeFiles/bns_netlist.dir/blif_io.cpp.o.d"
+  "CMakeFiles/bns_netlist.dir/gate.cpp.o"
+  "CMakeFiles/bns_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/bns_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/bns_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/bns_netlist.dir/transforms.cpp.o"
+  "CMakeFiles/bns_netlist.dir/transforms.cpp.o.d"
+  "CMakeFiles/bns_netlist.dir/truth_table.cpp.o"
+  "CMakeFiles/bns_netlist.dir/truth_table.cpp.o.d"
+  "libbns_netlist.a"
+  "libbns_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

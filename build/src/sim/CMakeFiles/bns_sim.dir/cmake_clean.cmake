@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_sim.dir/input_model.cpp.o"
+  "CMakeFiles/bns_sim.dir/input_model.cpp.o.d"
+  "CMakeFiles/bns_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bns_sim.dir/simulator.cpp.o.d"
+  "libbns_sim.a"
+  "libbns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_util.dir/assert.cpp.o"
+  "CMakeFiles/bns_util.dir/assert.cpp.o.d"
+  "CMakeFiles/bns_util.dir/rng.cpp.o"
+  "CMakeFiles/bns_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bns_util.dir/stats.cpp.o"
+  "CMakeFiles/bns_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bns_util.dir/strings.cpp.o"
+  "CMakeFiles/bns_util.dir/strings.cpp.o.d"
+  "CMakeFiles/bns_util.dir/table.cpp.o"
+  "CMakeFiles/bns_util.dir/table.cpp.o.d"
+  "CMakeFiles/bns_util.dir/timer.cpp.o"
+  "CMakeFiles/bns_util.dir/timer.cpp.o.d"
+  "libbns_util.a"
+  "libbns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

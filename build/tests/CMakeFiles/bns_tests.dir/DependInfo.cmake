@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/bns_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/bayes_net_test.cpp" "tests/CMakeFiles/bns_tests.dir/bayes_net_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/bayes_net_test.cpp.o.d"
+  "/root/repo/tests/bdd_test.cpp" "tests/CMakeFiles/bns_tests.dir/bdd_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/bdd_test.cpp.o.d"
+  "/root/repo/tests/benchmarks_test.cpp" "tests/CMakeFiles/bns_tests.dir/benchmarks_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/benchmarks_test.cpp.o.d"
+  "/root/repo/tests/estimator_test.cpp" "tests/CMakeFiles/bns_tests.dir/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/estimator_test.cpp.o.d"
+  "/root/repo/tests/extra_baselines_test.cpp" "tests/CMakeFiles/bns_tests.dir/extra_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/extra_baselines_test.cpp.o.d"
+  "/root/repo/tests/factor_test.cpp" "tests/CMakeFiles/bns_tests.dir/factor_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/factor_test.cpp.o.d"
+  "/root/repo/tests/gate_cpt_test.cpp" "tests/CMakeFiles/bns_tests.dir/gate_cpt_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/gate_cpt_test.cpp.o.d"
+  "/root/repo/tests/gate_test.cpp" "tests/CMakeFiles/bns_tests.dir/gate_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/gate_test.cpp.o.d"
+  "/root/repo/tests/generators2_test.cpp" "tests/CMakeFiles/bns_tests.dir/generators2_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/generators2_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/bns_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/input_model_test.cpp" "tests/CMakeFiles/bns_tests.dir/input_model_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/input_model_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/bns_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/junction_tree_test.cpp" "tests/CMakeFiles/bns_tests.dir/junction_tree_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/junction_tree_test.cpp.o.d"
+  "/root/repo/tests/lidag_test.cpp" "tests/CMakeFiles/bns_tests.dir/lidag_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/lidag_test.cpp.o.d"
+  "/root/repo/tests/netlist_test.cpp" "tests/CMakeFiles/bns_tests.dir/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/netlist_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/bns_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/shenoy_shafer_test.cpp" "tests/CMakeFiles/bns_tests.dir/shenoy_shafer_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/shenoy_shafer_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/bns_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/bns_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/transforms_test.cpp" "tests/CMakeFiles/bns_tests.dir/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/transforms_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/bns_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/bns_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lidag/CMakeFiles/bns_lidag.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bns_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/bns_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/bns_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/bns_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/bns_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bns_cli.dir/bns_cli.cpp.o"
+  "CMakeFiles/bns_cli.dir/bns_cli.cpp.o.d"
+  "bns"
+  "bns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bns_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
