@@ -1,6 +1,7 @@
 #include "bn/bayes_net.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.h"
 #include "util/strings.h"
@@ -97,12 +98,13 @@ std::vector<VarId> BayesianNetwork::topological_order() const {
   return order;
 }
 
-std::string BayesianNetwork::validate(double tol) const {
+void BayesianNetwork::lint_into(DiagnosticReport& report, double tol) const {
   const int n = num_variables();
   for (VarId v = 0; v < n; ++v) {
     if (!has_cpt_[static_cast<std::size_t>(v)]) {
-      return strformat("variable %d (%s) has no CPT", v,
-                       names_[static_cast<std::size_t>(v)].c_str());
+      report.add(DiagCode::BN001, names_[static_cast<std::size_t>(v)],
+                 strformat("variable %d (%s) has no CPT", v,
+                           names_[static_cast<std::size_t>(v)].c_str()));
     }
   }
 
@@ -124,20 +126,69 @@ std::string BayesianNetwork::validate(double tol) const {
         if (--indeg[static_cast<std::size_t>(c)] == 0) queue.push_back(c);
       }
     }
-    if (seen != static_cast<std::size_t>(n)) return "parent graph has a cycle";
+    if (seen != static_cast<std::size_t>(n)) {
+      report.add(DiagCode::BN002, "", "parent graph has a cycle");
+    }
   }
 
-  // CPT normalization: for each parent configuration, sum over v == 1.
   for (VarId v = 0; v < n; ++v) {
+    if (!has_cpt_[static_cast<std::size_t>(v)]) continue;
+    const std::string& vname = names_[static_cast<std::size_t>(v)];
     const Factor& f = cpts_[static_cast<std::size_t>(v)];
-    const Factor s = f.sum_out(v);
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      if (std::abs(s.value(i) - 1.0) > tol) {
-        return strformat(
-            "CPT of variable %d (%s) does not normalize (config %zu: %g)", v,
-            names_[static_cast<std::size_t>(v)].c_str(), i, s.value(i));
+
+    // Family/factor domain consistency: scope is {v} ∪ parents with the
+    // declared cardinalities. set_cpt() enforces this, but a checker
+    // must not trust the builder it is checking.
+    std::vector<VarId> scope = parents_[static_cast<std::size_t>(v)];
+    scope.push_back(v);
+    std::sort(scope.begin(), scope.end());
+    bool domain_ok = scope == f.vars();
+    for (std::size_t k = 0; domain_ok && k < scope.size(); ++k) {
+      domain_ok = f.cards()[k] == cardinality(scope[k]);
+    }
+    if (!domain_ok) {
+      report.add(DiagCode::BN006, vname,
+                 strformat("CPT of variable %d (%s) does not match its "
+                           "declared family's scope/cardinalities",
+                           v, vname.c_str()));
+      continue;
+    }
+
+    // Entry validity (finite, non-negative).
+    bool entries_ok = true;
+    for (std::size_t i = 0; entries_ok && i < f.size(); ++i) {
+      const double p = f.value(i);
+      if (!std::isfinite(p) || p < 0.0) {
+        report.add(DiagCode::BN008, vname,
+                   strformat("CPT of variable %d (%s) has invalid entry "
+                             "%zu: %g",
+                             v, vname.c_str(), i, p));
+        entries_ok = false;
       }
     }
+    if (!entries_ok) continue;
+
+    // Normalization: for each parent configuration, sum over v == 1.
+    // A parentless variable's CPT is its prior (BN005), otherwise BN003.
+    const Factor s = f.sum_out(v);
+    const bool is_root = parents_[static_cast<std::size_t>(v)].empty();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (std::abs(s.value(i) - 1.0) > tol) {
+        report.add(is_root ? DiagCode::BN005 : DiagCode::BN003, vname,
+                   strformat("CPT of variable %d (%s) does not normalize "
+                             "(config %zu: %g)",
+                             v, vname.c_str(), i, s.value(i)));
+        break;
+      }
+    }
+  }
+}
+
+std::string BayesianNetwork::validate(double tol) const {
+  DiagnosticReport report;
+  lint_into(report, tol);
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity == Severity::Error) return d.message;
   }
   return "";
 }

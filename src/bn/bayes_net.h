@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bn/factor.h"
+#include "verify/diagnostics.h"
 
 namespace bns {
 
@@ -36,9 +37,15 @@ class BayesianNetwork {
   // A topological order of the DAG. Precondition: validate() passes.
   std::vector<VarId> topological_order() const;
 
-  // Checks: every variable has a CPT, scopes are consistent, the parent
-  // graph is acyclic, and all CPT columns sum to 1 (within tol).
-  // Returns an empty string if valid, else a diagnostic.
+  // Structural/numerical lint into the diagnostics engine: every
+  // variable has a CPT (BN001), the parent graph is acyclic (BN002),
+  // CPT columns sum to 1 within tol (BN003, or BN005 for parentless
+  // roots), declared families match factor scopes (BN006), and entries
+  // are finite and non-negative (BN008).
+  void lint_into(DiagnosticReport& report, double tol = 1e-9) const;
+
+  // Legacy wrapper over lint_into(): returns an empty string if valid,
+  // else the first error's message.
   std::string validate(double tol = 1e-9) const;
 
   // Joint probability of a full assignment (states indexed by VarId) —

@@ -125,32 +125,43 @@ int JunctionTree::clique_containing_all(std::span<const int> vs) const {
   return best;
 }
 
-std::string JunctionTree::check_running_intersection() const {
+void lint_running_intersection(std::span<const std::vector<int>> cliques,
+                               std::span<const JunctionTreeEdge> edges,
+                               DiagnosticReport& report) {
   // For each variable: the induced subgraph of cliques containing it
   // must be connected in the tree. Count cliques containing v and edges
   // whose separator contains v: connected subtree <=> #edges = #cliques-1.
   int max_var = -1;
-  for (const auto& c : cliques_) {
+  for (const auto& c : cliques) {
     for (int v : c) max_var = std::max(max_var, v);
   }
   for (int v = 0; v <= max_var; ++v) {
     int n_cl = 0;
-    for (const auto& c : cliques_) {
+    for (const auto& c : cliques) {
       if (std::binary_search(c.begin(), c.end(), v)) ++n_cl;
     }
     if (n_cl == 0) continue;
     int n_ed = 0;
-    for (const auto& e : edges_) {
+    for (const auto& e : edges) {
       if (std::binary_search(e.separator.begin(), e.separator.end(), v)) ++n_ed;
     }
     if (n_ed != n_cl - 1) {
-      return strformat(
-          "running intersection violated for variable %d (%d cliques, %d "
-          "separator edges)",
-          v, n_cl, n_ed);
+      report.add(DiagCode::JT002, strformat("variable %d", v),
+                 strformat("running intersection violated for variable %d "
+                           "(%d cliques, %d separator edges)",
+                           v, n_cl, n_ed));
     }
   }
-  return "";
+}
+
+void JunctionTree::lint_running_intersection(DiagnosticReport& report) const {
+  bns::lint_running_intersection(cliques_, edges_, report);
+}
+
+std::string JunctionTree::check_running_intersection() const {
+  DiagnosticReport report;
+  lint_running_intersection(report);
+  return report.empty() ? "" : report.diagnostics().front().message;
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 
 #include "bn/bayes_net.h"
 #include "bn/graph.h"
+#include "verify/diagnostics.h"
 
 namespace bns {
 
@@ -47,8 +48,12 @@ class JunctionTree {
   int clique_containing_all(std::span<const int> vs) const;
 
   // Verifies the running intersection property: for every variable, the
-  // cliques containing it form a connected subtree. Returns "" or a
-  // diagnostic string.
+  // cliques containing it form a connected subtree. Emits a JT002
+  // diagnostic per violating variable.
+  void lint_running_intersection(DiagnosticReport& report) const;
+
+  // Legacy wrapper over lint_running_intersection(): returns "" when the
+  // property holds, else the first violation's message.
   std::string check_running_intersection() const;
 
  private:
@@ -59,6 +64,13 @@ class JunctionTree {
   std::vector<int> roots_;
   std::vector<int> preorder_;
 };
+
+// Running-intersection check over an explicit clique set and edge list
+// (the JunctionTree member forwards here). Lives with the junction tree
+// rather than in src/verify/ so both layers share one implementation.
+void lint_running_intersection(std::span<const std::vector<int>> cliques,
+                               std::span<const JunctionTreeEdge> edges,
+                               DiagnosticReport& report);
 
 // Options controlling compilation.
 struct CompileOptions {

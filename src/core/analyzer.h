@@ -42,6 +42,14 @@ class SwitchingAnalyzer {
     return estimator_->estimate(model);
   }
 
+  // On-demand static verification of the netlist, the compiled segment
+  // LIDAGs, and (at Full) their junction trees. Never throws; callers
+  // inspect the report. The EstimatorOptions::verify knob instead makes
+  // compilation itself fail fast on error findings.
+  DiagnosticReport verify(VerifyLevel level = VerifyLevel::Full) const {
+    return estimator_->verify(level);
+  }
+
   // Monte-Carlo ground truth with at least `pairs` vector-pair samples.
   SimResult simulate(std::uint64_t pairs = 1 << 20,
                      std::uint64_t seed = 1) const {

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
+#include <unordered_set>
 
 #include "util/assert.h"
 #include "util/timer.h"
+#include "verify/compile_rules.h"
+#include "verify/model_rules.h"
+#include "verify/netlist_rules.h"
 
 namespace bns {
 
@@ -124,6 +129,61 @@ LidagEstimator::LidagEstimator(const Netlist& nl, const InputModel& model,
     }
   }
   compile_seconds_ = t.seconds();
+
+  if (opts_.verify != VerifyLevel::Off) {
+    const DiagnosticReport report = verify(opts_.verify);
+    if (report.has_errors()) {
+      throw std::runtime_error("LIDAG verification failed:\n" +
+                               report.render_text());
+    }
+  }
+}
+
+const LidagBn& LidagEstimator::segment_lidag(int i) const {
+  BNS_EXPECTS(i >= 0 && i < num_segments());
+  return *segments_[static_cast<std::size_t>(i)].lidag;
+}
+
+const JunctionTreeEngine& LidagEstimator::segment_engine(int i) const {
+  BNS_EXPECTS(i >= 0 && i < num_segments());
+  return *segments_[static_cast<std::size_t>(i)].engine;
+}
+
+DiagnosticReport LidagEstimator::verify(VerifyLevel level) const {
+  DiagnosticReport report;
+  if (level == VerifyLevel::Off) return report;
+  lint_netlist(*nl_, report);
+
+  for (const Segment& seg : segments_) {
+    const LidagBn& lb = *seg.lidag;
+
+    // Root and grouped-input variables carry (possibly placeholder)
+    // priors or forwarded conditionals; every other variable is a gate
+    // output or a decomposition auxiliary, whose CPT is deterministic.
+    std::unordered_set<VarId> non_det;
+    std::vector<VarId> root_vars;
+    for (const LidagRoot& r : lb.roots) {
+      non_det.insert(r.var);
+      root_vars.push_back(r.var);
+    }
+    for (const LidagRoot& r : lb.grouped_inputs) non_det.insert(r.var);
+
+    std::vector<VarId> det_vars;
+    for (VarId v = 0; v < lb.bn.num_variables(); ++v) {
+      if (!non_det.count(v)) det_vars.push_back(v);
+    }
+    ModelLintOptions mopts;
+    mopts.deterministic_vars = det_vars;
+    lint_bayes_net(lb.bn, report, mopts);
+    lint_lidag_structure(inner_.netlist, lb.bn, lb.var_of_node, root_vars,
+                         report);
+
+    if (level == VerifyLevel::Full) {
+      lint_compilation(lb.bn, seg.engine->triangulation(), seg.engine->tree(),
+                       report);
+    }
+  }
+  return report;
 }
 
 std::vector<int> LidagEstimator::boundary_frontier() const {

@@ -18,6 +18,7 @@
 #include "netlist/netlist.h"
 #include "netlist/transforms.h"
 #include "sim/input_model.h"
+#include "verify/diagnostics.h"
 
 namespace bns {
 
@@ -49,6 +50,11 @@ struct EstimatorOptions {
   // are re-derived locally instead of being broken into independent
   // marginals. 0 disables overlap (the paper's preliminary scheme).
   int segment_overlap = 64;
+  // Static checks (src/verify/) run after compilation: Fast lints the
+  // netlist and every segment BN, Full additionally lints the compiled
+  // junction trees (chordality, running intersection, family cover).
+  // Error-severity findings make the constructor throw.
+  VerifyLevel verify = VerifyLevel::Off;
 };
 
 struct SwitchingEstimate {
@@ -91,6 +97,14 @@ class LidagEstimator {
   double compile_seconds() const { return compile_seconds_; }
   int num_segments() const { return static_cast<int>(segments_.size()); }
   bool single_bn() const { return segments_.size() == 1; }
+  // Per-segment structures, for external inspection and verification.
+  const LidagBn& segment_lidag(int i) const;
+  const JunctionTreeEngine& segment_engine(int i) const;
+
+  // Runs the static checkers over the netlist and all compiled segments
+  // at the given level (see EstimatorOptions::verify) and returns the
+  // findings without throwing.
+  DiagnosticReport verify(VerifyLevel level) const;
   // Sum of junction-tree state spaces over segments.
   double total_state_space() const;
   // Largest clique (in variables) over all segments.

@@ -29,3 +29,9 @@ namespace bns::detail {
 #define BNS_ENSURES(cond) BNS_CONTRACT_IMPL("Postcondition", cond, "")
 #define BNS_ASSERT(cond) BNS_CONTRACT_IMPL("Assertion", cond, "")
 #define BNS_ASSERT_MSG(cond, msg) BNS_CONTRACT_IMPL("Assertion", cond, msg)
+
+// Marks control flow that must be impossible (e.g. a fully-covered
+// switch); aborts with the message if reached.
+#define BNS_UNREACHABLE(msg)                                                     \
+  ::bns::detail::contract_violation("Unreachable", "false", __FILE__, __LINE__,  \
+                                    msg)

@@ -1,0 +1,85 @@
+#include "verify/compile_rules.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace bns {
+
+void lint_junction_structure(int num_vars,
+                             std::span<const std::vector<int>> cliques,
+                             std::span<const JunctionTreeEdge> edges,
+                             DiagnosticReport& report) {
+  std::vector<bool> covered(static_cast<std::size_t>(num_vars), false);
+  for (std::size_t i = 0; i < cliques.size(); ++i) {
+    for (int v : cliques[i]) {
+      if (v < 0 || v >= num_vars) {
+        report.add(DiagCode::JT005, strformat("clique %zu", i),
+                   strformat("clique %zu contains variable %d outside the "
+                             "model's range [0, %d)",
+                             i, v, num_vars));
+      } else {
+        covered[static_cast<std::size_t>(v)] = true;
+      }
+    }
+  }
+  for (int v = 0; v < num_vars; ++v) {
+    if (!covered[static_cast<std::size_t>(v)]) {
+      report.add(DiagCode::JT005, strformat("variable %d", v),
+                 strformat("variable %d appears in no clique", v));
+    }
+  }
+
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const JunctionTreeEdge& e = edges[i];
+    const std::size_t n = cliques.size();
+    if (e.a < 0 || e.b < 0 || static_cast<std::size_t>(e.a) >= n ||
+        static_cast<std::size_t>(e.b) >= n) {
+      report.add(DiagCode::JT004, strformat("edge %zu", i),
+                 strformat("edge %zu connects out-of-range cliques (%d, %d)",
+                           i, e.a, e.b));
+      continue;
+    }
+    const auto& ca = cliques[static_cast<std::size_t>(e.a)];
+    const auto& cb = cliques[static_cast<std::size_t>(e.b)];
+    std::vector<int> inter;
+    std::set_intersection(ca.begin(), ca.end(), cb.begin(), cb.end(),
+                          std::back_inserter(inter));
+    if (inter != e.separator) {
+      report.add(DiagCode::JT004, strformat("edge %zu", i),
+                 strformat("separator of edge %zu (cliques %d, %d) is not "
+                           "the clique intersection",
+                           i, e.a, e.b));
+    }
+  }
+
+  lint_running_intersection(cliques, edges, report);
+}
+
+void lint_compilation(const BayesianNetwork& bn, const Triangulation& tri,
+                      const JunctionTree& jt, DiagnosticReport& report) {
+  if (!is_perfect_elimination_order(tri.graph, tri.elimination_order)) {
+    report.add(DiagCode::JT001, "triangulation",
+               "elimination order is not a perfect elimination order of "
+               "the filled graph: the triangulation is not chordal");
+  }
+
+  // Every family {v} ∪ parents(v) must live in some clique, or the CPT
+  // of v cannot be absorbed into a potential.
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    std::vector<int> family(bn.parents(v).begin(), bn.parents(v).end());
+    family.push_back(v);
+    std::sort(family.begin(), family.end());
+    if (jt.clique_containing_all(family) < 0) {
+      report.add(DiagCode::JT003, bn.name(v),
+                 strformat("family of '%s' (%zu variables) is not contained "
+                           "in any clique",
+                           bn.name(v).c_str(), family.size()));
+    }
+  }
+
+  lint_junction_structure(bn.num_variables(), jt.cliques(), jt.edges(),
+                          report);
+}
+
+} // namespace bns

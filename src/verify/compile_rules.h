@@ -1,0 +1,32 @@
+// Compilation lint: invariants of the secondary structure (Section 5 of
+// the paper) that exact junction-tree propagation relies on — the
+// triangulated moral graph is chordal, the tree satisfies the running
+// intersection property, every BN family is covered by a clique, and
+// separators are exactly the intersections of their endpoint cliques.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "bn/graph.h"
+#include "bn/junction_tree.h"
+#include "verify/diagnostics.h"
+
+namespace bns {
+
+// Raw-structure checks (JT002, JT004, JT005) over an explicit clique set
+// and edge list; `num_vars` is the variable-id domain [0, num_vars).
+// Exposed separately so tests can lint deliberately corrupted structures
+// that JunctionTree's constructor would never produce.
+void lint_junction_structure(int num_vars,
+                             std::span<const std::vector<int>> cliques,
+                             std::span<const JunctionTreeEdge> edges,
+                             DiagnosticReport& report);
+
+// Full compilation lint: JT001 (perfect elimination order / chordality),
+// JT003 (family cover) plus all raw-structure checks above.
+void lint_compilation(const BayesianNetwork& bn, const Triangulation& tri,
+                      const JunctionTree& jt, DiagnosticReport& report);
+
+} // namespace bns

@@ -1,0 +1,396 @@
+#include "verify/diagnostics.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+struct CodeInfo {
+  DiagCode code;
+  std::string_view name;
+  Severity severity;
+  std::string_view summary;
+};
+
+constexpr std::array<CodeInfo, 25> kCodes{{
+    {DiagCode::NL001, "NL001", Severity::Error,
+     "undriven net: referenced as a fanin but never defined"},
+    {DiagCode::NL002, "NL002", Severity::Error,
+     "multiply-driven net: more than one driver"},
+    {DiagCode::NL003, "NL003", Severity::Warning,
+     "floating net: driven but feeds nothing and is not an output"},
+    {DiagCode::NL004, "NL004", Severity::Error,
+     "combinational loop through gate definitions"},
+    {DiagCode::NL005, "NL005", Severity::Warning,
+     "unreachable gate: not in the transitive fanin of any output"},
+    {DiagCode::NL006, "NL006", Severity::Error,
+     "arity mismatch: fanin count invalid for the gate type"},
+    {DiagCode::NL007, "NL007", Severity::Error,
+     "truth-table mismatch: LUT cover width differs from fanin count"},
+    {DiagCode::NL008, "NL008", Severity::Error,
+     "syntax error in the netlist source"},
+    {DiagCode::NL009, "NL009", Severity::Error, "unknown gate type"},
+    {DiagCode::NL010, "NL010", Severity::Warning,
+     "no primary outputs declared"},
+    {DiagCode::NL011, "NL011", Severity::Error,
+     "duplicate INPUT declaration"},
+    {DiagCode::NL012, "NL012", Severity::Error,
+     "OUTPUT declared for an undefined net"},
+    {DiagCode::BN001, "BN001", Severity::Error, "variable has no CPT"},
+    {DiagCode::BN002, "BN002", Severity::Error,
+     "parent relation has a directed cycle (the LIDAG must be a DAG)"},
+    {DiagCode::BN003, "BN003", Severity::Error,
+     "CPT column not stochastic: entries over the child do not sum to 1"},
+    {DiagCode::BN004, "BN004", Severity::Error,
+     "gate-output CPT not deterministic (entries must be 0 or 1)"},
+    {DiagCode::BN005, "BN005", Severity::Error,
+     "root prior invalid (negative mass or does not sum to 1)"},
+    {DiagCode::BN006, "BN006", Severity::Error,
+     "family/factor domain mismatch (scope or cardinality)"},
+    {DiagCode::BN007, "BN007", Severity::Error,
+     "LIDAG parents inconsistent with the netlist fanin"},
+    {DiagCode::BN008, "BN008", Severity::Error,
+     "non-finite or negative probability entry"},
+    {DiagCode::JT001, "JT001", Severity::Error,
+     "elimination order is not perfect: triangulated graph not chordal"},
+    {DiagCode::JT002, "JT002", Severity::Error,
+     "running intersection property violated"},
+    {DiagCode::JT003, "JT003", Severity::Error,
+     "BN family not covered by any clique"},
+    {DiagCode::JT004, "JT004", Severity::Error,
+     "separator is not the intersection of its endpoint cliques"},
+    {DiagCode::JT005, "JT005", Severity::Error,
+     "variable not covered by any clique or out-of-range clique member"},
+}};
+
+const CodeInfo& info(DiagCode c) {
+  for (const CodeInfo& ci : kCodes) {
+    if (ci.code == c) return ci;
+  }
+  BNS_UNREACHABLE("unknown diagnostic code");
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += strformat("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+// --- minimal JSON reader (only what render_json emits) -----------------
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  char peek() {
+    skip_ws();
+    return pos < s.size() ? s[pos] : '\0';
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) {
+      failed = true;
+      return out;
+    }
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= s.size()) break;
+      const char esc = s[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > s.size()) {
+            failed = true;
+            return out;
+          }
+          int v = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[pos++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v += h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              v += h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              v += h - 'A' + 10;
+            } else {
+              failed = true;
+              return out;
+            }
+          }
+          // The writer only emits \u00xx control escapes; decode the
+          // low byte and ignore anything outside latin-1.
+          out += static_cast<char>(v & 0xff);
+          break;
+        }
+        default: failed = true; return out;
+      }
+    }
+    if (!consume('"')) failed = true;
+    return out;
+  }
+
+  // Skips any scalar value (number / true / false / null).
+  void skip_scalar() {
+    skip_ws();
+    while (pos < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[pos])) || s[pos] == '-' ||
+            s[pos] == '+' || s[pos] == '.')) {
+      ++pos;
+    }
+  }
+
+  void skip_value(); // forward: handles nested containers
+
+  // Parses one {"k": "v", ...} object of string values; unknown value
+  // kinds are skipped.
+  std::vector<std::pair<std::string, std::string>> parse_flat_object() {
+    std::vector<std::pair<std::string, std::string>> kv;
+    if (!consume('{')) {
+      failed = true;
+      return kv;
+    }
+    if (consume('}')) return kv;
+    do {
+      std::string key = parse_string();
+      if (failed || !consume(':')) {
+        failed = true;
+        return kv;
+      }
+      if (peek() == '"') {
+        kv.emplace_back(std::move(key), parse_string());
+      } else {
+        skip_value();
+      }
+      if (failed) return kv;
+    } while (consume(','));
+    if (!consume('}')) failed = true;
+    return kv;
+  }
+};
+
+void JsonParser::skip_value() {
+  const char c = peek();
+  if (c == '"') {
+    parse_string();
+  } else if (c == '{') {
+    parse_flat_object();
+  } else if (c == '[') {
+    consume('[');
+    if (consume(']')) return;
+    do {
+      skip_value();
+      if (failed) return;
+    } while (consume(','));
+    if (!consume(']')) failed = true;
+  } else {
+    skip_scalar();
+  }
+}
+
+} // namespace
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  BNS_UNREACHABLE("bad severity");
+}
+
+bool parse_severity(std::string_view name, Severity& out) {
+  if (name == "note") {
+    out = Severity::Note;
+  } else if (name == "warning") {
+    out = Severity::Warning;
+  } else if (name == "error") {
+    out = Severity::Error;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view diag_code_name(DiagCode c) { return info(c).name; }
+std::string_view diag_code_summary(DiagCode c) { return info(c).summary; }
+Severity diag_default_severity(DiagCode c) { return info(c).severity; }
+
+bool parse_diag_code(std::string_view name, DiagCode& out) {
+  for (const CodeInfo& ci : kCodes) {
+    if (ci.name == name) {
+      out = ci.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<DiagCode> all_diag_codes() {
+  std::vector<DiagCode> v;
+  v.reserve(kCodes.size());
+  for (const CodeInfo& ci : kCodes) v.push_back(ci.code);
+  return v;
+}
+
+void DiagnosticReport::add(DiagCode code, std::string location,
+                           std::string message) {
+  add(code, diag_default_severity(code), std::move(location),
+      std::move(message));
+}
+
+void DiagnosticReport::add(DiagCode code, Severity severity,
+                           std::string location, std::string message) {
+  diags_.push_back(Diagnostic{code, severity, std::move(location),
+                              std::move(message)});
+}
+
+void DiagnosticReport::merge(const DiagnosticReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+int DiagnosticReport::count(Severity s) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) n += d.severity == s ? 1 : 0;
+  return n;
+}
+
+const Diagnostic* DiagnosticReport::find(DiagCode c) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.code == c) return &d;
+  }
+  return nullptr;
+}
+
+std::string DiagnosticReport::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += severity_name(d.severity);
+    out += '[';
+    out += diag_code_name(d.code);
+    out += ']';
+    if (!d.location.empty()) {
+      out += ' ';
+      out += d.location;
+      out += ':';
+    }
+    out += ' ';
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DiagnosticReport::render_json(std::string_view tool,
+                                          std::string_view file) const {
+  std::string out = "{\n  \"tool\": ";
+  append_json_string(out, tool);
+  out += ",\n  \"file\": ";
+  append_json_string(out, file);
+  out += strformat(",\n  \"errors\": %d,\n  \"warnings\": %d,\n"
+                   "  \"diagnostics\": [",
+                   num_errors(), num_warnings());
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"code\": ";
+    append_json_string(out, diag_code_name(d.code));
+    out += ", \"severity\": ";
+    append_json_string(out, severity_name(d.severity));
+    out += ", \"location\": ";
+    append_json_string(out, d.location);
+    out += ", \"message\": ";
+    append_json_string(out, d.message);
+    out += '}';
+  }
+  out += diags_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::optional<DiagnosticReport> DiagnosticReport::from_json(
+    std::string_view json) {
+  JsonParser p{json};
+  if (!p.consume('{')) return std::nullopt;
+  DiagnosticReport report;
+  if (p.consume('}')) return report;
+  do {
+    const std::string key = p.parse_string();
+    if (p.failed || !p.consume(':')) return std::nullopt;
+    if (key != "diagnostics") {
+      p.skip_value();
+      if (p.failed) return std::nullopt;
+      continue;
+    }
+    if (!p.consume('[')) return std::nullopt;
+    if (p.consume(']')) continue;
+    do {
+      const auto kv = p.parse_flat_object();
+      if (p.failed) return std::nullopt;
+      Diagnostic d;
+      bool have_code = false, have_sev = false;
+      for (const auto& [k, v] : kv) {
+        if (k == "code") {
+          have_code = parse_diag_code(v, d.code);
+        } else if (k == "severity") {
+          have_sev = parse_severity(v, d.severity);
+        } else if (k == "location") {
+          d.location = v;
+        } else if (k == "message") {
+          d.message = v;
+        }
+      }
+      if (!have_code || !have_sev) return std::nullopt;
+      report.diags_.push_back(std::move(d));
+    } while (p.consume(','));
+    if (!p.consume(']')) return std::nullopt;
+  } while (p.consume(','));
+  if (!p.consume('}')) return std::nullopt;
+  return report;
+}
+
+} // namespace bns

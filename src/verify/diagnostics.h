@@ -1,0 +1,127 @@
+// Diagnostics engine of the static-verification subsystem: a typed
+// Diagnostic (code + severity + location + message) and a
+// DiagnosticReport that collects them and renders text or JSON.
+//
+// Every checker pass in src/verify/ (and the in-library lint hooks of
+// BayesianNetwork / JunctionTree) emits through this engine so that the
+// `bns_lint` CLI, the estimator's VerifyLevel knob, and the test suite
+// all see the same stable diagnostic codes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bns {
+
+enum class Severity { Note, Warning, Error };
+
+std::string_view severity_name(Severity s);
+bool parse_severity(std::string_view name, Severity& out);
+
+// Stable diagnostic codes. NL* = netlist lint, BN* = model lint,
+// JT* = compilation (junction tree) lint. Codes are append-only: never
+// renumber, tooling downstream keys on the names.
+enum class DiagCode {
+  // --- netlist ---------------------------------------------------------
+  NL001, // undriven net: referenced as a fanin but never defined
+  NL002, // multiply-driven net: more than one driver (or INPUT + gate)
+  NL003, // floating net: driven but feeds nothing and is not an output
+  NL004, // combinational loop through gate definitions
+  NL005, // unreachable gate: not in the transitive fanin of any output
+  NL006, // arity mismatch: fanin count invalid for the gate type
+  NL007, // truth-table mismatch: LUT cover width != fanin count
+  NL008, // syntax error in the netlist source
+  NL009, // unknown gate type
+  NL010, // no primary outputs declared
+  NL011, // duplicate INPUT declaration
+  NL012, // OUTPUT declared for an undefined net
+  // --- Bayesian-network model ------------------------------------------
+  BN001, // variable has no CPT
+  BN002, // parent relation has a directed cycle (LIDAG must be a DAG)
+  BN003, // CPT row not stochastic: a parent-config column does not sum to 1
+  BN004, // gate-output CPT not deterministic (entries must be 0 or 1)
+  BN005, // root prior invalid (negative mass or does not sum to 1)
+  BN006, // family/factor domain mismatch (scope or cardinality)
+  BN007, // LIDAG parents inconsistent with the netlist fanin
+  BN008, // non-finite or negative probability entry
+  // --- junction-tree compilation ---------------------------------------
+  JT001, // elimination order is not perfect: triangulated graph not chordal
+  JT002, // running intersection property violated
+  JT003, // BN family not covered by any clique
+  JT004, // separator is not the intersection of its endpoint cliques
+  JT005, // variable not covered by any clique / out-of-range clique member
+};
+
+// "NL001", "BN003", ... (stable identifier).
+std::string_view diag_code_name(DiagCode c);
+// One-line human description of what the code means.
+std::string_view diag_code_summary(DiagCode c);
+// Default severity a code is reported with (add() without an explicit
+// severity uses this).
+Severity diag_default_severity(DiagCode c);
+bool parse_diag_code(std::string_view name, DiagCode& out);
+// All known codes, for --list-codes style enumeration.
+std::vector<DiagCode> all_diag_codes();
+
+struct Diagnostic {
+  DiagCode code = DiagCode::NL008;
+  Severity severity = Severity::Error;
+  // Where the problem is: "file.bench:12", a net/variable name, or a
+  // clique index — whatever locates the finding best. May be empty.
+  std::string location;
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+class DiagnosticReport {
+ public:
+  // Adds with the code's default severity.
+  void add(DiagCode code, std::string location, std::string message);
+  void add(DiagCode code, Severity severity, std::string location,
+           std::string message);
+  void merge(const DiagnosticReport& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+
+  int count(Severity s) const;
+  int num_errors() const { return count(Severity::Error); }
+  int num_warnings() const { return count(Severity::Warning); }
+  bool has_errors() const { return num_errors() > 0; }
+
+  bool has_code(DiagCode c) const { return find(c) != nullptr; }
+  const Diagnostic* find(DiagCode c) const;
+
+  // One line per diagnostic: `error[NL004] file:7: message`.
+  std::string render_text() const;
+
+  // Machine-readable report:
+  //   {"tool": ..., "file": ..., "errors": N, "warnings": M,
+  //    "diagnostics": [{"code": ..., "severity": ..., "location": ...,
+  //                     "message": ...}, ...]}
+  std::string render_json(std::string_view tool = "bns_lint",
+                          std::string_view file = "") const;
+
+  // Parses text produced by render_json back into a report (strict on
+  // JSON syntax, lenient on unknown extra keys). nullopt on malformed
+  // input or unknown code/severity names.
+  static std::optional<DiagnosticReport> from_json(std::string_view json);
+
+  bool operator==(const DiagnosticReport&) const = default;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+// How much static checking the analysis pipeline runs at compile time.
+enum class VerifyLevel {
+  Off,  // no checks (production fast path)
+  Fast, // netlist + model lint (cheap, no junction-tree introspection)
+  Full, // Fast + compilation lint (chordality, RIP, family cover)
+};
+
+} // namespace bns

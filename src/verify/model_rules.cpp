@@ -1,0 +1,116 @@
+#include "verify/model_rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace bns {
+
+void lint_bayes_net(const BayesianNetwork& bn, DiagnosticReport& report,
+                    const ModelLintOptions& opts) {
+  // Generic invariants (BN001/BN002/BN003/BN005/BN006/BN008) live with
+  // the network itself; this pass adds the LIDAG-specific determinism
+  // requirement on top.
+  bn.lint_into(report, opts.tol);
+
+  for (VarId v : opts.deterministic_vars) {
+    if (v < 0 || v >= bn.num_variables() || !bn.has_cpt(v)) continue;
+    const Factor& f = bn.cpt(v);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const double p = f.value(i);
+      if (std::abs(p) > opts.tol && std::abs(p - 1.0) > opts.tol) {
+        report.add(DiagCode::BN004, bn.name(v),
+                   strformat("CPT of '%s' must be deterministic but entry "
+                             "%zu is %g",
+                             bn.name(v).c_str(), i, p));
+        break;
+      }
+    }
+  }
+}
+
+void lint_lidag_structure(const Netlist& nl, const BayesianNetwork& bn,
+                          std::span<const VarId> var_of_node,
+                          std::span<const VarId> root_vars,
+                          DiagnosticReport& report) {
+  const std::unordered_set<VarId> roots(root_vars.begin(), root_vars.end());
+  if (var_of_node.size() != static_cast<std::size_t>(nl.num_nodes())) {
+    report.add(DiagCode::BN006, nl.name(),
+               strformat("var_of_node maps %zu lines but the netlist has %d",
+                         var_of_node.size(), nl.num_nodes()));
+    return;
+  }
+
+  // Variables that stand for circuit lines; everything else in the BN is
+  // an auxiliary (decomposition or hidden-source) variable.
+  std::vector<bool> is_line_var(static_cast<std::size_t>(bn.num_variables()),
+                                false);
+  for (VarId v : var_of_node) {
+    if (v >= 0 && v < bn.num_variables()) {
+      is_line_var[static_cast<std::size_t>(v)] = true;
+    }
+  }
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const VarId v = var_of_node[static_cast<std::size_t>(id)];
+    if (v < 0) continue;
+    if (v >= bn.num_variables()) {
+      report.add(DiagCode::BN006, nl.node(id).name,
+                 strformat("line '%s' maps to variable %d outside the BN",
+                           nl.node(id).name.c_str(), v));
+      continue;
+    }
+    const Node& n = nl.node(id);
+    const bool is_gate = n.type != GateType::Input &&
+                         n.type != GateType::Const0 &&
+                         n.type != GateType::Const1;
+    if (!is_gate || roots.count(v)) continue;
+
+    // Expected dependencies: the switching variables of the fanin lines
+    // (deduplicated; fanins not represented in this segment are skipped).
+    std::unordered_set<VarId> expected;
+    for (NodeId f : n.fanin) {
+      const VarId fv = var_of_node[static_cast<std::size_t>(f)];
+      if (fv >= 0) expected.insert(fv);
+    }
+
+    // Actual dependencies: line-variable ancestors of v reachable
+    // through auxiliary variables only (the divorcing tree is invisible
+    // at the netlist level).
+    std::unordered_set<VarId> actual;
+    std::vector<VarId> stack(bn.parents(v).begin(), bn.parents(v).end());
+    std::unordered_set<VarId> visited;
+    while (!stack.empty()) {
+      const VarId p = stack.back();
+      stack.pop_back();
+      if (!visited.insert(p).second) continue;
+      if (is_line_var[static_cast<std::size_t>(p)]) {
+        actual.insert(p);
+        continue;
+      }
+      for (VarId pp : bn.parents(p)) stack.push_back(pp);
+    }
+
+    for (VarId fv : expected) {
+      if (!actual.count(fv)) {
+        report.add(DiagCode::BN007, n.name,
+                   strformat("gate '%s' does not depend on its fanin "
+                             "variable '%s'",
+                             n.name.c_str(), bn.name(fv).c_str()));
+      }
+    }
+    for (VarId av : actual) {
+      if (!expected.count(av)) {
+        report.add(DiagCode::BN007, n.name,
+                   strformat("gate '%s' depends on '%s', which is not one "
+                             "of its fanins",
+                             n.name.c_str(), bn.name(av).c_str()));
+      }
+    }
+  }
+}
+
+} // namespace bns

@@ -1,0 +1,48 @@
+// Model lint: structural and numerical invariants of the LIDAG Bayesian
+// network (Definition 8 / Theorem 3 of the paper), checked without
+// running inference.
+//
+//  * lint_bayes_net — generic BN sanity: every variable has a CPT, the
+//    parent relation is a DAG, every CPT column is stochastic, entries
+//    are finite and non-negative, root priors are distributions, and
+//    the declared family matches the factor's scope/cardinalities.
+//    Variables listed as deterministic (gate outputs and decomposition
+//    auxiliaries) must additionally have 0/1 CPT entries.
+//  * lint_lidag_structure — dependency preservation against the source
+//    netlist: a gate-output variable must depend on exactly the
+//    switching variables of the gate's fanin lines (possibly through
+//    decomposition auxiliaries), and on nothing else — the minimal
+//    I-map direction of Theorem 3.
+#pragma once
+
+#include <span>
+
+#include "bn/bayes_net.h"
+#include "netlist/netlist.h"
+#include "verify/diagnostics.h"
+
+namespace bns {
+
+struct ModelLintOptions {
+  double tol = 1e-9;
+  // Variables whose CPT must be deterministic (all entries 0 or 1);
+  // typically the gate-output and auxiliary variables of a LIDAG.
+  std::span<const VarId> deterministic_vars{};
+};
+
+void lint_bayes_net(const BayesianNetwork& bn, DiagnosticReport& report,
+                    const ModelLintOptions& opts = {});
+
+// Checks the BN structure of one (segment) LIDAG against the netlist.
+// `var_of_node[id]` maps a netlist line to its BN variable, or -1 when
+// the line is not represented (outside the segment). `root_vars` lists
+// the segment's root variables (boundary/constant/source lines): a gate
+// line rebuilt as a root carries a forwarded prior — or a boundary-chain
+// conditional — instead of its gate CPT, so its dependency structure is
+// owned by the defining segment and not checked here.
+void lint_lidag_structure(const Netlist& nl, const BayesianNetwork& bn,
+                          std::span<const VarId> var_of_node,
+                          std::span<const VarId> root_vars,
+                          DiagnosticReport& report);
+
+} // namespace bns

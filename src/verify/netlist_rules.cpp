@@ -1,0 +1,473 @@
+#include "verify/netlist_rules.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+std::string loc(std::string_view file, int line) {
+  return strformat("%.*s:%d", static_cast<int>(file.size()), file.data(), line);
+}
+
+// Format-independent view of a netlist source: named nets, declared
+// inputs/outputs, and gate statements. Both scanners lower into this and
+// share the graph checks.
+struct SourceGate {
+  std::string output;
+  std::vector<std::string> fanin;
+  int line = 0;
+};
+
+struct SourceDesign {
+  std::vector<std::pair<std::string, int>> inputs;  // (name, line)
+  std::vector<std::pair<std::string, int>> outputs; // (name, line)
+  std::vector<SourceGate> gates;
+};
+
+// NL001/NL002/NL003/NL004/NL005/NL010/NL011/NL012 over a SourceDesign.
+void check_source_graph(const SourceDesign& d, std::string_view file,
+                        DiagnosticReport& report) {
+  // Driver bookkeeping. A net may be driven by an INPUT declaration or
+  // by a gate statement; more than one driver of any kind is NL002.
+  std::unordered_map<std::string, int> driver_line; // first driver
+  std::unordered_map<std::string, int> gate_of;     // net -> index in d.gates
+  std::unordered_set<std::string> declared_input;
+
+  for (const auto& [name, line] : d.inputs) {
+    if (!declared_input.insert(name).second) {
+      report.add(DiagCode::NL011, loc(file, line),
+                 strformat("net '%s' is declared INPUT more than once",
+                           name.c_str()));
+      continue;
+    }
+    if (const auto it = driver_line.find(name); it != driver_line.end()) {
+      report.add(DiagCode::NL002, loc(file, line),
+                 strformat("net '%s' is both an INPUT and a gate output "
+                           "(gate at line %d)",
+                           name.c_str(), it->second));
+    } else {
+      driver_line.emplace(name, line);
+    }
+  }
+  for (int i = 0; i < static_cast<int>(d.gates.size()); ++i) {
+    const SourceGate& g = d.gates[static_cast<std::size_t>(i)];
+    if (const auto it = driver_line.find(g.output); it != driver_line.end()) {
+      report.add(
+          DiagCode::NL002, loc(file, g.line),
+          strformat("net '%s' is driven more than once (first driver at "
+                    "line %d)",
+                    g.output.c_str(), it->second));
+      continue;
+    }
+    driver_line.emplace(g.output, g.line);
+    gate_of.emplace(g.output, i);
+  }
+
+  // Undriven fanins (NL001), reported once per net.
+  std::unordered_set<std::string> reported_undriven;
+  for (const SourceGate& g : d.gates) {
+    for (const std::string& f : g.fanin) {
+      if (driver_line.count(f) || !reported_undriven.insert(f).second) {
+        continue;
+      }
+      report.add(DiagCode::NL001, loc(file, g.line),
+                 strformat("net '%s' (fanin of '%s') is never driven",
+                           f.c_str(), g.output.c_str()));
+    }
+  }
+
+  // Outputs of undefined nets (NL012); duplicates are harmless.
+  std::unordered_set<std::string> output_nets;
+  for (const auto& [name, line] : d.outputs) {
+    output_nets.insert(name);
+    if (!driver_line.count(name)) {
+      report.add(DiagCode::NL012, loc(file, line),
+                 strformat("OUTPUT net '%s' is never driven", name.c_str()));
+    }
+  }
+  if (d.outputs.empty()) {
+    report.add(DiagCode::NL010, std::string(file),
+               "netlist declares no primary outputs");
+  }
+
+  // Fanout map for floating-net detection (NL003).
+  std::unordered_set<std::string> used_as_fanin;
+  for (const SourceGate& g : d.gates) {
+    for (const std::string& f : g.fanin) used_as_fanin.insert(f);
+  }
+  for (const auto& [name, line] : driver_line) {
+    if (used_as_fanin.count(name) || output_nets.count(name)) continue;
+    const bool is_input = declared_input.count(name) > 0;
+    report.add(DiagCode::NL003, loc(file, line),
+               strformat("%s '%s' drives nothing and is not an output",
+                         is_input ? "primary input" : "net", name.c_str()));
+  }
+
+  // Combinational loops (NL004) by iterative coloring DFS over the gate
+  // definition graph. Each loop is reported once, at its closing gate.
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::unordered_map<std::string, Mark> mark;
+  for (const SourceGate& root : d.gates) {
+    if (mark[root.output] != Mark::White) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(root.output, 0);
+    mark[root.output] = Mark::Grey;
+    while (!stack.empty()) {
+      auto& [cur, next] = stack.back();
+      const auto git = gate_of.find(cur);
+      const SourceGate* g =
+          git == gate_of.end() ? nullptr
+                               : &d.gates[static_cast<std::size_t>(git->second)];
+      if (g != nullptr && next < g->fanin.size()) {
+        const std::string& dep = g->fanin[next];
+        ++next;
+        if (!gate_of.count(dep)) continue; // PI / undriven: no cycle through it
+        if (mark[dep] == Mark::Grey) {
+          // Reconstruct the cycle from the DFS stack for the message.
+          std::string cycle = dep;
+          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            cycle += " <- " + it->first;
+            if (it->first == dep) break;
+          }
+          report.add(DiagCode::NL004, loc(file, g->line),
+                     strformat("combinational loop: %s", cycle.c_str()));
+          continue;
+        }
+        if (mark[dep] == Mark::White) {
+          mark[dep] = Mark::Grey;
+          stack.emplace_back(dep, 0);
+        }
+      } else {
+        mark[cur] = Mark::Black;
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Unreachable gates (NL005): gate-driven nets outside the transitive
+  // fanin of every OUTPUT. Floating nets (fanout 0) are already NL003;
+  // NL005 covers nets that do feed logic, just not any output cone.
+  if (!d.outputs.empty()) {
+    std::unordered_set<std::string> reached;
+    std::vector<std::string> frontier;
+    for (const auto& [name, line] : d.outputs) {
+      if (reached.insert(name).second) frontier.push_back(name);
+    }
+    while (!frontier.empty()) {
+      const std::string cur = std::move(frontier.back());
+      frontier.pop_back();
+      const auto git = gate_of.find(cur);
+      if (git == gate_of.end()) continue;
+      for (const std::string& f :
+           d.gates[static_cast<std::size_t>(git->second)].fanin) {
+        if (reached.insert(f).second) frontier.push_back(f);
+      }
+    }
+    for (const SourceGate& g : d.gates) {
+      if (reached.count(g.output) || !used_as_fanin.count(g.output)) continue;
+      report.add(DiagCode::NL005, loc(file, g.line),
+                 strformat("gate '%s' does not reach any primary output",
+                           g.output.c_str()));
+    }
+  }
+}
+
+} // namespace
+
+void lint_netlist(const Netlist& nl, DiagnosticReport& report) {
+  if (nl.num_outputs() == 0) {
+    report.add(DiagCode::NL010, nl.name(),
+               "netlist declares no primary outputs");
+  }
+
+  const std::vector<int> fanout = nl.fanout_counts();
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& n = nl.node(id);
+    if (fanout[static_cast<std::size_t>(id)] == 0 && !nl.is_output(id)) {
+      report.add(DiagCode::NL003, n.name,
+                 strformat("%s '%s' drives nothing and is not an output",
+                           n.type == GateType::Input ? "primary input" : "net",
+                           n.name.c_str()));
+    }
+    if (n.type == GateType::Lut) {
+      if (!n.lut.has_value()) {
+        report.add(DiagCode::NL007, n.name,
+                   strformat("LUT '%s' has no truth table", n.name.c_str()));
+      } else if (n.lut->num_inputs() != static_cast<int>(n.fanin.size())) {
+        report.add(DiagCode::NL007, n.name,
+                   strformat("LUT '%s' has %zu fanins but its truth table "
+                             "covers %d inputs",
+                             n.name.c_str(), n.fanin.size(),
+                             n.lut->num_inputs()));
+      } else {
+        for (int i = 0; i < n.lut->num_inputs(); ++i) {
+          if (n.lut->input_is_redundant(i)) {
+            report.add(DiagCode::NL007, Severity::Note, n.name,
+                       strformat("LUT '%s' ignores fanin %d ('%s'); the "
+                                 "model gains a spurious dependency",
+                                 n.name.c_str(), i,
+                                 nl.node(n.fanin[static_cast<std::size_t>(i)])
+                                     .name.c_str()));
+          }
+        }
+      }
+    } else if (n.type != GateType::Input && n.lut.has_value()) {
+      report.add(DiagCode::NL007, n.name,
+                 strformat("non-LUT gate '%s' carries a truth table",
+                           n.name.c_str()));
+    }
+    if (n.type != GateType::Lut && !fanin_count_ok(n.type, n.fanin.size())) {
+      report.add(DiagCode::NL006, n.name,
+                 strformat("gate '%s' (%.*s) has invalid fanin count %zu",
+                           n.name.c_str(),
+                           static_cast<int>(gate_type_name(n.type).size()),
+                           gate_type_name(n.type).data(), n.fanin.size()));
+    }
+  }
+
+  // Unreachable gates: reverse reachability from the outputs.
+  if (nl.num_outputs() > 0) {
+    std::vector<bool> reached(static_cast<std::size_t>(nl.num_nodes()), false);
+    std::vector<NodeId> frontier;
+    for (NodeId id : nl.outputs()) {
+      if (!reached[static_cast<std::size_t>(id)]) {
+        reached[static_cast<std::size_t>(id)] = true;
+        frontier.push_back(id);
+      }
+    }
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.back();
+      frontier.pop_back();
+      for (NodeId f : nl.node(cur).fanin) {
+        if (!reached[static_cast<std::size_t>(f)]) {
+          reached[static_cast<std::size_t>(f)] = true;
+          frontier.push_back(f);
+        }
+      }
+    }
+    for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+      const Node& n = nl.node(id);
+      const bool is_gate =
+          n.type != GateType::Input && n.type != GateType::Const0 &&
+          n.type != GateType::Const1;
+      if (is_gate && !reached[static_cast<std::size_t>(id)] &&
+          fanout[static_cast<std::size_t>(id)] > 0) {
+        report.add(DiagCode::NL005, n.name,
+                   strformat("gate '%s' does not reach any primary output",
+                             n.name.c_str()));
+      }
+    }
+  }
+}
+
+void lint_bench_text(std::string_view text, std::string_view filename,
+                     DiagnosticReport& report) {
+  SourceDesign d;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view s = trim(line);
+    if (s.empty() || s.front() == '#') continue;
+
+    auto inner = [&](std::string_view decl) -> std::optional<std::string> {
+      const std::size_t open = decl.find('(');
+      const std::size_t close = decl.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close <= open) {
+        report.add(DiagCode::NL008, loc(filename, lineno),
+                   strformat("malformed declaration: %.*s",
+                             static_cast<int>(decl.size()), decl.data()));
+        return std::nullopt;
+      }
+      return std::string(trim(decl.substr(open + 1, close - open - 1)));
+    };
+
+    const bool no_eq = s.find('=') == std::string_view::npos;
+    if (no_eq && starts_with(to_upper(s.substr(0, 5)), "INPUT")) {
+      if (auto name = inner(s)) d.inputs.emplace_back(std::move(*name), lineno);
+      continue;
+    }
+    if (no_eq && starts_with(to_upper(s.substr(0, 6)), "OUTPUT")) {
+      if (auto name = inner(s)) d.outputs.emplace_back(std::move(*name), lineno);
+      continue;
+    }
+
+    const std::size_t eq = s.find('=');
+    if (eq == std::string_view::npos) {
+      report.add(DiagCode::NL008, loc(filename, lineno),
+                 strformat("expected `name = GATE(args)`: %.*s",
+                           static_cast<int>(s.size()), s.data()));
+      continue;
+    }
+    SourceGate g;
+    g.line = lineno;
+    g.output = std::string(trim(s.substr(0, eq)));
+    const std::string_view rhs = trim(s.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (g.output.empty() || open == std::string_view::npos ||
+        close == std::string_view::npos || close <= open) {
+      report.add(DiagCode::NL008, loc(filename, lineno),
+                 strformat("malformed gate statement: %.*s",
+                           static_cast<int>(s.size()), s.data()));
+      continue;
+    }
+    const std::string_view type_name = trim(rhs.substr(0, open));
+    GateType type = GateType::Buf;
+    const bool known_type = parse_gate_type(type_name, type) &&
+                            type != GateType::Input && type != GateType::Lut;
+    if (!known_type) {
+      report.add(DiagCode::NL009, loc(filename, lineno),
+                 strformat("unknown gate type '%.*s'",
+                           static_cast<int>(type_name.size()),
+                           type_name.data()));
+      // Keep the statement so net-graph checks still see the driver.
+    }
+    for (std::string_view arg :
+         split(rhs.substr(open + 1, close - open - 1), ',')) {
+      if (!arg.empty()) g.fanin.emplace_back(arg);
+    }
+    if (known_type && !fanin_count_ok(type, g.fanin.size())) {
+      report.add(DiagCode::NL006, loc(filename, lineno),
+                 strformat("gate '%s' (%.*s) has invalid fanin count %zu",
+                           g.output.c_str(),
+                           static_cast<int>(type_name.size()), type_name.data(),
+                           g.fanin.size()));
+    }
+    d.gates.push_back(std::move(g));
+  }
+  check_source_graph(d, filename, report);
+}
+
+void lint_blif_text(std::string_view text, std::string_view filename,
+                    DiagnosticReport& report) {
+  SourceDesign d;
+
+  // Pre-split into logical lines, folding '\' continuations and
+  // stripping '#' comments, keeping the first physical line number.
+  std::vector<std::pair<std::string, int>> lines;
+  {
+    std::istringstream in{std::string(text)};
+    std::string phys;
+    int lineno = 0;
+    std::string pending;
+    int pending_line = 0;
+    while (std::getline(in, phys)) {
+      ++lineno;
+      if (const std::size_t hash = phys.find('#'); hash != std::string::npos) {
+        phys.resize(hash);
+      }
+      std::string_view s = trim(phys);
+      if (pending.empty()) pending_line = lineno;
+      const bool cont = !s.empty() && s.back() == '\\';
+      if (cont) s.remove_suffix(1);
+      pending += std::string(s);
+      pending += ' ';
+      if (cont) continue;
+      if (!trim(pending).empty()) {
+        lines.emplace_back(std::string(trim(pending)), pending_line);
+      }
+      pending.clear();
+    }
+    if (!trim(pending).empty()) {
+      lines.emplace_back(std::string(trim(pending)), pending_line);
+    }
+  }
+
+  int cur_gate = -1; // index of the last .names block, for its cover rows
+  for (const auto& [text_line, lineno] : lines) {
+    const std::vector<std::string_view> tok = split_ws(text_line);
+    if (tok.empty()) continue;
+    if (tok[0][0] != '.') {
+      // A cover row of the current .names block.
+      if (cur_gate < 0) {
+        report.add(DiagCode::NL008, loc(filename, lineno),
+                   strformat("cover row outside a .names block: %s",
+                             text_line.c_str()));
+        continue;
+      }
+      const SourceGate& g = d.gates[static_cast<std::size_t>(cur_gate)];
+      const std::size_t n_in = g.fanin.size();
+      const bool zero_input_form = n_in == 0 && tok.size() == 1;
+      if (!zero_input_form &&
+          (tok.size() != 2 || tok[0].size() != n_in)) {
+        report.add(DiagCode::NL007, loc(filename, lineno),
+                   strformat("cover row of '%s' has %zu input columns; the "
+                             ".names header declares %zu fanins",
+                             g.output.c_str(),
+                             tok.size() < 2 ? std::size_t{0} : tok[0].size(),
+                             n_in));
+        continue;
+      }
+      const std::string_view in_bits = zero_input_form ? "" : tok[0];
+      const std::string_view out_bit = zero_input_form ? tok[0] : tok[1];
+      bool ok = out_bit == "0" || out_bit == "1";
+      for (char c : in_bits) ok &= c == '0' || c == '1' || c == '-';
+      if (!ok) {
+        report.add(DiagCode::NL008, loc(filename, lineno),
+                   strformat("malformed cover row: %s", text_line.c_str()));
+      }
+      continue;
+    }
+
+    cur_gate = -1;
+    const std::string_view dir = tok[0];
+    if (iequals(dir, ".model") || iequals(dir, ".end")) continue;
+    if (iequals(dir, ".inputs") || iequals(dir, ".outputs")) {
+      auto& dst = iequals(dir, ".inputs") ? d.inputs : d.outputs;
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        dst.emplace_back(std::string(tok[i]), lineno);
+      }
+      continue;
+    }
+    if (iequals(dir, ".names")) {
+      if (tok.size() < 2) {
+        report.add(DiagCode::NL008, loc(filename, lineno),
+                   ".names needs at least an output net");
+        continue;
+      }
+      SourceGate g;
+      g.line = lineno;
+      g.output = std::string(tok.back());
+      for (std::size_t i = 1; i + 1 < tok.size(); ++i) {
+        g.fanin.emplace_back(tok[i]);
+      }
+      d.gates.push_back(std::move(g));
+      cur_gate = static_cast<int>(d.gates.size()) - 1;
+      continue;
+    }
+    report.add(DiagCode::NL008, loc(filename, lineno),
+               strformat("unsupported BLIF construct: %.*s",
+                         static_cast<int>(dir.size()), dir.data()));
+  }
+  check_source_graph(d, filename, report);
+}
+
+DiagnosticReport lint_netlist_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  DiagnosticReport report;
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".bench") == 0) {
+    lint_bench_text(buf.str(), path, report);
+  } else if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".blif") == 0) {
+    lint_blif_text(buf.str(), path, report);
+  } else {
+    throw std::runtime_error("unknown netlist extension (want .bench/.blif): " +
+                             path);
+  }
+  return report;
+}
+
+} // namespace bns

@@ -1,0 +1,38 @@
+// Netlist lint: structural checks that run without executing any
+// inference.
+//
+// Two entry layers:
+//  * Source-level lint (`lint_bench_text` / `lint_blif_text`) uses a
+//    permissive scanner, so it can diagnose defects the strict readers
+//    in src/netlist/ reject outright — combinational loops, undriven
+//    and multiply-driven nets — and report *all* of them with line
+//    numbers instead of throwing on the first.
+//  * Structural lint (`lint_netlist`) runs on an already-built Netlist
+//    (whose construction rules out loops and duplicate drivers) and
+//    finds what construction permits: floating nets, unreachable gates,
+//    arity and truth-table inconsistencies.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+#include "verify/diagnostics.h"
+
+namespace bns {
+
+// Structural lint of a built netlist (NL003, NL005, NL006, NL007, NL010).
+void lint_netlist(const Netlist& nl, DiagnosticReport& report);
+
+// Source-level lint. `filename` only labels diagnostic locations.
+void lint_bench_text(std::string_view text, std::string_view filename,
+                     DiagnosticReport& report);
+void lint_blif_text(std::string_view text, std::string_view filename,
+                    DiagnosticReport& report);
+
+// Reads `path` (dispatching .bench / .blif on the extension) and runs
+// the source-level lint. Throws std::runtime_error when the file cannot
+// be read or has an unknown extension.
+DiagnosticReport lint_netlist_file(const std::string& path);
+
+} // namespace bns

@@ -1,0 +1,153 @@
+// End-to-end tests of the bns_lint command-line tool: each seeded-defect
+// fixture must produce its expected diagnostic code and exit status, and
+// --json output must round-trip through DiagnosticReport::from_json.
+//
+// The binary path and fixture directory are injected by CMake as
+// BNS_LINT_BINARY and BNS_FIXTURE_DIR. Runs use popen() so both the exit
+// status (via pclose/WEXITSTATUS) and stdout are observable — CTest's
+// PASS_REGULAR_EXPRESSION would mask the exit code, so we assert it here.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "verify/diagnostics.h"
+
+namespace bns {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(BNS_LINT_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunResult res;
+  if (pipe == nullptr) return res;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) {
+    res.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(BNS_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(LintCliTest, CleanBenchExitsZero) {
+  const RunResult r = run_lint(fixture("clean.bench"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 error(s), 0 warning(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintCliTest, CleanBlifExitsZero) {
+  const RunResult r = run_lint(fixture("clean.blif"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintCliTest, BuiltInBenchmarkFullLevelExitsZero) {
+  const RunResult r = run_lint("c17 --level full");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintCliTest, FloatingNetWarnsButExitsZero) {
+  const RunResult r = run_lint(fixture("floating_net.bench"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("NL003"), std::string::npos) << r.output;
+}
+
+TEST(LintCliTest, FloatingNetFailsUnderWerror) {
+  const RunResult r = run_lint(fixture("floating_net.bench") + " --werror");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST(LintCliTest, CombinationalLoopFails) {
+  const RunResult r = run_lint(fixture("comb_loop.bench"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("NL004"), std::string::npos) << r.output;
+}
+
+TEST(LintCliTest, MultiDriverFails) {
+  const RunResult r = run_lint(fixture("multi_driver.bench"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("NL002"), std::string::npos) << r.output;
+}
+
+TEST(LintCliTest, UndrivenNetFails) {
+  const RunResult r = run_lint(fixture("undriven.bench"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("NL001"), std::string::npos) << r.output;
+}
+
+TEST(LintCliTest, BadLutCoverFails) {
+  const RunResult r = run_lint(fixture("bad_lut.blif"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("NL007"), std::string::npos) << r.output;
+}
+
+TEST(LintCliTest, InjectedBadCptFailsModelLint) {
+  const RunResult r = run_lint("c17 --inject bad-cpt --level full");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("BN003"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("BN004"), std::string::npos) << r.output;
+}
+
+TEST(LintCliTest, InjectedBrokenRipFailsCompileLint) {
+  const RunResult r = run_lint("c17 --inject broken-rip");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("JT002"), std::string::npos) << r.output;
+}
+
+TEST(LintCliTest, JsonOutputRoundTrips) {
+  const RunResult r = run_lint(fixture("floating_net.bench") + " --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::optional<DiagnosticReport> report =
+      DiagnosticReport::from_json(r.output);
+  ASSERT_TRUE(report.has_value()) << r.output;
+  EXPECT_TRUE(report->has_code(DiagCode::NL003));
+  EXPECT_EQ(report->num_errors(), 0);
+  // Re-render and parse again: a fixed point.
+  const auto again = DiagnosticReport::from_json(report->render_json());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *report);
+}
+
+TEST(LintCliTest, JsonOutputOnErrorStillWellFormed) {
+  const RunResult r = run_lint(fixture("comb_loop.bench") + " --json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const auto report = DiagnosticReport::from_json(r.output);
+  ASSERT_TRUE(report.has_value()) << r.output;
+  EXPECT_TRUE(report->has_code(DiagCode::NL004));
+  EXPECT_GE(report->num_errors(), 1);
+}
+
+TEST(LintCliTest, ListCodesCoversAllCodes) {
+  const RunResult r = run_lint("--list-codes");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (DiagCode c : all_diag_codes()) {
+    EXPECT_NE(r.output.find(std::string(diag_code_name(c))),
+              std::string::npos)
+        << diag_code_name(c);
+  }
+}
+
+TEST(LintCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_lint("").exit_code, 2);
+  EXPECT_EQ(run_lint("c17 --level bogus").exit_code, 2);
+  EXPECT_EQ(run_lint("/nonexistent/file.bench").exit_code, 2);
+  EXPECT_EQ(run_lint("not_a_benchmark_name").exit_code, 2);
+}
+
+} // namespace
+} // namespace bns

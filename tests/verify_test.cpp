@@ -1,0 +1,733 @@
+// Tests for the static-verification subsystem (src/verify/): the
+// diagnostics engine, the netlist / model / compilation lint passes, and
+// the estimator integration. Every diagnostic code is exercised with a
+// deliberately corrupted input.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "bn/graph.h"
+#include "bn/junction_tree.h"
+#include "core/analyzer.h"
+#include "gen/benchmarks.h"
+#include "lidag/estimator.h"
+#include "netlist/netlist.h"
+#include "verify/compile_rules.h"
+#include "verify/diagnostics.h"
+#include "verify/model_rules.h"
+#include "verify/netlist_rules.h"
+
+namespace bns {
+namespace {
+
+// --- helpers -----------------------------------------------------------
+
+// Root prior over `v` with explicit probabilities.
+Factor prior(VarId v, std::vector<double> p) {
+  Factor f({v}, {static_cast<int>(p.size())});
+  for (std::size_t i = 0; i < p.size(); ++i) f.set_value(i, p[i]);
+  return f;
+}
+
+// CPT over `scope` that is uniform over the states of `child`: every
+// parent-configuration column sums to exactly 1.
+Factor uniform_cpt(std::vector<VarId> scope, std::vector<int> cards,
+                   VarId child) {
+  Factor f(scope, cards);
+  int child_card = 0;
+  for (std::size_t k = 0; k < scope.size(); ++k) {
+    if (scope[k] == child) child_card = cards[k];
+  }
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f.set_value(i, 1.0 / child_card);
+  }
+  return f;
+}
+
+DiagnosticReport lint_bench(std::string_view text) {
+  DiagnosticReport r;
+  lint_bench_text(text, "test.bench", r);
+  return r;
+}
+
+DiagnosticReport lint_blif(std::string_view text) {
+  DiagnosticReport r;
+  lint_blif_text(text, "test.blif", r);
+  return r;
+}
+
+// --- diagnostics engine ------------------------------------------------
+
+TEST(DiagnosticsTest, CodeTableRoundTrips) {
+  const std::vector<DiagCode> codes = all_diag_codes();
+  EXPECT_EQ(codes.size(), 25u);
+  for (DiagCode c : codes) {
+    const std::string_view name = diag_code_name(c);
+    EXPECT_EQ(name.size(), 5u) << name;
+    EXPECT_FALSE(diag_code_summary(c).empty()) << name;
+    DiagCode back = DiagCode::NL001;
+    ASSERT_TRUE(parse_diag_code(name, back)) << name;
+    EXPECT_EQ(back, c);
+  }
+  DiagCode out;
+  EXPECT_FALSE(parse_diag_code("XX999", out));
+  EXPECT_FALSE(parse_diag_code("", out));
+}
+
+TEST(DiagnosticsTest, SeverityNamesRoundTrip) {
+  for (Severity s : {Severity::Note, Severity::Warning, Severity::Error}) {
+    Severity back = Severity::Note;
+    ASSERT_TRUE(parse_severity(severity_name(s), back));
+    EXPECT_EQ(back, s);
+  }
+  Severity out;
+  EXPECT_FALSE(parse_severity("fatal", out));
+}
+
+TEST(DiagnosticsTest, DefaultSeverities) {
+  // Warnings: cosmetic/structural issues inference survives.
+  for (DiagCode c : {DiagCode::NL003, DiagCode::NL005, DiagCode::NL010}) {
+    EXPECT_EQ(diag_default_severity(c), Severity::Warning)
+        << diag_code_name(c);
+  }
+  // Everything model- or compile-breaking is an error.
+  for (DiagCode c : {DiagCode::NL001, DiagCode::NL002, DiagCode::NL004,
+                     DiagCode::BN002, DiagCode::BN003, DiagCode::JT002}) {
+    EXPECT_EQ(diag_default_severity(c), Severity::Error) << diag_code_name(c);
+  }
+}
+
+TEST(DiagnosticsTest, CountsAndLookup) {
+  DiagnosticReport r;
+  EXPECT_TRUE(r.empty());
+  r.add(DiagCode::NL003, "n1", "floating");          // default warning
+  r.add(DiagCode::NL004, "f:2", "loop");             // default error
+  r.add(DiagCode::NL007, Severity::Note, "l", "red"); // explicit override
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.num_errors(), 1);
+  EXPECT_EQ(r.num_warnings(), 1);
+  EXPECT_EQ(r.count(Severity::Note), 1);
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_TRUE(r.has_code(DiagCode::NL004));
+  EXPECT_FALSE(r.has_code(DiagCode::BN001));
+  ASSERT_NE(r.find(DiagCode::NL003), nullptr);
+  EXPECT_EQ(r.find(DiagCode::NL003)->message, "floating");
+
+  DiagnosticReport other;
+  other.add(DiagCode::BN001, "v0", "no cpt");
+  r.merge(other);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.num_errors(), 2);
+}
+
+TEST(DiagnosticsTest, RenderTextFormat) {
+  DiagnosticReport r;
+  r.add(DiagCode::NL004, "f.bench:7", "combinational loop: y <- y");
+  r.add(DiagCode::NL003, "", "floating");
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("error[NL004] f.bench:7: combinational loop: y <- y"),
+            std::string::npos)
+      << text;
+  // Empty locations render without the location segment.
+  EXPECT_NE(text.find("warning[NL003] floating"), std::string::npos) << text;
+}
+
+TEST(DiagnosticsTest, JsonRoundTrip) {
+  DiagnosticReport r;
+  r.add(DiagCode::NL008, "we\"ird\\path:3",
+        "quote \" backslash \\ newline \n tab \t control \x01 done");
+  r.add(DiagCode::BN003, Severity::Warning, "v7", "column 2 sums to 1.5");
+  const std::string json = r.render_json("bns_lint", "x.bench");
+  const std::optional<DiagnosticReport> back = DiagnosticReport::from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, r);
+}
+
+TEST(DiagnosticsTest, JsonRoundTripEmpty) {
+  const DiagnosticReport r;
+  const auto back = DiagnosticReport::from_json(r.render_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(DiagnosticsTest, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(DiagnosticReport::from_json("not json").has_value());
+  EXPECT_FALSE(DiagnosticReport::from_json("{\"diagnostics\": [").has_value());
+  // Unknown code name.
+  EXPECT_FALSE(DiagnosticReport::from_json(
+                   R"({"diagnostics": [{"code": "ZZ123", "severity": "error",
+                       "location": "", "message": "m"}]})")
+                   .has_value());
+}
+
+// --- bench source lint -------------------------------------------------
+
+TEST(BenchLintTest, CleanCircuitIsQuiet) {
+  const auto r = lint_bench(R"(
+# comment
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = AND(a, b)
+y = NOT(n1)
+)");
+  EXPECT_TRUE(r.empty()) << r.render_text();
+}
+
+TEST(BenchLintTest, UndrivenFanin_NL001) {
+  const auto r = lint_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n");
+  ASSERT_TRUE(r.has_code(DiagCode::NL001)) << r.render_text();
+  EXPECT_NE(r.find(DiagCode::NL001)->message.find("ghost"), std::string::npos);
+}
+
+TEST(BenchLintTest, MultiplyDriven_NL002) {
+  const auto r = lint_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ny = OR(a, b)\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL002)) << r.render_text();
+}
+
+TEST(BenchLintTest, InputAlsoDriven_NL002) {
+  const auto r = lint_bench("INPUT(a)\nINPUT(y)\nOUTPUT(y)\ny = NOT(a)\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL002)) << r.render_text();
+}
+
+TEST(BenchLintTest, FloatingNet_NL003) {
+  const auto r = lint_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ndead = OR(a, b)\n");
+  ASSERT_TRUE(r.has_code(DiagCode::NL003)) << r.render_text();
+  EXPECT_EQ(r.find(DiagCode::NL003)->severity, Severity::Warning);
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(BenchLintTest, UnusedPrimaryInput_NL003) {
+  const auto r = lint_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a)\n");
+  ASSERT_TRUE(r.has_code(DiagCode::NL003)) << r.render_text();
+  EXPECT_NE(r.find(DiagCode::NL003)->message.find("primary input"),
+            std::string::npos);
+}
+
+TEST(BenchLintTest, CombinationalLoop_NL004) {
+  const auto r =
+      lint_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, fb)\nfb = OR(y, a)\n");
+  ASSERT_TRUE(r.has_code(DiagCode::NL004)) << r.render_text();
+  EXPECT_NE(r.find(DiagCode::NL004)->message.find("loop"), std::string::npos);
+}
+
+TEST(BenchLintTest, SelfLoop_NL004) {
+  const auto r = lint_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL004)) << r.render_text();
+}
+
+TEST(BenchLintTest, UnreachableGate_NL005) {
+  // u1 feeds u2 (so it is not floating) but neither reaches the output.
+  const auto r = lint_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+u1 = OR(a, b)
+u2 = AND(u1, a)
+)");
+  ASSERT_TRUE(r.has_code(DiagCode::NL005)) << r.render_text();
+  EXPECT_NE(r.find(DiagCode::NL005)->message.find("u1"), std::string::npos);
+  EXPECT_TRUE(r.has_code(DiagCode::NL003)); // u2 itself floats
+}
+
+TEST(BenchLintTest, ArityMismatch_NL006) {
+  const auto r = lint_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL006)) << r.render_text();
+}
+
+TEST(BenchLintTest, SyntaxError_NL008) {
+  const auto r = lint_bench("INPUT a\nOUTPUT(y)\ny = AND(a\nzzz\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL008)) << r.render_text();
+}
+
+TEST(BenchLintTest, UnknownGateType_NL009) {
+  const auto r = lint_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL009)) << r.render_text();
+}
+
+TEST(BenchLintTest, NoOutputs_NL010) {
+  const auto r = lint_bench("INPUT(a)\nn = NOT(a)\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL010)) << r.render_text();
+}
+
+TEST(BenchLintTest, DuplicateInput_NL011) {
+  const auto r = lint_bench("INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL011)) << r.render_text();
+}
+
+TEST(BenchLintTest, OutputNeverDriven_NL012) {
+  const auto r = lint_bench("INPUT(a)\nOUTPUT(nowhere)\nOUTPUT(y)\ny = NOT(a)\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL012)) << r.render_text();
+}
+
+// --- BLIF source lint --------------------------------------------------
+
+TEST(BlifLintTest, CleanCircuitIsQuiet) {
+  const auto r = lint_blif(R"(.model clean
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+)");
+  EXPECT_TRUE(r.empty()) << r.render_text();
+}
+
+TEST(BlifLintTest, ContinuationLinesAreFolded) {
+  const auto r = lint_blif(".model c\n.inputs \\\na b\n.outputs y\n"
+                           ".names a b y\n11 1\n.end\n");
+  EXPECT_TRUE(r.empty()) << r.render_text();
+}
+
+TEST(BlifLintTest, CoverWidthMismatch_NL007) {
+  const auto r = lint_blif(R"(.model bad
+.inputs a b
+.outputs y
+.names a b y
+11 1
+1 1
+.end
+)");
+  ASSERT_TRUE(r.has_code(DiagCode::NL007)) << r.render_text();
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(BlifLintTest, BadCoverCharacters_NL008) {
+  const auto r = lint_blif(
+      ".model bad\n.inputs a b\n.outputs y\n.names a b y\n2x 1\n.end\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL008)) << r.render_text();
+}
+
+TEST(BlifLintTest, CoverRowOutsideNames_NL008) {
+  const auto r = lint_blif(".model bad\n.inputs a\n.outputs y\n11 1\n.end\n");
+  EXPECT_TRUE(r.has_code(DiagCode::NL008)) << r.render_text();
+}
+
+TEST(BlifLintTest, UnsupportedConstruct_NL008) {
+  const auto r = lint_blif(R"(.model seq
+.inputs a
+.outputs y
+.latch a y re clk 0
+.end
+)");
+  EXPECT_TRUE(r.has_code(DiagCode::NL008)) << r.render_text();
+}
+
+TEST(BlifLintTest, LoopAcrossNames_NL004) {
+  const auto r = lint_blif(R"(.model loop
+.inputs a
+.outputs y
+.names a fb y
+11 1
+.names y fb
+1 1
+.end
+)");
+  EXPECT_TRUE(r.has_code(DiagCode::NL004)) << r.render_text();
+}
+
+// --- built-netlist lint ------------------------------------------------
+
+TEST(NetlistLintTest, BuiltInBenchmarkIsQuiet) {
+  const Netlist nl = make_benchmark("c17");
+  DiagnosticReport r;
+  lint_netlist(nl, r);
+  EXPECT_TRUE(r.empty()) << r.render_text();
+}
+
+TEST(NetlistLintTest, FloatingAndUnreachable) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId y = nl.add_gate(GateType::And, "y", {a, b});
+  const NodeId u1 = nl.add_gate(GateType::Or, "u1", {a, b});
+  nl.add_gate(GateType::And, "u2", {u1, a}); // floats; makes u1 unreachable
+  nl.mark_output(y);
+  DiagnosticReport r;
+  lint_netlist(nl, r);
+  EXPECT_TRUE(r.has_code(DiagCode::NL003)) << r.render_text();
+  EXPECT_TRUE(r.has_code(DiagCode::NL005)) << r.render_text();
+}
+
+TEST(NetlistLintTest, NoOutputs_NL010) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  nl.add_gate(GateType::Not, "n", {a});
+  DiagnosticReport r;
+  lint_netlist(nl, r);
+  EXPECT_TRUE(r.has_code(DiagCode::NL010)) << r.render_text();
+}
+
+TEST(NetlistLintTest, RedundantLutInputIsNoted_NL007) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  // f(a, b) = a: input b is redundant.
+  TruthTable tt(2);
+  tt.set_value(1, true); // minterm a=1,b=0
+  tt.set_value(3, true); // minterm a=1,b=1
+  const NodeId y = nl.add_lut("y", {a, b}, tt);
+  nl.mark_output(y);
+  DiagnosticReport r;
+  lint_netlist(nl, r);
+  ASSERT_TRUE(r.has_code(DiagCode::NL007)) << r.render_text();
+  EXPECT_EQ(r.find(DiagCode::NL007)->severity, Severity::Note);
+  EXPECT_FALSE(r.has_errors());
+}
+
+// --- model lint --------------------------------------------------------
+
+TEST(ModelLintTest, ValidNetworkIsQuiet) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId y = bn.add_variable("y", 2);
+  bn.set_cpt(a, {}, prior(a, {0.3, 0.7}));
+  bn.set_cpt(y, {a}, uniform_cpt({a, y}, {2, 2}, y));
+  DiagnosticReport r;
+  lint_bayes_net(bn, r);
+  EXPECT_TRUE(r.empty()) << r.render_text();
+  EXPECT_EQ(bn.validate(), "");
+}
+
+TEST(ModelLintTest, MissingCpt_BN001) {
+  BayesianNetwork bn;
+  bn.add_variable("a", 2);
+  DiagnosticReport r;
+  lint_bayes_net(bn, r);
+  EXPECT_TRUE(r.has_code(DiagCode::BN001)) << r.render_text();
+  EXPECT_NE(bn.validate(), "");
+}
+
+TEST(ModelLintTest, DirectedCycle_BN002) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId b = bn.add_variable("b", 2);
+  bn.set_cpt(a, {b}, uniform_cpt({a, b}, {2, 2}, a));
+  bn.set_cpt(b, {a}, uniform_cpt({a, b}, {2, 2}, b));
+  DiagnosticReport r;
+  lint_bayes_net(bn, r);
+  EXPECT_TRUE(r.has_code(DiagCode::BN002)) << r.render_text();
+}
+
+TEST(ModelLintTest, NonStochasticColumn_BN003) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId y = bn.add_variable("y", 2);
+  bn.set_cpt(a, {}, prior(a, {0.5, 0.5}));
+  Factor f = uniform_cpt({a, y}, {2, 2}, y);
+  f.set_value(0, 0.9); // column a=0 now sums to 1.4
+  bn.set_cpt(y, {a}, std::move(f));
+  DiagnosticReport r;
+  lint_bayes_net(bn, r);
+  EXPECT_TRUE(r.has_code(DiagCode::BN003)) << r.render_text();
+}
+
+TEST(ModelLintTest, NonDeterministicGateCpt_BN004) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId y = bn.add_variable("y", 2);
+  bn.set_cpt(a, {}, prior(a, {0.5, 0.5}));
+  bn.set_cpt(y, {a}, uniform_cpt({a, y}, {2, 2}, y)); // entries 0.5: stochastic
+  DiagnosticReport quiet;
+  lint_bayes_net(bn, quiet);
+  EXPECT_TRUE(quiet.empty()) << quiet.render_text();
+
+  // The same network fails once y is declared deterministic.
+  const std::vector<VarId> det = {y};
+  ModelLintOptions opts;
+  opts.deterministic_vars = det;
+  DiagnosticReport r;
+  lint_bayes_net(bn, r, opts);
+  EXPECT_TRUE(r.has_code(DiagCode::BN004)) << r.render_text();
+}
+
+TEST(ModelLintTest, BadRootPrior_BN005) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  bn.set_cpt(a, {}, prior(a, {0.6, 0.6}));
+  DiagnosticReport r;
+  lint_bayes_net(bn, r);
+  EXPECT_TRUE(r.has_code(DiagCode::BN005)) << r.render_text();
+}
+
+TEST(ModelLintTest, NegativeAndNonFiniteEntries_BN008) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  bn.set_cpt(a, {}, prior(a, {1.5, -0.5}));
+  DiagnosticReport r;
+  lint_bayes_net(bn, r);
+  EXPECT_TRUE(r.has_code(DiagCode::BN008)) << r.render_text();
+
+  BayesianNetwork bn2;
+  const VarId b = bn2.add_variable("b", 2);
+  bn2.set_cpt(b, {},
+              prior(b, {std::numeric_limits<double>::quiet_NaN(), 1.0}));
+  DiagnosticReport r2;
+  lint_bayes_net(bn2, r2);
+  EXPECT_TRUE(r2.has_code(DiagCode::BN008)) << r2.render_text();
+}
+
+// --- LIDAG dependency preservation (BN006 / BN007) ---------------------
+
+namespace lidag_fixture {
+
+// Netlist: inputs a, b, c; y = AND(a, b). (c exists so a spurious
+// dependency can be wired in the BN.)
+struct Fixture {
+  Netlist nl{"t"};
+  NodeId a, b, c, y;
+  Fixture() {
+    a = nl.add_input("a");
+    b = nl.add_input("b");
+    c = nl.add_input("c");
+    y = nl.add_gate(GateType::And, "y", {a, b});
+    nl.mark_output(y);
+  }
+};
+
+} // namespace lidag_fixture
+
+TEST(LidagStructureTest, FaithfulModelIsQuiet) {
+  lidag_fixture::Fixture fx;
+  BayesianNetwork bn;
+  const VarId va = bn.add_variable("a", 4);
+  const VarId vb = bn.add_variable("b", 4);
+  const VarId vc = bn.add_variable("c", 4);
+  const VarId vy = bn.add_variable("y", 4);
+  bn.set_cpt(vy, {va, vb}, uniform_cpt({va, vb, vy}, {4, 4, 4}, vy));
+  const std::vector<VarId> map = {va, vb, vc, vy};
+  const std::vector<VarId> roots = {va, vb, vc};
+  DiagnosticReport r;
+  lint_lidag_structure(fx.nl, bn, map, roots, r);
+  EXPECT_TRUE(r.empty()) << r.render_text();
+}
+
+TEST(LidagStructureTest, MissingDependency_BN007) {
+  lidag_fixture::Fixture fx;
+  BayesianNetwork bn;
+  const VarId va = bn.add_variable("a", 4);
+  const VarId vb = bn.add_variable("b", 4);
+  const VarId vc = bn.add_variable("c", 4);
+  const VarId vy = bn.add_variable("y", 4);
+  bn.set_cpt(vy, {va}, uniform_cpt({va, vy}, {4, 4}, vy)); // drops b
+  const std::vector<VarId> map = {va, vb, vc, vy};
+  const std::vector<VarId> roots = {va, vb, vc};
+  DiagnosticReport r;
+  lint_lidag_structure(fx.nl, bn, map, roots, r);
+  ASSERT_TRUE(r.has_code(DiagCode::BN007)) << r.render_text();
+  EXPECT_NE(r.find(DiagCode::BN007)->message.find("does not depend"),
+            std::string::npos);
+}
+
+TEST(LidagStructureTest, SpuriousDependency_BN007) {
+  lidag_fixture::Fixture fx;
+  BayesianNetwork bn;
+  const VarId va = bn.add_variable("a", 4);
+  const VarId vb = bn.add_variable("b", 4);
+  const VarId vc = bn.add_variable("c", 4);
+  const VarId vy = bn.add_variable("y", 4);
+  bn.set_cpt(vy, {va, vb, vc},
+             uniform_cpt({va, vb, vc, vy}, {4, 4, 4, 4}, vy)); // extra c
+  const std::vector<VarId> map = {va, vb, vc, vy};
+  const std::vector<VarId> roots = {va, vb, vc};
+  DiagnosticReport r;
+  lint_lidag_structure(fx.nl, bn, map, roots, r);
+  ASSERT_TRUE(r.has_code(DiagCode::BN007)) << r.render_text();
+  EXPECT_NE(r.find(DiagCode::BN007)->message.find("not one of its fanins"),
+            std::string::npos);
+}
+
+TEST(LidagStructureTest, DependencyThroughAuxiliaryIsAccepted) {
+  lidag_fixture::Fixture fx;
+  BayesianNetwork bn;
+  const VarId va = bn.add_variable("a", 4);
+  const VarId vb = bn.add_variable("b", 4);
+  const VarId vc = bn.add_variable("c", 4);
+  // Divorcing auxiliary between the fanins and the gate output.
+  const VarId aux = bn.add_variable("aux", 4);
+  const VarId vy = bn.add_variable("y", 4);
+  bn.set_cpt(aux, {va, vb}, uniform_cpt({va, vb, aux}, {4, 4, 4}, aux));
+  bn.set_cpt(vy, {aux}, uniform_cpt({aux, vy}, {4, 4}, vy));
+  const std::vector<VarId> map = {va, vb, vc, vy}; // aux is not a line var
+  const std::vector<VarId> roots = {va, vb, vc};
+  DiagnosticReport r;
+  lint_lidag_structure(fx.nl, bn, map, roots, r);
+  EXPECT_TRUE(r.empty()) << r.render_text();
+}
+
+TEST(LidagStructureTest, RootGateLinesAreSkipped) {
+  lidag_fixture::Fixture fx;
+  BayesianNetwork bn;
+  const VarId vy = bn.add_variable("y", 4); // boundary root: prior, no fanin
+  const std::vector<VarId> map = {-1, -1, -1, vy};
+  const std::vector<VarId> roots = {vy};
+  DiagnosticReport r;
+  lint_lidag_structure(fx.nl, bn, map, roots, r);
+  EXPECT_TRUE(r.empty()) << r.render_text();
+}
+
+TEST(LidagStructureTest, MapSizeMismatch_BN006) {
+  lidag_fixture::Fixture fx;
+  BayesianNetwork bn;
+  bn.add_variable("a", 4);
+  const std::vector<VarId> map = {0}; // netlist has 4 nodes
+  DiagnosticReport r;
+  lint_lidag_structure(fx.nl, bn, map, {}, r);
+  EXPECT_TRUE(r.has_code(DiagCode::BN006)) << r.render_text();
+}
+
+TEST(LidagStructureTest, MapOutOfRange_BN006) {
+  lidag_fixture::Fixture fx;
+  BayesianNetwork bn;
+  const VarId va = bn.add_variable("a", 4);
+  const std::vector<VarId> map = {va, -1, -1, 99};
+  DiagnosticReport r;
+  lint_lidag_structure(fx.nl, bn, map, {}, r);
+  EXPECT_TRUE(r.has_code(DiagCode::BN006)) << r.render_text();
+}
+
+// --- compilation lint --------------------------------------------------
+
+TEST(CompileLintTest, RealCompilationIsQuiet) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId b = bn.add_variable("b", 2);
+  const VarId y = bn.add_variable("y", 2);
+  bn.set_cpt(a, {}, prior(a, {0.5, 0.5}));
+  bn.set_cpt(b, {}, prior(b, {0.2, 0.8}));
+  bn.set_cpt(y, {a, b}, uniform_cpt({a, b, y}, {2, 2, 2}, y));
+  const JunctionTreeEngine eng(bn);
+  DiagnosticReport r;
+  lint_compilation(bn, eng.triangulation(), eng.tree(), r);
+  EXPECT_TRUE(r.empty()) << r.render_text();
+  EXPECT_EQ(eng.tree().check_running_intersection(), "");
+}
+
+TEST(CompileLintTest, NonChordalTriangulation_JT001) {
+  BayesianNetwork bn;
+  for (int i = 0; i < 4; ++i) {
+    const VarId v = bn.add_variable("v" + std::to_string(i), 2);
+    bn.set_cpt(v, {}, prior(v, {0.5, 0.5}));
+  }
+  // A 4-cycle with no chord: the identity order is not perfect.
+  Triangulation t;
+  t.graph = UndirectedGraph(4);
+  t.graph.add_edge(0, 1);
+  t.graph.add_edge(1, 2);
+  t.graph.add_edge(2, 3);
+  t.graph.add_edge(0, 3);
+  t.elimination_order = {0, 1, 2, 3};
+  t.cliques = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  const JunctionTree jt(t);
+  DiagnosticReport r;
+  lint_compilation(bn, t, jt, r);
+  EXPECT_TRUE(r.has_code(DiagCode::JT001)) << r.render_text();
+}
+
+TEST(CompileLintTest, BrokenRunningIntersection_JT002) {
+  // Cliques {0,1}, {1,2}, {0,2} chained linearly: variable 0 appears at
+  // both ends but in no separator of the middle edge.
+  const std::vector<std::vector<int>> cliques = {{0, 1}, {1, 2}, {0, 2}};
+  std::vector<JunctionTreeEdge> edges(2);
+  edges[0] = {0, 1, {1}};
+  edges[1] = {1, 2, {2}};
+  DiagnosticReport r;
+  lint_junction_structure(3, cliques, edges, r);
+  ASSERT_TRUE(r.has_code(DiagCode::JT002)) << r.render_text();
+  EXPECT_FALSE(r.has_code(DiagCode::JT004)); // separators are correct
+}
+
+TEST(CompileLintTest, FamilyNotCovered_JT003) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId b = bn.add_variable("b", 2);
+  const VarId y = bn.add_variable("y", 2);
+  bn.set_cpt(a, {}, prior(a, {0.5, 0.5}));
+  bn.set_cpt(b, {}, prior(b, {0.5, 0.5}));
+  bn.set_cpt(y, {a, b}, uniform_cpt({a, b, y}, {2, 2, 2}, y));
+  // A path-shaped junction structure: no clique holds the family {a,b,y}.
+  Triangulation t;
+  t.graph = UndirectedGraph(3);
+  t.graph.add_edge(0, 1);
+  t.graph.add_edge(1, 2);
+  t.elimination_order = {0, 2, 1}; // perfect for the path
+  t.cliques = {{0, 1}, {1, 2}};
+  const JunctionTree jt(t);
+  DiagnosticReport r;
+  lint_compilation(bn, t, jt, r);
+  EXPECT_TRUE(r.has_code(DiagCode::JT003)) << r.render_text();
+  EXPECT_FALSE(r.has_code(DiagCode::JT001)) << r.render_text();
+}
+
+TEST(CompileLintTest, SeparatorNotIntersection_JT004) {
+  const std::vector<std::vector<int>> cliques = {{0, 1}, {1, 2}};
+  std::vector<JunctionTreeEdge> edges(1);
+  edges[0] = {0, 1, {0, 1}}; // true intersection is {1}
+  DiagnosticReport r;
+  lint_junction_structure(3, cliques, edges, r);
+  EXPECT_TRUE(r.has_code(DiagCode::JT004)) << r.render_text();
+}
+
+TEST(CompileLintTest, UncoveredAndOutOfRangeVariables_JT005) {
+  const std::vector<std::vector<int>> cliques = {{0, 5}};
+  DiagnosticReport r;
+  lint_junction_structure(3, cliques, {}, r);
+  // Variable 5 is out of range; variables 1 and 2 appear in no clique.
+  EXPECT_TRUE(r.has_code(DiagCode::JT005)) << r.render_text();
+  EXPECT_GE(r.num_errors(), 3);
+}
+
+// --- estimator / analyzer integration ----------------------------------
+
+TEST(VerifyIntegrationTest, EstimatorFullVerifyIsQuietOnBenchmark) {
+  const Netlist nl = make_benchmark("c17");
+  const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
+  const LidagEstimator est(nl, model);
+  const DiagnosticReport r = est.verify(VerifyLevel::Full);
+  EXPECT_TRUE(r.empty()) << r.render_text();
+  EXPECT_TRUE(est.verify(VerifyLevel::Off).empty());
+}
+
+TEST(VerifyIntegrationTest, VerifyKnobDoesNotThrowOnCleanCircuit) {
+  const Netlist nl = make_benchmark("c17");
+  const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
+  EstimatorOptions opts;
+  opts.verify = VerifyLevel::Full;
+  EXPECT_NO_THROW({ const LidagEstimator est(nl, model, opts); });
+}
+
+TEST(VerifyIntegrationTest, SegmentedEstimatorVerifies) {
+  // Force multi-segment compilation so cross-boundary roots exercise the
+  // root-skipping path of the dependency check.
+  const Netlist nl = make_benchmark("c432");
+  const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
+  EstimatorOptions opts;
+  opts.single_bn_nodes = 64;
+  opts.segment_nodes = 64;
+  const LidagEstimator est(nl, model, opts);
+  ASSERT_GT(est.num_segments(), 1);
+  const DiagnosticReport r = est.verify(VerifyLevel::Full);
+  // The generated c432 stand-in has floating nets (NL003/NL005 warnings),
+  // but the compiled model and junction trees must be defect-free: every
+  // model/compile code is error-severity.
+  EXPECT_FALSE(r.has_errors()) << r.render_text();
+}
+
+TEST(VerifyIntegrationTest, AnalyzerVerifyFacade) {
+  const Netlist nl = make_benchmark("c17");
+  const SwitchingAnalyzer an(nl);
+  const DiagnosticReport r = an.verify();
+  EXPECT_TRUE(r.empty()) << r.render_text();
+  // The report serializes and round-trips even when empty.
+  const auto back = DiagnosticReport::from_json(r.render_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, r);
+}
+
+} // namespace
+} // namespace bns

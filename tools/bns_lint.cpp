@@ -1,0 +1,248 @@
+// bns_lint — static model checking for netlists and their compiled
+// LIDAG Bayesian networks, without running any inference.
+//
+//   bns_lint circuit.bench            source + structural netlist lint
+//   bns_lint circuit.blif --json      same, machine-readable report
+//   bns_lint c432 --level full        built-in benchmark, full pipeline
+//
+// Pipeline (stops early when a stage reports errors):
+//   1. source lint      permissive .bench/.blif scan: syntax, undriven /
+//                       multiply-driven / floating nets, combinational
+//                       loops, unreachable gates (NL001-NL012)
+//   2. structural lint  checks on the built netlist (arity, LUT tables)
+//   3. model lint       [--level fast+] LIDAG BN invariants (BN001-BN008)
+//   4. compile lint     [--level full] junction-tree invariants
+//                       (JT001-JT005)
+//
+// Exit status: 0 clean (or warnings without --werror), 1 error-severity
+// findings, 2 usage or I/O failure.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "gen/benchmarks.h"
+#include "lidag/estimator.h"
+#include "netlist/bench_io.h"
+#include "netlist/blif_io.h"
+#include "verify/compile_rules.h"
+#include "verify/model_rules.h"
+#include "verify/netlist_rules.h"
+
+namespace bns {
+namespace {
+
+struct Options {
+  std::string circuit;
+  VerifyLevel level = VerifyLevel::Fast;
+  bool json = false;
+  bool werror = false;
+  bool list_codes = false;
+  // Test hooks: deliberately corrupt the model / the compiled structure
+  // so the downstream checkers (and their exit-status contract) can be
+  // exercised end-to-end from fixture circuits that are themselves clean.
+  bool inject_bad_cpt = false;
+  bool inject_broken_rip = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr, "%s", R"(usage: bns_lint <circuit> [options]
+  <circuit>           path to .bench/.blif, or a built-in benchmark name
+options:
+  --level off|fast|full   checking depth (default fast; full compiles the
+                          LIDAG junction trees and lints them too)
+  --json                  machine-readable report on stdout
+  --werror                treat warnings as errors for the exit status
+  --list-codes            print the diagnostic-code table and exit
+test hooks (documented for the test suite; not for production use):
+  --inject bad-cpt        corrupt one gate CPT before model lint
+  --inject broken-rip     lint a junction structure violating the
+                          running intersection property
+)");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--level") {
+      const std::string level = next();
+      if (level == "off") {
+        o.level = VerifyLevel::Off;
+      } else if (level == "fast") {
+        o.level = VerifyLevel::Fast;
+      } else if (level == "full") {
+        o.level = VerifyLevel::Full;
+      } else {
+        usage();
+      }
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--werror") {
+      o.werror = true;
+    } else if (a == "--list-codes") {
+      o.list_codes = true;
+    } else if (a == "--inject") {
+      const std::string kind = next();
+      if (kind == "bad-cpt") {
+        o.inject_bad_cpt = true;
+      } else if (kind == "broken-rip") {
+        o.inject_broken_rip = true;
+      } else {
+        usage();
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      usage();
+    } else if (o.circuit.empty()) {
+      o.circuit = a;
+    } else {
+      usage();
+    }
+  }
+  if (o.circuit.empty() && !o.list_codes) usage();
+  return o;
+}
+
+int cmd_list_codes() {
+  std::printf("%-7s %-8s %s\n", "code", "default", "meaning");
+  for (DiagCode c : all_diag_codes()) {
+    std::printf("%-7.*s %-8.*s %.*s\n",
+                static_cast<int>(diag_code_name(c).size()),
+                diag_code_name(c).data(),
+                static_cast<int>(severity_name(diag_default_severity(c)).size()),
+                severity_name(diag_default_severity(c)).data(),
+                static_cast<int>(diag_code_summary(c).size()),
+                diag_code_summary(c).data());
+  }
+  return 0;
+}
+
+// Source-level lint and the estimator's built-netlist lint overlap for
+// file inputs (e.g. a floating net is visible to both); keep the first
+// occurrence of each (code, message) pair.
+void merge_deduped(DiagnosticReport& into, const DiagnosticReport& from) {
+  for (const Diagnostic& d : from.diagnostics()) {
+    bool dup = false;
+    for (const Diagnostic& e : into.diagnostics()) {
+      dup |= e.code == d.code && e.message == d.message;
+    }
+    if (!dup) into.add(d.code, d.severity, d.location, d.message);
+  }
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Corrupts the first deterministic gate CPT it finds (scales one entry),
+// so model lint must flag BN003/BN004 through the regular pipeline.
+void inject_bad_cpt(BayesianNetwork& bn) {
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    if (bn.parents(v).empty() || !bn.has_cpt(v)) continue;
+    Factor f = bn.cpt(v);
+    f.set_value(0, f.value(0) + 0.5);
+    bn.set_cpt(v, bn.parents(v), std::move(f));
+    return;
+  }
+  throw std::runtime_error("--inject bad-cpt: circuit has no gate CPT");
+}
+
+// A three-clique cycle over a triangle: whatever spanning tree the
+// junction-tree builder picks, one variable's cliques end up
+// disconnected, so the RIP lint must flag JT002.
+void lint_injected_broken_rip(DiagnosticReport& report) {
+  Triangulation t;
+  t.graph = UndirectedGraph(3);
+  t.graph.add_edge(0, 1);
+  t.graph.add_edge(1, 2);
+  t.graph.add_edge(0, 2);
+  t.elimination_order = {0, 1, 2};
+  t.cliques = {{0, 1}, {1, 2}, {0, 2}};
+  const JunctionTree jt(t);
+  lint_junction_structure(3, jt.cliques(), jt.edges(), report);
+}
+
+int run(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.list_codes) return cmd_list_codes();
+
+  DiagnosticReport report;
+  const bool from_file =
+      ends_with(o.circuit, ".bench") || ends_with(o.circuit, ".blif");
+
+  // Stage 1: source-level lint (files only; built-ins are constructed
+  // programmatically and have no source to scan).
+  if (from_file && o.level != VerifyLevel::Off) {
+    report.merge(lint_netlist_file(o.circuit));
+  }
+
+  // Stages 2-4 need a built netlist, which the strict readers can only
+  // produce when the source is loadable at all.
+  if (!report.has_errors() && o.level != VerifyLevel::Off) {
+    const Netlist nl = from_file
+                           ? (ends_with(o.circuit, ".bench")
+                                  ? read_bench_file(o.circuit)
+                                  : read_blif_file(o.circuit))
+                           : make_benchmark(o.circuit);
+    if (!from_file) lint_netlist(nl, report);
+
+    if (o.inject_bad_cpt) {
+      const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
+      LidagBn lb = build_lidag(nl, model);
+      inject_bad_cpt(lb.bn);
+      std::vector<bool> is_root(
+          static_cast<std::size_t>(lb.bn.num_variables()), false);
+      std::vector<VarId> det_vars, root_vars;
+      for (const LidagRoot& r : lb.roots) {
+        root_vars.push_back(r.var);
+        is_root[static_cast<std::size_t>(r.var)] = true;
+      }
+      for (const LidagRoot& r : lb.grouped_inputs) {
+        is_root[static_cast<std::size_t>(r.var)] = true;
+      }
+      for (VarId v = 0; v < lb.bn.num_variables(); ++v) {
+        if (!is_root[static_cast<std::size_t>(v)]) det_vars.push_back(v);
+      }
+      ModelLintOptions mopts;
+      mopts.deterministic_vars = det_vars;
+      lint_bayes_net(lb.bn, report, mopts);
+      lint_lidag_structure(nl, lb.bn, lb.var_of_node, root_vars, report);
+    } else if (o.level >= VerifyLevel::Fast && !o.inject_broken_rip) {
+      const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
+      EstimatorOptions eopts;
+      const LidagEstimator est(nl, model, eopts);
+      merge_deduped(report, est.verify(o.level));
+    }
+    if (o.inject_broken_rip) lint_injected_broken_rip(report);
+  }
+
+  if (o.json) {
+    std::cout << report.render_json("bns_lint", o.circuit);
+  } else {
+    std::cout << report.render_text();
+    std::printf("%s: %d error(s), %d warning(s), %zu finding(s)\n",
+                o.circuit.c_str(), report.num_errors(), report.num_warnings(),
+                report.size());
+  }
+  const bool fail =
+      report.has_errors() || (o.werror && report.num_warnings() > 0);
+  return fail ? 1 : 0;
+}
+
+} // namespace
+} // namespace bns
+
+int main(int argc, char** argv) {
+  try {
+    return bns::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
