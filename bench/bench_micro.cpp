@@ -49,6 +49,46 @@ void BM_FactorMarginal(benchmark::State& state) {
 }
 BENCHMARK(BM_FactorMarginal)->DenseRange(3, 9);
 
+// Satellite of the schedule PR: summing out the fastest-varying axis
+// (scope position 0) hits the contiguous-block accumulation fast path
+// in the ScopeMap kernels; the slowest axis is the strided worst case.
+// Arg(0) = fastest axis, Arg(1) = slowest axis, on an 8-variable table.
+void BM_SumOutAxis(benchmark::State& state) {
+  const int k = 8;
+  Rng rng(1);
+  std::vector<VarId> va;
+  for (int i = 0; i < k; ++i) va.push_back(i);
+  const Factor a = random_factor(va, rng);
+  const VarId victim = state.range(0) == 0 ? 0 : k - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.sum_out(victim));
+  }
+}
+BENCHMARK(BM_SumOutAxis)->Arg(0)->Arg(1);
+
+// Scheduled vs legacy engine update loop (load_potentials + propagate
+// on a precompiled tree). Arg(0) = legacy temporary-factor messages,
+// Arg(1) = compiled MessagePlans (zero-allocation stride programs).
+void BM_EngineUpdate(benchmark::State& state) {
+  const Netlist nl = make_benchmark("count");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  LidagBn lb = build_lidag(nl, m);
+  std::vector<std::array<double, 4>> bd(
+      static_cast<std::size_t>(nl.num_nodes()));
+  quantify_lidag(lb, m, bd);
+  CompileOptions opts;
+  opts.compile_schedule = state.range(0) != 0;
+  JunctionTreeEngine eng(lb.bn, opts);
+  eng.load_potentials();
+  eng.propagate();
+  for (auto _ : state) {
+    eng.load_potentials();
+    eng.propagate();
+    benchmark::DoNotOptimize(eng.propagated());
+  }
+}
+BENCHMARK(BM_EngineUpdate)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_Moralize(benchmark::State& state) {
   const Netlist nl = make_benchmark("c880");
   const InputModel m = InputModel::uniform(nl.num_inputs());

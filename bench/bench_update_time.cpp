@@ -6,7 +6,17 @@
 // For each circuit: compile once, then propagate a sweep of input signal
 // probabilities / temporal correlations, reporting compile time vs the
 // per-update propagate time.
+//
+// Usage:
+//   bench_update_time [circuit...] [--threads N[,N...]] [--json PATH]
+//
+// --threads runs the sweep once per listed worker count (default "1").
+// --json appends one record per (circuit, thread count) to PATH as a
+// JSON array of {"bench","circuit","wall_seconds","threads"} objects —
+// the schema consumed by CI's bench-smoke artifact.
+#include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,9 +28,61 @@
 
 using namespace bns;
 
+namespace {
+
+std::vector<int> parse_thread_list(const std::string& arg) {
+  std::vector<int> out;
+  std::stringstream ss(arg);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const int n = std::atoi(tok.c_str());
+    if (n > 0) out.push_back(n);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+struct JsonRecord {
+  std::string circuit;
+  double wall_seconds = 0.0;
+  int threads = 1;
+};
+
+void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return;
+  }
+  std::fputs("[\n", f);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    std::fprintf(f,
+                 "  {\"bench\": \"bench_update_time\", \"circuit\": \"%s\", "
+                 "\"wall_seconds\": %.6f, \"threads\": %d}%s\n",
+                 recs[i].circuit.c_str(), recs[i].wall_seconds,
+                 recs[i].threads, i + 1 < recs.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+  std::cerr << "wrote " << recs.size() << " records to " << path << "\n";
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> circuits;
-  for (int i = 1; i < argc; ++i) circuits.emplace_back(argv[i]);
+  std::vector<int> thread_counts = {1};
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      thread_counts = parse_thread_list(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      circuits.push_back(arg);
+    }
+  }
   if (circuits.empty()) {
     circuits = {"c17",  "comp",  "count", "c432", "c499",
                 "c880", "c1355", "c1908", "c6288"};
@@ -28,7 +90,7 @@ int main(int argc, char** argv) {
 
   std::cout << "Update-time study — compile once, propagate per input "
                "statistics\n\n";
-  Table table({"Circuit", "Nodes", "Compile(s)", "Update avg(s)",
+  Table table({"Circuit", "Nodes", "Threads", "Compile(s)", "Update avg(s)",
                "Update max(s)", "Updates/s"});
 
   const std::vector<std::pair<double, double>> sweep = {
@@ -36,27 +98,36 @@ int main(int argc, char** argv) {
       {0.5, -0.4}, {0.2, 0.2}, {0.8, 0.6}, {0.4, 0.8},
   };
 
+  std::vector<JsonRecord> records;
   for (const std::string& name : circuits) {
     const Netlist nl = make_benchmark(name);
     const InputModel base = InputModel::uniform(nl.num_inputs());
-    LidagEstimator est(nl, base);
+    for (const int threads : thread_counts) {
+      EstimatorOptions opts;
+      opts.num_threads = threads;
+      LidagEstimator est(nl, base, opts);
 
-    RunningStats update;
-    for (const auto& [p, rho] : sweep) {
-      const SwitchingEstimate sw =
-          est.estimate(InputModel::uniform(nl.num_inputs(), p, rho));
-      update.add(sw.propagate_seconds);
+      RunningStats update;
+      for (const auto& [p, rho] : sweep) {
+        const SwitchingEstimate sw =
+            est.estimate(InputModel::uniform(nl.num_inputs(), p, rho));
+        update.add(sw.propagate_seconds);
+      }
+      table.add_row({name, std::to_string(nl.num_nodes()),
+                     std::to_string(est.num_threads()),
+                     strformat("%.3f", est.compile_seconds()),
+                     strformat("%.4f", update.mean()),
+                     strformat("%.4f", update.max()),
+                     strformat("%.1f", 1.0 / update.mean())});
+      records.push_back({name, update.mean(), est.num_threads()});
+      std::cerr << "done: " << name << " (threads=" << est.num_threads()
+                << ")\n";
     }
-    table.add_row({name, std::to_string(nl.num_nodes()),
-                   strformat("%.3f", est.compile_seconds()),
-                   strformat("%.4f", update.mean()),
-                   strformat("%.4f", update.max()),
-                   strformat("%.1f", 1.0 / update.mean())});
-    std::cerr << "done: " << name << "\n";
   }
   table.print(std::cout);
   std::cout << "\nThe update column is the cost of re-estimating with new "
                "input statistics on the precompiled junction trees; it is "
                "consistently a small fraction of compile time.\n";
+  if (!json_path.empty()) write_json(json_path, records);
   return 0;
 }

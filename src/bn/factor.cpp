@@ -54,7 +54,233 @@ class SyncedCounter {
   std::size_t offset_ = 0;
 };
 
+// The stack-resident mixed-radix counter of a ScopeMap walk. Factor
+// scopes are bounded far below this (kMaxFactorSize caps the table at
+// 2^28 entries), so a fixed array avoids heap traffic in the hot loops.
+constexpr std::size_t kMaxAxes = 64;
+
 } // namespace
+
+ScopeMap make_scope_map(std::span<const VarId> super_vars,
+                        std::span<const int> super_cards,
+                        std::span<const VarId> sub_vars,
+                        std::span<const int> sub_cards) {
+  BNS_EXPECTS(super_vars.size() == super_cards.size());
+  BNS_EXPECTS(sub_vars.size() == sub_cards.size());
+  // Sub strides within the sub table (sub scope is sorted, first fastest).
+  std::vector<std::size_t> sub_stride(sub_vars.size());
+  std::size_t s = 1;
+  for (std::size_t j = 0; j < sub_vars.size(); ++j) {
+    sub_stride[j] = s;
+    s *= static_cast<std::size_t>(sub_cards[j]);
+  }
+
+  ScopeMap m;
+  std::size_t matched = 0;
+  bool leading = true;
+  for (std::size_t k = 0; k < super_vars.size(); ++k) {
+    m.size *= static_cast<std::size_t>(super_cards[k]);
+    const auto it =
+        std::lower_bound(sub_vars.begin(), sub_vars.end(), super_vars[k]);
+    const bool present = it != sub_vars.end() && *it == super_vars[k];
+    std::size_t stride = 0;
+    if (present) {
+      const std::size_t j = static_cast<std::size_t>(it - sub_vars.begin());
+      BNS_EXPECTS_MSG(sub_cards[j] == super_cards[k],
+                      "scope map: cardinality mismatch for shared variable");
+      stride = sub_stride[j];
+      ++matched;
+    }
+    if (leading && !present) {
+      m.run *= static_cast<std::size_t>(super_cards[k]);
+      continue;
+    }
+    leading = false;
+    m.cards.push_back(super_cards[k]);
+    m.strides.push_back(stride);
+  }
+  BNS_EXPECTS_MSG(matched == sub_vars.size(),
+                  "scope map: sub scope not a subset of super scope");
+  BNS_EXPECTS(m.cards.size() <= kMaxAxes);
+  m.unique_offsets =
+      std::find(m.strides.begin(), m.strides.end(), 0) == m.strides.end();
+  return m;
+}
+
+namespace {
+
+// Stack-resident walk state over a ScopeMap: the vectors' data pointers
+// are hoisted into locals once so the hot loops never re-read them
+// through the map object between stores. The first mapped axis (which
+// is always present — leading absent axes were collapsed into `run`)
+// is driven by a dedicated inner loop in each kernel, so the counter
+// only advances once per c0-sized block rather than once per run.
+struct MapWalk {
+  const int* cards;
+  const std::size_t* strides;
+  std::size_t axes;
+  std::size_t off = 0;
+  int state[kMaxAxes] = {0};
+
+  explicit MapWalk(const ScopeMap& m)
+      : cards(m.cards.data()), strides(m.strides.data()),
+        axes(m.cards.size()) {}
+
+  // Advances axes 1.. by one step (axis 0 is the kernels' inner loop).
+  inline void bump() {
+    for (std::size_t a = 1; a < axes; ++a) {
+      if (++state[a] < cards[a]) {
+        off += strides[a];
+        return;
+      }
+      state[a] = 0;
+      off -= strides[a] * static_cast<std::size_t>(cards[a] - 1);
+    }
+  }
+};
+
+} // namespace
+
+void marginalize_into(const ScopeMap& m, const double* super, double* sub) {
+  const std::size_t n = m.size;
+  const std::size_t run = m.run;
+  if (m.cards.empty()) {
+    // Sub scope absent entirely: one contiguous sum. The register
+    // accumulator preserves the element-wise addition order because the
+    // destination slot starts at zero.
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) acc += super[k];
+    sub[0] += acc;
+    return;
+  }
+  MapWalk w(m);
+  const std::size_t c0 = static_cast<std::size_t>(w.cards[0]);
+  const std::size_t s0 = w.strides[0];
+  const std::size_t block = run * c0;
+  if (run == 1) {
+    for (std::size_t base = 0; base < n; base += block) {
+      const double* p = super + base;
+      std::size_t off = w.off;
+      for (std::size_t j = 0; j < c0; ++j, off += s0) sub[off] += p[j];
+      w.bump();
+    }
+  } else if (m.unique_offsets) {
+    // Each sub slot is written by exactly one contiguous block: summing
+    // the block into a register first keeps the same addition order
+    // (the slot starts at 0) while doing a single store per slot.
+    for (std::size_t base = 0; base < n; base += block) {
+      const double* p = super + base;
+      std::size_t off = w.off;
+      for (std::size_t j = 0; j < c0; ++j, p += run, off += s0) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < run; ++k) acc += p[k];
+        sub[off] += acc;
+      }
+      w.bump();
+    }
+  } else {
+    for (std::size_t base = 0; base < n; base += block) {
+      const double* p = super + base;
+      std::size_t off = w.off;
+      for (std::size_t j = 0; j < c0; ++j, p += run, off += s0) {
+        for (std::size_t k = 0; k < run; ++k) sub[off] += p[k];
+      }
+      w.bump();
+    }
+  }
+}
+
+void multiply_map_in(const ScopeMap& m, const double* sub, double* super) {
+  const std::size_t n = m.size;
+  const std::size_t run = m.run;
+  if (m.cards.empty()) {
+    const double v = sub[0];
+    for (std::size_t k = 0; k < n; ++k) super[k] *= v;
+    return;
+  }
+  MapWalk w(m);
+  const std::size_t c0 = static_cast<std::size_t>(w.cards[0]);
+  const std::size_t s0 = w.strides[0];
+  const std::size_t block = run * c0;
+  if (run == 1) {
+    for (std::size_t base = 0; base < n; base += block) {
+      double* p = super + base;
+      std::size_t off = w.off;
+      for (std::size_t j = 0; j < c0; ++j, off += s0) p[j] *= sub[off];
+      w.bump();
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += block) {
+    double* p = super + base;
+    std::size_t off = w.off;
+    for (std::size_t j = 0; j < c0; ++j, p += run, off += s0) {
+      const double v = sub[off];
+      for (std::size_t k = 0; k < run; ++k) p[k] *= v;
+    }
+    w.bump();
+  }
+}
+
+void assign_map_in(const ScopeMap& m, const double* sub, double* super) {
+  const std::size_t n = m.size;
+  const std::size_t run = m.run;
+  if (m.cards.empty()) {
+    const double v = sub[0];
+    for (std::size_t k = 0; k < n; ++k) super[k] = v;
+    return;
+  }
+  MapWalk w(m);
+  const std::size_t c0 = static_cast<std::size_t>(w.cards[0]);
+  const std::size_t s0 = w.strides[0];
+  const std::size_t block = run * c0;
+  for (std::size_t base = 0; base < n; base += block) {
+    double* p = super + base;
+    std::size_t off = w.off;
+    for (std::size_t j = 0; j < c0; ++j, p += run, off += s0) {
+      const double v = sub[off];
+      for (std::size_t k = 0; k < run; ++k) p[k] = v;
+    }
+    w.bump();
+  }
+}
+
+void divide_map_in(const ScopeMap& m, const double* sub, double* super) {
+  const std::size_t n = m.size;
+  const std::size_t run = m.run;
+  if (m.cards.empty()) {
+    const double denom = sub[0];
+    for (std::size_t k = 0; k < n; ++k) {
+      if (denom == 0.0) {
+        BNS_ASSERT_MSG(super[k] == 0.0, "divide_in: x/0 with x != 0");
+        super[k] = 0.0;
+      } else {
+        super[k] /= denom;
+      }
+    }
+    return;
+  }
+  MapWalk w(m);
+  const std::size_t c0 = static_cast<std::size_t>(w.cards[0]);
+  const std::size_t s0 = w.strides[0];
+  const std::size_t block = run * c0;
+  for (std::size_t base = 0; base < n; base += block) {
+    double* p = super + base;
+    std::size_t off = w.off;
+    for (std::size_t j = 0; j < c0; ++j, p += run, off += s0) {
+      const double denom = sub[off];
+      if (denom == 0.0) {
+        for (std::size_t k = 0; k < run; ++k) {
+          BNS_ASSERT_MSG(p[k] == 0.0, "divide_in: x/0 with x != 0");
+          p[k] = 0.0;
+        }
+      } else {
+        for (std::size_t k = 0; k < run; ++k) p[k] /= denom;
+      }
+    }
+    w.bump();
+  }
+}
 
 std::vector<std::size_t> strides_in(const Factor& f,
                                     std::span<const VarId> scope_vars) {
@@ -179,28 +405,16 @@ void Factor::multiply_in(const Factor& other) {
   for (VarId v : other.vars_) {
     BNS_EXPECTS_MSG(contains(v), "multiply_in: scope not a subset");
   }
-  SyncedCounter c(cards_, strides_in(other, vars_));
-  for (std::size_t idx = 0; idx < size(); ++idx) {
-    values_[idx] *= other.values_[c.offset()];
-    c.advance();
-  }
+  const ScopeMap m = make_scope_map(vars_, cards_, other.vars_, other.cards_);
+  multiply_map_in(m, other.values_.data(), values_.data());
 }
 
 void Factor::divide_in(const Factor& other) {
   for (VarId v : other.vars_) {
     BNS_EXPECTS_MSG(contains(v), "divide_in: scope not a subset");
   }
-  SyncedCounter c(cards_, strides_in(other, vars_));
-  for (std::size_t idx = 0; idx < size(); ++idx) {
-    const double denom = other.values_[c.offset()];
-    if (denom == 0.0) {
-      BNS_ASSERT_MSG(values_[idx] == 0.0, "divide_in: x/0 with x != 0");
-      values_[idx] = 0.0;
-    } else {
-      values_[idx] /= denom;
-    }
-    c.advance();
-  }
+  const ScopeMap m = make_scope_map(vars_, cards_, other.vars_, other.cards_);
+  divide_map_in(m, other.values_.data(), values_.data());
 }
 
 Factor Factor::marginal(std::span<const VarId> keep) const {
@@ -210,11 +424,8 @@ Factor Factor::marginal(std::span<const VarId> keep) const {
   for (VarId v : kvars) kcards.push_back(card_of(v));
 
   Factor out(std::move(kvars), std::move(kcards));
-  SyncedCounter c(cards_, strides_in(out, vars_));
-  for (std::size_t idx = 0; idx < size(); ++idx) {
-    out.values_[c.offset()] += values_[idx];
-    c.advance();
-  }
+  const ScopeMap m = make_scope_map(vars_, cards_, out.vars_, out.cards_);
+  marginalize_into(m, values_.data(), out.values_.data());
   return out;
 }
 

@@ -98,4 +98,49 @@ class Factor {
 std::vector<std::size_t> strides_in(const Factor& f,
                                     std::span<const VarId> scope_vars);
 
+// A compiled stride program relating a factor over a *super* scope to a
+// factor over a *sub* scope (sub ⊆ super, both strictly ascending). It
+// walks the super table linearly — contiguous reads — while tracking the
+// corresponding sub-table offset with a mixed-radix counter over the
+// super axes. Leading super axes absent from the sub scope are collapsed
+// into one contiguous `run`, so the inner loop is a straight block scan.
+//
+// Building a ScopeMap is the one-time cost; executing it allocates
+// nothing (the counter lives on the stack). This is what the junction
+// tree's MessagePlans are made of, and what Factor::marginal /
+// multiply_in / divide_in use internally.
+struct ScopeMap {
+  std::size_t size = 1;  // total super-table size
+  std::size_t run = 1;   // leading contiguous block with a constant sub offset
+  // When true, every sub offset is produced by exactly one run (no
+  // remaining super axis is absent from the sub scope), so a
+  // marginalization may accumulate each block into a register before a
+  // single store — the SIMD-friendly fast path.
+  bool unique_offsets = false;
+  std::vector<int> cards;            // remaining super axes, fastest first
+  std::vector<std::size_t> strides;  // sub stride per remaining axis (0 if absent)
+};
+
+ScopeMap make_scope_map(std::span<const VarId> super_vars,
+                        std::span<const int> super_cards,
+                        std::span<const VarId> sub_vars,
+                        std::span<const int> sub_cards);
+
+// sub[off] += Σ super — `sub` must be pre-zeroed (or hold a partial sum).
+// Addition order matches an element-wise walk of the super table, so the
+// result is bit-identical to the historical SyncedCounter loop.
+void marginalize_into(const ScopeMap& m, const double* super, double* sub);
+
+// super[i] *= sub[off(i)] — in-place product with a sub-scope factor.
+void multiply_map_in(const ScopeMap& m, const double* sub, double* super);
+
+// super[i] = sub[map(i)] — overwrites instead of multiplying. Loading a
+// clique's first CPT this way replaces the fill(1.0)-then-multiply pass
+// (1.0 * x == x bitwise, so results are unchanged).
+void assign_map_in(const ScopeMap& m, const double* sub, double* super);
+
+// super[i] /= sub[off(i)] with the Hugin convention 0/0 = 0; x/0 with
+// x != 0 is a contract violation.
+void divide_map_in(const ScopeMap& m, const double* sub, double* super);
+
 } // namespace bns

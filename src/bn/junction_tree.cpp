@@ -5,6 +5,7 @@
 
 #include "util/assert.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace bns {
 namespace {
@@ -177,13 +178,16 @@ JunctionTreeEngine::JunctionTreeEngine(const BayesianNetwork& bn,
   // clique always exists: {v} ∪ parents(v) is a clique of the moral
   // graph, preserved by triangulation.
   cpt_home_.assign(static_cast<std::size_t>(bn.num_variables()), -1);
+  home_of_.assign(static_cast<std::size_t>(bn.num_variables()), -1);
   for (VarId v = 0; v < bn.num_variables(); ++v) {
     const auto& scope = bn.cpt(v).vars();
     const int home = tree_.clique_containing_all(
         std::span<const int>(scope.data(), scope.size()));
     BNS_ASSERT_MSG(home >= 0, "no clique covers a CPT family");
     cpt_home_[static_cast<std::size_t>(v)] = home;
+    home_of_[static_cast<std::size_t>(v)] = tree_.clique_containing(v);
   }
+  want_schedule_ = opts.compile_schedule;
 }
 
 double JunctionTreeEngine::state_space() const {
@@ -196,7 +200,7 @@ double JunctionTreeEngine::state_space() const {
   return total;
 }
 
-void JunctionTreeEngine::reset_potentials() {
+void JunctionTreeEngine::allocate_potentials() {
   const int n = tree_.num_cliques();
   clique_pot_.clear();
   clique_pot_.reserve(static_cast<std::size_t>(n));
@@ -206,15 +210,8 @@ void JunctionTreeEngine::reset_potentials() {
     std::vector<int> cards;
     cards.reserve(vars.size());
     for (VarId v : vars) cards.push_back(bn_->cardinality(v));
-    Factor f(std::move(vars), std::move(cards));
-    std::fill(f.values().begin(), f.values().end(), 1.0);
-    clique_pot_.push_back(std::move(f));
+    clique_pot_.emplace_back(std::move(vars), std::move(cards));
   }
-  for (VarId v = 0; v < bn_->num_variables(); ++v) {
-    clique_pot_[static_cast<std::size_t>(cpt_home_[static_cast<std::size_t>(v)])]
-        .multiply_in(bn_->cpt(v));
-  }
-
   sep_pot_.clear();
   sep_pot_.reserve(tree_.edges().size());
   for (const auto& e : tree_.edges()) {
@@ -222,9 +219,57 @@ void JunctionTreeEngine::reset_potentials() {
     std::vector<int> cards;
     cards.reserve(vars.size());
     for (VarId v : vars) cards.push_back(bn_->cardinality(v));
-    Factor f(std::move(vars), std::move(cards));
-    std::fill(f.values().begin(), f.values().end(), 1.0);
-    sep_pot_.push_back(std::move(f));
+    sep_pot_.emplace_back(std::move(vars), std::move(cards));
+  }
+}
+
+void JunctionTreeEngine::load_potentials() {
+  if (clique_pot_.empty()) {
+    // First load pays the one-time schedule compilation and buffer
+    // allocation; done here rather than in the constructor because the
+    // segmenter builds engines speculatively and only keeps those whose
+    // state space fits the budget — buffers must not be touched before
+    // that check.
+    allocate_potentials();
+    if (want_schedule_ && !has_schedule_) {
+      sched_ = build_schedule(tree_, *bn_, cpt_home_);
+      has_schedule_ = true;
+    }
+  }
+  const int n = tree_.num_cliques();
+  if (has_schedule_) {
+    for (int i = 0; i < n; ++i) {
+      auto vals = clique_pot_[static_cast<std::size_t>(i)].values();
+      const auto& loads = sched_.loads[static_cast<std::size_t>(i)];
+      // The first CPT overwrites the table (1.0 * x == x bitwise), so
+      // only CPT-less cliques pay the fill pass.
+      if (loads.empty()) std::fill(vals.begin(), vals.end(), 1.0);
+      for (std::size_t j = 0; j < loads.size(); ++j) {
+        const CliqueLoad& load = loads[j];
+        const Factor& cpt = bn_->cpt(load.var);
+        BNS_ASSERT_MSG(cpt.size() == load.cpt_size,
+                       "CPT shape changed since schedule compilation");
+        if (j == 0) {
+          assign_map_in(load.map, cpt.values().data(), vals.data());
+        } else {
+          multiply_map_in(load.map, cpt.values().data(), vals.data());
+        }
+      }
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      auto vals = clique_pot_[static_cast<std::size_t>(i)].values();
+      std::fill(vals.begin(), vals.end(), 1.0);
+    }
+    for (VarId v = 0; v < bn_->num_variables(); ++v) {
+      clique_pot_[static_cast<std::size_t>(
+                      cpt_home_[static_cast<std::size_t>(v)])]
+          .multiply_in(bn_->cpt(v));
+    }
+  }
+  for (Factor& sep : sep_pot_) {
+    auto vals = sep.values();
+    std::fill(vals.begin(), vals.end(), 1.0);
   }
   potentials_ready_ = true;
   propagated_ = false;
@@ -232,7 +277,7 @@ void JunctionTreeEngine::reset_potentials() {
 
 void JunctionTreeEngine::set_evidence(VarId v, int state) {
   BNS_EXPECTS(potentials_ready_);
-  const int home = tree_.clique_containing(v);
+  const int home = home_of_[static_cast<std::size_t>(v)];
   BNS_ASSERT(home >= 0);
   clique_pot_[static_cast<std::size_t>(home)].reduce(v, state);
   propagated_ = false;
@@ -246,7 +291,7 @@ void JunctionTreeEngine::set_soft_evidence(VarId v,
   for (std::size_t s = 0; s < likelihood.size(); ++s) {
     lambda.set_value(s, likelihood[s]);
   }
-  const int home = tree_.clique_containing(v);
+  const int home = home_of_[static_cast<std::size_t>(v)];
   BNS_ASSERT(home >= 0);
   clique_pot_[static_cast<std::size_t>(home)].multiply_in(lambda);
   propagated_ = false;
@@ -254,34 +299,130 @@ void JunctionTreeEngine::set_soft_evidence(VarId v,
 
 void JunctionTreeEngine::pass_message(int from, int to, int edge) {
   Factor& sep = sep_pot_[static_cast<std::size_t>(edge)];
-  const auto& sep_scope = sep.vars();
-  Factor msg = clique_pot_[static_cast<std::size_t>(from)].marginal(sep_scope);
-  Factor update = msg;             // msg / old separator
-  update.divide_in(sep);
-  clique_pot_[static_cast<std::size_t>(to)].multiply_in(update);
+  Factor msg = clique_pot_[static_cast<std::size_t>(from)].marginal(sep.vars());
+  // Turn the old separator into the update ratio msg/old in place (no
+  // temporary copy), multiply it into the recipient, then install msg
+  // as the new separator.
+  auto s = sep.values();
+  const auto m = msg.values();
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    const double old = s[j];
+    if (old == 0.0) {
+      BNS_ASSERT_MSG(m[j] == 0.0, "divide_in: x/0 with x != 0");
+      s[j] = 0.0;
+    } else {
+      s[j] = m[j] / old;
+    }
+  }
+  clique_pot_[static_cast<std::size_t>(to)].multiply_in(sep);
   sep = std::move(msg);
 }
 
-void JunctionTreeEngine::propagate() {
-  BNS_EXPECTS(potentials_ready_);
+void JunctionTreeEngine::compute_message(int from, int edge) {
+  MessagePlan& plan = sched_.edges[static_cast<std::size_t>(edge)];
+  const ScopeMap& src = from == plan.a ? plan.from_a : plan.from_b;
+  double* msg = plan.ratio.data();
+  std::fill_n(msg, plan.ratio.size(), 0.0);
+  marginalize_into(src, clique_pot_[static_cast<std::size_t>(from)].values().data(),
+                   msg);
+  // sep := msg, msg buffer := msg / old sep (Hugin: 0/0 = 0).
+  double* sep = sep_pot_[static_cast<std::size_t>(edge)].values().data();
+  for (std::size_t j = 0; j < plan.ratio.size(); ++j) {
+    const double fresh = msg[j];
+    const double old = sep[j];
+    sep[j] = fresh;
+    if (old == 0.0) {
+      BNS_ASSERT_MSG(fresh == 0.0, "divide_in: x/0 with x != 0");
+      msg[j] = 0.0;
+    } else {
+      msg[j] = fresh / old;
+    }
+  }
+}
+
+void JunctionTreeEngine::apply_message(int to, int edge) {
+  const MessagePlan& plan = sched_.edges[static_cast<std::size_t>(edge)];
+  const ScopeMap& dst = to == plan.a ? plan.from_a : plan.from_b;
+  multiply_map_in(dst, plan.ratio.data(),
+                  clique_pot_[static_cast<std::size_t>(to)].values().data());
+}
+
+void JunctionTreeEngine::propagate_sequential() {
   const auto& pre = tree_.preorder();
-  // Collect: children to parents, reverse preorder.
+  if (has_schedule_) {
+    for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+      const int c = *it;
+      const int p = tree_.parent(c);
+      if (p < 0) continue;
+      compute_message(c, tree_.parent_edge(c));
+      apply_message(p, tree_.parent_edge(c));
+    }
+    for (int c : pre) {
+      const int p = tree_.parent(c);
+      if (p < 0) continue;
+      compute_message(p, tree_.parent_edge(c));
+      apply_message(c, tree_.parent_edge(c));
+    }
+    return;
+  }
   for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
     const int c = *it;
     const int p = tree_.parent(c);
     if (p >= 0) pass_message(c, p, tree_.parent_edge(c));
   }
-  // Distribute: parents to children, preorder.
   for (int c : pre) {
     const int p = tree_.parent(c);
     if (p >= 0) pass_message(p, c, tree_.parent_edge(c));
+  }
+}
+
+void JunctionTreeEngine::propagate_parallel(ThreadPool& pool) {
+  // Collect: each root-child subtree is independent. The final
+  // child→root ratio is computed but parked in the edge buffer.
+  pool.parallel_for(static_cast<int>(sched_.units.size()), [&](int ui) {
+    const SubtreeUnit& u = sched_.units[static_cast<std::size_t>(ui)];
+    for (auto it = u.preorder.rbegin(); it != u.preorder.rend(); ++it) {
+      const int c = *it;
+      const int e = tree_.parent_edge(c);
+      compute_message(c, e);
+      if (c != u.top) apply_message(tree_.parent(c), e);
+    }
+  });
+  // Apply the parked ratios into the (possibly shared) roots in the
+  // same order the sequential reverse-preorder sweep uses, so parallel
+  // propagation stays bit-identical.
+  for (const auto& units : sched_.root_units) {
+    for (int ui : units) {
+      const SubtreeUnit& u = sched_.units[static_cast<std::size_t>(ui)];
+      apply_message(u.root, u.edge);
+    }
+  }
+  // Distribute: the root potentials are final and only read; each unit
+  // updates its own cliques.
+  pool.parallel_for(static_cast<int>(sched_.units.size()), [&](int ui) {
+    const SubtreeUnit& u = sched_.units[static_cast<std::size_t>(ui)];
+    for (const int c : u.preorder) {
+      const int e = tree_.parent_edge(c);
+      compute_message(tree_.parent(c), e);
+      apply_message(c, e);
+    }
+  });
+}
+
+void JunctionTreeEngine::propagate(ThreadPool* pool) {
+  BNS_EXPECTS(potentials_ready_);
+  if (has_schedule_ && pool != nullptr && pool->num_threads() > 1 &&
+      sched_.units.size() > 1) {
+    propagate_parallel(*pool);
+  } else {
+    propagate_sequential();
   }
   propagated_ = true;
 }
 
 Factor JunctionTreeEngine::marginal(VarId v) const {
   BNS_EXPECTS(propagated_);
-  const int home = tree_.clique_containing(v);
+  const int home = home_of_[static_cast<std::size_t>(v)];
   BNS_ASSERT(home >= 0);
   Factor m = clique_pot_[static_cast<std::size_t>(home)].marginal(
       std::span<const VarId>(&v, 1));

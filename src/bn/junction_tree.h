@@ -12,9 +12,12 @@
 
 #include "bn/bayes_net.h"
 #include "bn/graph.h"
+#include "bn/schedule.h"
 #include "verify/diagnostics.h"
 
 namespace bns {
+
+class ThreadPool;
 
 struct JunctionTreeEdge {
   int a = 0;
@@ -80,20 +83,29 @@ struct CompileOptions {
   // state space exceeds this budget. Enforced by the LIDAG segmenter,
   // not here.
   double max_state_space = 0.0;
+  // Compile a PropagationSchedule (MessagePlans + CPT load maps) so
+  // that load_potentials()/propagate() run zero-allocation stride
+  // programs over preallocated buffers. Off = the historical path that
+  // rebuilds temporary factors per message; kept for differential
+  // testing and as a memory-lean fallback.
+  bool compile_schedule = true;
 };
 
 // The Hugin-style inference engine over a compiled junction tree.
 //
 // Lifecycle:
 //   JunctionTreeEngine eng(bn, opts);   // compile: moralize/triangulate/tree
-//   eng.reset_potentials();             // load CPTs into clique potentials
+//   eng.load_potentials();              // load CPTs into clique potentials
 //   eng.set_evidence(v, s); ...         // optional (hard or soft)
 //   eng.propagate();                    // collect + distribute
 //   eng.marginal(v);                    // normalized posterior of v
 //
-// reset_potentials() + propagate() can be repeated with updated CPTs
+// load_potentials() + propagate() can be repeated with updated CPTs
 // (bn is referenced, not copied), which is exactly the paper's cheap
-// "update" step when only the input statistics change.
+// "update" step when only the input statistics change. With the default
+// compiled schedule, the first load allocates all clique/separator/
+// message buffers and every later load/propagate reuses them — the
+// update path performs zero heap allocations.
 class JunctionTreeEngine {
  public:
   explicit JunctionTreeEngine(const BayesianNetwork& bn,
@@ -105,9 +117,12 @@ class JunctionTreeEngine {
   // Sum over cliques of their table sizes (the paper's complexity measure).
   double state_space() const;
 
-  // Re-initializes clique/separator potentials from the current CPTs of
-  // the referenced network and clears evidence.
-  void reset_potentials();
+  // (Re-)initializes clique/separator potentials from the current CPTs
+  // of the referenced network and clears evidence. CPT scopes must not
+  // change between loads (values may — that is the update path).
+  void load_potentials();
+  // Historical name for load_potentials().
+  void reset_potentials() { load_potentials(); }
 
   // Hard evidence: variable v is observed in state s.
   void set_evidence(VarId v, int state);
@@ -116,7 +131,10 @@ class JunctionTreeEngine {
   void set_soft_evidence(VarId v, std::span<const double> likelihood);
 
   // Full two-phase propagation (collect to roots, then distribute).
-  void propagate();
+  // With a pool, independent components and root-child subtrees run
+  // concurrently; results are bit-identical to the sequential sweep
+  // regardless of thread count (message application orders are fixed).
+  void propagate(ThreadPool* pool = nullptr);
 
   // Normalized marginal of one variable. Precondition: propagate() has
   // been called since the last potential/evidence change.
@@ -136,13 +154,27 @@ class JunctionTreeEngine {
   bool propagated() const { return propagated_; }
 
  private:
+  // Legacy (non-scheduled) message pass: temporary-factor based.
   void pass_message(int from, int to, int edge);
+  // Scheduled message pass, split so the parallel sweep can defer the
+  // application into a shared root clique.
+  void compute_message(int from, int edge);
+  void apply_message(int to, int edge);
+  void allocate_potentials();
+  void propagate_sequential();
+  void propagate_parallel(ThreadPool& pool);
 
   const BayesianNetwork* bn_; // non-owning; must outlive the engine
   Triangulation tri_;
   JunctionTree tree_;
   // cpt_home_[v] = clique index whose potential absorbs CPT of v.
   std::vector<int> cpt_home_;
+  // home_of_[v] = smallest clique containing v (query/evidence home),
+  // precomputed so marginal()/set_evidence() skip the linear search.
+  std::vector<int> home_of_;
+  PropagationSchedule sched_;
+  bool want_schedule_ = true;
+  bool has_schedule_ = false; // built lazily on the first load_potentials()
   std::vector<Factor> clique_pot_;
   std::vector<Factor> sep_pot_;
   bool potentials_ready_ = false;

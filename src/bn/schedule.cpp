@@ -1,0 +1,103 @@
+#include "bn/schedule.h"
+
+#include <algorithm>
+
+#include "bn/bayes_net.h"
+#include "bn/junction_tree.h"
+#include "util/assert.h"
+
+namespace bns {
+namespace {
+
+// Scope (vars, cards) of a sorted variable set under `bn`.
+void scope_of(const BayesianNetwork& bn, const std::vector<int>& vars,
+              std::vector<VarId>& out_vars, std::vector<int>& out_cards) {
+  out_vars.assign(vars.begin(), vars.end());
+  out_cards.clear();
+  out_cards.reserve(vars.size());
+  for (int v : vars) out_cards.push_back(bn.cardinality(v));
+}
+
+} // namespace
+
+PropagationSchedule build_schedule(const JunctionTree& tree,
+                                   const BayesianNetwork& bn,
+                                   std::span<const int> cpt_home) {
+  PropagationSchedule sched;
+
+  std::vector<VarId> svars;
+  std::vector<int> scards;
+  std::vector<VarId> cvars;
+  std::vector<int> ccards;
+
+  sched.edges.reserve(tree.edges().size());
+  for (const JunctionTreeEdge& e : tree.edges()) {
+    MessagePlan plan;
+    plan.a = e.a;
+    plan.b = e.b;
+    scope_of(bn, e.separator, svars, scards);
+    scope_of(bn, tree.clique(e.a), cvars, ccards);
+    plan.from_a = make_scope_map(cvars, ccards, svars, scards);
+    scope_of(bn, tree.clique(e.b), cvars, ccards);
+    plan.from_b = make_scope_map(cvars, ccards, svars, scards);
+    std::size_t sep_size = 1;
+    for (int c : scards) sep_size *= static_cast<std::size_t>(c);
+    plan.ratio.assign(sep_size, 0.0);
+    sched.edges.push_back(std::move(plan));
+  }
+
+  sched.loads.resize(static_cast<std::size_t>(tree.num_cliques()));
+  BNS_EXPECTS(static_cast<int>(cpt_home.size()) == bn.num_variables());
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const int home = cpt_home[static_cast<std::size_t>(v)];
+    const Factor& cpt = bn.cpt(v);
+    scope_of(bn, tree.clique(home), cvars, ccards);
+    CliqueLoad load;
+    load.var = v;
+    load.cpt_size = cpt.size();
+    load.map = make_scope_map(cvars, ccards, cpt.vars(), cpt.cards());
+    sched.loads[static_cast<std::size_t>(home)].push_back(std::move(load));
+  }
+
+  // Parallel structure: assign each non-root clique to the root-child
+  // subtree it belongs to, following the preorder (parents first).
+  const std::vector<int>& pre = tree.preorder();
+  std::vector<int> unit_of(static_cast<std::size_t>(tree.num_cliques()), -1);
+  sched.root_units.resize(tree.roots().size());
+  std::vector<int> root_index(static_cast<std::size_t>(tree.num_cliques()), -1);
+  for (std::size_t r = 0; r < tree.roots().size(); ++r) {
+    root_index[static_cast<std::size_t>(tree.roots()[r])] = static_cast<int>(r);
+  }
+  for (int c : pre) {
+    const int p = tree.parent(c);
+    if (p < 0) continue; // roots belong to no unit
+    if (root_index[static_cast<std::size_t>(p)] >= 0) {
+      // Child of a root: starts a new unit.
+      SubtreeUnit u;
+      u.top = c;
+      u.root = p;
+      u.edge = tree.parent_edge(c);
+      unit_of[static_cast<std::size_t>(c)] = static_cast<int>(sched.units.size());
+      sched.units.push_back(std::move(u));
+    } else {
+      unit_of[static_cast<std::size_t>(c)] = unit_of[static_cast<std::size_t>(p)];
+    }
+  }
+  for (int c : pre) {
+    const int u = unit_of[static_cast<std::size_t>(c)];
+    if (u >= 0) sched.units[static_cast<std::size_t>(u)].preorder.push_back(c);
+  }
+  // Discovery order of a root's children is their preorder order; the
+  // sequential collect applies them in reverse.
+  for (std::size_t u = 0; u < sched.units.size(); ++u) {
+    const int r = root_index[static_cast<std::size_t>(sched.units[u].root)];
+    BNS_ASSERT(r >= 0);
+    sched.root_units[static_cast<std::size_t>(r)].push_back(static_cast<int>(u));
+  }
+  for (auto& units : sched.root_units) {
+    std::reverse(units.begin(), units.end());
+  }
+  return sched;
+}
+
+} // namespace bns

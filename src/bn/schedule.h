@@ -1,0 +1,80 @@
+// Compiled propagation schedules for the Hugin junction-tree engine.
+//
+// The paper's engineering claim is that compilation is paid once and a
+// change of input statistics only costs a cheap "update" (reload root
+// priors, re-propagate). The schedule makes that literal: at compile
+// time every junction-tree edge gets a MessagePlan — reusable stride
+// programs between the clique scopes and the separator scope plus a
+// preallocated message buffer — and every CPT gets a CliqueLoad mapping
+// it into its home clique. After the first load, propagate() and
+// load_potentials() run zero-allocation tight loops over these plans.
+//
+// The schedule also records the tree's parallel structure: each
+// root-child subtree is an independent SubtreeUnit. During collect, units
+// only touch their own cliques/separators and leave the final
+// child→root ratio parked in the edge buffer; the root applications are
+// replayed sequentially in the same order the plain reverse-preorder
+// sweep would use, so parallel propagation is bit-identical to
+// sequential propagation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bn/factor.h"
+
+namespace bns {
+
+class BayesianNetwork;
+class JunctionTree;
+
+// Everything needed to pass a message across one edge in either
+// direction without allocating: marginalize the source clique onto the
+// separator through its ScopeMap, divide by the old separator into
+// `ratio`, multiply `ratio` into the destination clique through the
+// other ScopeMap.
+struct MessagePlan {
+  int a = 0;
+  int b = 0;
+  ScopeMap from_a; // clique a scope -> separator scope
+  ScopeMap from_b; // clique b scope -> separator scope
+  // Separator-sized workspace: holds the fresh marginal, then the
+  // update ratio fresh/old. Owned per edge, so concurrent units never
+  // share one.
+  std::vector<double> ratio;
+};
+
+// One CPT absorption into its home clique at load time.
+struct CliqueLoad {
+  VarId var = 0;
+  std::size_t cpt_size = 0; // expected table size; guards re-quantification
+  ScopeMap map;             // home clique scope -> CPT scope
+};
+
+// A maximal subtree hanging off a root: the unit of intra-tree
+// parallelism. `preorder` lists its cliques in global-preorder order
+// starting at `top` (a child of `root`).
+struct SubtreeUnit {
+  int top = -1;
+  int root = -1;
+  int edge = -1; // tree edge (top, root)
+  std::vector<int> preorder;
+};
+
+struct PropagationSchedule {
+  std::vector<MessagePlan> edges;             // parallel to tree.edges()
+  std::vector<std::vector<CliqueLoad>> loads; // per clique, ascending var id
+  std::vector<SubtreeUnit> units;
+  // Per root (tree.roots() order): indices into `units` of its child
+  // subtrees in *reverse* discovery order — the order in which the
+  // sequential reverse-preorder collect applies their messages.
+  std::vector<std::vector<int>> root_units;
+};
+
+// Compiles the schedule for `tree` over the cardinalities and CPT scopes
+// of `bn`. `cpt_home[v]` names the clique absorbing the CPT of v.
+PropagationSchedule build_schedule(const JunctionTree& tree,
+                                   const BayesianNetwork& bn,
+                                   std::span<const int> cpt_home);
+
+} // namespace bns

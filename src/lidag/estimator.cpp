@@ -128,6 +128,11 @@ LidagEstimator::LidagEstimator(const Netlist& nl, const InputModel& model,
       b = e;
     }
   }
+  const int threads = ThreadPool::resolve_threads(opts_.num_threads);
+  if (threads > 1 && !segments_.empty()) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+    build_segment_levels();
+  }
   compile_seconds_ = t.seconds();
 
   if (opts_.verify != VerifyLevel::Off) {
@@ -253,6 +258,51 @@ void LidagEstimator::compile_range(NodeId begin, NodeId end,
   compile_range(mid, end, model);
 }
 
+void LidagEstimator::build_segment_levels() {
+  const int n = static_cast<int>(segments_.size());
+  std::vector<int> level(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const Segment& seg = segments_[static_cast<std::size_t>(i)];
+    for (const LidagRoot& r : seg.lidag->roots) {
+      if (r.kind != RootKind::Boundary) continue;
+      const Segment* owner = owner_of(r.node);
+      if (owner == nullptr || owner == &seg) continue;
+      const int j = static_cast<int>(owner - segments_.data());
+      // Segments are compiled in line order, so owners precede readers.
+      BNS_ASSERT(j < i);
+      level[static_cast<std::size_t>(i)] = std::max(
+          level[static_cast<std::size_t>(i)], level[static_cast<std::size_t>(j)] + 1);
+    }
+  }
+  seg_levels_.clear();
+  for (int i = 0; i < n; ++i) {
+    const std::size_t l = static_cast<std::size_t>(level[static_cast<std::size_t>(i)]);
+    if (seg_levels_.size() <= l) seg_levels_.resize(l + 1);
+    seg_levels_[l].push_back(i);
+  }
+}
+
+void LidagEstimator::run_segment(Segment& seg, const InputModel& inner_model,
+                                 std::vector<std::array<double, 4>>& inner_dist,
+                                 const BoundaryJointFn& pair_joint) {
+  quantify_lidag(*seg.lidag, inner_model, inner_dist, pair_joint, opts_.lidag);
+  seg.engine->load_potentials();
+  seg.engine->propagate(pool_.get());
+  const auto& nodes = seg.lidag->defined_nodes;
+  auto extract = [&](int k) {
+    const NodeId id = nodes[static_cast<std::size_t>(k)];
+    const VarId v = seg.lidag->var_of_node[static_cast<std::size_t>(id)];
+    const Factor m = seg.engine->marginal(v);
+    auto& d = inner_dist[static_cast<std::size_t>(id)];
+    for (std::size_t s = 0; s < 4; ++s) d[s] = m.value(s);
+  };
+  if (pool_) {
+    pool_->parallel_for(static_cast<int>(nodes.size()), extract);
+  } else {
+    for (int k = 0; k < static_cast<int>(nodes.size()); ++k) extract(k);
+  }
+}
+
 SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
   BNS_EXPECTS(model.num_inputs() == nl_->num_inputs());
   const InputModel inner_model = permute_inputs(model);
@@ -293,16 +343,21 @@ SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
   };
 
   Timer t;
-  for (Segment& seg : segments_) {
-    quantify_lidag(*seg.lidag, inner_model, inner_dist, pair_joint,
-                   opts_.lidag);
-    seg.engine->reset_potentials();
-    seg.engine->propagate();
-    for (NodeId id : seg.lidag->defined_nodes) {
-      const VarId v = seg.lidag->var_of_node[static_cast<std::size_t>(id)];
-      const Factor m = seg.engine->marginal(v);
-      auto& d = inner_dist[static_cast<std::size_t>(id)];
-      for (std::size_t s = 0; s < 4; ++s) d[s] = m.value(s);
+  if (pool_ == nullptr) {
+    for (Segment& seg : segments_) {
+      run_segment(seg, inner_model, inner_dist, pair_joint);
+    }
+  } else {
+    // Level-parallel sweep: all segments of a level have their boundary
+    // inputs ready (owners live in earlier levels) and write disjoint
+    // slices of inner_dist, so the result is bit-identical to the
+    // sequential loop for any thread count. A single-segment level runs
+    // inline so its engine can fan its subtrees out over the pool.
+    for (const std::vector<int>& lvl : seg_levels_) {
+      pool_->parallel_for(static_cast<int>(lvl.size()), [&](int k) {
+        run_segment(segments_[static_cast<std::size_t>(lvl[static_cast<std::size_t>(k)])],
+                    inner_model, inner_dist, pair_joint);
+      });
     }
   }
 

@@ -18,6 +18,7 @@
 #include "netlist/netlist.h"
 #include "netlist/transforms.h"
 #include "sim/input_model.h"
+#include "util/thread_pool.h"
 #include "verify/diagnostics.h"
 
 namespace bns {
@@ -55,6 +56,13 @@ struct EstimatorOptions {
   // junction trees (chordality, running intersection, family cover).
   // Error-severity findings make the constructor throw.
   VerifyLevel verify = VerifyLevel::Off;
+  // Worker threads for estimate(): segments whose forwarded boundary
+  // marginals are already available propagate concurrently, and a lone
+  // segment hands the pool to its junction-tree engine (independent
+  // components/subtrees in parallel). Results are bit-identical to the
+  // sequential run for any thread count. 0 = use the BNS_THREADS
+  // environment variable when set, else 1; 1 = fully sequential.
+  int num_threads = 0;
 };
 
 struct SwitchingEstimate {
@@ -95,6 +103,8 @@ class LidagEstimator {
 
   // --- compile-time diagnostics --------------------------------------
   double compile_seconds() const { return compile_seconds_; }
+  // Resolved worker-thread count (after BNS_THREADS / option defaulting).
+  int num_threads() const { return pool_ ? pool_->num_threads() : 1; }
   int num_segments() const { return static_cast<int>(segments_.size()); }
   bool single_bn() const { return segments_.size() == 1; }
   // Per-segment structures, for external inspection and verification.
@@ -144,6 +154,16 @@ class LidagEstimator {
   // Owning (already compiled) segment of an inner line, or nullptr.
   const Segment* owner_of(NodeId inner_node) const;
 
+  // Groups segments into dependency levels: a segment's boundary roots
+  // (and forwarded pairwise joints) come from earlier segments, so it
+  // can only run once those owners have propagated. Segments within one
+  // level are mutually independent and run concurrently.
+  void build_segment_levels();
+  // Quantify + load + propagate + extract for one segment.
+  void run_segment(Segment& seg, const InputModel& inner_model,
+                   std::vector<std::array<double, 4>>& inner_dist,
+                   const BoundaryJointFn& pair_joint);
+
   const Netlist* nl_; // non-owning; must outlive the estimator
   // support_[id] = bitset over primary-input positions in the transitive
   // fanin of inner line id (used to pick boundary links).
@@ -155,6 +175,10 @@ class LidagEstimator {
   std::vector<int> input_perm_; // inner input position -> original index
   EstimatorOptions opts_;
   std::vector<Segment> segments_;
+  // Dependency levels over segments (see build_segment_levels); only
+  // built when a pool exists.
+  std::vector<std::vector<int>> seg_levels_;
+  std::unique_ptr<ThreadPool> pool_;
   double compile_seconds_ = 0.0;
 };
 

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bns {
+namespace {
+
+thread_local bool tls_in_region = false;
+
+} // namespace
+
+bool ThreadPool::in_parallel_region() { return tls_in_region; }
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("BNS_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int t = 0; t < num_threads_ - 1; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_current_job() {
+  const IndexFnRef* fn = job_;
+  const int n = job_n_;
+  int i;
+  while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < n) {
+    try {
+      (*fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      next_.store(n, std::memory_order_relaxed); // abandon remaining indices
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    tls_in_region = true;
+    run_current_job();
+    tls_in_region = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++acked_ == static_cast<int>(workers_.size())) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int n, IndexFnRef fn) {
+  if (n <= 0) return;
+  if (n == 1) {
+    // Inline without entering a parallel region: nested parallel_for
+    // under a single-index call can still use the pool.
+    fn(0);
+    return;
+  }
+  if (num_threads_ <= 1 || tls_in_region) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    acked_ = 0;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  tls_in_region = true;
+  run_current_job();
+  tls_in_region = false;
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return acked_ == static_cast<int>(workers_.size()); });
+    job_ = nullptr;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+} // namespace bns

@@ -1,0 +1,98 @@
+// A small fixed-size thread pool built around one primitive:
+// parallel_for(n, fn), which runs fn(0..n-1) across the pool and blocks
+// until every index has completed. There is no task queue and no work
+// stealing — indices are claimed from a shared atomic counter — so
+// submitting work allocates nothing.
+//
+// Reentrancy: parallel_for called from inside a task runs inline on the
+// calling thread (no deadlock on nested submits). A single-index call
+// (n == 1) also runs inline but does *not* count as entering a parallel
+// region, so parallelism nested under it still fans out — this is what
+// lets a one-segment level in the estimator hand the whole pool to the
+// junction-tree engine underneath it.
+//
+// Exceptions thrown by tasks are captured (first one wins), remaining
+// indices are abandoned, and the exception is rethrown on the thread
+// that called parallel_for.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bns {
+
+// Non-owning reference to a callable `void(int)`. The referenced
+// callable must outlive the parallel_for call — always true for a
+// lambda passed directly at the call site.
+class IndexFnRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, IndexFnRef>>>
+  IndexFnRef(F&& f) noexcept // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        fn_([](void* ctx, int i) {
+          (*static_cast<std::remove_reference_t<F>*>(ctx))(i);
+        }) {}
+
+  void operator()(int i) const { fn_(ctx_, i); }
+
+ private:
+  void* ctx_;
+  void (*fn_)(void*, int);
+};
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers; the thread calling parallel_for
+  // is the remaining one. num_threads < 1 is clamped to 1 (no workers,
+  // everything runs inline).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(0), ..., fn(n-1), potentially in parallel; returns when all
+  // have finished. Results must not depend on which thread runs which
+  // index — tasks writing disjoint data are deterministic by design.
+  void parallel_for(int n, IndexFnRef fn);
+
+  // True while the calling thread is executing a parallel_for task.
+  static bool in_parallel_region();
+
+  // Thread-count policy for the `num_threads` knobs: a positive request
+  // wins; 0 means "use the BNS_THREADS environment variable when set,
+  // else 1" — so existing single-threaded behavior is the default.
+  static int resolve_threads(int requested);
+
+ private:
+  void worker_loop();
+  void run_current_job();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                 // guards everything below
+  std::mutex submit_mu_;          // serializes concurrent parallel_for callers
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumped per parallel_for
+  const IndexFnRef* job_ = nullptr;
+  int job_n_ = 0;
+  std::atomic<int> next_{0};      // next unclaimed index
+  int acked_ = 0;                 // workers finished with this generation
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+} // namespace bns

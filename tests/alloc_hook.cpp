@@ -1,0 +1,44 @@
+// Counting replacements for the global allocation functions (linked
+// into bns_tests only — never into the library or tools). The counter
+// is a relaxed atomic: tests snapshot it around a single-threaded
+// region, so cross-thread ordering is irrelevant.
+#include "alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace bns::alloc_hook {
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+} // namespace
+
+std::uint64_t allocation_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+} // namespace bns::alloc_hook
+
+void* operator new(std::size_t n) { return bns::alloc_hook::counted_alloc(n); }
+void* operator new[](std::size_t n) { return bns::alloc_hook::counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  bns::alloc_hook::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  bns::alloc_hook::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }

@@ -1,0 +1,15 @@
+// Test-only instrumentation of the global allocator: alloc_hook.cpp
+// replaces ::operator new / ::operator delete with counting versions so
+// tests can assert that a code region performs zero heap allocations
+// (the compiled-schedule update path guarantees this).
+#pragma once
+
+#include <cstdint>
+
+namespace bns::alloc_hook {
+
+// Total number of global operator new / new[] calls in this process so
+// far. Take a snapshot before the region under test and compare after.
+std::uint64_t allocation_count();
+
+} // namespace bns::alloc_hook

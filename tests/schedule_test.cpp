@@ -1,0 +1,185 @@
+// Equivalence of the compiled-schedule engine against the historical
+// temporary-factor path, plus the zero-allocation guarantee of the
+// update loop and engine-level parallel propagation.
+#include "bn/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc_hook.h"
+#include "bn/junction_tree.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bns {
+namespace {
+
+CompileOptions with_schedule(bool on) {
+  CompileOptions opts;
+  opts.compile_schedule = on;
+  return opts;
+}
+
+// Bitwise comparison: the scheduled path is designed to perform the
+// same floating-point operations in the same order as the legacy path,
+// so results must match exactly, not just within tolerance.
+void expect_factors_identical(const Factor& a, const Factor& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.value(i), b.value(i)) << "slot " << i;
+  }
+}
+
+void expect_all_marginals_identical(const BayesianNetwork& bn,
+                                    JunctionTreeEngine& sched,
+                                    JunctionTreeEngine& legacy) {
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    expect_factors_identical(sched.marginal(v), legacy.marginal(v));
+  }
+  EXPECT_EQ(sched.evidence_probability(), legacy.evidence_probability());
+}
+
+// Replace every CPT's values (keeping scopes) — the paper's "new input
+// statistics" update, exercised at the engine level.
+void reroll_cpts(BayesianNetwork& bn, std::uint64_t seed) {
+  Rng rng(seed);
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    Factor cpt = bn.cpt(v);
+    for (std::size_t i = 0; i < cpt.size(); ++i) {
+      cpt.set_value(i, rng.uniform() + 0.05);
+    }
+    Factor denom = cpt.sum_out(v);
+    std::vector<int> st(cpt.vars().size());
+    for (std::size_t i = 0; i < cpt.size(); ++i) {
+      cpt.states_of(i, st);
+      std::vector<int> pst;
+      for (std::size_t k = 0; k < cpt.vars().size(); ++k) {
+        if (cpt.vars()[k] != v) pst.push_back(st[k]);
+      }
+      cpt.set_value(i, cpt.value(i) / denom.at(pst));
+    }
+    bn.set_cpt(v, bn.parents(v), std::move(cpt));
+  }
+}
+
+class ScheduledVsLegacy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduledVsLegacy, MarginalsIdentical) {
+  const std::uint64_t seed = GetParam();
+  BayesianNetwork bn =
+      testing_helpers::random_bayes_net(24, 3, 4, seed);
+  ASSERT_EQ(bn.validate(), "");
+  JunctionTreeEngine sched(bn, with_schedule(true));
+  JunctionTreeEngine legacy(bn, with_schedule(false));
+  sched.load_potentials();
+  legacy.load_potentials();
+  sched.propagate();
+  legacy.propagate();
+  expect_all_marginals_identical(bn, sched, legacy);
+}
+
+TEST_P(ScheduledVsLegacy, EvidenceIdentical) {
+  const std::uint64_t seed = GetParam();
+  BayesianNetwork bn =
+      testing_helpers::random_bayes_net(20, 3, 3, seed + 7);
+  JunctionTreeEngine sched(bn, with_schedule(true));
+  JunctionTreeEngine legacy(bn, with_schedule(false));
+  for (auto* eng : {&sched, &legacy}) {
+    eng->load_potentials();
+    eng->set_evidence(3, 1);
+    std::vector<double> like(static_cast<std::size_t>(bn.cardinality(11)));
+    for (std::size_t s = 0; s < like.size(); ++s) {
+      like[s] = 0.25 + 0.5 * static_cast<double>(s) / static_cast<double>(like.size());
+    }
+    eng->set_soft_evidence(11, like);
+    eng->propagate();
+  }
+  expect_all_marginals_identical(bn, sched, legacy);
+}
+
+TEST_P(ScheduledVsLegacy, UpdatePathIdentical) {
+  const std::uint64_t seed = GetParam();
+  BayesianNetwork bn =
+      testing_helpers::random_bayes_net(22, 3, 4, seed + 31);
+  JunctionTreeEngine sched(bn, with_schedule(true));
+  JunctionTreeEngine legacy(bn, with_schedule(false));
+  for (int round = 0; round < 3; ++round) {
+    if (round > 0) reroll_cpts(bn, seed * 13 + static_cast<std::uint64_t>(round));
+    sched.load_potentials();
+    legacy.load_potentials();
+    sched.propagate();
+    legacy.propagate();
+    expect_all_marginals_identical(bn, sched, legacy);
+  }
+}
+
+TEST_P(ScheduledVsLegacy, ParallelPropagationIdentical) {
+  const std::uint64_t seed = GetParam();
+  BayesianNetwork bn =
+      testing_helpers::random_bayes_net(40, 2, 3, seed + 101);
+  JunctionTreeEngine seq(bn, with_schedule(true));
+  JunctionTreeEngine par(bn, with_schedule(true));
+  ThreadPool pool(4);
+  seq.load_potentials();
+  par.load_potentials();
+  seq.propagate();
+  par.propagate(&pool);
+  expect_all_marginals_identical(bn, seq, par);
+  // Determinism at a fixed thread count: run again, still identical.
+  par.load_potentials();
+  par.propagate(&pool);
+  expect_all_marginals_identical(bn, seq, par);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduledVsLegacy,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Schedule, UpdateLoopIsAllocationFree) {
+  BayesianNetwork bn = testing_helpers::random_bayes_net(30, 3, 4, 99);
+  JunctionTreeEngine eng(bn, with_schedule(true));
+  // First load compiles the schedule and allocates every buffer.
+  eng.load_potentials();
+  eng.propagate();
+  const std::uint64_t before = alloc_hook::allocation_count();
+  for (int round = 0; round < 5; ++round) {
+    eng.load_potentials();
+    eng.propagate();
+  }
+  EXPECT_EQ(alloc_hook::allocation_count(), before)
+      << "compiled update path must not touch the heap";
+}
+
+TEST(Schedule, ParallelUpdateLoopIsAllocationFree) {
+  BayesianNetwork bn = testing_helpers::random_bayes_net(30, 3, 4, 99);
+  JunctionTreeEngine eng(bn, with_schedule(true));
+  ThreadPool pool(2);
+  eng.load_potentials();
+  eng.propagate(&pool);
+  const std::uint64_t before = alloc_hook::allocation_count();
+  for (int round = 0; round < 5; ++round) {
+    eng.load_potentials();
+    eng.propagate(&pool);
+  }
+  EXPECT_EQ(alloc_hook::allocation_count(), before)
+      << "parallel_for submission must not touch the heap";
+}
+
+TEST(Schedule, LegacyFallbackStillWorks) {
+  // compile_schedule = false must keep the full lifecycle working (it
+  // is the differential-testing oracle).
+  BayesianNetwork bn = testing_helpers::random_bayes_net(12, 2, 3, 5);
+  JunctionTreeEngine eng(bn, with_schedule(false));
+  eng.load_potentials();
+  eng.propagate();
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const Factor m = eng.marginal(v);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) sum += m.value(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+} // namespace
+} // namespace bns
