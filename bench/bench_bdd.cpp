@@ -10,13 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "bdd/bdd_estimator.h"
-#include "gen/benchmarks.h"
-#include "lidag/estimator.h"
-#include "sim/simulator.h"
-#include "util/stats.h"
-#include "util/strings.h"
-#include "util/table.h"
+#include "bns.h"
 
 using namespace bns;
 
@@ -42,7 +36,8 @@ int main(int argc, char** argv) {
 
     LidagEstimator est(nl, m);
     const SwitchingEstimate sw = est.estimate(m);
-    const double bn_time = est.compile_seconds() + sw.propagate_seconds;
+    const double bn_time =
+        est.compile_stats().compile_seconds + sw.stats.propagate_seconds;
 
     std::string mu = "—";
     if (bdd.completed) {

@@ -7,13 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/monte_carlo.h"
-#include "gen/benchmarks.h"
-#include "lidag/estimator.h"
-#include "sim/simulator.h"
-#include "util/stats.h"
-#include "util/strings.h"
-#include "util/table.h"
+#include "bns.h"
 
 using namespace bns;
 
@@ -45,8 +39,9 @@ int main(int argc, char** argv) {
 
     table.add_row({name, std::to_string(mc.pairs_used),
                    strformat("%.3f", mc.seconds),
-                   strformat("%.3f", est.compile_seconds() + sw.propagate_seconds),
-                   strformat("%.4f", sw.propagate_seconds),
+                   strformat("%.3f", est.compile_stats().compile_seconds +
+                                         sw.stats.propagate_seconds),
+                   strformat("%.4f", sw.stats.propagate_seconds),
                    strformat("%.4f", err.mu_err)});
     std::cerr << "done: " << name << "\n";
   }

@@ -14,12 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "gen/benchmarks.h"
-#include "lidag/estimator.h"
-#include "sim/simulator.h"
-#include "util/stats.h"
-#include "util/strings.h"
-#include "util/table.h"
+#include "bns.h"
 
 using namespace bns;
 
@@ -47,9 +42,9 @@ void run_suite(const std::vector<std::string>& circuits,
       table.add_row({name, v.label, strformat("%.4f", err.mu_err),
                      strformat("%.4f", err.sigma_err),
                      strformat("%.4f", err.max_err),
-                     std::to_string(est.num_segments()),
-                     strformat("%.3f", est.compile_seconds()),
-                     strformat("%.4f", sw.propagate_seconds)});
+                     std::to_string(est.compile_stats().num_segments),
+                     strformat("%.3f", est.compile_stats().compile_seconds),
+                     strformat("%.4f", sw.stats.propagate_seconds)});
     }
     std::cerr << "done: " << name << "\n";
   }

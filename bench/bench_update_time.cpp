@@ -9,60 +9,98 @@
 //
 // Usage:
 //   bench_update_time [circuit...] [--threads N[,N...]] [--json PATH]
+//                     [--trace-json PATH] [--trace-summary]
 //
 // --threads runs the sweep once per listed worker count (default "1").
-// --json appends one record per (circuit, thread count) to PATH as a
-// JSON array of {"bench","circuit","wall_seconds","threads"} objects —
-// the schema consumed by CI's bench-smoke artifact.
+// --json writes a schema_version-2 document to PATH: one record per
+// (circuit, thread count) carrying wall_seconds plus a "stats"
+// sub-object with the CompileStats/EstimateStats breakdown — the schema
+// consumed by CI's bench-smoke artifact.
+// --trace-json streams schema_version-1 JSON-lines span/counter records
+// (parse, lidag, triangulate, schedule, load, propagate, ...) to PATH.
+// --trace-summary prints an aggregated per-stage table to stderr.
+//
+// Malformed or missing option values exit with status 2 and usage.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "gen/benchmarks.h"
-#include "lidag/estimator.h"
-#include "util/stats.h"
-#include "util/strings.h"
-#include "util/table.h"
+#include "bns.h"
 
 using namespace bns;
 
 namespace {
+
+[[noreturn]] void usage_exit() {
+  std::fprintf(stderr, "%s", R"(usage:
+  bench_update_time [circuit...] [options]
+options:
+  --threads N[,N...]   run the sweep per worker count (positive integers)
+  --json PATH          write machine-readable results (schema_version 2)
+  --trace-json PATH    stream span/counter JSON-lines (schema_version 1)
+  --trace-summary      print a per-stage timing table to stderr
+)");
+  std::exit(2);
+}
 
 std::vector<int> parse_thread_list(const std::string& arg) {
   std::vector<int> out;
   std::stringstream ss(arg);
   std::string tok;
   while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) usage_exit();
+    for (char c : tok) {
+      if (c < '0' || c > '9') usage_exit();
+    }
     const int n = std::atoi(tok.c_str());
-    if (n > 0) out.push_back(n);
+    if (n <= 0) usage_exit();
+    out.push_back(n);
   }
-  if (out.empty()) out.push_back(1);
+  if (out.empty()) usage_exit();
   return out;
 }
 
 struct JsonRecord {
   std::string circuit;
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0; // mean propagate time over the sweep
   int threads = 1;
+  double compile_seconds = 0.0;
+  double schedule_build_seconds = 0.0;
+  int num_segments = 0;
+  std::uint64_t fill_edges = 0;
+  double reload_seconds = 0.0;     // mean over the sweep
+  std::uint64_t messages_passed = 0; // per update
 };
 
 void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::cerr << "cannot open " << path << " for writing\n";
-    return;
+    std::exit(2);
   }
-  std::fputs("[\n", f);
+  std::fprintf(f, "{\n  \"schema_version\": 2,\n"
+                  "  \"bench\": \"bench_update_time\",\n  \"records\": [\n");
   for (std::size_t i = 0; i < recs.size(); ++i) {
-    std::fprintf(f,
-                 "  {\"bench\": \"bench_update_time\", \"circuit\": \"%s\", "
-                 "\"wall_seconds\": %.6f, \"threads\": %d}%s\n",
-                 recs[i].circuit.c_str(), recs[i].wall_seconds,
-                 recs[i].threads, i + 1 < recs.size() ? "," : "");
+    const JsonRecord& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"circuit\": \"%s\", \"wall_seconds\": %.6f, \"threads\": %d, "
+        "\"stats\": {\"compile_seconds\": %.6f, "
+        "\"schedule_build_seconds\": %.6f, \"num_segments\": %d, "
+        "\"fill_edges\": %llu, \"reload_seconds\": %.6f, "
+        "\"messages_passed\": %llu, \"propagate_seconds\": %.6f, "
+        "\"threads_used\": %d}}%s\n",
+        r.circuit.c_str(), r.wall_seconds, r.threads, r.compile_seconds,
+        r.schedule_build_seconds, r.num_segments,
+        static_cast<unsigned long long>(r.fill_edges), r.reload_seconds,
+        static_cast<unsigned long long>(r.messages_passed), r.wall_seconds,
+        r.threads, i + 1 < recs.size() ? "," : "");
   }
-  std::fputs("]\n", f);
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::cerr << "wrote " << recs.size() << " records to " << path << "\n";
 }
@@ -73,12 +111,26 @@ int main(int argc, char** argv) {
   std::vector<std::string> circuits;
   std::vector<int> thread_counts = {1};
   std::string json_path;
+  std::string trace_json_path;
+  bool trace_summary = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threads" && i + 1 < argc) {
-      thread_counts = parse_thread_list(argv[++i]);
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_exit();
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      thread_counts = parse_thread_list(next());
+    } else if (arg == "--json") {
+      json_path = next();
+      if (json_path.empty()) usage_exit();
+    } else if (arg == "--trace-json") {
+      trace_json_path = next();
+      if (trace_json_path.empty()) usage_exit();
+    } else if (arg == "--trace-summary") {
+      trace_summary = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_exit();
     } else {
       circuits.push_back(arg);
     }
@@ -86,6 +138,29 @@ int main(int argc, char** argv) {
   if (circuits.empty()) {
     circuits = {"c17",  "comp",  "count", "c432", "c499",
                 "c880", "c1355", "c1908", "c6288"};
+  }
+
+  // Tracing plumbing. The sinks must outlive the tracer's last span and
+  // flush, so they are declared first; the global hook picks up spans
+  // from layers without options plumbing (parsers, thread pool).
+  std::optional<std::ofstream> trace_out;
+  std::optional<obs::JsonLinesSink> json_sink;
+  obs::SummarySink summary_sink;
+  obs::Tracer tracer(obs::TraceLevel::Spans);
+  obs::Tracer* trace = nullptr;
+  if (!trace_json_path.empty() || trace_summary) {
+    if (!trace_json_path.empty()) {
+      trace_out.emplace(trace_json_path);
+      if (!*trace_out) {
+        std::cerr << "cannot open " << trace_json_path << " for writing\n";
+        return 2;
+      }
+      json_sink.emplace(*trace_out);
+      tracer.add_sink(&*json_sink);
+    }
+    if (trace_summary) tracer.add_sink(&summary_sink);
+    trace = &tracer;
+    obs::set_global_tracer(trace);
   }
 
   std::cout << "Update-time study — compile once, propagate per input "
@@ -100,26 +175,48 @@ int main(int argc, char** argv) {
 
   std::vector<JsonRecord> records;
   for (const std::string& name : circuits) {
-    const Netlist nl = make_benchmark(name);
+    // The built-in suite is constructed programmatically, so the parse
+    // stage is the netlist build; file-based runs hit the same span via
+    // the instrumented readers.
+    const Netlist nl = [&] {
+      obs::Span parse_span(trace, "parse");
+      return make_benchmark(name);
+    }();
     const InputModel base = InputModel::uniform(nl.num_inputs());
     for (const int threads : thread_counts) {
       EstimatorOptions opts;
       opts.num_threads = threads;
+      opts.trace = trace;
       LidagEstimator est(nl, base, opts);
 
       RunningStats update;
+      RunningStats reload;
+      std::uint64_t messages = 0;
       for (const auto& [p, rho] : sweep) {
         const SwitchingEstimate sw =
             est.estimate(InputModel::uniform(nl.num_inputs(), p, rho));
-        update.add(sw.propagate_seconds);
+        update.add(sw.stats.propagate_seconds);
+        reload.add(sw.stats.reload_seconds);
+        messages = sw.stats.messages_passed;
       }
+      const CompileStats& cs = est.compile_stats();
       table.add_row({name, std::to_string(nl.num_nodes()),
                      std::to_string(est.num_threads()),
-                     strformat("%.3f", est.compile_seconds()),
+                     strformat("%.3f", cs.compile_seconds),
                      strformat("%.4f", update.mean()),
                      strformat("%.4f", update.max()),
                      strformat("%.1f", 1.0 / update.mean())});
-      records.push_back({name, update.mean(), est.num_threads()});
+      JsonRecord rec;
+      rec.circuit = name;
+      rec.wall_seconds = update.mean();
+      rec.threads = est.num_threads();
+      rec.compile_seconds = cs.compile_seconds;
+      rec.schedule_build_seconds = cs.schedule_build_seconds;
+      rec.num_segments = cs.num_segments;
+      rec.fill_edges = cs.fill_edges;
+      rec.reload_seconds = reload.mean();
+      rec.messages_passed = messages;
+      records.push_back(std::move(rec));
       std::cerr << "done: " << name << " (threads=" << est.num_threads()
                 << ")\n";
     }
@@ -128,6 +225,15 @@ int main(int argc, char** argv) {
   std::cout << "\nThe update column is the cost of re-estimating with new "
                "input statistics on the precompiled junction trees; it is "
                "consistently a small fraction of compile time.\n";
+  if (trace) {
+    tracer.flush();
+    obs::set_global_tracer(nullptr);
+    if (trace_summary) summary_sink.render(std::cerr);
+    if (trace_out) {
+      trace_out->flush();
+      std::cerr << "wrote trace JSON-lines to " << trace_json_path << "\n";
+    }
+  }
   if (!json_path.empty()) write_json(json_path, records);
   return 0;
 }

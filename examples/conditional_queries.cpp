@@ -7,8 +7,7 @@
 // vector-dependent analysis that forward-only estimators cannot answer.
 #include <cstdio>
 
-#include "gen/circuits.h"
-#include "lidag/estimator.h"
+#include "bns.h"
 
 using namespace bns;
 

@@ -9,9 +9,7 @@
 // independent inputs misses it badly. Ground truth from simulation.
 #include <cstdio>
 
-#include "baselines/independence.h"
-#include "core/analyzer.h"
-#include "gen/generators.h"
+#include "bns.h"
 
 using namespace bns;
 

@@ -9,9 +9,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/analyzer.h"
-#include "gen/benchmarks.h"
-#include "netlist/bench_io.h"
+#include "bns.h"
 
 using namespace bns;
 
@@ -51,9 +49,9 @@ int main(int argc, char** argv) {
   std::printf("\naverage activity      = %.4f\n", est.average_activity());
   std::printf("dynamic power @1.8V/100MHz (2fF/fanout + 4fF/gate) = %.3f uW\n",
               p * 1e6);
+  const CompileStats& cs = analyzer.estimator().compile_stats();
   std::printf("compiled %d segment BN(s) in %.3f s; estimate took %.3f ms\n",
-              analyzer.estimator().num_segments(),
-              analyzer.estimator().compile_seconds(),
-              est.propagate_seconds * 1e3);
+              cs.num_segments, cs.compile_seconds,
+              est.stats.propagate_seconds * 1e3);
   return 0;
 }

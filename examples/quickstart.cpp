@@ -3,7 +3,7 @@
 // activities — first under random inputs, then under biased ones.
 #include <cstdio>
 
-#include "core/analyzer.h"
+#include "bns.h"
 
 using namespace bns;
 
@@ -48,6 +48,6 @@ int main() {
   }
 
   std::printf("\nupdate took %.3f ms on the precompiled network\n",
-              biased.propagate_seconds * 1e3);
+              biased.stats.propagate_seconds * 1e3);
   return 0;
 }

@@ -7,8 +7,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/analyzer.h"
-#include "gen/benchmarks.h"
+#include "bns.h"
 
 using namespace bns;
 
@@ -17,9 +16,9 @@ int main(int argc, char** argv) {
   const Netlist nl = make_benchmark(name);
 
   SwitchingAnalyzer analyzer(nl);
+  const CompileStats& cs = analyzer.estimator().compile_stats();
   std::printf("circuit %s compiled in %.3f s (%d segment BNs)\n\n",
-              nl.name().c_str(), analyzer.estimator().compile_seconds(),
-              analyzer.estimator().num_segments());
+              nl.name().c_str(), cs.compile_seconds, cs.num_segments);
 
   std::printf("avg switching activity as input statistics vary\n");
   std::printf("%-8s", "p \\ rho");
@@ -36,16 +35,15 @@ int main(int argc, char** argv) {
       const SwitchingEstimate est =
           analyzer.estimate(InputModel::uniform(nl.num_inputs(), p, r));
       std::printf("  %7.4f", est.average_activity());
-      row_ms += est.propagate_seconds * 1e3;
-      total_update_ms += est.propagate_seconds * 1e3;
+      row_ms += est.stats.propagate_seconds * 1e3;
+      total_update_ms += est.stats.propagate_seconds * 1e3;
       ++updates;
     }
     std::printf("   %8.2f\n", row_ms / 4.0);
   }
   std::printf("\n%d what-if points, %.2f ms average per update — vs %.3f s "
               "to compile\n",
-              updates, total_update_ms / updates,
-              analyzer.estimator().compile_seconds());
+              updates, total_update_ms / updates, cs.compile_seconds);
   std::printf("(activity peaks at p=0.5 with anticorrelated inputs and "
               "collapses for sticky inputs — the expected shape)\n");
   return 0;

@@ -6,6 +6,7 @@
 #include "util/assert.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace bns {
 namespace {
@@ -169,11 +170,34 @@ std::string JunctionTree::check_running_intersection() const {
 // JunctionTreeEngine
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Init-list helpers so the compile stages can be spanned individually
+// without giving Triangulation/JunctionTree default constructors.
+Triangulation traced_triangulate(const BayesianNetwork& bn,
+                                 const CompileOptions& opts) {
+  UndirectedGraph moral;
+  {
+    obs::Span span(opts.trace, "moralize");
+    moral = moral_graph(bn);
+  }
+  obs::Span span(opts.trace, "triangulate");
+  return triangulate(moral, opts.heuristic);
+}
+
+JunctionTree traced_tree(const Triangulation& tri, obs::Tracer* trace) {
+  obs::Span span(trace, "junction_tree");
+  return JunctionTree(tri);
+}
+
+} // namespace
+
 JunctionTreeEngine::JunctionTreeEngine(const BayesianNetwork& bn,
                                        CompileOptions opts)
     : bn_(&bn),
-      tri_(triangulate(moral_graph(bn), opts.heuristic)),
-      tree_(tri_) {
+      trace_(opts.trace),
+      tri_(traced_triangulate(bn, opts)),
+      tree_(traced_tree(tri_, opts.trace)) {
   // Assign each CPT to the smallest clique covering its scope. Such a
   // clique always exists: {v} ∪ parents(v) is a clique of the moral
   // graph, preserved by triangulation.
@@ -188,6 +212,19 @@ JunctionTreeEngine::JunctionTreeEngine(const BayesianNetwork& bn,
     home_of_[static_cast<std::size_t>(v)] = tree_.clique_containing(v);
   }
   want_schedule_ = opts.compile_schedule;
+  if (trace_ != nullptr && trace_->counters_on()) {
+    trace_->count(obs::Counter::CliquesBuilt,
+                  static_cast<std::uint64_t>(tree_.num_cliques()));
+    trace_->count(obs::Counter::FillEdges, tri_.fill_edges.size());
+    double max_states = 0.0;
+    for (const auto& c : tree_.cliques()) {
+      double s = 1.0;
+      for (int v : c) s *= static_cast<double>(bn_->cardinality(v));
+      max_states = std::max(max_states, s);
+    }
+    trace_->gauge_max(obs::Counter::MaxCliqueStates,
+                      static_cast<std::uint64_t>(max_states));
+  }
 }
 
 double JunctionTreeEngine::state_space() const {
@@ -223,18 +260,46 @@ void JunctionTreeEngine::allocate_potentials() {
   }
 }
 
+void JunctionTreeEngine::prepare() {
+  // One-time schedule compilation and buffer allocation; lazy (first
+  // load) rather than constructor-time because the segmenter builds
+  // engines speculatively and only keeps those whose state space fits
+  // the budget — buffers must not be touched before that check. The
+  // estimator prepares kept engines eagerly so compile_stats() covers
+  // the schedule build and the first update is already allocation-free.
+  if (!clique_pot_.empty()) return;
+  allocate_potentials();
+  if (want_schedule_ && !has_schedule_) {
+    obs::Span span(trace_, "schedule");
+    Timer timer;
+    sched_ = build_schedule(tree_, *bn_, cpt_home_);
+    has_schedule_ = true;
+    schedule_build_seconds_ = timer.seconds();
+    if (trace_ != nullptr) trace_->count(obs::Counter::ScheduleBuilds);
+  }
+  if (trace_ != nullptr && trace_->counters_on()) {
+    std::uint64_t bytes = 0;
+    for (const Factor& f : clique_pot_) bytes += f.size() * sizeof(double);
+    for (const Factor& f : sep_pot_) bytes += f.size() * sizeof(double);
+    for (const MessagePlan& p : sched_.edges) {
+      bytes += p.ratio.size() * sizeof(double);
+    }
+    trace_->count(obs::Counter::PreallocBytes, bytes);
+  }
+}
+
 void JunctionTreeEngine::load_potentials() {
   if (clique_pot_.empty()) {
-    // First load pays the one-time schedule compilation and buffer
-    // allocation; done here rather than in the constructor because the
-    // segmenter builds engines speculatively and only keeps those whose
-    // state space fits the budget — buffers must not be touched before
-    // that check.
-    allocate_potentials();
-    if (want_schedule_ && !has_schedule_) {
-      sched_ = build_schedule(tree_, *bn_, cpt_home_);
-      has_schedule_ = true;
-    }
+    prepare();
+  } else if (trace_ != nullptr && has_schedule_) {
+    // Reloading over an already-compiled schedule is the paper's cheap
+    // "update" entry point.
+    trace_->count(obs::Counter::ScheduleCacheHits);
+  }
+  obs::Span span(trace_, "load");
+  if (trace_ != nullptr) {
+    trace_->count(obs::Counter::CptLoads,
+                  static_cast<std::uint64_t>(bn_->num_variables()));
   }
   const int n = tree_.num_cliques();
   if (has_schedule_) {
@@ -411,11 +476,18 @@ void JunctionTreeEngine::propagate_parallel(ThreadPool& pool) {
 
 void JunctionTreeEngine::propagate(ThreadPool* pool) {
   BNS_EXPECTS(potentials_ready_);
+  obs::Span span(trace_, "propagate");
   if (has_schedule_ && pool != nullptr && pool->num_threads() > 1 &&
       sched_.units.size() > 1) {
     propagate_parallel(*pool);
   } else {
     propagate_sequential();
+  }
+  // Per-edge message *counts* only — no per-message instrumentation, so
+  // the PR 2 zero-allocation/zero-locking hot-path invariant holds at
+  // counter-only tracing.
+  if (trace_ != nullptr) {
+    trace_->count(obs::Counter::MessagesPassed, messages_per_propagation());
   }
   propagated_ = true;
 }

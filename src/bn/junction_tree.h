@@ -13,6 +13,7 @@
 #include "bn/bayes_net.h"
 #include "bn/graph.h"
 #include "bn/schedule.h"
+#include "obs/trace.h"
 #include "verify/diagnostics.h"
 
 namespace bns {
@@ -89,6 +90,10 @@ struct CompileOptions {
   // rebuilds temporary factors per message; kept for differential
   // testing and as a memory-lean fallback.
   bool compile_schedule = true;
+  // Observability (src/obs/): compile stages emit spans, load/propagate
+  // bump counters. Null = no instrumentation. At TraceLevel::Counters
+  // the update path stays allocation- and lock-free.
+  obs::Tracer* trace = nullptr;
 };
 
 // The Hugin-style inference engine over a compiled junction tree.
@@ -116,6 +121,22 @@ class JunctionTreeEngine {
 
   // Sum over cliques of their table sizes (the paper's complexity measure).
   double state_space() const;
+
+  // One-time buffer allocation + schedule compilation, normally paid by
+  // the first load_potentials(). Callers that keep the engine (the
+  // segmenter discards speculative ones) may invoke it eagerly so the
+  // first update is as cheap as every later one. Idempotent.
+  void prepare();
+
+  // Seconds spent compiling the propagation schedule in prepare();
+  // 0 until prepared or when compile_schedule is off.
+  double schedule_build_seconds() const { return schedule_build_seconds_; }
+
+  // Separator messages computed by one full propagate() (collect +
+  // distribute = 2 per tree edge).
+  std::uint64_t messages_per_propagation() const {
+    return 2 * static_cast<std::uint64_t>(tree_.edges().size());
+  }
 
   // (Re-)initializes clique/separator potentials from the current CPTs
   // of the referenced network and clears evidence. CPT scopes must not
@@ -165,8 +186,10 @@ class JunctionTreeEngine {
   void propagate_parallel(ThreadPool& pool);
 
   const BayesianNetwork* bn_; // non-owning; must outlive the engine
+  obs::Tracer* trace_ = nullptr; // non-owning; may be null
   Triangulation tri_;
   JunctionTree tree_;
+  double schedule_build_seconds_ = 0.0;
   // cpt_home_[v] = clique index whose potential absorbs CPT of v.
   std::vector<int> cpt_home_;
   // home_of_[v] = smallest clique containing v (query/evidence home),

@@ -1,0 +1,58 @@
+// bns.h — single umbrella header for the public API surface.
+//
+// Examples and tools include this instead of reaching into per-layer
+// headers, so internal reorganizations (like the src/obs/ split or the
+// CompileStats/EstimateStats consolidation) do not ripple through every
+// consumer. Library code must keep including the specific headers it
+// needs — the umbrella is for the outermost consumers only.
+//
+// Covered layers: netlist I/O and transforms, input models + simulator,
+// the LIDAG estimator and analyzer facade, the experiment harness, the
+// reference estimators, static verification (src/verify/), and
+// observability (src/obs/). The gen/ benchmark suite is included
+// because every example and tool starts from make_benchmark().
+#pragma once
+
+// netlist
+#include "netlist/bench_io.h"
+#include "netlist/blif_io.h"
+#include "netlist/gate.h"
+#include "netlist/netlist.h"
+#include "netlist/transforms.h"
+
+// input models + simulation ground truth
+#include "sim/input_model.h"
+#include "sim/simulator.h"
+
+// the estimator and its facade
+#include "core/analyzer.h"
+#include "core/experiment.h"
+#include "lidag/estimator.h"
+#include "lidag/lidag.h"
+
+// reference estimators (paper baselines)
+#include "baselines/correlation.h"
+#include "baselines/independence.h"
+#include "baselines/local_bdd.h"
+#include "baselines/monte_carlo.h"
+#include "baselines/transition_density.h"
+#include "bdd/bdd_estimator.h"
+
+// static verification
+#include "verify/compile_rules.h"
+#include "verify/diagnostics.h"
+#include "verify/model_rules.h"
+#include "verify/netlist_rules.h"
+
+// observability
+#include "obs/obs.h"
+
+// benchmark circuits
+#include "gen/benchmarks.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+
+// formatting helpers used by the examples
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"

@@ -56,9 +56,11 @@ ExperimentResult run_experiment(const Netlist& nl, const ExperimentConfig& cfg,
   {
     LidagEstimator est(nl, m, cfg.estimator);
     const SwitchingEstimate sw = est.estimate(m);
-    out.bn_segments = est.num_segments();
-    out.bn_state_space = est.total_state_space();
-    push("bn", sw.activities(), sw.propagate_seconds, est.compile_seconds());
+    const CompileStats& cs = est.compile_stats();
+    out.bn_segments = cs.num_segments;
+    out.bn_state_space = cs.total_state_space;
+    push("bn", sw.activities(), sw.stats.propagate_seconds,
+         cs.compile_seconds);
   }
   if (cfg.run_independence) {
     const IndependenceResult r = estimate_independence(nl, m);

@@ -13,6 +13,24 @@
 
 namespace bns {
 
+// Out-of-line special members: the deprecated propagate_seconds mirror
+// must not make every implicit copy/move of a SwitchingEstimate warn.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+SwitchingEstimate::SwitchingEstimate() : propagate_seconds(0.0) {}
+SwitchingEstimate::SwitchingEstimate(const SwitchingEstimate&) = default;
+SwitchingEstimate::SwitchingEstimate(SwitchingEstimate&&) noexcept = default;
+SwitchingEstimate& SwitchingEstimate::operator=(const SwitchingEstimate&) =
+    default;
+SwitchingEstimate& SwitchingEstimate::operator=(SwitchingEstimate&&) noexcept =
+    default;
+SwitchingEstimate::~SwitchingEstimate() = default;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 std::vector<double> SwitchingEstimate::activities() const {
   std::vector<double> out(dist.size());
   for (std::size_t i = 0; i < dist.size(); ++i) out[i] = activity_of(dist[i]);
@@ -35,6 +53,7 @@ LidagEstimator::LidagEstimator(const Netlist& nl, const InputModel& model,
                                EstimatorOptions opts)
     : nl_(&nl), inner_(reorder_cone_dfs(nl)), opts_(opts) {
   BNS_EXPECTS(model.num_inputs() == nl.num_inputs());
+  obs::Span compile_span(opts_.trace, "compile");
   Timer t;
 
   // Inner input position -> original input index.
@@ -81,10 +100,14 @@ LidagEstimator::LidagEstimator(const Netlist& nl, const InputModel& model,
     Segment seg;
     seg.begin = 0;
     seg.end = n;
-    seg.lidag = std::make_unique<LidagBn>(
-        build_lidag(inner_.netlist, 0, n, inner_model, opts_.lidag));
+    {
+      obs::Span span(opts_.trace, "lidag");
+      seg.lidag = std::make_unique<LidagBn>(
+          build_lidag(inner_.netlist, 0, n, inner_model, opts_.lidag));
+    }
     CompileOptions copts;
     copts.heuristic = opts_.heuristic;
+    copts.trace = opts_.trace;
     seg.engine = std::make_unique<JunctionTreeEngine>(seg.lidag->bn, copts);
     if (seg.engine->state_space() <= opts_.max_segment_states || n <= 1) {
       segments_.push_back(std::move(seg));
@@ -133,7 +156,21 @@ LidagEstimator::LidagEstimator(const Netlist& nl, const InputModel& model,
     pool_ = std::make_unique<ThreadPool>(threads);
     build_segment_levels();
   }
-  compile_seconds_ = t.seconds();
+  // Kept segments are prepared eagerly (buffers + propagation
+  // schedules), so schedule compilation is accounted to compile_stats()
+  // and the very first estimate() already runs the zero-allocation
+  // update path.
+  for (Segment& seg : segments_) {
+    seg.engine->prepare();
+    stats_.schedule_build_seconds += seg.engine->schedule_build_seconds();
+    stats_.fill_edges += seg.engine->triangulation().fill_edges.size();
+    stats_.total_state_space += seg.engine->state_space();
+    stats_.max_clique_vars = std::max(
+        stats_.max_clique_vars, seg.engine->triangulation().max_clique_size());
+    stats_.total_bn_variables += seg.lidag->bn.num_variables();
+  }
+  stats_.num_segments = num_segments();
+  stats_.compile_seconds = t.seconds();
 
   if (opts_.verify != VerifyLevel::Off) {
     const DiagnosticReport report = verify(opts_.verify);
@@ -226,6 +263,7 @@ void LidagEstimator::compile_range(NodeId begin, NodeId end,
   BNS_EXPECTS(begin < end);
   CompileOptions copts;
   copts.heuristic = opts_.heuristic;
+  copts.trace = opts_.trace;
 
   // Try with the full overlap window, then with progressively smaller
   // windows; only if even a zero-overlap junction tree blows the budget
@@ -235,8 +273,11 @@ void LidagEstimator::compile_range(NodeId begin, NodeId end,
     seg.begin = begin;
     seg.end = end;
     const NodeId ctx = std::max<NodeId>(0, begin - ov);
-    seg.lidag = std::make_unique<LidagBn>(
-        build_lidag(inner_.netlist, ctx, begin, end, model, opts_.lidag));
+    {
+      obs::Span span(opts_.trace, "lidag");
+      seg.lidag = std::make_unique<LidagBn>(
+          build_lidag(inner_.netlist, ctx, begin, end, model, opts_.lidag));
+    }
     if (opts_.lidag.boundary_chain) {
       const auto links = pick_boundary_links(*seg.lidag);
       link_boundary_roots(*seg.lidag, links);
@@ -253,6 +294,9 @@ void LidagEstimator::compile_range(NodeId begin, NodeId end,
   // Split the range and recompile the halves. The boundary-marginal
   // forwarding between the halves loses some correlation — the error
   // source the paper attributes to its segmentation scheme.
+  if (opts_.trace != nullptr) {
+    opts_.trace->count(obs::Counter::SegmentSplits);
+  }
   const NodeId mid = begin + (end - begin) / 2;
   compile_range(begin, mid, model);
   compile_range(mid, end, model);
@@ -285,8 +329,10 @@ void LidagEstimator::build_segment_levels() {
 void LidagEstimator::run_segment(Segment& seg, const InputModel& inner_model,
                                  std::vector<std::array<double, 4>>& inner_dist,
                                  const BoundaryJointFn& pair_joint) {
+  Timer reload;
   quantify_lidag(*seg.lidag, inner_model, inner_dist, pair_joint, opts_.lidag);
   seg.engine->load_potentials();
+  seg.last_reload_seconds = reload.seconds();
   seg.engine->propagate(pool_.get());
   const auto& nodes = seg.lidag->defined_nodes;
   auto extract = [&](int k) {
@@ -342,6 +388,7 @@ SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
     return true;
   };
 
+  obs::Span estimate_span(opts_.trace, "estimate");
   Timer t;
   if (pool_ == nullptr) {
     for (Segment& seg : segments_) {
@@ -367,7 +414,21 @@ SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
     out.dist[static_cast<std::size_t>(id)] =
         inner_dist[static_cast<std::size_t>(inner_.map[static_cast<std::size_t>(id)])];
   }
-  out.propagate_seconds = t.seconds();
+  out.stats.propagate_seconds = t.seconds();
+  out.stats.threads_used = num_threads();
+  for (const Segment& seg : segments_) {
+    out.stats.reload_seconds += seg.last_reload_seconds;
+    out.stats.messages_passed += seg.engine->messages_per_propagation();
+  }
+  // Mirror into the deprecated field until it is removed.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  out.propagate_seconds = out.stats.propagate_seconds;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   return out;
 }
 
@@ -463,26 +524,6 @@ InputModel LidagEstimator::permute_inputs(const InputModel& model) const {
     specs[j] = model.spec(input_perm_[j]);
   }
   return InputModel::custom(std::move(specs), model.groups());
-}
-
-double LidagEstimator::total_state_space() const {
-  double s = 0.0;
-  for (const Segment& seg : segments_) s += seg.engine->state_space();
-  return s;
-}
-
-std::size_t LidagEstimator::max_clique_vars() const {
-  std::size_t m = 0;
-  for (const Segment& seg : segments_) {
-    m = std::max(m, seg.engine->triangulation().max_clique_size());
-  }
-  return m;
-}
-
-int LidagEstimator::total_bn_variables() const {
-  int n = 0;
-  for (const Segment& seg : segments_) n += seg.lidag->bn.num_variables();
-  return n;
 }
 
 } // namespace bns

@@ -16,6 +16,7 @@
 #include "bn/junction_tree.h"
 #include "lidag/lidag.h"
 #include "netlist/netlist.h"
+#include "obs/trace.h"
 #include "netlist/transforms.h"
 #include "sim/input_model.h"
 #include "util/thread_pool.h"
@@ -63,15 +64,58 @@ struct EstimatorOptions {
   // sequential run for any thread count. 0 = use the BNS_THREADS
   // environment variable when set, else 1; 1 = fully sequential.
   int num_threads = 0;
+  // Observability (src/obs/): spans for every compile stage (lidag,
+  // moralize, triangulate, junction_tree, schedule) and for the update
+  // path (load, propagate), plus pipeline counters. Null = off. At
+  // TraceLevel::Counters the scheduled update path stays allocation-
+  // and lock-free (see DESIGN.md "Observability").
+  obs::Tracer* trace = nullptr;
+};
+
+// Compile-time accounting, fixed once the constructor returns. The
+// one-stop replacement for the former scattered accessors
+// (compile_seconds() & friends, now deprecated forwarders).
+struct CompileStats {
+  double compile_seconds = 0.0;       // whole constructor, wall clock
+  double schedule_build_seconds = 0.0; // of which: propagation schedules
+  int num_segments = 0;
+  double total_state_space = 0.0;     // sum of segment junction trees
+  std::size_t max_clique_vars = 0;    // largest clique over all segments
+  int total_bn_variables = 0;         // incl. decomposition auxiliaries
+  std::uint64_t fill_edges = 0;       // triangulation fill-in, kept segments
+};
+
+// Per-estimate accounting, embedded in SwitchingEstimate::stats. The
+// paper's "update" cost is propagate_seconds; reload_seconds is the
+// CPT re-quantification + potential reload share of it (summed across
+// segments, so it can exceed wall time under threading).
+struct EstimateStats {
+  double propagate_seconds = 0.0;  // whole estimate() sweep, wall clock
+  double reload_seconds = 0.0;     // quantify + load_potentials, summed
+  std::uint64_t messages_passed = 0; // separator messages, all segments
+  int threads_used = 1;            // resolved worker-thread count
 };
 
 struct SwitchingEstimate {
   // Per-line transition distribution, indexed by NodeId. Auxiliary
   // decomposition variables are internal and not reported.
   std::vector<std::array<double, 4>> dist;
-  // Seconds spent in propagation (potential reload + message passing)
-  // for this estimate — the paper's "update" time.
-  double propagate_seconds = 0.0;
+  // Per-estimate accounting; stats.propagate_seconds is the paper's
+  // "update" time.
+  EstimateStats stats;
+  // Deprecated mirror of stats.propagate_seconds, kept one release for
+  // source compatibility. The special members are defined out of line
+  // (estimator.cpp) so that implicit copies/moves of SwitchingEstimate
+  // do not trip -Werror=deprecated-declarations — only explicit reads
+  // of the field do.
+  [[deprecated("use stats.propagate_seconds")]] double propagate_seconds;
+
+  SwitchingEstimate();
+  SwitchingEstimate(const SwitchingEstimate&);
+  SwitchingEstimate(SwitchingEstimate&&) noexcept;
+  SwitchingEstimate& operator=(const SwitchingEstimate&);
+  SwitchingEstimate& operator=(SwitchingEstimate&&) noexcept;
+  ~SwitchingEstimate();
 
   std::vector<double> activities() const;
   double activity(NodeId id) const;
@@ -102,7 +146,8 @@ class LidagEstimator {
       NodeId target, NodeId given, Trans state, const InputModel& model);
 
   // --- compile-time diagnostics --------------------------------------
-  double compile_seconds() const { return compile_seconds_; }
+  // All compile-time accounting in one value struct.
+  const CompileStats& compile_stats() const { return stats_; }
   // Resolved worker-thread count (after BNS_THREADS / option defaulting).
   int num_threads() const { return pool_ ? pool_->num_threads() : 1; }
   int num_segments() const { return static_cast<int>(segments_.size()); }
@@ -115,11 +160,16 @@ class LidagEstimator {
   // at the given level (see EstimatorOptions::verify) and returns the
   // findings without throwing.
   DiagnosticReport verify(VerifyLevel level) const;
-  // Sum of junction-tree state spaces over segments.
-  double total_state_space() const;
-  // Largest clique (in variables) over all segments.
-  std::size_t max_clique_vars() const;
-  int total_bn_variables() const;
+
+  // Deprecated forwarders into compile_stats(), kept one release.
+  [[deprecated("use compile_stats().compile_seconds")]]
+  double compile_seconds() const { return stats_.compile_seconds; }
+  [[deprecated("use compile_stats().total_state_space")]]
+  double total_state_space() const { return stats_.total_state_space; }
+  [[deprecated("use compile_stats().max_clique_vars")]]
+  std::size_t max_clique_vars() const { return stats_.max_clique_vars; }
+  [[deprecated("use compile_stats().total_bn_variables")]]
+  int total_bn_variables() const { return stats_.total_bn_variables; }
 
   const Netlist& netlist() const { return *nl_; }
 
@@ -131,6 +181,10 @@ class LidagEstimator {
     std::unique_ptr<JunctionTreeEngine> engine;
     NodeId begin = 0;
     NodeId end = 0;
+    // Quantify + load seconds of this segment's last run_segment; each
+    // segment is written by exactly one thread per sweep, so plain
+    // doubles summed afterwards need no synchronization.
+    double last_reload_seconds = 0.0;
   };
 
   // Compiles [begin, end); splits on state-space blowup.
@@ -179,7 +233,7 @@ class LidagEstimator {
   // built when a pool exists.
   std::vector<std::vector<int>> seg_levels_;
   std::unique_ptr<ThreadPool> pool_;
-  double compile_seconds_ = 0.0;
+  CompileStats stats_;
 };
 
 } // namespace bns

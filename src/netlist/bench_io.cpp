@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/strings.h"
 
@@ -156,6 +157,7 @@ Netlist build(const RawDesign& d, std::string name) {
 } // namespace
 
 Netlist read_bench(std::istream& in, std::string name) {
+  obs::Span span(obs::global_tracer(), "parse");
   return build(scan(in), std::move(name));
 }
 

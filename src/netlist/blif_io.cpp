@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace bns {
@@ -143,6 +144,7 @@ Netlist build(const RawBlif& d, std::string fallback_name) {
 } // namespace
 
 Netlist read_blif(std::istream& in, std::string fallback_name) {
+  obs::Span span(obs::global_tracer(), "parse");
   RawBlif d;
   RawNames* current = nullptr;
   bool seen_model = false;

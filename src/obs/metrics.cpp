@@ -1,0 +1,24 @@
+#include "obs/metrics.h"
+
+namespace bns::obs {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::CliquesBuilt: return "cliques_built";
+    case Counter::FillEdges: return "fill_edges";
+    case Counter::MaxCliqueStates: return "max_clique_states";
+    case Counter::MessagesPassed: return "messages_passed";
+    case Counter::CptLoads: return "cpt_loads";
+    case Counter::ScheduleBuilds: return "schedule_builds";
+    case Counter::ScheduleCacheHits: return "schedule_cache_hits";
+    case Counter::SegmentSplits: return "segment_splits";
+    case Counter::ThreadPoolTasks: return "thread_pool_tasks";
+    case Counter::PreallocBytes: return "prealloc_bytes";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+bool counter_is_gauge(Counter c) { return c == Counter::MaxCliqueStates; }
+
+} // namespace bns::obs

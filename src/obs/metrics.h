@@ -1,0 +1,81 @@
+// Monotonic counters and max-gauges for the compile/update pipeline.
+//
+// The registry is a fixed-size array of relaxed atomics indexed by a
+// closed enum, so recording a metric is one fetch_add with no locking
+// and no allocation — safe on the zero-allocation update hot path and
+// from ThreadPool workers. Aggregation semantics are per-counter: most
+// are monotonic sums; gauges (counter_is_gauge) keep the maximum
+// observed value instead.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace bns::obs {
+
+enum class Counter : int {
+  CliquesBuilt = 0,   // junction-tree cliques constructed (incl. speculative
+                      // segment compiles later discarded by the budget check)
+  FillEdges,          // triangulation fill-in edges introduced
+  MaxCliqueStates,    // gauge: largest clique table (in doubles) seen
+  MessagesPassed,     // separator messages computed by propagate()
+  CptLoads,           // CPT absorptions performed by load_potentials()
+  ScheduleBuilds,     // propagation schedules compiled
+  ScheduleCacheHits,  // load_potentials() reusing an already-built schedule
+  SegmentSplits,      // segmenter ranges split on state-space blowup
+  ThreadPoolTasks,    // indices executed via ThreadPool::parallel_for
+  PreallocBytes,      // bytes of preallocated clique/separator/message buffers
+  kCount,
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);
+
+// Stable snake_case identifier, used verbatim in sink output.
+const char* counter_name(Counter c);
+
+// True for max-aggregated gauges (MaxCliqueStates).
+bool counter_is_gauge(Counter c);
+
+using MetricsSnapshot = std::array<std::uint64_t, kNumCounters>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() { reset(); }
+
+  // Monotonic add; relaxed, lock-free, allocation-free.
+  void add(Counter c, std::uint64_t n = 1) {
+    vals_[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Gauge update: keeps max(current, v). Lock-free CAS loop.
+  void set_max(Counter c, std::uint64_t v) {
+    auto& slot = vals_[static_cast<std::size_t>(c)];
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t value(Counter c) const {
+    return vals_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto& v : vals_) v.store(0, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+    for (int i = 0; i < kNumCounters; ++i) {
+      s[static_cast<std::size_t>(i)] =
+          vals_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumCounters> vals_;
+};
+
+} // namespace bns::obs

@@ -1,0 +1,8 @@
+// Umbrella header for the observability subsystem: metrics registry,
+// tracer/spans, and the stock sinks. See DESIGN.md "Observability" for
+// the levels and the overhead contract.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"

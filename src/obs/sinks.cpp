@@ -1,0 +1,84 @@
+#include "obs/sinks.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace bns::obs {
+
+void SummarySink::on_span(const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  StageStats& s = stages_[rec.name];
+  ++s.count;
+  s.total_ns += rec.dur_ns;
+  s.max_ns = std::max(s.max_ns, rec.dur_ns);
+}
+
+void SummarySink::on_counters(const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_ = snap;
+  have_counters_ = true;
+}
+
+std::map<std::string, SummarySink::StageStats> SummarySink::stages() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stages_;
+}
+
+void SummarySink::render(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "stage                       count     total(s)       max(s)\n";
+  for (const auto& [name, s] : stages_) {
+    char line[128];
+    std::snprintf(line, sizeof line, "%-24s %8llu %12.6f %12.6f\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  static_cast<double>(s.total_ns) * 1e-9,
+                  static_cast<double>(s.max_ns) * 1e-9);
+    os << line;
+  }
+  if (!have_counters_) return;
+  os << "counter                        value\n";
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t v = counters_[static_cast<std::size_t>(i)];
+    if (v == 0) continue;
+    char line[128];
+    std::snprintf(line, sizeof line, "%-24s %11llu\n", counter_name(c),
+                  static_cast<unsigned long long>(v));
+    os << line;
+  }
+}
+
+void JsonLinesSink::on_span(const SpanRecord& rec) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "{\"schema_version\": %d, \"type\": \"span\", \"name\": "
+                "\"%s\", \"depth\": %d, \"thread\": %llu, \"start_ns\": "
+                "%llu, \"dur_ns\": %llu}",
+                kTraceSchemaVersion, rec.name, rec.depth,
+                static_cast<unsigned long long>(rec.thread),
+                static_cast<unsigned long long>(rec.start_ns),
+                static_cast<unsigned long long>(rec.dur_ns));
+  std::lock_guard<std::mutex> lk(mu_);
+  *os_ << line << '\n';
+}
+
+void JsonLinesSink::on_counters(const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t v = snap[static_cast<std::size_t>(i)];
+    if (v == 0) continue;
+    char line[192];
+    std::snprintf(line, sizeof line,
+                  "{\"schema_version\": %d, \"type\": \"counter\", \"name\": "
+                  "\"%s\", \"value\": %llu, \"gauge\": %s}",
+                  kTraceSchemaVersion, counter_name(c),
+                  static_cast<unsigned long long>(v),
+                  counter_is_gauge(c) ? "true" : "false");
+    *os_ << line << '\n';
+  }
+  os_->flush();
+}
+
+} // namespace bns::obs

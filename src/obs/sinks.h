@@ -1,0 +1,75 @@
+// The three stock sinks:
+//
+//   NullSink    — drops everything; lets callers keep a sink wired in
+//                 while paying only a virtual call (and nothing at all
+//                 when the tracer level is below Spans).
+//   SummarySink — aggregates per-stage durations in memory and renders
+//                 a human-readable table; also queryable, which is how
+//                 bench_update_time embeds per-stage breakdowns in its
+//                 JSON artifact.
+//   JsonLinesSink — one JSON object per line (spans and counters), each
+//                 line carrying "schema_version": kTraceSchemaVersion.
+//                 CI parses this with jq; tests parse it back in-proc.
+//
+// All sinks are internally synchronized: spans arrive concurrently from
+// ThreadPool workers at TraceLevel::Spans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace bns::obs {
+
+// Version of the JSON-lines trace schema emitted by JsonLinesSink.
+// Bump on any key rename/removal; additions are backward compatible.
+inline constexpr int kTraceSchemaVersion = 1;
+
+class NullSink final : public Sink {
+ public:
+  void on_span(const SpanRecord&) override {}
+};
+
+class SummarySink final : public Sink {
+ public:
+  struct StageStats {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  void on_span(const SpanRecord& rec) override;
+  void on_counters(const MetricsSnapshot& snap) override;
+
+  // Aggregated per-stage timings so far (copied under the lock).
+  std::map<std::string, StageStats> stages() const;
+
+  // Human-readable summary: one row per stage, then non-zero counters.
+  void render(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, StageStats> stages_;
+  MetricsSnapshot counters_{};
+  bool have_counters_ = false;
+};
+
+class JsonLinesSink final : public Sink {
+ public:
+  // The stream must outlive the sink and is written under a lock.
+  explicit JsonLinesSink(std::ostream& os) : os_(&os) {}
+
+  void on_span(const SpanRecord& rec) override;
+  // Emits one {"type":"counter",...} line per non-zero counter.
+  void on_counters(const MetricsSnapshot& snap) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream* os_;
+};
+
+} // namespace bns::obs

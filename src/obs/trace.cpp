@@ -1,0 +1,64 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+namespace bns::obs {
+namespace {
+
+// Per-thread span nesting depth. Depth (not an explicit parent id) is
+// what sinks need to reconstruct the tree: a record at depth d is a
+// child of the most recent still-open record at depth d-1 on the same
+// thread.
+thread_local int tls_span_depth = 0;
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+std::uint64_t thread_hash() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+} // namespace
+
+void Tracer::emit(const SpanRecord& rec) {
+  for (Sink* s : sinks_) s->on_span(rec);
+}
+
+void Tracer::flush() {
+  const MetricsSnapshot snap = metrics_.snapshot();
+  for (Sink* s : sinks_) s->on_counters(snap);
+}
+
+Span::Span(Tracer* tracer, const char* name)
+    : tracer_(tracer != nullptr && tracer->spans_on() ? tracer : nullptr),
+      name_(name) {
+  if (tracer_ == nullptr) return;
+  depth_ = tls_span_depth++;
+  start_ns_ = tracer_->now_ns();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  --tls_span_depth;
+  SpanRecord rec;
+  rec.name = name_;
+  rec.depth = depth_;
+  rec.thread = thread_hash();
+  rec.start_ns = start_ns_;
+  rec.dur_ns = tracer_->now_ns() - start_ns_;
+  tracer_->emit(rec);
+}
+
+Tracer* global_tracer() { return g_tracer.load(std::memory_order_relaxed); }
+
+void set_global_tracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_relaxed);
+}
+
+void count_global(Counter c, std::uint64_t n) {
+  if (Tracer* t = global_tracer()) t->count(c, n);
+}
+
+} // namespace bns::obs

@@ -1,0 +1,122 @@
+// Tracer + RAII spans: where the pipeline's wall time goes.
+//
+// A Span marks one stage (parse, lidag, triangulate, schedule, load,
+// propagate, ...) with steady-clock timing and parent/child nesting via
+// a thread-local depth counter. Completed spans are fanned out to the
+// tracer's sinks (sinks.h) as plain SpanRecords.
+//
+// Overhead contract, by level:
+//   Off      — Span construction is a null-pointer test; counters are
+//              dropped. Nothing else happens.
+//   Counters — spans stay disabled; Tracer::count()/gauge_max() are one
+//              relaxed atomic op each. No allocation, no locking — safe
+//              on the zero-allocation update hot path.
+//   Spans    — counters plus span records delivered to sinks. Sinks may
+//              allocate and lock internally; this level is meant for
+//              profiling runs, not steady-state serving.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bns::obs {
+
+enum class TraceLevel : int { Off = 0, Counters = 1, Spans = 2 };
+
+struct SpanRecord {
+  const char* name = "";     // static string; never owned
+  int depth = 0;             // 0 = top-level on its thread
+  std::uint64_t thread = 0;  // hashed std::thread::id
+  std::uint64_t start_ns = 0; // since the tracer's epoch
+  std::uint64_t dur_ns = 0;
+};
+
+// Sink interface. Implementations must be internally thread-safe at
+// TraceLevel::Spans: spans arrive concurrently from pool workers.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_span(const SpanRecord& rec) = 0;
+  // Counter dump, delivered by Tracer::flush().
+  virtual void on_counters(const MetricsSnapshot& snap) { (void)snap; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceLevel level = TraceLevel::Spans)
+      : level_(level), epoch_(std::chrono::steady_clock::now()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  TraceLevel level() const { return level_; }
+  void set_level(TraceLevel level) { level_ = level; }
+  bool counters_on() const { return level_ >= TraceLevel::Counters; }
+  bool spans_on() const { return level_ >= TraceLevel::Spans; }
+
+  // Sinks are non-owning and must outlive the tracer's last span/flush.
+  void add_sink(Sink* sink) { sinks_.push_back(sink); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Allocation-free counter recording (dropped below Counters level).
+  void count(Counter c, std::uint64_t n = 1) {
+    if (counters_on()) metrics_.add(c, n);
+  }
+  void gauge_max(Counter c, std::uint64_t v) {
+    if (counters_on()) metrics_.set_max(c, v);
+  }
+
+  // Delivers the current counter values to every sink.
+  void flush();
+
+  // Nanoseconds since this tracer's construction.
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  friend class Span;
+  void emit(const SpanRecord& rec);
+
+  TraceLevel level_;
+  std::chrono::steady_clock::time_point epoch_;
+  MetricsRegistry metrics_;
+  std::vector<Sink*> sinks_;
+};
+
+// RAII span. `name` must be a string literal (records keep the pointer).
+// A null tracer or a sub-Spans level makes construction and destruction
+// no-ops, so instrumented code needs no level checks of its own.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_; // null when disabled
+  const char* name_;
+  int depth_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+// Process-wide tracer hook for layers without an options plumbing
+// (netlist parsers, the thread pool). Null by default; reads are one
+// relaxed atomic load. The registered tracer must outlive its use.
+Tracer* global_tracer();
+void set_global_tracer(Tracer* tracer);
+
+// Counter add through the global tracer; no-op when none is set.
+void count_global(Counter c, std::uint64_t n = 1);
+
+} // namespace bns::obs

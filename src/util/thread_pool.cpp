@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace bns {
 namespace {
 
@@ -76,6 +78,9 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(int n, IndexFnRef fn) {
   if (n <= 0) return;
+  // One batched relaxed add per submit (never per index) keeps the
+  // counter off the per-task critical path and allocation-free.
+  obs::count_global(obs::Counter::ThreadPoolTasks, static_cast<std::uint64_t>(n));
   if (n == 1) {
     // Inline without entering a parallel region: nested parallel_for
     // under a single-index call can still use the pool.

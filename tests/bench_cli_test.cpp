@@ -1,0 +1,145 @@
+// End-to-end tests of the bench_update_time command line: strict option
+// validation (malformed values exit 2 with usage) and a quick tracing
+// smoke run whose artifacts must carry the documented schemas.
+//
+// The binary path is injected by CMake as BNS_BENCH_UPDATE_BINARY. Runs
+// use popen() so the exit status is observable via pclose/WEXITSTATUS.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace bns {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_bench(const std::string& args) {
+  const std::string cmd =
+      std::string(BNS_BENCH_UPDATE_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunResult res;
+  if (pipe == nullptr) return res;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) {
+    res.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+std::string tmp_path(const std::string& suffix) {
+  return "/tmp/bns_bench_cli_" + std::to_string(getpid()) + suffix;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(BenchCliTest, MissingThreadsValueExits2) {
+  const RunResult r = run_bench("c17 --threads");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST(BenchCliTest, NonNumericThreadsExits2) {
+  const RunResult r = run_bench("c17 --threads 1,abc");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST(BenchCliTest, ZeroThreadsExits2) {
+  const RunResult r = run_bench("c17 --threads 0");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(BenchCliTest, NegativeThreadsExits2) {
+  const RunResult r = run_bench("c17 --threads -2");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(BenchCliTest, MissingJsonValueExits2) {
+  const RunResult r = run_bench("c17 --json");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(BenchCliTest, MissingTraceJsonValueExits2) {
+  const RunResult r = run_bench("c17 --trace-json");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(BenchCliTest, UnknownFlagExits2) {
+  const RunResult r = run_bench("c17 --frobnicate");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST(BenchCliTest, TracedRunEmitsSchemas) {
+  const std::string json = tmp_path(".json");
+  const std::string trace = tmp_path(".jsonl");
+  const RunResult r = run_bench("c17 --threads 1 --json " + json +
+                                " --trace-json " + trace +
+                                " --trace-summary");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // Results document: schema_version 2 with a stats sub-object.
+  const std::string doc = slurp(json);
+  EXPECT_NE(doc.find("\"schema_version\": 2"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"bench\": \"bench_update_time\""), std::string::npos);
+  EXPECT_NE(doc.find("\"circuit\": \"c17\""), std::string::npos);
+  EXPECT_NE(doc.find("\"stats\": {"), std::string::npos);
+  EXPECT_NE(doc.find("\"compile_seconds\""), std::string::npos);
+  EXPECT_NE(doc.find("\"messages_passed\""), std::string::npos);
+  EXPECT_NE(doc.find("\"threads_used\": 1"), std::string::npos);
+
+  // Trace stream: every line versioned, pipeline stages present.
+  const std::string lines = slurp(trace);
+  ASSERT_FALSE(lines.empty());
+  std::istringstream in(lines);
+  std::string line;
+  int total = 0;
+  int versioned = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++total;
+    if (line.find("\"schema_version\": 1") != std::string::npos) ++versioned;
+  }
+  EXPECT_EQ(total, versioned) << "every trace line must be versioned";
+  for (const char* stage :
+       {"\"name\": \"parse\"", "\"name\": \"lidag\"",
+        "\"name\": \"triangulate\"", "\"name\": \"schedule\"",
+        "\"name\": \"load\"", "\"name\": \"propagate\""}) {
+    EXPECT_NE(lines.find(stage), std::string::npos) << stage;
+  }
+  EXPECT_NE(lines.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(lines.find("\"name\": \"messages_passed\""), std::string::npos);
+
+  // Summary table went to stderr (merged into output here).
+  EXPECT_NE(r.output.find("propagate"), std::string::npos) << r.output;
+
+  std::remove(json.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(BenchCliTest, PlainRunStillWorks) {
+  const RunResult r = run_bench("c17");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Update-time study"), std::string::npos);
+}
+
+} // namespace
+} // namespace bns

@@ -116,8 +116,9 @@ TEST(Estimator, StateSpaceBudgetRespected) {
   opts.max_segment_states = 1e5;
   LidagEstimator est(nl, m, opts);
   // Budget can only be checked per segment.
-  EXPECT_LE(est.total_state_space() / est.num_segments(), 1e5 * 1.0001);
-  EXPECT_GT(est.num_segments(), 1);
+  const CompileStats& cs = est.compile_stats();
+  EXPECT_LE(cs.total_state_space / cs.num_segments, 1e5 * 1.0001);
+  EXPECT_GT(cs.num_segments, 1);
 }
 
 TEST(Estimator, RepeatedEstimatesAreIndependent) {
@@ -214,11 +215,55 @@ TEST(Estimator, CompileStatsExposed) {
   const Netlist nl = make_benchmark("c1355");
   const InputModel m = InputModel::uniform(nl.num_inputs());
   LidagEstimator est(nl, m);
-  EXPECT_GT(est.compile_seconds(), 0.0);
-  EXPECT_GT(est.total_state_space(), 0.0);
-  EXPECT_GE(est.max_clique_vars(), 2u);
-  EXPECT_GE(est.total_bn_variables(), nl.num_nodes());
+  const CompileStats& cs = est.compile_stats();
+  EXPECT_GT(cs.compile_seconds, 0.0);
+  EXPECT_GE(cs.compile_seconds, cs.schedule_build_seconds);
+  EXPECT_GT(cs.total_state_space, 0.0);
+  EXPECT_GE(cs.max_clique_vars, 2u);
+  EXPECT_GE(cs.total_bn_variables, nl.num_nodes());
+  EXPECT_EQ(cs.num_segments, est.num_segments());
+  EXPECT_GT(cs.fill_edges, 0u); // ISCAS circuits always need fill-in
 }
+
+TEST(Estimator, EstimateStatsExposed) {
+  const Netlist nl = make_benchmark("c432");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  EstimatorOptions opts;
+  opts.num_threads = 2;
+  LidagEstimator est(nl, m, opts);
+  const SwitchingEstimate sw = est.estimate(m);
+  EXPECT_GT(sw.stats.propagate_seconds, 0.0);
+  EXPECT_GT(sw.stats.reload_seconds, 0.0);
+  EXPECT_GT(sw.stats.messages_passed, 0u);
+  EXPECT_EQ(sw.stats.threads_used, est.num_threads());
+  // Messages are a structural property: the same compiled trees pass
+  // the same number of messages on every update.
+  const SwitchingEstimate sw2 =
+      est.estimate(InputModel::uniform(nl.num_inputs(), 0.3, 0.2));
+  EXPECT_EQ(sw2.stats.messages_passed, sw.stats.messages_passed);
+}
+
+// The pre-consolidation accessors must keep working (and returning the
+// same values) until removal. This block is the one sanctioned consumer
+// of the deprecated API, so it opts out of the warning locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Estimator, DeprecatedAccessorsForwardToStats) {
+  const Netlist nl = make_benchmark("c17");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  LidagEstimator est(nl, m);
+  const CompileStats& cs = est.compile_stats();
+  EXPECT_DOUBLE_EQ(est.compile_seconds(), cs.compile_seconds);
+  EXPECT_DOUBLE_EQ(est.total_state_space(), cs.total_state_space);
+  EXPECT_EQ(est.max_clique_vars(), cs.max_clique_vars);
+  EXPECT_EQ(est.total_bn_variables(), cs.total_bn_variables);
+  const SwitchingEstimate sw = est.estimate(m);
+  EXPECT_DOUBLE_EQ(sw.propagate_seconds, sw.stats.propagate_seconds);
+  // The deprecated field survives copies like any other member.
+  SwitchingEstimate copy = sw;
+  EXPECT_DOUBLE_EQ(copy.propagate_seconds, sw.stats.propagate_seconds);
+}
+#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace bns

@@ -89,9 +89,9 @@ TEST(Integration, UpdateIsMuchCheaperThanCompile) {
   for (double p : {0.3, 0.6, 0.8}) {
     const SwitchingEstimate sw =
         est.estimate(InputModel::uniform(nl.num_inputs(), p, 0.0));
-    worst_update = std::max(worst_update, sw.propagate_seconds);
+    worst_update = std::max(worst_update, sw.stats.propagate_seconds);
   }
-  EXPECT_LT(worst_update, est.compile_seconds())
+  EXPECT_LT(worst_update, est.compile_stats().compile_seconds)
       << "propagation must be cheaper than compilation";
 }
 

@@ -1,0 +1,264 @@
+// Unit tests for the observability subsystem (src/obs/): span nesting
+// and level gating, counter atomicity under the thread pool, sink
+// behavior, and the JSON-lines schema parsed back in-process.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace bns {
+namespace {
+
+using obs::Counter;
+using obs::MetricsSnapshot;
+using obs::Span;
+using obs::SpanRecord;
+using obs::TraceLevel;
+using obs::Tracer;
+
+// Collects completed spans in arrival order for structural assertions.
+class CollectingSink final : public obs::Sink {
+ public:
+  void on_span(const SpanRecord& rec) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(rec);
+  }
+  std::vector<SpanRecord> spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+TEST(ObsTest, SpanNestingDepths) {
+  CollectingSink sink;
+  Tracer tracer(TraceLevel::Spans);
+  tracer.add_sink(&sink);
+  {
+    Span outer(&tracer, "outer");
+    {
+      Span mid(&tracer, "mid");
+      Span inner(&tracer, "inner");
+    }
+    Span sibling(&tracer, "sibling");
+  }
+  // Spans complete innermost-first.
+  const std::vector<SpanRecord> spans = sink.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_STREQ(spans[1].name, "mid");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_STREQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_STREQ(spans[3].name, "outer");
+  EXPECT_EQ(spans[3].depth, 0);
+  // The parent's interval contains the child's.
+  EXPECT_LE(spans[3].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[3].start_ns + spans[3].dur_ns,
+            spans[0].start_ns + spans[0].dur_ns);
+}
+
+TEST(ObsTest, LevelGating) {
+  CollectingSink sink;
+  Tracer off(TraceLevel::Off);
+  off.add_sink(&sink);
+  { Span s(&off, "ignored"); }
+  off.count(Counter::MessagesPassed, 7);
+  EXPECT_TRUE(sink.spans().empty());
+  EXPECT_EQ(off.metrics().value(Counter::MessagesPassed), 0u);
+
+  Tracer counters(TraceLevel::Counters);
+  counters.add_sink(&sink);
+  { Span s(&counters, "ignored"); }
+  counters.count(Counter::MessagesPassed, 7);
+  EXPECT_TRUE(sink.spans().empty()) << "Counters level must not emit spans";
+  EXPECT_EQ(counters.metrics().value(Counter::MessagesPassed), 7u);
+
+  // A null tracer is always safe.
+  { Span s(nullptr, "ignored"); }
+}
+
+TEST(ObsTest, CountersAtomicUnderThreadPool) {
+  Tracer tracer(TraceLevel::Counters);
+  ThreadPool pool(4);
+  constexpr int kIters = 20000;
+  pool.parallel_for(kIters, [&](int i) {
+    tracer.count(Counter::MessagesPassed, 2);
+    tracer.gauge_max(Counter::MaxCliqueStates,
+                     static_cast<std::uint64_t>(i));
+  });
+  EXPECT_EQ(tracer.metrics().value(Counter::MessagesPassed),
+            2ull * kIters);
+  EXPECT_EQ(tracer.metrics().value(Counter::MaxCliqueStates),
+            static_cast<std::uint64_t>(kIters - 1));
+}
+
+TEST(ObsTest, GlobalTracerHook) {
+  ASSERT_EQ(obs::global_tracer(), nullptr);
+  obs::count_global(Counter::ThreadPoolTasks, 3); // no-op without a tracer
+  Tracer tracer(TraceLevel::Counters);
+  obs::set_global_tracer(&tracer);
+  obs::count_global(Counter::ThreadPoolTasks, 3);
+  obs::set_global_tracer(nullptr);
+  obs::count_global(Counter::ThreadPoolTasks, 3); // dropped again
+  EXPECT_EQ(tracer.metrics().value(Counter::ThreadPoolTasks), 3u);
+}
+
+TEST(ObsTest, SummarySinkAggregates) {
+  obs::SummarySink sink;
+  Tracer tracer(TraceLevel::Spans);
+  tracer.add_sink(&sink);
+  for (int i = 0; i < 3; ++i) {
+    Span s(&tracer, "stage_a");
+  }
+  { Span s(&tracer, "stage_b"); }
+  tracer.count(Counter::CliquesBuilt, 4);
+  tracer.flush();
+
+  const auto stages = sink.stages();
+  ASSERT_EQ(stages.count("stage_a"), 1u);
+  EXPECT_EQ(stages.at("stage_a").count, 3u);
+  EXPECT_GE(stages.at("stage_a").total_ns, stages.at("stage_a").max_ns);
+  ASSERT_EQ(stages.count("stage_b"), 1u);
+  EXPECT_EQ(stages.at("stage_b").count, 1u);
+
+  std::ostringstream os;
+  sink.render(os);
+  EXPECT_NE(os.str().find("stage_a"), std::string::npos);
+  EXPECT_NE(os.str().find("cliques_built"), std::string::npos);
+}
+
+// --- minimal flat-JSON parser, sufficient for the one-object-per-line
+// schema JsonLinesSink emits (string keys; string/number/bool values).
+// Parsing back in the test is the well-formedness check the schema's
+// consumers (jq in CI) rely on.
+bool parse_flat_json(const std::string& line,
+                     std::map<std::string, std::string>* out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  };
+  auto parse_string = [&](std::string* s) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') ++i; // skip the escaped char
+      if (i < line.size()) s->push_back(line[i++]);
+    }
+    if (i >= line.size()) return false;
+    ++i; // closing quote
+    return true;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return true; // empty object
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(&key)) return false;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(&value)) return false;
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        value.push_back(line[i++]);
+      }
+      while (!value.empty() &&
+             std::isspace(static_cast<unsigned char>(value.back()))) {
+        value.pop_back();
+      }
+      if (value.empty()) return false;
+    }
+    (*out)[key] = value;
+    skip_ws();
+    if (i >= line.size()) return false;
+    if (line[i] == '}') {
+      ++i;
+      skip_ws();
+      return i == line.size();
+    }
+    if (line[i] != ',') return false;
+    ++i;
+  }
+}
+
+TEST(ObsTest, JsonLinesWellFormed) {
+  std::ostringstream os;
+  obs::JsonLinesSink sink(os);
+  Tracer tracer(TraceLevel::Spans);
+  tracer.add_sink(&sink);
+  {
+    Span outer(&tracer, "compile");
+    Span inner(&tracer, "triangulate");
+  }
+  tracer.count(Counter::FillEdges, 12);
+  tracer.gauge_max(Counter::MaxCliqueStates, 4096);
+  tracer.flush();
+
+  std::istringstream in(os.str());
+  std::string line;
+  int spans = 0;
+  int counters = 0;
+  std::vector<std::string> span_names;
+  while (std::getline(in, line)) {
+    std::map<std::string, std::string> obj;
+    ASSERT_TRUE(parse_flat_json(line, &obj)) << line;
+    ASSERT_EQ(obj.count("schema_version"), 1u) << line;
+    EXPECT_EQ(obj["schema_version"],
+              std::to_string(obs::kTraceSchemaVersion));
+    ASSERT_EQ(obj.count("type"), 1u) << line;
+    if (obj["type"] == "span") {
+      ++spans;
+      span_names.push_back(obj["name"]);
+      EXPECT_EQ(obj.count("depth"), 1u);
+      EXPECT_EQ(obj.count("dur_ns"), 1u);
+      EXPECT_EQ(obj.count("thread"), 1u);
+    } else if (obj["type"] == "counter") {
+      ++counters;
+      EXPECT_EQ(obj.count("name"), 1u);
+      EXPECT_EQ(obj.count("value"), 1u);
+    } else {
+      FAIL() << "unknown record type in: " << line;
+    }
+  }
+  EXPECT_EQ(spans, 2);
+  ASSERT_EQ(span_names.size(), 2u);
+  EXPECT_EQ(span_names[0], "triangulate"); // inner completes first
+  EXPECT_EQ(span_names[1], "compile");
+  EXPECT_EQ(counters, 2); // only the two non-zero counters are dumped
+}
+
+TEST(ObsTest, CounterNamesAreStableAndComplete) {
+  // Every counter has a distinct non-empty snake_case name; the JSON
+  // schema depends on these strings staying put.
+  std::map<std::string, int> seen;
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    const char* name = obs::counter_name(static_cast<Counter>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+    ++seen[name];
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(obs::kNumCounters));
+}
+
+} // namespace
+} // namespace bns

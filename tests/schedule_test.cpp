@@ -9,6 +9,7 @@
 
 #include "alloc_hook.h"
 #include "bn/junction_tree.h"
+#include "obs/trace.h"
 #include "test_helpers.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -164,6 +165,30 @@ TEST(Schedule, ParallelUpdateLoopIsAllocationFree) {
   }
   EXPECT_EQ(alloc_hook::allocation_count(), before)
       << "parallel_for submission must not touch the heap";
+}
+
+TEST(Schedule, UpdateLoopIsAllocationFreeWithCounterTracing) {
+  // Counter-level tracing must not cost the zero-allocation guarantee:
+  // recording is a batched relaxed atomic add, never a heap touch.
+  BayesianNetwork bn = testing_helpers::random_bayes_net(30, 3, 4, 99);
+  obs::Tracer tracer(obs::TraceLevel::Counters);
+  CompileOptions opts = with_schedule(true);
+  opts.trace = &tracer;
+  JunctionTreeEngine eng(bn, opts);
+  eng.load_potentials();
+  eng.propagate();
+  const std::uint64_t msgs0 =
+      tracer.metrics().value(obs::Counter::MessagesPassed);
+  const std::uint64_t before = alloc_hook::allocation_count();
+  for (int round = 0; round < 5; ++round) {
+    eng.load_potentials();
+    eng.propagate();
+  }
+  EXPECT_EQ(alloc_hook::allocation_count(), before)
+      << "counter-level tracing must not touch the heap on the update path";
+  EXPECT_EQ(tracer.metrics().value(obs::Counter::MessagesPassed),
+            msgs0 + 5 * eng.messages_per_propagation());
+  EXPECT_EQ(tracer.metrics().value(obs::Counter::ScheduleCacheHits), 5u);
 }
 
 TEST(Schedule, LegacyFallbackStillWorks) {

@@ -22,19 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/correlation.h"
-#include "baselines/independence.h"
-#include "baselines/local_bdd.h"
-#include "baselines/monte_carlo.h"
-#include "baselines/transition_density.h"
-#include "bdd/bdd_estimator.h"
-#include "core/analyzer.h"
-#include "core/experiment.h"
-#include "gen/benchmarks.h"
-#include "netlist/bench_io.h"
-#include "netlist/blif_io.h"
-#include "util/strings.h"
-#include "util/table.h"
+#include "bns.h"
 
 namespace bns {
 namespace {
@@ -136,7 +124,7 @@ std::vector<std::array<double, 4>> run_method(const Netlist& nl,
   if (method == "bn") {
     LidagEstimator est(nl, m);
     const SwitchingEstimate sw = est.estimate(m);
-    seconds = est.compile_seconds() + sw.propagate_seconds;
+    seconds = est.compile_stats().compile_seconds + sw.stats.propagate_seconds;
     return sw.dist;
   }
   if (method == "independence") {
@@ -254,9 +242,10 @@ int cmd_power(const Options& o) {
   std::printf("avg switching activity  %.5f\n", est.average_activity());
   std::printf("dynamic power           %.3f uW @ 1.8V, 100MHz\n",
               an.dynamic_power_watts(est) * 1e6);
+  const CompileStats& cs = an.estimator().compile_stats();
   std::printf("compile %.3fs (%d segment BNs), update %.3f ms\n",
-              an.estimator().compile_seconds(), an.estimator().num_segments(),
-              est.propagate_seconds * 1e3);
+              cs.compile_seconds, cs.num_segments,
+              est.stats.propagate_seconds * 1e3);
   return 0;
 }
 

@@ -21,13 +21,7 @@
 #include <iostream>
 #include <string>
 
-#include "gen/benchmarks.h"
-#include "lidag/estimator.h"
-#include "netlist/bench_io.h"
-#include "netlist/blif_io.h"
-#include "verify/compile_rules.h"
-#include "verify/model_rules.h"
-#include "verify/netlist_rules.h"
+#include "bns.h"
 
 namespace bns {
 namespace {
