@@ -20,8 +20,10 @@
 
 #include "core/experiment.h"
 #include "gen/benchmarks.h"
+// Table lives in obs/ so this bench, bench_table1, and the bns_report
+// text renderer (obs::RunReport::render_text) share one formatting path.
+#include "obs/table.h"
 #include "util/strings.h"
-#include "util/table.h"
 
 using namespace bns;
 

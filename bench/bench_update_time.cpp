@@ -12,10 +12,12 @@
 //                     [--trace-json PATH] [--trace-summary]
 //
 // --threads runs the sweep once per listed worker count (default "1").
-// --json writes a schema_version-2 document to PATH: one record per
-// (circuit, thread count) carrying wall_seconds plus a "stats"
-// sub-object with the CompileStats/EstimateStats breakdown — the schema
-// consumed by CI's bench-smoke artifact.
+// --json writes a schema_version-3 document to PATH: a "provenance"
+// object (git describe, build type, UTC timestamp, hostname) plus one
+// record per (circuit, thread count) carrying wall_seconds and a
+// "stats" sub-object with the CompileStats/EstimateStats breakdown —
+// the schema consumed by CI's bench-smoke artifact. (Version 3 added
+// provenance; 2 added the stats sub-object.)
 // --trace-json streams schema_version-1 JSON-lines span/counter records
 // (parse, lidag, triangulate, schedule, load, propagate, ...) to PATH.
 // --trace-summary prints an aggregated per-stage table to stderr.
@@ -40,7 +42,7 @@ namespace {
   bench_update_time [circuit...] [options]
 options:
   --threads N[,N...]   run the sweep per worker count (positive integers)
-  --json PATH          write machine-readable results (schema_version 2)
+  --json PATH          write machine-readable results (schema_version 3)
   --trace-json PATH    stream span/counter JSON-lines (schema_version 1)
   --trace-summary      print a per-stage timing table to stderr
 )");
@@ -82,8 +84,15 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
     std::cerr << "cannot open " << path << " for writing\n";
     std::exit(2);
   }
-  std::fprintf(f, "{\n  \"schema_version\": 2,\n"
-                  "  \"bench\": \"bench_update_time\",\n  \"records\": [\n");
+  const obs::ReportProvenance prov = obs::default_provenance();
+  std::fprintf(f,
+               "{\n  \"schema_version\": 3,\n"
+               "  \"bench\": \"bench_update_time\",\n"
+               "  \"provenance\": {\"git_describe\": \"%s\", "
+               "\"build_type\": \"%s\", \"timestamp\": \"%s\", "
+               "\"hostname\": \"%s\"},\n  \"records\": [\n",
+               prov.git_describe.c_str(), prov.build_type.c_str(),
+               prov.timestamp_iso8601.c_str(), prov.hostname.c_str());
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const JsonRecord& r = recs[i];
     std::fprintf(

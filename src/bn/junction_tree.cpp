@@ -1,6 +1,7 @@
 #include "bn/junction_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "util/assert.h"
@@ -277,6 +278,9 @@ void JunctionTreeEngine::prepare() {
     schedule_build_seconds_ = timer.seconds();
     if (trace_ != nullptr) trace_->count(obs::Counter::ScheduleBuilds);
   }
+  // Health accumulators are part of the one-time allocation so the
+  // probes stay allocation-free on the update path.
+  edge_health_.assign(tree_.edges().size(), EdgeHealth{});
   if (trace_ != nullptr && trace_->counters_on()) {
     std::uint64_t bytes = 0;
     for (const Factor& f : clique_pot_) bytes += f.size() * sizeof(double);
@@ -338,6 +342,7 @@ void JunctionTreeEngine::load_potentials() {
   }
   potentials_ready_ = true;
   propagated_ = false;
+  evidence_since_load_ = false;
 }
 
 void JunctionTreeEngine::set_evidence(VarId v, int state) {
@@ -346,6 +351,7 @@ void JunctionTreeEngine::set_evidence(VarId v, int state) {
   BNS_ASSERT(home >= 0);
   clique_pot_[static_cast<std::size_t>(home)].reduce(v, state);
   propagated_ = false;
+  evidence_since_load_ = true;
 }
 
 void JunctionTreeEngine::set_soft_evidence(VarId v,
@@ -360,6 +366,7 @@ void JunctionTreeEngine::set_soft_evidence(VarId v,
   BNS_ASSERT(home >= 0);
   clique_pot_[static_cast<std::size_t>(home)].multiply_in(lambda);
   propagated_ = false;
+  evidence_since_load_ = true;
 }
 
 void JunctionTreeEngine::pass_message(int from, int to, int edge) {
@@ -401,6 +408,21 @@ void JunctionTreeEngine::compute_message(int from, int edge) {
       msg[j] = 0.0;
     } else {
       msg[j] = fresh / old;
+    }
+  }
+  if (probe_health_) {
+    // Scan the fresh separator marginal (pre-normalization) for
+    // numerical-health accounting. Single writer per edge per phase
+    // (see EdgeHealth); no allocation, no locking, no atomics.
+    EdgeHealth& h = edge_health_[static_cast<std::size_t>(edge)];
+    for (std::size_t j = 0; j < plan.ratio.size(); ++j) {
+      const double v = sep[j];
+      if (v == 0.0) {
+        ++h.zero_cells;
+      } else if (v > 0.0) {
+        if (v < std::numeric_limits<double>::min()) ++h.subnormal_cells;
+        if (v < h.min_positive) h.min_positive = v;
+      }
     }
   }
 }
@@ -477,6 +499,17 @@ void JunctionTreeEngine::propagate_parallel(ThreadPool& pool) {
 void JunctionTreeEngine::propagate(ThreadPool* pool) {
   BNS_EXPECTS(potentials_ready_);
   obs::Span span(trace_, "propagate");
+  // Numerical-health probing rides the scheduled path at Counters level
+  // and above. The per-edge accumulators are preallocated (prepare()),
+  // written by exactly one thread per phase, and reduced here once per
+  // sweep — so the zero-allocation/zero-locking hot-path invariant
+  // still holds at counter-only tracing.
+  probe_health_ =
+      has_schedule_ && trace_ != nullptr && trace_->counters_on();
+  const std::uint64_t t0 = probe_health_ ? trace_->now_ns() : 0;
+  if (probe_health_) {
+    for (EdgeHealth& h : edge_health_) h = EdgeHealth{};
+  }
   if (has_schedule_ && pool != nullptr && pool->num_threads() > 1 &&
       sched_.units.size() > 1) {
     propagate_parallel(*pool);
@@ -490,6 +523,48 @@ void JunctionTreeEngine::propagate(ThreadPool* pool) {
     trace_->count(obs::Counter::MessagesPassed, messages_per_propagation());
   }
   propagated_ = true;
+  if (probe_health_) {
+    probe_health_ = false;
+    std::uint64_t zeros = 0;
+    std::uint64_t subnormals = 0;
+    double min_positive = std::numeric_limits<double>::infinity();
+    for (const EdgeHealth& h : edge_health_) {
+      zeros += h.zero_cells;
+      subnormals += h.subnormal_cells;
+      if (h.min_positive < min_positive) min_positive = h.min_positive;
+    }
+    if (zeros != 0) trace_->count(obs::Counter::SepZeroCells, zeros);
+    if (subnormals != 0) {
+      trace_->count(obs::Counter::SepSubnormalCells, subnormals);
+    }
+    if (std::isfinite(min_positive)) {
+      // frexp: min_positive = m * 2^exp with m in [0.5, 1). The negated
+      // exponent grows as the smallest cell approaches underflow
+      // (~1075 at the subnormal floor); 0 means all cells >= 0.5.
+      int exp = 0;
+      std::frexp(min_positive, &exp);
+      const std::uint64_t neg_exp =
+          exp < 0 ? static_cast<std::uint64_t>(-exp) : 0;
+      trace_->gauge_max(obs::Counter::SepMinNegExp, neg_exp);
+      trace_->hist(obs::Hist::SepMinNegExp, static_cast<double>(neg_exp));
+    }
+    if (!evidence_since_load_) {
+      // After a full evidence-free propagation each component's root
+      // sums to 1 up to roundoff; the residue measures accumulated
+      // normalization drift. Factor::sum() is an allocation-free loop.
+      double mass = 1.0;
+      for (int r : tree_.roots()) {
+        mass *= clique_pot_[static_cast<std::size_t>(r)].sum();
+      }
+      const double residue_ppb = std::abs(1.0 - mass) * 1e9;
+      const double clamped =
+          std::min(residue_ppb, 1e18); // keep the cast well-defined
+      trace_->gauge_max(obs::Counter::NormResiduePpb,
+                        static_cast<std::uint64_t>(clamped));
+    }
+    trace_->hist(obs::Hist::PropagateNs,
+                 static_cast<double>(trace_->now_ns() - t0));
+  }
 }
 
 Factor JunctionTreeEngine::marginal(VarId v) const {

@@ -6,6 +6,8 @@
 // their separators.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -175,6 +177,18 @@ class JunctionTreeEngine {
   bool propagated() const { return propagated_; }
 
  private:
+  // Numerical-health accumulator for one tree edge, filled by
+  // compute_message() scanning the freshly computed separator values.
+  // Single-writer: each edge is computed by exactly one subtree unit
+  // per propagation phase, with pool barriers between phases, so plain
+  // (non-atomic) fields are race-free. Reduced into the tracer's
+  // counters once per propagate() on the calling thread.
+  struct EdgeHealth {
+    double min_positive = std::numeric_limits<double>::infinity();
+    std::uint32_t zero_cells = 0;
+    std::uint32_t subnormal_cells = 0;
+  };
+
   // Legacy (non-scheduled) message pass: temporary-factor based.
   void pass_message(int from, int to, int edge);
   // Scheduled message pass, split so the parallel sweep can defer the
@@ -200,6 +214,14 @@ class JunctionTreeEngine {
   bool has_schedule_ = false; // built lazily on the first load_potentials()
   std::vector<Factor> clique_pot_;
   std::vector<Factor> sep_pot_;
+  // Sized by prepare() (before the hot path) so probing never allocates.
+  std::vector<EdgeHealth> edge_health_;
+  // True while health probes are active for the current propagate()
+  // sweep (Counters tracing on the scheduled path).
+  bool probe_health_ = false;
+  // Gates the normalization-residue probe: with evidence entered the
+  // root mass is P(evidence), not 1, so the residue is meaningless.
+  bool evidence_since_load_ = false;
   bool potentials_ready_ = false;
   bool propagated_ = false;
 };

@@ -1,0 +1,70 @@
+#include "core/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/simulator.h"
+#include "util/assert.h"
+
+namespace bns {
+
+obs::ReportAccuracy audit_accuracy(const Netlist& nl, const InputModel& model,
+                                   const SwitchingEstimate& est,
+                                   const AccuracyAuditOptions& opts) {
+  const std::vector<double> estimated = est.activities();
+  BNS_EXPECTS(static_cast<int>(estimated.size()) == nl.num_nodes());
+
+  const SimResult sim =
+      SwitchingSimulator(nl).run(model, opts.sim_pairs, opts.seed);
+  const std::vector<double> simulated = sim.activities();
+
+  obs::ReportAccuracy acc;
+  acc.sim_pairs = sim.num_samples();
+  acc.seed = opts.seed;
+  acc.lines = nl.num_nodes();
+
+  obs::Histogram hist;
+  hist.init(obs::Hist::LineAbsError, obs::hist_edges(obs::Hist::LineAbsError));
+
+  std::vector<std::pair<double, NodeId>> errors;
+  errors.reserve(estimated.size());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const double e =
+        std::abs(estimated[static_cast<std::size_t>(id)] -
+                 simulated[static_cast<std::size_t>(id)]);
+    errors.emplace_back(e, id);
+    sum += e;
+    sum_sq += e * e;
+    hist.add(e);
+    if (opts.trace != nullptr) opts.trace->hist(obs::Hist::LineAbsError, e);
+    acc.max_abs_error = std::max(acc.max_abs_error, e);
+  }
+  const double n = static_cast<double>(acc.lines);
+  acc.mean_abs_error = sum / n;
+  acc.rms_error = std::sqrt(sum_sq / n);
+  acc.error_hist = obs::ReportHistogram::from_snapshot(hist.snapshot());
+
+  const int worst =
+      std::min(opts.worst_lines, static_cast<int>(errors.size()));
+  if (worst > 0) {
+    std::partial_sort(errors.begin(), errors.begin() + worst, errors.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    acc.worst.reserve(static_cast<std::size_t>(worst));
+    for (int i = 0; i < worst; ++i) {
+      const NodeId id = errors[static_cast<std::size_t>(i)].second;
+      obs::ReportWorstLine wl;
+      wl.line = nl.node(id).name;
+      wl.estimated = estimated[static_cast<std::size_t>(id)];
+      wl.simulated = simulated[static_cast<std::size_t>(id)];
+      wl.abs_error = errors[static_cast<std::size_t>(i)].first;
+      acc.worst.push_back(std::move(wl));
+    }
+  }
+  return acc;
+}
+
+} // namespace bns

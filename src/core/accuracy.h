@@ -1,0 +1,39 @@
+// Accuracy auditor: scores a LIDAG switching estimate against Monte
+// Carlo logic-simulation ground truth (src/sim/) and packages the
+// paper-style error metrics — mean/max/RMS per-line switching error, a
+// per-line error histogram, and a worst-N-lines attribution table —
+// as the obs::ReportAccuracy block embedded in run reports.
+#pragma once
+
+#include <cstdint>
+
+#include "lidag/estimator.h"
+#include "netlist/netlist.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "sim/input_model.h"
+
+namespace bns {
+
+struct AccuracyAuditOptions {
+  // Monte Carlo vector-pair budget. The default (262144) keeps the
+  // per-line sampling noise near 1e-3, an order of magnitude below the
+  // CI gate's epsilon.
+  std::uint64_t sim_pairs = std::uint64_t{1} << 18;
+  std::uint64_t seed = 1;
+  // Rows in the worst-lines attribution table (0 disables it).
+  int worst_lines = 10;
+  // Optional: per-line |error| samples are also recorded into
+  // Hist::LineAbsError at Counters level and above.
+  obs::Tracer* trace = nullptr;
+};
+
+// Simulates `nl` under `model` as ground truth and compares the
+// estimator's per-line activities against it, over every netlist line
+// (inputs included; their estimates are exact, so they contribute only
+// simulation noise).
+obs::ReportAccuracy audit_accuracy(const Netlist& nl, const InputModel& model,
+                                   const SwitchingEstimate& est,
+                                   const AccuracyAuditOptions& opts = {});
+
+} // namespace bns

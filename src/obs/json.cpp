@@ -1,0 +1,231 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bns::obs {
+
+JsonValue::JsonValue(JsonArray a)
+    : type_(Type::Array), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+
+JsonValue::JsonValue(JsonObject o)
+    : type_(Type::Object), obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+const JsonArray& JsonValue::as_array() const {
+  static const JsonArray kEmpty;
+  return arr_ ? *arr_ : kEmpty;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  static const JsonObject kEmpty;
+  return obj_ ? *obj_ : kEmpty;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto it = obj_->find(std::string(key));
+  return it == obj_->end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(std::string_view key, double dflt) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : dflt;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string dflt) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::move(dflt);
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view in;
+  std::size_t i = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (i < in.size() &&
+           std::isspace(static_cast<unsigned char>(in[i]))) {
+      ++i;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (i < in.size() && in[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (in.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  JsonValue fail() {
+    failed = true;
+    return JsonValue();
+  }
+
+  JsonValue parse_string_value() {
+    std::string out;
+    ++i; // opening quote
+    while (i < in.size() && in[i] != '"') {
+      char c = in[i++];
+      if (c == '\\') {
+        if (i >= in.size()) return fail();
+        const char esc = in[i++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (i + 4 > in.size()) return fail();
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = in[i++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail();
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // needed by any of our emitters).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail();
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (i >= in.size()) return fail();
+    ++i; // closing quote
+    return JsonValue(std::move(out));
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = i;
+    if (i < in.size() && (in[i] == '-' || in[i] == '+')) ++i;
+    while (i < in.size() &&
+           (std::isdigit(static_cast<unsigned char>(in[i])) || in[i] == '.' ||
+            in[i] == 'e' || in[i] == 'E' || in[i] == '-' || in[i] == '+')) {
+      ++i;
+    }
+    const std::string tok(in.substr(start, i - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') return fail();
+    return JsonValue(d);
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) return fail();
+    skip_ws();
+    if (i >= in.size()) return fail();
+    const char c = in[i];
+    if (c == '"') return parse_string_value();
+    if (c == '{') {
+      ++i;
+      JsonObject obj;
+      if (consume('}')) return JsonValue(std::move(obj));
+      do {
+        skip_ws();
+        if (i >= in.size() || in[i] != '"') return fail();
+        JsonValue key = parse_string_value();
+        if (failed || !consume(':')) return fail();
+        JsonValue val = parse_value(depth + 1);
+        if (failed) return JsonValue();
+        obj[key.as_string()] = std::move(val);
+      } while (consume(','));
+      if (!consume('}')) return fail();
+      return JsonValue(std::move(obj));
+    }
+    if (c == '[') {
+      ++i;
+      JsonArray arr;
+      if (consume(']')) return JsonValue(std::move(arr));
+      do {
+        JsonValue val = parse_value(depth + 1);
+        if (failed) return JsonValue();
+        arr.push_back(std::move(val));
+      } while (consume(','));
+      if (!consume(']')) return fail();
+      return JsonValue(std::move(arr));
+    }
+    if (literal("true")) return JsonValue(true);
+    if (literal("false")) return JsonValue(false);
+    if (literal("null")) return JsonValue();
+    return parse_number();
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.parse_value(0);
+  if (p.failed) return std::nullopt;
+  p.skip_ws();
+  if (p.i != text.size()) return std::nullopt;
+  return v;
+}
+
+void json_append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_number(double d) {
+  if (!std::isfinite(d)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return buf;
+}
+
+} // namespace bns::obs

@@ -1,0 +1,83 @@
+// Minimal recursive-descent JSON reader and escape-aware writer helpers
+// for the run-report pipeline (obs/report.*). This is deliberately a
+// small, std-only value model — enough for the schema-versioned
+// documents this repo emits (reports, bench artifacts), not a general
+// serialization framework.
+//
+// Limits: numbers are parsed as double; object member order is not
+// preserved (std::map); duplicate keys keep the last value; input depth
+// is bounded to keep malicious inputs from overflowing the stack.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bns::obs {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::Number), num_(d) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::String), str_(std::move(s)) {}
+  explicit JsonValue(JsonArray a);
+  explicit JsonValue(JsonObject o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  // Typed accessors; preconditions on the matching type.
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Convenience: member as number/string with a default.
+  double number_or(std::string_view key, double dflt) const;
+  std::string string_or(std::string_view key, std::string dflt) const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // Indirect so JsonValue stays movable while JsonArray/JsonObject
+  // contain JsonValue by value.
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+// Parses one JSON document (surrounding whitespace allowed; trailing
+// garbage rejected). Returns nullopt on any syntax error.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+// Appends `s` as a quoted, escaped JSON string literal to `out`.
+void json_append_string(std::string& out, std::string_view s);
+
+// Formats a double the way our emitters do: shortest round-trippable
+// form via %.17g, with non-finite values mapped to 0 (JSON has no
+// inf/nan).
+std::string json_number(double d);
+
+} // namespace bns::obs

@@ -14,11 +14,55 @@ const char* counter_name(Counter c) {
     case Counter::SegmentSplits: return "segment_splits";
     case Counter::ThreadPoolTasks: return "thread_pool_tasks";
     case Counter::PreallocBytes: return "prealloc_bytes";
+    case Counter::SepZeroCells: return "sep_zero_cells";
+    case Counter::SepSubnormalCells: return "sep_subnormal_cells";
+    case Counter::SepMinNegExp: return "sep_min_neg_exp";
+    case Counter::NormResiduePpb: return "norm_residue_ppb";
     case Counter::kCount: break;
   }
   return "unknown";
 }
 
-bool counter_is_gauge(Counter c) { return c == Counter::MaxCliqueStates; }
+bool counter_is_gauge(Counter c) {
+  return c == Counter::MaxCliqueStates || c == Counter::SepMinNegExp ||
+         c == Counter::NormResiduePpb;
+}
+
+namespace {
+
+// Static bucket edges; see hist_edges() contract in metrics.h. Sizes
+// must stay < kHistMaxBuckets (edges + 1 overflow bucket).
+constexpr double kPropagateNsEdges[] = {1e3, 1e4, 1e5, 1e6, 1e7,
+                                        1e8, 1e9, 1e10};
+constexpr double kSepMinNegExpEdges[] = {1,   16,  64,  128, 256,
+                                         512, 768, 1024, 1075};
+constexpr double kLineAbsErrorEdges[] = {1e-6, 1e-5, 1e-4, 1e-3, 3e-3,
+                                         1e-2, 3e-2, 1e-1, 0.3};
+
+static_assert(std::size(kPropagateNsEdges) + 1 <= kHistMaxBuckets);
+static_assert(std::size(kSepMinNegExpEdges) + 1 <= kHistMaxBuckets);
+static_assert(std::size(kLineAbsErrorEdges) + 1 <= kHistMaxBuckets);
+
+} // namespace
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::PropagateNs: return "propagate_ns";
+    case Hist::SepMinNegExp: return "sep_min_neg_exp";
+    case Hist::LineAbsError: return "line_abs_error";
+    case Hist::kCount: break;
+  }
+  return "unknown";
+}
+
+std::span<const double> hist_edges(Hist h) {
+  switch (h) {
+    case Hist::PropagateNs: return kPropagateNsEdges;
+    case Hist::SepMinNegExp: return kSepMinNegExpEdges;
+    case Hist::LineAbsError: return kLineAbsErrorEdges;
+    case Hist::kCount: break;
+  }
+  return {};
+}
 
 } // namespace bns::obs

@@ -1,16 +1,19 @@
-// Monotonic counters and max-gauges for the compile/update pipeline.
+// Monotonic counters, max-gauges, and fixed-bucket histograms for the
+// compile/update pipeline.
 //
 // The registry is a fixed-size array of relaxed atomics indexed by a
 // closed enum, so recording a metric is one fetch_add with no locking
 // and no allocation — safe on the zero-allocation update hot path and
 // from ThreadPool workers. Aggregation semantics are per-counter: most
 // are monotonic sums; gauges (counter_is_gauge) keep the maximum
-// observed value instead.
+// observed value instead. Histograms are fixed-bucket (edges are static
+// per histogram id) with one relaxed fetch_add per sample.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <span>
 
 namespace bns::obs {
 
@@ -26,6 +29,15 @@ enum class Counter : int {
   SegmentSplits,      // segmenter ranges split on state-space blowup
   ThreadPoolTasks,    // indices executed via ThreadPool::parallel_for
   PreallocBytes,      // bytes of preallocated clique/separator/message buffers
+  // Numerical-health probes, reduced once per propagate() sweep from
+  // per-edge accumulators (never per message or per cell):
+  SepZeroCells,       // exact-zero cells in freshly computed separator
+                      // messages (before any normalization)
+  SepSubnormalCells,  // positive cells below DBL_MIN (underflow risk)
+  SepMinNegExp,       // gauge: largest negated binary exponent of the
+                      // smallest positive separator cell (0 = all >= 1)
+  NormResiduePpb,     // gauge: |1 - total mass at the roots| in parts per
+                      // billion, evidence-free propagations only
   kCount,
 };
 
@@ -34,14 +46,121 @@ inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);
 // Stable snake_case identifier, used verbatim in sink output.
 const char* counter_name(Counter c);
 
-// True for max-aggregated gauges (MaxCliqueStates).
+// True for max-aggregated gauges.
 bool counter_is_gauge(Counter c);
 
 using MetricsSnapshot = std::array<std::uint64_t, kNumCounters>;
 
+// --- histograms ------------------------------------------------------------
+
+enum class Hist : int {
+  PropagateNs = 0, // wall time of each propagate() sweep, in nanoseconds
+  SepMinNegExp,    // per-sweep negated exponent of the smallest positive
+                   // separator cell (distributional view of SepMinNegExp)
+  LineAbsError,    // per-line |estimate - reference| switching-activity
+                   // error, filled by the accuracy auditor
+  kCount,
+};
+
+inline constexpr int kNumHists = static_cast<int>(Hist::kCount);
+
+// Hard cap on buckets per histogram (edges + 1 overflow bucket), so the
+// bucket counters can live in a fixed-size atomic array.
+inline constexpr int kHistMaxBuckets = 12;
+
+// Stable snake_case identifier, used verbatim in sink output.
+const char* hist_name(Hist h);
+
+// Ascending bucket upper bounds (static storage). Bucket i counts
+// samples v with edges[i-1] <= v < edges[i]; samples >= edges.back()
+// (and NaN) land in the final overflow bucket.
+std::span<const double> hist_edges(Hist h);
+
+// Value snapshot of one histogram, deliverable to sinks.
+struct HistogramSnapshot {
+  Hist id = Hist::PropagateNs;
+  std::span<const double> edges;
+  std::array<std::uint64_t, kHistMaxBuckets> counts{};
+  std::uint64_t total = 0;
+};
+
+// Lock-free fixed-bucket histogram. add() is a short linear scan over
+// the (static) edge array plus one relaxed fetch_add — no allocation,
+// no locking, safe from ThreadPool workers on the update hot path.
+class Histogram {
+ public:
+  Histogram() { reset(); }
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Wires the (static) bucket edges; called once by the owning registry.
+  void init(Hist id, std::span<const double> edges) {
+    id_ = id;
+    edges_ = edges;
+  }
+
+  void add(double v) {
+    const int n = static_cast<int>(edges_.size());
+    int i = 0;
+    while (i < n && !(v < edges_[static_cast<std::size_t>(i)])) ++i;
+    counts_[static_cast<std::size_t>(i)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  Hist id() const { return id_; }
+  std::span<const double> edges() const { return edges_; }
+  // Buckets = edges().size() + 1 (final bucket is the overflow bucket).
+  int num_buckets() const { return static_cast<int>(edges_.size()) + 1; }
+
+  std::uint64_t bucket(int i) const {
+    return counts_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (int i = 0; i < num_buckets(); ++i) t += bucket(i);
+    return t;
+  }
+
+  void reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  }
+
+  // Adds another histogram's bucket counts. Precondition: same id/edges.
+  void merge_from(const Histogram& other) {
+    for (int i = 0; i < num_buckets(); ++i) {
+      counts_[static_cast<std::size_t>(i)].fetch_add(
+          other.bucket(i), std::memory_order_relaxed);
+    }
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    s.id = id_;
+    s.edges = edges_;
+    for (int i = 0; i < num_buckets(); ++i) {
+      s.counts[static_cast<std::size_t>(i)] = bucket(i);
+      s.total += s.counts[static_cast<std::size_t>(i)];
+    }
+    return s;
+  }
+
+ private:
+  Hist id_ = Hist::PropagateNs;
+  std::span<const double> edges_;
+  std::array<std::atomic<std::uint64_t>, kHistMaxBuckets> counts_;
+};
+
 class MetricsRegistry {
  public:
-  MetricsRegistry() { reset(); }
+  MetricsRegistry() {
+    for (int i = 0; i < kNumHists; ++i) {
+      const auto h = static_cast<Hist>(i);
+      hists_[static_cast<std::size_t>(i)].init(h, hist_edges(h));
+    }
+    reset();
+  }
 
   // Monotonic add; relaxed, lock-free, allocation-free.
   void add(Counter c, std::uint64_t n = 1) {
@@ -57,12 +176,26 @@ class MetricsRegistry {
     }
   }
 
+  // Histogram sample; relaxed, lock-free, allocation-free.
+  void add_hist(Hist h, double v) {
+    hists_[static_cast<std::size_t>(h)].add(v);
+  }
+
   std::uint64_t value(Counter c) const {
     return vals_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
   }
 
+  const Histogram& hist(Hist h) const {
+    return hists_[static_cast<std::size_t>(h)];
+  }
+  Histogram& hist(Hist h) { return hists_[static_cast<std::size_t>(h)]; }
+
+  // Zeroes every counter, gauge, and histogram bucket so multi-run
+  // processes (benches, tests, report compare mode) can start each run
+  // from a clean slate.
   void reset() {
     for (auto& v : vals_) v.store(0, std::memory_order_relaxed);
+    for (auto& h : hists_) h.reset();
   }
 
   MetricsSnapshot snapshot() const {
@@ -76,6 +209,7 @@ class MetricsRegistry {
 
  private:
   std::array<std::atomic<std::uint64_t>, kNumCounters> vals_;
+  std::array<Histogram, kNumHists> hists_;
 };
 
 } // namespace bns::obs

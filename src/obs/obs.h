@@ -1,8 +1,12 @@
-// Umbrella header for the observability subsystem: metrics registry,
-// tracer/spans, and the stock sinks. See DESIGN.md "Observability" for
-// the levels and the overhead contract.
+// Umbrella header for the observability subsystem: metrics registry
+// (counters + histograms), tracer/spans, stock sinks, and the run-report
+// builder. See DESIGN.md "Observability" for the levels and the
+// overhead contract, and "Run reports" for the report schema.
 #pragma once
 
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/sinks.h"
+#include "obs/table.h"
 #include "obs/trace.h"

@@ -1,0 +1,530 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/table.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+// Provenance baked in by the build (src/obs/CMakeLists.txt); fall back
+// to "unknown" so non-CMake builds of this file still compile.
+#ifndef BNS_GIT_DESCRIBE
+#define BNS_GIT_DESCRIBE "unknown"
+#endif
+#ifndef BNS_BUILD_TYPE
+#define BNS_BUILD_TYPE "unknown"
+#endif
+
+namespace bns::obs {
+
+namespace {
+
+std::string utc_timestamp_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string host_name() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+// --- JSON writing helpers (pretty, stable key order) -----------------------
+
+// Streaming writer for a pretty-printed document with a fixed key
+// order: every value is introduced either by key() (inside an object)
+// or array_sep() (inside an array), which keeps the comma/newline
+// bookkeeping in one place.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(out) {}
+
+  void open_object() {
+    out_ += "{\n";
+    ++indent_;
+    first_ = true;
+  }
+  void close_object() {
+    --indent_;
+    out_ += '\n';
+    pad_indent();
+    out_ += '}';
+    first_ = false;
+  }
+
+  void key(std::string_view k) {
+    if (!first_) out_ += ",\n";
+    first_ = true; // the next value follows inline, not comma-prefixed
+    pad_indent();
+    json_append_string(out_, k);
+    out_ += ": ";
+  }
+
+  void value_string(std::string_view s) {
+    json_append_string(out_, s);
+    first_ = false;
+  }
+  void value_number(double d) {
+    out_ += json_number(d);
+    first_ = false;
+  }
+  void value_uint(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    first_ = false;
+  }
+  void value_int(int v) { value_number(static_cast<double>(v)); }
+  void value_bool(bool b) {
+    out_ += b ? "true" : "false";
+    first_ = false;
+  }
+
+  void open_array() {
+    out_ += '[';
+    first_ = true;
+  }
+  void array_sep() {
+    if (!first_) out_ += ", ";
+    first_ = true;
+  }
+  void close_array() {
+    out_ += ']';
+    first_ = false;
+  }
+
+ private:
+  void pad_indent() {
+    out_.append(static_cast<std::size_t>(indent_) * 2, ' ');
+  }
+
+  std::string& out_;
+  int indent_ = 0;
+  bool first_ = true;
+};
+
+void write_histogram(JsonWriter& w, const ReportHistogram& h) {
+  w.open_object();
+  w.key("name");
+  w.value_string(h.name);
+  w.key("edges");
+  w.open_array();
+  for (double e : h.edges) {
+    w.array_sep();
+    w.value_number(e);
+  }
+  w.close_array();
+  w.key("counts");
+  w.open_array();
+  for (std::uint64_t c : h.counts) {
+    w.array_sep();
+    w.value_uint(c);
+  }
+  w.close_array();
+  w.key("total");
+  w.value_uint(h.total);
+  w.close_object();
+}
+
+std::optional<ReportHistogram> histogram_from(const JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  ReportHistogram h;
+  h.name = v.string_or("name", "");
+  const JsonValue* edges = v.find("edges");
+  const JsonValue* counts = v.find("counts");
+  if (edges == nullptr || !edges->is_array() || counts == nullptr ||
+      !counts->is_array()) {
+    return std::nullopt;
+  }
+  for (const JsonValue& e : edges->as_array()) {
+    if (!e.is_number()) return std::nullopt;
+    h.edges.push_back(e.as_number());
+  }
+  for (const JsonValue& c : counts->as_array()) {
+    if (!c.is_number()) return std::nullopt;
+    h.counts.push_back(static_cast<std::uint64_t>(c.as_number()));
+  }
+  if (h.counts.size() != h.edges.size() + 1) return std::nullopt;
+  h.total = static_cast<std::uint64_t>(v.number_or("total", 0.0));
+  return h;
+}
+
+std::string format_double(double d, const char* fmt = "%.6g") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, d);
+  return buf;
+}
+
+std::string format_uint(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+} // namespace
+
+ReportProvenance default_provenance() {
+  ReportProvenance p;
+  p.git_describe = BNS_GIT_DESCRIBE;
+  p.build_type = BNS_BUILD_TYPE;
+  p.timestamp_iso8601 = utc_timestamp_iso8601();
+  p.hostname = host_name();
+  return p;
+}
+
+ReportHistogram ReportHistogram::from_snapshot(const HistogramSnapshot& snap) {
+  ReportHistogram h;
+  h.name = hist_name(snap.id);
+  h.edges.assign(snap.edges.begin(), snap.edges.end());
+  const std::size_t buckets = snap.edges.size() + 1;
+  h.counts.assign(snap.counts.begin(),
+                  snap.counts.begin() + static_cast<std::ptrdiff_t>(buckets));
+  h.total = snap.total;
+  return h;
+}
+
+void RunReport::set_metrics(const MetricsRegistry& reg) {
+  counters.clear();
+  histograms.clear();
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t v = reg.value(c);
+    if (v == 0) continue;
+    counters.push_back({counter_name(c), v, counter_is_gauge(c)});
+  }
+  for (int i = 0; i < kNumHists; ++i) {
+    const HistogramSnapshot snap = reg.hist(static_cast<Hist>(i)).snapshot();
+    if (snap.total == 0) continue;
+    histograms.push_back(ReportHistogram::from_snapshot(snap));
+  }
+}
+
+std::uint64_t RunReport::counter_or(std::string_view name,
+                                    std::uint64_t dflt) const {
+  for (const ReportCounter& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return dflt;
+}
+
+std::string RunReport::to_json() const {
+  std::string out;
+  JsonWriter w(out);
+  w.open_object();
+  w.key("schema_version");
+  w.value_int(schema_version);
+
+  w.key("provenance");
+  w.open_object();
+  w.key("circuit");
+  w.value_string(provenance.circuit);
+  w.key("git_describe");
+  w.value_string(provenance.git_describe);
+  w.key("build_type");
+  w.value_string(provenance.build_type);
+  w.key("timestamp");
+  w.value_string(provenance.timestamp_iso8601);
+  w.key("hostname");
+  w.value_string(provenance.hostname);
+  w.key("threads");
+  w.value_int(provenance.threads);
+  w.close_object();
+
+  w.key("compile");
+  w.open_object();
+  w.key("compile_seconds");
+  w.value_number(compile.compile_seconds);
+  w.key("schedule_build_seconds");
+  w.value_number(compile.schedule_build_seconds);
+  w.key("num_segments");
+  w.value_int(compile.num_segments);
+  w.key("total_state_space");
+  w.value_number(compile.total_state_space);
+  w.key("max_clique_vars");
+  w.value_uint(compile.max_clique_vars);
+  w.key("total_bn_variables");
+  w.value_int(compile.total_bn_variables);
+  w.key("fill_edges");
+  w.value_uint(compile.fill_edges);
+  w.close_object();
+
+  w.key("estimate");
+  w.open_object();
+  w.key("propagate_seconds");
+  w.value_number(estimate.propagate_seconds);
+  w.key("reload_seconds");
+  w.value_number(estimate.reload_seconds);
+  w.key("messages_passed");
+  w.value_uint(estimate.messages_passed);
+  w.key("threads_used");
+  w.value_int(estimate.threads_used);
+  w.key("average_activity");
+  w.value_number(estimate.average_activity);
+  w.close_object();
+
+  w.key("counters");
+  w.open_array();
+  for (const ReportCounter& c : counters) {
+    w.array_sep();
+    w.open_object();
+    w.key("name");
+    w.value_string(c.name);
+    w.key("value");
+    w.value_uint(c.value);
+    w.key("gauge");
+    w.value_bool(c.gauge);
+    w.close_object();
+  }
+  w.close_array();
+
+  w.key("histograms");
+  w.open_array();
+  for (const ReportHistogram& h : histograms) {
+    w.array_sep();
+    write_histogram(w, h);
+  }
+  w.close_array();
+
+  if (accuracy.present()) {
+    w.key("accuracy");
+    w.open_object();
+    w.key("sim_pairs");
+    w.value_uint(accuracy.sim_pairs);
+    w.key("seed");
+    w.value_uint(accuracy.seed);
+    w.key("lines");
+    w.value_int(accuracy.lines);
+    w.key("mean_abs_error");
+    w.value_number(accuracy.mean_abs_error);
+    w.key("max_abs_error");
+    w.value_number(accuracy.max_abs_error);
+    w.key("rms_error");
+    w.value_number(accuracy.rms_error);
+    w.key("error_hist");
+    write_histogram(w, accuracy.error_hist);
+    w.key("worst_lines");
+    w.open_array();
+    for (const ReportWorstLine& wl : accuracy.worst) {
+      w.array_sep();
+      w.open_object();
+      w.key("line");
+      w.value_string(wl.line);
+      w.key("estimated");
+      w.value_number(wl.estimated);
+      w.key("simulated");
+      w.value_number(wl.simulated);
+      w.key("abs_error");
+      w.value_number(wl.abs_error);
+      w.close_object();
+    }
+    w.close_array();
+    w.close_object();
+  }
+
+  w.close_object();
+  out += '\n';
+  return out;
+}
+
+std::optional<RunReport> RunReport::from_json(std::string_view text) {
+  const std::optional<JsonValue> doc = json_parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+
+  RunReport r;
+  r.schema_version = static_cast<int>(doc->number_or("schema_version", 0.0));
+  if (r.schema_version <= 0 || r.schema_version > kReportSchemaVersion) {
+    return std::nullopt;
+  }
+
+  if (const JsonValue* p = doc->find("provenance"); p != nullptr) {
+    r.provenance.circuit = p->string_or("circuit", "");
+    r.provenance.git_describe = p->string_or("git_describe", "");
+    r.provenance.build_type = p->string_or("build_type", "");
+    r.provenance.timestamp_iso8601 = p->string_or("timestamp", "");
+    r.provenance.hostname = p->string_or("hostname", "");
+    r.provenance.threads = static_cast<int>(p->number_or("threads", 1.0));
+  }
+
+  if (const JsonValue* c = doc->find("compile"); c != nullptr) {
+    r.compile.compile_seconds = c->number_or("compile_seconds", 0.0);
+    r.compile.schedule_build_seconds =
+        c->number_or("schedule_build_seconds", 0.0);
+    r.compile.num_segments = static_cast<int>(c->number_or("num_segments", 0.0));
+    r.compile.total_state_space = c->number_or("total_state_space", 0.0);
+    r.compile.max_clique_vars =
+        static_cast<std::uint64_t>(c->number_or("max_clique_vars", 0.0));
+    r.compile.total_bn_variables =
+        static_cast<int>(c->number_or("total_bn_variables", 0.0));
+    r.compile.fill_edges =
+        static_cast<std::uint64_t>(c->number_or("fill_edges", 0.0));
+  }
+
+  if (const JsonValue* e = doc->find("estimate"); e != nullptr) {
+    r.estimate.propagate_seconds = e->number_or("propagate_seconds", 0.0);
+    r.estimate.reload_seconds = e->number_or("reload_seconds", 0.0);
+    r.estimate.messages_passed =
+        static_cast<std::uint64_t>(e->number_or("messages_passed", 0.0));
+    r.estimate.threads_used = static_cast<int>(e->number_or("threads_used", 1.0));
+    r.estimate.average_activity = e->number_or("average_activity", 0.0);
+  }
+
+  if (const JsonValue* cs = doc->find("counters");
+      cs != nullptr && cs->is_array()) {
+    for (const JsonValue& cv : cs->as_array()) {
+      if (!cv.is_object()) return std::nullopt;
+      ReportCounter c;
+      c.name = cv.string_or("name", "");
+      c.value = static_cast<std::uint64_t>(cv.number_or("value", 0.0));
+      if (const JsonValue* g = cv.find("gauge"); g != nullptr && g->is_bool()) {
+        c.gauge = g->as_bool();
+      }
+      r.counters.push_back(std::move(c));
+    }
+  }
+
+  if (const JsonValue* hs = doc->find("histograms");
+      hs != nullptr && hs->is_array()) {
+    for (const JsonValue& hv : hs->as_array()) {
+      std::optional<ReportHistogram> h = histogram_from(hv);
+      if (!h) return std::nullopt;
+      r.histograms.push_back(std::move(*h));
+    }
+  }
+
+  if (const JsonValue* a = doc->find("accuracy"); a != nullptr) {
+    r.accuracy.sim_pairs =
+        static_cast<std::uint64_t>(a->number_or("sim_pairs", 0.0));
+    r.accuracy.seed = static_cast<std::uint64_t>(a->number_or("seed", 0.0));
+    r.accuracy.lines = static_cast<int>(a->number_or("lines", 0.0));
+    r.accuracy.mean_abs_error = a->number_or("mean_abs_error", 0.0);
+    r.accuracy.max_abs_error = a->number_or("max_abs_error", 0.0);
+    r.accuracy.rms_error = a->number_or("rms_error", 0.0);
+    if (const JsonValue* eh = a->find("error_hist"); eh != nullptr) {
+      std::optional<ReportHistogram> h = histogram_from(*eh);
+      if (!h) return std::nullopt;
+      r.accuracy.error_hist = std::move(*h);
+    }
+    if (const JsonValue* wl = a->find("worst_lines");
+        wl != nullptr && wl->is_array()) {
+      for (const JsonValue& wv : wl->as_array()) {
+        if (!wv.is_object()) return std::nullopt;
+        ReportWorstLine line;
+        line.line = wv.string_or("line", "");
+        line.estimated = wv.number_or("estimated", 0.0);
+        line.simulated = wv.number_or("simulated", 0.0);
+        line.abs_error = wv.number_or("abs_error", 0.0);
+        r.accuracy.worst.push_back(std::move(line));
+      }
+    }
+  }
+
+  return r;
+}
+
+std::string RunReport::render_text() const {
+  std::ostringstream os;
+  os << "run report (schema " << schema_version << ")\n";
+  os << "  circuit    " << provenance.circuit << '\n';
+  os << "  git        " << provenance.git_describe << '\n';
+  os << "  build      " << provenance.build_type << '\n';
+  os << "  timestamp  " << provenance.timestamp_iso8601 << '\n';
+  os << "  host       " << provenance.hostname << '\n';
+  os << "  threads    " << provenance.threads << '\n';
+  os << '\n';
+
+  {
+    Table t({"phase", "seconds", "detail"});
+    t.add_row({"compile", format_double(compile.compile_seconds),
+               "segments=" + std::to_string(compile.num_segments) +
+                   " state_space=" + format_double(compile.total_state_space) +
+                   " max_clique_vars=" + format_uint(compile.max_clique_vars)});
+    t.add_row({"schedule_build", format_double(compile.schedule_build_seconds),
+               "fill_edges=" + format_uint(compile.fill_edges)});
+    t.add_row({"propagate", format_double(estimate.propagate_seconds),
+               "messages=" + format_uint(estimate.messages_passed) +
+                   " threads=" + std::to_string(estimate.threads_used)});
+    t.add_row({"reload", format_double(estimate.reload_seconds), ""});
+    t.print(os);
+    os << '\n';
+  }
+
+  os << "average activity " << format_double(estimate.average_activity)
+     << '\n';
+
+  if (!counters.empty()) {
+    os << '\n';
+    Table t({"counter", "value", "kind"});
+    for (const ReportCounter& c : counters) {
+      t.add_row({c.name, format_uint(c.value), c.gauge ? "gauge" : "sum"});
+    }
+    t.print(os);
+  }
+
+  auto render_hist = [&os](const ReportHistogram& h) {
+    os << "histogram " << h.name << " (total " << format_uint(h.total)
+       << ")\n";
+    Table t({"bucket", "count"});
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      const std::string label =
+          i < h.edges.size()
+              ? "< " + format_double(h.edges[i], "%g")
+              : ">= " + format_double(h.edges.empty() ? 0.0 : h.edges.back(),
+                                      "%g");
+      t.add_row({label, format_uint(h.counts[i])});
+    }
+    t.print(os);
+  };
+
+  for (const ReportHistogram& h : histograms) {
+    os << '\n';
+    render_hist(h);
+  }
+
+  if (accuracy.present()) {
+    os << "\naccuracy vs Monte Carlo (" << format_uint(accuracy.sim_pairs)
+       << " vector pairs, seed " << format_uint(accuracy.seed) << ", "
+       << accuracy.lines << " lines)\n";
+    Table t({"metric", "value"});
+    t.add_row({"mean_abs_error", format_double(accuracy.mean_abs_error)});
+    t.add_row({"max_abs_error", format_double(accuracy.max_abs_error)});
+    t.add_row({"rms_error", format_double(accuracy.rms_error)});
+    t.print(os);
+    if (accuracy.error_hist.total > 0) {
+      os << '\n';
+      render_hist(accuracy.error_hist);
+    }
+    if (!accuracy.worst.empty()) {
+      os << "\nworst lines\n";
+      Table wt({"line", "estimated", "simulated", "abs_error"});
+      for (const ReportWorstLine& wl : accuracy.worst) {
+        wt.add_row({wl.line, format_double(wl.estimated),
+                    format_double(wl.simulated),
+                    format_double(wl.abs_error)});
+      }
+      wt.print(os);
+    }
+  }
+
+  return os.str();
+}
+
+} // namespace bns::obs

@@ -1,0 +1,137 @@
+// RunReport: the schema-versioned run-report document emitted by
+// `bns_report` and consumed by its --baseline compare mode and CI's
+// regression gate.
+//
+// A report aggregates, for one circuit run:
+//   - provenance (circuit, git describe, build type, timestamp, host,
+//     thread count),
+//   - compile-time and estimate-time accounting,
+//   - the metrics registry (non-zero counters and histograms, including
+//     the numerical-health probes), and
+//   - an optional accuracy block (estimator vs Monte Carlo ground
+//     truth: mean/max/RMS per-line error, error histogram, worst lines).
+//
+// Layering: obs is the bottom-most (std-only) library, so the report
+// carries its own plain structs; higher layers (lidag, core, tools)
+// copy their stats in. Serialization is JSON via obs/json.*; the text
+// renderer shares the Table formatting path with the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bns::obs {
+
+// Version of the run-report JSON document. Bump on any key
+// rename/removal or semantic change; additions are backward compatible.
+// (3 = first released report schema; it shares the version counter with
+// the bench_update_time artifact, which moved from 2 to 3 when it
+// gained provenance fields.)
+inline constexpr int kReportSchemaVersion = 3;
+
+struct ReportProvenance {
+  std::string circuit;          // circuit name or file path
+  std::string git_describe;     // `git describe --always --dirty` at configure
+  std::string build_type;       // CMAKE_BUILD_TYPE (may be empty)
+  std::string timestamp_iso8601; // UTC, e.g. 2026-08-05T12:34:56Z
+  std::string hostname;
+  int threads = 1;              // resolved worker-thread count
+};
+
+// Provenance for the current process: compiled-in BNS_GIT_DESCRIBE /
+// BNS_BUILD_TYPE, gethostname(), and the current UTC time. The caller
+// fills circuit/threads.
+ReportProvenance default_provenance();
+
+// Mirror of lidag::CompileStats (obs cannot include lidag headers).
+struct ReportCompile {
+  double compile_seconds = 0.0;
+  double schedule_build_seconds = 0.0;
+  int num_segments = 0;
+  double total_state_space = 0.0;
+  std::uint64_t max_clique_vars = 0;
+  int total_bn_variables = 0;
+  std::uint64_t fill_edges = 0;
+};
+
+// Mirror of lidag::EstimateStats plus the headline activity figure.
+struct ReportEstimate {
+  double propagate_seconds = 0.0; // min over the CLI's repeat runs
+  double reload_seconds = 0.0;
+  std::uint64_t messages_passed = 0;
+  int threads_used = 1;
+  double average_activity = 0.0;
+};
+
+struct ReportCounter {
+  std::string name;
+  std::uint64_t value = 0;
+  bool gauge = false;
+};
+
+struct ReportHistogram {
+  std::string name;
+  std::vector<double> edges;
+  // edges.size() + 1 entries; the final bucket is the overflow bucket.
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+
+  static ReportHistogram from_snapshot(const HistogramSnapshot& snap);
+};
+
+// One row of the worst-N-lines attribution table.
+struct ReportWorstLine {
+  std::string line;
+  double estimated = 0.0;
+  double simulated = 0.0;
+  double abs_error = 0.0;
+};
+
+// Estimator-vs-simulator accuracy audit (paper-style error metrics).
+// present() is false when the audit was skipped (--no-audit).
+struct ReportAccuracy {
+  std::uint64_t sim_pairs = 0; // Monte Carlo vector pairs simulated
+  std::uint64_t seed = 0;
+  int lines = 0;               // circuit lines compared
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+  double rms_error = 0.0;
+  ReportHistogram error_hist;  // per-line |error| distribution
+  std::vector<ReportWorstLine> worst; // sorted by abs_error, descending
+
+  bool present() const { return lines > 0; }
+};
+
+struct RunReport {
+  int schema_version = kReportSchemaVersion;
+  ReportProvenance provenance;
+  ReportCompile compile;
+  ReportEstimate estimate;
+  std::vector<ReportCounter> counters;   // non-zero counters only
+  std::vector<ReportHistogram> histograms; // non-empty histograms only
+  ReportAccuracy accuracy;
+
+  // Copies non-zero counters and non-empty histograms out of `reg`.
+  void set_metrics(const MetricsRegistry& reg);
+
+  // Counter value by (snake_case) name; dflt when absent.
+  std::uint64_t counter_or(std::string_view name, std::uint64_t dflt) const;
+
+  // Pretty-printed JSON document (stable key order).
+  std::string to_json() const;
+
+  // Parses a document produced by to_json(). Rejects documents whose
+  // schema_version is newer than this build understands; nullopt on any
+  // parse/shape error.
+  static std::optional<RunReport> from_json(std::string_view text);
+
+  // Human-readable rendering (Table-based, same path as the benches).
+  std::string render_text() const;
+};
+
+} // namespace bns::obs

@@ -20,6 +20,26 @@ void SummarySink::on_counters(const MetricsSnapshot& snap) {
   have_counters_ = true;
 }
 
+void SummarySink::on_histogram(const HistogramSnapshot& snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Repeated flushes replace the previous snapshot of the same id.
+  for (HistogramSnapshot& h : hists_) {
+    if (h.id == snap.id) {
+      h = snap;
+      return;
+    }
+  }
+  hists_.push_back(snap);
+}
+
+void SummarySink::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stages_.clear();
+  counters_ = MetricsSnapshot{};
+  have_counters_ = false;
+  hists_.clear();
+}
+
 std::map<std::string, SummarySink::StageStats> SummarySink::stages() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stages_;
@@ -36,16 +56,38 @@ void SummarySink::render(std::ostream& os) const {
                   static_cast<double>(s.max_ns) * 1e-9);
     os << line;
   }
-  if (!have_counters_) return;
-  os << "counter                        value\n";
-  for (int i = 0; i < kNumCounters; ++i) {
-    const auto c = static_cast<Counter>(i);
-    const std::uint64_t v = counters_[static_cast<std::size_t>(i)];
-    if (v == 0) continue;
+  if (have_counters_) {
+    os << "counter                        value\n";
+    for (int i = 0; i < kNumCounters; ++i) {
+      const auto c = static_cast<Counter>(i);
+      const std::uint64_t v = counters_[static_cast<std::size_t>(i)];
+      if (v == 0) continue;
+      char line[128];
+      std::snprintf(line, sizeof line, "%-24s %11llu\n", counter_name(c),
+                    static_cast<unsigned long long>(v));
+      os << line;
+    }
+  }
+  for (const HistogramSnapshot& h : hists_) {
     char line[128];
-    std::snprintf(line, sizeof line, "%-24s %11llu\n", counter_name(c),
-                  static_cast<unsigned long long>(v));
+    std::snprintf(line, sizeof line, "histogram %-24s total %llu\n",
+                  hist_name(h.id), static_cast<unsigned long long>(h.total));
     os << line;
+    const int buckets = static_cast<int>(h.edges.size()) + 1;
+    for (int i = 0; i < buckets; ++i) {
+      const std::uint64_t v = h.counts[static_cast<std::size_t>(i)];
+      if (v == 0) continue;
+      if (i < static_cast<int>(h.edges.size())) {
+        std::snprintf(line, sizeof line, "  < %-12g %11llu\n",
+                      h.edges[static_cast<std::size_t>(i)],
+                      static_cast<unsigned long long>(v));
+      } else {
+        std::snprintf(line, sizeof line, "  >= %-11g %11llu\n",
+                      h.edges.empty() ? 0.0 : h.edges.back(),
+                      static_cast<unsigned long long>(v));
+      }
+      os << line;
+    }
   }
 }
 
@@ -78,6 +120,27 @@ void JsonLinesSink::on_counters(const MetricsSnapshot& snap) {
                   counter_is_gauge(c) ? "true" : "false");
     *os_ << line << '\n';
   }
+  os_->flush();
+}
+
+void JsonLinesSink::on_histogram(const HistogramSnapshot& snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  *os_ << "{\"schema_version\": " << kTraceSchemaVersion
+       << ", \"type\": \"histogram\", \"name\": \"" << hist_name(snap.id)
+       << "\", \"edges\": [";
+  for (std::size_t i = 0; i < snap.edges.size(); ++i) {
+    char num[32];
+    std::snprintf(num, sizeof num, "%s%g", i == 0 ? "" : ", ",
+                  snap.edges[i]);
+    *os_ << num;
+  }
+  *os_ << "], \"counts\": [";
+  const std::size_t buckets = snap.edges.size() + 1;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    if (i != 0) *os_ << ", ";
+    *os_ << snap.counts[i];
+  }
+  *os_ << "], \"total\": " << snap.total << "}\n";
   os_->flush();
 }
 

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/trace.h"
 
@@ -44,18 +45,25 @@ class SummarySink final : public Sink {
 
   void on_span(const SpanRecord& rec) override;
   void on_counters(const MetricsSnapshot& snap) override;
+  void on_histogram(const HistogramSnapshot& snap) override;
 
   // Aggregated per-stage timings so far (copied under the lock).
   std::map<std::string, StageStats> stages() const;
 
-  // Human-readable summary: one row per stage, then non-zero counters.
+  // Human-readable summary: one row per stage, then non-zero counters,
+  // then any flushed histograms.
   void render(std::ostream& os) const;
+
+  // Drops all aggregated spans, counters, and histograms, so the sink
+  // can be reused across back-to-back runs in one process.
+  void reset();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, StageStats> stages_;
   MetricsSnapshot counters_{};
   bool have_counters_ = false;
+  std::vector<HistogramSnapshot> hists_;
 };
 
 class JsonLinesSink final : public Sink {
@@ -66,6 +74,8 @@ class JsonLinesSink final : public Sink {
   void on_span(const SpanRecord& rec) override;
   // Emits one {"type":"counter",...} line per non-zero counter.
   void on_counters(const MetricsSnapshot& snap) override;
+  // Emits one {"type":"histogram",...} line with edges/counts arrays.
+  void on_histogram(const HistogramSnapshot& snap) override;
 
  private:
   std::mutex mu_;

@@ -1,17 +1,18 @@
-#include "util/table.h"
+#include "obs/table.h"
 
 #include <algorithm>
-
-#include "util/assert.h"
+#include <cassert>
 
 namespace bns {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
-  BNS_EXPECTS(!headers_.empty());
+  // obs sits below util, so contract checks here use plain assert
+  // instead of BNS_EXPECTS.
+  assert(!headers_.empty());
 }
 
 void Table::add_row(std::vector<std::string> cells) {
-  BNS_EXPECTS(cells.size() == headers_.size());
+  assert(cells.size() == headers_.size());
   rows_.push_back(std::move(cells));
 }
 

@@ -1,0 +1,36 @@
+// Plain-text and CSV table rendering shared by the run-report text
+// renderer (obs/report.*) and the benchmark harnesses, so bench
+// binaries and `bns_report` print rows through one formatting path.
+//
+// Lives in obs (the bottom-most layer) but stays in namespace bns for
+// source compatibility with its previous home in util/.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bns {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row. Precondition: cells.size() == number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  // Renders as RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bns

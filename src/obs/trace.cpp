@@ -29,6 +29,12 @@ void Tracer::emit(const SpanRecord& rec) {
 void Tracer::flush() {
   const MetricsSnapshot snap = metrics_.snapshot();
   for (Sink* s : sinks_) s->on_counters(snap);
+  for (int i = 0; i < kNumHists; ++i) {
+    const HistogramSnapshot h =
+        metrics_.hist(static_cast<Hist>(i)).snapshot();
+    if (h.total == 0) continue;
+    for (Sink* s : sinks_) s->on_histogram(h);
+  }
 }
 
 Span::Span(Tracer* tracer, const char* name)

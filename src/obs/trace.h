@@ -42,6 +42,9 @@ class Sink {
   virtual void on_span(const SpanRecord& rec) = 0;
   // Counter dump, delivered by Tracer::flush().
   virtual void on_counters(const MetricsSnapshot& snap) { (void)snap; }
+  // One call per non-empty histogram, delivered by Tracer::flush()
+  // after on_counters().
+  virtual void on_histogram(const HistogramSnapshot& snap) { (void)snap; }
 };
 
 class Tracer {
@@ -70,9 +73,23 @@ class Tracer {
   void gauge_max(Counter c, std::uint64_t v) {
     if (counters_on()) metrics_.set_max(c, v);
   }
+  // Allocation-free histogram sample (dropped below Counters level).
+  void hist(Hist h, double v) {
+    if (counters_on()) metrics_.add_hist(h, v);
+  }
 
-  // Delivers the current counter values to every sink.
+  // Delivers the current counter values and non-empty histograms to
+  // every sink.
   void flush();
+
+  // Zeroes every counter/gauge/histogram and restarts the span-time
+  // epoch, so multi-run processes (benches, report compare mode) start
+  // each run from a clean slate. Sinks keep their own span buffers;
+  // reset those separately (e.g. SummarySink::reset()).
+  void reset() {
+    metrics_.reset();
+    epoch_ = std::chrono::steady_clock::now();
+  }
 
   // Nanoseconds since this tracer's construction.
   std::uint64_t now_ns() const {

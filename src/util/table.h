@@ -1,32 +1,7 @@
-// Plain-text and CSV table rendering for the benchmark harnesses, so the
-// bench binaries can print the same rows the paper's tables report.
+// Forwarding header: Table moved to obs/table.h so the run-report text
+// renderer (obs/report.*) and the bench binaries share one formatting
+// code path. Kept so existing `#include "util/table.h"` callers build
+// unchanged; new code should include obs/table.h directly.
 #pragma once
 
-#include <ostream>
-#include <string>
-#include <vector>
-
-namespace bns {
-
-class Table {
- public:
-  explicit Table(std::vector<std::string> headers);
-
-  // Appends a row. Precondition: cells.size() == number of headers.
-  void add_row(std::vector<std::string> cells);
-
-  // Renders with aligned columns and a header separator.
-  void print(std::ostream& os) const;
-
-  // Renders as RFC-4180-ish CSV (cells containing comma/quote are quoted).
-  void print_csv(std::ostream& os) const;
-
-  std::size_t rows() const { return rows_.size(); }
-  std::size_t cols() const { return headers_.size(); }
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
-
-} // namespace bns
+#include "obs/table.h"

@@ -96,10 +96,16 @@ TEST(BenchCliTest, TracedRunEmitsSchemas) {
                                 " --trace-summary");
   ASSERT_EQ(r.exit_code, 0) << r.output;
 
-  // Results document: schema_version 2 with a stats sub-object.
+  // Results document: schema_version 3 with provenance and a stats
+  // sub-object.
   const std::string doc = slurp(json);
-  EXPECT_NE(doc.find("\"schema_version\": 2"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"schema_version\": 3"), std::string::npos) << doc;
   EXPECT_NE(doc.find("\"bench\": \"bench_update_time\""), std::string::npos);
+  EXPECT_NE(doc.find("\"provenance\": {"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"git_describe\""), std::string::npos);
+  EXPECT_NE(doc.find("\"build_type\""), std::string::npos);
+  EXPECT_NE(doc.find("\"timestamp\""), std::string::npos);
+  EXPECT_NE(doc.find("\"hostname\""), std::string::npos);
   EXPECT_NE(doc.find("\"circuit\": \"c17\""), std::string::npos);
   EXPECT_NE(doc.find("\"stats\": {"), std::string::npos);
   EXPECT_NE(doc.find("\"compile_seconds\""), std::string::npos);

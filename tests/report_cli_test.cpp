@@ -1,0 +1,182 @@
+// End-to-end tests of the bns_report command line: usage validation,
+// the schema_version-3 JSON document contents, and the --baseline
+// regression gate's exit-status contract (0 on self-compare, 1 on an
+// injected regression, 2 on bad input).
+//
+// The binary path is injected by CMake as BNS_REPORT_BINARY. Runs use
+// popen() so the exit status is observable via pclose/WEXITSTATUS.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace bns {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_report(const std::string& args) {
+  const std::string cmd =
+      std::string(BNS_REPORT_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunResult res;
+  if (pipe == nullptr) return res;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) {
+    res.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+std::string tmp_path(const std::string& suffix) {
+  return "/tmp/bns_report_cli_" + std::to_string(getpid()) + suffix;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Keep the e2e runs quick: a small circuit, a modest audit budget (the
+// in-process audit accuracy is covered by report_test.cpp), one repeat.
+const char* kQuick = "c17 --sim-pairs 20000 --repeat 2";
+
+TEST(ReportCliTest, NoCircuitExits2) {
+  const RunResult r = run_report("");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST(ReportCliTest, UnknownFlagExits2) {
+  const RunResult r = run_report("c17 --frobnicate");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(ReportCliTest, MissingBaselineValueExits2) {
+  const RunResult r = run_report("c17 --baseline");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(ReportCliTest, BadInjectKindExits2) {
+  const RunResult r = run_report("c17 --inject-regress sideways");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(ReportCliTest, UnreadableBaselineExits2) {
+  const RunResult r = run_report(std::string(kQuick) +
+                                 " --baseline /nonexistent/base.json");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(ReportCliTest, JsonDocumentCarriesSchema3Contents) {
+  const std::string out = tmp_path(".json");
+  const RunResult r =
+      run_report(std::string(kQuick) + " --json --out " + out);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const std::string doc = slurp(out);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc, r.output) << "--json must print the same document";
+
+  const std::optional<obs::RunReport> rep = obs::RunReport::from_json(doc);
+  ASSERT_TRUE(rep.has_value()) << doc;
+  EXPECT_EQ(rep->schema_version, 3);
+  EXPECT_EQ(rep->provenance.circuit, "c17");
+  EXPECT_FALSE(rep->provenance.git_describe.empty());
+  EXPECT_FALSE(rep->provenance.timestamp_iso8601.empty());
+  EXPECT_FALSE(rep->provenance.hostname.empty());
+  EXPECT_GT(rep->compile.compile_seconds, 0.0);
+  EXPECT_GT(rep->estimate.propagate_seconds, 0.0);
+  EXPECT_GT(rep->estimate.messages_passed, 0u);
+  // Metrics made it in: counters plus at least one histogram.
+  EXPECT_GT(rep->counter_or("messages_passed", 0), 0u);
+  EXPECT_FALSE(rep->histograms.empty());
+  // The accuracy block is present and sane for the tiny exact circuit.
+  ASSERT_TRUE(rep->accuracy.present());
+  EXPECT_LT(rep->accuracy.mean_abs_error, 0.05);
+  EXPECT_FALSE(rep->accuracy.worst.empty());
+
+  std::remove(out.c_str());
+}
+
+TEST(ReportCliTest, SelfCompareGateOk) {
+  const std::string base = tmp_path("_base.json");
+  const RunResult mk =
+      run_report(std::string(kQuick) + " --json --out " + base);
+  ASSERT_EQ(mk.exit_code, 0) << mk.output;
+
+  const RunResult cmp = run_report(std::string(kQuick) + " --baseline " +
+                                   base + " --max-time-regress 10000");
+  EXPECT_EQ(cmp.exit_code, 0) << cmp.output;
+  EXPECT_NE(cmp.output.find("gate: ok"), std::string::npos) << cmp.output;
+
+  std::remove(base.c_str());
+}
+
+TEST(ReportCliTest, InjectedRegressionsFailTheGate) {
+  const std::string base = tmp_path("_base2.json");
+  const RunResult mk =
+      run_report(std::string(kQuick) + " --json --out " + base);
+  ASSERT_EQ(mk.exit_code, 0) << mk.output;
+
+  const RunResult t = run_report(std::string(kQuick) + " --baseline " + base +
+                                 " --inject-regress time");
+  EXPECT_EQ(t.exit_code, 1) << t.output;
+  EXPECT_NE(t.output.find("REGRESSED"), std::string::npos) << t.output;
+
+  const RunResult a = run_report(std::string(kQuick) + " --baseline " + base +
+                                 " --inject-regress accuracy"
+                                 " --max-time-regress 10000");
+  EXPECT_EQ(a.exit_code, 1) << a.output;
+  EXPECT_NE(a.output.find("mean_abs_error"), std::string::npos) << a.output;
+
+  std::remove(base.c_str());
+}
+
+TEST(ReportCliTest, AbsoluteMeanErrorBound) {
+  // c17 is exact (single segment): well under the paper bound.
+  const RunResult ok =
+      run_report(std::string(kQuick) + " --max-mean-error 0.01");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  EXPECT_NE(ok.output.find("absolute accuracy bound"), std::string::npos);
+
+  const RunResult bad = run_report(std::string(kQuick) +
+                                   " --max-mean-error 0.01"
+                                   " --inject-regress accuracy");
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(bad.output.find("REGRESSED"), std::string::npos) << bad.output;
+
+  // The bound needs the audit: --no-audit makes it a usage error.
+  const RunResult noaudit =
+      run_report("c17 --no-audit --max-mean-error 0.01 --repeat 1");
+  EXPECT_EQ(noaudit.exit_code, 2) << noaudit.output;
+}
+
+TEST(ReportCliTest, TextReportRendersSections) {
+  const RunResult r = run_report(kQuick);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("run report (schema 3)"), std::string::npos);
+  EXPECT_NE(r.output.find("average activity"), std::string::npos);
+  EXPECT_NE(r.output.find("accuracy vs Monte Carlo"), std::string::npos);
+}
+
+} // namespace
+} // namespace bns

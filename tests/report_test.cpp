@@ -1,0 +1,279 @@
+// Run-report tests: JSON round-trip through the obs parser, the
+// numerical-health probes on seeded zero/near-underflow fixtures, the
+// accuracy auditor against Monte Carlo ground truth on c17, and the
+// back-to-back reset identity the multi-run processes rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "bn/bayes_net.h"
+#include "bn/junction_tree.h"
+#include "core/accuracy.h"
+#include "core/analyzer.h"
+#include "gen/benchmarks.h"
+#include "obs/obs.h"
+
+namespace bns {
+namespace {
+
+using obs::Counter;
+using obs::Hist;
+using obs::TraceLevel;
+using obs::Tracer;
+
+obs::RunReport sample_report() {
+  obs::RunReport r;
+  r.provenance.circuit = "c432";
+  r.provenance.git_describe = "v1.2.3-4-gabc";
+  r.provenance.build_type = "Release";
+  r.provenance.timestamp_iso8601 = "2026-08-05T00:00:00Z";
+  r.provenance.hostname = "host\"with quotes";
+  r.provenance.threads = 4;
+  r.compile.compile_seconds = 1.25;
+  r.compile.schedule_build_seconds = 0.125;
+  r.compile.num_segments = 3;
+  r.compile.total_state_space = 65536.0;
+  r.compile.max_clique_vars = 12;
+  r.compile.total_bn_variables = 321;
+  r.compile.fill_edges = 77;
+  r.estimate.propagate_seconds = 0.004;
+  r.estimate.reload_seconds = 0.001;
+  r.estimate.messages_passed = 1234;
+  r.estimate.threads_used = 4;
+  r.estimate.average_activity = 0.42;
+  r.counters.push_back({"messages_passed", 1234, false});
+  r.counters.push_back({"max_clique_states", 4096, true});
+  obs::ReportHistogram h;
+  h.name = "propagate_ns";
+  h.edges = {1e3, 1e6};
+  h.counts = {1, 2, 3};
+  h.total = 6;
+  r.histograms.push_back(h);
+  r.accuracy.sim_pairs = 1 << 18;
+  r.accuracy.seed = 7;
+  r.accuracy.lines = 196;
+  r.accuracy.mean_abs_error = 0.0012;
+  r.accuracy.max_abs_error = 0.01;
+  r.accuracy.rms_error = 0.002;
+  r.accuracy.error_hist = h;
+  r.accuracy.error_hist.name = "line_abs_error";
+  r.accuracy.worst.push_back({"G199", 0.5, 0.49, 0.01});
+  return r;
+}
+
+TEST(ReportTest, JsonRoundTrip) {
+  const obs::RunReport orig = sample_report();
+  const std::string json = orig.to_json();
+  const std::optional<obs::RunReport> back = obs::RunReport::from_json(json);
+  ASSERT_TRUE(back.has_value());
+
+  EXPECT_EQ(back->schema_version, obs::kReportSchemaVersion);
+  EXPECT_EQ(back->provenance.circuit, orig.provenance.circuit);
+  EXPECT_EQ(back->provenance.git_describe, orig.provenance.git_describe);
+  EXPECT_EQ(back->provenance.hostname, orig.provenance.hostname);
+  EXPECT_EQ(back->provenance.threads, orig.provenance.threads);
+  EXPECT_DOUBLE_EQ(back->compile.compile_seconds,
+                   orig.compile.compile_seconds);
+  EXPECT_EQ(back->compile.num_segments, orig.compile.num_segments);
+  EXPECT_EQ(back->compile.fill_edges, orig.compile.fill_edges);
+  EXPECT_DOUBLE_EQ(back->estimate.propagate_seconds,
+                   orig.estimate.propagate_seconds);
+  EXPECT_EQ(back->estimate.messages_passed, orig.estimate.messages_passed);
+  EXPECT_DOUBLE_EQ(back->estimate.average_activity,
+                   orig.estimate.average_activity);
+
+  ASSERT_EQ(back->counters.size(), 2u);
+  EXPECT_EQ(back->counters[1].name, "max_clique_states");
+  EXPECT_TRUE(back->counters[1].gauge);
+  EXPECT_EQ(back->counter_or("messages_passed", 0), 1234u);
+  EXPECT_EQ(back->counter_or("absent", 9), 9u);
+
+  ASSERT_EQ(back->histograms.size(), 1u);
+  EXPECT_EQ(back->histograms[0].name, "propagate_ns");
+  ASSERT_EQ(back->histograms[0].edges.size(), 2u);
+  ASSERT_EQ(back->histograms[0].counts.size(), 3u);
+  EXPECT_EQ(back->histograms[0].total, 6u);
+
+  ASSERT_TRUE(back->accuracy.present());
+  EXPECT_EQ(back->accuracy.lines, orig.accuracy.lines);
+  EXPECT_DOUBLE_EQ(back->accuracy.mean_abs_error,
+                   orig.accuracy.mean_abs_error);
+  ASSERT_EQ(back->accuracy.worst.size(), 1u);
+  EXPECT_EQ(back->accuracy.worst[0].line, "G199");
+  EXPECT_DOUBLE_EQ(back->accuracy.worst[0].abs_error, 0.01);
+}
+
+TEST(ReportTest, FromJsonRejectsMalformedAndNewerSchema) {
+  EXPECT_FALSE(obs::RunReport::from_json("").has_value());
+  EXPECT_FALSE(obs::RunReport::from_json("not json").has_value());
+  EXPECT_FALSE(obs::RunReport::from_json("[1,2,3]").has_value());
+  EXPECT_FALSE(
+      obs::RunReport::from_json("{\"schema_version\": 999}").has_value());
+  EXPECT_FALSE(obs::RunReport::from_json("{}").has_value()); // no version
+}
+
+TEST(ReportTest, RenderTextContainsHeadlineSections) {
+  const std::string text = sample_report().render_text();
+  EXPECT_NE(text.find("run report (schema 3)"), std::string::npos);
+  EXPECT_NE(text.find("c432"), std::string::npos);
+  EXPECT_NE(text.find("propagate"), std::string::npos);
+  EXPECT_NE(text.find("histogram propagate_ns"), std::string::npos);
+  EXPECT_NE(text.find("accuracy vs Monte Carlo"), std::string::npos);
+  EXPECT_NE(text.find("worst lines"), std::string::npos);
+  EXPECT_NE(text.find("G199"), std::string::npos);
+}
+
+// Chain A -> B -> C with identity CPTs and an extreme prior, so the
+// A-B/B-C separator marginal of B carries one near-underflow (or
+// exactly-zero) cell. Cliques: {A,B}, {B,C}; separator {B}.
+BayesianNetwork chain_with_prior(double p0) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("a", 2);
+  const VarId b = bn.add_variable("b", 2);
+  const VarId c = bn.add_variable("c", 2);
+  Factor prior({a}, {2});
+  prior.set_value(0, p0);
+  prior.set_value(1, 1.0 - p0);
+  bn.set_cpt(a, {}, prior);
+  auto identity = [&](VarId child, VarId parent) {
+    Factor f({parent, child}, {2, 2});
+    for (int ps = 0; ps < 2; ++ps) {
+      for (int cs = 0; cs < 2; ++cs) {
+        const int states[2] = {ps, cs};
+        f.at(states) = ps == cs ? 1.0 : 0.0;
+      }
+    }
+    bn.set_cpt(child, {parent}, f);
+  };
+  identity(b, a);
+  identity(c, b);
+  return bn;
+}
+
+TEST(ReportTest, HealthProbesFlagNearUnderflow) {
+  const BayesianNetwork bn = chain_with_prior(1e-310); // subnormal prior cell
+  Tracer tracer(TraceLevel::Counters);
+  CompileOptions opts;
+  opts.trace = &tracer;
+  JunctionTreeEngine eng(bn, opts);
+  eng.load_potentials();
+  eng.propagate();
+
+  const obs::MetricsRegistry& m = tracer.metrics();
+  EXPECT_GE(m.value(Counter::SepSubnormalCells), 1u);
+  // 1e-310 has a binary exponent near -1029; the negated-exponent gauge
+  // must reflect it.
+  EXPECT_GT(m.value(Counter::SepMinNegExp), 900u);
+  EXPECT_GE(m.hist(Hist::SepMinNegExp).total(), 1u);
+  EXPECT_GE(m.hist(Hist::PropagateNs).total(), 1u);
+}
+
+TEST(ReportTest, HealthProbesCountZeroCellsAndResidue) {
+  const BayesianNetwork bn = chain_with_prior(0.0); // exact-zero prior cell
+  Tracer tracer(TraceLevel::Counters);
+  CompileOptions opts;
+  opts.trace = &tracer;
+  JunctionTreeEngine eng(bn, opts);
+  eng.load_potentials();
+  eng.propagate();
+
+  const obs::MetricsRegistry& m = tracer.metrics();
+  EXPECT_GE(m.value(Counter::SepZeroCells), 1u);
+  // Evidence-free propagation of a valid network: the root mass is 1 up
+  // to roundoff, so the residue gauge stays tiny (well under 1000 ppb).
+  EXPECT_LT(m.value(Counter::NormResiduePpb), 1000u);
+  EXPECT_NEAR(eng.evidence_probability(), 1.0, 1e-9);
+}
+
+TEST(ReportTest, ResidueProbeGatedOffUnderEvidence) {
+  const BayesianNetwork bn = chain_with_prior(0.25);
+  Tracer tracer(TraceLevel::Counters);
+  CompileOptions opts;
+  opts.trace = &tracer;
+  JunctionTreeEngine eng(bn, opts);
+  eng.load_potentials();
+  eng.set_evidence(0, 1);
+  eng.propagate();
+  // With evidence the root mass is P(e) != 1; the residue gauge must not
+  // fire (it would read as huge drift).
+  EXPECT_EQ(tracer.metrics().value(Counter::NormResiduePpb), 0u);
+}
+
+TEST(ReportTest, AccuracyAuditOnC17) {
+  const Netlist nl = make_benchmark("c17");
+  Tracer tracer(TraceLevel::Counters);
+  EstimatorOptions opts;
+  opts.trace = &tracer;
+  SwitchingAnalyzer an(nl, opts);
+  const SwitchingEstimate est = an.estimate();
+
+  AccuracyAuditOptions aopts;
+  aopts.sim_pairs = std::uint64_t{1} << 17;
+  aopts.seed = 3;
+  aopts.worst_lines = 5;
+  aopts.trace = &tracer;
+  const obs::ReportAccuracy acc =
+      audit_accuracy(nl, an.default_model(), est, aopts);
+
+  ASSERT_TRUE(acc.present());
+  EXPECT_EQ(acc.lines, nl.num_nodes());
+  EXPECT_GE(acc.sim_pairs, aopts.sim_pairs);
+  // c17 compiles to a single exact BN, so the only error is simulation
+  // noise — far below the acceptance threshold.
+  EXPECT_LT(acc.mean_abs_error, 0.01);
+  EXPECT_GE(acc.max_abs_error, acc.mean_abs_error);
+  EXPECT_GE(acc.max_abs_error, acc.rms_error);
+  EXPECT_EQ(acc.error_hist.name, "line_abs_error");
+  EXPECT_EQ(acc.error_hist.total, static_cast<std::uint64_t>(acc.lines));
+
+  ASSERT_EQ(acc.worst.size(), 5u);
+  EXPECT_DOUBLE_EQ(acc.worst[0].abs_error, acc.max_abs_error);
+  for (std::size_t i = 1; i < acc.worst.size(); ++i) {
+    EXPECT_GE(acc.worst[i - 1].abs_error, acc.worst[i].abs_error);
+  }
+  // The auditor also feeds the registry histogram.
+  EXPECT_EQ(tracer.metrics().hist(Hist::LineAbsError).total(),
+            static_cast<std::uint64_t>(acc.lines));
+}
+
+TEST(ReportTest, SetMetricsSkipsEmptyAndKeepsNonZero) {
+  Tracer tracer(TraceLevel::Counters);
+  tracer.count(Counter::MessagesPassed, 10);
+  tracer.hist(Hist::PropagateNs, 100.0);
+  obs::RunReport rep;
+  rep.set_metrics(tracer.metrics());
+  EXPECT_EQ(rep.counter_or("messages_passed", 0), 10u);
+  EXPECT_EQ(rep.counter_or("cliques_built", 0), 0u); // zero -> omitted
+  ASSERT_EQ(rep.histograms.size(), 1u);
+  EXPECT_EQ(rep.histograms[0].name, "propagate_ns");
+  for (const obs::ReportCounter& c : rep.counters) {
+    EXPECT_NE(c.value, 0u);
+  }
+}
+
+// The S1 regression test: two identical runs, separated by
+// Tracer::reset(), must report identical counter values — no
+// carried-over or missing state in the registry.
+TEST(ReportTest, BackToBackRunsReportIdenticalCounters) {
+  const Netlist nl = make_benchmark("c17");
+  Tracer tracer(TraceLevel::Counters);
+  auto run_once = [&]() {
+    tracer.reset();
+    EstimatorOptions opts;
+    opts.trace = &tracer;
+    SwitchingAnalyzer an(nl, opts);
+    an.estimate();
+    return tracer.metrics().snapshot();
+  };
+  const obs::MetricsSnapshot first = run_once();
+  const obs::MetricsSnapshot second = run_once();
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)],
+              second[static_cast<std::size_t>(i)])
+        << obs::counter_name(static_cast<Counter>(i));
+  }
+}
+
+} // namespace
+} // namespace bns

@@ -169,7 +169,9 @@ TEST(Schedule, ParallelUpdateLoopIsAllocationFree) {
 
 TEST(Schedule, UpdateLoopIsAllocationFreeWithCounterTracing) {
   // Counter-level tracing must not cost the zero-allocation guarantee:
-  // recording is a batched relaxed atomic add, never a heap touch.
+  // recording is a batched relaxed atomic add, never a heap touch. The
+  // numerical-health probes (separator scans + per-sweep reduction +
+  // histograms) run on this same path and are covered by the same hook.
   BayesianNetwork bn = testing_helpers::random_bayes_net(30, 3, 4, 99);
   obs::Tracer tracer(obs::TraceLevel::Counters);
   CompileOptions opts = with_schedule(true);
@@ -179,6 +181,8 @@ TEST(Schedule, UpdateLoopIsAllocationFreeWithCounterTracing) {
   eng.propagate();
   const std::uint64_t msgs0 =
       tracer.metrics().value(obs::Counter::MessagesPassed);
+  const std::uint64_t sweeps0 =
+      tracer.metrics().hist(obs::Hist::PropagateNs).total();
   const std::uint64_t before = alloc_hook::allocation_count();
   for (int round = 0; round < 5; ++round) {
     eng.load_potentials();
@@ -189,6 +193,15 @@ TEST(Schedule, UpdateLoopIsAllocationFreeWithCounterTracing) {
   EXPECT_EQ(tracer.metrics().value(obs::Counter::MessagesPassed),
             msgs0 + 5 * eng.messages_per_propagation());
   EXPECT_EQ(tracer.metrics().value(obs::Counter::ScheduleCacheHits), 5u);
+  // The health probes fired inside the zero-allocation window: each
+  // propagate() records one sweep-time sample and one min-exponent
+  // sample, and the random CPTs here always produce separator cells
+  // below 1.0, so the min-exponent gauge is positive.
+  EXPECT_EQ(tracer.metrics().hist(obs::Hist::PropagateNs).total(),
+            sweeps0 + 5);
+  EXPECT_EQ(tracer.metrics().hist(obs::Hist::SepMinNegExp).total(),
+            sweeps0 + 5);
+  EXPECT_GT(tracer.metrics().value(obs::Counter::SepMinNegExp), 0u);
 }
 
 TEST(Schedule, LegacyFallbackStillWorks) {
