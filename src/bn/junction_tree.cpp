@@ -307,24 +307,7 @@ void JunctionTreeEngine::load_potentials() {
   }
   const int n = tree_.num_cliques();
   if (has_schedule_) {
-    for (int i = 0; i < n; ++i) {
-      auto vals = clique_pot_[static_cast<std::size_t>(i)].values();
-      const auto& loads = sched_.loads[static_cast<std::size_t>(i)];
-      // The first CPT overwrites the table (1.0 * x == x bitwise), so
-      // only CPT-less cliques pay the fill pass.
-      if (loads.empty()) std::fill(vals.begin(), vals.end(), 1.0);
-      for (std::size_t j = 0; j < loads.size(); ++j) {
-        const CliqueLoad& load = loads[j];
-        const Factor& cpt = bn_->cpt(load.var);
-        BNS_ASSERT_MSG(cpt.size() == load.cpt_size,
-                       "CPT shape changed since schedule compilation");
-        if (j == 0) {
-          assign_map_in(load.map, cpt.values().data(), vals.data());
-        } else {
-          multiply_map_in(load.map, cpt.values().data(), vals.data());
-        }
-      }
-    }
+    for (int i = 0; i < n; ++i) load_clique(i);
   } else {
     for (int i = 0; i < n; ++i) {
       auto vals = clique_pot_[static_cast<std::size_t>(i)].values();
@@ -343,6 +326,92 @@ void JunctionTreeEngine::load_potentials() {
   potentials_ready_ = true;
   propagated_ = false;
   evidence_since_load_ = false;
+  // A full reload may change any CPT's values; the snapshot no longer
+  // describes the loaded state until snapshot_potentials() runs again.
+  snap_valid_ = false;
+}
+
+void JunctionTreeEngine::load_clique(int i) {
+  auto vals = clique_pot_[static_cast<std::size_t>(i)].values();
+  const auto& loads = sched_.loads[static_cast<std::size_t>(i)];
+  // The first CPT overwrites the table (1.0 * x == x bitwise), so
+  // only CPT-less cliques pay the fill pass.
+  if (loads.empty()) std::fill(vals.begin(), vals.end(), 1.0);
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    const CliqueLoad& load = loads[j];
+    const Factor& cpt = bn_->cpt(load.var);
+    BNS_ASSERT_MSG(cpt.size() == load.cpt_size,
+                   "CPT shape changed since schedule compilation");
+    if (j == 0) {
+      assign_map_in(load.map, cpt.values().data(), vals.data());
+    } else {
+      multiply_map_in(load.map, cpt.values().data(), vals.data());
+    }
+  }
+}
+
+void JunctionTreeEngine::snapshot_potentials() {
+  BNS_EXPECTS(potentials_ready_ && !propagated_ && !evidence_since_load_);
+  BNS_EXPECTS_MSG(has_schedule_,
+                  "potential snapshots require the compiled schedule");
+  if (snap_off_.empty()) {
+    snap_off_.reserve(clique_pot_.size() + 1);
+    std::size_t off = 0;
+    for (const Factor& f : clique_pot_) {
+      snap_off_.push_back(off);
+      off += f.size();
+    }
+    snap_off_.push_back(off);
+    snap_.resize(off);
+    clique_dirty_.assign(clique_pot_.size(), 0);
+  }
+  for (std::size_t i = 0; i < clique_pot_.size(); ++i) {
+    const auto vals = clique_pot_[i].values();
+    std::copy(vals.begin(), vals.end(), snap_.begin() +
+              static_cast<std::ptrdiff_t>(snap_off_[i]));
+  }
+  snap_valid_ = true;
+}
+
+void JunctionTreeEngine::reload_incremental(
+    std::span<const VarId> changed_vars) {
+  BNS_EXPECTS_MSG(snap_valid_,
+                  "reload_incremental needs snapshot_potentials() first");
+  obs::Span span(trace_, "load");
+  std::fill(clique_dirty_.begin(), clique_dirty_.end(), 0);
+  for (VarId v : changed_vars) {
+    clique_dirty_[static_cast<std::size_t>(
+        cpt_home_[static_cast<std::size_t>(v)])] = 1;
+  }
+  std::uint64_t loads_rerun = 0;
+  for (std::size_t i = 0; i < clique_pot_.size(); ++i) {
+    auto vals = clique_pot_[i].values();
+    if (clique_dirty_[i] != 0) {
+      load_clique(static_cast<int>(i));
+      // Keep the snapshot current so the next scenario restores this
+      // clique's *new* loaded state.
+      std::copy(vals.begin(), vals.end(), snap_.begin() +
+                static_cast<std::ptrdiff_t>(snap_off_[i]));
+      loads_rerun += sched_.loads[i].size();
+    } else {
+      std::copy(snap_.begin() + static_cast<std::ptrdiff_t>(snap_off_[i]),
+                snap_.begin() + static_cast<std::ptrdiff_t>(snap_off_[i + 1]),
+                vals.begin());
+    }
+  }
+  for (Factor& sep : sep_pot_) {
+    auto vals = sep.values();
+    std::fill(vals.begin(), vals.end(), 1.0);
+  }
+  potentials_ready_ = true;
+  propagated_ = false;
+  evidence_since_load_ = false;
+  if (trace_ != nullptr) {
+    trace_->count(obs::Counter::IncrementalReloads);
+    if (loads_rerun != 0) {
+      trace_->count(obs::Counter::CptLoads, loads_rerun);
+    }
+  }
 }
 
 void JunctionTreeEngine::set_evidence(VarId v, int state) {

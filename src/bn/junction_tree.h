@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -176,6 +177,27 @@ class JunctionTreeEngine {
 
   bool propagated() const { return propagated_; }
 
+  // --- incremental reload (scenario-sweep support) --------------------
+  // Captures the freshly *loaded* clique potentials into a flat buffer
+  // so a later reload_incremental() can restore unchanged cliques with
+  // a copy instead of re-running their CPT load programs. Must be
+  // called right after load_potentials(), before any evidence entry or
+  // propagation (those mutate the potentials the snapshot is meant to
+  // preserve). The first call allocates the buffer; later calls reuse
+  // it. Requires the compiled schedule.
+  void snapshot_potentials();
+  bool has_snapshot() const { return snap_valid_; }
+
+  // The scenario-sweep "update" step: restores every clique from the
+  // snapshot except those absorbing a CPT of a variable in
+  // `changed_vars`, which are recomputed from the network's current CPT
+  // values (their snapshot slices are refreshed in place, so the
+  // snapshot tracks the latest loaded state). Separators reset to 1.0
+  // and evidence clears, exactly like load_potentials() — the result is
+  // bit-identical to a full reload whose only CPT value changes are
+  // covered by `changed_vars`. Allocation-free.
+  void reload_incremental(std::span<const VarId> changed_vars);
+
  private:
   // Numerical-health accumulator for one tree edge, filled by
   // compute_message() scanning the freshly computed separator values.
@@ -191,6 +213,8 @@ class JunctionTreeEngine {
 
   // Legacy (non-scheduled) message pass: temporary-factor based.
   void pass_message(int from, int to, int edge);
+  // Runs clique i's compiled CPT load program (scheduled path only).
+  void load_clique(int i);
   // Scheduled message pass, split so the parallel sweep can defer the
   // application into a shared root clique.
   void compute_message(int from, int edge);
@@ -224,6 +248,14 @@ class JunctionTreeEngine {
   bool evidence_since_load_ = false;
   bool potentials_ready_ = false;
   bool propagated_ = false;
+  // Snapshot of the loaded clique tables for reload_incremental():
+  // flat value buffer + per-clique offsets (snap_off_ has num_cliques+1
+  // entries) + a dirty-flag scratch vector, all sized once on the first
+  // snapshot so the incremental path stays allocation-free.
+  std::vector<double> snap_;
+  std::vector<std::size_t> snap_off_;
+  std::vector<std::uint8_t> clique_dirty_;
+  bool snap_valid_ = false;
 };
 
 } // namespace bns

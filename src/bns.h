@@ -27,6 +27,7 @@
 // the estimator and its facade
 #include "core/analyzer.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "lidag/estimator.h"
 #include "lidag/lidag.h"
 

@@ -8,9 +8,12 @@
 
 namespace bns {
 
-obs::ReportAccuracy audit_accuracy(const Netlist& nl, const InputModel& model,
-                                   const SwitchingEstimate& est,
-                                   const AccuracyAuditOptions& opts) {
+namespace {
+
+obs::ReportAccuracy audit_impl(const Netlist& nl, const InputModel& model,
+                               const SwitchingEstimate& est,
+                               const LidagEstimator* estimator,
+                               const AccuracyAuditOptions& opts) {
   const std::vector<double> estimated = est.activities();
   BNS_EXPECTS(static_cast<int>(estimated.size()) == nl.num_nodes());
 
@@ -64,7 +67,45 @@ obs::ReportAccuracy audit_accuracy(const Netlist& nl, const InputModel& model,
       acc.worst.push_back(std::move(wl));
     }
   }
+
+  if (estimator != nullptr) {
+    // Attribute each line's error to its owning segment. Segment -1
+    // (lines outside every segment, e.g. on an empty circuit) is only
+    // emitted when it actually collects lines.
+    std::vector<obs::ReportSegmentError> buckets(
+        static_cast<std::size_t>(estimator->num_segments()) + 1);
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+      buckets[k].segment = static_cast<int>(k) - 1;
+    }
+    for (const auto& [e, id] : errors) {
+      auto& b = buckets[static_cast<std::size_t>(
+          estimator->segment_of_line(id) + 1)];
+      ++b.lines;
+      b.mean_abs_error += e; // running sum; divided below
+      b.max_abs_error = std::max(b.max_abs_error, e);
+    }
+    for (auto& b : buckets) {
+      if (b.lines == 0) continue;
+      b.mean_abs_error /= static_cast<double>(b.lines);
+      acc.per_segment.push_back(b);
+    }
+  }
   return acc;
+}
+
+} // namespace
+
+obs::ReportAccuracy audit_accuracy(const Netlist& nl, const InputModel& model,
+                                   const SwitchingEstimate& est,
+                                   const AccuracyAuditOptions& opts) {
+  return audit_impl(nl, model, est, nullptr, opts);
+}
+
+obs::ReportAccuracy audit_accuracy(const Netlist& nl, const InputModel& model,
+                                   const SwitchingEstimate& est,
+                                   const LidagEstimator& estimator,
+                                   const AccuracyAuditOptions& opts) {
+  return audit_impl(nl, model, est, &estimator, opts);
 }
 
 } // namespace bns

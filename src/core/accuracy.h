@@ -36,4 +36,13 @@ obs::ReportAccuracy audit_accuracy(const Netlist& nl, const InputModel& model,
                                    const SwitchingEstimate& est,
                                    const AccuracyAuditOptions& opts = {});
 
+// As above, and additionally attributes the per-line errors to the
+// estimator's segments (ReportAccuracy::per_segment, in segment order),
+// so a boundary-forwarding accuracy loss is localized to the cut that
+// caused it instead of being smeared over the whole-circuit mean.
+obs::ReportAccuracy audit_accuracy(const Netlist& nl, const InputModel& model,
+                                   const SwitchingEstimate& est,
+                                   const LidagEstimator& estimator,
+                                   const AccuracyAuditOptions& opts = {});
+
 } // namespace bns

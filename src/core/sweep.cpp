@@ -1,0 +1,73 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace bns {
+
+SweepResult run_sweep(const Netlist& nl, std::span<const InputModel> scenarios,
+                      const SweepOptions& opts) {
+  BNS_EXPECTS(opts.replicas >= 1);
+  SweepResult res;
+  if (scenarios.empty()) return res;
+
+  const int replicas = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(opts.replicas),
+                            scenarios.size()));
+  res.replicas_used = replicas;
+
+  Timer compile_timer;
+  std::vector<std::unique_ptr<LidagEstimator>> ests;
+  ests.reserve(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    ests.push_back(std::make_unique<LidagEstimator>(nl, scenarios[0],
+                                                    opts.estimator));
+  }
+  res.compile_seconds = compile_timer.seconds();
+
+  res.estimates.resize(scenarios.size());
+  std::vector<BatchStats> stats(static_cast<std::size_t>(replicas));
+
+  // Contiguous chunks keep each replica's scenario sequence in order, so
+  // its incremental diff always compares against the scenario the user
+  // listed just before — the locality the sweep is designed around.
+  const std::size_t n = scenarios.size();
+  const std::size_t chunk = (n + static_cast<std::size_t>(replicas) - 1) /
+                            static_cast<std::size_t>(replicas);
+  auto sweep_chunk = [&](int r) {
+    const std::size_t lo = static_cast<std::size_t>(r) * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) return;
+    stats[static_cast<std::size_t>(r)] = ests[static_cast<std::size_t>(r)]
+        ->estimate_batch_into(scenarios.subspan(lo, hi - lo),
+                              std::span<SwitchingEstimate>(res.estimates)
+                                  .subspan(lo, hi - lo));
+  };
+
+  Timer sweep_timer;
+  if (replicas == 1) {
+    sweep_chunk(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r) {
+      workers.emplace_back(sweep_chunk, r);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  res.wall_seconds = sweep_timer.seconds();
+
+  for (const BatchStats& bs : stats) {
+    res.stats.scenarios += bs.scenarios;
+    res.stats.segments_reloaded += bs.segments_reloaded;
+    res.stats.segments_skipped += bs.segments_skipped;
+    res.stats.total_seconds += bs.total_seconds;
+  }
+  return res;
+}
+
+} // namespace bns

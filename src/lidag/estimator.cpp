@@ -328,10 +328,12 @@ void LidagEstimator::build_segment_levels() {
 
 void LidagEstimator::run_segment(Segment& seg, const InputModel& inner_model,
                                  std::vector<std::array<double, 4>>& inner_dist,
-                                 const BoundaryJointFn& pair_joint) {
+                                 const BoundaryJointFn& pair_joint,
+                                 bool snapshot) {
   Timer reload;
   quantify_lidag(*seg.lidag, inner_model, inner_dist, pair_joint, opts_.lidag);
   seg.engine->load_potentials();
+  if (snapshot) seg.engine->snapshot_potentials();
   seg.last_reload_seconds = reload.seconds();
   seg.engine->propagate(pool_.get());
   const auto& nodes = seg.lidag->defined_nodes;
@@ -349,24 +351,18 @@ void LidagEstimator::run_segment(Segment& seg, const InputModel& inner_model,
   }
 }
 
-SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
-  BNS_EXPECTS(model.num_inputs() == nl_->num_inputs());
-  const InputModel inner_model = permute_inputs(model);
-  std::vector<std::array<double, 4>> inner_dist(
-      static_cast<std::size_t>(inner_.netlist.num_nodes()));
-
+BoundaryJointFn LidagEstimator::make_pair_joint() const {
   // Pairwise boundary-joint provider: when two boundary lines were
   // defined in the same earlier segment and share a clique there, their
   // exact pairwise joint is forwarded instead of independent marginals.
-  const BoundaryJointFn pair_joint = [this](NodeId a, NodeId b,
-                                            std::array<double, 16>& joint) {
-    const Segment* owner = nullptr;
-    for (const Segment& s : segments_) {
-      if (a >= s.begin && a < s.end) {
-        owner = &s;
-        break;
-      }
-    }
+  return [this](NodeId a, NodeId b, std::array<double, 16>& joint) {
+    // Same-level readers invoke this concurrently against one owner
+    // engine. That is race-free without locking: try_joint_marginal is
+    // const and purely reading, the owner's potentials were finalized
+    // in an earlier dependency level, and the pool barrier between
+    // levels provides the happens-before edge from the owner's writes
+    // to these reads.
+    const Segment* owner = owner_of(a);
     if (owner == nullptr || b < owner->begin || b >= owner->end) return false;
     if (!owner->engine->propagated()) return false;
     const VarId va = owner->lidag->var_of_node[static_cast<std::size_t>(a)];
@@ -387,26 +383,43 @@ SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
     }
     return true;
   };
+}
+
+void LidagEstimator::run_full_sweep(
+    const InputModel& inner_model,
+    std::vector<std::array<double, 4>>& inner_dist, bool snapshot) {
+  const BoundaryJointFn pair_joint = make_pair_joint();
+  if (pool_ == nullptr) {
+    for (Segment& seg : segments_) {
+      run_segment(seg, inner_model, inner_dist, pair_joint, snapshot);
+    }
+    return;
+  }
+  // Level-parallel sweep: all segments of a level have their boundary
+  // inputs ready (owners live in earlier levels) and write disjoint
+  // slices of inner_dist, so the result is bit-identical to the
+  // sequential loop for any thread count. A single-segment level runs
+  // inline so its engine can fan its subtrees out over the pool.
+  for (const std::vector<int>& lvl : seg_levels_) {
+    pool_->parallel_for(static_cast<int>(lvl.size()), [&](int k) {
+      run_segment(segments_[static_cast<std::size_t>(lvl[static_cast<std::size_t>(k)])],
+                  inner_model, inner_dist, pair_joint, snapshot);
+    });
+  }
+}
+
+SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
+  BNS_EXPECTS(model.num_inputs() == nl_->num_inputs());
+  const InputModel inner_model = permute_inputs(model);
+  std::vector<std::array<double, 4>> inner_dist(
+      static_cast<std::size_t>(inner_.netlist.num_nodes()));
 
   obs::Span estimate_span(opts_.trace, "estimate");
   Timer t;
-  if (pool_ == nullptr) {
-    for (Segment& seg : segments_) {
-      run_segment(seg, inner_model, inner_dist, pair_joint);
-    }
-  } else {
-    // Level-parallel sweep: all segments of a level have their boundary
-    // inputs ready (owners live in earlier levels) and write disjoint
-    // slices of inner_dist, so the result is bit-identical to the
-    // sequential loop for any thread count. A single-segment level runs
-    // inline so its engine can fan its subtrees out over the pool.
-    for (const std::vector<int>& lvl : seg_levels_) {
-      pool_->parallel_for(static_cast<int>(lvl.size()), [&](int k) {
-        run_segment(segments_[static_cast<std::size_t>(lvl[static_cast<std::size_t>(k)])],
-                    inner_model, inner_dist, pair_joint);
-      });
-    }
-  }
+  // A plain estimate reloads every engine behind the sweep bookkeeping's
+  // back; the next estimate_batch must re-prime.
+  batch_primed_ = false;
+  run_full_sweep(inner_model, inner_dist, /*snapshot=*/false);
 
   SwitchingEstimate out;
   out.dist.resize(static_cast<std::size_t>(nl_->num_nodes()));
@@ -433,10 +446,15 @@ SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
 }
 
 const LidagEstimator::Segment* LidagEstimator::owner_of(NodeId inner_node) const {
-  for (const Segment& s : segments_) {
-    if (inner_node >= s.begin && inner_node < s.end) return &s;
-  }
-  return nullptr;
+  // Segments cover contiguous ascending [begin, end) line ranges, so
+  // the owner is a binary search away — this runs once per boundary
+  // root per quantification, where the old linear scan was quadratic in
+  // the segment count.
+  const auto it = std::partition_point(
+      segments_.begin(), segments_.end(),
+      [inner_node](const Segment& s) { return s.end <= inner_node; });
+  if (it == segments_.end()) return nullptr;
+  return (inner_node >= it->begin && inner_node < it->end) ? &*it : nullptr;
 }
 
 std::vector<std::pair<NodeId, NodeId>> LidagEstimator::pick_boundary_links(
@@ -497,25 +515,259 @@ std::optional<std::array<double, 4>> LidagEstimator::conditional_dist(
 
   const NodeId it = inner_.map[static_cast<std::size_t>(target)];
   const NodeId ig = inner_.map[static_cast<std::size_t>(given)];
-  for (Segment& seg : segments_) {
-    const VarId tv = seg.lidag->var_of_node[static_cast<std::size_t>(it)];
-    const VarId gv = seg.lidag->var_of_node[static_cast<std::size_t>(ig)];
-    if (tv < 0 || gv < 0) continue;
-    // Potentials are already loaded and propagated by estimate();
-    // re-load them cleanly, enter the evidence, and re-propagate.
-    seg.engine->reset_potentials();
-    seg.engine->set_evidence(gv, static_cast<int>(state));
-    seg.engine->propagate();
-    if (seg.engine->evidence_probability() <= 0.0) return std::nullopt;
-    const Factor m = seg.engine->marginal(tv);
-    std::array<double, 4> out{};
-    for (std::size_t s = 0; s < 4; ++s) out[s] = m.value(s);
-    // Restore the unconditional state for subsequent queries.
-    seg.engine->reset_potentials();
-    seg.engine->propagate();
-    return out;
+  // Answer only from the segment that *owns* the target line. Overlap
+  // windows and boundary forwarding give later segments read-only
+  // copies of earlier lines (context rebuilds, forwarded-prior roots);
+  // querying the target through such a copy would read a forwarded
+  // approximation instead of the defining CPT. If the evidence line has
+  // no variable in the owning segment, the exact conditional is not
+  // locally available — report that rather than a wrong-segment answer.
+  const Segment* own = owner_of(it);
+  if (own == nullptr) return std::nullopt;
+  Segment& seg = segments_[static_cast<std::size_t>(own - segments_.data())];
+  const VarId tv = seg.lidag->var_of_node[static_cast<std::size_t>(it)];
+  const VarId gv = seg.lidag->var_of_node[static_cast<std::size_t>(ig)];
+  BNS_ASSERT(tv >= 0); // the owner always models its own lines
+  if (gv < 0) return std::nullopt;
+  // Potentials are already loaded and propagated by estimate();
+  // re-load them cleanly, enter the evidence, and re-propagate.
+  seg.engine->reset_potentials();
+  seg.engine->set_evidence(gv, static_cast<int>(state));
+  seg.engine->propagate();
+  if (seg.engine->evidence_probability() <= 0.0) return std::nullopt;
+  const Factor m = seg.engine->marginal(tv);
+  std::array<double, 4> out{};
+  for (std::size_t s = 0; s < 4; ++s) out[s] = m.value(s);
+  // Restore the unconditional state for subsequent queries.
+  seg.engine->reset_potentials();
+  seg.engine->propagate();
+  return out;
+}
+
+int LidagEstimator::segment_of_line(NodeId id) const {
+  BNS_EXPECTS(id >= 0 && id < nl_->num_nodes());
+  const Segment* s = owner_of(inner_.map[static_cast<std::size_t>(id)]);
+  return s == nullptr ? -1 : static_cast<int>(s - segments_.data());
+}
+
+bool LidagEstimator::segment_maybe_dirty(const Segment& seg) const {
+  for (const LidagRoot& r : seg.lidag->roots) {
+    switch (r.kind) {
+      case RootKind::PrimaryInput:
+        if (spec_changed_[static_cast<std::size_t>(r.input_index)] != 0) {
+          return true;
+        }
+        break;
+      case RootKind::Boundary:
+        if (node_changed_[static_cast<std::size_t>(r.node)] != 0) return true;
+        break;
+      case RootKind::Constant:
+        break;
+      case RootKind::GroupSource:
+        if (group_changed_[static_cast<std::size_t>(r.group)] != 0) {
+          return true;
+        }
+        break;
+    }
   }
-  return std::nullopt;
+  for (const LidagRoot& r : seg.lidag->grouped_inputs) {
+    if (spec_changed_[static_cast<std::size_t>(r.input_index)] != 0) {
+      return true;
+    }
+  }
+  // A chained boundary root's CPT also depends on the pairwise joint in
+  // the owner, which can move even when both forwarded marginals are
+  // unchanged — be conservative whenever the owner re-propagated. The
+  // value-level quantify_lidag_diff below then decides exactly.
+  for (const auto& [child, parent] : seg.lidag->boundary_links) {
+    const Segment* owner = owner_of(child);
+    if (owner != nullptr &&
+        seg_reran_[static_cast<std::size_t>(owner - segments_.data())] != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LidagEstimator::run_segment_incremental(int i,
+                                             const InputModel& inner_model,
+                                             const BoundaryJointFn& pair_joint) {
+  Segment& seg = segments_[static_cast<std::size_t>(i)];
+  seg.last_reload_seconds = 0.0;
+  if (!segment_maybe_dirty(seg)) return;
+  Timer reload;
+  quantify_lidag_diff(*seg.lidag, inner_model, batch_inner_dist_, pair_joint,
+                      opts_.lidag, seg.changed_vars);
+  if (seg.changed_vars.empty()) {
+    // False alarm: every recomputed root CPT matched bitwise (e.g. the
+    // owner re-propagated to an identical posterior), so the previous
+    // propagation results are still exact.
+    seg.last_reload_seconds = reload.seconds();
+    return;
+  }
+  seg.engine->reload_incremental(seg.changed_vars);
+  seg.last_reload_seconds = reload.seconds();
+  seg.engine->propagate(pool_.get());
+  seg_reran_[static_cast<std::size_t>(i)] = 1;
+  for (const NodeId id : seg.lidag->defined_nodes) {
+    const VarId v = seg.lidag->var_of_node[static_cast<std::size_t>(id)];
+    const Factor m = seg.engine->marginal(v);
+    auto& d = batch_inner_dist_[static_cast<std::size_t>(id)];
+    bool moved = false;
+    for (std::size_t s = 0; s < 4; ++s) {
+      const double fresh = m.value(s);
+      moved = moved || fresh != d[s];
+      d[s] = fresh;
+    }
+    // Downstream readers only need to react to lines whose forwarded
+    // distribution actually moved — this is what keeps the dirty cone
+    // tight when a change dies out inside a segment.
+    if (moved) node_changed_[static_cast<std::size_t>(id)] = 1;
+  }
+}
+
+std::vector<SwitchingEstimate> LidagEstimator::estimate_batch(
+    std::span<const InputModel> models) {
+  std::vector<SwitchingEstimate> out(models.size());
+  estimate_batch_into(models, out);
+  return out;
+}
+
+BatchStats LidagEstimator::estimate_batch_into(
+    std::span<const InputModel> models, std::span<SwitchingEstimate> outputs) {
+  BNS_EXPECTS(models.size() == outputs.size());
+  BatchStats bs;
+  Timer total;
+  const std::size_t inner_n =
+      static_cast<std::size_t>(inner_.netlist.num_nodes());
+  if (batch_inner_dist_.size() != inner_n) {
+    batch_inner_dist_.assign(inner_n, std::array<double, 4>{});
+    node_changed_.assign(inner_n, 0);
+    seg_reran_.assign(segments_.size(), 0);
+  }
+
+  for (std::size_t sc = 0; sc < models.size(); ++sc) {
+    const InputModel& model = models[sc];
+    BNS_EXPECTS(model.num_inputs() == nl_->num_inputs());
+    obs::Span scenario_span(opts_.trace, "scenario");
+    Timer t;
+    int reloaded = 0;
+
+    if (!batch_primed_) {
+      // Prime: full quantify/load/propagate of every segment, with the
+      // loaded potentials snapshotted for later incremental reloads.
+      const InputModel inner_model = permute_inputs(model);
+      loaded_specs_ = inner_model.specs();
+      loaded_groups_ = inner_model.groups();
+      spec_changed_.assign(loaded_specs_.size(), 0);
+      group_changed_.assign(loaded_groups_.size(), 0);
+      run_full_sweep(inner_model, batch_inner_dist_, /*snapshot=*/true);
+      batch_primed_ = true;
+      reloaded = num_segments();
+      std::fill(seg_reran_.begin(), seg_reran_.end(), 1);
+    } else {
+      // Diff the scenario's statistics against the loaded ones, in
+      // inner input order and without constructing the permuted model —
+      // an all-clean scenario must not touch the heap.
+      BNS_EXPECTS(model.num_groups() ==
+                  static_cast<int>(loaded_groups_.size()));
+      bool any = false;
+      for (std::size_t j = 0; j < loaded_specs_.size(); ++j) {
+        const InputSpec& ns = model.spec(input_perm_[j]);
+        const InputSpec& os = loaded_specs_[j];
+        // The grouping layout is structural (baked into the compiled
+        // BNs); only the statistics may vary between scenarios.
+        BNS_EXPECTS(ns.group == os.group);
+        const bool ch = ns.p != os.p || ns.rho != os.rho || ns.flip != os.flip;
+        spec_changed_[j] = ch ? 1 : 0;
+        any = any || ch;
+      }
+      for (std::size_t g = 0; g < loaded_groups_.size(); ++g) {
+        const GroupSpec& ng = model.group(static_cast<int>(g));
+        const GroupSpec& og = loaded_groups_[g];
+        const bool ch = ng.p != og.p || ng.rho != og.rho;
+        group_changed_[g] = ch ? 1 : 0;
+        any = any || ch;
+      }
+      if (any) {
+        std::fill(node_changed_.begin(), node_changed_.end(), 0);
+        std::fill(seg_reran_.begin(), seg_reran_.end(), 0);
+        const InputModel inner_model = permute_inputs(model);
+        std::copy(inner_model.specs().begin(), inner_model.specs().end(),
+                  loaded_specs_.begin());
+        std::copy(inner_model.groups().begin(), inner_model.groups().end(),
+                  loaded_groups_.begin());
+        const BoundaryJointFn pair_joint = make_pair_joint();
+        if (pool_ == nullptr) {
+          for (int i = 0; i < num_segments(); ++i) {
+            run_segment_incremental(i, inner_model, pair_joint);
+          }
+        } else {
+          // Same level structure as the full sweep; a reader's dirtiness
+          // check consumes node_changed_/seg_reran_ flags its owners
+          // wrote in an earlier level (pool barrier = happens-before).
+          for (const std::vector<int>& lvl : seg_levels_) {
+            pool_->parallel_for(static_cast<int>(lvl.size()), [&](int k) {
+              run_segment_incremental(lvl[static_cast<std::size_t>(k)],
+                                      inner_model, pair_joint);
+            });
+          }
+        }
+        for (std::size_t i = 0; i < segments_.size(); ++i) {
+          if (seg_reran_[i] != 0) ++reloaded;
+        }
+      } else {
+        // Bitwise-identical statistics: every segment keeps its loaded
+        // potentials and previous results.
+        std::fill(seg_reran_.begin(), seg_reran_.end(), 0);
+        for (Segment& seg : segments_) seg.last_reload_seconds = 0.0;
+      }
+    }
+
+    // Per-scenario output, mapped back to original line numbering.
+    SwitchingEstimate& out = outputs[sc];
+    out.dist.resize(static_cast<std::size_t>(nl_->num_nodes()));
+    for (NodeId id = 0; id < nl_->num_nodes(); ++id) {
+      out.dist[static_cast<std::size_t>(id)] = batch_inner_dist_
+          [static_cast<std::size_t>(inner_.map[static_cast<std::size_t>(id)])];
+    }
+    out.stats = EstimateStats{};
+    out.stats.propagate_seconds = t.seconds();
+    out.stats.threads_used = num_threads();
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      const Segment& seg = segments_[i];
+      out.stats.reload_seconds += seg.last_reload_seconds;
+      if (!batch_primed_ || seg_reran_[i] != 0) {
+        out.stats.messages_passed += seg.engine->messages_per_propagation();
+      }
+    }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+    out.propagate_seconds = out.stats.propagate_seconds;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+    const int skipped = num_segments() - reloaded;
+    ++bs.scenarios;
+    bs.segments_reloaded += reloaded;
+    bs.segments_skipped += skipped;
+    if (opts_.trace != nullptr) {
+      opts_.trace->count(obs::Counter::SweepScenarios);
+      if (reloaded != 0) {
+        opts_.trace->count(obs::Counter::SweepSegmentsReloaded,
+                           static_cast<std::uint64_t>(reloaded));
+      }
+      if (skipped != 0) {
+        opts_.trace->count(obs::Counter::SweepSegmentsSkipped,
+                           static_cast<std::uint64_t>(skipped));
+      }
+    }
+  }
+  bs.total_seconds = total.seconds();
+  return bs;
 }
 
 InputModel LidagEstimator::permute_inputs(const InputModel& model) const {

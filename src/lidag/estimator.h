@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bn/junction_tree.h"
@@ -96,6 +97,15 @@ struct EstimateStats {
   int threads_used = 1;            // resolved worker-thread count
 };
 
+// Batch accounting for estimate_batch: how much work the incremental
+// reload actually avoided across the sweep.
+struct BatchStats {
+  int scenarios = 0;
+  int segments_reloaded = 0; // re-quantified + re-propagated
+  int segments_skipped = 0;  // left untouched (root CPTs bitwise unchanged)
+  double total_seconds = 0.0; // whole batch, wall clock
+};
+
 struct SwitchingEstimate {
   // Per-line transition distribution, indexed by NodeId. Auxiliary
   // decomposition variables are internal and not reported.
@@ -133,6 +143,32 @@ class LidagEstimator {
 
   // Propagates the given input statistics through all segments.
   SwitchingEstimate estimate(const InputModel& model);
+
+  // --- scenario-sweep batch API --------------------------------------
+  // Runs N input-statistics scenarios over the one compiled estimator.
+  // Scenarios execute in order; between consecutive scenarios only the
+  // segments whose root CPTs (including forwarded boundary marginals
+  // and pairwise joints) actually changed are re-quantified and
+  // re-propagated, via JunctionTreeEngine::reload_incremental — every
+  // other segment keeps its previous potentials and per-line results,
+  // which are bitwise exact because all inputs to its computation are
+  // unchanged. The returned estimates are bit-identical to calling
+  // estimate() once per scenario, at any thread count. The sweep state
+  // persists across calls, so a later batch continues diffing against
+  // the last loaded scenario (estimate()/conditional_dist reset it).
+  std::vector<SwitchingEstimate> estimate_batch(
+      std::span<const InputModel> models);
+  // Preallocated-output variant: outputs.size() must equal
+  // models.size(). After a warm-up call with the same shapes, a sweep
+  // whose scenarios all match the loaded statistics runs without heap
+  // allocation.
+  BatchStats estimate_batch_into(std::span<const InputModel> models,
+                                 std::span<SwitchingEstimate> outputs);
+
+  // Owning segment index of an original-netlist line (for per-segment
+  // error attribution in the accuracy audit), or -1 when the line is
+  // outside every segment.
+  int segment_of_line(NodeId id) const;
 
   // Conditional switching query — the capability unique to the BN model
   // (the paper's advantage #4: conditional independencies are modeled,
@@ -185,6 +221,10 @@ class LidagEstimator {
     // segment is written by exactly one thread per sweep, so plain
     // doubles summed afterwards need no synchronization.
     double last_reload_seconds = 0.0;
+    // Scratch for quantify_lidag_diff on the batch path (per-segment so
+    // same-level segments diff concurrently); capacity persists across
+    // scenarios.
+    std::vector<VarId> changed_vars;
   };
 
   // Compiles [begin, end); splits on state-space blowup.
@@ -213,10 +253,28 @@ class LidagEstimator {
   // can only run once those owners have propagated. Segments within one
   // level are mutually independent and run concurrently.
   void build_segment_levels();
-  // Quantify + load + propagate + extract for one segment.
+  // Quantify + load + propagate + extract for one segment. With
+  // `snapshot`, the freshly loaded potentials are captured for later
+  // reload_incremental calls (the batch path).
   void run_segment(Segment& seg, const InputModel& inner_model,
                    std::vector<std::array<double, 4>>& inner_dist,
-                   const BoundaryJointFn& pair_joint);
+                   const BoundaryJointFn& pair_joint, bool snapshot = false);
+  // The pairwise boundary-joint provider backing quantify_lidag: when
+  // two boundary lines were defined in the same earlier segment and
+  // share a clique there, their exact pairwise joint is forwarded
+  // instead of independent marginals.
+  BoundaryJointFn make_pair_joint() const;
+  // Full sweep over all segments (level-parallel when a pool exists),
+  // writing per-line distributions of the inner netlist.
+  void run_full_sweep(const InputModel& inner_model,
+                      std::vector<std::array<double, 4>>& inner_dist,
+                      bool snapshot);
+  // Batch-path helpers: conservative per-segment dirtiness from the
+  // per-scenario diff flags, and the incremental quantify/reload/
+  // propagate/extract step for one segment.
+  bool segment_maybe_dirty(const Segment& seg) const;
+  void run_segment_incremental(int i, const InputModel& inner_model,
+                               const BoundaryJointFn& pair_joint);
 
   const Netlist* nl_; // non-owning; must outlive the estimator
   // support_[id] = bitset over primary-input positions in the transitive
@@ -234,6 +292,22 @@ class LidagEstimator {
   std::vector<std::vector<int>> seg_levels_;
   std::unique_ptr<ThreadPool> pool_;
   CompileStats stats_;
+
+  // --- scenario-sweep state (estimate_batch) -------------------------
+  // Valid while batch_primed_: the inner-order input statistics the
+  // engines' potentials currently reflect, the per-line distributions
+  // of the last executed scenario, and per-scenario diff scratch. All
+  // buffers are sized on the first batch call so the all-clean scenario
+  // path never touches the heap. estimate() and conditional_dist()
+  // reload engines behind the sweep's back, so they drop the priming.
+  bool batch_primed_ = false;
+  std::vector<InputSpec> loaded_specs_;   // inner input order
+  std::vector<GroupSpec> loaded_groups_;
+  std::vector<std::array<double, 4>> batch_inner_dist_;
+  std::vector<std::uint8_t> spec_changed_;  // per inner input
+  std::vector<std::uint8_t> group_changed_; // per group
+  std::vector<std::uint8_t> node_changed_;  // inner lines whose dist moved
+  std::vector<std::uint8_t> seg_reran_;     // re-propagated this scenario
 };
 
 } // namespace bns

@@ -304,10 +304,34 @@ void link_boundary_roots(LidagBn& lb,
   }
 }
 
-void quantify_lidag(LidagBn& lb, const InputModel& model,
-                    std::span<const std::array<double, 4>> boundary_dist,
-                    const BoundaryJointFn& pair_joint,
-                    const LidagOptions& opts) {
+namespace {
+
+// Installs `cpt` for `var`, except in diff mode (`changed` non-null)
+// where a candidate bitwise-identical to the installed CPT is dropped
+// and vars actually written are recorded. Scopes never change between
+// quantifications of the same LidagBn, so value equality is the full
+// equality.
+void install_cpt(LidagBn& lb, VarId var, std::vector<VarId> parents,
+                 Factor cpt, std::vector<VarId>* changed) {
+  if (changed != nullptr) {
+    const Factor& cur = lb.bn.cpt(var);
+    const auto a = cur.values();
+    const auto b = cpt.values();
+    if (a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin())) {
+      return;
+    }
+    changed->push_back(var);
+  }
+  lb.bn.set_cpt(var, std::move(parents), std::move(cpt));
+}
+
+} // namespace
+
+static void quantify_impl(LidagBn& lb, const InputModel& model,
+                          std::span<const std::array<double, 4>> boundary_dist,
+                          const BoundaryJointFn& pair_joint,
+                          const LidagOptions& opts,
+                          std::vector<VarId>* changed) {
   // Boundary roots in line order, to rebuild the chain conditionals.
   std::vector<const LidagRoot*> chain;
   for (const LidagRoot& r : lb.roots) {
@@ -315,9 +339,10 @@ void quantify_lidag(LidagBn& lb, const InputModel& model,
       case RootKind::PrimaryInput: {
         const InputSpec& spec = model.spec(r.input_index);
         // Ungrouped PI (grouped ones live in grouped_inputs).
-        lb.bn.set_cpt(r.var, {},
-                      transition_prior(
-                          r.var, transition_distribution(spec.p, spec.rho)));
+        install_cpt(lb, r.var, {},
+                    transition_prior(
+                        r.var, transition_distribution(spec.p, spec.rho)),
+                    changed);
         break;
       }
       case RootKind::Boundary:
@@ -327,9 +352,10 @@ void quantify_lidag(LidagBn& lb, const InputModel& model,
       case RootKind::Constant:
         break; // fixed at build time
       case RootKind::GroupSource:
-        lb.bn.set_cpt(r.var, {},
-                      transition_prior(r.var,
-                                       model.group_transition_dist(r.group)));
+        install_cpt(lb, r.var, {},
+                    transition_prior(r.var,
+                                     model.group_transition_dist(r.group)),
+                    changed);
         break;
     }
   }
@@ -349,7 +375,7 @@ void quantify_lidag(LidagBn& lb, const InputModel& model,
     const auto& marg = boundary_dist[static_cast<std::size_t>(r.node)];
     const NodeId parent = parent_of(r.node);
     if (parent == kInvalidNode) {
-      lb.bn.set_cpt(r.var, {}, transition_prior(r.var, marg));
+      install_cpt(lb, r.var, {}, transition_prior(r.var, marg), changed);
       continue;
     }
     const VarId pv = lb.var_of_node[static_cast<std::size_t>(parent)];
@@ -378,15 +404,32 @@ void quantify_lidag(LidagBn& lb, const InputModel& model,
                                   : marg[static_cast<std::size_t>(sb)];
       }
     }
-    lb.bn.set_cpt(r.var, {pv}, std::move(cpt));
+    install_cpt(lb, r.var, {pv}, std::move(cpt), changed);
   }
 
   for (const LidagRoot& r : lb.grouped_inputs) {
     const InputSpec& spec = model.spec(r.input_index);
     BNS_EXPECTS(opts.model_input_groups && spec.group >= 0);
     const VarId src = lb.bn.parents(r.var).at(0);
-    lb.bn.set_cpt(r.var, {src}, noisy_copy_cpt(src, r.var, spec.flip));
+    install_cpt(lb, r.var, {src}, noisy_copy_cpt(src, r.var, spec.flip),
+                changed);
   }
+}
+
+void quantify_lidag(LidagBn& lb, const InputModel& model,
+                    std::span<const std::array<double, 4>> boundary_dist,
+                    const BoundaryJointFn& pair_joint,
+                    const LidagOptions& opts) {
+  quantify_impl(lb, model, boundary_dist, pair_joint, opts, nullptr);
+}
+
+void quantify_lidag_diff(LidagBn& lb, const InputModel& model,
+                         std::span<const std::array<double, 4>> boundary_dist,
+                         const BoundaryJointFn& pair_joint,
+                         const LidagOptions& opts,
+                         std::vector<VarId>& changed) {
+  changed.clear();
+  quantify_impl(lb, model, boundary_dist, pair_joint, opts, &changed);
 }
 
 } // namespace bns

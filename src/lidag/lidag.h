@@ -124,4 +124,18 @@ void quantify_lidag(LidagBn& lb, const InputModel& model,
                     const BoundaryJointFn& pair_joint = nullptr,
                     const LidagOptions& opts = {});
 
+// Incremental variant for the scenario-sweep path: recomputes every
+// root CPT exactly as quantify_lidag would, but installs only those
+// whose values differ bitwise from the ones currently in `lb.bn`,
+// recording the installed VarIds in `changed` (cleared first). After
+// the call `lb` is bitwise identical to what the full quantify_lidag
+// would have produced; an empty `changed` certifies that nothing about
+// this segment's priors moved and its previous propagation results are
+// still exact.
+void quantify_lidag_diff(LidagBn& lb, const InputModel& model,
+                         std::span<const std::array<double, 4>> boundary_dist,
+                         const BoundaryJointFn& pair_joint,
+                         const LidagOptions& opts,
+                         std::vector<VarId>& changed);
+
 } // namespace bns

@@ -18,6 +18,10 @@ const char* counter_name(Counter c) {
     case Counter::SepSubnormalCells: return "sep_subnormal_cells";
     case Counter::SepMinNegExp: return "sep_min_neg_exp";
     case Counter::NormResiduePpb: return "norm_residue_ppb";
+    case Counter::SweepScenarios: return "sweep_scenarios";
+    case Counter::SweepSegmentsReloaded: return "sweep_segments_reloaded";
+    case Counter::SweepSegmentsSkipped: return "sweep_segments_skipped";
+    case Counter::IncrementalReloads: return "incremental_reloads";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -38,6 +38,11 @@ enum class Counter : int {
                       // smallest positive separator cell (0 = all >= 1)
   NormResiduePpb,     // gauge: |1 - total mass at the roots| in parts per
                       // billion, evidence-free propagations only
+  // Scenario-sweep batch engine (core/sweep, estimate_batch):
+  SweepScenarios,         // input-model scenarios evaluated by estimate_batch
+  SweepSegmentsReloaded,  // segments re-quantified + re-propagated in a sweep
+  SweepSegmentsSkipped,   // segments left untouched by incremental reload
+  IncrementalReloads,     // engine-level reload_incremental() invocations
   kCount,
 };
 

@@ -336,6 +336,24 @@ std::string RunReport::to_json() const {
       w.close_object();
     }
     w.close_array();
+    if (!accuracy.per_segment.empty()) {
+      w.key("per_segment");
+      w.open_array();
+      for (const ReportSegmentError& se : accuracy.per_segment) {
+        w.array_sep();
+        w.open_object();
+        w.key("segment");
+        w.value_int(se.segment);
+        w.key("lines");
+        w.value_int(se.lines);
+        w.key("mean_abs_error");
+        w.value_number(se.mean_abs_error);
+        w.key("max_abs_error");
+        w.value_number(se.max_abs_error);
+        w.close_object();
+      }
+      w.close_array();
+    }
     w.close_object();
   }
 
@@ -434,6 +452,18 @@ std::optional<RunReport> RunReport::from_json(std::string_view text) {
         r.accuracy.worst.push_back(std::move(line));
       }
     }
+    if (const JsonValue* ps = a->find("per_segment");
+        ps != nullptr && ps->is_array()) {
+      for (const JsonValue& sv : ps->as_array()) {
+        if (!sv.is_object()) return std::nullopt;
+        ReportSegmentError se;
+        se.segment = static_cast<int>(sv.number_or("segment", -1.0));
+        se.lines = static_cast<int>(sv.number_or("lines", 0.0));
+        se.mean_abs_error = sv.number_or("mean_abs_error", 0.0);
+        se.max_abs_error = sv.number_or("max_abs_error", 0.0);
+        r.accuracy.per_segment.push_back(se);
+      }
+    }
   }
 
   return r;
@@ -521,6 +551,17 @@ std::string RunReport::render_text() const {
                     format_double(wl.abs_error)});
       }
       wt.print(os);
+    }
+    if (!accuracy.per_segment.empty()) {
+      os << "\nerror by segment\n";
+      Table st({"segment", "lines", "mean_abs_error", "max_abs_error"});
+      for (const ReportSegmentError& se : accuracy.per_segment) {
+        st.add_row({se.segment < 0 ? "(unowned)" : std::to_string(se.segment),
+                    std::to_string(se.lines),
+                    format_double(se.mean_abs_error),
+                    format_double(se.max_abs_error)});
+      }
+      st.print(os);
     }
   }
 

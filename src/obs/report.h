@@ -92,6 +92,15 @@ struct ReportWorstLine {
   double abs_error = 0.0;
 };
 
+// Per-segment slice of the error attribution: which segment's lines
+// carry the error, localizing boundary-forwarding loss to a cut.
+struct ReportSegmentError {
+  int segment = -1; // estimator segment index; -1 = unowned lines
+  int lines = 0;
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+};
+
 // Estimator-vs-simulator accuracy audit (paper-style error metrics).
 // present() is false when the audit was skipped (--no-audit).
 struct ReportAccuracy {
@@ -103,6 +112,9 @@ struct ReportAccuracy {
   double rms_error = 0.0;
   ReportHistogram error_hist;  // per-line |error| distribution
   std::vector<ReportWorstLine> worst; // sorted by abs_error, descending
+  // Per-segment breakdown, in segment order; empty when the audit ran
+  // without access to the estimator's segmentation.
+  std::vector<ReportSegmentError> per_segment;
 
   bool present() const { return lines > 0; }
 };

@@ -12,9 +12,18 @@ double rho_min(double p) {
   return std::max(-p / (1.0 - p), -(1.0 - p) / p);
 }
 
-double p1_given_1(double p, double rho) { return p + rho * (1.0 - p); }
+// Both conditionals are clamped to [0, 1]: at rho == rho_min(p) the
+// exact value is 0 (or 1), but the subtraction in rho_min rounds, so
+// the raw expressions can land a few ulp outside the unit interval and
+// leak negative CPT cells into the engine (visible downstream as
+// sep_zero_cells / negative-potential health probes).
+double p1_given_1(double p, double rho) {
+  return std::clamp(p + rho * (1.0 - p), 0.0, 1.0);
+}
 
-double p1_given_0(double p, double rho) { return p * (1.0 - rho); }
+double p1_given_0(double p, double rho) {
+  return std::clamp(p * (1.0 - rho), 0.0, 1.0);
+}
 
 std::array<double, 4> transition_distribution(double p, double rho) {
   BNS_EXPECTS(p >= 0.0 && p <= 1.0);

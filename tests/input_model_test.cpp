@@ -55,6 +55,45 @@ TEST(TransitionDistribution, ActivityIsTwoPQWhenIndependent) {
   }
 }
 
+TEST(TransitionDistribution, ConditionalsClampedAtRhoMin) {
+  // At rho == rho_min(p) the exact conditional is 0 (or 1), but rho_min's
+  // subtraction rounds, so the raw expressions can land a few ulp outside
+  // [0, 1] and leak negative CPT cells into the engine. Stress p values
+  // whose rho_min is far from representable.
+  for (double p : {1e-12, 1e-9, 1e-4, 0.1, 0.3, 0.5, 0.7, 0.9,
+                   1.0 - 1e-4, 1.0 - 1e-9}) {
+    const double rho = rho_min(p);
+    const double g0 = p1_given_0(p, rho);
+    const double g1 = p1_given_1(p, rho);
+    EXPECT_GE(g0, 0.0) << "p=" << p;
+    EXPECT_LE(g0, 1.0) << "p=" << p;
+    EXPECT_GE(g1, 0.0) << "p=" << p;
+    EXPECT_LE(g1, 1.0) << "p=" << p;
+    const auto d = transition_distribution(p, rho);
+    for (double v : d) {
+      EXPECT_GE(v, 0.0) << "p=" << p;
+      EXPECT_LE(v, 1.0) << "p=" << p;
+    }
+  }
+}
+
+TEST(TransitionDistribution, ConditionalsClampedAtFullCorrelation) {
+  // rho == 1.0 with p near the edges: p + rho*(1-p) must not exceed 1.
+  for (double p : {0.0, 1e-12, 1e-9, 0.5, 1.0 - 1e-12, 1.0}) {
+    const double g1 = p1_given_1(p, 1.0);
+    const double g0 = p1_given_0(p, 1.0);
+    EXPECT_GE(g1, 0.0) << "p=" << p;
+    EXPECT_LE(g1, 1.0) << "p=" << p;
+    EXPECT_GE(g0, 0.0) << "p=" << p;
+    EXPECT_LE(g0, 1.0) << "p=" << p;
+    const auto d = transition_distribution(p, 1.0);
+    for (double v : d) {
+      EXPECT_GE(v, 0.0) << "p=" << p;
+      EXPECT_LE(v, 1.0) << "p=" << p;
+    }
+  }
+}
+
 TEST(RhoMin, SymmetricAndBounded) {
   EXPECT_NEAR(rho_min(0.2), rho_min(0.8), 1e-12);
   EXPECT_LE(rho_min(0.3), 0.0);

@@ -109,5 +109,66 @@ TEST(ParallelEstimator, ConditionalQueriesMatchSequential) {
   }
 }
 
+TEST(ParallelEstimator, ConcurrentBoundaryJointReadersMatchSequential) {
+  // Two (or more) segments in the same dependency level can consume
+  // boundary marginals and pairwise joints from one shared owner engine
+  // concurrently — try_joint_marginal is const and purely reading, and
+  // the pool barrier between levels provides the happens-before edge
+  // from the owner's propagation. Aggressive segmentation on c880 makes
+  // levels with several reader segments per owner; this test exists
+  // chiefly to put that sharing under TSan (CI's tsan job runs the
+  // ParallelEstimator.* filter).
+  const Netlist nl = make_benchmark("c880");
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.4, 0.2);
+  EstimatorOptions o1 = threaded(1);
+  o1.single_bn_nodes = 0;
+  o1.segment_nodes = 40;
+  EstimatorOptions o4 = o1;
+  o4.num_threads = 4;
+  LidagEstimator seq(nl, m, o1);
+  LidagEstimator par(nl, m, o4);
+  ASSERT_GT(par.num_segments(), 6);
+  for (int round = 0; round < 3; ++round) {
+    const SwitchingEstimate es = seq.estimate(m);
+    const SwitchingEstimate ep = par.estimate(m);
+    expect_dists_close(es.dist, ep.dist, 1e-12);
+  }
+}
+
+TEST(ParallelEstimator, BatchMatchesSequentialAcrossThreads) {
+  // estimate_batch's level-parallel incremental sweep must stay bitwise
+  // identical to sequential estimate() calls at any thread count (and
+  // its concurrent quantify-diff/reload is another TSan target).
+  const Netlist nl = make_benchmark("c880");
+  EstimatorOptions o1 = threaded(1);
+  o1.single_bn_nodes = 0;
+  o1.segment_nodes = 60;
+  EstimatorOptions o4 = o1;
+  o4.num_threads = 4;
+
+  std::vector<InputModel> models;
+  for (double p : {0.5, 0.3, 0.3, 0.8}) {
+    std::vector<InputSpec> specs(static_cast<std::size_t>(nl.num_inputs()),
+                                 InputSpec{0.5, 0.0, -1, 0.0});
+    specs[0].p = p;
+    models.push_back(InputModel::custom(std::move(specs)));
+  }
+
+  LidagEstimator seq(nl, models[0], o1);
+  LidagEstimator par(nl, models[0], o4);
+  const std::vector<SwitchingEstimate> batch = par.estimate_batch(models);
+  ASSERT_EQ(batch.size(), models.size());
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    const SwitchingEstimate want = seq.estimate(models[s]);
+    ASSERT_EQ(batch[s].dist.size(), want.dist.size());
+    for (std::size_t i = 0; i < want.dist.size(); ++i) {
+      for (int st = 0; st < 4; ++st) {
+        EXPECT_EQ(batch[s].dist[i][st], want.dist[i][st])
+            << "scenario " << s << " node " << i << " state " << st;
+      }
+    }
+  }
+}
+
 } // namespace
 } // namespace bns

@@ -59,6 +59,9 @@ obs::RunReport sample_report() {
   r.accuracy.error_hist = h;
   r.accuracy.error_hist.name = "line_abs_error";
   r.accuracy.worst.push_back({"G199", 0.5, 0.49, 0.01});
+  r.accuracy.per_segment.push_back({-1, 2, 0.0005, 0.001});
+  r.accuracy.per_segment.push_back({0, 100, 0.001, 0.008});
+  r.accuracy.per_segment.push_back({2, 94, 0.0014, 0.01});
   return r;
 }
 
@@ -102,6 +105,13 @@ TEST(ReportTest, JsonRoundTrip) {
   ASSERT_EQ(back->accuracy.worst.size(), 1u);
   EXPECT_EQ(back->accuracy.worst[0].line, "G199");
   EXPECT_DOUBLE_EQ(back->accuracy.worst[0].abs_error, 0.01);
+
+  ASSERT_EQ(back->accuracy.per_segment.size(), 3u);
+  EXPECT_EQ(back->accuracy.per_segment[0].segment, -1);
+  EXPECT_EQ(back->accuracy.per_segment[0].lines, 2);
+  EXPECT_EQ(back->accuracy.per_segment[2].segment, 2);
+  EXPECT_DOUBLE_EQ(back->accuracy.per_segment[2].mean_abs_error, 0.0014);
+  EXPECT_DOUBLE_EQ(back->accuracy.per_segment[1].max_abs_error, 0.008);
 }
 
 TEST(ReportTest, FromJsonRejectsMalformedAndNewerSchema) {

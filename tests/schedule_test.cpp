@@ -204,6 +204,89 @@ TEST(Schedule, UpdateLoopIsAllocationFreeWithCounterTracing) {
   EXPECT_GT(tracer.metrics().value(obs::Counter::SepMinNegExp), 0u);
 }
 
+// Reroll only the CPTs of `vars` (same normalization as reroll_cpts),
+// returning the changed set — the engine contract for
+// reload_incremental's changed_vars argument.
+std::vector<VarId> reroll_subset(BayesianNetwork& bn,
+                                 std::vector<VarId> vars,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  for (VarId v : vars) {
+    Factor cpt = bn.cpt(v);
+    for (std::size_t i = 0; i < cpt.size(); ++i) {
+      cpt.set_value(i, rng.uniform() + 0.05);
+    }
+    Factor denom = cpt.sum_out(v);
+    std::vector<int> st(cpt.vars().size());
+    for (std::size_t i = 0; i < cpt.size(); ++i) {
+      cpt.states_of(i, st);
+      std::vector<int> pst;
+      for (std::size_t k = 0; k < cpt.vars().size(); ++k) {
+        if (cpt.vars()[k] != v) pst.push_back(st[k]);
+      }
+      cpt.set_value(i, cpt.value(i) / denom.at(pst));
+    }
+    bn.set_cpt(v, bn.parents(v), std::move(cpt));
+  }
+  return vars;
+}
+
+TEST(Schedule, IncrementalReloadMatchesFullReload) {
+  // Snapshot right after the first load, change a few CPTs, then
+  // reload_incremental(changed) must leave the engine in exactly the
+  // state a full load_potentials() produces — bitwise, since clean
+  // cliques are byte copies of the snapshot and dirty cliques re-run
+  // the same load ops.
+  BayesianNetwork bn = testing_helpers::random_bayes_net(24, 3, 4, 17);
+  JunctionTreeEngine inc(bn, with_schedule(true));
+  JunctionTreeEngine full(bn, with_schedule(true));
+  inc.load_potentials();
+  inc.snapshot_potentials();
+  ASSERT_TRUE(inc.has_snapshot());
+  inc.propagate();
+  full.load_potentials();
+  full.propagate();
+  expect_all_marginals_identical(bn, inc, full);
+
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<VarId> changed = reroll_subset(
+        bn, {static_cast<VarId>(2 + round), 9, 15},
+        31 * static_cast<std::uint64_t>(round + 1));
+    inc.reload_incremental(changed);
+    inc.propagate();
+    full.load_potentials();
+    full.propagate();
+    expect_all_marginals_identical(bn, inc, full);
+  }
+
+  // Empty change set: a pure snapshot restore is a valid full reload.
+  inc.reload_incremental({});
+  inc.propagate();
+  full.load_potentials();
+  full.propagate();
+  expect_all_marginals_identical(bn, inc, full);
+}
+
+TEST(Schedule, IncrementalReloadLoopIsAllocationFree) {
+  BayesianNetwork bn = testing_helpers::random_bayes_net(30, 3, 4, 99);
+  JunctionTreeEngine eng(bn, with_schedule(true));
+  eng.load_potentials();
+  eng.snapshot_potentials();
+  eng.propagate();
+  const std::vector<VarId> changed = {3, 7, 21};
+  // Warm once: the first reload sizes nothing — snapshot_potentials
+  // already allocated every buffer — but keep the loop honest.
+  eng.reload_incremental(changed);
+  eng.propagate();
+  const std::uint64_t before = alloc_hook::allocation_count();
+  for (int round = 0; round < 5; ++round) {
+    eng.reload_incremental(changed);
+    eng.propagate();
+  }
+  EXPECT_EQ(alloc_hook::allocation_count(), before)
+      << "incremental reload path must not touch the heap";
+}
+
 TEST(Schedule, LegacyFallbackStillWorks) {
   // compile_schedule = false must keep the full lifecycle working (it
   // is the differential-testing oracle).

@@ -1,0 +1,328 @@
+// Scenario-sweep batch engine (estimate_batch / core/sweep.h): bitwise
+// equivalence with per-scenario estimate() calls, exact skipping of
+// clean segments, the allocation-free clean path, conditional_dist's
+// owner-segment restriction, segmented-vs-single-BN equivalence on a
+// reconvergence-free chain, and per-segment error attribution.
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "alloc_hook.h"
+#include "core/accuracy.h"
+#include "gen/benchmarks.h"
+#include "lidag/estimator.h"
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+
+namespace bns {
+namespace {
+
+EstimatorOptions forced(int threads, int segment_nodes = 60) {
+  EstimatorOptions opts;
+  opts.num_threads = threads;
+  opts.single_bn_nodes = 0;
+  opts.segment_nodes = segment_nodes;
+  return opts;
+}
+
+// Scenario list where input 0's signal probability steps through `ps`
+// and everything else stays fixed — consecutive scenarios differ in at
+// most one input, the shape incremental reload exploits.
+std::vector<InputModel> vary_input0(int num_inputs,
+                                    const std::vector<double>& ps) {
+  std::vector<InputModel> models;
+  for (double p : ps) {
+    std::vector<InputSpec> specs(static_cast<std::size_t>(num_inputs),
+                                 InputSpec{0.5, 0.0, -1, 0.0});
+    specs[0].p = p;
+    models.push_back(InputModel::custom(std::move(specs)));
+  }
+  return models;
+}
+
+// A chain where every gate combines the previous output with a fresh
+// primary input: no fanout ever reconverges across a cut, so boundary
+// forwarding (marginal + independent fresh input) is exact and the
+// segmented estimator must reproduce the single-BN result to round-off.
+Netlist make_chain(int gates) {
+  Netlist nl;
+  NodeId prev = nl.add_input("x0");
+  for (int i = 1; i <= gates; ++i) {
+    const NodeId xi = nl.add_input("x" + std::to_string(i));
+    const GateType g = i % 3 == 0   ? GateType::Xor
+                       : i % 3 == 1 ? GateType::Nand
+                                    : GateType::Or;
+    prev = nl.add_gate(g, "g" + std::to_string(i), {prev, xi});
+  }
+  return nl;
+}
+
+void expect_dists_identical(const std::vector<std::array<double, 4>>& a,
+                            const std::vector<std::array<double, 4>>& b,
+                            std::size_t scenario) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(a[i][s], b[i][s])
+          << "scenario " << scenario << " node " << i << " state " << s;
+    }
+  }
+}
+
+TEST(SweepBatch, BitIdenticalToSequentialEstimates) {
+  const Netlist nl = make_benchmark("c880");
+  const std::vector<InputModel> models =
+      vary_input0(nl.num_inputs(), {0.5, 0.2, 0.2, 0.9, 0.5});
+
+  LidagEstimator ref(nl, models[0], forced(1));
+  LidagEstimator batch_est(nl, models[0], forced(1));
+  const std::vector<SwitchingEstimate> batch =
+      batch_est.estimate_batch(models);
+  ASSERT_EQ(batch.size(), models.size());
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    expect_dists_identical(batch[s].dist, ref.estimate(models[s]).dist, s);
+  }
+}
+
+TEST(SweepBatch, CleanScenariosAreSkippedExactly) {
+  const Netlist nl = make_benchmark("c432");
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.3, 0.2);
+  const std::vector<InputModel> models = {m, m, m};
+
+  LidagEstimator est(nl, m, forced(1));
+  const int segs = est.num_segments();
+  ASSERT_GT(segs, 1);
+
+  std::vector<SwitchingEstimate> out(models.size());
+  const BatchStats bs = est.estimate_batch_into(models, out);
+  EXPECT_EQ(bs.scenarios, 3);
+  // Scenario 0 primes every segment; the two repeats touch none.
+  EXPECT_EQ(bs.segments_reloaded, segs);
+  EXPECT_EQ(bs.segments_skipped, 2 * segs);
+  expect_dists_identical(out[0].dist, out[1].dist, 1);
+  expect_dists_identical(out[0].dist, out[2].dist, 2);
+  // Skipped scenarios report no reload work.
+  EXPECT_EQ(out[1].stats.reload_seconds, 0.0);
+  EXPECT_EQ(out[1].stats.messages_passed, 0u);
+
+  // The sweep state persists across batch calls: a second batch with
+  // the already-loaded statistics skips everything.
+  const BatchStats bs2 = est.estimate_batch_into(models, out);
+  EXPECT_EQ(bs2.segments_reloaded, 0);
+  EXPECT_EQ(bs2.segments_skipped, 3 * segs);
+
+  // estimate() reloads engines behind the sweep's back and must drop
+  // the priming: the next batch re-primes from scratch.
+  (void)est.estimate(m);
+  const BatchStats bs3 = est.estimate_batch_into(models, out);
+  EXPECT_EQ(bs3.segments_reloaded, segs);
+}
+
+TEST(SweepBatch, CleanPathIsAllocationFree) {
+  const Netlist nl = make_benchmark("c432");
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.4, 0.1);
+  const std::vector<InputModel> models = {m, m};
+
+  LidagEstimator est(nl, m, forced(1));
+  std::vector<SwitchingEstimate> out(models.size());
+  // First call primes the sweep and sizes every batch buffer (and the
+  // output dist vectors).
+  (void)est.estimate_batch_into(models, out);
+  const std::uint64_t before = alloc_hook::allocation_count();
+  const BatchStats bs = est.estimate_batch_into(models, out);
+  EXPECT_EQ(alloc_hook::allocation_count(), before)
+      << "all-clean batch scenarios must not touch the heap";
+  EXPECT_EQ(bs.segments_reloaded, 0);
+}
+
+TEST(SweepBatch, GroupStatisticsParticipateInDiff) {
+  // Two spatially-correlated inputs sharing a source: changing only the
+  // group's statistics must dirty (exactly) the segments consuming it.
+  const Netlist nl = make_benchmark("c432");
+  auto grouped = [&](double group_p) {
+    std::vector<InputSpec> specs(static_cast<std::size_t>(nl.num_inputs()),
+                                 InputSpec{0.5, 0.0, -1, 0.0});
+    specs[0] = InputSpec{0.0, 0.0, 0, 0.1};
+    specs[1] = InputSpec{0.0, 0.0, 0, 0.1};
+    return InputModel::custom(std::move(specs), {{group_p, 0.0}});
+  };
+  const std::vector<InputModel> models = {grouped(0.5), grouped(0.2),
+                                          grouped(0.2)};
+
+  LidagEstimator ref(nl, models[0], forced(1));
+  LidagEstimator est(nl, models[0], forced(1));
+  const std::vector<SwitchingEstimate> batch = est.estimate_batch(models);
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    expect_dists_identical(batch[s].dist, ref.estimate(models[s]).dist, s);
+  }
+}
+
+TEST(RunSweep, ReplicatedSweepBitIdentical) {
+  const Netlist nl = make_benchmark("c880");
+  const std::vector<InputModel> models =
+      vary_input0(nl.num_inputs(), {0.5, 0.3, 0.7, 0.3, 0.9});
+
+  SweepOptions sopts;
+  sopts.estimator = forced(1);
+  sopts.replicas = 2;
+  const SweepResult res = run_sweep(nl, models, sopts);
+  EXPECT_EQ(res.replicas_used, 2);
+  EXPECT_EQ(res.stats.scenarios, static_cast<int>(models.size()));
+  ASSERT_EQ(res.estimates.size(), models.size());
+
+  LidagEstimator ref(nl, models[0], forced(1));
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    expect_dists_identical(res.estimates[s].dist, ref.estimate(models[s]).dist,
+                           s);
+  }
+}
+
+TEST(RunSweep, EmptyAndOversubscribed) {
+  const Netlist nl = make_benchmark("c17");
+  EXPECT_TRUE(run_sweep(nl, {}).estimates.empty());
+
+  // More replicas than scenarios: clamped, every scenario still runs.
+  const std::vector<InputModel> models =
+      vary_input0(nl.num_inputs(), {0.4, 0.6});
+  SweepOptions sopts;
+  sopts.replicas = 8;
+  const SweepResult res = run_sweep(nl, models, sopts);
+  EXPECT_EQ(res.replicas_used, 2);
+  ASSERT_EQ(res.estimates.size(), 2u);
+  EXPECT_GT(res.estimates[0].average_activity(), 0.0);
+}
+
+// --- conditional_dist owner-segment restriction (regression) ---------------
+
+TEST(ConditionalDist, CrossSegmentQueryReturnsNullopt) {
+  // Regression: conditional_dist used to pick the first segment where
+  // both variables merely *exist* — for a target owned by an earlier
+  // segment and a `given` defined later, that found the later segment,
+  // where the target is only a boundary-root copy whose CPT is a
+  // forwarded marginal, and silently answered from the approximation.
+  // The query must be restricted to the target's owning segment and
+  // refuse when `given` is not modeled there.
+  const Netlist nl = make_benchmark("c880");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  LidagEstimator est(nl, m, forced(1));
+  ASSERT_GT(est.num_segments(), 2);
+
+  // Find a gate and a fanin owned by different segments: the fanin is
+  // then a boundary root of the gate's segment.
+  NodeId target = -1;
+  NodeId given = -1;
+  for (NodeId id = 0; id < nl.num_nodes() && target < 0; ++id) {
+    const int sj = est.segment_of_line(id);
+    if (sj <= 0) continue;
+    for (NodeId t : nl.node(id).fanin) {
+      const int si = est.segment_of_line(t);
+      if (si >= 0 && si < sj) {
+        target = t;
+        given = id;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(target, 0) << "expected a cut-crossing (fanin, gate) pair";
+  EXPECT_FALSE(est.conditional_dist(target, given, T01, m).has_value());
+}
+
+TEST(ConditionalDist, SameOwnerSegmentStillAnswers) {
+  // On the reconvergence-free chain the segmented model is exact (see
+  // SegmentedEquivalence below), so for a gate and a fanin owned by the
+  // same segment the conditional must both exist and match the
+  // single-BN answer.
+  const Netlist nl = make_chain(40);
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.5, 0.3);
+  LidagEstimator est(nl, m, forced(1, 12));
+  ASSERT_GT(est.num_segments(), 2);
+
+  NodeId target = -1;
+  NodeId given = -1;
+  for (NodeId id = 0; id < nl.num_nodes() && target < 0; ++id) {
+    if (nl.node(id).fanin.empty()) continue;
+    const int sj = est.segment_of_line(id);
+    for (NodeId t : nl.node(id).fanin) {
+      if (!nl.node(t).fanin.empty() && est.segment_of_line(t) == sj) {
+        target = id;
+        given = t;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(target, 0) << "expected a same-segment (gate, gate-fanin) pair";
+  const auto got = est.conditional_dist(target, given, T00, m);
+  ASSERT_TRUE(got.has_value());
+
+  LidagEstimator single(nl, m);
+  ASSERT_TRUE(single.single_bn());
+  const auto want = single.conditional_dist(target, given, T00, m);
+  ASSERT_TRUE(want.has_value());
+  for (int s = 0; s < 4; ++s) EXPECT_NEAR((*got)[s], (*want)[s], 1e-9);
+}
+
+// --- segmented-vs-single-BN equivalence ------------------------------------
+
+TEST(SegmentedEquivalence, ChainCircuitMatchesSingleBn) {
+  const Netlist nl = make_chain(40);
+  const InputModel m = InputModel::uniform(nl.num_inputs(), 0.5, 0.3);
+
+  LidagEstimator single(nl, m);
+  ASSERT_TRUE(single.single_bn());
+  const SwitchingEstimate want = single.estimate(m);
+
+  for (int segment_nodes : {12, 25}) {
+    LidagEstimator segmented(nl, m, forced(1, segment_nodes));
+    ASSERT_GT(segmented.num_segments(), 2) << segment_nodes;
+    const SwitchingEstimate got = segmented.estimate(m);
+    ASSERT_EQ(got.dist.size(), want.dist.size());
+    for (std::size_t i = 0; i < want.dist.size(); ++i) {
+      for (int s = 0; s < 4; ++s) {
+        EXPECT_NEAR(got.dist[i][s], want.dist[i][s], 1e-9)
+            << "segment_nodes " << segment_nodes << " node " << i
+            << " state " << s;
+      }
+    }
+  }
+}
+
+// --- per-segment error attribution -----------------------------------------
+
+TEST(AccuracyAudit, AttributesErrorsToSegments) {
+  const Netlist nl = make_benchmark("c432");
+  const InputModel m = InputModel::uniform(nl.num_inputs());
+  LidagEstimator est(nl, m, forced(1));
+  ASSERT_GT(est.num_segments(), 1);
+  const SwitchingEstimate sw = est.estimate(m);
+
+  AccuracyAuditOptions aopts;
+  aopts.sim_pairs = 1 << 14; // attribution shape, not precision
+  const obs::ReportAccuracy acc = audit_accuracy(nl, m, sw, est, aopts);
+  ASSERT_FALSE(acc.per_segment.empty());
+
+  int lines = 0;
+  double weighted = 0.0;
+  int prev_segment = -2;
+  for (const obs::ReportSegmentError& se : acc.per_segment) {
+    EXPECT_GT(se.lines, 0);
+    EXPECT_GE(se.segment, -1);
+    EXPECT_LT(se.segment, est.num_segments());
+    EXPECT_GT(se.segment, prev_segment) << "segment order";
+    prev_segment = se.segment;
+    EXPECT_GE(se.max_abs_error, se.mean_abs_error - 1e-15);
+    lines += se.lines;
+    weighted += se.mean_abs_error * se.lines;
+  }
+  EXPECT_EQ(lines, nl.num_nodes());
+  EXPECT_NEAR(weighted / lines, acc.mean_abs_error, 1e-12);
+
+  // The estimator-less overload leaves the breakdown empty.
+  const obs::ReportAccuracy plain = audit_accuracy(nl, m, sw, aopts);
+  EXPECT_TRUE(plain.per_segment.empty());
+}
+
+} // namespace
+} // namespace bns

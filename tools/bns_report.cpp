@@ -191,7 +191,8 @@ obs::RunReport build_report(const Options& o) {
     aopts.sim_pairs = o.sim_pairs;
     aopts.seed = o.seed;
     aopts.trace = &tracer;
-    rep.accuracy = audit_accuracy(nl, an.default_model(), est, aopts);
+    rep.accuracy =
+        audit_accuracy(nl, an.default_model(), est, an.estimator(), aopts);
   }
 
   // After the audit, so Hist::LineAbsError is included.

@@ -1,0 +1,295 @@
+// bns_sweep — scenario-sweep batch runs over one compiled estimator.
+//
+//   bns_sweep c1908 --scenarios 16                sweep input 0's p over [0.1, 0.9]
+//   bns_sweep c1908 --scenarios 16 --verify       also check bitwise vs estimate()
+//   bns_sweep circuit.bench --json --out s.json   schema-versioned JSON document
+//
+// The sweep compiles the LIDAG junction trees once (per replica) and
+// runs every scenario through LidagEstimator::estimate_batch, which
+// re-quantifies and re-propagates only the segments whose root CPTs
+// actually changed between consecutive scenarios (core/sweep.h). The
+// emitted JSON document carries its own schema_version, a provenance
+// block like bns_report's, and one record per scenario.
+//
+// Exit status: 0 ok, 1 --verify found a mismatch against independent
+// estimate() runs, 2 usage or I/O failure.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/sweep.h"
+#include "gen/benchmarks.h"
+#include "netlist/bench_io.h"
+#include "netlist/blif_io.h"
+#include "obs/obs.h"
+
+namespace bns {
+namespace {
+
+// Version of the bns_sweep JSON document. Bump on any key
+// rename/removal or semantic change; additions are backward compatible.
+constexpr int kSweepSchemaVersion = 1;
+
+struct Options {
+  std::string circuit;
+  std::string out_path;
+  int scenarios = 8;
+  int vary_input = 0;
+  double p_from = 0.1;
+  double p_to = 0.9;
+  double rho = 0.0;
+  int threads = 0; // 0 = EstimatorOptions default (BNS_THREADS or 1)
+  int replicas = 1;
+  bool verify = false;
+  bool json = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr, "%s", R"(usage: bns_sweep <circuit> [options]
+  <circuit>           path to .bench/.blif, or a built-in benchmark name
+options:
+  --scenarios N       number of scenarios to sweep (default 8)
+  --vary-input K      input whose signal probability is swept (default 0)
+  --p-from A          first scenario's p for the varied input (default 0.1)
+  --p-to B            last scenario's p for the varied input (default 0.9)
+  --rho R             lag-1 autocorrelation of every input (default 0)
+  --threads N         estimator worker threads (default: BNS_THREADS or 1)
+  --replicas R        independent estimators sweeping scenario chunks
+                      concurrently (default 1)
+  --verify            re-run every scenario through an independent
+                      estimate() call and require bitwise-identical
+                      results; exit 1 on any mismatch
+  --json              print the JSON document instead of the text summary
+  --out FILE          also write the JSON document to FILE
+)");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--scenarios") {
+      o.scenarios = std::atoi(next().c_str());
+    } else if (a == "--vary-input") {
+      o.vary_input = std::atoi(next().c_str());
+    } else if (a == "--p-from") {
+      o.p_from = std::atof(next().c_str());
+    } else if (a == "--p-to") {
+      o.p_to = std::atof(next().c_str());
+    } else if (a == "--rho") {
+      o.rho = std::atof(next().c_str());
+    } else if (a == "--threads") {
+      o.threads = std::atoi(next().c_str());
+    } else if (a == "--replicas") {
+      o.replicas = std::atoi(next().c_str());
+    } else if (a == "--verify") {
+      o.verify = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--out") {
+      o.out_path = next();
+    } else if (!a.empty() && a[0] == '-') {
+      usage();
+    } else if (o.circuit.empty()) {
+      o.circuit = a;
+    } else {
+      usage();
+    }
+  }
+  if (o.circuit.empty() || o.scenarios < 1 || o.replicas < 1 ||
+      o.p_from < 0.0 || o.p_from > 1.0 || o.p_to < 0.0 || o.p_to > 1.0) {
+    usage();
+  }
+  return o;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// The sweep's scenario list: every input at (0.5, rho), with the varied
+// input's p stepped linearly from p_from to p_to across scenarios.
+std::vector<InputModel> make_scenarios(const Options& o, int num_inputs) {
+  std::vector<InputModel> models;
+  models.reserve(static_cast<std::size_t>(o.scenarios));
+  for (int s = 0; s < o.scenarios; ++s) {
+    const double t = o.scenarios > 1
+                         ? static_cast<double>(s) /
+                               static_cast<double>(o.scenarios - 1)
+                         : 0.0;
+    std::vector<InputSpec> specs(
+        static_cast<std::size_t>(num_inputs),
+        InputSpec{0.5, o.rho, -1, 0.0});
+    specs[static_cast<std::size_t>(o.vary_input)].p =
+        o.p_from + t * (o.p_to - o.p_from);
+    models.push_back(InputModel::custom(std::move(specs)));
+  }
+  return models;
+}
+
+std::string to_json(const Options& o, const obs::ReportProvenance& prov,
+                    const SweepResult& res,
+                    const std::vector<InputModel>& models, bool verified) {
+  std::string out;
+  auto kv = [&out](std::string_view k) {
+    out += "  ";
+    obs::json_append_string(out, k);
+    out += ": ";
+  };
+  out += "{\n";
+  kv("schema_version");
+  out += std::to_string(kSweepSchemaVersion) + ",\n";
+  kv("provenance");
+  out += "{\n";
+  auto pkv = [&out](std::string_view k, std::string_view v, bool last = false) {
+    out += "    ";
+    obs::json_append_string(out, k);
+    out += ": ";
+    obs::json_append_string(out, v);
+    out += last ? "\n" : ",\n";
+  };
+  pkv("circuit", prov.circuit);
+  pkv("git_describe", prov.git_describe);
+  pkv("build_type", prov.build_type);
+  pkv("timestamp", prov.timestamp_iso8601);
+  pkv("hostname", prov.hostname);
+  out += "    \"threads\": " + std::to_string(prov.threads) + "\n  },\n";
+  kv("sweep");
+  out += "{\n";
+  out += "    \"scenarios\": " + std::to_string(res.stats.scenarios) + ",\n";
+  out += "    \"vary_input\": " + std::to_string(o.vary_input) + ",\n";
+  out += "    \"p_from\": " + obs::json_number(o.p_from) + ",\n";
+  out += "    \"p_to\": " + obs::json_number(o.p_to) + ",\n";
+  out += "    \"rho\": " + obs::json_number(o.rho) + ",\n";
+  out += "    \"replicas_used\": " + std::to_string(res.replicas_used) + ",\n";
+  out += "    \"compile_seconds\": " + obs::json_number(res.compile_seconds) +
+         ",\n";
+  out += "    \"wall_seconds\": " + obs::json_number(res.wall_seconds) + ",\n";
+  out += "    \"segments_reloaded\": " +
+         std::to_string(res.stats.segments_reloaded) + ",\n";
+  out += "    \"segments_skipped\": " +
+         std::to_string(res.stats.segments_skipped) + ",\n";
+  out += std::string("    \"verified\": ") + (verified ? "true" : "false") +
+         "\n  },\n";
+  kv("records");
+  out += "[\n";
+  for (std::size_t s = 0; s < res.estimates.size(); ++s) {
+    const SwitchingEstimate& est = res.estimates[s];
+    out += "    {\"scenario\": " + std::to_string(s) + ", \"p\": " +
+           obs::json_number(
+               models[s].spec(o.vary_input).p) +
+           ", \"average_activity\": " +
+           obs::json_number(est.average_activity()) +
+           ", \"propagate_seconds\": " +
+           obs::json_number(est.stats.propagate_seconds) + "}";
+    out += s + 1 < res.estimates.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+int run(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  const Netlist nl =
+      ends_with(o.circuit, ".bench")
+          ? read_bench_file(o.circuit)
+          : (ends_with(o.circuit, ".blif") ? read_blif_file(o.circuit)
+                                           : make_benchmark(o.circuit));
+  if (o.vary_input < 0 || o.vary_input >= nl.num_inputs()) {
+    std::fprintf(stderr, "bns_sweep: --vary-input %d out of range (%d inputs)\n",
+                 o.vary_input, nl.num_inputs());
+    return 2;
+  }
+
+  const std::vector<InputModel> models = make_scenarios(o, nl.num_inputs());
+
+  SweepOptions sopts;
+  sopts.estimator.num_threads = o.threads;
+  sopts.replicas = o.replicas;
+  const SweepResult res = run_sweep(nl, models, sopts);
+
+  bool verified = false;
+  if (o.verify) {
+    // Independent compiled estimator; each scenario estimated from
+    // scratch. The batch contract is bitwise identity, so compare
+    // representations, not within a tolerance.
+    LidagEstimator ref(nl, models[0], sopts.estimator);
+    for (std::size_t s = 0; s < models.size(); ++s) {
+      const SwitchingEstimate want = ref.estimate(models[s]);
+      const SwitchingEstimate& got = res.estimates[s];
+      if (want.dist != got.dist) {
+        std::fprintf(stderr,
+                     "bns_sweep: VERIFY FAILED at scenario %zu: batch result "
+                     "differs bitwise from estimate()\n",
+                     s);
+        return 1;
+      }
+    }
+    verified = true;
+  }
+
+  obs::ReportProvenance prov = obs::default_provenance();
+  prov.circuit = o.circuit;
+  prov.threads = res.estimates.empty()
+                     ? 1
+                     : res.estimates.front().stats.threads_used;
+
+  const std::string json = to_json(o, prov, res, models, verified);
+  if (!o.out_path.empty()) {
+    std::ofstream f(o.out_path);
+    if (!f) {
+      std::fprintf(stderr, "bns_sweep: cannot write %s\n", o.out_path.c_str());
+      return 2;
+    }
+    f << json;
+  }
+
+  if (o.json) {
+    std::cout << json;
+  } else {
+    std::cout << "sweep " << o.circuit << ": " << res.stats.scenarios
+              << " scenarios, " << res.replicas_used << " replica(s)\n";
+    std::cout << "  compile " << res.compile_seconds << " s, sweep "
+              << res.wall_seconds << " s ("
+              << res.wall_seconds /
+                     static_cast<double>(res.stats.scenarios)
+              << " s/scenario)\n";
+    std::cout << "  segments reloaded " << res.stats.segments_reloaded
+              << ", skipped " << res.stats.segments_skipped << '\n';
+    if (o.verify) std::cout << "  verify: ok (bitwise)\n";
+    std::cout << '\n';
+    Table t({"scenario", "p", "average_activity"});
+    char buf[48];
+    for (std::size_t s = 0; s < res.estimates.size(); ++s) {
+      std::snprintf(buf, sizeof buf, "%.6g", models[s].spec(o.vary_input).p);
+      std::string p = buf;
+      std::snprintf(buf, sizeof buf, "%.6g",
+                    res.estimates[s].average_activity());
+      t.add_row({std::to_string(s), p, buf});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}
+
+} // namespace
+} // namespace bns
+
+int main(int argc, char** argv) {
+  try {
+    return bns::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
