@@ -61,25 +61,35 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
     std::exit(2);
   }
   const obs::ReportProvenance prov = obs::default_provenance();
+  // Strings from outside the program (paths, git describe, hostname) go
+  // through the JSON escaper — a circuit path with a quote or newline
+  // must not corrupt the document.
+  const auto escaped = [](const std::string& s) {
+    std::string out;
+    obs::json_append_string(out, s);
+    return out;
+  };
   std::fprintf(f,
                "{\n  \"schema_version\": 1,\n"
                "  \"bench\": \"bench_sweep\",\n"
-               "  \"provenance\": {\"git_describe\": \"%s\", "
-               "\"build_type\": \"%s\", \"timestamp\": \"%s\", "
-               "\"hostname\": \"%s\"},\n  \"records\": [\n",
-               prov.git_describe.c_str(), prov.build_type.c_str(),
-               prov.timestamp_iso8601.c_str(), prov.hostname.c_str());
+               "  \"provenance\": {\"git_describe\": %s, "
+               "\"build_type\": %s, \"timestamp\": %s, "
+               "\"hostname\": %s},\n  \"records\": [\n",
+               escaped(prov.git_describe).c_str(),
+               escaped(prov.build_type).c_str(),
+               escaped(prov.timestamp_iso8601).c_str(),
+               escaped(prov.hostname).c_str());
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const JsonRecord& r = recs[i];
     std::fprintf(
         f,
-        "    {\"circuit\": \"%s\", \"scenarios\": %d, \"threads\": %d, "
+        "    {\"circuit\": %s, \"scenarios\": %d, \"threads\": %d, "
         "\"compile_seconds\": %.6f, \"sequential_seconds\": %.6f, "
         "\"batch_seconds\": %.6f, \"sequential_per_scenario\": %.6f, "
         "\"batch_per_scenario\": %.6f, \"speedup\": %.3f, "
         "\"segments\": %d, \"segments_reloaded\": %d, "
         "\"segments_skipped\": %d}%s\n",
-        r.circuit.c_str(), r.scenarios, r.threads, r.compile_seconds,
+        escaped(r.circuit).c_str(), r.scenarios, r.threads, r.compile_seconds,
         r.sequential_seconds, r.batch_seconds,
         r.sequential_seconds / r.scenarios, r.batch_seconds / r.scenarios,
         r.speedup, r.segments, r.segments_reloaded, r.segments_skipped,

@@ -85,25 +85,36 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
     std::exit(2);
   }
   const obs::ReportProvenance prov = obs::default_provenance();
+  // Strings from outside the program (paths, git describe, hostname) go
+  // through the JSON escaper — a circuit path with a quote or newline
+  // must not corrupt the document.
+  const auto escaped = [](const std::string& s) {
+    std::string out;
+    obs::json_append_string(out, s);
+    return out;
+  };
   std::fprintf(f,
                "{\n  \"schema_version\": 3,\n"
                "  \"bench\": \"bench_update_time\",\n"
-               "  \"provenance\": {\"git_describe\": \"%s\", "
-               "\"build_type\": \"%s\", \"timestamp\": \"%s\", "
-               "\"hostname\": \"%s\"},\n  \"records\": [\n",
-               prov.git_describe.c_str(), prov.build_type.c_str(),
-               prov.timestamp_iso8601.c_str(), prov.hostname.c_str());
+               "  \"provenance\": {\"git_describe\": %s, "
+               "\"build_type\": %s, \"timestamp\": %s, "
+               "\"hostname\": %s},\n  \"records\": [\n",
+               escaped(prov.git_describe).c_str(),
+               escaped(prov.build_type).c_str(),
+               escaped(prov.timestamp_iso8601).c_str(),
+               escaped(prov.hostname).c_str());
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const JsonRecord& r = recs[i];
     std::fprintf(
         f,
-        "    {\"circuit\": \"%s\", \"wall_seconds\": %.6f, \"threads\": %d, "
+        "    {\"circuit\": %s, \"wall_seconds\": %.6f, \"threads\": %d, "
         "\"stats\": {\"compile_seconds\": %.6f, "
         "\"schedule_build_seconds\": %.6f, \"num_segments\": %d, "
         "\"fill_edges\": %llu, \"reload_seconds\": %.6f, "
         "\"messages_passed\": %llu, \"propagate_seconds\": %.6f, "
         "\"threads_used\": %d}}%s\n",
-        r.circuit.c_str(), r.wall_seconds, r.threads, r.compile_seconds,
+        escaped(r.circuit).c_str(), r.wall_seconds, r.threads,
+        r.compile_seconds,
         r.schedule_build_seconds, r.num_segments,
         static_cast<unsigned long long>(r.fill_edges), r.reload_seconds,
         static_cast<unsigned long long>(r.messages_passed), r.wall_seconds,

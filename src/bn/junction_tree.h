@@ -121,6 +121,22 @@ class JunctionTreeEngine {
 
   const JunctionTree& tree() const { return tree_; }
   const Triangulation& triangulation() const { return tri_; }
+  const BayesianNetwork& network() const { return *bn_; }
+
+  // --- introspection for the static schedule analyzer (verify/) -------
+  // Compiled propagation schedule, or nullptr until prepare() (or the
+  // first load_potentials()) has built it / when compile_schedule is
+  // off. The analyzer proves race-freedom, reload coverage and numeric
+  // bounds over exactly this structure.
+  const PropagationSchedule* schedule() const {
+    return has_schedule_ ? &sched_ : nullptr;
+  }
+  // cpt_home()[v] = clique whose potential absorbs the CPT of v — the
+  // ground truth reload_incremental() dirties against.
+  std::span<const int> cpt_home() const { return cpt_home_; }
+  // Per-clique offsets into the snapshot buffer (num_cliques + 1
+  // entries); empty until the first snapshot_potentials().
+  std::span<const std::size_t> snapshot_offsets() const { return snap_off_; }
 
   // Sum over cliques of their table sizes (the paper's complexity measure).
   double state_space() const;

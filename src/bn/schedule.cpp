@@ -100,4 +100,35 @@ PropagationSchedule build_schedule(const JunctionTree& tree,
   return sched;
 }
 
+std::size_t scope_map_max_sub_offset(const ScopeMap& m) {
+  std::size_t off = 0;
+  for (std::size_t k = 0; k < m.cards.size(); ++k) {
+    off += static_cast<std::size_t>(m.cards[k] - 1) * m.strides[k];
+  }
+  return off;
+}
+
+std::size_t scope_map_domain_size(const ScopeMap& m) {
+  std::size_t n = m.run;
+  for (int c : m.cards) n *= static_cast<std::size_t>(c);
+  return n;
+}
+
+bool scope_map_in_bounds(const ScopeMap& m, std::size_t super_size,
+                         std::size_t sub_size) {
+  if (m.cards.size() != m.strides.size()) return false;
+  if (m.run == 0 || sub_size == 0) return false;
+  for (int c : m.cards) {
+    if (c < 1) return false;
+  }
+  // The walk reads super[0, size) linearly; it must cover the caller's
+  // table exactly (no truncated or overrunning scan), and the counter
+  // axes must reproduce that same extent.
+  if (m.size != super_size) return false;
+  if (scope_map_domain_size(m) != m.size) return false;
+  // Peak sub offset of the mixed-radix counter stays inside the
+  // sub table.
+  return scope_map_max_sub_offset(m) <= sub_size - 1;
+}
+
 } // namespace bns

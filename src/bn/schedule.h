@@ -77,4 +77,22 @@ PropagationSchedule build_schedule(const JunctionTree& tree,
                                    const BayesianNetwork& bn,
                                    std::span<const int> cpt_home);
 
+// --- introspection for the static schedule analyzer (verify/) ----------
+
+// Largest sub-table offset the stride program can ever produce: the
+// mixed-radix counter maxes every remaining axis, so the bound is
+// Σ_k (cards[k] - 1) * strides[k]. Exact, not an estimate.
+std::size_t scope_map_max_sub_offset(const ScopeMap& m);
+
+// Number of super-table cells the program walks: run * Π cards. A sound
+// map tiles its super table exactly, i.e. this equals m.size.
+std::size_t scope_map_domain_size(const ScopeMap& m);
+
+// True iff executing `m` stays inside super[0, super_size) and
+// sub[0, sub_size): the walk covers exactly super_size cells and the
+// peak sub offset is below sub_size. This is the static in-bounds
+// obligation the SC004/SC005 checks discharge per plan.
+bool scope_map_in_bounds(const ScopeMap& m, std::size_t super_size,
+                         std::size_t sub_size);
+
 } // namespace bns

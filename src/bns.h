@@ -44,6 +44,7 @@
 #include "verify/diagnostics.h"
 #include "verify/model_rules.h"
 #include "verify/netlist_rules.h"
+#include "verify/schedule_rules.h"
 
 // observability
 #include "obs/obs.h"

@@ -13,24 +13,6 @@
 
 namespace bns {
 
-// Out-of-line special members: the deprecated propagate_seconds mirror
-// must not make every implicit copy/move of a SwitchingEstimate warn.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-SwitchingEstimate::SwitchingEstimate() : propagate_seconds(0.0) {}
-SwitchingEstimate::SwitchingEstimate(const SwitchingEstimate&) = default;
-SwitchingEstimate::SwitchingEstimate(SwitchingEstimate&&) noexcept = default;
-SwitchingEstimate& SwitchingEstimate::operator=(const SwitchingEstimate&) =
-    default;
-SwitchingEstimate& SwitchingEstimate::operator=(SwitchingEstimate&&) noexcept =
-    default;
-SwitchingEstimate::~SwitchingEstimate() = default;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 std::vector<double> SwitchingEstimate::activities() const {
   std::vector<double> out(dist.size());
   for (std::size_t i = 0; i < dist.size(); ++i) out[i] = activity_of(dist[i]);
@@ -70,6 +52,7 @@ LidagEstimator::LidagEstimator(const Netlist& nl, const InputModel& model,
   }
 
   const InputModel inner_model = permute_inputs(model);
+  num_input_groups_ = model.num_groups();
   const NodeId n = inner_.netlist.num_nodes();
   if (n == 0) return;
 
@@ -220,12 +203,69 @@ DiagnosticReport LidagEstimator::verify(VerifyLevel level) const {
     lint_lidag_structure(inner_.netlist, lb.bn, lb.var_of_node, root_vars,
                          report);
 
-    if (level == VerifyLevel::Full) {
+    if (level >= VerifyLevel::Full) {
       lint_compilation(lb.bn, seg.engine->triangulation(), seg.engine->tree(),
                        report);
     }
+    if (level >= VerifyLevel::Schedule) {
+      // The constructor prepares every kept engine, so the compiled
+      // schedule is available here; lint_schedule is a no-op otherwise.
+      lint_schedule(*seg.engine, report);
+    }
+  }
+  if (level >= VerifyLevel::Schedule) {
+    lint_dirty_screen(screen_model(), report);
   }
   return report;
+}
+
+SegmentScreenModel LidagEstimator::screen_model() const {
+  SegmentScreenModel model;
+  model.num_segments = num_segments();
+  model.num_specs = inner_.netlist.num_inputs();
+  model.num_groups = num_input_groups_;
+  model.num_nodes = inner_.netlist.num_nodes();
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const LidagBn& lb = *segments_[i].lidag;
+    for (const LidagRoot& r : lb.roots) {
+      ScreenRoot sr;
+      sr.segment = static_cast<int>(i);
+      switch (r.kind) {
+        case RootKind::PrimaryInput:
+          sr.kind = ScreenTriggerKind::Spec;
+          sr.index = r.input_index;
+          break;
+        case RootKind::Boundary:
+          sr.kind = ScreenTriggerKind::Node;
+          sr.index = static_cast<int>(r.node);
+          break;
+        case RootKind::GroupSource:
+          sr.kind = ScreenTriggerKind::Group;
+          sr.index = r.group;
+          break;
+        case RootKind::Constant:
+          sr.kind = ScreenTriggerKind::Constant;
+          break;
+      }
+      model.roots.push_back(sr);
+    }
+    for (const LidagRoot& r : lb.grouped_inputs) {
+      model.roots.push_back(ScreenRoot{static_cast<int>(i),
+                                       ScreenTriggerKind::Spec,
+                                       r.input_index});
+    }
+    for (const auto& [child, parent] : lb.boundary_links) {
+      const Segment* owner = owner_of(child);
+      // A link with no resolvable owner has no flag to consult — the
+      // screen's pairwise-joint trigger is the owner's re-ran bit, so an
+      // unresolved owner is itself a gap lint_dirty_screen must see.
+      const int owner_seg =
+          owner == nullptr ? -1
+                           : static_cast<int>(owner - segments_.data());
+      model.links.push_back(ScreenLink{static_cast<int>(i), owner_seg});
+    }
+  }
+  return model;
 }
 
 std::vector<int> LidagEstimator::boundary_frontier() const {
@@ -433,15 +473,6 @@ SwitchingEstimate LidagEstimator::estimate(const InputModel& model) {
     out.stats.reload_seconds += seg.last_reload_seconds;
     out.stats.messages_passed += seg.engine->messages_per_propagation();
   }
-  // Mirror into the deprecated field until it is removed.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  out.propagate_seconds = out.stats.propagate_seconds;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
   return out;
 }
 
@@ -741,14 +772,6 @@ BatchStats LidagEstimator::estimate_batch_into(
         out.stats.messages_passed += seg.engine->messages_per_propagation();
       }
     }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-    out.propagate_seconds = out.stats.propagate_seconds;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
     const int skipped = num_segments() - reloaded;
     ++bs.scenarios;

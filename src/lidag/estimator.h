@@ -22,6 +22,7 @@
 #include "sim/input_model.h"
 #include "util/thread_pool.h"
 #include "verify/diagnostics.h"
+#include "verify/schedule_rules.h"
 
 namespace bns {
 
@@ -55,7 +56,9 @@ struct EstimatorOptions {
   int segment_overlap = 64;
   // Static checks (src/verify/) run after compilation: Fast lints the
   // netlist and every segment BN, Full additionally lints the compiled
-  // junction trees (chordality, running intersection, family cover).
+  // junction trees (chordality, running intersection, family cover),
+  // Schedule additionally proves the compiled propagation schedules
+  // race-free / reload-sound and bounds their numerical risk (SC*).
   // Error-severity findings make the constructor throw.
   VerifyLevel verify = VerifyLevel::Off;
   // Worker threads for estimate(): segments whose forwarded boundary
@@ -75,7 +78,7 @@ struct EstimatorOptions {
 
 // Compile-time accounting, fixed once the constructor returns. The
 // one-stop replacement for the former scattered accessors
-// (compile_seconds() & friends, now deprecated forwarders).
+// (compile_seconds() & friends, removed after their deprecation cycle).
 struct CompileStats {
   double compile_seconds = 0.0;       // whole constructor, wall clock
   double schedule_build_seconds = 0.0; // of which: propagation schedules
@@ -113,19 +116,6 @@ struct SwitchingEstimate {
   // Per-estimate accounting; stats.propagate_seconds is the paper's
   // "update" time.
   EstimateStats stats;
-  // Deprecated mirror of stats.propagate_seconds, kept one release for
-  // source compatibility. The special members are defined out of line
-  // (estimator.cpp) so that implicit copies/moves of SwitchingEstimate
-  // do not trip -Werror=deprecated-declarations — only explicit reads
-  // of the field do.
-  [[deprecated("use stats.propagate_seconds")]] double propagate_seconds;
-
-  SwitchingEstimate();
-  SwitchingEstimate(const SwitchingEstimate&);
-  SwitchingEstimate(SwitchingEstimate&&) noexcept;
-  SwitchingEstimate& operator=(const SwitchingEstimate&);
-  SwitchingEstimate& operator=(SwitchingEstimate&&) noexcept;
-  ~SwitchingEstimate();
 
   std::vector<double> activities() const;
   double activity(NodeId id) const;
@@ -197,15 +187,11 @@ class LidagEstimator {
   // findings without throwing.
   DiagnosticReport verify(VerifyLevel level) const;
 
-  // Deprecated forwarders into compile_stats(), kept one release.
-  [[deprecated("use compile_stats().compile_seconds")]]
-  double compile_seconds() const { return stats_.compile_seconds; }
-  [[deprecated("use compile_stats().total_state_space")]]
-  double total_state_space() const { return stats_.total_state_space; }
-  [[deprecated("use compile_stats().max_clique_vars")]]
-  std::size_t max_clique_vars() const { return stats_.max_clique_vars; }
-  [[deprecated("use compile_stats().total_bn_variables")]]
-  int total_bn_variables() const { return stats_.total_bn_variables; }
+  // Abstraction of the batch dirty pre-screen (segment_maybe_dirty) for
+  // the SC007 static check: every trigger that can mark a segment dirty,
+  // with the flag-vector domains it indexes. lint_dirty_screen proves
+  // the screen an over-approximation of the reachable segments.
+  SegmentScreenModel screen_model() const;
 
   const Netlist& netlist() const { return *nl_; }
 
@@ -292,6 +278,10 @@ class LidagEstimator {
   std::vector<std::vector<int>> seg_levels_;
   std::unique_ptr<ThreadPool> pool_;
   CompileStats stats_;
+  // Structural input-group count of the construction-time model (the
+  // grouping layout estimate() calls must match); sizes the group flag
+  // domain of screen_model().
+  int num_input_groups_ = 0;
 
   // --- scenario-sweep state (estimate_batch) -------------------------
   // Valid while batch_primed_: the inner-order input statistics the

@@ -1,5 +1,7 @@
 #include "obs/sinks.h"
 
+#include "obs/json.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <iomanip>
@@ -92,12 +94,16 @@ void SummarySink::render(std::ostream& os) const {
 }
 
 void JsonLinesSink::on_span(const SpanRecord& rec) {
+  // Span names come from callers, not a fixed table — escape them so an
+  // exotic name cannot corrupt the JSON-lines stream.
+  std::string name;
+  json_append_string(name, rec.name);
   char line[256];
   std::snprintf(line, sizeof line,
                 "{\"schema_version\": %d, \"type\": \"span\", \"name\": "
-                "\"%s\", \"depth\": %d, \"thread\": %llu, \"start_ns\": "
+                "%s, \"depth\": %d, \"thread\": %llu, \"start_ns\": "
                 "%llu, \"dur_ns\": %llu}",
-                kTraceSchemaVersion, rec.name, rec.depth,
+                kTraceSchemaVersion, name.c_str(), rec.depth,
                 static_cast<unsigned long long>(rec.thread),
                 static_cast<unsigned long long>(rec.start_ns),
                 static_cast<unsigned long long>(rec.dur_ns));

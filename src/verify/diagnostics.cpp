@@ -17,7 +17,7 @@ struct CodeInfo {
   std::string_view summary;
 };
 
-constexpr std::array<CodeInfo, 25> kCodes{{
+constexpr std::array<CodeInfo, 33> kCodes{{
     {DiagCode::NL001, "NL001", Severity::Error,
      "undriven net: referenced as a fanin but never defined"},
     {DiagCode::NL002, "NL002", Severity::Error,
@@ -66,6 +66,22 @@ constexpr std::array<CodeInfo, 25> kCodes{{
      "separator is not the intersection of its endpoint cliques"},
     {DiagCode::JT005, "JT005", Severity::Error,
      "variable not covered by any clique or out-of-range clique member"},
+    {DiagCode::SC001, "SC001", Severity::Error,
+     "parallel subtree units are not write-disjoint over clique tables"},
+    {DiagCode::SC002, "SC002", Severity::Error,
+     "parallel subtree units are not write-disjoint over separator buffers"},
+    {DiagCode::SC003, "SC003", Severity::Error,
+     "root message application order is not a fixed deterministic sequence"},
+    {DiagCode::SC004, "SC004", Severity::Error,
+     "message-plan stride program is statically out of bounds"},
+    {DiagCode::SC005, "SC005", Severity::Error,
+     "CPT load plan unsound (map bounds or table-size mismatch)"},
+    {DiagCode::SC006, "SC006", Severity::Error,
+     "snapshot/reload coverage gap: a clique can be restored stale"},
+    {DiagCode::SC007, "SC007", Severity::Error,
+     "dirty pre-screen is not an over-approximation of reachable cliques"},
+    {DiagCode::SC008, "SC008", Severity::Warning,
+     "schedule can underflow: static min-exponent bound exceeds threshold"},
 }};
 
 const CodeInfo& info(DiagCode c) {
@@ -340,6 +356,8 @@ std::string DiagnosticReport::render_json(std::string_view tool,
     out += i == 0 ? "\n" : ",\n";
     out += "    {\"code\": ";
     append_json_string(out, diag_code_name(d.code));
+    out += ", \"summary\": ";
+    append_json_string(out, diag_code_summary(d.code));
     out += ", \"severity\": ";
     append_json_string(out, severity_name(d.severity));
     out += ", \"location\": ";

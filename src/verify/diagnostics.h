@@ -52,6 +52,15 @@ enum class DiagCode {
   JT003, // BN family not covered by any clique
   JT004, // separator is not the intersection of its endpoint cliques
   JT005, // variable not covered by any clique / out-of-range clique member
+  // --- compiled propagation schedule & plan -----------------------------
+  SC001, // parallel subtree units not write-disjoint over clique tables
+  SC002, // parallel subtree units not write-disjoint over edge/ratio buffers
+  SC003, // root message application order not a fixed deterministic sequence
+  SC004, // message-plan stride program statically out of bounds
+  SC005, // CPT load plan unsound (map bounds or table-size mismatch)
+  SC006, // snapshot/reload coverage gap: clique may be restored stale
+  SC007, // dirty pre-screen not an over-approximation of reachable cliques
+  SC008, // schedule can underflow: static min-exponent bound past threshold
 };
 
 // "NL001", "BN003", ... (stable identifier).
@@ -101,8 +110,10 @@ class DiagnosticReport {
 
   // Machine-readable report:
   //   {"tool": ..., "file": ..., "errors": N, "warnings": M,
-  //    "diagnostics": [{"code": ..., "severity": ..., "location": ...,
-  //                     "message": ...}, ...]}
+  //    "diagnostics": [{"code": ..., "summary": ..., "severity": ...,
+  //                     "location": ..., "message": ...}, ...]}
+  // `summary` is the code's diag_code_summary (redundant with `code`,
+  // included so downstream tooling has a machine-readable description).
   std::string render_json(std::string_view tool = "bns_lint",
                           std::string_view file = "") const;
 
@@ -118,10 +129,12 @@ class DiagnosticReport {
 };
 
 // How much static checking the analysis pipeline runs at compile time.
+// Ordered: each level includes everything below it (compare with >=).
 enum class VerifyLevel {
-  Off,  // no checks (production fast path)
-  Fast, // netlist + model lint (cheap, no junction-tree introspection)
-  Full, // Fast + compilation lint (chordality, RIP, family cover)
+  Off,      // no checks (production fast path)
+  Fast,     // netlist + model lint (cheap, no junction-tree introspection)
+  Full,     // Fast + compilation lint (chordality, RIP, family cover)
+  Schedule, // Full + compiled-schedule analysis (SC*: races, reload, numerics)
 };
 
 } // namespace bns

@@ -1,0 +1,517 @@
+#include "verify/schedule_rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace bns {
+namespace {
+
+// Table size of clique i: product of its member cardinalities. Members
+// outside the BN's variable domain are JT005's business; treat them as
+// cardinality 1 here so the SC passes keep going.
+std::size_t clique_table_size(const BayesianNetwork& bn,
+                              const std::vector<int>& clique) {
+  std::size_t n = 1;
+  for (int v : clique) {
+    if (v >= 0 && v < bn.num_variables()) {
+      n *= static_cast<std::size_t>(bn.cardinality(v));
+    }
+  }
+  return n;
+}
+
+std::size_t separator_size(const BayesianNetwork& bn,
+                           const JunctionTreeEdge& e) {
+  std::size_t n = 1;
+  for (int v : e.separator) {
+    if (v >= 0 && v < bn.num_variables()) {
+      n *= static_cast<std::size_t>(bn.cardinality(v));
+    }
+  }
+  return n;
+}
+
+std::string unit_loc(std::size_t u) {
+  return strformat("unit %zu", u);
+}
+
+} // namespace
+
+void lint_schedule_races(const JunctionTree& tree,
+                         const PropagationSchedule& sched,
+                         DiagnosticReport& report) {
+  const int nc = tree.num_cliques();
+  const int ne = static_cast<int>(tree.edges().size());
+  std::vector<bool> is_root(static_cast<std::size_t>(nc), false);
+  for (int r : tree.roots()) {
+    if (r >= 0 && r < nc) is_root[static_cast<std::size_t>(r)] = true;
+  }
+
+  // Ownership maps: which unit writes each clique table / edge buffer.
+  std::vector<int> clique_owner(static_cast<std::size_t>(nc), -1);
+  std::vector<int> edge_owner(static_cast<std::size_t>(ne), -1);
+
+  for (std::size_t u = 0; u < sched.units.size(); ++u) {
+    const SubtreeUnit& unit = sched.units[u];
+    if (unit.top < 0 || unit.top >= nc || unit.root < 0 || unit.root >= nc) {
+      report.add(DiagCode::SC001, unit_loc(u),
+                 strformat("unit references out-of-range cliques "
+                           "(top %d, root %d of %d)",
+                           unit.top, unit.root, nc));
+      continue;
+    }
+    if (unit.edge < 0 || unit.edge >= ne) {
+      report.add(DiagCode::SC002, unit_loc(u),
+                 strformat("unit parks its root message in out-of-range "
+                           "edge buffer %d of %d",
+                           unit.edge, ne));
+      continue;
+    }
+    if (unit.preorder.empty() || unit.preorder.front() != unit.top) {
+      report.add(DiagCode::SC003, unit_loc(u),
+                 strformat("unit preorder does not start at its top clique "
+                           "%d — sweep order is undefined",
+                           unit.top));
+      continue;
+    }
+    if (tree.parent(unit.top) != unit.root) {
+      report.add(DiagCode::SC001, unit_loc(u),
+                 strformat("unit top clique %d is not a tree child of its "
+                           "root clique %d",
+                           unit.top, unit.root));
+    }
+    if (unit.edge != tree.parent_edge(unit.top)) {
+      report.add(DiagCode::SC002, unit_loc(u),
+                 strformat("unit parks its root message in edge buffer %d "
+                           "but the sequential root application reads edge "
+                           "%d — the ratio would be lost or clobbered",
+                           unit.edge, tree.parent_edge(unit.top)));
+    }
+    for (int c : unit.preorder) {
+      if (c < 0 || c >= nc) {
+        report.add(DiagCode::SC001, unit_loc(u),
+                   strformat("unit preorder names out-of-range clique %d", c));
+        continue;
+      }
+      if (is_root[static_cast<std::size_t>(c)]) {
+        report.add(DiagCode::SC001, unit_loc(u),
+                   strformat("unit writes root clique %d, which the "
+                             "sequential root phase also writes — not "
+                             "write-disjoint",
+                             c));
+        continue;
+      }
+      int& owner = clique_owner[static_cast<std::size_t>(c)];
+      if (owner >= 0 && owner != static_cast<int>(u)) {
+        report.add(DiagCode::SC001, unit_loc(u),
+                   strformat("clique %d is written by units %d and %zu — "
+                             "parallel collect would race on its table",
+                             c, owner, u));
+        continue;
+      }
+      owner = static_cast<int>(u);
+      if (c != unit.top) {
+        const int p = tree.parent(c);
+        if (p < 0 || p >= nc ||
+            clique_owner[static_cast<std::size_t>(p)] != static_cast<int>(u)) {
+          report.add(DiagCode::SC001, unit_loc(u),
+                     strformat("clique %d's tree parent %d lies outside the "
+                               "unit — its message would cross unit "
+                               "boundaries mid-sweep",
+                               c, p));
+        }
+      }
+      const int e = tree.parent_edge(c);
+      if (e < 0 || e >= ne) {
+        report.add(DiagCode::SC002, unit_loc(u),
+                   strformat("clique %d has out-of-range parent edge %d", c,
+                             e));
+        continue;
+      }
+      int& eo = edge_owner[static_cast<std::size_t>(e)];
+      if (eo >= 0 && eo != static_cast<int>(u)) {
+        report.add(DiagCode::SC002, unit_loc(u),
+                   strformat("edge buffer %d is written by units %d and %zu "
+                             "— parallel collect would race on its "
+                             "separator/ratio storage",
+                             e, eo, u));
+        continue;
+      }
+      eo = static_cast<int>(u);
+    }
+  }
+
+  // Every non-root clique must be collected by some unit; an orphan is
+  // silently skipped by the parallel sweep (its message never computed).
+  for (int c = 0; c < nc; ++c) {
+    if (!is_root[static_cast<std::size_t>(c)] &&
+        clique_owner[static_cast<std::size_t>(c)] < 0) {
+      report.add(DiagCode::SC003, strformat("clique %d", c),
+                 "non-root clique belongs to no subtree unit — the parallel "
+                 "sweep would never collect it");
+    }
+  }
+
+  // Root application order: root_units[r] must list exactly the units
+  // rooted at tree.roots()[r], in reverse discovery (preorder) order —
+  // the order the sequential collect applies their messages.
+  if (sched.root_units.size() != tree.roots().size()) {
+    report.add(DiagCode::SC003, "root_units",
+               strformat("schedule has %zu root application sequences for "
+                         "%zu tree roots",
+                         sched.root_units.size(), tree.roots().size()));
+    return;
+  }
+  std::vector<int> unit_of_top(static_cast<std::size_t>(nc), -1);
+  for (std::size_t u = 0; u < sched.units.size(); ++u) {
+    const int top = sched.units[u].top;
+    if (top >= 0 && top < nc) {
+      unit_of_top[static_cast<std::size_t>(top)] = static_cast<int>(u);
+    }
+  }
+  for (std::size_t r = 0; r < tree.roots().size(); ++r) {
+    const int root = tree.roots()[r];
+    std::vector<int> expected;
+    for (int c : tree.preorder()) {
+      if (tree.parent(c) == root &&
+          unit_of_top[static_cast<std::size_t>(c)] >= 0) {
+        expected.push_back(unit_of_top[static_cast<std::size_t>(c)]);
+      }
+    }
+    std::reverse(expected.begin(), expected.end());
+    if (sched.root_units[r] != expected) {
+      report.add(DiagCode::SC003, strformat("root %d", root),
+                 strformat("root application sequence lists %zu units and "
+                           "differs from the sequential reverse-discovery "
+                           "order (%zu units) — parallel and sequential "
+                           "sweeps would diverge",
+                           sched.root_units[r].size(), expected.size()));
+    }
+  }
+}
+
+void lint_stride_bounds(const BayesianNetwork& bn, const JunctionTree& tree,
+                        const PropagationSchedule& sched,
+                        DiagnosticReport& report) {
+  if (sched.edges.size() != tree.edges().size()) {
+    report.add(DiagCode::SC004, "edges",
+               strformat("schedule has %zu message plans for %zu tree edges",
+                         sched.edges.size(), tree.edges().size()));
+  }
+  const std::size_t n = std::min(sched.edges.size(), tree.edges().size());
+  for (std::size_t e = 0; e < n; ++e) {
+    const MessagePlan& plan = sched.edges[e];
+    const JunctionTreeEdge& te = tree.edges()[e];
+    const std::string loc = strformat("edge %zu", e);
+    if (plan.a != te.a || plan.b != te.b) {
+      report.add(DiagCode::SC004, loc,
+                 strformat("plan endpoints (%d, %d) do not match the tree "
+                           "edge (%d, %d) — messages would load/store the "
+                           "wrong clique tables",
+                           plan.a, plan.b, te.a, te.b));
+      continue;
+    }
+    const std::size_t sep_size = separator_size(bn, te);
+    if (plan.ratio.size() != sep_size) {
+      report.add(DiagCode::SC004, loc,
+                 strformat("ratio buffer holds %zu cells for a separator of "
+                           "%zu — marginalization would write out of bounds",
+                           plan.ratio.size(), sep_size));
+    }
+    const std::size_t size_a = clique_table_size(bn, tree.clique(te.a));
+    const std::size_t size_b = clique_table_size(bn, tree.clique(te.b));
+    if (!scope_map_in_bounds(plan.from_a, size_a, sep_size)) {
+      report.add(DiagCode::SC004, loc,
+                 strformat("from_a stride program is not statically "
+                           "in-bounds for clique table %d (%zu cells) onto "
+                           "a %zu-cell separator",
+                           te.a, size_a, sep_size));
+    }
+    if (!scope_map_in_bounds(plan.from_b, size_b, sep_size)) {
+      report.add(DiagCode::SC004, loc,
+                 strformat("from_b stride program is not statically "
+                           "in-bounds for clique table %d (%zu cells) onto "
+                           "a %zu-cell separator",
+                           te.b, size_b, sep_size));
+    }
+  }
+}
+
+void lint_load_plans(const BayesianNetwork& bn, const JunctionTree& tree,
+                     const PropagationSchedule& sched,
+                     DiagnosticReport& report) {
+  if (sched.loads.size() != static_cast<std::size_t>(tree.num_cliques())) {
+    report.add(DiagCode::SC005, "loads",
+               strformat("schedule has load programs for %zu cliques of %d",
+                         sched.loads.size(), tree.num_cliques()));
+  }
+  const std::size_t n = std::min(
+      sched.loads.size(), static_cast<std::size_t>(tree.num_cliques()));
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t table = clique_table_size(bn, tree.clique(static_cast<int>(c)));
+    for (const CliqueLoad& load : sched.loads[c]) {
+      const std::string loc = strformat("clique %zu", c);
+      if (load.var < 0 || load.var >= bn.num_variables() ||
+          !bn.has_cpt(load.var)) {
+        report.add(DiagCode::SC005, loc,
+                   strformat("load plan references variable %d without a "
+                             "live CPT",
+                             load.var));
+        continue;
+      }
+      const std::size_t cpt_size = bn.cpt(load.var).size();
+      if (load.cpt_size != cpt_size) {
+        report.add(DiagCode::SC005, loc,
+                   strformat("load plan for variable %d expects a %zu-cell "
+                             "CPT but the network holds %zu cells — the "
+                             "re-quantification guard is stale",
+                             load.var, load.cpt_size, cpt_size));
+        continue;
+      }
+      if (!scope_map_in_bounds(load.map, table, cpt_size)) {
+        report.add(DiagCode::SC005, loc,
+                   strformat("load stride program for variable %d is not "
+                             "statically in-bounds (%zu-cell clique table, "
+                             "%zu-cell CPT)",
+                             load.var, table, cpt_size));
+      }
+    }
+  }
+}
+
+void lint_reload_coverage(const BayesianNetwork& bn, const JunctionTree& tree,
+                          const PropagationSchedule& sched,
+                          std::span<const int> cpt_home,
+                          std::span<const std::size_t> snap_off,
+                          DiagnosticReport& report) {
+  const int nv = bn.num_variables();
+  const int nc = tree.num_cliques();
+  if (static_cast<int>(cpt_home.size()) != nv) {
+    report.add(DiagCode::SC006, "cpt_home",
+               strformat("cpt_home covers %zu of %d variables — "
+                         "reload_incremental cannot resolve every change",
+                         cpt_home.size(), nv));
+    return;
+  }
+
+  // Where each CPT is actually absorbed, per the load plans.
+  std::vector<int> loaded_at(static_cast<std::size_t>(nv), -1);
+  for (std::size_t c = 0; c < sched.loads.size(); ++c) {
+    for (const CliqueLoad& load : sched.loads[c]) {
+      if (load.var < 0 || load.var >= nv) continue; // SC005's finding
+      int& at = loaded_at[static_cast<std::size_t>(load.var)];
+      if (at >= 0) {
+        report.add(DiagCode::SC006, strformat("var %d", load.var),
+                   strformat("CPT is absorbed by cliques %d and %zu — a "
+                             "reload would double-count it",
+                             at, c));
+        continue;
+      }
+      at = static_cast<int>(c);
+    }
+  }
+
+  for (VarId v = 0; v < nv; ++v) {
+    const int home = cpt_home[static_cast<std::size_t>(v)];
+    const int at = loaded_at[static_cast<std::size_t>(v)];
+    const std::string loc = strformat("var %d", v);
+    if (home < 0 || home >= nc) {
+      report.add(DiagCode::SC006, loc,
+                 strformat("cpt_home names out-of-range clique %d", home));
+      continue;
+    }
+    if (at < 0) {
+      report.add(DiagCode::SC006, loc,
+                 strformat("CPT is absorbed by no load plan — after a "
+                           "change to it, reload would memcpy-restore "
+                           "clique %d from a stale snapshot",
+                           home));
+      continue;
+    }
+    if (at != home) {
+      report.add(DiagCode::SC006, loc,
+                 strformat("stale-clique reload gap: the CPT loads into "
+                           "clique %d but reload_incremental dirties "
+                           "cpt_home clique %d — clique %d would be "
+                           "restored stale from the snapshot",
+                           at, home, at));
+    }
+  }
+
+  // Snapshot slicing: offsets must partition the flat buffer into the
+  // clique table sizes, or restores copy the wrong cells.
+  if (!snap_off.empty()) {
+    if (snap_off.size() != static_cast<std::size_t>(nc) + 1) {
+      report.add(DiagCode::SC006, "snapshot",
+                 strformat("snapshot records %zu offsets for %d cliques",
+                           snap_off.size(), nc));
+      return;
+    }
+    for (int c = 0; c < nc; ++c) {
+      const std::size_t lo = snap_off[static_cast<std::size_t>(c)];
+      const std::size_t hi = snap_off[static_cast<std::size_t>(c) + 1];
+      const std::size_t want = clique_table_size(bn, tree.clique(c));
+      if (hi < lo || hi - lo != want) {
+        report.add(DiagCode::SC006, strformat("clique %d", c),
+                   strformat("snapshot slice holds %zu cells for a %zu-cell "
+                             "clique table — restore would copy the wrong "
+                             "region",
+                             hi < lo ? std::size_t{0} : hi - lo, want));
+      }
+    }
+  }
+}
+
+NumericalRiskBound lint_numerical_risk(const BayesianNetwork& bn,
+                                       const JunctionTree& tree,
+                                       const PropagationSchedule& sched,
+                                       DiagnosticReport& report,
+                                       const ScheduleLintOptions& opts) {
+  NumericalRiskBound out;
+  const int nc = tree.num_cliques();
+  if (nc == 0) return out;
+
+  // Per-clique log2 lower bound on its smallest positive cell right
+  // after load: each cell is a product of one entry per absorbed CPT,
+  // so it is >= the product of the per-CPT minimum positive entries.
+  // frexp(x) = m * 2^exp with m in [0.5, 1)  =>  x >= 2^(exp - 1).
+  std::vector<std::int64_t> bound(static_cast<std::size_t>(nc), 0);
+  const std::size_t n = std::min(
+      sched.loads.size(), static_cast<std::size_t>(nc));
+  for (std::size_t c = 0; c < n; ++c) {
+    for (const CliqueLoad& load : sched.loads[c]) {
+      if (load.var < 0 || load.var >= bn.num_variables() ||
+          !bn.has_cpt(load.var)) {
+        continue; // SC005's finding
+      }
+      double min_pos = std::numeric_limits<double>::infinity();
+      for (double x : bn.cpt(load.var).values()) {
+        if (x > 0.0 && x < min_pos) min_pos = x;
+      }
+      if (!std::isfinite(min_pos)) continue; // all-zero CPT: BN003/BN005
+      int exp = 0;
+      std::frexp(min_pos, &exp);
+      bound[c] += static_cast<std::int64_t>(exp) - 1;
+    }
+  }
+
+  // Collect dataflow: a clique's bound accumulates its children's
+  // separator bounds (a positive separator marginal cell is a sum of
+  // non-negative clique cells, hence >= the clique's smallest positive
+  // cell). Reverse preorder visits children before parents. After the
+  // fold each root holds the full component product — the distribute
+  // phase pushes exactly that mass back down, so it bounds every
+  // separator of the component in both phases.
+  const std::vector<int>& pre = tree.preorder();
+  for (std::size_t i = pre.size(); i-- > 0;) {
+    const int c = pre[i];
+    const int p = tree.parent(c);
+    if (p >= 0) bound[static_cast<std::size_t>(p)] += bound[static_cast<std::size_t>(c)];
+  }
+
+  for (int r : tree.roots()) {
+    const std::int64_t b = bound[static_cast<std::size_t>(r)];
+    const std::int64_t neg = b < 0 ? -b : 0;
+    const int clamped = static_cast<int>(
+        std::min<std::int64_t>(neg, std::numeric_limits<int>::max()));
+    if (out.worst_root < 0 || clamped > out.worst_neg_exp) {
+      out.worst_neg_exp = clamped;
+      out.worst_root = r;
+    }
+    if (clamped > opts.max_neg_exp) {
+      report.add(DiagCode::SC008, strformat("root %d", r),
+                 strformat("min-exponent dataflow bounds the smallest "
+                           "positive separator cell of this component at "
+                           "2^-%d, past the 2^-%d threshold — propagation "
+                           "can underflow (the runtime sep_min_neg_exp "
+                           "gauge will stay at or below %d)",
+                           clamped, opts.max_neg_exp, clamped));
+    }
+  }
+  return out;
+}
+
+NumericalRiskBound lint_schedule(const JunctionTreeEngine& engine,
+                                 DiagnosticReport& report,
+                                 const ScheduleLintOptions& opts) {
+  const PropagationSchedule* sched = engine.schedule();
+  if (sched == nullptr) return {};
+  const JunctionTree& tree = engine.tree();
+  const BayesianNetwork& bn = engine.network();
+  lint_schedule_races(tree, *sched, report);
+  lint_stride_bounds(bn, tree, *sched, report);
+  lint_load_plans(bn, tree, *sched, report);
+  lint_reload_coverage(bn, tree, *sched, engine.cpt_home(),
+                       engine.snapshot_offsets(), report);
+  return lint_numerical_risk(bn, tree, *sched, report, opts);
+}
+
+void lint_dirty_screen(const SegmentScreenModel& model,
+                       DiagnosticReport& report) {
+  for (std::size_t i = 0; i < model.roots.size(); ++i) {
+    const ScreenRoot& r = model.roots[i];
+    const std::string loc = strformat("segment %d", r.segment);
+    if (r.segment < 0 || r.segment >= model.num_segments) {
+      report.add(DiagCode::SC007, loc,
+                 strformat("screen root %zu names an out-of-range segment",
+                           i));
+      continue;
+    }
+    switch (r.kind) {
+      case ScreenTriggerKind::Spec:
+        if (r.index < 0 || r.index >= model.num_specs) {
+          report.add(DiagCode::SC007, loc,
+                     strformat("primary-input trigger index %d outside the "
+                               "%d tracked input flags — a changed input "
+                               "could leave the segment marked clean",
+                               r.index, model.num_specs));
+        }
+        break;
+      case ScreenTriggerKind::Node:
+        if (r.index < 0 || r.index >= model.num_nodes) {
+          report.add(DiagCode::SC007, loc,
+                     strformat("boundary trigger line %d outside the %d "
+                               "tracked lines — a moved forwarded marginal "
+                               "could leave the segment marked clean",
+                               r.index, model.num_nodes));
+        }
+        break;
+      case ScreenTriggerKind::Group:
+        if (r.index < 0 || r.index >= model.num_groups) {
+          report.add(DiagCode::SC007, loc,
+                     strformat("group trigger index %d outside the %d "
+                               "tracked groups — a changed group statistic "
+                               "could leave the segment marked clean",
+                               r.index, model.num_groups));
+        }
+        break;
+      case ScreenTriggerKind::Constant:
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < model.links.size(); ++i) {
+    const ScreenLink& l = model.links[i];
+    const std::string loc = strformat("segment %d", l.segment);
+    if (l.segment < 0 || l.segment >= model.num_segments) {
+      report.add(DiagCode::SC007, loc,
+                 strformat("screen link %zu names an out-of-range segment",
+                           i));
+      continue;
+    }
+    if (l.owner_segment < 0 || l.owner_segment >= model.num_segments ||
+        l.owner_segment >= l.segment) {
+      report.add(DiagCode::SC007, loc,
+                 strformat("boundary link depends on segment %d's re-ran "
+                           "flag, which is not written strictly before "
+                           "segment %d reads it — the screen could consult "
+                           "a stale flag and under-approximate",
+                           l.owner_segment, l.segment));
+    }
+  }
+}
+
+} // namespace bns

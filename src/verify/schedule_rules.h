@@ -1,0 +1,166 @@
+// Static schedule & plan analyzer (SC*): proves structural properties of
+// a compiled PropagationSchedule before it ever runs.
+//
+// Three proof obligations, mirroring what the dynamic checks (TSan, the
+// bitwise sweep-equality tests) only sample:
+//
+//   1. Race freedom (SC001-SC004). The parallel collect/distribute sweep
+//      is safe iff the SubtreeUnits partition the non-root cliques, every
+//      unit only writes its own cliques and parent-edge buffers, root
+//      messages are applied in the one fixed sequential order, and every
+//      stride program stays inside its source/target buffers. All four
+//      are decidable from the schedule alone.
+//   2. Reload soundness (SC005-SC007). reload_incremental() restores a
+//      clique from the snapshot unless a changed variable's cpt_home
+//      names it — sound only when the load plans absorb each CPT exactly
+//      once, at exactly that clique, with a table-size guard. The
+//      estimator's segment-level dirty pre-screen must likewise be an
+//      over-approximation of the segments reachable from changed inputs.
+//   3. Numerical risk (SC008). Min-exponent dataflow from CPT statics
+//      through the message-passing order lower-bounds the smallest
+//      positive separator cell a propagation can produce; schedules whose
+//      bound approaches the subnormal floor are flagged before running,
+//      and the bound is checkable against the runtime sep_min_neg_exp
+//      gauge (static bound >= observed negated exponent, always).
+//
+// All passes emit through the diagnostics engine, so `bns_lint
+// --schedule`, LidagEstimator::verify(VerifyLevel::Schedule) and the CI
+// lint-gate see the same stable SC codes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "bn/junction_tree.h"
+#include "bn/schedule.h"
+#include "verify/diagnostics.h"
+
+namespace bns {
+
+struct ScheduleLintOptions {
+  // SC008 fires when the static dataflow bound says a separator cell can
+  // be smaller than 2^-max_neg_exp. DBL_MIN is 2^-1022 and the subnormal
+  // floor 2^-1074; 1000 leaves headroom before gradual underflow starts
+  // eating mantissa bits.
+  int max_neg_exp = 1000;
+};
+
+// Result of the SC008 min-exponent dataflow (also returned when nothing
+// is flagged, so tests can cross-check against the runtime gauge).
+struct NumericalRiskBound {
+  // Max over components of the negated exponent bound: the smallest
+  // positive separator cell any propagation can produce is >=
+  // 2^-worst_neg_exp. 0 = all cells provably >= 0.5 (or no edges).
+  int worst_neg_exp = 0;
+  // A tree root of the worst component, -1 when there are no cliques.
+  int worst_root = -1;
+};
+
+// --- race-freedom proof (SC001, SC002, SC003) --------------------------
+// SC001: the SubtreeUnits must partition the non-root cliques (each
+// non-root clique in exactly one unit, parents inside the same unit, no
+// root clique inside any unit) — otherwise two units, or a unit and the
+// sequential root phase, write the same clique table concurrently.
+// SC002: each unit's written edge set (parent edges of its cliques) must
+// be claimed by that unit alone, and its parked `edge` must be the tree
+// edge (top, root) the sequential root application will read.
+// SC003: root_units must list each root's child subtrees exactly once in
+// reverse discovery order — the order the sequential sweep uses — so the
+// parallel replay is bit-identical and deterministic.
+void lint_schedule_races(const JunctionTree& tree,
+                         const PropagationSchedule& sched,
+                         DiagnosticReport& report);
+
+// --- stride-program bounds (SC004) -------------------------------------
+// Every MessagePlan must name its tree edge's endpoints, carry a
+// separator-sized ratio buffer, and its two ScopeMaps must be statically
+// in-bounds (scope_map_in_bounds) for clique-table source and separator
+// target.
+void lint_stride_bounds(const BayesianNetwork& bn, const JunctionTree& tree,
+                        const PropagationSchedule& sched,
+                        DiagnosticReport& report);
+
+// --- CPT load-plan soundness (SC005) -----------------------------------
+// Every CliqueLoad must reference a live variable, record the CPT's
+// current table size (the re-quantification guard), and walk in-bounds
+// over clique table and CPT values.
+void lint_load_plans(const BayesianNetwork& bn, const JunctionTree& tree,
+                     const PropagationSchedule& sched,
+                     DiagnosticReport& report);
+
+// --- snapshot/reload coverage (SC006) ----------------------------------
+// Proves reload_incremental() can never leave a clique stale: each
+// variable's CPT is absorbed by exactly one load plan, and that plan
+// lives at cpt_home[v] — the clique the reload marks dirty. A load
+// parked anywhere else is re-written by the snapshot memcpy while its
+// CPT changed (the stale-clique reload gap). `snap_off`, when non-empty
+// (engine has snapshotted), must slice the snapshot buffer into exactly
+// the clique table sizes.
+void lint_reload_coverage(const BayesianNetwork& bn, const JunctionTree& tree,
+                          const PropagationSchedule& sched,
+                          std::span<const int> cpt_home,
+                          std::span<const std::size_t> snap_off,
+                          DiagnosticReport& report);
+
+// --- numerical-risk dataflow (SC008) -----------------------------------
+// Propagates per-CPT min-positive-entry exponents through the collect/
+// distribute dataflow: a clique's smallest positive cell is bounded below
+// by the product of its loads' minima times its children's separator
+// bounds, and a separator marginal's positive cells are bounded by the
+// sending clique's. The worst bound (the fully collected component
+// product) is compared against opts.max_neg_exp; a breach emits SC008
+// (Warning). Returns the bound either way.
+NumericalRiskBound lint_numerical_risk(const BayesianNetwork& bn,
+                                       const JunctionTree& tree,
+                                       const PropagationSchedule& sched,
+                                       DiagnosticReport& report,
+                                       const ScheduleLintOptions& opts = {});
+
+// Composite: all schedule passes over one prepared engine. No-op when
+// the engine has no compiled schedule (compile_schedule off or not yet
+// prepared).
+NumericalRiskBound lint_schedule(const JunctionTreeEngine& engine,
+                                 DiagnosticReport& report,
+                                 const ScheduleLintOptions& opts = {});
+
+// --- dirty pre-screen over-approximation (SC007) -----------------------
+// Abstraction of LidagEstimator::segment_maybe_dirty: which triggers can
+// mark a segment dirty between batch scenarios. The screen is a sound
+// over-approximation iff every trigger index is live (an out-of-range
+// index reads garbage or skips the root entirely) and every boundary
+// link's owner segment runs strictly before the reading segment (the
+// screen consults the owner's re-ran flag, which is only written once
+// the owner has executed this scenario).
+enum class ScreenTriggerKind {
+  Spec,     // per-primary-input statistics flag (index = input position)
+  Node,     // per-line changed-distribution flag (index = inner NodeId)
+  Group,    // per-input-group flag (index = group id)
+  Constant, // never dirties — no trigger
+};
+
+struct ScreenRoot {
+  int segment = 0; // reading segment
+  ScreenTriggerKind kind = ScreenTriggerKind::Constant;
+  int index = -1;  // into the kind's flag vector; unused for Constant
+};
+
+struct ScreenLink {
+  int segment = 0;       // segment whose chained boundary CPT depends on
+  int owner_segment = 0; // ... this earlier segment's re-ran flag
+};
+
+struct SegmentScreenModel {
+  int num_segments = 0;
+  int num_specs = 0;  // primary inputs (spec_changed_ size)
+  int num_groups = 0; // input groups (group_changed_ size)
+  int num_nodes = 0;  // inner netlist lines (node_changed_ size)
+  std::vector<ScreenRoot> roots;
+  std::vector<ScreenLink> links;
+};
+
+void lint_dirty_screen(const SegmentScreenModel& model,
+                       DiagnosticReport& report);
+
+} // namespace bns

@@ -243,27 +243,19 @@ TEST(Estimator, EstimateStatsExposed) {
   EXPECT_EQ(sw2.stats.messages_passed, sw.stats.messages_passed);
 }
 
-// The pre-consolidation accessors must keep working (and returning the
-// same values) until removal. This block is the one sanctioned consumer
-// of the deprecated API, so it opts out of the warning locally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Estimator, DeprecatedAccessorsForwardToStats) {
+// The consolidated stats structs are the only accounting surface (the
+// deprecated forwarders finished their cycle and are gone).
+TEST(Estimator, CompileStatsArePopulated) {
   const Netlist nl = make_benchmark("c17");
   const InputModel m = InputModel::uniform(nl.num_inputs());
   LidagEstimator est(nl, m);
   const CompileStats& cs = est.compile_stats();
-  EXPECT_DOUBLE_EQ(est.compile_seconds(), cs.compile_seconds);
-  EXPECT_DOUBLE_EQ(est.total_state_space(), cs.total_state_space);
-  EXPECT_EQ(est.max_clique_vars(), cs.max_clique_vars);
-  EXPECT_EQ(est.total_bn_variables(), cs.total_bn_variables);
-  const SwitchingEstimate sw = est.estimate(m);
-  EXPECT_DOUBLE_EQ(sw.propagate_seconds, sw.stats.propagate_seconds);
-  // The deprecated field survives copies like any other member.
-  SwitchingEstimate copy = sw;
-  EXPECT_DOUBLE_EQ(copy.propagate_seconds, sw.stats.propagate_seconds);
+  EXPECT_GT(cs.compile_seconds, 0.0);
+  EXPECT_GT(cs.total_state_space, 0.0);
+  EXPECT_GE(cs.max_clique_vars, 2u);
+  EXPECT_GT(cs.total_bn_variables, 0);
+  EXPECT_EQ(cs.num_segments, est.num_segments());
 }
-#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace bns

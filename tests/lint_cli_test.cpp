@@ -132,6 +132,99 @@ TEST(LintCliTest, JsonOutputOnErrorStillWellFormed) {
   EXPECT_GE(report->num_errors(), 1);
 }
 
+TEST(LintCliTest, ScheduleLevelCleanOnBuiltIns) {
+  for (const std::string name : {"c17", "count", "b9"}) {
+    const RunResult r = run_lint(name + " --schedule --select SC --werror");
+    EXPECT_EQ(r.exit_code, 0) << name << "\n" << r.output;
+    EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+  }
+}
+
+// Every SC code must demonstrably fire: one --inject hook per code, each
+// producing exactly its target diagnostic and a failing exit status
+// (SC008 is a Warning, so it needs --werror to fail).
+TEST(LintCliTest, InjectedScheduleDefectsFireEachScCode) {
+  const struct {
+    const char* kind;
+    const char* code;
+  } kCases[] = {
+      {"unit-overlap", "SC001"},   {"unit-edge-clash", "SC002"},
+      {"root-order", "SC003"},     {"oob-stride", "SC004"},
+      {"load-mismatch", "SC005"},  {"reload-gap", "SC006"},
+      {"screen-gap", "SC007"},     {"underflow", "SC008"},
+  };
+  for (const auto& c : kCases) {
+    const RunResult r = run_lint(std::string("count --inject ") + c.kind +
+                                 " --werror --select " + c.code);
+    EXPECT_EQ(r.exit_code, 1) << c.kind << "\n" << r.output;
+    EXPECT_NE(r.output.find(c.code), std::string::npos)
+        << c.kind << "\n" << r.output;
+  }
+}
+
+TEST(LintCliTest, SelectFiltersFindings) {
+  // floating_net has an NL003 warning; selecting a different family
+  // drops it from the report and the exit status.
+  const RunResult kept =
+      run_lint(fixture("floating_net.bench") + " --select NL --werror");
+  EXPECT_EQ(kept.exit_code, 1) << kept.output;
+  EXPECT_NE(kept.output.find("NL003"), std::string::npos) << kept.output;
+  const RunResult dropped =
+      run_lint(fixture("floating_net.bench") + " --select SC --werror");
+  EXPECT_EQ(dropped.exit_code, 0) << dropped.output;
+  EXPECT_NE(dropped.output.find("0 finding(s)"), std::string::npos)
+      << dropped.output;
+}
+
+TEST(LintCliTest, ListCodesJsonIncludesSummaries) {
+  const RunResult r = run_lint("--list-codes --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"codes\""), std::string::npos) << r.output;
+  for (DiagCode c : all_diag_codes()) {
+    EXPECT_NE(r.output.find("\"" + std::string(diag_code_name(c)) + "\""),
+              std::string::npos)
+        << diag_code_name(c);
+    EXPECT_NE(r.output.find(std::string(diag_code_summary(c))),
+              std::string::npos)
+        << diag_code_name(c);
+  }
+}
+
+// A netlist path containing quotes and a newline must survive the trip
+// through render_json: the document stays well-formed and parses back.
+TEST(LintCliTest, JsonSurvivesHostileNetlistPath) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/weird \"quoted\"\nname.bench";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr) << path;
+    std::fputs("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", f);
+    std::fclose(f);
+  }
+  const RunResult r = run_lint("'" + path + "' --json");
+  std::remove(path.c_str());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const auto report = DiagnosticReport::from_json(r.output);
+  ASSERT_TRUE(report.has_value()) << r.output;
+  EXPECT_TRUE(report->empty());
+  // The raw bytes must not leak into the document unescaped.
+  EXPECT_NE(r.output.find("\\\"quoted\\\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\\n"), std::string::npos) << r.output;
+}
+
+// Same property at the library level, with hostile bytes in every
+// string field a checker can set.
+TEST(LintCliTest, RenderJsonRoundTripsHostileStrings) {
+  DiagnosticReport report;
+  report.add(DiagCode::SC001, "clique \"7\"\n[unit 2]",
+             "writes \\ overlap\ttab and \x01 control byte");
+  const std::string json =
+      report.render_json("bns_lint", "a\"b\nc\\d.bench");
+  const auto parsed = DiagnosticReport::from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  EXPECT_EQ(*parsed, report);
+}
+
 TEST(LintCliTest, ListCodesCoversAllCodes) {
   const RunResult r = run_lint("--list-codes");
   EXPECT_EQ(r.exit_code, 0) << r.output;

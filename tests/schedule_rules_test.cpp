@@ -1,0 +1,433 @@
+// Tests for the static schedule & plan analyzer (src/verify/
+// schedule_rules): the clean-analyzer property over every checked-in
+// circuit, one seeded-defect fixture per SC code (mirroring the
+// `bns_lint --inject` hooks), the SC008 static-bound/runtime-gauge
+// cross-check, and unit coverage for the ScopeMap in-bounds predicate
+// and the dirty pre-screen model.
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "bn/factor.h"
+#include "bn/junction_tree.h"
+#include "bn/schedule.h"
+#include "gen/benchmarks.h"
+#include "lidag/estimator.h"
+#include "lidag/lidag.h"
+#include "netlist/bench_io.h"
+#include "obs/obs.h"
+#include "verify/diagnostics.h"
+#include "verify/schedule_rules.h"
+
+namespace bns {
+namespace {
+
+bool is_sc_code(DiagCode c) {
+  return diag_code_name(c).substr(0, 2) == "SC";
+}
+
+// All SC diagnostics in `report`, rendered for failure messages.
+std::string sc_findings(const DiagnosticReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!is_sc_code(d.code)) continue;
+    out += std::string(diag_code_name(d.code)) + " " + d.location + ": " +
+           d.message + "\n";
+  }
+  return out;
+}
+
+// A compiled engine + copyable schedule for one circuit, the raw
+// material every seeded-defect test corrupts. Mirrors the CLI injector
+// (tools/bns_lint.cpp) so the unit tests and `--inject` exercise the
+// same defect shapes.
+struct Compiled {
+  LidagBn lb;
+  JunctionTreeEngine eng;
+  PropagationSchedule sched;
+  std::vector<int> cpt_home;
+
+  explicit Compiled(const std::string& circuit)
+      : lb(build_lidag(make_benchmark(circuit),
+                       InputModel::uniform(make_benchmark(circuit).num_inputs()))),
+        eng(lb.bn) {
+    eng.prepare();
+    EXPECT_NE(eng.schedule(), nullptr) << circuit;
+    if (eng.schedule() != nullptr) sched = *eng.schedule();
+    cpt_home.assign(eng.cpt_home().begin(), eng.cpt_home().end());
+  }
+
+  // Runs every structural pass over the (possibly corrupted) copy.
+  DiagnosticReport lint_all() const {
+    DiagnosticReport report;
+    lint_schedule_races(eng.tree(), sched, report);
+    lint_stride_bounds(lb.bn, eng.tree(), sched, report);
+    lint_load_plans(lb.bn, eng.tree(), sched, report);
+    lint_reload_coverage(lb.bn, eng.tree(), sched, cpt_home,
+                         eng.snapshot_offsets(), report);
+    lint_numerical_risk(lb.bn, eng.tree(), sched, report);
+    return report;
+  }
+};
+
+// --- clean-analyzer property -------------------------------------------
+
+// Every checked-in ISCAS/MCNC fixture must compile to a schedule the
+// analyzer proves clean: zero SC diagnostics across all segments and
+// the dirty pre-screen. (The fixtures do carry genuine NL003/NL005
+// netlist warnings; those are not this analyzer's findings.)
+TEST(ScheduleRulesClean, AllDataFixturesHaveZeroScDiagnostics) {
+  namespace fs = std::filesystem;
+  int checked = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(BNS_DATA_DIR)) {
+    if (e.path().extension() != ".bench") continue;
+    const Netlist nl = read_bench_file(e.path().string());
+    const LidagEstimator est(nl, InputModel::uniform(nl.num_inputs()));
+    const DiagnosticReport report = est.verify(VerifyLevel::Schedule);
+    for (const Diagnostic& d : report.diagnostics()) {
+      EXPECT_FALSE(is_sc_code(d.code))
+          << e.path().filename() << "\n" << sc_findings(report);
+    }
+    EXPECT_EQ(report.num_errors(), 0) << e.path().filename();
+    ++checked;
+  }
+  EXPECT_GE(checked, 19) << "fixture sweep lost circuits — check "
+                         << BNS_DATA_DIR;
+}
+
+TEST(ScheduleRulesClean, BuiltInBenchmarksHaveZeroScDiagnostics) {
+  for (const std::string name : {"c17", "comp", "count", "b9"}) {
+    const Netlist nl = make_benchmark(name);
+    const LidagEstimator est(nl, InputModel::uniform(nl.num_inputs()));
+    const DiagnosticReport report = est.verify(VerifyLevel::Schedule);
+    for (const Diagnostic& d : report.diagnostics()) {
+      EXPECT_FALSE(is_sc_code(d.code)) << name << "\n" << sc_findings(report);
+    }
+  }
+}
+
+TEST(ScheduleRulesClean, RawPassesAcceptFreshSchedule) {
+  const Compiled c("count");
+  const DiagnosticReport report = c.lint_all();
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+// --- seeded defects: one fixture per SC code ---------------------------
+
+TEST(ScheduleRulesDefect, DuplicatedUnitFiresSc001) {
+  Compiled c("count");
+  ASSERT_FALSE(c.sched.units.empty());
+  c.sched.units.push_back(c.sched.units.front());
+  const DiagnosticReport report = c.lint_all();
+  EXPECT_TRUE(report.has_code(DiagCode::SC001)) << report.render_text();
+}
+
+TEST(ScheduleRulesDefect, ParkedEdgeClashFiresSc002) {
+  Compiled c("count");
+  ASSERT_FALSE(c.sched.units.empty());
+  ASSERT_GE(c.eng.tree().edges().size(), 2u);
+  SubtreeUnit& u = c.sched.units.front();
+  u.edge = (u.edge + 1) % static_cast<int>(c.eng.tree().edges().size());
+  const DiagnosticReport report = c.lint_all();
+  EXPECT_TRUE(report.has_code(DiagCode::SC002)) << report.render_text();
+}
+
+TEST(ScheduleRulesDefect, DroppedRootSequenceFiresSc003) {
+  Compiled c("count");
+  bool corrupted = false;
+  for (std::vector<int>& seq : c.sched.root_units) {
+    if (!seq.empty()) {
+      seq.clear();
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const DiagnosticReport report = c.lint_all();
+  EXPECT_TRUE(report.has_code(DiagCode::SC003)) << report.render_text();
+}
+
+TEST(ScheduleRulesDefect, OutOfBoundsStrideFiresSc004) {
+  Compiled c("count");
+  ASSERT_FALSE(c.sched.edges.empty());
+  MessagePlan& plan = c.sched.edges.front();
+  if (!plan.from_a.strides.empty()) {
+    plan.from_a.strides.front() += plan.ratio.size();
+  }
+  plan.ratio.pop_back(); // undersized separator workspace
+  const DiagnosticReport report = c.lint_all();
+  EXPECT_TRUE(report.has_code(DiagCode::SC004)) << report.render_text();
+}
+
+TEST(ScheduleRulesDefect, CptSizeMismatchFiresSc005) {
+  Compiled c("count");
+  bool corrupted = false;
+  for (std::vector<CliqueLoad>& loads : c.sched.loads) {
+    if (!loads.empty()) {
+      loads.front().cpt_size += 1;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const DiagnosticReport report = c.lint_all();
+  EXPECT_TRUE(report.has_code(DiagCode::SC005)) << report.render_text();
+}
+
+TEST(ScheduleRulesDefect, LoadMovedOffHomeCliqueFiresSc006) {
+  Compiled c("count");
+  ASSERT_GE(c.eng.tree().num_cliques(), 2);
+  bool corrupted = false;
+  for (std::size_t k = 0; k < c.sched.loads.size() && !corrupted; ++k) {
+    if (c.sched.loads[k].empty()) continue;
+    const std::size_t other = k == 0 ? 1 : 0;
+    c.sched.loads[other].push_back(c.sched.loads[k].back());
+    c.sched.loads[k].pop_back();
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted);
+  const DiagnosticReport report = c.lint_all();
+  EXPECT_TRUE(report.has_code(DiagCode::SC006)) << report.render_text();
+}
+
+TEST(ScheduleRulesDefect, CorruptedScreenModelFiresSc007) {
+  const Netlist nl = make_benchmark("count");
+  const LidagEstimator est(nl, InputModel::uniform(nl.num_inputs()));
+  SegmentScreenModel screen = est.screen_model();
+  // A boundary link whose owner does not run strictly before the reader,
+  // and a primary-input trigger past the tracked flag vector.
+  screen.links.push_back(ScreenLink{0, 0});
+  screen.roots.push_back(
+      ScreenRoot{0, ScreenTriggerKind::Spec, screen.num_specs});
+  DiagnosticReport report;
+  lint_dirty_screen(screen, report);
+  EXPECT_TRUE(report.has_code(DiagCode::SC007)) << report.render_text();
+  // Two independent defects, two findings.
+  EXPECT_GE(report.size(), 2u);
+}
+
+// Chain A -> B -> C with identity CPTs and a subnormal prior cell: the
+// collected root potential carries ~2^-1029, far past the SC008
+// threshold of 2^-1000.
+BayesianNetwork underflow_chain() {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("A", 2);
+  const VarId b = bn.add_variable("B", 2);
+  const VarId c = bn.add_variable("C", 2);
+  const double tiny = 1e-310;
+  Factor prior({a}, {2});
+  prior.set_value(0, tiny);
+  prior.set_value(1, 1.0 - tiny);
+  bn.set_cpt(a, {}, std::move(prior));
+  const auto identity = [](VarId parent, VarId child) {
+    Factor f({parent, child}, {2, 2});
+    f.set_value(0, 1.0); // child 0 | parent 0
+    f.set_value(3, 1.0); // child 1 | parent 1
+    return f;
+  };
+  bn.set_cpt(b, {a}, identity(a, b));
+  bn.set_cpt(c, {b}, identity(b, c));
+  return bn;
+}
+
+TEST(ScheduleRulesDefect, SubnormalPriorFiresSc008) {
+  const BayesianNetwork bn = underflow_chain();
+  JunctionTreeEngine eng(bn);
+  eng.prepare();
+  DiagnosticReport report;
+  const NumericalRiskBound bound = lint_schedule(eng, report);
+  EXPECT_TRUE(report.has_code(DiagCode::SC008)) << report.render_text();
+  EXPECT_EQ(report.find(DiagCode::SC008)->severity, Severity::Warning);
+  EXPECT_GT(bound.worst_neg_exp, 1000);
+  EXPECT_GE(bound.worst_root, 0);
+}
+
+// The static dataflow bound must dominate what a real propagation
+// observes: run the same chain, record the runtime sep_min_neg_exp
+// gauge, and check static >= observed (the soundness direction) while
+// the observed value itself confirms the risk is real, not a
+// false positive of the analyzer.
+TEST(ScheduleRulesDefect, StaticBoundDominatesRuntimeGauge) {
+  const BayesianNetwork bn = underflow_chain();
+  obs::Tracer tracer(obs::TraceLevel::Counters);
+  CompileOptions opts;
+  opts.trace = &tracer;
+  JunctionTreeEngine eng(bn, opts);
+  eng.prepare();
+  DiagnosticReport report;
+  const NumericalRiskBound bound = lint_schedule(eng, report);
+
+  eng.load_potentials();
+  eng.propagate();
+  const std::uint64_t observed =
+      tracer.metrics().value(obs::Counter::SepMinNegExp);
+  EXPECT_GT(observed, 900u); // the 1e-310 cell really flows to a separator
+  EXPECT_GE(static_cast<std::uint64_t>(bound.worst_neg_exp), observed)
+      << "static bound must be an over-approximation of the runtime gauge";
+}
+
+// A benign network stays under the threshold and reports a small bound.
+TEST(ScheduleRulesDefect, BenignChainHasNoSc008) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("A", 2);
+  const VarId b = bn.add_variable("B", 2);
+  Factor prior({a}, {2});
+  prior.set_value(0, 0.25);
+  prior.set_value(1, 0.75);
+  bn.set_cpt(a, {}, std::move(prior));
+  Factor f({a, b}, {2, 2});
+  f.set_value(0, 0.5);
+  f.set_value(1, 0.5);
+  f.set_value(2, 0.5);
+  f.set_value(3, 0.5);
+  bn.set_cpt(b, {a}, std::move(f));
+  JunctionTreeEngine eng(bn);
+  eng.prepare();
+  DiagnosticReport report;
+  const NumericalRiskBound bound = lint_schedule(eng, report);
+  EXPECT_FALSE(report.has_code(DiagCode::SC008)) << report.render_text();
+  EXPECT_LE(bound.worst_neg_exp, 16);
+}
+
+// --- ScopeMap in-bounds predicate --------------------------------------
+
+TEST(ScopeMapBounds, AcceptsRealMap) {
+  const VarId super_vars[] = {0, 1, 2};
+  const int super_cards[] = {2, 3, 2};
+  const VarId sub_vars[] = {1};
+  const int sub_cards[] = {3};
+  const ScopeMap m =
+      make_scope_map(super_vars, super_cards, sub_vars, sub_cards);
+  EXPECT_EQ(scope_map_domain_size(m), 12u);
+  EXPECT_EQ(scope_map_max_sub_offset(m), 2u);
+  EXPECT_TRUE(scope_map_in_bounds(m, 12, 3));
+}
+
+TEST(ScopeMapBounds, RejectsSizeMismatch) {
+  const VarId super_vars[] = {0, 1};
+  const int super_cards[] = {2, 2};
+  const VarId sub_vars[] = {0};
+  const int sub_cards[] = {2};
+  const ScopeMap m =
+      make_scope_map(super_vars, super_cards, sub_vars, sub_cards);
+  EXPECT_TRUE(scope_map_in_bounds(m, 4, 2));
+  EXPECT_FALSE(scope_map_in_bounds(m, 8, 2)) << "walk does not tile super";
+  EXPECT_FALSE(scope_map_in_bounds(m, 4, 1)) << "peak sub offset escapes";
+}
+
+TEST(ScopeMapBounds, RejectsCorruptedPrograms) {
+  const VarId super_vars[] = {0, 1};
+  const int super_cards[] = {2, 4};
+  const VarId sub_vars[] = {1};
+  const int sub_cards[] = {4};
+  ScopeMap m = make_scope_map(super_vars, super_cards, sub_vars, sub_cards);
+  ASSERT_TRUE(scope_map_in_bounds(m, 8, 4));
+
+  ScopeMap stride_bumped = m;
+  ASSERT_FALSE(stride_bumped.strides.empty());
+  stride_bumped.strides.front() += 100;
+  EXPECT_FALSE(scope_map_in_bounds(stride_bumped, 8, 4));
+
+  ScopeMap misaligned = m;
+  misaligned.strides.push_back(0); // cards/strides no longer parallel
+  EXPECT_FALSE(scope_map_in_bounds(misaligned, 8, 4));
+
+  ScopeMap zero_run = m;
+  zero_run.run = 0;
+  EXPECT_FALSE(scope_map_in_bounds(zero_run, 8, 4));
+
+  ScopeMap bad_card = m;
+  ASSERT_FALSE(bad_card.cards.empty());
+  bad_card.cards.front() = 0;
+  EXPECT_FALSE(scope_map_in_bounds(bad_card, 8, 4));
+}
+
+// --- dirty pre-screen model --------------------------------------------
+
+SegmentScreenModel two_segment_model() {
+  SegmentScreenModel m;
+  m.num_segments = 2;
+  m.num_specs = 3;
+  m.num_groups = 1;
+  m.num_nodes = 10;
+  m.roots = {
+      ScreenRoot{0, ScreenTriggerKind::Spec, 0},
+      ScreenRoot{0, ScreenTriggerKind::Group, 0},
+      ScreenRoot{1, ScreenTriggerKind::Node, 4},
+      ScreenRoot{1, ScreenTriggerKind::Constant, -1},
+  };
+  m.links = {ScreenLink{1, 0}};
+  return m;
+}
+
+TEST(DirtyScreen, AcceptsWellFormedModel) {
+  DiagnosticReport report;
+  lint_dirty_screen(two_segment_model(), report);
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+TEST(DirtyScreen, FlagsOutOfRangeTriggers) {
+  for (const ScreenRoot bad : {
+           ScreenRoot{0, ScreenTriggerKind::Spec, 3},   // == num_specs
+           ScreenRoot{0, ScreenTriggerKind::Spec, -1},
+           ScreenRoot{0, ScreenTriggerKind::Group, 1},  // == num_groups
+           ScreenRoot{1, ScreenTriggerKind::Node, 10},  // == num_nodes
+           ScreenRoot{2, ScreenTriggerKind::Constant, -1}, // segment OOB
+       }) {
+    SegmentScreenModel m = two_segment_model();
+    m.roots.push_back(bad);
+    DiagnosticReport report;
+    lint_dirty_screen(m, report);
+    EXPECT_TRUE(report.has_code(DiagCode::SC007))
+        << "kind=" << static_cast<int>(bad.kind) << " index=" << bad.index;
+  }
+}
+
+TEST(DirtyScreen, FlagsNonCausalLinks) {
+  for (const ScreenLink bad : {
+           ScreenLink{0, 0},  // owner == reader: no strict ordering
+           ScreenLink{0, 1},  // owner runs after the reader
+           ScreenLink{1, -1}, // owner out of range
+       }) {
+    SegmentScreenModel m = two_segment_model();
+    m.links.push_back(bad);
+    DiagnosticReport report;
+    lint_dirty_screen(m, report);
+    EXPECT_TRUE(report.has_code(DiagCode::SC007))
+        << "segment=" << bad.segment << " owner=" << bad.owner_segment;
+  }
+}
+
+// --- estimator integration ---------------------------------------------
+
+// VerifyLevel is ordered: Schedule includes everything Full includes,
+// and a clean circuit stays clean at every level.
+TEST(ScheduleRulesIntegration, VerifyLevelsAreMonotone) {
+  const Netlist nl = make_benchmark("c17");
+  const LidagEstimator est(nl, InputModel::uniform(nl.num_inputs()));
+  const DiagnosticReport off = est.verify(VerifyLevel::Off);
+  const DiagnosticReport full = est.verify(VerifyLevel::Full);
+  const DiagnosticReport sched = est.verify(VerifyLevel::Schedule);
+  EXPECT_TRUE(off.empty());
+  EXPECT_TRUE(full.empty()) << full.render_text();
+  EXPECT_TRUE(sched.empty()) << sched.render_text();
+}
+
+TEST(ScheduleRulesIntegration, ScreenModelMatchesSegmentation) {
+  const Netlist nl = make_benchmark("c432");
+  const LidagEstimator est(nl, InputModel::uniform(nl.num_inputs()));
+  const SegmentScreenModel screen = est.screen_model();
+  EXPECT_EQ(screen.num_segments, est.num_segments());
+  EXPECT_EQ(screen.num_specs, nl.num_inputs());
+  EXPECT_FALSE(screen.roots.empty());
+  DiagnosticReport report;
+  lint_dirty_screen(screen, report);
+  EXPECT_TRUE(report.empty()) << report.render_text();
+}
+
+} // namespace
+} // namespace bns

@@ -11,8 +11,11 @@
 //                       loops, unreachable gates (NL001-NL012)
 //   2. structural lint  checks on the built netlist (arity, LUT tables)
 //   3. model lint       [--level fast+] LIDAG BN invariants (BN001-BN008)
-//   4. compile lint     [--level full] junction-tree invariants
+//   4. compile lint     [--level full+] junction-tree invariants
 //                       (JT001-JT005)
+//   5. schedule lint    [--level schedule / --schedule] static analysis
+//                       of the compiled propagation plans: race freedom,
+//                       reload coverage, numerical risk (SC001-SC008)
 //
 // Exit status: 0 clean (or warnings without --werror), 1 error-severity
 // findings, 2 usage or I/O failure.
@@ -32,26 +35,56 @@ struct Options {
   bool json = false;
   bool werror = false;
   bool list_codes = false;
+  // Comma-separated diagnostic-code prefixes; when non-empty, only
+  // matching codes are reported and counted toward the exit status.
+  std::vector<std::string> select;
   // Test hooks: deliberately corrupt the model / the compiled structure
   // so the downstream checkers (and their exit-status contract) can be
   // exercised end-to-end from fixture circuits that are themselves clean.
   bool inject_bad_cpt = false;
   bool inject_broken_rip = false;
+  // Schedule-analyzer defect hooks (one SC code each); empty = none.
+  std::string inject_schedule;
 };
+
+bool is_schedule_inject(const std::string& kind) {
+  return kind == "unit-overlap" || kind == "unit-edge-clash" ||
+         kind == "root-order" || kind == "oob-stride" ||
+         kind == "load-mismatch" || kind == "reload-gap" ||
+         kind == "screen-gap" || kind == "underflow";
+}
 
 [[noreturn]] void usage() {
   std::fprintf(stderr, "%s", R"(usage: bns_lint <circuit> [options]
   <circuit>           path to .bench/.blif, or a built-in benchmark name
 options:
-  --level off|fast|full   checking depth (default fast; full compiles the
-                          LIDAG junction trees and lints them too)
+  --level off|fast|full|schedule
+                          checking depth (default fast; full compiles the
+                          LIDAG junction trees and lints them too;
+                          schedule additionally analyzes the compiled
+                          propagation plans: SC001-SC008)
+  --schedule              shorthand for --level schedule
   --json                  machine-readable report on stdout
   --werror                treat warnings as errors for the exit status
+  --select PREFIXES       only report codes matching the comma-separated
+                          prefixes (e.g. SC or NL003,JT); the exit
+                          status counts the selection only
   --list-codes            print the diagnostic-code table and exit
+                          (with --json: machine-readable, incl. summaries)
 test hooks (documented for the test suite; not for production use):
   --inject bad-cpt        corrupt one gate CPT before model lint
   --inject broken-rip     lint a junction structure violating the
                           running intersection property
+  --inject unit-overlap   two subtree units writing one clique     (SC001)
+  --inject unit-edge-clash  unit parking its message in the wrong
+                          edge buffer                              (SC002)
+  --inject root-order     broken root application sequence         (SC003)
+  --inject oob-stride     out-of-bounds message stride program     (SC004)
+  --inject load-mismatch  stale CPT load-plan size guard           (SC005)
+  --inject reload-gap     CPT loaded outside its cpt_home clique   (SC006)
+  --inject screen-gap     dirty pre-screen missing a trigger       (SC007)
+  --inject underflow      schedule whose min-exponent bound breaches
+                          the underflow threshold                  (SC008)
 )");
   std::exit(2);
 }
@@ -72,13 +105,30 @@ Options parse(int argc, char** argv) {
         o.level = VerifyLevel::Fast;
       } else if (level == "full") {
         o.level = VerifyLevel::Full;
+      } else if (level == "schedule") {
+        o.level = VerifyLevel::Schedule;
       } else {
         usage();
       }
+    } else if (a == "--schedule") {
+      o.level = VerifyLevel::Schedule;
     } else if (a == "--json") {
       o.json = true;
     } else if (a == "--werror") {
       o.werror = true;
+    } else if (a == "--select") {
+      const std::string arg = next();
+      std::size_t start = 0;
+      while (start <= arg.size()) {
+        const std::size_t comma = arg.find(',', start);
+        const std::string prefix =
+            arg.substr(start, comma == std::string::npos ? std::string::npos
+                                                         : comma - start);
+        if (!prefix.empty()) o.select.push_back(prefix);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (o.select.empty()) usage();
     } else if (a == "--list-codes") {
       o.list_codes = true;
     } else if (a == "--inject") {
@@ -87,6 +137,8 @@ Options parse(int argc, char** argv) {
         o.inject_bad_cpt = true;
       } else if (kind == "broken-rip") {
         o.inject_broken_rip = true;
+      } else if (is_schedule_inject(kind)) {
+        o.inject_schedule = kind;
       } else {
         usage();
       }
@@ -102,7 +154,25 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-int cmd_list_codes() {
+int cmd_list_codes(bool json) {
+  if (json) {
+    std::string out = "{\n  \"codes\": [";
+    bool first = true;
+    for (DiagCode c : all_diag_codes()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    {\"code\": ";
+      obs::json_append_string(out, diag_code_name(c));
+      out += ", \"default\": ";
+      obs::json_append_string(out, severity_name(diag_default_severity(c)));
+      out += ", \"summary\": ";
+      obs::json_append_string(out, diag_code_summary(c));
+      out += '}';
+    }
+    out += "\n  ]\n}\n";
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
   std::printf("%-7s %-8s %s\n", "code", "default", "meaning");
   for (DiagCode c : all_diag_codes()) {
     std::printf("%-7.*s %-8.*s %.*s\n",
@@ -147,6 +217,136 @@ void inject_bad_cpt(BayesianNetwork& bn) {
   throw std::runtime_error("--inject bad-cpt: circuit has no gate CPT");
 }
 
+// A three-variable chain A -> B -> C whose root prior carries an
+// entry of ~2^-1030: the schedule analyzer's min-exponent dataflow must
+// bound the component past the underflow threshold and emit SC008.
+void lint_injected_underflow(DiagnosticReport& report) {
+  BayesianNetwork bn;
+  const VarId a = bn.add_variable("A", 2);
+  const VarId b = bn.add_variable("B", 2);
+  const VarId c = bn.add_variable("C", 2);
+  const double tiny = 1e-310; // subnormal: frexp exponent ~ -1029
+  Factor prior({a}, {2});
+  prior.set_value(0, tiny);
+  prior.set_value(1, 1.0 - tiny);
+  bn.set_cpt(a, {}, std::move(prior));
+  const auto identity = [](VarId parent, VarId child) {
+    Factor f({parent, child}, {2, 2});
+    f.set_value(0, 1.0); // child 0 | parent 0
+    f.set_value(3, 1.0); // child 1 | parent 1
+    return f;
+  };
+  bn.set_cpt(b, {a}, identity(a, b));
+  bn.set_cpt(c, {b}, identity(b, c));
+  JunctionTreeEngine eng(bn);
+  eng.prepare();
+  lint_schedule(eng, report);
+}
+
+// Corrupts a copy of the circuit's freshly compiled schedule (or screen
+// model) so exactly the targeted SC check has a demonstrable defect to
+// find; the raw lint functions then run over the corrupted structures.
+void lint_injected_schedule_defect(const Netlist& nl, const std::string& kind,
+                                   DiagnosticReport& report) {
+  if (kind == "underflow") {
+    lint_injected_underflow(report);
+    return;
+  }
+  const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
+  if (kind == "screen-gap") {
+    const LidagEstimator est(nl, model);
+    SegmentScreenModel screen = est.screen_model();
+    // A boundary link whose owner does not run strictly before the
+    // reader, and a primary-input trigger past the tracked flags.
+    screen.links.push_back(ScreenLink{0, 0});
+    screen.roots.push_back(
+        ScreenRoot{0, ScreenTriggerKind::Spec, screen.num_specs});
+    lint_dirty_screen(screen, report);
+    return;
+  }
+
+  LidagBn lb = build_lidag(nl, model);
+  JunctionTreeEngine eng(lb.bn);
+  eng.prepare();
+  const JunctionTree& tree = eng.tree();
+  PropagationSchedule sched = *eng.schedule();
+  std::vector<int> cpt_home(eng.cpt_home().begin(), eng.cpt_home().end());
+
+  if (kind == "unit-overlap") {
+    // A second unit claiming the first unit's cliques: a write overlap
+    // between subtree units over every clique table they share.
+    if (sched.units.empty()) {
+      throw std::runtime_error("--inject unit-overlap: schedule has no units");
+    }
+    sched.units.push_back(sched.units.front());
+  } else if (kind == "unit-edge-clash") {
+    if (sched.units.empty() || tree.edges().size() < 2) {
+      throw std::runtime_error(
+          "--inject unit-edge-clash: circuit too small to corrupt");
+    }
+    SubtreeUnit& u = sched.units.front();
+    u.edge = (u.edge + 1) % static_cast<int>(tree.edges().size());
+  } else if (kind == "root-order") {
+    bool corrupted = false;
+    for (auto& seq : sched.root_units) {
+      if (!seq.empty()) {
+        seq.clear(); // drops the root's whole application sequence
+        corrupted = true;
+        break;
+      }
+    }
+    if (!corrupted) {
+      throw std::runtime_error("--inject root-order: no root has units");
+    }
+  } else if (kind == "oob-stride") {
+    if (sched.edges.empty()) {
+      throw std::runtime_error("--inject oob-stride: schedule has no edges");
+    }
+    MessagePlan& plan = sched.edges.front();
+    if (!plan.from_a.strides.empty()) {
+      plan.from_a.strides.front() += plan.ratio.size();
+    }
+    plan.ratio.pop_back(); // undersized separator workspace
+  } else if (kind == "load-mismatch") {
+    bool corrupted = false;
+    for (auto& loads : sched.loads) {
+      if (!loads.empty()) {
+        loads.front().cpt_size += 1;
+        corrupted = true;
+        break;
+      }
+    }
+    if (!corrupted) {
+      throw std::runtime_error("--inject load-mismatch: schedule has no loads");
+    }
+  } else if (kind == "reload-gap") {
+    // Moves one CPT load into a foreign clique without updating
+    // cpt_home: reload_incremental would dirty the home clique while
+    // the foreign one is memcpy-restored stale.
+    if (tree.num_cliques() < 2) {
+      throw std::runtime_error("--inject reload-gap: need two cliques");
+    }
+    bool corrupted = false;
+    for (std::size_t c = 0; c < sched.loads.size() && !corrupted; ++c) {
+      if (sched.loads[c].empty()) continue;
+      const std::size_t other = c == 0 ? 1 : 0;
+      sched.loads[other].push_back(sched.loads[c].back());
+      sched.loads[c].pop_back();
+      corrupted = true;
+    }
+    if (!corrupted) {
+      throw std::runtime_error("--inject reload-gap: schedule has no loads");
+    }
+  }
+
+  lint_schedule_races(tree, sched, report);
+  lint_stride_bounds(lb.bn, tree, sched, report);
+  lint_load_plans(lb.bn, tree, sched, report);
+  lint_reload_coverage(lb.bn, tree, sched, cpt_home, eng.snapshot_offsets(),
+                       report);
+  lint_numerical_risk(lb.bn, tree, sched, report);
+}
+
 // A three-clique cycle over a triangle: whatever spanning tree the
 // junction-tree builder picks, one variable's cliques end up
 // disconnected, so the RIP lint must flag JT002.
@@ -164,7 +364,7 @@ void lint_injected_broken_rip(DiagnosticReport& report) {
 
 int run(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  if (o.list_codes) return cmd_list_codes();
+  if (o.list_codes) return cmd_list_codes(o.json);
 
   DiagnosticReport report;
   const bool from_file =
@@ -207,13 +407,31 @@ int run(int argc, char** argv) {
       mopts.deterministic_vars = det_vars;
       lint_bayes_net(lb.bn, report, mopts);
       lint_lidag_structure(nl, lb.bn, lb.var_of_node, root_vars, report);
-    } else if (o.level >= VerifyLevel::Fast && !o.inject_broken_rip) {
+    } else if (o.level >= VerifyLevel::Fast && !o.inject_broken_rip &&
+               o.inject_schedule.empty()) {
       const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
       EstimatorOptions eopts;
       const LidagEstimator est(nl, model, eopts);
       merge_deduped(report, est.verify(o.level));
     }
     if (o.inject_broken_rip) lint_injected_broken_rip(report);
+    if (!o.inject_schedule.empty()) {
+      lint_injected_schedule_defect(nl, o.inject_schedule, report);
+    }
+  }
+
+  if (!o.select.empty()) {
+    DiagnosticReport selected;
+    for (const Diagnostic& d : report.diagnostics()) {
+      const std::string_view name = diag_code_name(d.code);
+      for (const std::string& prefix : o.select) {
+        if (name.substr(0, prefix.size()) == prefix) {
+          selected.add(d.code, d.severity, d.location, d.message);
+          break;
+        }
+      }
+    }
+    report = std::move(selected);
   }
 
   if (o.json) {
