@@ -1,6 +1,7 @@
 #include "bn/junction_tree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
@@ -281,6 +282,30 @@ void JunctionTreeEngine::prepare() {
   // Health accumulators are part of the one-time allocation so the
   // probes stay allocation-free on the update path.
   edge_health_.assign(tree_.edges().size(), EdgeHealth{});
+  // Component roots: the granularity at which a scoped
+  // reload_incremental() leaves clean components entirely untouched.
+  root_of_.assign(static_cast<std::size_t>(tree_.num_cliques()), -1);
+  for (int c : tree_.preorder()) {
+    const int p = tree_.parent(c);
+    root_of_[static_cast<std::size_t>(c)] =
+        p < 0 ? c : root_of_[static_cast<std::size_t>(p)];
+  }
+  // Cost model: seed each subtree unit's prediction with its static
+  // table-size prior (collect + distribute each walk roughly the
+  // unit's clique cells once) so the very first dispatch already runs
+  // longest-first; observations replace the prior from then on.
+  unit_cost_.assign(sched_.units.size(), UnitCost{});
+  unit_scratch_ns_.assign(sched_.units.size(), 0);
+  unit_order_.assign(sched_.units.size(), 0);
+  for (std::size_t ui = 0; ui < sched_.units.size(); ++ui) {
+    double cells = 0.0;
+    for (int c : sched_.units[ui].preorder) {
+      cells += static_cast<double>(
+          clique_pot_[static_cast<std::size_t>(c)].size());
+    }
+    unit_cost_[ui].table_cells = cells;
+    unit_cost_[ui].predicted_ns = 2.0 * cells;
+  }
   if (trace_ != nullptr && trace_->counters_on()) {
     std::uint64_t bytes = 0;
     for (const Factor& f : clique_pot_) bytes += f.size() * sizeof(double);
@@ -327,8 +352,11 @@ void JunctionTreeEngine::load_potentials() {
   propagated_ = false;
   evidence_since_load_ = false;
   // A full reload may change any CPT's values; the snapshot no longer
-  // describes the loaded state until snapshot_potentials() runs again.
+  // describes the loaded state until snapshot_potentials() runs again,
+  // and with it goes the message snapshot and any pending partial sweep.
   snap_valid_ = false;
+  msg_snap_valid_ = false;
+  partial_pending_ = false;
 }
 
 void JunctionTreeEngine::load_clique(int i) {
@@ -364,6 +392,18 @@ void JunctionTreeEngine::snapshot_potentials() {
     snap_off_.push_back(off);
     snap_.resize(off);
     clique_dirty_.assign(clique_pot_.size(), 0);
+    sub_dirty_.assign(clique_pot_.size(), 0);
+    // Collect-message snapshot: one separator-sized slice per edge, so
+    // a partial propagate can restore frontier messages whose source
+    // subtree is clean instead of re-marginalizing it.
+    msg_snap_off_.reserve(sep_pot_.size() + 1);
+    std::size_t moff = 0;
+    for (const Factor& f : sep_pot_) {
+      msg_snap_off_.push_back(moff);
+      moff += f.size();
+    }
+    msg_snap_off_.push_back(moff);
+    msg_snap_.resize(moff);
   }
   for (std::size_t i = 0; i < clique_pot_.size(); ++i) {
     const auto vals = clique_pot_[i].values();
@@ -371,6 +411,9 @@ void JunctionTreeEngine::snapshot_potentials() {
               static_cast<std::ptrdiff_t>(snap_off_[i]));
   }
   snap_valid_ = true;
+  // Messages have not been computed for this loaded state yet; the next
+  // full propagate refreshes the slices and re-validates them.
+  msg_snap_valid_ = false;
 }
 
 void JunctionTreeEngine::reload_incremental(
@@ -378,13 +421,39 @@ void JunctionTreeEngine::reload_incremental(
   BNS_EXPECTS_MSG(snap_valid_,
                   "reload_incremental needs snapshot_potentials() first");
   obs::Span span(trace_, "load");
+  // Scoped (clique/component-granular) mode requires the live state to
+  // be the propagated, evidence-free result of the snapshot state: a
+  // clean component's potentials are then already bit-identical to what
+  // a full reload + propagate would produce, so it is left entirely
+  // untouched (no restore, no separator reset, no messages). Otherwise
+  // fall back to the whole-tree restore and a full next propagate.
+  const bool scoped = propagated_ && !evidence_since_load_;
   std::fill(clique_dirty_.begin(), clique_dirty_.end(), 0);
+  std::fill(sub_dirty_.begin(), sub_dirty_.end(), 0);
   for (VarId v : changed_vars) {
-    clique_dirty_[static_cast<std::size_t>(
-        cpt_home_[static_cast<std::size_t>(v)])] = 1;
+    const std::size_t home =
+        static_cast<std::size_t>(cpt_home_[static_cast<std::size_t>(v)]);
+    clique_dirty_[home] = 1;
+    sub_dirty_[home] = 1;
+  }
+  // Fold dirt rootward (reverse preorder visits children before
+  // parents): afterwards sub_dirty_[c] says whether subtree(c) holds a
+  // dirty clique, and sub_dirty_[root] whether the component does.
+  const auto& pre = tree_.preorder();
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const int c = *it;
+    const int p = tree_.parent(c);
+    if (p >= 0 && sub_dirty_[static_cast<std::size_t>(c)] != 0) {
+      sub_dirty_[static_cast<std::size_t>(p)] = 1;
+    }
   }
   std::uint64_t loads_rerun = 0;
+  std::uint64_t restored = 0;
   for (std::size_t i = 0; i < clique_pot_.size(); ++i) {
+    if (scoped &&
+        sub_dirty_[static_cast<std::size_t>(root_of_[i])] == 0) {
+      continue; // clean component: live propagated state is final
+    }
     auto vals = clique_pot_[i].values();
     if (clique_dirty_[i] != 0) {
       load_clique(static_cast<int>(i));
@@ -397,19 +466,31 @@ void JunctionTreeEngine::reload_incremental(
       std::copy(snap_.begin() + static_cast<std::ptrdiff_t>(snap_off_[i]),
                 snap_.begin() + static_cast<std::ptrdiff_t>(snap_off_[i + 1]),
                 vals.begin());
+      ++restored;
     }
   }
-  for (Factor& sep : sep_pot_) {
-    auto vals = sep.values();
+  const auto& edges = tree_.edges();
+  for (std::size_t e = 0; e < sep_pot_.size(); ++e) {
+    if (scoped &&
+        sub_dirty_[static_cast<std::size_t>(
+            root_of_[static_cast<std::size_t>(edges[e].a)])] == 0) {
+      continue; // separator of a clean component keeps its final value
+    }
+    auto vals = sep_pot_[e].values();
     std::fill(vals.begin(), vals.end(), 1.0);
   }
   potentials_ready_ = true;
   propagated_ = false;
   evidence_since_load_ = false;
+  partial_pending_ = scoped && has_schedule_;
+  cliques_restored_total_ += restored;
   if (trace_ != nullptr) {
     trace_->count(obs::Counter::IncrementalReloads);
     if (loads_rerun != 0) {
       trace_->count(obs::Counter::CptLoads, loads_rerun);
+    }
+    if (restored != 0) {
+      trace_->count(obs::Counter::CliquesRestored, restored);
     }
   }
 }
@@ -421,6 +502,10 @@ void JunctionTreeEngine::set_evidence(VarId v, int state) {
   clique_pot_[static_cast<std::size_t>(home)].reduce(v, state);
   propagated_ = false;
   evidence_since_load_ = true;
+  // Evidence may land in a component the pending partial sweep would
+  // have skipped, and taints any messages computed from here on.
+  partial_pending_ = false;
+  msg_snap_valid_ = false;
 }
 
 void JunctionTreeEngine::set_soft_evidence(VarId v,
@@ -436,6 +521,8 @@ void JunctionTreeEngine::set_soft_evidence(VarId v,
   clique_pot_[static_cast<std::size_t>(home)].multiply_in(lambda);
   propagated_ = false;
   evidence_since_load_ = true;
+  partial_pending_ = false;
+  msg_snap_valid_ = false;
 }
 
 void JunctionTreeEngine::pass_message(int from, int to, int edge) {
@@ -503,24 +590,62 @@ void JunctionTreeEngine::apply_message(int to, int edge) {
                   clique_pot_[static_cast<std::size_t>(to)].values().data());
 }
 
+void JunctionTreeEngine::restore_message(int edge) {
+  // sep := saved fresh message; ratio := saved fresh message. Bitwise
+  // what compute_message() would produce here: the source subtree's
+  // potentials are unchanged (so the fresh marginal is the saved one)
+  // and the separator was reset to 1.0 by the reload, so the Hugin
+  // ratio fresh/old == fresh/1.0 == fresh exactly.
+  MessagePlan& plan = sched_.edges[static_cast<std::size_t>(edge)];
+  const double* src =
+      msg_snap_.data() + msg_snap_off_[static_cast<std::size_t>(edge)];
+  const std::size_t sz = plan.ratio.size();
+  std::copy_n(src, sz, sep_pot_[static_cast<std::size_t>(edge)].values().data());
+  std::copy_n(src, sz, plan.ratio.data());
+}
+
+void JunctionTreeEngine::refresh_message_snapshot(bool dirty_only) {
+  // Runs between the collect and distribute phases, when every
+  // separator of a (re)computed component holds its fresh collect
+  // message. Clean components' separators hold last sweep's distribute
+  // values and must not be copied — their slices are already current.
+  const auto& edges = tree_.edges();
+  for (std::size_t e = 0; e < sep_pot_.size(); ++e) {
+    if (dirty_only &&
+        sub_dirty_[static_cast<std::size_t>(
+            root_of_[static_cast<std::size_t>(edges[e].a)])] == 0) {
+      continue;
+    }
+    const auto vals = sep_pot_[e].values();
+    std::copy(vals.begin(), vals.end(),
+              msg_snap_.begin() + static_cast<std::ptrdiff_t>(msg_snap_off_[e]));
+  }
+}
+
+int JunctionTreeEngine::build_unit_order(bool partial) {
+  int n = 0;
+  for (std::size_t ui = 0; ui < sched_.units.size(); ++ui) {
+    if (partial &&
+        sub_dirty_[static_cast<std::size_t>(sched_.units[ui].root)] == 0) {
+      continue; // whole component clean: unit fully skipped
+    }
+    unit_order_[static_cast<std::size_t>(n++)] = static_cast<int>(ui);
+  }
+  // Longest-predicted-first, index as tie-break so the order is
+  // deterministic. Execution order never affects results (units write
+  // disjoint cliques; root applies keep the fixed sequential order), so
+  // this is purely a makespan lever.
+  std::sort(unit_order_.begin(), unit_order_.begin() + n, [&](int a, int b) {
+    const double ca = unit_cost_[static_cast<std::size_t>(a)].predicted_ns;
+    const double cb = unit_cost_[static_cast<std::size_t>(b)].predicted_ns;
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return n;
+}
+
 void JunctionTreeEngine::propagate_sequential() {
   const auto& pre = tree_.preorder();
-  if (has_schedule_) {
-    for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
-      const int c = *it;
-      const int p = tree_.parent(c);
-      if (p < 0) continue;
-      compute_message(c, tree_.parent_edge(c));
-      apply_message(p, tree_.parent_edge(c));
-    }
-    for (int c : pre) {
-      const int p = tree_.parent(c);
-      if (p < 0) continue;
-      compute_message(p, tree_.parent_edge(c));
-      apply_message(c, tree_.parent_edge(c));
-    }
-    return;
-  }
   for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
     const int c = *it;
     const int p = tree_.parent(c);
@@ -532,64 +657,162 @@ void JunctionTreeEngine::propagate_sequential() {
   }
 }
 
-void JunctionTreeEngine::propagate_parallel(ThreadPool& pool) {
+void JunctionTreeEngine::propagate_units(ThreadPool* pool, bool partial) {
+  using clock = std::chrono::steady_clock;
+  const int nu = build_unit_order(partial);
+  const bool restore_ok = partial && msg_snap_valid_;
   // Collect: each root-child subtree is independent. The final
-  // child→root ratio is computed but parked in the edge buffer.
-  pool.parallel_for(static_cast<int>(sched_.units.size()), [&](int ui) {
+  // child→root ratio is computed (or restored) but parked in the edge
+  // buffer. Timing is per unit into disjoint scratch slots (one writer
+  // per unit per phase), feeding the EWMA after the sweep.
+  auto collect_unit = [&](int ui) {
     const SubtreeUnit& u = sched_.units[static_cast<std::size_t>(ui)];
+    const auto t0 = clock::now();
     for (auto it = u.preorder.rbegin(); it != u.preorder.rend(); ++it) {
       const int c = *it;
       const int e = tree_.parent_edge(c);
-      compute_message(c, e);
+      if (restore_ok && sub_dirty_[static_cast<std::size_t>(c)] == 0) {
+        restore_message(e); // clean subtree: frontier message replayed
+      } else {
+        compute_message(c, e);
+      }
       if (c != u.top) apply_message(tree_.parent(c), e);
     }
-  });
+    unit_scratch_ns_[static_cast<std::size_t>(ui)] = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+  };
+  const bool threaded = pool != nullptr && pool->num_threads() > 1 && nu > 1;
+  if (threaded) {
+    pool->parallel_for_ordered(nu, unit_order_, collect_unit);
+  } else {
+    for (int k = 0; k < nu; ++k) {
+      collect_unit(unit_order_[static_cast<std::size_t>(k)]);
+    }
+  }
   // Apply the parked ratios into the (possibly shared) roots in the
-  // same order the sequential reverse-preorder sweep uses, so parallel
-  // propagation stays bit-identical.
+  // same order the sequential reverse-preorder sweep uses, so the
+  // result is bit-identical at any thread count and dispatch order.
   for (const auto& units : sched_.root_units) {
+    if (units.empty()) continue;
+    if (partial &&
+        sub_dirty_[static_cast<std::size_t>(
+            sched_.units[static_cast<std::size_t>(units[0])].root)] == 0) {
+      continue;
+    }
     for (int ui : units) {
       const SubtreeUnit& u = sched_.units[static_cast<std::size_t>(ui)];
       apply_message(u.root, u.edge);
     }
   }
+  // The separators now hold the fresh collect messages: snapshot them
+  // (before distribute overwrites them) so the next scoped reload can
+  // restore frontier messages. Tainted states (evidence, no snapshot)
+  // never re-validate.
+  if (snap_valid_ && !evidence_since_load_ && !msg_snap_off_.empty()) {
+    refresh_message_snapshot(/*dirty_only=*/partial);
+    if (!partial) msg_snap_valid_ = true;
+  }
   // Distribute: the root potentials are final and only read; each unit
-  // updates its own cliques.
-  pool.parallel_for(static_cast<int>(sched_.units.size()), [&](int ui) {
+  // updates its own cliques. A changed parent message invalidates every
+  // distribute message below it, so dirty components re-run in full.
+  auto distribute_unit = [&](int ui) {
     const SubtreeUnit& u = sched_.units[static_cast<std::size_t>(ui)];
+    const auto t0 = clock::now();
     for (const int c : u.preorder) {
       const int e = tree_.parent_edge(c);
       compute_message(tree_.parent(c), e);
       apply_message(c, e);
     }
-  });
+    unit_scratch_ns_[static_cast<std::size_t>(ui)] +=
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                 t0)
+                .count());
+  };
+  if (threaded) {
+    pool->parallel_for_ordered(nu, unit_order_, distribute_unit);
+  } else {
+    for (int k = 0; k < nu; ++k) {
+      distribute_unit(unit_order_[static_cast<std::size_t>(k)]);
+    }
+  }
+  // Online cost model: fold the observed wall time of every executed
+  // unit into its prediction (EWMA, keep 0.7). Partial sweeps observe
+  // genuinely cheaper units (restored messages), which is what the
+  // next partial dispatch should predict.
+  constexpr double kEwmaKeep = 0.7;
+  for (int k = 0; k < nu; ++k) {
+    const std::size_t ui =
+        static_cast<std::size_t>(unit_order_[static_cast<std::size_t>(k)]);
+    const double observed = static_cast<double>(unit_scratch_ns_[ui]);
+    UnitCost& uc = unit_cost_[ui];
+    // The first observation replaces the static prior outright (the
+    // prior is a relative cell count, not nanoseconds); later ones
+    // blend so transient stalls don't whipsaw the dispatch order.
+    uc.predicted_ns = uc.observed_ns == 0.0
+                          ? observed
+                          : kEwmaKeep * uc.predicted_ns +
+                                (1.0 - kEwmaKeep) * observed;
+    uc.observed_ns = observed;
+  }
 }
 
 void JunctionTreeEngine::propagate(ThreadPool* pool) {
   BNS_EXPECTS(potentials_ready_);
   obs::Span span(trace_, "propagate");
+  const bool partial = partial_pending_ && has_schedule_;
+  partial_pending_ = false;
+  // Message accounting for the partial sweep, taken before the sweep
+  // flips any frontier state: a clean component skips both phases of
+  // every edge; inside a dirty component the collect message of a
+  // clean subtree is restored (when the message snapshot is live) and
+  // distribute always recomputes.
+  std::uint64_t msgs_computed = messages_per_propagation();
+  std::uint64_t msgs_skipped = 0;
+  if (partial) {
+    msgs_computed = 0;
+    for (int c : tree_.preorder()) {
+      if (tree_.parent(c) < 0) continue;
+      if (sub_dirty_[static_cast<std::size_t>(
+              root_of_[static_cast<std::size_t>(c)])] == 0) {
+        msgs_skipped += 2;
+        continue;
+      }
+      ++msgs_computed; // distribute
+      if (msg_snap_valid_ && sub_dirty_[static_cast<std::size_t>(c)] == 0) {
+        ++msgs_skipped; // collect restored from the message snapshot
+      } else {
+        ++msgs_computed; // collect
+      }
+    }
+  }
   // Numerical-health probing rides the scheduled path at Counters level
   // and above. The per-edge accumulators are preallocated (prepare()),
   // written by exactly one thread per phase, and reduced here once per
   // sweep — so the zero-allocation/zero-locking hot-path invariant
-  // still holds at counter-only tracing.
+  // still holds at counter-only tracing. Restored messages are not
+  // re-scanned: their cells were probed when originally computed.
   probe_health_ =
       has_schedule_ && trace_ != nullptr && trace_->counters_on();
   const std::uint64_t t0 = probe_health_ ? trace_->now_ns() : 0;
   if (probe_health_) {
     for (EdgeHealth& h : edge_health_) h = EdgeHealth{};
   }
-  if (has_schedule_ && pool != nullptr && pool->num_threads() > 1 &&
-      sched_.units.size() > 1) {
-    propagate_parallel(*pool);
+  if (has_schedule_) {
+    propagate_units(pool, partial);
   } else {
     propagate_sequential();
   }
   // Per-edge message *counts* only — no per-message instrumentation, so
   // the PR 2 zero-allocation/zero-locking hot-path invariant holds at
   // counter-only tracing.
+  messages_skipped_total_ += msgs_skipped;
   if (trace_ != nullptr) {
-    trace_->count(obs::Counter::MessagesPassed, messages_per_propagation());
+    trace_->count(obs::Counter::MessagesPassed, msgs_computed);
+    if (msgs_skipped != 0) {
+      trace_->count(obs::Counter::MessagesSkipped, msgs_skipped);
+    }
   }
   propagated_ = true;
   if (probe_health_) {

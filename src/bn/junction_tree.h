@@ -137,6 +137,17 @@ class JunctionTreeEngine {
   // Per-clique offsets into the snapshot buffer (num_cliques + 1
   // entries); empty until the first snapshot_potentials().
   std::span<const std::size_t> snapshot_offsets() const { return snap_off_; }
+  // component_root()[c] = root clique of c's tree component — the
+  // granularity at which the frontier propagation skips whole
+  // components. Empty until prepare(). SC009 proves this mapping
+  // consistent with the parent structure.
+  std::span<const int> component_root() const { return root_of_; }
+  // Per-edge offsets into the collect-message snapshot buffer
+  // (num_edges + 1 entries); empty until the first
+  // snapshot_potentials(). SC009 proves the slicing exact.
+  std::span<const std::size_t> message_snapshot_offsets() const {
+    return msg_snap_off_;
+  }
 
   // Sum over cliques of their table sizes (the paper's complexity measure).
   double state_space() const;
@@ -204,15 +215,43 @@ class JunctionTreeEngine {
   void snapshot_potentials();
   bool has_snapshot() const { return snap_valid_; }
 
-  // The scenario-sweep "update" step: restores every clique from the
-  // snapshot except those absorbing a CPT of a variable in
-  // `changed_vars`, which are recomputed from the network's current CPT
-  // values (their snapshot slices are refreshed in place, so the
-  // snapshot tracks the latest loaded state). Separators reset to 1.0
-  // and evidence clears, exactly like load_potentials() — the result is
-  // bit-identical to a full reload whose only CPT value changes are
-  // covered by `changed_vars`. Allocation-free.
+  // The scenario-sweep "update" step, clique-granular: marks only the
+  // cliques at cpt_home()[v] of the changed variables dirty, reloads
+  // those from the network's current CPT values (refreshing their
+  // snapshot slices in place), and memcpy-restores the remaining
+  // cliques of every *dirty* tree component from the snapshot.
+  // Components with no dirty clique are left entirely untouched — their
+  // propagated potentials are already bit-identical to what a full
+  // reload + propagate would produce — and the next propagate() runs
+  // only the dirty components, restoring collect messages whose source
+  // subtree is clean instead of recomputing them (the message
+  // frontier). The result is bit-identical to a full reload + full
+  // propagate whose only CPT value changes are covered by
+  // `changed_vars`, at any thread count. Allocation-free.
+  //
+  // The partial-propagation fast path needs the engine to be in a
+  // propagated, evidence-free state; otherwise this degrades to the
+  // original whole-tree restore and the next propagate() is full.
   void reload_incremental(std::span<const VarId> changed_vars);
+
+  // Cumulative counts since construction: cliques restored by
+  // memcpy instead of re-running their CPT load programs, and
+  // separator messages restored or skipped instead of recomputed
+  // (collect restores + both phases of skipped clean components).
+  std::uint64_t cliques_restored() const { return cliques_restored_total_; }
+  std::uint64_t messages_skipped() const { return messages_skipped_total_; }
+
+  // --- cost-model scheduling (parallel propagate dispatch order) ------
+  // Per subtree unit: the EWMA-predicted cost used to order the next
+  // dispatch, the last observed wall time, and the static table-size
+  // prior the model starts from. Empty until prepare(); observed_ns is
+  // 0 until the unit has executed at least once.
+  struct UnitCost {
+    double predicted_ns = 0.0; // EWMA prediction for the next dispatch
+    double observed_ns = 0.0;  // last measured collect+distribute wall ns
+    double table_cells = 0.0;  // static prior: clique cells in the unit
+  };
+  std::span<const UnitCost> unit_costs() const { return unit_cost_; }
 
  private:
   // Numerical-health accumulator for one tree edge, filled by
@@ -235,9 +274,27 @@ class JunctionTreeEngine {
   // application into a shared root clique.
   void compute_message(int from, int edge);
   void apply_message(int to, int edge);
+  // Restores edge's collect message from the message snapshot instead
+  // of marginalizing the (clean) source subtree: sep and ratio both
+  // become the saved fresh message, bitwise what compute_message()
+  // would produce (ratio = fresh / 1.0 == fresh after a reload).
+  void restore_message(int edge);
   void allocate_potentials();
   void propagate_sequential();
-  void propagate_parallel(ThreadPool& pool);
+  // Unit-based scheduled sweep: collect/distribute over the schedule's
+  // subtree units in cost-model order, inline or on the pool. With
+  // `partial`, clean components are skipped and clean-subtree collect
+  // messages restored (reload_incremental() must have set the dirty
+  // state). Bit-identical to propagate_sequential() either way.
+  void propagate_units(ThreadPool* pool, bool partial);
+  // Fills unit_order_ with the (dirty, when partial) unit indices
+  // sorted by descending predicted cost; returns the count.
+  int build_unit_order(bool partial);
+  // Copies freshly computed collect messages (now in the separators)
+  // into the message snapshot. With `dirty_only`, touches only edges of
+  // dirty components — clean components' separators hold distribute
+  // values and their slices are already current.
+  void refresh_message_snapshot(bool dirty_only);
 
   const BayesianNetwork* bn_; // non-owning; must outlive the engine
   obs::Tracer* trace_ = nullptr; // non-owning; may be null
@@ -272,6 +329,35 @@ class JunctionTreeEngine {
   std::vector<std::size_t> snap_off_;
   std::vector<std::uint8_t> clique_dirty_;
   bool snap_valid_ = false;
+  // --- clique-level dirty propagation state ---------------------------
+  // root_of_[c] = root clique of c's component (prepare()).
+  std::vector<int> root_of_;
+  // sub_dirty_[c] = some clique in subtree(c) is dirty; the component
+  // is dirty iff sub_dirty_[root_of_[c]]. Scratch, rewritten by each
+  // reload_incremental().
+  std::vector<std::uint8_t> sub_dirty_;
+  // Collect-message snapshot: one slice per tree edge holding the last
+  // fresh collect message computed from a state consistent with snap_.
+  // Invariant while msg_snap_valid_: each edge's slice equals the
+  // collect message its source subtree's *current* potentials would
+  // produce (dirty components are refreshed after every collect phase;
+  // clean components' potentials did not change).
+  std::vector<double> msg_snap_;
+  std::vector<std::size_t> msg_snap_off_;
+  bool msg_snap_valid_ = false;
+  // Set by a scoped reload_incremental(): the next propagate() may run
+  // only the dirty components. Cleared by propagate(), full loads and
+  // evidence entry (evidence can land in a "clean" component).
+  bool partial_pending_ = false;
+  std::uint64_t cliques_restored_total_ = 0;
+  std::uint64_t messages_skipped_total_ = 0;
+  // --- cost-model scheduling ------------------------------------------
+  // EWMA cost per subtree unit (prepare() seeds the table-size prior),
+  // per-unit wall-ns scratch written by at most one worker per phase,
+  // and the dispatch-order permutation fed to the pool.
+  std::vector<UnitCost> unit_cost_;
+  std::vector<std::uint64_t> unit_scratch_ns_;
+  std::vector<int> unit_order_;
 };
 
 } // namespace bns

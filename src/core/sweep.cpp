@@ -65,6 +65,8 @@ SweepResult run_sweep(const Netlist& nl, std::span<const InputModel> scenarios,
     res.stats.scenarios += bs.scenarios;
     res.stats.segments_reloaded += bs.segments_reloaded;
     res.stats.segments_skipped += bs.segments_skipped;
+    res.stats.cliques_restored += bs.cliques_restored;
+    res.stats.messages_skipped += bs.messages_skipped;
     res.stats.total_seconds += bs.total_seconds;
   }
   return res;

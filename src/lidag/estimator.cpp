@@ -669,6 +669,14 @@ BatchStats LidagEstimator::estimate_batch_into(
   BNS_EXPECTS(models.size() == outputs.size());
   BatchStats bs;
   Timer total;
+  // Engine counters are cumulative since construction; report the
+  // batch's contribution as a delta.
+  std::uint64_t restored0 = 0;
+  std::uint64_t skipped_msgs0 = 0;
+  for (const Segment& seg : segments_) {
+    restored0 += seg.engine->cliques_restored();
+    skipped_msgs0 += seg.engine->messages_skipped();
+  }
   const std::size_t inner_n =
       static_cast<std::size_t>(inner_.netlist.num_nodes());
   if (batch_inner_dist_.size() != inner_n) {
@@ -789,6 +797,12 @@ BatchStats LidagEstimator::estimate_batch_into(
       }
     }
   }
+  for (const Segment& seg : segments_) {
+    bs.cliques_restored += seg.engine->cliques_restored();
+    bs.messages_skipped += seg.engine->messages_skipped();
+  }
+  bs.cliques_restored -= restored0;
+  bs.messages_skipped -= skipped_msgs0;
   bs.total_seconds = total.seconds();
   return bs;
 }

@@ -106,6 +106,12 @@ struct BatchStats {
   int scenarios = 0;
   int segments_reloaded = 0; // re-quantified + re-propagated
   int segments_skipped = 0;  // left untouched (root CPTs bitwise unchanged)
+  // Clique-level frontier accounting, summed over segment engines:
+  // cliques memcpy-restored instead of re-running their CPT load
+  // programs, and separator messages restored or skipped instead of
+  // recomputed (JunctionTreeEngine::reload_incremental / propagate).
+  std::uint64_t cliques_restored = 0;
+  std::uint64_t messages_skipped = 0;
   double total_seconds = 0.0; // whole batch, wall clock
 };
 

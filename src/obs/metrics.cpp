@@ -22,6 +22,8 @@ const char* counter_name(Counter c) {
     case Counter::SweepSegmentsReloaded: return "sweep_segments_reloaded";
     case Counter::SweepSegmentsSkipped: return "sweep_segments_skipped";
     case Counter::IncrementalReloads: return "incremental_reloads";
+    case Counter::CliquesRestored: return "cliques_restored";
+    case Counter::MessagesSkipped: return "messages_skipped";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -43,6 +43,8 @@ enum class Counter : int {
   SweepSegmentsReloaded,  // segments re-quantified + re-propagated in a sweep
   SweepSegmentsSkipped,   // segments left untouched by incremental reload
   IncrementalReloads,     // engine-level reload_incremental() invocations
+  CliquesRestored,        // cliques memcpy-restored instead of reloaded
+  MessagesSkipped,        // separator messages restored/skipped, not computed
   kCount,
 };
 

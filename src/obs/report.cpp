@@ -357,6 +357,32 @@ std::string RunReport::to_json() const {
     w.close_object();
   }
 
+  if (cost_model.present()) {
+    w.key("cost_model");
+    w.open_object();
+    w.key("total_units");
+    w.value_int(cost_model.total_units);
+    w.key("units");
+    w.open_array();
+    for (const ReportUnitCost& uc : cost_model.units) {
+      w.array_sep();
+      w.open_object();
+      w.key("segment");
+      w.value_int(uc.segment);
+      w.key("unit");
+      w.value_int(uc.unit);
+      w.key("predicted_ns");
+      w.value_number(uc.predicted_ns);
+      w.key("observed_ns");
+      w.value_number(uc.observed_ns);
+      w.key("table_cells");
+      w.value_number(uc.table_cells);
+      w.close_object();
+    }
+    w.close_array();
+    w.close_object();
+  }
+
   w.close_object();
   out += '\n';
   return out;
@@ -466,6 +492,24 @@ std::optional<RunReport> RunReport::from_json(std::string_view text) {
     }
   }
 
+  if (const JsonValue* cm = doc->find("cost_model"); cm != nullptr) {
+    r.cost_model.total_units =
+        static_cast<int>(cm->number_or("total_units", 0.0));
+    if (const JsonValue* us = cm->find("units");
+        us != nullptr && us->is_array()) {
+      for (const JsonValue& uv : us->as_array()) {
+        if (!uv.is_object()) return std::nullopt;
+        ReportUnitCost uc;
+        uc.segment = static_cast<int>(uv.number_or("segment", 0.0));
+        uc.unit = static_cast<int>(uv.number_or("unit", 0.0));
+        uc.predicted_ns = uv.number_or("predicted_ns", 0.0);
+        uc.observed_ns = uv.number_or("observed_ns", 0.0);
+        uc.table_cells = uv.number_or("table_cells", 0.0);
+        r.cost_model.units.push_back(uc);
+      }
+    }
+  }
+
   return r;
 }
 
@@ -563,6 +607,23 @@ std::string RunReport::render_text() const {
       }
       st.print(os);
     }
+  }
+
+  if (cost_model.present()) {
+    os << "\nscheduler cost model (" << cost_model.total_units << " units";
+    if (static_cast<int>(cost_model.units.size()) < cost_model.total_units) {
+      os << ", showing top " << cost_model.units.size() << " by observed";
+    }
+    os << ")\n";
+    Table ct({"segment", "unit", "predicted_ns", "observed_ns",
+              "table_cells"});
+    for (const ReportUnitCost& uc : cost_model.units) {
+      ct.add_row({std::to_string(uc.segment), std::to_string(uc.unit),
+                  format_double(uc.predicted_ns),
+                  format_double(uc.observed_ns),
+                  format_double(uc.table_cells)});
+    }
+    ct.print(os);
   }
 
   return os.str();

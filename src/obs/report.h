@@ -31,8 +31,9 @@ namespace bns::obs {
 // rename/removal or semantic change; additions are backward compatible.
 // (3 = first released report schema; it shares the version counter with
 // the bench_update_time artifact, which moved from 2 to 3 when it
-// gained provenance fields.)
-inline constexpr int kReportSchemaVersion = 3;
+// gained provenance fields. 4 added the cost_model block: per-unit
+// predicted vs observed propagation cost from the EWMA scheduler.)
+inline constexpr int kReportSchemaVersion = 4;
 
 struct ReportProvenance {
   std::string circuit;          // circuit name or file path
@@ -119,6 +120,27 @@ struct ReportAccuracy {
   bool present() const { return lines > 0; }
 };
 
+// One SubtreeUnit's cost-model state after a run: the static prior or
+// EWMA-smoothed prediction the scheduler sorted by, against the last
+// observed wall time (0 when the unit never ran under timing).
+struct ReportUnitCost {
+  int segment = 0;        // estimator segment owning the unit
+  int unit = 0;           // unit index within that segment's schedule
+  double predicted_ns = 0.0;
+  double observed_ns = 0.0;
+  double table_cells = 0.0; // static size driving the prior
+};
+
+// Cost-model block (schema 4+). `units` keeps the top entries by
+// observed_ns (bounded so reports stay small); `total_units` always
+// records the full population so a capped table is visible as such.
+struct ReportCostModel {
+  int total_units = 0;
+  std::vector<ReportUnitCost> units;
+
+  bool present() const { return total_units > 0; }
+};
+
 struct RunReport {
   int schema_version = kReportSchemaVersion;
   ReportProvenance provenance;
@@ -127,6 +149,7 @@ struct RunReport {
   std::vector<ReportCounter> counters;   // non-zero counters only
   std::vector<ReportHistogram> histograms; // non-empty histograms only
   ReportAccuracy accuracy;
+  ReportCostModel cost_model;
 
   // Copies non-zero counters and non-empty histograms out of `reg`.
   void set_metrics(const MetricsRegistry& reg);

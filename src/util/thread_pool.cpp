@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/trace.h"
+#include "util/assert.h"
 
 namespace bns {
 namespace {
@@ -116,6 +117,18 @@ void ThreadPool::parallel_for(int n, IndexFnRef fn) {
     first_error_ = nullptr;
   }
   if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::parallel_for_ordered(int n, std::span<const int> order,
+                                      IndexFnRef fn) {
+  if (n <= 0) return;
+  BNS_ASSERT(static_cast<std::size_t>(n) <= order.size());
+  // The permutation is applied inside the claimed-position task, so the
+  // scheduling machinery (atomic claim counter, inline fallbacks,
+  // exception capture) is exactly parallel_for's.
+  const int* ids = order.data();
+  auto run = [&fn, ids](int k) { fn(ids[k]); };
+  parallel_for(n, run);
 }
 
 } // namespace bns

@@ -22,6 +22,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -66,6 +67,14 @@ class ThreadPool {
   // have finished. Results must not depend on which thread runs which
   // index — tasks writing disjoint data are deterministic by design.
   void parallel_for(int n, IndexFnRef fn);
+
+  // Priority-ordered variant: runs fn(order[0]), ..., fn(order[n-1]),
+  // workers claiming positions in increasing order. Callers list task
+  // ids most-expensive-first (a cost-model prediction) so long tasks
+  // start before short ones and the makespan shrinks — the claim is
+  // still a single atomic fetch_add mapped through the permutation, so
+  // submitting work allocates nothing. order.size() must be >= n.
+  void parallel_for_ordered(int n, std::span<const int> order, IndexFnRef fn);
 
   // True while the calling thread is executing a parallel_for task.
   static bool in_parallel_region();

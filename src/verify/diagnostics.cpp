@@ -17,7 +17,7 @@ struct CodeInfo {
   std::string_view summary;
 };
 
-constexpr std::array<CodeInfo, 33> kCodes{{
+constexpr std::array<CodeInfo, 34> kCodes{{
     {DiagCode::NL001, "NL001", Severity::Error,
      "undriven net: referenced as a fanin but never defined"},
     {DiagCode::NL002, "NL002", Severity::Error,
@@ -82,6 +82,10 @@ constexpr std::array<CodeInfo, 33> kCodes{{
      "dirty pre-screen is not an over-approximation of reachable cliques"},
     {DiagCode::SC008, "SC008", Severity::Warning,
      "schedule can underflow: static min-exponent bound exceeds threshold"},
+    {DiagCode::SC009, "SC009", Severity::Error,
+     "dirty-clique message frontier unsound: a tree path out of a dirty "
+     "set escapes the re-sent messages, or the restore structures "
+     "mis-slice"},
 }};
 
 const CodeInfo& info(DiagCode c) {

@@ -61,6 +61,7 @@ enum class DiagCode {
   SC006, // snapshot/reload coverage gap: clique may be restored stale
   SC007, // dirty pre-screen not an over-approximation of reachable cliques
   SC008, // schedule can underflow: static min-exponent bound past threshold
+  SC009, // dirty-clique message frontier unsound (path uncovered / slicing)
 };
 
 // "NL001", "BN003", ... (stable identifier).

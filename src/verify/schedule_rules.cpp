@@ -366,6 +366,152 @@ void lint_reload_coverage(const BayesianNetwork& bn, const JunctionTree& tree,
   }
 }
 
+void lint_frontier_coverage(const BayesianNetwork& bn,
+                            const JunctionTree& tree,
+                            const PropagationSchedule& sched,
+                            std::span<const int> preorder,
+                            std::span<const int> component_root,
+                            std::span<const std::size_t> msg_snap_off,
+                            DiagnosticReport& report) {
+  const int nc = tree.num_cliques();
+  const int ne = static_cast<int>(tree.edges().size());
+
+  // 1. Frontier coverage theorem. The reverse-preorder dirt fold
+  // (sub_dirty[parent] |= sub_dirty[child]) reaches the component root
+  // from ANY dirty set iff the preorder is a permutation that lists
+  // every parent before its children: only then does the reverse sweep
+  // visit each child before the parent that must inherit its dirt. A
+  // violation means some dirty clique's ancestors keep their restored
+  // messages — a path out of the dirty set escapes the re-sent frontier.
+  if (static_cast<int>(preorder.size()) != nc) {
+    report.add(DiagCode::SC009, "preorder",
+               strformat("sweep order lists %zu cliques of %d — the dirt "
+                         "fold would skip cliques entirely",
+                         preorder.size(), nc));
+    return;
+  }
+  std::vector<int> pos(static_cast<std::size_t>(nc), -1);
+  for (std::size_t i = 0; i < preorder.size(); ++i) {
+    const int c = preorder[i];
+    if (c < 0 || c >= nc) {
+      report.add(DiagCode::SC009, strformat("preorder[%zu]", i),
+                 strformat("names out-of-range clique %d", c));
+      return;
+    }
+    if (pos[static_cast<std::size_t>(c)] >= 0) {
+      report.add(DiagCode::SC009, strformat("preorder[%zu]", i),
+                 strformat("clique %d appears twice — not a permutation, "
+                           "the dirt fold double-counts it and misses "
+                           "another clique",
+                           c));
+      return;
+    }
+    pos[static_cast<std::size_t>(c)] = static_cast<int>(i);
+  }
+  for (int c = 0; c < nc; ++c) {
+    const int p = tree.parent(c);
+    if (p < 0) continue;
+    if (p >= nc) continue; // tree-structure problem: JT005's business
+    if (pos[static_cast<std::size_t>(p)] > pos[static_cast<std::size_t>(c)]) {
+      report.add(DiagCode::SC009, strformat("clique %d", c),
+                 strformat("listed before its tree parent %d in the sweep "
+                           "order — the reverse-preorder dirt fold visits "
+                           "the parent first, so dirt in clique %d's "
+                           "subtree never reaches it and its restored "
+                           "collect message goes stale (frontier gap)",
+                           p, c, c));
+    }
+  }
+
+  // 2. Component mapping: whole-component skips are sound only when
+  // root_of is the fixed point of the parent structure.
+  if (!component_root.empty()) {
+    if (static_cast<int>(component_root.size()) != nc) {
+      report.add(DiagCode::SC009, "component_root",
+                 strformat("maps %zu cliques of %d", component_root.size(),
+                           nc));
+      return;
+    }
+    for (int c = 0; c < nc; ++c) {
+      const int r = component_root[static_cast<std::size_t>(c)];
+      const int p = tree.parent(c);
+      const std::string loc = strformat("clique %d", c);
+      if (r < 0 || r >= nc) {
+        report.add(DiagCode::SC009, loc,
+                   strformat("component root %d out of range", r));
+        continue;
+      }
+      if (p < 0) {
+        if (r != c) {
+          report.add(DiagCode::SC009, loc,
+                     strformat("tree root mapped to component root %d "
+                               "instead of itself — the component "
+                               "partition disagrees with the tree",
+                               r));
+        }
+      } else if (p < nc &&
+                 r != component_root[static_cast<std::size_t>(p)]) {
+        report.add(DiagCode::SC009, loc,
+                   strformat("component root %d differs from its parent's "
+                             "(%d) — a clean-component skip could leave "
+                             "part of a connected component live and "
+                             "restore the rest",
+                             r, component_root[static_cast<std::size_t>(p)]));
+      }
+    }
+  }
+
+  // 3. Message-snapshot slicing: each edge slice must hold exactly the
+  // separator's cells, since a restore copies it into both the fresh
+  // separator value and the ratio buffer.
+  if (!msg_snap_off.empty()) {
+    if (msg_snap_off.size() != static_cast<std::size_t>(ne) + 1) {
+      report.add(DiagCode::SC009, "message snapshot",
+                 strformat("records %zu offsets for %d edges",
+                           msg_snap_off.size(), ne));
+      return;
+    }
+    for (int e = 0; e < ne; ++e) {
+      const std::size_t lo = msg_snap_off[static_cast<std::size_t>(e)];
+      const std::size_t hi = msg_snap_off[static_cast<std::size_t>(e) + 1];
+      const std::size_t want = separator_size(bn, tree.edges()[e]);
+      if (hi < lo || hi - lo != want) {
+        report.add(DiagCode::SC009, strformat("edge %d", e),
+                   strformat("message snapshot slice holds %zu cells for a "
+                             "%zu-cell separator — a restored message "
+                             "would copy the wrong region into sep and "
+                             "ratio",
+                             hi < lo ? std::size_t{0} : hi - lo, want));
+      }
+    }
+  }
+
+  // 4. Units single-component: the partial dispatch filters units by
+  // sub_dirty of their root, so a unit spanning components would be
+  // skipped or re-run based on the wrong component's dirt.
+  if (!component_root.empty() &&
+      static_cast<int>(component_root.size()) == nc) {
+    for (std::size_t u = 0; u < sched.units.size(); ++u) {
+      const SubtreeUnit& unit = sched.units[u];
+      if (unit.root < 0 || unit.root >= nc) continue; // SC001's finding
+      const int r = component_root[static_cast<std::size_t>(unit.root)];
+      for (int c : unit.preorder) {
+        if (c < 0 || c >= nc) continue; // SC001's finding
+        if (component_root[static_cast<std::size_t>(c)] != r) {
+          report.add(DiagCode::SC009, unit_loc(u),
+                     strformat("clique %d belongs to component %d but the "
+                               "unit's dirty filter is decided by "
+                               "component %d — the clique could be "
+                               "skipped while dirty",
+                               c, component_root[static_cast<std::size_t>(c)],
+                               r));
+          break;
+        }
+      }
+    }
+  }
+}
+
 NumericalRiskBound lint_numerical_risk(const BayesianNetwork& bn,
                                        const JunctionTree& tree,
                                        const PropagationSchedule& sched,
@@ -447,6 +593,9 @@ NumericalRiskBound lint_schedule(const JunctionTreeEngine& engine,
   lint_load_plans(bn, tree, *sched, report);
   lint_reload_coverage(bn, tree, *sched, engine.cpt_home(),
                        engine.snapshot_offsets(), report);
+  lint_frontier_coverage(bn, tree, *sched, tree.preorder(),
+                         engine.component_root(),
+                         engine.message_snapshot_offsets(), report);
   return lint_numerical_risk(bn, tree, *sched, report, opts);
 }
 

@@ -104,6 +104,34 @@ void lint_reload_coverage(const BayesianNetwork& bn, const JunctionTree& tree,
                           std::span<const std::size_t> snap_off,
                           DiagnosticReport& report);
 
+// --- dirty-clique message frontier (SC009) -----------------------------
+// Proves the clique-granular partial propagate sound: restoring the
+// collect message of every clean subtree and re-sending only the dirty
+// frontier is bit-identical to a full propagate iff
+//   1. `preorder` is a permutation of the cliques with every parent
+//      listed before its children — the reverse-preorder dirt fold then
+//      covers every tree path out of ANY dirty clique set (the frontier
+//      coverage theorem: a child visited after its parent in the
+//      reverse sweep would lose its recompute obligation);
+//   2. `component_root` is the parent-structure fixed point
+//      (root_of[c] == parent < 0 ? c : root_of[parent]) so whole-
+//      component skips agree with the tree partition;
+//   3. `msg_snap_off`, when non-empty (engine has snapshotted), slices
+//      the message snapshot into exactly the separator sizes — a
+//      mis-slice restores the wrong cells into sep and ratio;
+//   4. every SubtreeUnit stays inside one component, so the per-unit
+//      dirty filter (sub_dirty of its root) is decided by the component
+//      the unit actually writes.
+// The spans are passed explicitly (rather than read off the engine) so
+// `bns_lint --inject frontier-gap` can hand in a corrupted preorder.
+void lint_frontier_coverage(const BayesianNetwork& bn,
+                            const JunctionTree& tree,
+                            const PropagationSchedule& sched,
+                            std::span<const int> preorder,
+                            std::span<const int> component_root,
+                            std::span<const std::size_t> msg_snap_off,
+                            DiagnosticReport& report);
+
 // --- numerical-risk dataflow (SC008) -----------------------------------
 // Propagates per-CPT min-positive-entry exponents through the collect/
 // distribute dataflow: a clique's smallest positive cell is bounded below

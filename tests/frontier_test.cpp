@@ -1,0 +1,275 @@
+// Clique-level dirty frontier: randomized dirty-subset reloads must be
+// bitwise identical to full propagation (engine- and estimator-level),
+// the restore path must stay off the heap while actually restoring, and
+// the cost-ordered parallel dispatch must stay deterministic across
+// thread counts even as the EWMA reorders units between sweeps.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "alloc_hook.h"
+#include "bn/junction_tree.h"
+#include "gen/benchmarks.h"
+#include "lidag/estimator.h"
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bns {
+namespace {
+
+CompileOptions with_schedule(bool on) {
+  CompileOptions opts;
+  opts.compile_schedule = on;
+  return opts;
+}
+
+EstimatorOptions forced(int threads, int segment_nodes = 60) {
+  EstimatorOptions opts;
+  opts.num_threads = threads;
+  opts.single_bn_nodes = 0;
+  opts.segment_nodes = segment_nodes;
+  return opts;
+}
+
+void expect_factors_identical(const Factor& a, const Factor& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.value(i), b.value(i)) << "slot " << i;
+  }
+}
+
+void expect_all_marginals_identical(const BayesianNetwork& bn,
+                                    JunctionTreeEngine& a,
+                                    JunctionTreeEngine& b) {
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    expect_factors_identical(a.marginal(v), b.marginal(v));
+  }
+}
+
+// Reroll only the CPTs of `vars` (column-normalized), returning the
+// changed set — the engine contract for reload_incremental.
+std::vector<VarId> reroll_subset(BayesianNetwork& bn, std::vector<VarId> vars,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  for (VarId v : vars) {
+    Factor cpt = bn.cpt(v);
+    for (std::size_t i = 0; i < cpt.size(); ++i) {
+      cpt.set_value(i, rng.uniform() + 0.05);
+    }
+    Factor denom = cpt.sum_out(v);
+    std::vector<int> st(cpt.vars().size());
+    for (std::size_t i = 0; i < cpt.size(); ++i) {
+      cpt.states_of(i, st);
+      std::vector<int> pst;
+      for (std::size_t k = 0; k < cpt.vars().size(); ++k) {
+        if (cpt.vars()[k] != v) pst.push_back(st[k]);
+      }
+      cpt.set_value(i, cpt.value(i) / denom.at(pst));
+    }
+    bn.set_cpt(v, bn.parents(v), std::move(cpt));
+  }
+  return vars;
+}
+
+// A uniformly random non-empty variable subset of size <= max_size.
+std::vector<VarId> random_subset(int num_vars, int max_size, Rng& rng) {
+  const int k = 1 + static_cast<int>(
+                        rng.below(static_cast<std::uint64_t>(max_size)));
+  std::vector<VarId> vars;
+  while (static_cast<int>(vars.size()) < k) {
+    const VarId v =
+        static_cast<VarId>(rng.below(static_cast<std::uint64_t>(num_vars)));
+    bool dup = false;
+    for (VarId u : vars) dup |= u == v;
+    if (!dup) vars.push_back(v);
+  }
+  return vars;
+}
+
+// Scenario list where each scenario perturbs a random subset of the
+// primary inputs relative to the previous one — the general dirty
+// shape, unlike the single-stepped-input sweep.
+std::vector<InputModel> random_scenarios(int num_inputs, int n,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<InputSpec> specs(static_cast<std::size_t>(num_inputs),
+                               InputSpec{0.5, 0.0, -1, 0.0});
+  std::vector<InputModel> models;
+  models.push_back(InputModel::custom(specs));
+  for (int s = 1; s < n; ++s) {
+    const int k = 1 + static_cast<int>(rng.below(4));
+    for (int j = 0; j < k; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(num_inputs)));
+      specs[idx].p = 0.05 + 0.9 * rng.uniform();
+    }
+    models.push_back(InputModel::custom(specs));
+  }
+  return models;
+}
+
+void expect_dists_identical(const std::vector<std::array<double, 4>>& a,
+                            const std::vector<std::array<double, 4>>& b,
+                            std::size_t scenario) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(a[i][s], b[i][s])
+          << "scenario " << scenario << " node " << i << " state " << s;
+    }
+  }
+}
+
+TEST(FrontierEngine, RandomizedDirtySubsetsMatchFullPropagate) {
+  // Many random dirty sets against a from-scratch engine: the partial
+  // sweep (message restores + whole-component skips) must land on the
+  // exact bits a full load + propagate produces, every round.
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    BayesianNetwork bn = testing_helpers::random_bayes_net(28, 3, 4, seed);
+    JunctionTreeEngine inc(bn, with_schedule(true));
+    JunctionTreeEngine full(bn, with_schedule(true));
+    inc.load_potentials();
+    inc.snapshot_potentials();
+    inc.propagate();
+    full.load_potentials();
+    full.propagate();
+    expect_all_marginals_identical(bn, inc, full);
+
+    Rng rng(seed * 1009);
+    for (int round = 0; round < 8; ++round) {
+      const std::vector<VarId> changed = reroll_subset(
+          bn, random_subset(bn.num_variables(), 5, rng),
+          seed * 131 + static_cast<std::uint64_t>(round));
+      inc.reload_incremental(changed);
+      inc.propagate();
+      full.load_potentials();
+      full.propagate();
+      expect_all_marginals_identical(bn, inc, full);
+    }
+    // The rounds above must actually have exercised the frontier, or
+    // this test degenerates into the full-reload comparison.
+    EXPECT_GT(inc.messages_skipped(), 0u);
+  }
+}
+
+TEST(FrontierEngine, RestorePathIsAllocationFreeAndRestores) {
+  BayesianNetwork bn = testing_helpers::random_bayes_net(30, 3, 4, 99);
+  JunctionTreeEngine eng(bn, with_schedule(true));
+  eng.load_potentials();
+  eng.snapshot_potentials();
+  eng.propagate();
+  const std::vector<VarId> changed = {3, 7, 21};
+  // Warm once: snapshot_potentials already sized every buffer
+  // (including the message snapshot), so nothing below may allocate.
+  eng.reload_incremental(changed);
+  eng.propagate();
+  const std::uint64_t restored0 = eng.cliques_restored();
+  const std::uint64_t skipped0 = eng.messages_skipped();
+  const std::uint64_t before = alloc_hook::allocation_count();
+  for (int round = 0; round < 5; ++round) {
+    eng.reload_incremental(changed);
+    eng.propagate();
+  }
+  EXPECT_EQ(alloc_hook::allocation_count(), before)
+      << "dirty-frontier restore path must not touch the heap";
+  // And it was the restore path, not a silent full sweep: the loop kept
+  // restoring cliques and skipping messages.
+  EXPECT_GT(eng.cliques_restored(), restored0);
+  EXPECT_GT(eng.messages_skipped(), skipped0);
+}
+
+TEST(ParallelEstimator, FrontierPartialSweepDeterministicAcrossThreads) {
+  // Same changed sets through a sequential and a 4-thread engine, over
+  // rounds: the EWMA cost model reorders the dispatch between sweeps,
+  // and the results must stay bitwise identical regardless — dispatch
+  // order is a performance choice, never a numerical one.
+  BayesianNetwork bn = testing_helpers::random_bayes_net(40, 2, 3, 202);
+  JunctionTreeEngine seq(bn, with_schedule(true));
+  JunctionTreeEngine par(bn, with_schedule(true));
+  ThreadPool pool(4);
+  seq.load_potentials();
+  seq.snapshot_potentials();
+  seq.propagate();
+  par.load_potentials();
+  par.snapshot_potentials();
+  par.propagate(&pool);
+  expect_all_marginals_identical(bn, seq, par);
+
+  Rng rng(404);
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<VarId> changed = reroll_subset(
+        bn, random_subset(bn.num_variables(), 4, rng),
+        977 + static_cast<std::uint64_t>(round));
+    seq.reload_incremental(changed);
+    seq.propagate();
+    par.reload_incremental(changed);
+    par.propagate(&pool);
+    expect_all_marginals_identical(bn, seq, par);
+  }
+}
+
+TEST(FrontierBatch, RandomDirtySubsetsBitIdentical_c432) {
+  const Netlist nl = make_benchmark("c432");
+  const std::vector<InputModel> models =
+      random_scenarios(nl.num_inputs(), 8, 0xC432);
+
+  LidagEstimator ref(nl, models[0], forced(1));
+  std::vector<SwitchingEstimate> seq;
+  seq.reserve(models.size());
+  for (const InputModel& m : models) seq.push_back(ref.estimate(m));
+
+  LidagEstimator batch(nl, models[0], forced(1));
+  std::vector<SwitchingEstimate> got(models.size());
+  const BatchStats stats = batch.estimate_batch_into(models, got);
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    expect_dists_identical(seq[s].dist, got[s].dist, s);
+  }
+  // The equality above must have been earned through the frontier, not
+  // through full propagation of every segment.
+  EXPECT_GT(stats.messages_skipped, 0u);
+}
+
+TEST(FrontierBatch, RandomDirtySubsetsBitIdentical_c1908) {
+  const Netlist nl = make_benchmark("c1908");
+  const std::vector<InputModel> models =
+      random_scenarios(nl.num_inputs(), 5, 0x1908);
+
+  LidagEstimator ref(nl, models[0], forced(1));
+  std::vector<SwitchingEstimate> seq;
+  seq.reserve(models.size());
+  for (const InputModel& m : models) seq.push_back(ref.estimate(m));
+
+  LidagEstimator batch(nl, models[0], forced(1));
+  std::vector<SwitchingEstimate> got(models.size());
+  const BatchStats stats = batch.estimate_batch_into(models, got);
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    expect_dists_identical(seq[s].dist, got[s].dist, s);
+  }
+  EXPECT_GT(stats.messages_skipped + stats.cliques_restored, 0u);
+}
+
+TEST(ParallelEstimator, FrontierBatchThreads1Vs4IdenticalAcrossRepeats) {
+  // Repeated batches on the same estimators: by the second pass the
+  // cost model has real observations and the 4-thread dispatch order
+  // differs from the first — outputs must not.
+  const Netlist nl = make_benchmark("c880");
+  const std::vector<InputModel> models =
+      random_scenarios(nl.num_inputs(), 5, 0x880);
+  LidagEstimator e1(nl, models[0], forced(1));
+  LidagEstimator e4(nl, models[0], forced(4));
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::vector<SwitchingEstimate> r1 = e1.estimate_batch(models);
+    const std::vector<SwitchingEstimate> r4 = e4.estimate_batch(models);
+    ASSERT_EQ(r1.size(), r4.size());
+    for (std::size_t s = 0; s < r1.size(); ++s) {
+      expect_dists_identical(r1[s].dist, r4[s].dist, s);
+    }
+  }
+}
+
+} // namespace
+} // namespace bns

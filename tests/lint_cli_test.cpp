@@ -152,6 +152,7 @@ TEST(LintCliTest, InjectedScheduleDefectsFireEachScCode) {
       {"root-order", "SC003"},     {"oob-stride", "SC004"},
       {"load-mismatch", "SC005"},  {"reload-gap", "SC006"},
       {"screen-gap", "SC007"},     {"underflow", "SC008"},
+      {"frontier-gap", "SC009"},
   };
   for (const auto& c : kCases) {
     const RunResult r = run_lint(std::string("count --inject ") + c.kind +

@@ -1,5 +1,5 @@
 // End-to-end tests of the bns_report command line: usage validation,
-// the schema_version-3 JSON document contents, and the --baseline
+// the current-schema JSON document contents, and the --baseline
 // regression gate's exit-status contract (0 on self-compare, 1 on an
 // injected regression, 2 on bad input).
 //
@@ -86,7 +86,7 @@ TEST(ReportCliTest, UnreadableBaselineExits2) {
   EXPECT_EQ(r.exit_code, 2) << r.output;
 }
 
-TEST(ReportCliTest, JsonDocumentCarriesSchema3Contents) {
+TEST(ReportCliTest, JsonDocumentCarriesCurrentSchemaContents) {
   const std::string out = tmp_path(".json");
   const RunResult r =
       run_report(std::string(kQuick) + " --json --out " + out);
@@ -98,7 +98,7 @@ TEST(ReportCliTest, JsonDocumentCarriesSchema3Contents) {
 
   const std::optional<obs::RunReport> rep = obs::RunReport::from_json(doc);
   ASSERT_TRUE(rep.has_value()) << doc;
-  EXPECT_EQ(rep->schema_version, 3);
+  EXPECT_EQ(rep->schema_version, obs::kReportSchemaVersion);
   EXPECT_EQ(rep->provenance.circuit, "c17");
   EXPECT_FALSE(rep->provenance.git_describe.empty());
   EXPECT_FALSE(rep->provenance.timestamp_iso8601.empty());
@@ -173,7 +173,7 @@ TEST(ReportCliTest, AbsoluteMeanErrorBound) {
 TEST(ReportCliTest, TextReportRendersSections) {
   const RunResult r = run_report(kQuick);
   ASSERT_EQ(r.exit_code, 0) << r.output;
-  EXPECT_NE(r.output.find("run report (schema 3)"), std::string::npos);
+  EXPECT_NE(r.output.find("run report (schema 4)"), std::string::npos);
   EXPECT_NE(r.output.find("average activity"), std::string::npos);
   EXPECT_NE(r.output.find("accuracy vs Monte Carlo"), std::string::npos);
 }

@@ -125,7 +125,7 @@ TEST(ReportTest, FromJsonRejectsMalformedAndNewerSchema) {
 
 TEST(ReportTest, RenderTextContainsHeadlineSections) {
   const std::string text = sample_report().render_text();
-  EXPECT_NE(text.find("run report (schema 3)"), std::string::npos);
+  EXPECT_NE(text.find("run report (schema 4)"), std::string::npos);
   EXPECT_NE(text.find("c432"), std::string::npos);
   EXPECT_NE(text.find("propagate"), std::string::npos);
   EXPECT_NE(text.find("histogram propagate_ns"), std::string::npos);

@@ -62,7 +62,7 @@ DiagnosticReport lint_blif(std::string_view text) {
 
 TEST(DiagnosticsTest, CodeTableRoundTrips) {
   const std::vector<DiagCode> codes = all_diag_codes();
-  EXPECT_EQ(codes.size(), 33u);
+  EXPECT_EQ(codes.size(), 34u);
   for (DiagCode c : codes) {
     const std::string_view name = diag_code_name(c);
     EXPECT_EQ(name.size(), 5u) << name;

@@ -15,7 +15,8 @@
 //                       (JT001-JT005)
 //   5. schedule lint    [--level schedule / --schedule] static analysis
 //                       of the compiled propagation plans: race freedom,
-//                       reload coverage, numerical risk (SC001-SC008)
+//                       reload coverage, frontier soundness, numerical
+//                       risk (SC001-SC009)
 //
 // Exit status: 0 clean (or warnings without --werror), 1 error-severity
 // findings, 2 usage or I/O failure.
@@ -23,6 +24,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "bns.h"
 
@@ -51,7 +53,8 @@ bool is_schedule_inject(const std::string& kind) {
   return kind == "unit-overlap" || kind == "unit-edge-clash" ||
          kind == "root-order" || kind == "oob-stride" ||
          kind == "load-mismatch" || kind == "reload-gap" ||
-         kind == "screen-gap" || kind == "underflow";
+         kind == "screen-gap" || kind == "underflow" ||
+         kind == "frontier-gap";
 }
 
 [[noreturn]] void usage() {
@@ -62,7 +65,7 @@ options:
                           checking depth (default fast; full compiles the
                           LIDAG junction trees and lints them too;
                           schedule additionally analyzes the compiled
-                          propagation plans: SC001-SC008)
+                          propagation plans: SC001-SC009)
   --schedule              shorthand for --level schedule
   --json                  machine-readable report on stdout
   --werror                treat warnings as errors for the exit status
@@ -85,6 +88,9 @@ test hooks (documented for the test suite; not for production use):
   --inject screen-gap     dirty pre-screen missing a trigger       (SC007)
   --inject underflow      schedule whose min-exponent bound breaches
                           the underflow threshold                  (SC008)
+  --inject frontier-gap   sweep order listing a clique before its
+                          parent, so the dirty-frontier fold loses
+                          a recompute obligation                   (SC009)
 )");
   std::exit(2);
 }
@@ -271,6 +277,7 @@ void lint_injected_schedule_defect(const Netlist& nl, const std::string& kind,
   const JunctionTree& tree = eng.tree();
   PropagationSchedule sched = *eng.schedule();
   std::vector<int> cpt_home(eng.cpt_home().begin(), eng.cpt_home().end());
+  std::vector<int> preorder(tree.preorder());
 
   if (kind == "unit-overlap") {
     // A second unit claiming the first unit's cliques: a write overlap
@@ -337,6 +344,26 @@ void lint_injected_schedule_defect(const Netlist& nl, const std::string& kind,
     if (!corrupted) {
       throw std::runtime_error("--inject reload-gap: schedule has no loads");
     }
+  } else if (kind == "frontier-gap") {
+    // Swaps one non-root clique ahead of its tree parent in the sweep
+    // order: the reverse-preorder dirt fold then visits the parent
+    // before inheriting the child's dirt, so a dirty subtree's restored
+    // collect message would silently go stale.
+    bool corrupted = false;
+    for (std::size_t i = 0; i < preorder.size() && !corrupted; ++i) {
+      const int p = tree.parent(preorder[i]);
+      if (p < 0) continue;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (preorder[j] == p) {
+          std::swap(preorder[i], preorder[j]);
+          corrupted = true;
+          break;
+        }
+      }
+    }
+    if (!corrupted) {
+      throw std::runtime_error("--inject frontier-gap: tree has no edges");
+    }
   }
 
   lint_schedule_races(tree, sched, report);
@@ -344,6 +371,8 @@ void lint_injected_schedule_defect(const Netlist& nl, const std::string& kind,
   lint_load_plans(lb.bn, tree, sched, report);
   lint_reload_coverage(lb.bn, tree, sched, cpt_home, eng.snapshot_offsets(),
                        report);
+  lint_frontier_coverage(lb.bn, tree, sched, preorder, eng.component_root(),
+                         eng.message_snapshot_offsets(), report);
   lint_numerical_risk(lb.bn, tree, sched, report);
 }
 

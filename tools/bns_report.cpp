@@ -198,6 +198,33 @@ obs::RunReport build_report(const Options& o) {
   // After the audit, so Hist::LineAbsError is included.
   rep.set_metrics(tracer.metrics());
 
+  // Scheduler cost model (schema 4): every segment engine's per-unit
+  // EWMA state. The emitted table keeps the 64 costliest units by
+  // observed time; total_units records the full population so a capped
+  // table is visible as such.
+  {
+    const LidagEstimator& le = an.estimator();
+    std::vector<obs::ReportUnitCost> all;
+    for (int s = 0; s < le.num_segments(); ++s) {
+      const auto costs = le.segment_engine(s).unit_costs();
+      for (std::size_t u = 0; u < costs.size(); ++u) {
+        all.push_back({s, static_cast<int>(u), costs[u].predicted_ns,
+                       costs[u].observed_ns, costs[u].table_cells});
+      }
+    }
+    rep.cost_model.total_units = static_cast<int>(all.size());
+    std::sort(all.begin(), all.end(),
+              [](const obs::ReportUnitCost& a, const obs::ReportUnitCost& b) {
+                if (a.observed_ns != b.observed_ns) {
+                  return a.observed_ns > b.observed_ns;
+                }
+                return a.segment != b.segment ? a.segment < b.segment
+                                              : a.unit < b.unit;
+              });
+    if (all.size() > 64) all.resize(64);
+    rep.cost_model.units = std::move(all);
+  }
+
   if (o.inject_time_regress) rep.estimate.propagate_seconds *= 10.0;
   if (o.inject_accuracy_regress) rep.accuracy.mean_abs_error += 0.1;
   return rep;
