@@ -1,0 +1,181 @@
+// bench_artifact — compile-vs-load study for .bnsc artifacts.
+//
+// The artifact's reason to exist is that restoring a compiled model is
+// much cheaper than compiling it: the load path skips parsing, LIDAG
+// construction, triangulation and schedule building, and only decodes +
+// re-materializes the junction trees. This bench quantifies that, per
+// circuit:
+//
+//   compile_seconds   Session::open (parse + full compile)
+//   save_seconds      Session::save (serialize + fsync-free write)
+//   load_seconds      Session::open_artifact, min over --repeat runs
+//                     (validation included — the SC analyzer runs too)
+//   load_ratio        load_seconds / compile_seconds
+//
+// Every load is also checked for bitwise-identical estimates against
+// the in-process model; a mismatch aborts the bench with exit 1.
+//
+// Usage:
+//   bench_artifact [circuit...] [--repeat N] [--json PATH]
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bns.h"
+#include "session/session.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+using namespace bns;
+
+namespace {
+
+constexpr const char kUsage[] = R"(usage:
+  bench_artifact [circuit...] [options]
+options:
+  --repeat N     artifact load runs per circuit; load time = min (default 5)
+  --json PATH    write machine-readable results (schema_version 1)
+)";
+
+struct Record {
+  std::string circuit;
+  int nodes = 0;
+  int segments = 0;
+  double compile_seconds = 0.0;
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+  std::int64_t artifact_bytes = 0;
+};
+
+void write_json(const std::string& path, const std::vector<Record>& recs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    std::exit(cli::kExitUsage);
+  }
+  const obs::ReportProvenance prov = obs::default_provenance();
+  const auto escaped = [](const std::string& s) {
+    std::string out;
+    obs::json_append_string(out, s);
+    return out;
+  };
+  std::fprintf(f,
+               "{\n  \"schema_version\": 1,\n"
+               "  \"bench\": \"bench_artifact\",\n"
+               "  \"provenance\": {\"git_describe\": %s, "
+               "\"build_type\": %s, \"timestamp\": %s, "
+               "\"hostname\": %s},\n  \"records\": [\n",
+               escaped(prov.git_describe).c_str(),
+               escaped(prov.build_type).c_str(),
+               escaped(prov.timestamp_iso8601).c_str(),
+               escaped(prov.hostname).c_str());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Record& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"circuit\": %s, \"nodes\": %d, \"segments\": %d, "
+        "\"compile_seconds\": %.6f, \"save_seconds\": %.6f, "
+        "\"load_seconds\": %.6f, \"load_ratio\": %.4f, "
+        "\"artifact_bytes\": %lld}%s\n",
+        escaped(r.circuit).c_str(), r.nodes, r.segments, r.compile_seconds,
+        r.save_seconds, r.load_seconds,
+        r.compile_seconds > 0.0 ? r.load_seconds / r.compile_seconds : 0.0,
+        static_cast<long long>(r.artifact_bytes), i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::cerr << "wrote " << recs.size() << " records to " << path << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> circuits;
+  int repeat = 5;
+  std::string json_path;
+  cli::ArgParser ap("bench_artifact", kUsage);
+  ap.value("--repeat", &repeat);
+  ap.value("--json", &json_path);
+  ap.positional([&circuits](std::string_view a) {
+    circuits.emplace_back(a);
+    return true;
+  });
+  ap.parse(argc, argv);
+  if (repeat < 1) ap.fail();
+  if (circuits.empty()) {
+    circuits = {"c17", "c432", "c499", "c880", "c1355", "c1908"};
+  }
+
+  std::cout << "Artifact study — compile once, load many times\n\n";
+  Table table({"Circuit", "Nodes", "Compile(s)", "Save(s)", "Load(s)",
+               "Load/Compile", "Bytes"});
+
+  std::vector<Record> records;
+  for (const std::string& name : circuits) {
+    const std::string path =
+        "/tmp/bns_bench_artifact_" + std::to_string(::getpid()) + ".bnsc";
+
+    Session session = Session::open(name);
+    Record rec;
+    rec.circuit = name;
+    rec.nodes = session.netlist().num_nodes();
+    rec.segments = session.compile_stats().num_segments;
+    rec.compile_seconds = session.compile_stats().compile_seconds;
+
+    Timer save_timer;
+    session.save(path);
+    rec.save_seconds = save_timer.seconds();
+
+    const InputModel model =
+        InputModel::uniform(session.netlist().num_inputs(), 0.5, 0.2);
+    const SwitchingEstimate want = session.estimate(model);
+
+    double min_load = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+      Session loaded = Session::open_artifact(path);
+      if (r == 0 || loaded.load_seconds() < min_load) {
+        min_load = loaded.load_seconds();
+      }
+      const SwitchingEstimate got = loaded.estimate(model);
+      if (got.dist != want.dist) {
+        std::fprintf(stderr,
+                     "bench_artifact: %s: restored model differs bitwise "
+                     "from the in-process compile\n",
+                     name.c_str());
+        ::unlink(path.c_str());
+        return cli::kExitFailure;
+      }
+    }
+    rec.load_seconds = min_load;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      if (f) {
+        std::fseek(f, 0, SEEK_END);
+        rec.artifact_bytes = std::ftell(f);
+        std::fclose(f);
+      }
+    }
+    ::unlink(path.c_str());
+
+    table.add_row({name, std::to_string(rec.nodes),
+                   strformat("%.4f", rec.compile_seconds),
+                   strformat("%.4f", rec.save_seconds),
+                   strformat("%.4f", rec.load_seconds),
+                   strformat("%.3f", rec.compile_seconds > 0.0
+                                         ? rec.load_seconds / rec.compile_seconds
+                                         : 0.0),
+                   std::to_string(rec.artifact_bytes)});
+    records.push_back(std::move(rec));
+    std::cerr << "done: " << name << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nLoading a .bnsc artifact restores the compiled junction "
+               "trees without re-running parse, LIDAG build, triangulation "
+               "or schedule construction; the Load/Compile column is the "
+               "fraction of compile time a restore costs.\n";
+  if (!json_path.empty()) write_json(json_path, records);
+  return cli::kExitOk;
+}

@@ -32,39 +32,21 @@
 #include <vector>
 
 #include "bns.h"
+#include "session/session.h"
+#include "util/cli.h"
 
 using namespace bns;
 
 namespace {
 
-[[noreturn]] void usage_exit() {
-  std::fprintf(stderr, "%s", R"(usage:
+constexpr const char kUsage[] = R"(usage:
   bench_update_time [circuit...] [options]
 options:
   --threads N[,N...]   run the sweep per worker count (positive integers)
   --json PATH          write machine-readable results (schema_version 3)
   --trace-json PATH    stream span/counter JSON-lines (schema_version 1)
   --trace-summary      print a per-stage timing table to stderr
-)");
-  std::exit(2);
-}
-
-std::vector<int> parse_thread_list(const std::string& arg) {
-  std::vector<int> out;
-  std::stringstream ss(arg);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) {
-    if (tok.empty()) usage_exit();
-    for (char c : tok) {
-      if (c < '0' || c > '9') usage_exit();
-    }
-    const int n = std::atoi(tok.c_str());
-    if (n <= 0) usage_exit();
-    out.push_back(n);
-  }
-  if (out.empty()) usage_exit();
-  return out;
-}
+)";
 
 struct JsonRecord {
   std::string circuit;
@@ -82,7 +64,7 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::cerr << "cannot open " << path << " for writing\n";
-    std::exit(2);
+    std::exit(cli::kExitUsage);
   }
   const obs::ReportProvenance prov = obs::default_provenance();
   // Strings from outside the program (paths, git describe, hostname) go
@@ -133,28 +115,16 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_json_path;
   bool trace_summary = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage_exit();
-      return argv[++i];
-    };
-    if (arg == "--threads") {
-      thread_counts = parse_thread_list(next());
-    } else if (arg == "--json") {
-      json_path = next();
-      if (json_path.empty()) usage_exit();
-    } else if (arg == "--trace-json") {
-      trace_json_path = next();
-      if (trace_json_path.empty()) usage_exit();
-    } else if (arg == "--trace-summary") {
-      trace_summary = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      usage_exit();
-    } else {
-      circuits.push_back(arg);
-    }
-  }
+  cli::ArgParser ap("bench_update_time", kUsage);
+  ap.value("--threads", &thread_counts);
+  ap.value("--json", &json_path);
+  ap.value("--trace-json", &trace_json_path);
+  ap.flag("--trace-summary", &trace_summary);
+  ap.positional([&circuits](std::string_view a) {
+    circuits.emplace_back(a);
+    return true;
+  });
+  ap.parse(argc, argv);
   if (circuits.empty()) {
     circuits = {"c17",  "comp",  "count", "c432", "c499",
                 "c880", "c1355", "c1908", "c6288"};
@@ -173,7 +143,7 @@ int main(int argc, char** argv) {
       trace_out.emplace(trace_json_path);
       if (!*trace_out) {
         std::cerr << "cannot open " << trace_json_path << " for writing\n";
-        return 2;
+        return cli::kExitUsage;
       }
       json_sink.emplace(*trace_out);
       tracer.add_sink(&*json_sink);
@@ -204,22 +174,23 @@ int main(int argc, char** argv) {
     }();
     const InputModel base = InputModel::uniform(nl.num_inputs());
     for (const int threads : thread_counts) {
-      EstimatorOptions opts;
-      opts.num_threads = threads;
-      opts.trace = trace;
-      LidagEstimator est(nl, base, opts);
+      SessionOptions opts;
+      opts.estimator.num_threads = threads;
+      opts.estimator.trace = trace;
+      Session session = Session::open(Netlist(nl), base, opts);
+      const LidagEstimator& est = session.estimator();
 
       RunningStats update;
       RunningStats reload;
       std::uint64_t messages = 0;
       for (const auto& [p, rho] : sweep) {
         const SwitchingEstimate sw =
-            est.estimate(InputModel::uniform(nl.num_inputs(), p, rho));
+            session.estimate(InputModel::uniform(nl.num_inputs(), p, rho));
         update.add(sw.stats.propagate_seconds);
         reload.add(sw.stats.reload_seconds);
         messages = sw.stats.messages_passed;
       }
-      const CompileStats& cs = est.compile_stats();
+      const CompileStats& cs = session.compile_stats();
       table.add_row({name, std::to_string(nl.num_nodes()),
                      std::to_string(est.num_threads()),
                      strformat("%.3f", cs.compile_seconds),

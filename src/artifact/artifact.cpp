@@ -1,0 +1,879 @@
+#include "artifact/artifact.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+#include "util/timer.h"
+#include "verify/schedule_rules.h"
+
+namespace bns {
+namespace {
+
+// --- little-endian primitives ------------------------------------------
+// Byte-wise encode/decode, independent of host endianness. Doubles
+// travel as their IEEE-754 bit pattern (bit_cast), so values round-trip
+// bit-exactly — the property the artifact tests assert end to end.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::string& out, double d) {
+  put_u64(out, std::bit_cast<std::uint64_t>(d));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  out.append(s);
+}
+
+template <typename Int>
+void put_vec_i32(std::string& out, const std::vector<Int>& v) {
+  static_assert(sizeof(Int) == 4);
+  put_u64(out, v.size());
+  for (Int x : v) put_i32(out, static_cast<std::int32_t>(x));
+}
+
+void put_vec_u64(std::string& out, const std::vector<std::size_t>& v) {
+  put_u64(out, v.size());
+  for (std::size_t x : v) put_u64(out, static_cast<std::uint64_t>(x));
+}
+
+void put_vec_f64(std::string& out, std::span<const double> v) {
+  put_u64(out, v.size());
+  for (double x : v) put_f64(out, x);
+}
+
+// Bounds-checked little-endian reader over one section. Any overrun or
+// implausible length throws ArtifactError naming the section, so a
+// decode failure is always attributable.
+class Cursor {
+ public:
+  Cursor(std::string_view data, std::string section)
+      : data_(data), section_(std::move(section)) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    std::size_t n = length(1);
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<int> vec_i32() {
+    std::size_t n = length(4);
+    std::vector<int> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = i32();
+    return v;
+  }
+
+  std::vector<std::size_t> vec_u64() {
+    std::size_t n = length(8);
+    std::vector<std::size_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = static_cast<std::size_t>(u64());
+    return v;
+  }
+
+  std::vector<double> vec_f64() {
+    std::size_t n = length(8);
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = f64();
+    return v;
+  }
+
+  // Element count whose payload must still fit in the section — rejects
+  // corrupt lengths before any allocation is attempted.
+  std::size_t length(std::size_t elem_size) {
+    std::uint64_t n = u64();
+    if (n > (data_.size() - pos_) / elem_size) fail("corrupt length");
+    return static_cast<std::size_t>(n);
+  }
+
+  void expect_end() const {
+    if (pos_ != data_.size()) fail("trailing bytes");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ArtifactError("artifact section '" + section_ + "': " + what);
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (n > data_.size() - pos_) fail("truncated");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string section_;
+};
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// --- netlist -----------------------------------------------------------
+
+void encode_netlist(std::string& out, const Netlist& nl) {
+  put_str(out, nl.name());
+  put_u32(out, static_cast<std::uint32_t>(nl.num_nodes()));
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& n = nl.node(id);
+    put_str(out, n.name);
+    put_u8(out, static_cast<std::uint8_t>(n.type));
+    put_vec_i32(out, n.fanin);
+    if (n.type == GateType::Lut) {
+      const TruthTable& tt = *n.lut;
+      put_u8(out, static_cast<std::uint8_t>(tt.num_inputs()));
+      std::uint64_t rows = tt.num_rows();
+      for (std::uint64_t base = 0; base < rows; base += 64) {
+        std::uint64_t word = 0;
+        for (std::uint64_t b = 0; b < 64 && base + b < rows; ++b)
+          if (tt.value(base + b)) word |= 1ull << b;
+        put_u64(out, word);
+      }
+    }
+  }
+  put_vec_i32(out, nl.outputs());
+}
+
+Netlist decode_netlist(Cursor& c) {
+  Netlist nl(c.str());
+  std::uint32_t num_nodes = c.u32();
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    std::string name = c.str();
+    std::uint8_t type_byte = c.u8();
+    if (type_byte > static_cast<std::uint8_t>(GateType::Lut))
+      c.fail("unknown gate type");
+    GateType type = static_cast<GateType>(type_byte);
+    std::vector<int> fanin = c.vec_i32();
+    for (int f : fanin)
+      if (f < 0 || f >= static_cast<int>(i)) c.fail("fanin out of range");
+    switch (type) {
+      case GateType::Input:
+        nl.add_input(std::move(name));
+        break;
+      case GateType::Const0:
+        nl.add_const(std::move(name), false);
+        break;
+      case GateType::Const1:
+        nl.add_const(std::move(name), true);
+        break;
+      case GateType::Lut: {
+        int n_inputs = c.u8();
+        if (n_inputs > TruthTable::kMaxInputs) c.fail("LUT too wide");
+        TruthTable tt(n_inputs);
+        std::uint64_t rows = tt.num_rows();
+        for (std::uint64_t base = 0; base < rows; base += 64) {
+          std::uint64_t word = c.u64();
+          for (std::uint64_t b = 0; b < 64 && base + b < rows; ++b)
+            tt.set_value(base + b, (word >> b) & 1);
+        }
+        nl.add_lut(std::move(name), std::move(fanin), std::move(tt));
+        break;
+      }
+      default:
+        nl.add_gate(type, std::move(name), std::move(fanin));
+        break;
+    }
+  }
+  for (int o : c.vec_i32()) {
+    if (o < 0 || o >= nl.num_nodes()) c.fail("output out of range");
+    nl.mark_output(o);
+  }
+  return nl;
+}
+
+// --- Bayesian network / LIDAG ------------------------------------------
+
+void encode_bn(std::string& out, const BayesianNetwork& bn) {
+  put_u32(out, static_cast<std::uint32_t>(bn.num_variables()));
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    put_str(out, bn.name(v));
+    put_u32(out, static_cast<std::uint32_t>(bn.cardinality(v)));
+  }
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    put_vec_i32(out, bn.parents(v));
+    put_u8(out, bn.has_cpt(v) ? 1 : 0);
+    if (bn.has_cpt(v)) {
+      const Factor& f = bn.cpt(v);
+      put_vec_i32(out, f.vars());
+      put_vec_i32(out, f.cards());
+      put_vec_f64(out, f.values());
+    }
+  }
+}
+
+BayesianNetwork decode_bn(Cursor& c) {
+  BayesianNetwork bn;
+  std::uint32_t n = c.u32();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::string name = c.str();
+    std::uint32_t card = c.u32();
+    if (card < 1 || card > 1u << 20) c.fail("implausible cardinality");
+    bn.add_variable(std::move(name), static_cast<int>(card));
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::vector<int> parents = c.vec_i32();
+    for (int p : parents)
+      if (p < 0 || p >= static_cast<int>(n)) c.fail("parent out of range");
+    if (c.u8() == 0) continue;
+    std::vector<int> vars = c.vec_i32();
+    std::vector<int> cards = c.vec_i32();
+    std::vector<double> values = c.vec_f64();
+    for (int fv : vars)
+      if (fv < 0 || fv >= static_cast<int>(n))
+        c.fail("factor scope out of range");
+    Factor f(std::move(vars), std::move(cards));
+    if (f.size() != values.size()) c.fail("factor value count mismatch");
+    std::copy(values.begin(), values.end(), f.values().begin());
+    bn.set_cpt(static_cast<VarId>(v), std::move(parents), std::move(f));
+  }
+  return bn;
+}
+
+void encode_root(std::string& out, const LidagRoot& r) {
+  put_i32(out, r.var);
+  put_u8(out, static_cast<std::uint8_t>(r.kind));
+  put_i32(out, r.node);
+  put_i32(out, r.group);
+  put_i32(out, r.input_index);
+}
+
+LidagRoot decode_root(Cursor& c) {
+  LidagRoot r;
+  r.var = c.i32();
+  std::uint8_t kind = c.u8();
+  if (kind > static_cast<std::uint8_t>(RootKind::GroupSource))
+    c.fail("unknown root kind");
+  r.kind = static_cast<RootKind>(kind);
+  r.node = c.i32();
+  r.group = c.i32();
+  r.input_index = c.i32();
+  return r;
+}
+
+void encode_lidag(std::string& out, const LidagBn& lb) {
+  encode_bn(out, lb.bn);
+  put_vec_i32(out, lb.var_of_node);
+  put_u32(out, static_cast<std::uint32_t>(lb.roots.size()));
+  for (const LidagRoot& r : lb.roots) encode_root(out, r);
+  put_u32(out, static_cast<std::uint32_t>(lb.grouped_inputs.size()));
+  for (const LidagRoot& r : lb.grouped_inputs) encode_root(out, r);
+  put_vec_i32(out, lb.defined_nodes);
+  put_u32(out, static_cast<std::uint32_t>(lb.boundary_links.size()));
+  for (const auto& [child, parent] : lb.boundary_links) {
+    put_i32(out, child);
+    put_i32(out, parent);
+  }
+  put_i32(out, lb.num_aux);
+}
+
+LidagBn decode_lidag(Cursor& c) {
+  LidagBn lb;
+  lb.bn = decode_bn(c);
+  std::vector<int> von = c.vec_i32();
+  lb.var_of_node.assign(von.begin(), von.end());
+  std::uint32_t nr = c.u32();
+  lb.roots.reserve(nr);
+  for (std::uint32_t i = 0; i < nr; ++i) lb.roots.push_back(decode_root(c));
+  std::uint32_t ng = c.u32();
+  lb.grouped_inputs.reserve(ng);
+  for (std::uint32_t i = 0; i < ng; ++i)
+    lb.grouped_inputs.push_back(decode_root(c));
+  std::vector<int> dn = c.vec_i32();
+  lb.defined_nodes.assign(dn.begin(), dn.end());
+  std::uint32_t nl = c.u32();
+  lb.boundary_links.reserve(nl);
+  for (std::uint32_t i = 0; i < nl; ++i) {
+    NodeId child = c.i32();
+    NodeId parent = c.i32();
+    lb.boundary_links.emplace_back(child, parent);
+  }
+  lb.num_aux = c.i32();
+  return lb;
+}
+
+// --- triangulation -----------------------------------------------------
+
+void encode_triangulation(std::string& out, const Triangulation& t) {
+  put_u32(out, static_cast<std::uint32_t>(t.graph.num_vertices()));
+  const auto edges = t.graph.edges();
+  put_u32(out, static_cast<std::uint32_t>(edges.size()));
+  for (const auto& [a, b] : edges) {
+    put_i32(out, a);
+    put_i32(out, b);
+  }
+  put_u32(out, static_cast<std::uint32_t>(t.fill_edges.size()));
+  for (const auto& [a, b] : t.fill_edges) {
+    put_i32(out, a);
+    put_i32(out, b);
+  }
+  put_vec_i32(out, t.elimination_order);
+  put_u32(out, static_cast<std::uint32_t>(t.cliques.size()));
+  for (const std::vector<int>& cl : t.cliques) put_vec_i32(out, cl);
+}
+
+Triangulation decode_triangulation(Cursor& c) {
+  Triangulation t;
+  int n = static_cast<int>(c.u32());
+  t.graph = UndirectedGraph(n);
+  std::uint32_t ne = c.u32();
+  for (std::uint32_t i = 0; i < ne; ++i) {
+    int a = c.i32();
+    int b = c.i32();
+    if (a < 0 || b < 0 || a >= n || b >= n || a == b)
+      c.fail("graph edge out of range");
+    t.graph.add_edge(a, b);
+  }
+  std::uint32_t nf = c.u32();
+  t.fill_edges.reserve(nf);
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    int a = c.i32();
+    int b = c.i32();
+    t.fill_edges.emplace_back(a, b);
+  }
+  t.elimination_order = c.vec_i32();
+  std::uint32_t nc = c.u32();
+  t.cliques.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    t.cliques.push_back(c.vec_i32());
+    for (int v : t.cliques.back())
+      if (v < 0 || v >= n) c.fail("clique member out of range");
+  }
+  return t;
+}
+
+// --- propagation schedule ----------------------------------------------
+
+void encode_scope_map(std::string& out, const ScopeMap& m) {
+  put_u64(out, m.size);
+  put_u64(out, m.run);
+  put_u8(out, m.unique_offsets ? 1 : 0);
+  put_vec_i32(out, m.cards);
+  put_vec_u64(out, m.strides);
+}
+
+ScopeMap decode_scope_map(Cursor& c) {
+  ScopeMap m;
+  m.size = static_cast<std::size_t>(c.u64());
+  m.run = static_cast<std::size_t>(c.u64());
+  m.unique_offsets = c.u8() != 0;
+  m.cards = c.vec_i32();
+  m.strides = c.vec_u64();
+  if (m.strides.size() != m.cards.size())
+    c.fail("scope map axis count mismatch");
+  return m;
+}
+
+void encode_schedule(std::string& out, const PropagationSchedule& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.edges.size()));
+  for (const MessagePlan& p : s.edges) {
+    put_i32(out, p.a);
+    put_i32(out, p.b);
+    encode_scope_map(out, p.from_a);
+    encode_scope_map(out, p.from_b);
+    // Workspace contents are transient; only the separator size matters.
+    put_u64(out, p.ratio.size());
+  }
+  put_u32(out, static_cast<std::uint32_t>(s.loads.size()));
+  for (const std::vector<CliqueLoad>& clique : s.loads) {
+    put_u32(out, static_cast<std::uint32_t>(clique.size()));
+    for (const CliqueLoad& l : clique) {
+      put_i32(out, l.var);
+      put_u64(out, l.cpt_size);
+      encode_scope_map(out, l.map);
+    }
+  }
+  put_u32(out, static_cast<std::uint32_t>(s.units.size()));
+  for (const SubtreeUnit& u : s.units) {
+    put_i32(out, u.top);
+    put_i32(out, u.root);
+    put_i32(out, u.edge);
+    put_vec_i32(out, u.preorder);
+  }
+  put_u32(out, static_cast<std::uint32_t>(s.root_units.size()));
+  for (const std::vector<int>& ru : s.root_units) put_vec_i32(out, ru);
+}
+
+PropagationSchedule decode_schedule(Cursor& c) {
+  PropagationSchedule s;
+  std::uint32_t ne = c.u32();
+  s.edges.reserve(ne);
+  for (std::uint32_t i = 0; i < ne; ++i) {
+    MessagePlan p;
+    p.a = c.i32();
+    p.b = c.i32();
+    p.from_a = decode_scope_map(c);
+    p.from_b = decode_scope_map(c);
+    std::uint64_t ratio_size = c.u64();
+    if (ratio_size > (1ull << 32)) c.fail("implausible separator size");
+    p.ratio.assign(static_cast<std::size_t>(ratio_size), 0.0);
+    s.edges.push_back(std::move(p));
+  }
+  std::uint32_t nc = c.u32();
+  s.loads.resize(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    std::uint32_t nl = c.u32();
+    s.loads[i].reserve(nl);
+    for (std::uint32_t j = 0; j < nl; ++j) {
+      CliqueLoad l;
+      l.var = c.i32();
+      l.cpt_size = static_cast<std::size_t>(c.u64());
+      l.map = decode_scope_map(c);
+      s.loads[i].push_back(std::move(l));
+    }
+  }
+  std::uint32_t nu = c.u32();
+  s.units.reserve(nu);
+  for (std::uint32_t i = 0; i < nu; ++i) {
+    SubtreeUnit u;
+    u.top = c.i32();
+    u.root = c.i32();
+    u.edge = c.i32();
+    u.preorder = c.vec_i32();
+    s.units.push_back(std::move(u));
+  }
+  std::uint32_t nr = c.u32();
+  s.root_units.reserve(nr);
+  for (std::uint32_t i = 0; i < nr; ++i) s.root_units.push_back(c.vec_i32());
+  return s;
+}
+
+// --- model (inner netlist + options + stats) ---------------------------
+
+void encode_model(std::string& out, const CompiledModelView& view) {
+  encode_netlist(out, view.inner->netlist);
+  put_vec_i32(out, view.inner->map);
+  put_u64(out, view.input_perm.size());
+  for (int p : view.input_perm) put_i32(out, p);
+  put_i32(out, view.num_input_groups);
+
+  const EstimatorOptions& o = *view.options;
+  put_i32(out, o.lidag.max_fanin);
+  put_i32(out, o.lidag.max_lut_fanin);
+  put_u8(out, o.lidag.model_input_groups ? 1 : 0);
+  put_u8(out, o.lidag.boundary_chain ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(o.heuristic));
+  put_u8(out, static_cast<std::uint8_t>(o.segmentation));
+  put_f64(out, o.max_segment_states);
+  put_i32(out, o.segment_nodes);
+  put_i32(out, o.single_bn_nodes);
+  put_i32(out, o.segment_overlap);
+
+  const CompileStats& s = *view.stats;
+  put_f64(out, s.compile_seconds);
+  put_f64(out, s.schedule_build_seconds);
+  put_i32(out, s.num_segments);
+  put_f64(out, s.total_state_space);
+  put_u64(out, s.max_clique_vars);
+  put_i32(out, s.total_bn_variables);
+  put_u64(out, s.fill_edges);
+}
+
+struct DecodedModel {
+  LidagEstimator::RestoredModel restored;
+  EstimatorOptions options;
+};
+
+DecodedModel decode_model(Cursor& c) {
+  DecodedModel m;
+  m.restored.inner.netlist = decode_netlist(c);
+  std::vector<int> map = c.vec_i32();
+  m.restored.inner.map.assign(map.begin(), map.end());
+  m.restored.input_perm = c.vec_i32();
+  m.restored.num_input_groups = c.i32();
+
+  EstimatorOptions& o = m.options;
+  o.lidag.max_fanin = c.i32();
+  o.lidag.max_lut_fanin = c.i32();
+  o.lidag.model_input_groups = c.u8() != 0;
+  o.lidag.boundary_chain = c.u8() != 0;
+  std::uint8_t heuristic = c.u8();
+  if (heuristic > static_cast<std::uint8_t>(EliminationHeuristic::MinDegree))
+    c.fail("unknown elimination heuristic");
+  o.heuristic = static_cast<EliminationHeuristic>(heuristic);
+  std::uint8_t seg = c.u8();
+  if (seg > static_cast<std::uint8_t>(SegmentationStrategy::MinFrontier))
+    c.fail("unknown segmentation strategy");
+  o.segmentation = static_cast<SegmentationStrategy>(seg);
+  o.max_segment_states = c.f64();
+  o.segment_nodes = c.i32();
+  o.single_bn_nodes = c.i32();
+  o.segment_overlap = c.i32();
+
+  CompileStats& s = m.restored.stats;
+  s.compile_seconds = c.f64();
+  s.schedule_build_seconds = c.f64();
+  s.num_segments = c.i32();
+  s.total_state_space = c.f64();
+  s.max_clique_vars = static_cast<std::size_t>(c.u64());
+  s.total_bn_variables = c.i32();
+  s.fill_edges = c.u64();
+  return m;
+}
+
+void encode_segment(std::string& out, const CompiledSegmentView& seg) {
+  put_i32(out, seg.begin);
+  put_i32(out, seg.end);
+  encode_lidag(out, *seg.lidag);
+  encode_triangulation(out, *seg.engine.triangulation);
+  encode_schedule(out, *seg.engine.schedule);
+  put_vec_i32(out, std::vector<int>(seg.engine.cpt_home.begin(),
+                                    seg.engine.cpt_home.end()));
+}
+
+LidagEstimator::RestoredSegment decode_segment(Cursor& c) {
+  LidagEstimator::RestoredSegment seg;
+  seg.begin = c.i32();
+  seg.end = c.i32();
+  seg.lidag = std::make_unique<LidagBn>(decode_lidag(c));
+  seg.engine.tri = decode_triangulation(c);
+  seg.engine.schedule = decode_schedule(c);
+  seg.engine.cpt_home = c.vec_i32();
+  c.expect_end();
+  return seg;
+}
+
+// --- header ------------------------------------------------------------
+
+struct SectionEntry {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+  std::uint64_t checksum = 0;
+};
+
+std::string build_header(const CompiledModelView& view,
+                         const std::vector<SectionEntry>& sections) {
+  const obs::ReportProvenance prov = obs::default_provenance();
+  std::string h = "{";
+  h += "\"schema_version\":" + std::to_string(kArtifactSchemaVersion) + ",";
+  h += "\"circuit\":";
+  obs::json_append_string(h, view.netlist->name());
+  h += ",\"provenance\":{\"git_describe\":";
+  obs::json_append_string(h, prov.git_describe);
+  h += ",\"build_type\":";
+  obs::json_append_string(h, prov.build_type);
+  h += ",\"timestamp\":";
+  obs::json_append_string(h, prov.timestamp_iso8601);
+  h += ",\"hostname\":";
+  obs::json_append_string(h, prov.hostname);
+  h += "},\"nodes\":" + std::to_string(view.netlist->num_nodes());
+  h += ",\"inputs\":" + std::to_string(view.netlist->num_inputs());
+  h += ",\"segments\":" + std::to_string(view.segments.size());
+  h += ",\"compile_seconds\":" +
+       obs::json_number(view.stats->compile_seconds);
+  h += ",\"sections\":[";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (i) h += ",";
+    h += "{\"name\":";
+    obs::json_append_string(h, sections[i].name);
+    h += ",\"offset\":" + std::to_string(sections[i].offset);
+    h += ",\"size\":" + std::to_string(sections[i].size);
+    h += ",\"fnv1a\":\"" + hex64(sections[i].checksum) + "\"}";
+  }
+  h += "]}";
+  return h;
+}
+
+// Parses and sanity-checks the header; returns (header json, payload).
+std::pair<obs::JsonValue, std::string_view> parse_container(
+    std::string_view bytes) {
+  if (bytes.size() < 8) throw ArtifactError("artifact truncated (no header)");
+  if (std::memcmp(bytes.data(), kArtifactMagic, 4) != 0)
+    throw ArtifactError("not a .bnsc artifact (bad magic)");
+  std::uint32_t header_len = 0;
+  for (int i = 0; i < 4; ++i)
+    header_len |= static_cast<std::uint32_t>(
+                      static_cast<std::uint8_t>(bytes[4 + i]))
+                  << (8 * i);
+  if (8 + static_cast<std::size_t>(header_len) > bytes.size())
+    throw ArtifactError("artifact truncated (header overruns file)");
+  std::optional<obs::JsonValue> header =
+      obs::json_parse(bytes.substr(8, header_len));
+  if (!header || !header->is_object())
+    throw ArtifactError("artifact header is not valid JSON");
+  const double version = header->number_or("schema_version", -1);
+  if (version != kArtifactSchemaVersion)
+    throw ArtifactError(
+        "unsupported artifact schema version " +
+        std::to_string(static_cast<long long>(version)) + " (this build reads " +
+        std::to_string(kArtifactSchemaVersion) + "); recompile the artifact");
+  return {*header, bytes.substr(8 + header_len)};
+}
+
+ArtifactInfo info_from_header(const obs::JsonValue& header) {
+  ArtifactInfo info;
+  info.schema_version =
+      static_cast<int>(header.number_or("schema_version", 0));
+  info.circuit = header.string_or("circuit", "");
+  if (const obs::JsonValue* prov = header.find("provenance")) {
+    info.git_describe = prov->string_or("git_describe", "");
+    info.build_type = prov->string_or("build_type", "");
+    info.timestamp_iso8601 = prov->string_or("timestamp", "");
+    info.hostname = prov->string_or("hostname", "");
+  }
+  info.num_nodes = static_cast<int>(header.number_or("nodes", 0));
+  info.num_inputs = static_cast<int>(header.number_or("inputs", 0));
+  info.num_segments = static_cast<int>(header.number_or("segments", 0));
+  info.compile_seconds = header.number_or("compile_seconds", 0.0);
+  return info;
+}
+
+// Section table from the header, with every entry checksum-verified
+// against the payload. The checksum pass makes the later decode
+// trustworthy: any flipped byte in a table fails here, loudly.
+std::vector<SectionEntry> verify_sections(const obs::JsonValue& header,
+                                          std::string_view payload) {
+  const obs::JsonValue* list = header.find("sections");
+  if (!list || !list->is_array())
+    throw ArtifactError("artifact header has no section table");
+  std::vector<SectionEntry> sections;
+  for (const obs::JsonValue& e : list->as_array()) {
+    SectionEntry s;
+    s.name = e.string_or("name", "");
+    s.offset = static_cast<std::size_t>(e.number_or("offset", -1));
+    s.size = static_cast<std::size_t>(e.number_or("size", -1));
+    if (s.name.empty() || e.number_or("offset", -1) < 0 ||
+        e.number_or("size", -1) < 0)
+      throw ArtifactError("artifact section table entry malformed");
+    if (s.offset > payload.size() || s.size > payload.size() - s.offset)
+      throw ArtifactError("artifact section '" + s.name +
+                          "' overruns the file (truncated?)");
+    const std::string crc = e.string_or("fnv1a", "");
+    const std::uint64_t want = std::strtoull(crc.c_str(), nullptr, 16);
+    const std::uint64_t got = fnv1a(payload.substr(s.offset, s.size));
+    if (crc.size() != 16 || want != got)
+      throw ArtifactError("artifact section '" + s.name +
+                          "' checksum mismatch (corrupted file)");
+    s.checksum = got;
+    sections.push_back(std::move(s));
+  }
+  // Sections are written back to back; anything past the last one is
+  // not ours and means the file was appended to or mis-assembled.
+  std::size_t end = 0;
+  for (const SectionEntry& s : sections) end = std::max(end, s.offset + s.size);
+  if (end != payload.size())
+    throw ArtifactError("artifact has trailing bytes past the last section");
+  return sections;
+}
+
+Cursor section_cursor(const std::vector<SectionEntry>& sections,
+                      std::string_view payload, const std::string& name) {
+  for (const SectionEntry& s : sections)
+    if (s.name == name)
+      return Cursor(payload.substr(s.offset, s.size), name);
+  throw ArtifactError("artifact is missing section '" + name + "'");
+}
+
+} // namespace
+
+std::string serialize_artifact(const CompiledModelView& view) {
+  if (!view.netlist || !view.inner || !view.options || !view.stats)
+    throw ArtifactError("serialize_artifact: incomplete model view");
+  for (const CompiledSegmentView& seg : view.segments) {
+    if (!seg.lidag || !seg.engine.triangulation)
+      throw ArtifactError("serialize_artifact: incomplete segment view");
+    if (!seg.engine.schedule)
+      throw ArtifactError(
+          "serialize_artifact: segment engine has no compiled propagation "
+          "schedule (artifacts require the scheduled path)");
+    if (seg.engine.cpt_home.size() !=
+        static_cast<std::size_t>(seg.lidag->bn.num_variables()))
+      throw ArtifactError("serialize_artifact: cpt_home size mismatch");
+  }
+
+  std::vector<SectionEntry> sections;
+  std::string payload;
+  auto add_section = [&](std::string name, const std::string& bytes) {
+    SectionEntry s;
+    s.name = std::move(name);
+    s.offset = payload.size();
+    s.size = bytes.size();
+    s.checksum = fnv1a(bytes);
+    sections.push_back(std::move(s));
+    payload += bytes;
+  };
+
+  {
+    std::string bytes;
+    encode_netlist(bytes, *view.netlist);
+    add_section("netlist", bytes);
+  }
+  {
+    std::string bytes;
+    encode_model(bytes, view);
+    add_section("model", bytes);
+  }
+  for (std::size_t i = 0; i < view.segments.size(); ++i) {
+    std::string bytes;
+    encode_segment(bytes, view.segments[i]);
+    add_section("seg" + std::to_string(i), bytes);
+  }
+
+  const std::string header = build_header(view, sections);
+  std::string out;
+  out.reserve(8 + header.size() + payload.size());
+  out.append(kArtifactMagic, 4);
+  put_u32(out, static_cast<std::uint32_t>(header.size()));
+  out += header;
+  out += payload;
+  return out;
+}
+
+void save_artifact(const std::string& path, const CompiledModelView& view) {
+  const std::string bytes = serialize_artifact(view);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw ArtifactError("cannot open '" + tmp + "' for writing");
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!f) throw ArtifactError("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ArtifactError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+LoadedModel load_artifact_bytes(std::string_view bytes,
+                                const ArtifactLoadOptions& opts) {
+  Timer timer;
+  const auto [header, payload] = parse_container(bytes);
+  const std::vector<SectionEntry> sections = verify_sections(header, payload);
+
+  LoadedModel out;
+  out.info = info_from_header(header);
+
+  Cursor nl_cursor = section_cursor(sections, payload, "netlist");
+  out.netlist = std::make_unique<Netlist>(decode_netlist(nl_cursor));
+  nl_cursor.expect_end();
+
+  Cursor model_cursor = section_cursor(sections, payload, "model");
+  DecodedModel model = decode_model(model_cursor);
+  model_cursor.expect_end();
+
+  const int num_segments = out.info.num_segments;
+  if (num_segments <= 0)
+    throw ArtifactError("artifact header declares no segments");
+  model.restored.segments.reserve(static_cast<std::size_t>(num_segments));
+  for (int i = 0; i < num_segments; ++i) {
+    Cursor seg_cursor =
+        section_cursor(sections, payload, "seg" + std::to_string(i));
+    model.restored.segments.push_back(decode_segment(seg_cursor));
+  }
+
+  // Runtime knobs ride in from the caller; the compile-time options are
+  // the recorded ones (quantification must match the compiled structure).
+  model.options.num_threads = opts.num_threads;
+  model.options.trace = opts.trace;
+  model.options.verify = VerifyLevel::Off;
+  try {
+    out.estimator = std::make_unique<LidagEstimator>(
+        *out.netlist, std::move(model.restored), model.options);
+  } catch (const std::exception& e) {
+    throw ArtifactError(std::string("artifact restore failed: ") + e.what());
+  }
+
+  if (opts.validate) {
+    // The SC001-SC009 static analyzer proves every restored schedule
+    // race-free, in-bounds and reload-sound before the first query.
+    DiagnosticReport report;
+    const CompiledModelView view = out.estimator->compiled_view();
+    for (const CompiledSegmentView& seg : view.segments)
+      lint_schedule(seg.engine, report);
+    if (report.has_errors())
+      throw ArtifactError("artifact failed schedule validation:\n" +
+                          report.render_text());
+  }
+  out.load_seconds = timer.seconds();
+  return out;
+}
+
+LoadedModel load_artifact(const std::string& path,
+                          const ArtifactLoadOptions& opts) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw ArtifactError("cannot open artifact '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  if (!f.good() && !f.eof())
+    throw ArtifactError("error reading artifact '" + path + "'");
+  return load_artifact_bytes(bytes, opts);
+}
+
+ArtifactInfo read_artifact_info(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw ArtifactError("cannot open artifact '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return info_from_header(parse_container(bytes).first);
+}
+
+} // namespace bns

@@ -1,0 +1,107 @@
+// Compiled-model artifacts (.bnsc): persistent serialization of the
+// full compiled estimator state — netlist, segment LIDAG BNs with their
+// CPTs, triangulations, propagation schedules and CPT home maps — so
+// the expensive compile (structure + triangulation + schedule build) is
+// paid once and later processes start straight at the cheap "update"
+// step the paper advocates (load priors, propagate).
+//
+// Format: a 4-byte magic "BNSC", a little-endian u32 header length, a
+// JSON header (schema version, provenance, section table with FNV-1a
+// checksums — same round-trip discipline as the obs/ report documents),
+// then raw little-endian binary sections for the tables. The junction
+// trees themselves are not stored: JunctionTree's construction from a
+// Triangulation is deterministic, so the loader rebuilds them bit-
+// identically from the stored triangulations.
+//
+// Every load validates the header (magic / version / checksums) and,
+// by default, re-runs the SC001-SC009 static schedule analyzer over
+// every restored engine before the model answers its first query — a
+// corrupted or stale artifact fails loudly, never silently.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "lidag/estimator.h"
+#include "netlist/netlist.h"
+#include "obs/trace.h"
+
+namespace bns {
+
+// First 4 bytes of every artifact.
+inline constexpr char kArtifactMagic[4] = {'B', 'N', 'S', 'C'};
+
+// Version of the .bnsc container. Bump on any layout change; the loader
+// rejects artifacts whose version differs (artifacts are compile caches,
+// not archival documents — recompiling is always possible and cheap to
+// ask for, silently misreading tables is not).
+inline constexpr int kArtifactSchemaVersion = 1;
+
+// Every artifact failure mode (I/O, bad magic, version skew, checksum
+// mismatch, truncated/inconsistent sections, failed SC* validation)
+// surfaces as this exception with a one-line human-readable reason.
+class ArtifactError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Header-level facts about an artifact, available without decoding the
+// binary sections (see read_artifact_info).
+struct ArtifactInfo {
+  int schema_version = kArtifactSchemaVersion;
+  std::string circuit;        // netlist name at compile time
+  std::string git_describe;   // producing build's provenance
+  std::string build_type;
+  std::string timestamp_iso8601;
+  std::string hostname;
+  int num_nodes = 0;          // original netlist lines
+  int num_inputs = 0;
+  int num_segments = 0;
+  double compile_seconds = 0.0; // what loading this artifact avoids
+};
+
+struct ArtifactLoadOptions {
+  // Run the SC001-SC009 static schedule analyzer over every restored
+  // engine and reject the artifact on any error finding. On by default:
+  // an artifact is untrusted input until proven sound.
+  bool validate = true;
+  // Runtime knobs for the restored estimator (compile-time options are
+  // recorded in the artifact and not overridable — quantification must
+  // match the compiled structure).
+  int num_threads = 0;        // see EstimatorOptions::num_threads
+  obs::Tracer* trace = nullptr;
+};
+
+// A restored compiled model. The estimator borrows from `netlist`, so
+// the two must be kept (and destroyed) together — keep the LoadedModel.
+struct LoadedModel {
+  ArtifactInfo info;
+  double load_seconds = 0.0;  // decode + restore + validate, wall clock
+  std::unique_ptr<Netlist> netlist;
+  std::unique_ptr<LidagEstimator> estimator;
+};
+
+// Serializes the compiled model behind `view` (obtained from
+// LidagEstimator::compiled_view()) into an artifact byte string.
+// Requires the scheduled engine path (every segment engine must expose
+// a compiled PropagationSchedule); throws ArtifactError otherwise.
+std::string serialize_artifact(const CompiledModelView& view);
+
+// serialize_artifact + atomic write (temp file + rename) to `path`.
+void save_artifact(const std::string& path, const CompiledModelView& view);
+
+// Parses, restores and (by default) validates an artifact. Throws
+// ArtifactError on any malformation; never returns a partial model.
+LoadedModel load_artifact_bytes(std::string_view bytes,
+                                const ArtifactLoadOptions& opts = {});
+LoadedModel load_artifact(const std::string& path,
+                          const ArtifactLoadOptions& opts = {});
+
+// Reads only the JSON header of an artifact (fast: no section decode,
+// no checksum pass over the tables). Throws ArtifactError on a file
+// that is not a valid artifact header.
+ArtifactInfo read_artifact_info(const std::string& path);
+
+} // namespace bns

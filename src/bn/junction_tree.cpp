@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/assert.h"
 #include "util/strings.h"
@@ -227,6 +228,47 @@ JunctionTreeEngine::JunctionTreeEngine(const BayesianNetwork& bn,
     trace_->gauge_max(obs::Counter::MaxCliqueStates,
                       static_cast<std::uint64_t>(max_states));
   }
+}
+
+JunctionTreeEngine::JunctionTreeEngine(const BayesianNetwork& bn,
+                                       RestoredCompilation parts,
+                                       CompileOptions opts)
+    : bn_(&bn),
+      trace_(opts.trace),
+      tri_(std::move(parts.tri)),
+      tree_(JunctionTree(tri_)) {
+  // Restore path: the triangulation, schedule and CPT homes come from a
+  // deserialized artifact instead of a fresh compile. JunctionTree(tri)
+  // is deterministic, so rebuilding it from the restored cliques yields
+  // the exact tree the schedule was compiled against; the SC* analyzer
+  // run by the artifact loader then proves the pair consistent. The
+  // structural checks here are the ones the analyzer cannot express
+  // (it indexes through cpt_home, so cpt_home itself must be sane).
+  const auto nv = static_cast<std::size_t>(bn.num_variables());
+  if (parts.cpt_home.size() != nv) {
+    throw std::runtime_error(
+        "restored cpt_home does not match the network's variable count");
+  }
+  for (int home : parts.cpt_home) {
+    if (home < 0 || home >= tree_.num_cliques()) {
+      throw std::runtime_error("restored cpt_home names an invalid clique");
+    }
+  }
+  cpt_home_ = std::move(parts.cpt_home);
+  home_of_.assign(nv, -1);
+  for (VarId v = 0; v < bn.num_variables(); ++v) {
+    const auto& scope = bn.cpt(v).vars();
+    const int covering = tree_.clique_containing_all(
+        std::span<const int>(scope.data(), scope.size()));
+    if (covering < 0) {
+      throw std::runtime_error(
+          "restored junction tree covers no clique for a CPT family");
+    }
+    home_of_[static_cast<std::size_t>(v)] = tree_.clique_containing(v);
+  }
+  sched_ = std::move(parts.schedule);
+  want_schedule_ = true;
+  has_schedule_ = true;
 }
 
 double JunctionTreeEngine::state_space() const {

@@ -99,6 +99,38 @@ struct CompileOptions {
   obs::Tracer* trace = nullptr;
 };
 
+// Everything a compiled JunctionTreeEngine exposes read-only to the
+// static schedule analyzer (verify/schedule_rules) and the artifact
+// serializer (src/artifact/), bundled so the engine's private state is
+// reachable through exactly one introspection surface
+// (JunctionTreeEngine::compiled_view) instead of a growing list of
+// per-field accessors.
+struct CompiledEngineView {
+  const BayesianNetwork* network = nullptr;
+  const JunctionTree* tree = nullptr;
+  const Triangulation* triangulation = nullptr;
+  // Compiled propagation schedule, or nullptr until prepare() (or the
+  // first load_potentials()) has built it / when compile_schedule is
+  // off. The analyzer proves race-freedom, reload coverage and numeric
+  // bounds over exactly this structure.
+  const PropagationSchedule* schedule = nullptr;
+  // cpt_home[v] = clique whose potential absorbs the CPT of v — the
+  // ground truth reload_incremental() dirties against.
+  std::span<const int> cpt_home;
+  // component_root[c] = root clique of c's tree component — the
+  // granularity at which the frontier propagation skips whole
+  // components. Empty until prepare(). SC009 proves this mapping
+  // consistent with the parent structure.
+  std::span<const int> component_root;
+  // Per-clique offsets into the snapshot buffer (num_cliques + 1
+  // entries); empty until the first snapshot_potentials().
+  std::span<const std::size_t> snapshot_offsets;
+  // Per-edge offsets into the collect-message snapshot buffer
+  // (num_edges + 1 entries); empty until the first
+  // snapshot_potentials(). SC009 proves the slicing exact.
+  std::span<const std::size_t> message_snapshot_offsets;
+};
+
 // The Hugin-style inference engine over a compiled junction tree.
 //
 // Lifecycle:
@@ -121,33 +153,34 @@ class JunctionTreeEngine {
 
   const JunctionTree& tree() const { return tree_; }
   const Triangulation& triangulation() const { return tri_; }
-  const BayesianNetwork& network() const { return *bn_; }
 
-  // --- introspection for the static schedule analyzer (verify/) -------
-  // Compiled propagation schedule, or nullptr until prepare() (or the
-  // first load_potentials()) has built it / when compile_schedule is
-  // off. The analyzer proves race-freedom, reload coverage and numeric
-  // bounds over exactly this structure.
-  const PropagationSchedule* schedule() const {
-    return has_schedule_ ? &sched_ : nullptr;
+  // The single read-only introspection surface over the compiled
+  // engine; see CompiledEngineView above the class.
+  CompiledEngineView compiled_view() const {
+    CompiledEngineView v;
+    v.network = bn_;
+    v.tree = &tree_;
+    v.triangulation = &tri_;
+    v.schedule = has_schedule_ ? &sched_ : nullptr;
+    v.cpt_home = cpt_home_;
+    v.component_root = root_of_;
+    v.snapshot_offsets = snap_off_;
+    v.message_snapshot_offsets = msg_snap_off_;
+    return v;
   }
-  // cpt_home()[v] = clique whose potential absorbs the CPT of v — the
-  // ground truth reload_incremental() dirties against.
-  std::span<const int> cpt_home() const { return cpt_home_; }
-  // Per-clique offsets into the snapshot buffer (num_cliques + 1
-  // entries); empty until the first snapshot_potentials().
-  std::span<const std::size_t> snapshot_offsets() const { return snap_off_; }
-  // component_root()[c] = root clique of c's tree component — the
-  // granularity at which the frontier propagation skips whole
-  // components. Empty until prepare(). SC009 proves this mapping
-  // consistent with the parent structure.
-  std::span<const int> component_root() const { return root_of_; }
-  // Per-edge offsets into the collect-message snapshot buffer
-  // (num_edges + 1 entries); empty until the first
-  // snapshot_potentials(). SC009 proves the slicing exact.
-  std::span<const std::size_t> message_snapshot_offsets() const {
-    return msg_snap_off_;
-  }
+
+  // Previously compiled state, as deserialized by the artifact layer
+  // (src/artifact/). The restore constructor installs it instead of
+  // re-running moralize/triangulate/build_schedule; the junction tree
+  // itself is rebuilt deterministically from the triangulation's clique
+  // list, so it is not carried separately.
+  struct RestoredCompilation {
+    Triangulation tri;
+    PropagationSchedule schedule;
+    std::vector<int> cpt_home;
+  };
+  JunctionTreeEngine(const BayesianNetwork& bn, RestoredCompilation parts,
+                     CompileOptions opts = {});
 
   // Sum over cliques of their table sizes (the paper's complexity measure).
   double state_space() const;

@@ -8,53 +8,37 @@
 #include "util/timer.h"
 
 namespace bns {
+namespace {
 
-SweepResult run_sweep(const Netlist& nl, std::span<const InputModel> scenarios,
-                      const SweepOptions& opts) {
-  BNS_EXPECTS(opts.replicas >= 1);
+// The sweep proper, over an already-compiled replica set: contiguous
+// chunks keep each replica's scenario sequence in order, so its
+// incremental diff always compares against the scenario the user listed
+// just before — the locality the sweep is designed around.
+SweepResult sweep_over(std::span<LidagEstimator* const> ests,
+                       std::span<const InputModel> scenarios) {
   SweepResult res;
-  if (scenarios.empty()) return res;
-
-  const int replicas = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(opts.replicas),
-                            scenarios.size()));
-  res.replicas_used = replicas;
-
-  Timer compile_timer;
-  std::vector<std::unique_ptr<LidagEstimator>> ests;
-  ests.reserve(static_cast<std::size_t>(replicas));
-  for (int r = 0; r < replicas; ++r) {
-    ests.push_back(std::make_unique<LidagEstimator>(nl, scenarios[0],
-                                                    opts.estimator));
-  }
-  res.compile_seconds = compile_timer.seconds();
-
+  res.replicas_used = static_cast<int>(ests.size());
   res.estimates.resize(scenarios.size());
-  std::vector<BatchStats> stats(static_cast<std::size_t>(replicas));
+  std::vector<BatchStats> stats(ests.size());
 
-  // Contiguous chunks keep each replica's scenario sequence in order, so
-  // its incremental diff always compares against the scenario the user
-  // listed just before — the locality the sweep is designed around.
   const std::size_t n = scenarios.size();
-  const std::size_t chunk = (n + static_cast<std::size_t>(replicas) - 1) /
-                            static_cast<std::size_t>(replicas);
-  auto sweep_chunk = [&](int r) {
-    const std::size_t lo = static_cast<std::size_t>(r) * chunk;
+  const std::size_t chunk = (n + ests.size() - 1) / ests.size();
+  auto sweep_chunk = [&](std::size_t r) {
+    const std::size_t lo = r * chunk;
     const std::size_t hi = std::min(n, lo + chunk);
     if (lo >= hi) return;
-    stats[static_cast<std::size_t>(r)] = ests[static_cast<std::size_t>(r)]
-        ->estimate_batch_into(scenarios.subspan(lo, hi - lo),
-                              std::span<SwitchingEstimate>(res.estimates)
-                                  .subspan(lo, hi - lo));
+    stats[r] = ests[r]->estimate_batch_into(
+        scenarios.subspan(lo, hi - lo),
+        std::span<SwitchingEstimate>(res.estimates).subspan(lo, hi - lo));
   };
 
   Timer sweep_timer;
-  if (replicas == 1) {
+  if (ests.size() == 1) {
     sweep_chunk(0);
   } else {
     std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(replicas));
-    for (int r = 0; r < replicas; ++r) {
+    workers.reserve(ests.size());
+    for (std::size_t r = 0; r < ests.size(); ++r) {
       workers.emplace_back(sweep_chunk, r);
     }
     for (std::thread& w : workers) w.join();
@@ -69,6 +53,57 @@ SweepResult run_sweep(const Netlist& nl, std::span<const InputModel> scenarios,
     res.stats.messages_skipped += bs.messages_skipped;
     res.stats.total_seconds += bs.total_seconds;
   }
+  return res;
+}
+
+} // namespace
+
+SweepResult run_sweep(const Netlist& nl, std::span<const InputModel> scenarios,
+                      const SweepOptions& opts) {
+  BNS_EXPECTS(opts.replicas >= 1);
+  if (scenarios.empty()) return {};
+
+  const int replicas = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(opts.replicas),
+                            scenarios.size()));
+
+  Timer compile_timer;
+  std::vector<std::unique_ptr<LidagEstimator>> ests;
+  ests.reserve(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    ests.push_back(std::make_unique<LidagEstimator>(nl, scenarios[0],
+                                                    opts.estimator));
+  }
+  const double compile_seconds = compile_timer.seconds();
+
+  std::vector<LidagEstimator*> ptrs;
+  ptrs.reserve(ests.size());
+  for (const auto& e : ests) ptrs.push_back(e.get());
+  SweepResult res = sweep_over(ptrs, scenarios);
+  res.compile_seconds = compile_seconds;
+  return res;
+}
+
+SweepResult run_sweep(LidagEstimator& first, const EstimatorFactory& make,
+                      std::span<const InputModel> scenarios, int replicas) {
+  BNS_EXPECTS(replicas >= 1);
+  if (scenarios.empty()) return {};
+
+  const int n = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(replicas), scenarios.size()));
+
+  Timer compile_timer;
+  std::vector<std::unique_ptr<LidagEstimator>> extra;
+  extra.reserve(static_cast<std::size_t>(n - 1));
+  for (int r = 1; r < n; ++r) extra.push_back(make());
+  const double compile_seconds = compile_timer.seconds();
+
+  std::vector<LidagEstimator*> ptrs;
+  ptrs.reserve(static_cast<std::size_t>(n));
+  ptrs.push_back(&first);
+  for (const auto& e : extra) ptrs.push_back(e.get());
+  SweepResult res = sweep_over(ptrs, scenarios);
+  res.compile_seconds = compile_seconds;
   return res;
 }
 

@@ -13,6 +13,8 @@
 // replica count and any per-estimator thread count.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -48,5 +50,18 @@ struct SweepResult {
 // first one (grouping is part of the compiled model).
 SweepResult run_sweep(const Netlist& nl, std::span<const InputModel> scenarios,
                       const SweepOptions& opts = {});
+
+// Produces one additional compiled estimator equivalent to the ones
+// already sweeping (recompile the netlist, or re-load the artifact —
+// the Session facade picks whichever it was opened from).
+using EstimatorFactory = std::function<std::unique_ptr<LidagEstimator>()>;
+
+// As above, but replica 0 is the caller's already-compiled estimator
+// and only replicas 1..N-1 are produced by `make` (compile_seconds
+// covers exactly those factory calls). This is how Session::sweep
+// reuses its own compiled model instead of paying a second compile.
+// `first`'s batch state is advanced by the sweep, like any replica's.
+SweepResult run_sweep(LidagEstimator& first, const EstimatorFactory& make,
+                      std::span<const InputModel> scenarios, int replicas = 1);
 
 } // namespace bns

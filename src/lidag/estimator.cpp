@@ -164,6 +164,86 @@ LidagEstimator::LidagEstimator(const Netlist& nl, const InputModel& model,
   }
 }
 
+LidagEstimator::LidagEstimator(const Netlist& nl, RestoredModel parts,
+                               EstimatorOptions opts)
+    : nl_(&nl), inner_(std::move(parts.inner)), opts_(opts) {
+  // Restore path (src/artifact/): every compile product is installed
+  // from the deserialized parts; only prepare() (buffer allocation) and
+  // the thread-pool setup run afresh. support_ stays empty — it is
+  // consumed exclusively by pick_boundary_links at compile time.
+  if (inner_.map.size() != static_cast<std::size_t>(nl.num_nodes()) ||
+      inner_.netlist.num_inputs() != nl.num_inputs()) {
+    throw std::runtime_error(
+        "restored inner netlist does not match the given netlist");
+  }
+  input_perm_ = std::move(parts.input_perm);
+  if (input_perm_.size() !=
+      static_cast<std::size_t>(inner_.netlist.num_inputs())) {
+    throw std::runtime_error("restored input permutation has wrong size");
+  }
+  num_input_groups_ = parts.num_input_groups;
+  stats_ = parts.stats;
+
+  segments_.reserve(parts.segments.size());
+  NodeId prev_end = 0;
+  for (RestoredSegment& rs : parts.segments) {
+    if (rs.begin != prev_end || rs.end <= rs.begin ||
+        rs.end > inner_.netlist.num_nodes()) {
+      throw std::runtime_error(
+          "restored segments do not tile the inner netlist");
+    }
+    prev_end = rs.end;
+    Segment seg;
+    seg.begin = rs.begin;
+    seg.end = rs.end;
+    seg.lidag = std::move(rs.lidag);
+    CompileOptions copts;
+    copts.heuristic = opts_.heuristic;
+    copts.trace = opts_.trace;
+    seg.engine = std::make_unique<JunctionTreeEngine>(
+        seg.lidag->bn, std::move(rs.engine), copts);
+    segments_.push_back(std::move(seg));
+  }
+  if (!segments_.empty() && prev_end != inner_.netlist.num_nodes()) {
+    throw std::runtime_error("restored segments do not cover the netlist");
+  }
+
+  const int threads = ThreadPool::resolve_threads(opts_.num_threads);
+  if (threads > 1 && !segments_.empty()) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+    build_segment_levels();
+  }
+  for (Segment& seg : segments_) seg.engine->prepare();
+
+  if (opts_.verify != VerifyLevel::Off) {
+    const DiagnosticReport report = verify(opts_.verify);
+    if (report.has_errors()) {
+      throw std::runtime_error("restored-model verification failed:\n" +
+                               report.render_text());
+    }
+  }
+}
+
+CompiledModelView LidagEstimator::compiled_view() const {
+  CompiledModelView view;
+  view.netlist = nl_;
+  view.inner = &inner_;
+  view.input_perm = input_perm_;
+  view.num_input_groups = num_input_groups_;
+  view.options = &opts_;
+  view.stats = &stats_;
+  view.segments.reserve(segments_.size());
+  for (const Segment& seg : segments_) {
+    CompiledSegmentView sv;
+    sv.lidag = seg.lidag.get();
+    sv.begin = seg.begin;
+    sv.end = seg.end;
+    sv.engine = seg.engine->compiled_view();
+    view.segments.push_back(std::move(sv));
+  }
+  return view;
+}
+
 const LidagBn& LidagEstimator::segment_lidag(int i) const {
   BNS_EXPECTS(i >= 0 && i < num_segments());
   return *segments_[static_cast<std::size_t>(i)].lidag;
@@ -210,7 +290,7 @@ DiagnosticReport LidagEstimator::verify(VerifyLevel level) const {
     if (level >= VerifyLevel::Schedule) {
       // The constructor prepares every kept engine, so the compiled
       // schedule is available here; lint_schedule is a no-op otherwise.
-      lint_schedule(*seg.engine, report);
+      lint_schedule(seg.engine->compiled_view(), report);
     }
   }
   if (level >= VerifyLevel::Schedule) {

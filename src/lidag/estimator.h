@@ -129,12 +129,65 @@ struct SwitchingEstimate {
   double average_activity() const;
 };
 
+// Read-only view of one compiled segment: the LIDAG BN, its line range
+// in the inner (cone-reordered) netlist, and the engine's compiled
+// introspection surface.
+struct CompiledSegmentView {
+  const LidagBn* lidag = nullptr;
+  NodeId begin = 0;
+  NodeId end = 0;
+  CompiledEngineView engine;
+};
+
+// Everything the compiled estimator exposes read-only — the single
+// introspection surface both the SC* static analyzer and the artifact
+// serializer (src/artifact/) consume. Obtained from
+// LidagEstimator::compiled_view(); spans and pointers borrow from the
+// estimator and are valid for its lifetime.
+struct CompiledModelView {
+  const Netlist* netlist = nullptr;       // original, caller-owned
+  const MappedNetlist* inner = nullptr;   // cone-reordered working copy
+  std::span<const int> input_perm;        // inner input pos -> original
+  int num_input_groups = 0;
+  const EstimatorOptions* options = nullptr;
+  const CompileStats* stats = nullptr;
+  std::vector<CompiledSegmentView> segments;
+};
+
 class LidagEstimator {
  public:
   // Builds and compiles all segment BNs. `model` provides the input
   // *structure* (grouping); statistics may differ between estimate()
   // calls as long as the grouping layout matches.
   LidagEstimator(const Netlist& nl, const InputModel& model,
+                 EstimatorOptions opts = {});
+
+  // --- artifact restore (src/artifact/) -------------------------------
+  // One deserialized segment: the LIDAG BN plus the engine compilation
+  // to install via JunctionTreeEngine's restore constructor.
+  struct RestoredSegment {
+    std::unique_ptr<LidagBn> lidag;
+    NodeId begin = 0;
+    NodeId end = 0;
+    JunctionTreeEngine::RestoredCompilation engine;
+  };
+  // The full compiled state as deserialized from a .bnsc artifact.
+  // `support_` (used only to pick boundary links at compile time) is
+  // intentionally absent: restored estimators never recompile.
+  struct RestoredModel {
+    MappedNetlist inner;
+    std::vector<int> input_perm;
+    int num_input_groups = 0;
+    CompileStats stats;
+    std::vector<RestoredSegment> segments;
+  };
+  // Rebuilds a compiled estimator from deserialized parts without
+  // recompiling (no cone reorder, no triangulation, no schedule build).
+  // `opts` supplies runtime knobs (threads, trace, verify); the
+  // compile-time options (lidag/segmentation) must be the ones the
+  // artifact recorded, or quantification will not match the compiled
+  // structure. The artifact loader enforces this.
+  LidagEstimator(const Netlist& nl, RestoredModel parts,
                  EstimatorOptions opts = {});
 
   // Propagates the given input statistics through all segments.
@@ -187,6 +240,10 @@ class LidagEstimator {
   // Per-segment structures, for external inspection and verification.
   const LidagBn& segment_lidag(int i) const;
   const JunctionTreeEngine& segment_engine(int i) const;
+  // The single read-only introspection surface over the compiled model
+  // (see CompiledModelView above) — what the SC* analyzer and the
+  // artifact serializer consume.
+  CompiledModelView compiled_view() const;
 
   // Runs the static checkers over the netlist and all compiled segments
   // at the given level (see EstimatorOptions::verify) and returns the

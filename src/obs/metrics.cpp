@@ -24,6 +24,10 @@ const char* counter_name(Counter c) {
     case Counter::IncrementalReloads: return "incremental_reloads";
     case Counter::CliquesRestored: return "cliques_restored";
     case Counter::MessagesSkipped: return "messages_skipped";
+    case Counter::ArtifactLoads: return "artifact_loads";
+    case Counter::ServeConnections: return "serve_connections";
+    case Counter::ServeRequests: return "serve_requests";
+    case Counter::ServeErrors: return "serve_errors";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -45,6 +45,11 @@ enum class Counter : int {
   IncrementalReloads,     // engine-level reload_incremental() invocations
   CliquesRestored,        // cliques memcpy-restored instead of reloaded
   MessagesSkipped,        // separator messages restored/skipped, not computed
+  // Artifact cache and query daemon (src/artifact, src/serve):
+  ArtifactLoads,          // .bnsc artifacts decoded + restored
+  ServeConnections,       // client connections accepted by bns_serve
+  ServeRequests,          // JSON-lines requests answered (ok or error)
+  ServeErrors,            // requests answered with {"ok":false,...}
   kCount,
 };
 

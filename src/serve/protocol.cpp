@@ -1,0 +1,305 @@
+#include "serve/protocol.h"
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace bns::serve {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::int64_t file_mtime_ns(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0; // built-in generator names
+  return static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+         st.st_mtim.tv_nsec;
+}
+
+// Thrown for any request-shape problem; handle_request turns it into an
+// {"ok":false,...} response. The layer below (InputModel, Session)
+// enforces its contracts with aborting BNS_EXPECTS, so everything a
+// client can influence must be validated *here*, before it crosses.
+struct RequestError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+double finite_number(const obs::JsonValue& req, std::string_view key,
+                     double dflt) {
+  const obs::JsonValue* v = req.find(key);
+  if (!v) return dflt;
+  if (!v->is_number())
+    throw RequestError("\"" + std::string(key) + "\" must be a number");
+  const double d = v->as_number();
+  if (!std::isfinite(d))
+    throw RequestError("\"" + std::string(key) + "\" must be finite");
+  return d;
+}
+
+int int_field(const obs::JsonValue& req, std::string_view key, int dflt) {
+  const double d = finite_number(req, key, dflt);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d)
+    throw RequestError("\"" + std::string(key) + "\" must be an integer");
+  return i;
+}
+
+void check_stats(double p, double rho, std::string_view what) {
+  if (p < 0.0 || p > 1.0)
+    throw RequestError(std::string(what) + ": p must be in [0, 1]");
+  if (rho < rho_min(p) - 1e-12 || rho > 1.0)
+    throw RequestError(std::string(what) +
+                       ": rho outside the admissible range for this p");
+}
+
+// The per-estimate input statistics: either uniform {"p","rho"} or a
+// per-input "specs" array (grouping is a compile-time property, so
+// requests cannot introduce groups — they supply statistics only).
+InputModel model_from_request(const obs::JsonValue& req, int num_inputs) {
+  if (const obs::JsonValue* specs = req.find("specs")) {
+    if (!specs->is_array())
+      throw RequestError("\"specs\" must be an array of {p, rho} objects");
+    const obs::JsonArray& arr = specs->as_array();
+    if (static_cast<int>(arr.size()) != num_inputs)
+      throw RequestError("\"specs\" has " + std::to_string(arr.size()) +
+                         " entries; the model has " +
+                         std::to_string(num_inputs) + " inputs");
+    std::vector<InputSpec> v;
+    v.reserve(arr.size());
+    for (const obs::JsonValue& e : arr) {
+      if (!e.is_object())
+        throw RequestError("\"specs\" entries must be objects");
+      InputSpec s;
+      s.p = finite_number(e, "p", 0.5);
+      s.rho = finite_number(e, "rho", 0.0);
+      check_stats(s.p, s.rho, "specs");
+      v.push_back(s);
+    }
+    return InputModel::custom(std::move(v));
+  }
+  const double p = finite_number(req, "p", 0.5);
+  const double rho = finite_number(req, "rho", 0.0);
+  check_stats(p, rho, "request");
+  return InputModel::uniform(num_inputs, p, rho);
+}
+
+// A line reference: a JSON number is a NodeId, a string is a line name.
+NodeId resolve_node(const obs::JsonValue& req, std::string_view key,
+                    const Netlist& nl) {
+  const obs::JsonValue* v = req.find(key);
+  if (!v) throw RequestError("missing \"" + std::string(key) + "\"");
+  if (v->is_string()) {
+    const NodeId id = nl.find(v->as_string());
+    if (id == kInvalidNode)
+      throw RequestError("no line named \"" + v->as_string() + "\"");
+    return id;
+  }
+  if (v->is_number()) {
+    const double d = v->as_number();
+    const NodeId id = static_cast<NodeId>(d);
+    if (static_cast<double>(id) != d || id < 0 || id >= nl.num_nodes())
+      throw RequestError("\"" + std::string(key) + "\" out of range");
+    return id;
+  }
+  throw RequestError("\"" + std::string(key) +
+                     "\" must be a line name or node id");
+}
+
+std::string error_response(const std::string& op, const std::string& msg) {
+  std::string out = "{\"ok\":false";
+  if (!op.empty()) {
+    out += ",\"op\":";
+    obs::json_append_string(out, op);
+  }
+  out += ",\"error\":";
+  obs::json_append_string(out, msg);
+  out += "}";
+  return out;
+}
+
+std::string handle_estimate(const obs::JsonValue& req,
+                            SessionCache::Entry& entry) {
+  Session& s = entry.session;
+  const InputModel model = model_from_request(req, s.netlist().num_inputs());
+  const SwitchingEstimate est = s.estimate(model);
+  std::string out = "{\"ok\":true,\"op\":\"estimate\"";
+  out += ",\"lines\":" + std::to_string(est.dist.size());
+  out += ",\"average_activity\":" + obs::json_number(est.average_activity());
+  out += ",\"propagate_seconds\":" +
+         obs::json_number(est.stats.propagate_seconds);
+  out += "}";
+  return out;
+}
+
+std::string handle_sweep(const obs::JsonValue& req,
+                         SessionCache::Entry& entry) {
+  Session& s = entry.session;
+  LinearSweepSpec spec;
+  spec.scenarios = int_field(req, "scenarios", spec.scenarios);
+  spec.vary_input = int_field(req, "vary_input", spec.vary_input);
+  spec.p_from = finite_number(req, "p_from", spec.p_from);
+  spec.p_to = finite_number(req, "p_to", spec.p_to);
+  spec.rho = finite_number(req, "rho", spec.rho);
+  if (spec.scenarios < 1 || spec.scenarios > 100000)
+    throw RequestError("\"scenarios\" must be in [1, 100000]");
+  if (spec.vary_input < 0 || spec.vary_input >= s.netlist().num_inputs())
+    throw RequestError("\"vary_input\" out of range (" +
+                       std::to_string(s.netlist().num_inputs()) + " inputs)");
+  check_stats(spec.p_from, spec.rho, "p_from");
+  check_stats(spec.p_to, spec.rho, "p_to");
+
+  const std::vector<InputModel> models =
+      make_linear_scenarios(spec, s.netlist().num_inputs());
+  const SweepResult res = s.sweep(models);
+
+  std::string out = "{\"ok\":true,\"op\":\"sweep\"";
+  out += ",\"scenarios\":" + std::to_string(res.stats.scenarios);
+  out += ",\"segments_reloaded\":" +
+         std::to_string(res.stats.segments_reloaded);
+  out += ",\"segments_skipped\":" + std::to_string(res.stats.segments_skipped);
+  out += ",\"wall_seconds\":" + obs::json_number(res.wall_seconds);
+  out += ",\"records\":[";
+  for (std::size_t i = 0; i < res.estimates.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"scenario\":" + std::to_string(i);
+    out += ",\"p\":" + obs::json_number(
+                           models[i].spec(spec.vary_input).p);
+    out += ",\"average_activity\":" +
+           obs::json_number(res.estimates[i].average_activity());
+    out += ",\"propagate_seconds\":" +
+           obs::json_number(res.estimates[i].stats.propagate_seconds);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string handle_conditional(const obs::JsonValue& req,
+                               SessionCache::Entry& entry) {
+  Session& s = entry.session;
+  const NodeId target = resolve_node(req, "target", s.netlist());
+  const NodeId given = resolve_node(req, "given", s.netlist());
+  const int state = int_field(req, "state", -1);
+  if (state < 0 || state > 3)
+    throw RequestError("\"state\" must be 0 (00), 1 (01), 2 (10) or 3 (11)");
+  const InputModel model = model_from_request(req, s.netlist().num_inputs());
+
+  const std::optional<std::array<double, 4>> dist = s.conditional(
+      target, given, static_cast<Trans>(state), model);
+  if (!dist)
+    return error_response(
+        "conditional",
+        "lines are not modeled in one segment BN (or the evidence has "
+        "probability 0)");
+  std::string out = "{\"ok\":true,\"op\":\"conditional\",\"dist\":[";
+  for (int i = 0; i < 4; ++i) {
+    if (i) out += ",";
+    out += obs::json_number((*dist)[static_cast<std::size_t>(i)]);
+  }
+  out += "],\"activity\":" + obs::json_number(activity_of(*dist));
+  out += "}";
+  return out;
+}
+
+std::string handle_stats(SessionCache::Entry& entry) {
+  Session& s = entry.session;
+  const CompileStats& cs = s.compile_stats();
+  std::string out = "{\"ok\":true,\"op\":\"stats\"";
+  out += ",\"circuit\":";
+  obs::json_append_string(out, s.netlist().name());
+  out += ",\"nodes\":" + std::to_string(s.netlist().num_nodes());
+  out += ",\"inputs\":" + std::to_string(s.netlist().num_inputs());
+  out += ",\"segments\":" + std::to_string(cs.num_segments);
+  out += ",\"compile_seconds\":" + obs::json_number(cs.compile_seconds);
+  out += ",\"total_state_space\":" + obs::json_number(cs.total_state_space);
+  if (const ArtifactInfo* info = s.artifact_info()) {
+    out += ",\"from_artifact\":true";
+    out += ",\"load_seconds\":" + obs::json_number(s.load_seconds());
+    out += ",\"artifact_timestamp\":";
+    obs::json_append_string(out, info->timestamp_iso8601);
+  } else {
+    out += ",\"from_artifact\":false";
+  }
+  out += "}";
+  return out;
+}
+
+} // namespace
+
+std::shared_ptr<SessionCache::Entry> SessionCache::get(
+    const std::string& model) {
+  const std::int64_t mtime = file_mtime_ns(model);
+  // Held across the load: first-touch compiles of *different* models
+  // serialize, which keeps the cache simple and means N concurrent
+  // requests for one new model pay exactly one load.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(model);
+  if (it != entries_.end() && it->second->mtime_ns == mtime)
+    return it->second;
+
+  Session session = ends_with(model, ".bnsc")
+                        ? Session::open_artifact(model, opts_)
+                        : Session::open(model, opts_);
+  if (trace_ && ends_with(model, ".bnsc"))
+    trace_->count(obs::Counter::ArtifactLoads);
+  auto entry = std::make_shared<Entry>(std::move(session), mtime);
+  entries_[model] = entry;
+  return entry;
+}
+
+std::string handle_request(std::string_view line, SessionCache& cache) {
+  obs::Tracer* trace = cache.trace();
+  obs::Span span(trace, "serve.request");
+  if (trace) trace->count(obs::Counter::ServeRequests);
+
+  std::string op;
+  std::string response;
+  try {
+    const std::optional<obs::JsonValue> req = obs::json_parse(line);
+    if (!req || !req->is_object())
+      throw RequestError("request is not a JSON object");
+    const obs::JsonValue* opv = req->find("op");
+    if (!opv || !opv->is_string())
+      throw RequestError("missing string \"op\"");
+    op = opv->as_string();
+
+    if (op == "ping") {
+      response = "{\"ok\":true,\"op\":\"ping\"}";
+    } else if (op == "estimate" || op == "sweep" || op == "conditional" ||
+               op == "stats") {
+      const obs::JsonValue* modelv = req->find("model");
+      if (!modelv || !modelv->is_string())
+        throw RequestError("missing string \"model\"");
+      std::shared_ptr<SessionCache::Entry> entry =
+          cache.get(modelv->as_string());
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (op == "estimate") {
+        response = handle_estimate(*req, *entry);
+      } else if (op == "sweep") {
+        response = handle_sweep(*req, *entry);
+      } else if (op == "conditional") {
+        response = handle_conditional(*req, *entry);
+      } else {
+        response = handle_stats(*entry);
+      }
+    } else {
+      throw RequestError("unknown op \"" + op + "\"");
+    }
+  } catch (const std::exception& e) {
+    response = error_response(op, e.what());
+  }
+
+  if (trace && response.compare(0, 11, "{\"ok\":false") == 0)
+    trace->count(obs::Counter::ServeErrors);
+  return response;
+}
+
+} // namespace bns::serve

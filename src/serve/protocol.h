@@ -1,0 +1,73 @@
+// The bns_serve request protocol, factored apart from the socket
+// plumbing so it is testable in-process: one JSON request line in, one
+// JSON response line out.
+//
+// Requests are JSON objects with an "op" member:
+//   {"op":"ping"}
+//   {"op":"estimate","model":"c432.bnsc","p":0.3,"rho":0.1}
+//   {"op":"estimate","model":"c432.bnsc","specs":[{"p":0.2},{"p":0.7}, ...]}
+//   {"op":"sweep","model":"...","scenarios":8,"vary_input":0,
+//    "p_from":0.1,"p_to":0.9,"rho":0}
+//   {"op":"conditional","model":"...","target":"G370","given":"G430",
+//    "state":1,"p":0.5,"rho":0}
+//   {"op":"stats","model":"..."}
+// `model` is a .bnsc artifact path, a .bench/.blif path, or a built-in
+// benchmark name — the same resolution every tool uses (Session).
+//
+// Responses always carry "ok": true/false; errors add "error" with a
+// one-line reason. Numbers are formatted with obs::json_number (%.17g),
+// the exact formatter bns_sweep's JSON uses, so a jq comparison of
+// daemon answers against in-process runs is string-exact.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.h"
+#include "session/session.h"
+
+namespace bns::serve {
+
+// Open sessions keyed by model path, revalidated by file mtime: a
+// recompiled artifact (or edited circuit file) is picked up on the next
+// request touching it, with no daemon restart. Thread-safe; concurrent
+// requests for different models load/query in parallel, requests for
+// the same model serialize on the entry lock (Session queries mutate
+// engine state).
+class SessionCache {
+ public:
+  explicit SessionCache(SessionOptions opts = {},
+                        obs::Tracer* trace = nullptr)
+      : opts_(std::move(opts)), trace_(trace) {}
+
+  struct Entry {
+    Entry(Session s, std::int64_t mtime) noexcept
+        : session(std::move(s)), mtime_ns(mtime) {}
+    std::mutex mu; // serializes queries against this session
+    Session session;
+    std::int64_t mtime_ns = 0;
+  };
+
+  // The cached session for `model`, (re)opened on first use or when the
+  // file's mtime changed. Throws on load/compile failure.
+  std::shared_ptr<Entry> get(const std::string& model);
+
+  obs::Tracer* trace() const { return trace_; }
+
+ private:
+  std::mutex mu_; // guards entries_ (not the sessions themselves)
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  SessionOptions opts_;
+  obs::Tracer* trace_;
+};
+
+// Handles one request line and returns the response line (no trailing
+// newline). Never throws: every failure — unparseable JSON, unknown op,
+// missing model, load errors — becomes {"ok":false,"error":...}, so one
+// bad client cannot take the daemon down.
+std::string handle_request(std::string_view line, SessionCache& cache);
+
+} // namespace bns::serve

@@ -1,0 +1,197 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace bns::serve {
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+// send() with MSG_NOSIGNAL so a client that hung up mid-response costs
+// an EPIPE return, not a process-killing SIGPIPE.
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.session, opts_.trace) {
+  workers_ = ThreadPool::resolve_threads(opts_.threads);
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(opts_.socket_path.c_str());
+  }
+  for (int fd : wake_fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+void Server::start() {
+  if (opts_.socket_path.empty())
+    throw std::runtime_error("serve: empty socket path");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("serve: socket path too long: " +
+                             opts_.socket_path);
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  if (::pipe(wake_fds_) != 0) sys_fail("serve: pipe");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("serve: socket");
+  ::unlink(opts_.socket_path.c_str()); // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    sys_fail("serve: bind " + opts_.socket_path);
+  if (::listen(listen_fd_, 64) != 0) sys_fail("serve: listen");
+}
+
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  const char b = 's';
+  // Best-effort: the pipe being full already means a wake-up is pending.
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
+void Server::run() {
+  if (listen_fd_ < 0) throw std::runtime_error("serve: run() before start()");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = true;
+  }
+  // Index 0 is the accept loop; 1..workers_ serve connections. The pool
+  // sizes itself so all indices run concurrently (parallel_for blocks
+  // until the accept loop exits and the workers drain the queue — which
+  // is exactly the drain barrier run() wants).
+  ThreadPool pool(workers_ + 1);
+  pool.parallel_for(workers_ + 1, [this](int i) {
+    if (i == 0) {
+      accept_loop();
+    } else {
+      worker_loop();
+    }
+  });
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break; // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    if (opts_.trace) opts_.trace->count(obs::Counter::ServeConnections);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(conn);
+    }
+    cv_.notify_one();
+  }
+  // Drain starts: no new connections, wake every worker so the ones
+  // idling on the queue can exit once it is empty.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(opts_.socket_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+      if (queue_.empty()) {
+        if (!accepting_) return; // drained
+        continue;
+      }
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    serve_connection(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    // A finite poll keeps drain bounded: once stop is requested, a
+    // connection that has no request in flight is closed instead of
+    // waiting forever for its next line.
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n == 0) break; // client closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+
+    // Answer every complete line; keep the trailing partial (if any).
+    std::size_t start = 0;
+    bool client_gone = false;
+    for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+         nl = buf.find('\n', start)) {
+      std::string_view line(buf.data() + start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      const std::string response = handle_request(line, cache_);
+      if (!write_all(fd, response) || !write_all(fd, "\n")) {
+        client_gone = true;
+        break;
+      }
+    }
+    buf.erase(0, start);
+    if (client_gone) break;
+    // Oversized garbage with no newline: cap the buffer so a malicious
+    // client cannot balloon the daemon; 16 MiB is far beyond any
+    // legitimate request.
+    if (buf.size() > (16u << 20)) break;
+  }
+  ::close(fd);
+}
+
+} // namespace bns::serve

@@ -1,0 +1,82 @@
+// bns_serve's Unix-domain-socket server: accept loop + request workers
+// over the existing ThreadPool, JSON-lines framing, graceful drain.
+//
+// Lifecycle:
+//   Server server(opts);
+//   server.start();          // bind + listen (throws on socket errors)
+//   server.run();            // serves until request_stop(); drains, returns
+//
+// Drain: request_stop() — or one byte written to notify_fd(), which is
+// all an async-signal-safe SIGTERM handler needs — makes the accept
+// loop close the listen socket (no new connections), lets every
+// in-flight request finish and its response flush, then returns from
+// run(). In-flight connections are closed after their buffered requests
+// are answered; the daemon never kills a request mid-computation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace bns::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  // Request workers (concurrent connections served). 0 = the usual
+  // thread policy (BNS_THREADS or 1); the accept loop adds one more.
+  int threads = 0;
+  SessionOptions session;
+  obs::Tracer* trace = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Creates, binds and listens on the Unix socket (removing a stale
+  // socket file first). Throws std::runtime_error on failure.
+  void start();
+
+  // Serves until a stop is requested; returns once drained. Runs the
+  // accept loop and `threads` request workers over one ThreadPool
+  // parallel_for, so run() occupies the calling thread.
+  void run();
+
+  // Initiates graceful drain. Safe from any thread.
+  void request_stop();
+
+  // One byte written here also initiates drain — the async-signal-safe
+  // path for SIGTERM/SIGINT handlers (write(2) is on the safe list).
+  int notify_fd() const { return wake_fds_[1]; }
+
+  const std::string& socket_path() const { return opts_.socket_path; }
+  int num_workers() const { return workers_; }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  ServerOptions opts_;
+  SessionCache cache_;
+  int workers_ = 1;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1}; // self-pipe: [0] polled, [1] written
+  std::atomic<bool> stop_{false};
+
+  std::mutex mu_; // guards queue_/accepting_
+  std::condition_variable cv_;
+  std::deque<int> queue_; // accepted connection fds awaiting a worker
+  bool accepting_ = false; // accept loop still running
+};
+
+} // namespace bns::serve

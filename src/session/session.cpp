@@ -1,0 +1,130 @@
+#include "session/session.h"
+
+#include <utility>
+
+#include "gen/benchmarks.h"
+#include "netlist/bench_io.h"
+#include "netlist/blif_io.h"
+
+namespace bns {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+std::vector<InputModel> make_linear_scenarios(const LinearSweepSpec& spec,
+                                              int num_inputs) {
+  std::vector<InputModel> models;
+  models.reserve(static_cast<std::size_t>(spec.scenarios));
+  for (int s = 0; s < spec.scenarios; ++s) {
+    const double t = spec.scenarios > 1
+                         ? static_cast<double>(s) /
+                               static_cast<double>(spec.scenarios - 1)
+                         : 0.0;
+    std::vector<InputSpec> specs(static_cast<std::size_t>(num_inputs),
+                                 InputSpec{0.5, spec.rho, -1, 0.0});
+    specs[static_cast<std::size_t>(spec.vary_input)].p =
+        spec.p_from + t * (spec.p_to - spec.p_from);
+    models.push_back(InputModel::custom(std::move(specs)));
+  }
+  return models;
+}
+
+Netlist load_circuit(const std::string& circuit) {
+  if (ends_with(circuit, ".bench")) return read_bench_file(circuit);
+  if (ends_with(circuit, ".blif")) return read_blif_file(circuit);
+  return make_benchmark(circuit);
+}
+
+Session Session::open(const std::string& circuit, SessionOptions opts) {
+  return open(load_circuit(circuit), std::move(opts));
+}
+
+Session Session::open(Netlist nl, SessionOptions opts) {
+  const int n = nl.num_inputs();
+  return open(std::move(nl), InputModel::uniform(n), std::move(opts));
+}
+
+Session Session::open(Netlist nl, const InputModel& structure,
+                      SessionOptions opts) {
+  Session s;
+  s.nl_ = std::make_unique<Netlist>(std::move(nl));
+  s.structure_ = structure;
+  s.opts_ = std::move(opts);
+  s.est_ = std::make_unique<LidagEstimator>(*s.nl_, structure,
+                                            s.opts_.estimator);
+  return s;
+}
+
+Session Session::open_artifact(const std::string& path, SessionOptions opts) {
+  ArtifactLoadOptions lopts;
+  lopts.validate = opts.validate_artifact;
+  lopts.num_threads = opts.estimator.num_threads;
+  lopts.trace = opts.estimator.trace;
+  LoadedModel loaded = load_artifact(path, lopts);
+
+  Session s;
+  s.nl_ = std::move(loaded.netlist);
+  s.est_ = std::move(loaded.estimator);
+  s.structure_ = InputModel::uniform(s.nl_->num_inputs());
+  s.opts_ = std::move(opts);
+  s.artifact_path_ = path;
+  s.info_ = std::move(loaded.info);
+  s.load_seconds_ = loaded.load_seconds;
+  return s;
+}
+
+SwitchingEstimate Session::estimate(const InputModel& model) {
+  return est_->estimate(model);
+}
+
+std::unique_ptr<LidagEstimator> Session::clone_estimator(
+    std::vector<std::unique_ptr<Netlist>>& keep_alive) const {
+  if (!artifact_path_.empty()) {
+    ArtifactLoadOptions lopts;
+    // The first load already validated this file; replicas skip the
+    // re-analysis and just decode.
+    lopts.validate = false;
+    lopts.num_threads = opts_.estimator.num_threads;
+    lopts.trace = opts_.estimator.trace;
+    LoadedModel loaded = load_artifact(artifact_path_, lopts);
+    // The restored estimator borrows its own decoded netlist; park it
+    // with the caller so it outlives the estimator's use.
+    keep_alive.push_back(std::move(loaded.netlist));
+    return std::move(loaded.estimator);
+  }
+  return std::make_unique<LidagEstimator>(*nl_, structure_, opts_.estimator);
+}
+
+SweepResult Session::sweep(std::span<const InputModel> scenarios,
+                           int replicas) {
+  std::vector<std::unique_ptr<Netlist>> replica_netlists;
+  return run_sweep(
+      *est_, [&] { return clone_estimator(replica_netlists); }, scenarios,
+      replicas);
+}
+
+SweepResult Session::sweep(const LinearSweepSpec& spec, int replicas) {
+  const std::vector<InputModel> models =
+      make_linear_scenarios(spec, nl_->num_inputs());
+  return sweep(models, replicas);
+}
+
+std::optional<std::array<double, 4>> Session::conditional(
+    NodeId target, NodeId given, Trans state, const InputModel& model) {
+  return est_->conditional_dist(target, given, state, model);
+}
+
+void Session::save(const std::string& path) const {
+  save_artifact(path, est_->compiled_view());
+}
+
+DiagnosticReport Session::verify(VerifyLevel level) const {
+  return est_->verify(level);
+}
+
+} // namespace bns

@@ -1,0 +1,116 @@
+// bns::Session — the one front door to a compiled switching-activity
+// model. Every consumer (the CLI tools, the bns_serve daemon, the
+// benches) opens a Session from a circuit or from a .bnsc artifact and
+// asks it to estimate / sweep / answer conditionals; none of them
+// constructs a LidagEstimator directly. That keeps the compile-vs-load
+// decision, the circuit-argument resolution (.bench / .blif / built-in
+// generator) and the replica-cloning policy in exactly one place.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.h"
+#include "core/sweep.h"
+#include "lidag/estimator.h"
+#include "netlist/netlist.h"
+#include "sim/input_model.h"
+
+namespace bns {
+
+// The linear signal-probability sweep shared by bns_sweep, the daemon's
+// `sweep` op and the tests: every input at (0.5, rho), with input
+// `vary_input`'s p stepped linearly from p_from to p_to.
+struct LinearSweepSpec {
+  int scenarios = 8;
+  int vary_input = 0;
+  double p_from = 0.1;
+  double p_to = 0.9;
+  double rho = 0.0;
+};
+
+std::vector<InputModel> make_linear_scenarios(const LinearSweepSpec& spec,
+                                              int num_inputs);
+
+// Resolves a circuit argument the way all tools do: *.bench and *.blif
+// are read from disk, anything else names a built-in benchmark
+// generator. Throws (std::runtime_error / std::invalid_argument) on
+// unreadable files or unknown names.
+Netlist load_circuit(const std::string& circuit);
+
+struct SessionOptions {
+  // Compile knobs for open(); runtime knobs (num_threads, trace,
+  // verify) for both open() and open_artifact() — an artifact's
+  // compile-time options are recorded in the file and win.
+  EstimatorOptions estimator;
+  // open_artifact(): run the SC001-SC009 analyzer over every restored
+  // schedule before first use (ArtifactLoadOptions::validate).
+  bool validate_artifact = true;
+};
+
+class Session {
+ public:
+  // Compile from a circuit argument / an already-loaded netlist. The
+  // optional `structure` model fixes the input-group layout of the
+  // compiled BNs (statistics are per-estimate); by default all inputs
+  // are independent.
+  static Session open(const std::string& circuit, SessionOptions opts = {});
+  static Session open(Netlist nl, SessionOptions opts = {});
+  static Session open(Netlist nl, const InputModel& structure,
+                      SessionOptions opts = {});
+
+  // Restore from a .bnsc artifact (validated; throws ArtifactError).
+  static Session open_artifact(const std::string& path,
+                               SessionOptions opts = {});
+
+  // --- queries ---------------------------------------------------------
+  SwitchingEstimate estimate(const InputModel& model);
+  SweepResult sweep(std::span<const InputModel> scenarios, int replicas = 1);
+  SweepResult sweep(const LinearSweepSpec& spec, int replicas = 1);
+  std::optional<std::array<double, 4>> conditional(NodeId target, NodeId given,
+                                                   Trans state,
+                                                   const InputModel& model);
+
+  // Serializes the compiled model to a .bnsc artifact.
+  void save(const std::string& path) const;
+
+  // Static checkers over the compiled model (LidagEstimator::verify).
+  DiagnosticReport verify(VerifyLevel level) const;
+
+  // --- introspection ---------------------------------------------------
+  const Netlist& netlist() const { return *nl_; }
+  const LidagEstimator& estimator() const { return *est_; }
+  LidagEstimator& estimator() { return *est_; }
+  const CompileStats& compile_stats() const { return est_->compile_stats(); }
+  // Where this session came from: the artifact header when restored,
+  // nullptr when compiled in-process.
+  const ArtifactInfo* artifact_info() const {
+    return info_ ? &*info_ : nullptr;
+  }
+  // Artifact decode + restore + validate seconds; 0 for open().
+  double load_seconds() const { return load_seconds_; }
+
+ private:
+  Session() = default;
+
+  // An equivalent fresh replica: reopen the artifact, or recompile the
+  // netlist with the construction-time structure model. Artifact clones
+  // borrow their own decoded netlist, parked in `keep_alive` so it
+  // outlives the replica.
+  std::unique_ptr<LidagEstimator> clone_estimator(
+      std::vector<std::unique_ptr<Netlist>>& keep_alive) const;
+
+  std::unique_ptr<Netlist> nl_; // owned; est_ borrows it
+  std::unique_ptr<LidagEstimator> est_;
+  InputModel structure_;        // compile-time input-group layout
+  SessionOptions opts_;
+  std::string artifact_path_;   // non-empty iff opened from an artifact
+  std::optional<ArtifactInfo> info_;
+  double load_seconds_ = 0.0;
+};
+
+} // namespace bns

@@ -581,21 +581,21 @@ NumericalRiskBound lint_numerical_risk(const BayesianNetwork& bn,
   return out;
 }
 
-NumericalRiskBound lint_schedule(const JunctionTreeEngine& engine,
+NumericalRiskBound lint_schedule(const CompiledEngineView& view,
                                  DiagnosticReport& report,
                                  const ScheduleLintOptions& opts) {
-  const PropagationSchedule* sched = engine.schedule();
+  const PropagationSchedule* sched = view.schedule;
   if (sched == nullptr) return {};
-  const JunctionTree& tree = engine.tree();
-  const BayesianNetwork& bn = engine.network();
+  const JunctionTree& tree = *view.tree;
+  const BayesianNetwork& bn = *view.network;
   lint_schedule_races(tree, *sched, report);
   lint_stride_bounds(bn, tree, *sched, report);
   lint_load_plans(bn, tree, *sched, report);
-  lint_reload_coverage(bn, tree, *sched, engine.cpt_home(),
-                       engine.snapshot_offsets(), report);
+  lint_reload_coverage(bn, tree, *sched, view.cpt_home,
+                       view.snapshot_offsets, report);
   lint_frontier_coverage(bn, tree, *sched, tree.preorder(),
-                         engine.component_root(),
-                         engine.message_snapshot_offsets(), report);
+                         view.component_root,
+                         view.message_snapshot_offsets, report);
   return lint_numerical_risk(bn, tree, *sched, report, opts);
 }
 

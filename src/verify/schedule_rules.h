@@ -146,10 +146,10 @@ NumericalRiskBound lint_numerical_risk(const BayesianNetwork& bn,
                                        DiagnosticReport& report,
                                        const ScheduleLintOptions& opts = {});
 
-// Composite: all schedule passes over one prepared engine. No-op when
-// the engine has no compiled schedule (compile_schedule off or not yet
-// prepared).
-NumericalRiskBound lint_schedule(const JunctionTreeEngine& engine,
+// Composite: all schedule passes over one prepared engine's compiled
+// view (JunctionTreeEngine::compiled_view()). No-op when the view has
+// no compiled schedule (compile_schedule off or not yet prepared).
+NumericalRiskBound lint_schedule(const CompiledEngineView& view,
                                  DiagnosticReport& report,
                                  const ScheduleLintOptions& opts = {});
 

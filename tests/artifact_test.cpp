@@ -1,0 +1,188 @@
+// Round-trip tests for the .bnsc artifact format: every checked-in
+// data/*.bench circuit must survive compile -> save -> load -> estimate
+// with bitwise-identical results, and structurally corrupted artifacts
+// (truncated, flipped magic, wrong schema version, damaged section
+// bytes) must be rejected with an ArtifactError, never a crash or a
+// silently-wrong model.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "artifact/artifact.h"
+#include "session/session.h"
+
+namespace bns {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(BNS_DATA_DIR) + "/" + name + ".bench";
+}
+
+std::string tmp_artifact(const std::string& tag) {
+  return testing::TempDir() + "bns_artifact_test_" + tag + "_" +
+         std::to_string(::getpid()) + ".bnsc";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// --- bitwise round trip over the whole data/ corpus -------------------
+
+class ArtifactRoundTrip : public testing::TestWithParam<const char*> {};
+
+TEST_P(ArtifactRoundTrip, SaveLoadEstimateBitwiseIdentical) {
+  const std::string circuit = GetParam();
+  const std::string path = tmp_artifact(circuit);
+
+  Session compiled = Session::open(data_path(circuit));
+  compiled.save(path);
+
+  Session loaded = Session::open_artifact(path);
+  ASSERT_NE(loaded.artifact_info(), nullptr);
+  EXPECT_EQ(loaded.artifact_info()->num_nodes,
+            compiled.netlist().num_nodes());
+  EXPECT_EQ(loaded.netlist().num_nodes(), compiled.netlist().num_nodes());
+  EXPECT_EQ(loaded.netlist().num_inputs(), compiled.netlist().num_inputs());
+  EXPECT_EQ(loaded.compile_stats().num_segments,
+            compiled.compile_stats().num_segments);
+
+  // Two input models, one correlated: the restored schedules must
+  // produce the exact doubles the in-process compile produces.
+  for (const auto& [p, rho] : {std::pair{0.5, 0.0}, std::pair{0.3, 0.2}}) {
+    const InputModel model =
+        InputModel::uniform(compiled.netlist().num_inputs(), p, rho);
+    const SwitchingEstimate want = compiled.estimate(model);
+    const SwitchingEstimate got = loaded.estimate(model);
+    ASSERT_EQ(want.dist.size(), got.dist.size());
+    EXPECT_EQ(want.dist, got.dist)
+        << circuit << " differs bitwise at p=" << p << " rho=" << rho;
+  }
+
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataCircuits, ArtifactRoundTrip,
+                         testing::Values("c17", "comp", "count", "b9",
+                                         "pcler8", "alu4", "malu4", "voter",
+                                         "max_flat", "c432", "c499", "c880",
+                                         "c1355", "c1908", "c2670", "c3540",
+                                         "c5315", "c6288", "c7552"),
+                         [](const auto& info) { return info.param; });
+
+// --- header / info ----------------------------------------------------
+
+TEST(ArtifactTest, ReadInfoReportsHeaderFields) {
+  const std::string path = tmp_artifact("info");
+  Session s = Session::open("c17");
+  s.save(path);
+
+  const ArtifactInfo info = read_artifact_info(path);
+  EXPECT_EQ(info.schema_version, kArtifactSchemaVersion);
+  EXPECT_EQ(info.circuit, "c17");
+  EXPECT_EQ(info.num_nodes, s.netlist().num_nodes());
+  EXPECT_EQ(info.num_inputs, s.netlist().num_inputs());
+  EXPECT_EQ(info.num_segments, s.compile_stats().num_segments);
+  EXPECT_FALSE(info.timestamp_iso8601.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, LoadRecordsLoadSeconds) {
+  const std::string path = tmp_artifact("seconds");
+  Session::open("c17").save(path);
+  Session loaded = Session::open_artifact(path);
+  EXPECT_GT(loaded.load_seconds(), 0.0);
+  std::remove(path.c_str());
+}
+
+// --- corruption negatives ---------------------------------------------
+
+class ArtifactCorruption : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = tmp_artifact("corrupt");
+    Session::open("c432").save(path_);
+    bytes_ = read_file(path_);
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(ArtifactCorruption, FlippedMagicRejected) {
+  std::string bad = bytes_;
+  bad[0] ^= 0x20;
+  EXPECT_THROW(load_artifact_bytes(bad), ArtifactError);
+}
+
+TEST_F(ArtifactCorruption, TruncatedHeaderRejected) {
+  EXPECT_THROW(load_artifact_bytes(std::string_view(bytes_).substr(0, 6)),
+               ArtifactError);
+}
+
+TEST_F(ArtifactCorruption, TruncatedPayloadRejected) {
+  EXPECT_THROW(
+      load_artifact_bytes(std::string_view(bytes_).substr(0, bytes_.size() / 2)),
+      ArtifactError);
+}
+
+TEST_F(ArtifactCorruption, EmptyFileRejected) {
+  EXPECT_THROW(load_artifact_bytes(std::string_view()), ArtifactError);
+}
+
+TEST_F(ArtifactCorruption, WrongSchemaVersionRejected) {
+  std::string bad = bytes_;
+  const std::size_t key = bad.find("schema_version");
+  ASSERT_NE(key, std::string::npos);
+  std::size_t digit = key;
+  while (digit < bad.size() && (bad[digit] < '0' || bad[digit] > '9')) ++digit;
+  ASSERT_LT(digit, bad.size());
+  bad[digit] = '9'; // version 9 does not exist
+  try {
+    load_artifact_bytes(bad);
+    FAIL() << "schema version 9 accepted";
+  } catch (const ArtifactError& e) {
+    EXPECT_NE(std::string(e.what()).find("schema"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ArtifactCorruption, CorruptedSectionByteRejectedByChecksum) {
+  std::string bad = bytes_;
+  bad[bad.size() - 1] ^= 0x01;
+  try {
+    load_artifact_bytes(bad);
+    FAIL() << "corrupted section accepted";
+  } catch (const ArtifactError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ArtifactCorruption, GarbageAfterLastSectionRejected) {
+  std::string bad = bytes_ + "trailing garbage";
+  EXPECT_THROW(load_artifact_bytes(bad), ArtifactError);
+}
+
+TEST_F(ArtifactCorruption, NotAnArtifactFileRejected) {
+  EXPECT_THROW(load_artifact(data_path("c17")), ArtifactError);
+}
+
+TEST_F(ArtifactCorruption, MissingFileThrows) {
+  EXPECT_THROW(load_artifact("/nonexistent/nope.bnsc"), std::exception);
+}
+
+} // namespace
+} // namespace bns

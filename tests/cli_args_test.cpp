@@ -1,0 +1,194 @@
+// Tests for the shared bns::cli layer: the strict scalar parsers every
+// tool now routes through, plus popen() end-to-end checks that the
+// ported tools (bns_compile, bns_serve, bns_sweep) honor the documented
+// exit-code contract — 0 ok, 1 gate/verify failure, 2 usage-or-I/O.
+//
+// Binary paths are injected by CMake as BNS_COMPILE_BINARY,
+// BNS_SERVE_BINARY and BNS_SWEEP_BINARY; popen keeps both the exit
+// status and the output observable.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+
+namespace bns {
+namespace {
+
+// --- strict scalar parsing --------------------------------------------
+
+TEST(CliParseTest, ParseIntAcceptsWholeTokensOnly) {
+  int v = -1;
+  EXPECT_TRUE(cli::parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(cli::parse_int("-7", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(cli::parse_int("0", v));
+  EXPECT_EQ(v, 0);
+
+  EXPECT_FALSE(cli::parse_int("", v));
+  EXPECT_FALSE(cli::parse_int("4x", v));   // atoi would return 4
+  EXPECT_FALSE(cli::parse_int("x4", v));
+  EXPECT_FALSE(cli::parse_int("4 ", v));
+  EXPECT_FALSE(cli::parse_int("4.5", v));
+  EXPECT_FALSE(cli::parse_int("99999999999999999999", v)); // range
+}
+
+TEST(CliParseTest, ParseDoubleAcceptsWholeTokensOnly) {
+  double v = -1.0;
+  EXPECT_TRUE(cli::parse_double("0.25", v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(cli::parse_double("-3e2", v));
+  EXPECT_DOUBLE_EQ(v, -300.0);
+
+  EXPECT_FALSE(cli::parse_double("", v));
+  EXPECT_FALSE(cli::parse_double("0.5p", v)); // strtod would return 0.5
+  EXPECT_FALSE(cli::parse_double("p0.5", v));
+  EXPECT_FALSE(cli::parse_double("1..2", v));
+}
+
+TEST(CliParseTest, ParseIntListIsStrictlyPositiveAndComplete) {
+  std::vector<int> v;
+  EXPECT_TRUE(cli::parse_int_list("1", v));
+  EXPECT_EQ(v, (std::vector<int>{1}));
+  EXPECT_TRUE(cli::parse_int_list("1,2,8", v));
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 8}));
+
+  EXPECT_FALSE(cli::parse_int_list("", v));
+  EXPECT_FALSE(cli::parse_int_list("1,,2", v));  // empty item
+  EXPECT_FALSE(cli::parse_int_list("1,2,", v));  // trailing comma
+  EXPECT_FALSE(cli::parse_int_list(",1", v));    // leading comma
+  EXPECT_FALSE(cli::parse_int_list("0", v));     // < 1
+  EXPECT_FALSE(cli::parse_int_list("2,-4", v));  // < 1
+  EXPECT_FALSE(cli::parse_int_list("2,x", v));   // non-digit
+}
+
+// --- CLI end-to-end ----------------------------------------------------
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_cmd(const std::string& binary, const std::string& args) {
+  const std::string cmd = binary + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunResult res;
+  if (pipe == nullptr) return res;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) {
+    res.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+std::string tmp_path(const std::string& tag) {
+  return testing::TempDir() + "bns_cli_args_" + tag + "_" +
+         std::to_string(::getpid()) + ".bnsc";
+}
+
+TEST(CompileCliTest, CompileVerifyInfoHappyPath) {
+  const std::string path = tmp_path("happy");
+  const RunResult compile =
+      run_cmd(BNS_COMPILE_BINARY, "c17 -o " + path + " --verify");
+  EXPECT_EQ(compile.exit_code, cli::kExitOk) << compile.output;
+  EXPECT_NE(compile.output.find("verify: ok (bitwise)"), std::string::npos)
+      << compile.output;
+
+  const RunResult info = run_cmd(BNS_COMPILE_BINARY, "--info " + path);
+  EXPECT_EQ(info.exit_code, cli::kExitOk) << info.output;
+  EXPECT_NE(info.output.find("circuit          c17"), std::string::npos)
+      << info.output;
+  std::remove(path.c_str());
+}
+
+TEST(CompileCliTest, UsageErrorsExitTwo) {
+  const std::string path = tmp_path("usage");
+  // No circuit / no -o.
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "").exit_code, cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "c17").exit_code, cli::kExitUsage);
+  // Unknown flag, missing value, non-integer --threads.
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "c17 -o " + path + " --bogus")
+                .exit_code,
+            cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "c17 -o").exit_code, cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "c17 -o " + path + " --threads 4x")
+                .exit_code,
+            cli::kExitUsage);
+  // --info combined with a compile job is ambiguous.
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "c17 --info " + path).exit_code,
+            cli::kExitUsage);
+  // Two positionals.
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "c17 c432 -o " + path).exit_code,
+            cli::kExitUsage);
+  std::remove(path.c_str());
+}
+
+TEST(CompileCliTest, IoErrorsExitTwo) {
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "no_such_circuit_xyz -o " +
+                                            tmp_path("io"))
+                .exit_code,
+            cli::kExitUsage);
+  EXPECT_EQ(
+      run_cmd(BNS_COMPILE_BINARY, "c17 -o /nonexistent-dir/deep/x.bnsc")
+          .exit_code,
+      cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_COMPILE_BINARY, "--info /nonexistent/y.bnsc")
+                .exit_code,
+            cli::kExitUsage);
+}
+
+TEST(SweepCliTest, ArtifactRoundTripWithVerifyExitsZero) {
+  const std::string path = tmp_path("sweep");
+  ASSERT_EQ(run_cmd(BNS_COMPILE_BINARY, "c17 -o " + path).exit_code,
+            cli::kExitOk);
+  const RunResult r =
+      run_cmd(BNS_SWEEP_BINARY, path + " --scenarios 3 --verify");
+  EXPECT_EQ(r.exit_code, cli::kExitOk) << r.output;
+  EXPECT_NE(r.output.find("verify: ok"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(SweepCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cmd(BNS_SWEEP_BINARY, "").exit_code, cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_SWEEP_BINARY, "c17 --scenarios nope").exit_code,
+            cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_SWEEP_BINARY, "c17 --vary-input 99").exit_code,
+            cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_SWEEP_BINARY, "c17 --bogus-flag").exit_code,
+            cli::kExitUsage);
+}
+
+TEST(ServeCliTest, ClientWithoutDaemonExitsTwo) {
+  const RunResult r = run_cmd(
+      BNS_SERVE_BINARY,
+      "--socket /tmp/bns_cli_args_no_daemon.sock --request '{\"op\":\"ping\"}'");
+  EXPECT_EQ(r.exit_code, cli::kExitUsage) << r.output;
+  EXPECT_NE(r.output.find("cannot connect"), std::string::npos) << r.output;
+}
+
+TEST(ServeCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cmd(BNS_SERVE_BINARY, "").exit_code, cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_SERVE_BINARY, "--threads 2").exit_code,
+            cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_SERVE_BINARY, "--socket /tmp/x.sock --threads -1")
+                .exit_code,
+            cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_SERVE_BINARY, "--socket /tmp/x.sock --wait -2")
+                .exit_code,
+            cli::kExitUsage);
+  EXPECT_EQ(run_cmd(BNS_SERVE_BINARY, "--socket /tmp/x.sock stray").exit_code,
+            cli::kExitUsage);
+}
+
+} // namespace
+} // namespace bns

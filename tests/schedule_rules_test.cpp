@@ -56,9 +56,10 @@ struct Compiled {
                        InputModel::uniform(make_benchmark(circuit).num_inputs()))),
         eng(lb.bn) {
     eng.prepare();
-    EXPECT_NE(eng.schedule(), nullptr) << circuit;
-    if (eng.schedule() != nullptr) sched = *eng.schedule();
-    cpt_home.assign(eng.cpt_home().begin(), eng.cpt_home().end());
+    const CompiledEngineView view = eng.compiled_view();
+    EXPECT_NE(view.schedule, nullptr) << circuit;
+    if (view.schedule != nullptr) sched = *view.schedule;
+    cpt_home.assign(view.cpt_home.begin(), view.cpt_home.end());
   }
 
   // Runs every structural pass over the (possibly corrupted) copy.
@@ -68,7 +69,7 @@ struct Compiled {
     lint_stride_bounds(lb.bn, eng.tree(), sched, report);
     lint_load_plans(lb.bn, eng.tree(), sched, report);
     lint_reload_coverage(lb.bn, eng.tree(), sched, cpt_home,
-                         eng.snapshot_offsets(), report);
+                         eng.compiled_view().snapshot_offsets, report);
     lint_numerical_risk(lb.bn, eng.tree(), sched, report);
     return report;
   }
@@ -239,7 +240,7 @@ TEST(ScheduleRulesDefect, SubnormalPriorFiresSc008) {
   JunctionTreeEngine eng(bn);
   eng.prepare();
   DiagnosticReport report;
-  const NumericalRiskBound bound = lint_schedule(eng, report);
+  const NumericalRiskBound bound = lint_schedule(eng.compiled_view(), report);
   EXPECT_TRUE(report.has_code(DiagCode::SC008)) << report.render_text();
   EXPECT_EQ(report.find(DiagCode::SC008)->severity, Severity::Warning);
   EXPECT_GT(bound.worst_neg_exp, 1000);
@@ -259,7 +260,7 @@ TEST(ScheduleRulesDefect, StaticBoundDominatesRuntimeGauge) {
   JunctionTreeEngine eng(bn, opts);
   eng.prepare();
   DiagnosticReport report;
-  const NumericalRiskBound bound = lint_schedule(eng, report);
+  const NumericalRiskBound bound = lint_schedule(eng.compiled_view(), report);
 
   eng.load_potentials();
   eng.propagate();
@@ -288,7 +289,7 @@ TEST(ScheduleRulesDefect, BenignChainHasNoSc008) {
   JunctionTreeEngine eng(bn);
   eng.prepare();
   DiagnosticReport report;
-  const NumericalRiskBound bound = lint_schedule(eng, report);
+  const NumericalRiskBound bound = lint_schedule(eng.compiled_view(), report);
   EXPECT_FALSE(report.has_code(DiagCode::SC008)) << report.render_text();
   EXPECT_LE(bound.worst_neg_exp, 16);
 }

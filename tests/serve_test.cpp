@@ -1,0 +1,328 @@
+// Tests for the bns_serve layers: the JSON-lines protocol handler
+// (request validation, error envelopes, cache behavior, concurrent
+// clients vs in-process Session answers) and the Unix-domain-socket
+// Server (end-to-end request over a real socket, graceful drain via
+// request_stop() and via the signal-handler notify fd).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "session/session.h"
+
+namespace bns::serve {
+namespace {
+
+bool ok(const std::string& response) {
+  return response.compare(0, 10, "{\"ok\":true") == 0;
+}
+
+bool failed(const std::string& response) {
+  return response.compare(0, 11, "{\"ok\":false") == 0;
+}
+
+// --- protocol ---------------------------------------------------------
+
+TEST(ServeProtocolTest, PingPongs) {
+  SessionCache cache;
+  EXPECT_EQ(handle_request(R"({"op":"ping"})", cache),
+            R"({"ok":true,"op":"ping"})");
+}
+
+TEST(ServeProtocolTest, EstimateMatchesInProcessSession) {
+  SessionCache cache;
+  const std::string response = handle_request(
+      R"({"op":"estimate","model":"c17","p":0.3,"rho":0.1})", cache);
+  ASSERT_TRUE(ok(response)) << response;
+
+  Session s = Session::open("c17");
+  const SwitchingEstimate want =
+      s.estimate(InputModel::uniform(s.netlist().num_inputs(), 0.3, 0.1));
+  // propagate_seconds is timing noise; the activity (an exact double
+  // formatted with the same %.17g writer) must match string-exactly.
+  EXPECT_NE(response.find("\"average_activity\":" +
+                          obs::json_number(want.average_activity())),
+            std::string::npos)
+      << response;
+}
+
+TEST(ServeProtocolTest, PerInputSpecsAccepted) {
+  SessionCache cache;
+  const std::string response = handle_request(
+      R"({"op":"estimate","model":"c17","specs":[{"p":0.1},{"p":0.2},)"
+      R"({"p":0.3},{"p":0.4},{"p":0.5,"rho":0.2}]})",
+      cache);
+  EXPECT_TRUE(ok(response)) << response;
+}
+
+TEST(ServeProtocolTest, SweepMatchesSessionSweep) {
+  SessionCache cache;
+  const std::string response = handle_request(
+      R"({"op":"sweep","model":"c17","scenarios":3,"p_from":0.2,"p_to":0.8})",
+      cache);
+  ASSERT_TRUE(ok(response)) << response;
+
+  Session s = Session::open("c17");
+  LinearSweepSpec spec;
+  spec.scenarios = 3;
+  spec.p_from = 0.2;
+  spec.p_to = 0.8;
+  const SweepResult want = s.sweep(spec);
+  for (const SwitchingEstimate& est : want.estimates) {
+    EXPECT_NE(response.find(obs::json_number(est.average_activity())),
+              std::string::npos)
+        << response;
+  }
+}
+
+TEST(ServeProtocolTest, ConditionalAnswersOrExplains) {
+  SessionCache cache;
+  const std::string response = handle_request(
+      R"({"op":"conditional","model":"c17","target":10,"given":0,"state":1})",
+      cache);
+  // Either a distribution or the documented same-segment error; both
+  // are well-formed envelopes.
+  EXPECT_TRUE(ok(response) || failed(response)) << response;
+  if (ok(response)) {
+    EXPECT_NE(response.find("\"dist\":["), std::string::npos) << response;
+  }
+}
+
+TEST(ServeProtocolTest, StatsDescribesModel) {
+  SessionCache cache;
+  const std::string response =
+      handle_request(R"({"op":"stats","model":"c17"})", cache);
+  ASSERT_TRUE(ok(response)) << response;
+  EXPECT_NE(response.find("\"inputs\":5"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"from_artifact\":false"), std::string::npos)
+      << response;
+}
+
+TEST(ServeProtocolTest, MalformedRequestsGetErrorEnvelopesNotCrashes) {
+  SessionCache cache;
+  const std::vector<std::string> bad = {
+      "",                                           // not JSON
+      "garbage",                                    // not JSON
+      "[1,2,3]",                                    // not an object
+      "{}",                                         // missing op
+      R"({"op":42})",                               // op not a string
+      R"({"op":"launch_missiles"})",                // unknown op
+      R"({"op":"estimate"})",                       // missing model
+      R"({"op":"estimate","model":7})",             // model not a string
+      R"({"op":"estimate","model":"no_such_circuit_xyz"})", // load fails
+      R"({"op":"estimate","model":"c17","p":1.5})",         // p out of range
+      R"({"op":"estimate","model":"c17","p":-0.1})",        // p out of range
+      R"({"op":"estimate","model":"c17","p":"half"})",      // p not a number
+      R"({"op":"estimate","model":"c17","rho":-2})",        // rho inadmissible
+      R"({"op":"estimate","model":"c17","specs":[{"p":0.5}]})", // wrong count
+      R"({"op":"estimate","model":"c17","specs":"all"})",   // specs not array
+      R"({"op":"sweep","model":"c17","scenarios":0})",      // below range
+      R"({"op":"sweep","model":"c17","scenarios":2.5})",    // not integral
+      R"({"op":"sweep","model":"c17","scenarios":1000001})",// above range
+      R"({"op":"sweep","model":"c17","vary_input":99})",    // no such input
+      R"({"op":"conditional","model":"c17","target":10,"given":0,"state":9})",
+      R"({"op":"conditional","model":"c17","target":"NOPE","given":0,"state":1})",
+      R"({"op":"conditional","model":"c17","target":10000,"given":0,"state":1})",
+  };
+  for (const std::string& line : bad) {
+    const std::string response = handle_request(line, cache);
+    EXPECT_TRUE(failed(response)) << "request `" << line << "` -> " << response;
+    EXPECT_NE(response.find("\"error\":"), std::string::npos) << response;
+  }
+  // The cache (and its c17 session) must still be healthy afterwards.
+  EXPECT_TRUE(ok(handle_request(R"({"op":"estimate","model":"c17"})", cache)));
+}
+
+TEST(ServeProtocolTest, ConcurrentClientsGetIdenticalAnswers) {
+  SessionCache cache;
+  Session ref = Session::open("c17");
+  const std::string want = obs::json_number(
+      ref.estimate(InputModel::uniform(ref.netlist().num_inputs(), 0.3, 0.0))
+          .average_activity());
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> good(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &good, &want, t] {
+      for (int r = 0; r < kRequests; ++r) {
+        const std::string response = handle_request(
+            R"({"op":"estimate","model":"c17","p":0.3})", cache);
+        if (ok(response) && response.find(want) != std::string::npos) {
+          ++good[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(good[static_cast<std::size_t>(t)], kRequests) << "thread " << t;
+  }
+}
+
+TEST(ServeProtocolTest, CacheCountsOneLoadPerModel) {
+  obs::Tracer tracer(obs::TraceLevel::Counters);
+  SessionCache cache({}, &tracer);
+  handle_request(R"({"op":"stats","model":"c17"})", cache);
+  handle_request(R"({"op":"stats","model":"c17"})", cache);
+  handle_request(R"({"op":"estimate","model":"c17"})", cache);
+  EXPECT_EQ(tracer.metrics().value(obs::Counter::ServeRequests), 3u);
+  EXPECT_EQ(tracer.metrics().value(obs::Counter::ServeErrors), 0u);
+}
+
+// --- server (real socket) ---------------------------------------------
+
+std::string test_socket_path(const std::string& tag) {
+  return testing::TempDir() + "bns_serve_test_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+int connect_to(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << path << ": " << std::strerror(errno);
+  return fd;
+}
+
+std::string roundtrip(int fd, const std::string& request) {
+  const std::string line = request + "\n";
+  EXPECT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(line.size()));
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t nl = response.find('\n');
+  return nl == std::string::npos ? response : response.substr(0, nl);
+}
+
+TEST(ServeServerTest, AnswersOverSocketAndDrainsOnRequestStop) {
+  ServerOptions opts;
+  opts.socket_path = test_socket_path("basic");
+  opts.threads = 2;
+  Server server(opts);
+  ASSERT_NO_THROW(server.start());
+  std::thread runner([&server] { server.run(); });
+
+  const int fd = connect_to(opts.socket_path);
+  EXPECT_EQ(roundtrip(fd, R"({"op":"ping"})"), R"({"ok":true,"op":"ping"})");
+  const std::string est =
+      roundtrip(fd, R"({"op":"estimate","model":"c17","p":0.5})");
+  EXPECT_TRUE(ok(est)) << est;
+  // Two requests pipelined on one connection, answered in order.
+  const std::string two = R"({"op":"ping"})" "\n" R"({"op":"ping"})" "\n";
+  EXPECT_EQ(::send(fd, two.data(), two.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(two.size()));
+  std::string both;
+  char chunk[4096];
+  while (std::count(both.begin(), both.end(), '\n') < 2) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    both.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(both,
+            R"({"ok":true,"op":"ping"})" "\n" R"({"ok":true,"op":"ping"})" "\n");
+  ::close(fd);
+
+  server.request_stop();
+  runner.join(); // run() returning at all IS the drain assertion
+}
+
+TEST(ServeServerTest, GarbageOverSocketGetsErrorResponse) {
+  ServerOptions opts;
+  opts.socket_path = test_socket_path("garbage");
+  Server server(opts);
+  ASSERT_NO_THROW(server.start());
+  std::thread runner([&server] { server.run(); });
+
+  const int fd = connect_to(opts.socket_path);
+  const std::string response = roundtrip(fd, "this is not json at all");
+  EXPECT_TRUE(failed(response)) << response;
+  ::close(fd);
+
+  server.request_stop();
+  runner.join();
+}
+
+TEST(ServeServerTest, NotifyFdByteDrainsLikeASignalHandler) {
+  ServerOptions opts;
+  opts.socket_path = test_socket_path("notify");
+  Server server(opts);
+  ASSERT_NO_THROW(server.start());
+  std::thread runner([&server] { server.run(); });
+
+  const int fd = connect_to(opts.socket_path);
+  EXPECT_EQ(roundtrip(fd, R"({"op":"ping"})"), R"({"ok":true,"op":"ping"})");
+  ::close(fd);
+
+  // Exactly what the SIGTERM handler does: one byte, nothing else.
+  const char b = 's';
+  ASSERT_EQ(::write(server.notify_fd(), &b, 1), 1);
+  runner.join();
+}
+
+TEST(ServeServerTest, ConcurrentSocketClientsAllAnswered) {
+  ServerOptions opts;
+  opts.socket_path = test_socket_path("concurrent");
+  opts.threads = 4;
+  Server server(opts);
+  ASSERT_NO_THROW(server.start());
+  std::thread runner([&server] { server.run(); });
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&opts, &responses, c] {
+      const int fd = connect_to(opts.socket_path);
+      responses[static_cast<std::size_t>(c)] =
+          roundtrip(fd, R"({"op":"estimate","model":"c17","p":0.4})");
+      ::close(fd);
+    });
+  }
+  for (std::thread& th : clients) th.join();
+
+  Session ref = Session::open("c17");
+  const std::string want = obs::json_number(
+      ref.estimate(InputModel::uniform(ref.netlist().num_inputs(), 0.4, 0.0))
+          .average_activity());
+  for (int c = 0; c < kClients; ++c) {
+    const std::string& r = responses[static_cast<std::size_t>(c)];
+    EXPECT_TRUE(ok(r)) << "client " << c << ": " << r;
+    EXPECT_NE(r.find(want), std::string::npos) << r;
+  }
+
+  server.request_stop();
+  runner.join();
+}
+
+TEST(ServeServerTest, StartFailsOnBadSocketPath) {
+  ServerOptions opts;
+  opts.socket_path = "/nonexistent-dir/deeply/nested/x.sock";
+  Server server(opts);
+  EXPECT_THROW(server.start(), std::runtime_error);
+}
+
+} // namespace
+} // namespace bns::serve

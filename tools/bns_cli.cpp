@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bns.h"
+#include "session/session.h"
 
 namespace bns {
 namespace {
@@ -84,12 +85,6 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-Netlist load_circuit(const std::string& spec) {
-  if (ends_with(spec, ".bench")) return read_bench_file(spec);
-  if (ends_with(spec, ".blif")) return read_blif_file(spec);
-  return make_benchmark(spec);
-}
-
 int cmd_list() {
   Table t({"name", "family", "origin", "PIs", "POs", "gates(published)"});
   for (const BenchmarkInfo& b : benchmark_suite()) {
@@ -122,9 +117,10 @@ std::vector<std::array<double, 4>> run_method(const Netlist& nl,
                                               const std::string& method,
                                               double& seconds) {
   if (method == "bn") {
-    LidagEstimator est(nl, m);
-    const SwitchingEstimate sw = est.estimate(m);
-    seconds = est.compile_stats().compile_seconds + sw.stats.propagate_seconds;
+    Session session = Session::open(Netlist(nl), m);
+    const SwitchingEstimate sw = session.estimate(m);
+    seconds = session.compile_stats().compile_seconds +
+              sw.stats.propagate_seconds;
     return sw.dist;
   }
   if (method == "independence") {

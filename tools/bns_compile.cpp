@@ -1,0 +1,181 @@
+// bns_compile — compile a circuit once and serialize the compiled model
+// (CPTs, triangulations, propagation schedules, segment metadata) as a
+// versioned .bnsc artifact, or inspect an existing artifact's header.
+//
+//   bns_compile c1908 -o c1908.bnsc
+//   bns_compile circuit.bench -o circuit.bnsc --threads 4 --verify
+//   bns_compile --info c1908.bnsc
+//
+// The artifact is what bns_serve, bns_sweep and Session::open_artifact
+// consume: loading it skips compilation entirely (parse, LIDAG build,
+// triangulation, schedule construction) and restores the model in a
+// small fraction of the compile time.
+//
+// Exit status: 0 ok, 1 --verify found a mismatch between the saved
+// artifact and the in-process model, 2 usage or I/O failure.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+#include "session/session.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+namespace bns {
+namespace {
+
+constexpr const char kUsage[] = R"(usage: bns_compile <circuit> -o FILE [options]
+       bns_compile --info FILE
+  <circuit>           path to .bench/.blif, or a built-in benchmark name
+options:
+  -o, --out FILE      artifact output path (conventionally .bnsc)
+  --threads N         estimator worker threads (default: BNS_THREADS or 1)
+  --verify            load the saved artifact back and require a
+                      bitwise-identical estimate; exit 1 on mismatch
+  --json              print the summary as JSON
+  --info FILE         print an existing artifact's header and exit
+)";
+
+struct Options {
+  std::string circuit;
+  std::string out_path;
+  std::string info_path;
+  int threads = 0;
+  bool verify = false;
+  bool json = false;
+};
+
+std::int64_t file_size(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? st.st_size : -1;
+}
+
+int cmd_info(const Options& o) {
+  const ArtifactInfo info = read_artifact_info(o.info_path);
+  if (o.json) {
+    std::string out = "{\n  \"schema_version\": " +
+                      std::to_string(info.schema_version) + ",\n  \"circuit\": ";
+    obs::json_append_string(out, info.circuit);
+    out += ",\n  \"git_describe\": ";
+    obs::json_append_string(out, info.git_describe);
+    out += ",\n  \"build_type\": ";
+    obs::json_append_string(out, info.build_type);
+    out += ",\n  \"timestamp\": ";
+    obs::json_append_string(out, info.timestamp_iso8601);
+    out += ",\n  \"hostname\": ";
+    obs::json_append_string(out, info.hostname);
+    out += ",\n  \"nodes\": " + std::to_string(info.num_nodes);
+    out += ",\n  \"inputs\": " + std::to_string(info.num_inputs);
+    out += ",\n  \"segments\": " + std::to_string(info.num_segments);
+    out += ",\n  \"compile_seconds\": " + obs::json_number(info.compile_seconds);
+    out += ",\n  \"bytes\": " + std::to_string(file_size(o.info_path));
+    out += "\n}\n";
+    std::fputs(out.c_str(), stdout);
+    return cli::kExitOk;
+  }
+  std::printf("%s (schema %d)\n", o.info_path.c_str(), info.schema_version);
+  std::printf("  circuit          %s\n", info.circuit.c_str());
+  std::printf("  nodes/inputs     %d / %d\n", info.num_nodes, info.num_inputs);
+  std::printf("  segments         %d\n", info.num_segments);
+  std::printf("  compile_seconds  %.6f\n", info.compile_seconds);
+  std::printf("  built            %s on %s (%s, %s)\n",
+              info.timestamp_iso8601.c_str(), info.hostname.c_str(),
+              info.git_describe.c_str(), info.build_type.c_str());
+  return cli::kExitOk;
+}
+
+int run(int argc, char** argv) {
+  Options o;
+  cli::ArgParser ap("bns_compile", kUsage);
+  ap.value("-o", &o.out_path);
+  ap.value("--out", &o.out_path);
+  ap.value("--info", &o.info_path);
+  ap.value("--threads", &o.threads);
+  ap.flag("--verify", &o.verify);
+  ap.flag("--json", &o.json);
+  ap.positional([&o](std::string_view a) {
+    if (!o.circuit.empty()) return false;
+    o.circuit = std::string(a);
+    return true;
+  });
+  ap.parse(argc, argv);
+
+  if (!o.info_path.empty()) {
+    if (!o.circuit.empty() || !o.out_path.empty()) ap.fail();
+    return cmd_info(o);
+  }
+  if (o.circuit.empty() || o.out_path.empty()) ap.fail();
+
+  SessionOptions sopts;
+  sopts.estimator.num_threads = o.threads;
+  Session session = Session::open(o.circuit, sopts);
+
+  Timer save_timer;
+  session.save(o.out_path);
+  const double save_seconds = save_timer.seconds();
+
+  bool verified = false;
+  double load_seconds = 0.0;
+  if (o.verify) {
+    // The artifact contract is bitwise identity: a restored model must
+    // answer exactly what the in-process compile answers.
+    Session loaded = Session::open_artifact(o.out_path, sopts);
+    load_seconds = loaded.load_seconds();
+    const InputModel model =
+        InputModel::uniform(session.netlist().num_inputs());
+    const SwitchingEstimate want = session.estimate(model);
+    const SwitchingEstimate got = loaded.estimate(model);
+    if (want.dist != got.dist) {
+      std::fprintf(stderr,
+                   "bns_compile: VERIFY FAILED: %s answers differ bitwise "
+                   "from the in-process model\n",
+                   o.out_path.c_str());
+      return cli::kExitFailure;
+    }
+    verified = true;
+  }
+
+  const CompileStats& cs = session.compile_stats();
+  if (o.json) {
+    std::string out = "{\n  \"circuit\": ";
+    obs::json_append_string(out, o.circuit);
+    out += ",\n  \"artifact\": ";
+    obs::json_append_string(out, o.out_path);
+    out += ",\n  \"bytes\": " + std::to_string(file_size(o.out_path));
+    out += ",\n  \"nodes\": " + std::to_string(session.netlist().num_nodes());
+    out += ",\n  \"segments\": " + std::to_string(cs.num_segments);
+    out += ",\n  \"compile_seconds\": " + obs::json_number(cs.compile_seconds);
+    out += ",\n  \"save_seconds\": " + obs::json_number(save_seconds);
+    if (o.verify) {
+      out += ",\n  \"load_seconds\": " + obs::json_number(load_seconds);
+    }
+    out += std::string(",\n  \"verified\": ") + (verified ? "true" : "false");
+    out += "\n}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::printf("%s: %d nodes, %d segment(s) -> %s (%lld bytes)\n",
+                o.circuit.c_str(), session.netlist().num_nodes(),
+                cs.num_segments, o.out_path.c_str(),
+                static_cast<long long>(file_size(o.out_path)));
+    std::printf("  compile %.4f s, save %.4f s\n", cs.compile_seconds,
+                save_seconds);
+    if (o.verify) {
+      std::printf("  verify: ok (bitwise), load %.4f s\n", load_seconds);
+    }
+  }
+  return cli::kExitOk;
+}
+
+} // namespace
+} // namespace bns
+
+int main(int argc, char** argv) {
+  try {
+    return bns::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return bns::cli::kExitUsage;
+  }
+}

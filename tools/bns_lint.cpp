@@ -27,6 +27,8 @@
 #include <utility>
 
 #include "bns.h"
+#include "session/session.h"
+#include "util/cli.h"
 
 namespace bns {
 namespace {
@@ -57,8 +59,7 @@ bool is_schedule_inject(const std::string& kind) {
          kind == "frontier-gap";
 }
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr, "%s", R"(usage: bns_lint <circuit> [options]
+constexpr const char kUsage[] = R"(usage: bns_lint <circuit> [options]
   <circuit>           path to .bench/.blif, or a built-in benchmark name
 options:
   --level off|fast|full|schedule
@@ -91,72 +92,63 @@ test hooks (documented for the test suite; not for production use):
   --inject frontier-gap   sweep order listing a clique before its
                           parent, so the dirty-frontier fold loses
                           a recompute obligation                   (SC009)
-)");
-  std::exit(2);
-}
+)";
 
 Options parse(int argc, char** argv) {
   Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (a == "--level") {
-      const std::string level = next();
-      if (level == "off") {
-        o.level = VerifyLevel::Off;
-      } else if (level == "fast") {
-        o.level = VerifyLevel::Fast;
-      } else if (level == "full") {
-        o.level = VerifyLevel::Full;
-      } else if (level == "schedule") {
-        o.level = VerifyLevel::Schedule;
-      } else {
-        usage();
-      }
-    } else if (a == "--schedule") {
+  bool schedule = false;
+  cli::ArgParser ap("bns_lint", kUsage);
+  ap.custom("--level", [&o](std::string_view level) {
+    if (level == "off") {
+      o.level = VerifyLevel::Off;
+    } else if (level == "fast") {
+      o.level = VerifyLevel::Fast;
+    } else if (level == "full") {
+      o.level = VerifyLevel::Full;
+    } else if (level == "schedule") {
       o.level = VerifyLevel::Schedule;
-    } else if (a == "--json") {
-      o.json = true;
-    } else if (a == "--werror") {
-      o.werror = true;
-    } else if (a == "--select") {
-      const std::string arg = next();
-      std::size_t start = 0;
-      while (start <= arg.size()) {
-        const std::size_t comma = arg.find(',', start);
-        const std::string prefix =
-            arg.substr(start, comma == std::string::npos ? std::string::npos
-                                                         : comma - start);
-        if (!prefix.empty()) o.select.push_back(prefix);
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
-      if (o.select.empty()) usage();
-    } else if (a == "--list-codes") {
-      o.list_codes = true;
-    } else if (a == "--inject") {
-      const std::string kind = next();
-      if (kind == "bad-cpt") {
-        o.inject_bad_cpt = true;
-      } else if (kind == "broken-rip") {
-        o.inject_broken_rip = true;
-      } else if (is_schedule_inject(kind)) {
-        o.inject_schedule = kind;
-      } else {
-        usage();
-      }
-    } else if (!a.empty() && a[0] == '-') {
-      usage();
-    } else if (o.circuit.empty()) {
-      o.circuit = a;
     } else {
-      usage();
+      return false;
     }
-  }
-  if (o.circuit.empty() && !o.list_codes) usage();
+    return true;
+  });
+  ap.flag("--schedule", &schedule);
+  ap.flag("--json", &o.json);
+  ap.flag("--werror", &o.werror);
+  ap.custom("--select", [&o](std::string_view arg) {
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+      const std::size_t comma = std::min(arg.find(',', start), arg.size());
+      if (comma > start) {
+        o.select.emplace_back(arg.substr(start, comma - start));
+      }
+      if (comma == arg.size()) break;
+      start = comma + 1;
+    }
+    return !o.select.empty();
+  });
+  ap.flag("--list-codes", &o.list_codes);
+  ap.custom("--inject", [&o](std::string_view v) {
+    const std::string kind(v);
+    if (kind == "bad-cpt") {
+      o.inject_bad_cpt = true;
+    } else if (kind == "broken-rip") {
+      o.inject_broken_rip = true;
+    } else if (is_schedule_inject(kind)) {
+      o.inject_schedule = kind;
+    } else {
+      return false;
+    }
+    return true;
+  });
+  ap.positional([&o](std::string_view a) {
+    if (!o.circuit.empty()) return false;
+    o.circuit = std::string(a);
+    return true;
+  });
+  ap.parse(argc, argv);
+  if (schedule) o.level = VerifyLevel::Schedule;
+  if (o.circuit.empty() && !o.list_codes) ap.fail();
   return o;
 }
 
@@ -246,7 +238,7 @@ void lint_injected_underflow(DiagnosticReport& report) {
   bn.set_cpt(c, {b}, identity(b, c));
   JunctionTreeEngine eng(bn);
   eng.prepare();
-  lint_schedule(eng, report);
+  lint_schedule(eng.compiled_view(), report);
 }
 
 // Corrupts a copy of the circuit's freshly compiled schedule (or screen
@@ -260,8 +252,8 @@ void lint_injected_schedule_defect(const Netlist& nl, const std::string& kind,
   }
   const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
   if (kind == "screen-gap") {
-    const LidagEstimator est(nl, model);
-    SegmentScreenModel screen = est.screen_model();
+    Session session = Session::open(Netlist(nl), model);
+    SegmentScreenModel screen = session.estimator().screen_model();
     // A boundary link whose owner does not run strictly before the
     // reader, and a primary-input trigger past the tracked flags.
     screen.links.push_back(ScreenLink{0, 0});
@@ -274,9 +266,10 @@ void lint_injected_schedule_defect(const Netlist& nl, const std::string& kind,
   LidagBn lb = build_lidag(nl, model);
   JunctionTreeEngine eng(lb.bn);
   eng.prepare();
-  const JunctionTree& tree = eng.tree();
-  PropagationSchedule sched = *eng.schedule();
-  std::vector<int> cpt_home(eng.cpt_home().begin(), eng.cpt_home().end());
+  const CompiledEngineView view = eng.compiled_view();
+  const JunctionTree& tree = *view.tree;
+  PropagationSchedule sched = *view.schedule;
+  std::vector<int> cpt_home(view.cpt_home.begin(), view.cpt_home.end());
   std::vector<int> preorder(tree.preorder());
 
   if (kind == "unit-overlap") {
@@ -369,10 +362,10 @@ void lint_injected_schedule_defect(const Netlist& nl, const std::string& kind,
   lint_schedule_races(tree, sched, report);
   lint_stride_bounds(lb.bn, tree, sched, report);
   lint_load_plans(lb.bn, tree, sched, report);
-  lint_reload_coverage(lb.bn, tree, sched, cpt_home, eng.snapshot_offsets(),
+  lint_reload_coverage(lb.bn, tree, sched, cpt_home, view.snapshot_offsets,
                        report);
-  lint_frontier_coverage(lb.bn, tree, sched, preorder, eng.component_root(),
-                         eng.message_snapshot_offsets(), report);
+  lint_frontier_coverage(lb.bn, tree, sched, preorder, view.component_root,
+                         view.message_snapshot_offsets, report);
   lint_numerical_risk(lb.bn, tree, sched, report);
 }
 
@@ -439,9 +432,8 @@ int run(int argc, char** argv) {
     } else if (o.level >= VerifyLevel::Fast && !o.inject_broken_rip &&
                o.inject_schedule.empty()) {
       const InputModel model = InputModel::uniform(nl.num_inputs(), 0.5, 0.0);
-      EstimatorOptions eopts;
-      const LidagEstimator est(nl, model, eopts);
-      merge_deduped(report, est.verify(o.level));
+      Session session = Session::open(Netlist(nl), model);
+      merge_deduped(report, session.verify(o.level));
     }
     if (o.inject_broken_rip) lint_injected_broken_rip(report);
     if (!o.inject_schedule.empty()) {
@@ -473,7 +465,7 @@ int run(int argc, char** argv) {
   }
   const bool fail =
       report.has_errors() || (o.werror && report.num_warnings() > 0);
-  return fail ? 1 : 0;
+  return fail ? cli::kExitFailure : cli::kExitOk;
 }
 
 } // namespace
@@ -484,6 +476,6 @@ int main(int argc, char** argv) {
     return bns::run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return bns::cli::kExitUsage;
   }
 }

@@ -18,7 +18,9 @@
 // Exit status: 0 ok, 1 regression against the baseline, 2 usage or I/O
 // failure.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,41 +28,14 @@
 #include <string>
 
 #include "core/accuracy.h"
-#include "core/analyzer.h"
-#include "gen/benchmarks.h"
-#include "netlist/bench_io.h"
-#include "netlist/blif_io.h"
 #include "obs/obs.h"
+#include "session/session.h"
+#include "util/cli.h"
 
 namespace bns {
 namespace {
 
-struct Options {
-  std::string circuit;
-  std::string out_path;
-  std::string baseline_path;
-  std::string git_describe; // override (CI stamps the gate's ref here)
-  std::uint64_t sim_pairs = std::uint64_t{1} << 18;
-  std::uint64_t seed = 1;
-  int threads = 0; // 0 = EstimatorOptions default (BNS_THREADS or 1)
-  int repeat = 5;  // update runs; propagate time reported as the min
-  double max_time_regress_pct = 25.0;
-  double max_accuracy_regress = 0.002;
-  // Absolute accuracy bound, gated even without a baseline. <= 0 = off.
-  // Paper-consistent bound is 0.01 for cone-structured / single-segment
-  // circuits; the dense random stand-ins carry a documented looser
-  // budget (DESIGN.md §11, EXPERIMENTS.md threats to validity).
-  double max_mean_error = 0.0;
-  bool json = false;
-  bool audit = true;
-  // Test hooks: fake a regression so the gate's exit-status contract can
-  // be exercised from a healthy build.
-  bool inject_time_regress = false;
-  bool inject_accuracy_regress = false;
-};
-
-[[noreturn]] void usage() {
-  std::fprintf(stderr, "%s", R"(usage: bns_report <circuit> [options]
+constexpr const char kUsage[] = R"(usage: bns_report <circuit> [options]
   <circuit>           path to .bench/.blif, or a built-in benchmark name
 options:
   --json              print the JSON document instead of the text report
@@ -79,88 +54,98 @@ compare mode:
   --max-accuracy-regress E  allowed mean-abs-error increase (default 0.002)
 test hooks (documented for the test suite; not for production use):
   --inject-regress time|accuracy   fake a regression before comparing
-)");
-  std::exit(2);
+)";
+
+struct Options {
+  std::string circuit;
+  std::string out_path;
+  std::string baseline_path;
+  std::string git_describe; // override (CI stamps the gate's ref here)
+  std::uint64_t sim_pairs = std::uint64_t{1} << 18;
+  std::uint64_t seed = 1;
+  int threads = 0; // 0 = EstimatorOptions default (BNS_THREADS or 1)
+  int repeat = 5;  // update runs; propagate time reported as the min
+  double max_time_regress_pct = 25.0;
+  double max_accuracy_regress = 0.002;
+  // Absolute accuracy bound, gated even without a baseline. <= 0 = off.
+  // Paper-consistent bound is 0.01 for cone-structured / single-segment
+  // circuits; the dense random stand-ins carry a documented looser
+  // budget (DESIGN.md §11, EXPERIMENTS.md threats to validity).
+  double max_mean_error = 0.0;
+  bool json = false;
+  bool no_audit = false;
+  // Test hooks: fake a regression so the gate's exit-status contract can
+  // be exercised from a healthy build.
+  bool inject_time_regress = false;
+  bool inject_accuracy_regress = false;
+};
+
+// Strict whole-token u64 (no ArgParser overload: only this tool needs
+// one, for the simulation budget and seed).
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  const std::string buf(s);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  out = v;
+  return true;
 }
 
 Options parse(int argc, char** argv) {
   Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (a == "--json") {
-      o.json = true;
-    } else if (a == "--out") {
-      o.out_path = next();
-    } else if (a == "--sim-pairs") {
-      o.sim_pairs = std::strtoull(next().c_str(), nullptr, 10);
-    } else if (a == "--seed") {
-      o.seed = std::strtoull(next().c_str(), nullptr, 10);
-    } else if (a == "--threads") {
-      o.threads = std::atoi(next().c_str());
-    } else if (a == "--repeat") {
-      o.repeat = std::atoi(next().c_str());
-    } else if (a == "--no-audit") {
-      o.audit = false;
-    } else if (a == "--git-describe") {
-      o.git_describe = next();
-    } else if (a == "--baseline") {
-      o.baseline_path = next();
-    } else if (a == "--max-time-regress") {
-      o.max_time_regress_pct = std::atof(next().c_str());
-    } else if (a == "--max-accuracy-regress") {
-      o.max_accuracy_regress = std::atof(next().c_str());
-    } else if (a == "--max-mean-error") {
-      o.max_mean_error = std::atof(next().c_str());
-    } else if (a == "--inject-regress") {
-      const std::string kind = next();
-      if (kind == "time") {
-        o.inject_time_regress = true;
-      } else if (kind == "accuracy") {
-        o.inject_accuracy_regress = true;
-      } else {
-        usage();
-      }
-    } else if (!a.empty() && a[0] == '-') {
-      usage();
-    } else if (o.circuit.empty()) {
-      o.circuit = a;
+  cli::ArgParser ap("bns_report", kUsage);
+  ap.flag("--json", &o.json);
+  ap.value("--out", &o.out_path);
+  ap.custom("--sim-pairs",
+            [&o](std::string_view v) { return parse_u64(v, o.sim_pairs); });
+  ap.custom("--seed",
+            [&o](std::string_view v) { return parse_u64(v, o.seed); });
+  ap.value("--threads", &o.threads);
+  ap.value("--repeat", &o.repeat);
+  ap.flag("--no-audit", &o.no_audit);
+  ap.value("--git-describe", &o.git_describe);
+  ap.value("--baseline", &o.baseline_path);
+  ap.value("--max-time-regress", &o.max_time_regress_pct);
+  ap.value("--max-accuracy-regress", &o.max_accuracy_regress);
+  ap.value("--max-mean-error", &o.max_mean_error);
+  ap.custom("--inject-regress", [&o](std::string_view kind) {
+    if (kind == "time") {
+      o.inject_time_regress = true;
+    } else if (kind == "accuracy") {
+      o.inject_accuracy_regress = true;
     } else {
-      usage();
+      return false;
     }
-  }
-  if (o.circuit.empty() || o.repeat < 1 || o.sim_pairs == 0) usage();
+    return true;
+  });
+  ap.positional([&o](std::string_view a) {
+    if (!o.circuit.empty()) return false;
+    o.circuit = std::string(a);
+    return true;
+  });
+  ap.parse(argc, argv);
+  if (o.circuit.empty() || o.repeat < 1 || o.sim_pairs == 0) ap.fail();
   return o;
 }
 
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
 obs::RunReport build_report(const Options& o) {
-  const Netlist nl =
-      ends_with(o.circuit, ".bench")
-          ? read_bench_file(o.circuit)
-          : (ends_with(o.circuit, ".blif") ? read_blif_file(o.circuit)
-                                           : make_benchmark(o.circuit));
-
   obs::Tracer tracer(obs::TraceLevel::Counters);
-  EstimatorOptions eopts;
-  eopts.num_threads = o.threads;
-  eopts.trace = &tracer;
-  SwitchingAnalyzer an(nl, eopts);
+  SessionOptions sopts;
+  sopts.estimator.num_threads = o.threads;
+  sopts.estimator.trace = &tracer;
+  Session session = Session::open(o.circuit, sopts);
+  const InputModel model =
+      InputModel::uniform(session.netlist().num_inputs());
 
   // Repeated updates over the compiled model; report the min propagate
   // time so the gate compares steady-state cost, not first-run jitter.
-  SwitchingEstimate est = an.estimate();
+  SwitchingEstimate est = session.estimate(model);
   double min_propagate = est.stats.propagate_seconds;
   double min_reload = est.stats.reload_seconds;
   for (int r = 1; r < o.repeat; ++r) {
-    est = an.estimate();
+    est = session.estimate(model);
     min_propagate = std::min(min_propagate, est.stats.propagate_seconds);
     min_reload = std::min(min_reload, est.stats.reload_seconds);
   }
@@ -171,7 +156,7 @@ obs::RunReport build_report(const Options& o) {
   rep.provenance.threads = est.stats.threads_used;
   if (!o.git_describe.empty()) rep.provenance.git_describe = o.git_describe;
 
-  const CompileStats& cs = an.estimator().compile_stats();
+  const CompileStats& cs = session.compile_stats();
   rep.compile.compile_seconds = cs.compile_seconds;
   rep.compile.schedule_build_seconds = cs.schedule_build_seconds;
   rep.compile.num_segments = cs.num_segments;
@@ -186,13 +171,13 @@ obs::RunReport build_report(const Options& o) {
   rep.estimate.threads_used = est.stats.threads_used;
   rep.estimate.average_activity = est.average_activity();
 
-  if (o.audit) {
+  if (!o.no_audit) {
     AccuracyAuditOptions aopts;
     aopts.sim_pairs = o.sim_pairs;
     aopts.seed = o.seed;
     aopts.trace = &tracer;
-    rep.accuracy =
-        audit_accuracy(nl, an.default_model(), est, an.estimator(), aopts);
+    rep.accuracy = audit_accuracy(session.netlist(), model, est,
+                                  session.estimator(), aopts);
   }
 
   // After the audit, so Hist::LineAbsError is included.
@@ -203,7 +188,7 @@ obs::RunReport build_report(const Options& o) {
   // observed time; total_units records the full population so a capped
   // table is visible as such.
   {
-    const LidagEstimator& le = an.estimator();
+    const LidagEstimator& le = session.estimator();
     std::vector<obs::ReportUnitCost> all;
     for (int s = 0; s < le.num_segments(); ++s) {
       const auto costs = le.segment_engine(s).unit_costs();
@@ -277,7 +262,7 @@ int compare_reports(const obs::RunReport& base, const obs::RunReport& cur,
             << cur.provenance.git_describe << ")\n";
   t.print(std::cout);
   std::cout << (failures == 0 ? "gate: ok\n" : "gate: REGRESSED\n");
-  return failures == 0 ? 0 : 1;
+  return failures == 0 ? cli::kExitOk : cli::kExitFailure;
 }
 
 int run(int argc, char** argv) {
@@ -290,7 +275,7 @@ int run(int argc, char** argv) {
     if (!f) {
       std::fprintf(stderr, "bns_report: cannot write %s\n",
                    o.out_path.c_str());
-      return 2;
+      return cli::kExitUsage;
     }
     f << json;
   }
@@ -301,19 +286,19 @@ int run(int argc, char** argv) {
     std::cout << rep.render_text();
   }
 
-  int status = 0;
+  int status = cli::kExitOk;
   if (o.max_mean_error > 0.0) {
     if (!rep.accuracy.present()) {
       std::fprintf(stderr,
                    "bns_report: --max-mean-error requires the accuracy "
                    "audit (remove --no-audit)\n");
-      return 2;
+      return cli::kExitUsage;
     }
     const bool bad = rep.accuracy.mean_abs_error > o.max_mean_error;
     std::cout << "\nabsolute accuracy bound: mean_abs_error "
               << rep.accuracy.mean_abs_error << " vs limit "
               << o.max_mean_error << (bad ? " REGRESSED\n" : " ok\n");
-    if (bad) status = 1;
+    if (bad) status = cli::kExitFailure;
   }
 
   if (o.baseline_path.empty()) return status;
@@ -322,7 +307,7 @@ int run(int argc, char** argv) {
   if (!f) {
     std::fprintf(stderr, "bns_report: cannot read baseline %s\n",
                  o.baseline_path.c_str());
-    return 2;
+    return cli::kExitUsage;
   }
   std::stringstream ss;
   ss << f.rdbuf();
@@ -330,7 +315,7 @@ int run(int argc, char** argv) {
   if (!base) {
     std::fprintf(stderr, "bns_report: baseline %s is not a valid report\n",
                  o.baseline_path.c_str());
-    return 2;
+    return cli::kExitUsage;
   }
   std::cout << '\n';
   return std::max(status, compare_reports(*base, rep, o));
@@ -344,6 +329,6 @@ int main(int argc, char** argv) {
     return bns::run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return bns::cli::kExitUsage;
   }
 }

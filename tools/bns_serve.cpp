@@ -1,0 +1,198 @@
+// bns_serve — long-lived switching-activity query daemon.
+//
+//   bns_serve --socket /tmp/bns.sock --threads 4
+//   printf '{"op":"estimate","model":"c432.bnsc","p":0.3}\n' |
+//     nc -U /tmp/bns.sock
+//
+// The daemon listens on a Unix-domain socket, answers JSON-lines
+// requests (serve/protocol.h: ping / estimate / sweep / conditional /
+// stats), and caches open sessions keyed by model path + mtime, so the
+// expensive compile-or-load happens once per model, not per request.
+// SIGTERM / SIGINT drain gracefully: in-flight requests finish and
+// flush, then the daemon exits 0.
+//
+// Client mode, used by the tests and CI (no nc dependency):
+//   bns_serve --socket PATH --request '{"op":"ping"}' [--wait SECONDS]
+// sends one request line, prints the one response line, and exits 0
+// when the response carries "ok":true, 1 when it does not. --wait
+// retries the connect until the daemon is up.
+//
+// Exit status: daemon 0 on clean drain, 2 on startup failure; client 0
+// ok-response, 1 error-response, 2 connect/usage failure.
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+#include "util/cli.h"
+
+namespace bns {
+namespace {
+
+constexpr const char kUsage[] = R"(usage: bns_serve --socket PATH [options]
+options:
+  --socket PATH       Unix-domain socket to listen on (required)
+  --threads N         concurrent request workers (default: BNS_THREADS or 1)
+client mode:
+  --request JSON      send one request line to --socket, print the
+                      response; exit 0 when it carries "ok":true
+  --wait SECONDS      retry the connect for up to SECONDS (default 0)
+)";
+
+// The server's wake pipe, published for the signal handlers. write(2)
+// is async-signal-safe; everything else about the drain happens on the
+// server's own threads.
+std::atomic<int> g_notify_fd{-1};
+
+void on_signal(int) {
+  const int fd = g_notify_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char b = 's';
+    [[maybe_unused]] ssize_t n = ::write(fd, &b, 1);
+  }
+}
+
+int connect_with_wait(const std::string& path, double wait_seconds) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "bns_serve: socket path too long: %s\n", path.c_str());
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(wait_seconds);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "bns_serve: cannot connect to %s: %s\n", path.c_str(),
+               std::strerror(errno));
+  return -1;
+}
+
+int run_client(const std::string& socket_path, const std::string& request,
+               double wait_seconds) {
+  const int fd = connect_with_wait(socket_path, wait_seconds);
+  if (fd < 0) return cli::kExitUsage;
+
+  const std::string line = request + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "bns_serve: send failed: %s\n",
+                   std::strerror(errno));
+      ::close(fd);
+      return cli::kExitUsage;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t nl = response.find('\n');
+  if (nl == std::string::npos) {
+    std::fprintf(stderr, "bns_serve: connection closed before a response\n");
+    return cli::kExitUsage;
+  }
+  response.resize(nl);
+  std::printf("%s\n", response.c_str());
+  return response.compare(0, 10, "{\"ok\":true") == 0 ? cli::kExitOk
+                                                      : cli::kExitFailure;
+}
+
+int run(int argc, char** argv) {
+  std::string socket_path;
+  std::string request;
+  int threads = 0;
+  double wait_seconds = 0.0;
+
+  cli::ArgParser ap("bns_serve", kUsage);
+  ap.value("--socket", &socket_path);
+  ap.value("--threads", &threads);
+  ap.value("--request", &request);
+  ap.value("--wait", &wait_seconds);
+  ap.parse(argc, argv);
+  if (socket_path.empty() || threads < 0 || wait_seconds < 0.0) ap.fail();
+
+  if (!request.empty()) return run_client(socket_path, request, wait_seconds);
+
+  obs::Tracer tracer(obs::TraceLevel::Counters);
+  serve::ServerOptions sopts;
+  sopts.socket_path = socket_path;
+  sopts.threads = threads;
+  sopts.trace = &tracer;
+  sopts.session.estimator.trace = &tracer;
+
+  serve::Server server(sopts);
+  server.start();
+  g_notify_fd.store(server.notify_fd(), std::memory_order_relaxed);
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::printf("bns_serve: listening on %s (%d worker%s)\n",
+              server.socket_path().c_str(), server.num_workers(),
+              server.num_workers() == 1 ? "" : "s");
+  std::fflush(stdout);
+
+  server.run();
+  g_notify_fd.store(-1, std::memory_order_relaxed);
+
+  const obs::MetricsRegistry& m = tracer.metrics();
+  std::fprintf(stderr,
+               "bns_serve: drained (%llu connections, %llu requests, "
+               "%llu errors, %llu artifact loads)\n",
+               static_cast<unsigned long long>(
+                   m.value(obs::Counter::ServeConnections)),
+               static_cast<unsigned long long>(
+                   m.value(obs::Counter::ServeRequests)),
+               static_cast<unsigned long long>(
+                   m.value(obs::Counter::ServeErrors)),
+               static_cast<unsigned long long>(
+                   m.value(obs::Counter::ArtifactLoads)));
+  return cli::kExitOk;
+}
+
+} // namespace
+} // namespace bns
+
+int main(int argc, char** argv) {
+  try {
+    return bns::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return bns::cli::kExitUsage;
+  }
+}

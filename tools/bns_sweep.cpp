@@ -2,30 +2,28 @@
 //
 //   bns_sweep c1908 --scenarios 16                sweep input 0's p over [0.1, 0.9]
 //   bns_sweep c1908 --scenarios 16 --verify       also check bitwise vs estimate()
+//   bns_sweep c1908.bnsc --json                   sweep a precompiled artifact
 //   bns_sweep circuit.bench --json --out s.json   schema-versioned JSON document
 //
-// The sweep compiles the LIDAG junction trees once (per replica) and
-// runs every scenario through LidagEstimator::estimate_batch, which
-// re-quantifies and re-propagates only the segments whose root CPTs
-// actually changed between consecutive scenarios (core/sweep.h). The
-// emitted JSON document carries its own schema_version, a provenance
-// block like bns_report's, and one record per scenario.
+// The sweep opens one Session (compiling the LIDAG junction trees, or
+// restoring them from a .bnsc artifact) and runs every scenario through
+// the batch engine, which re-quantifies and re-propagates only the
+// segments whose root CPTs actually changed between consecutive
+// scenarios (core/sweep.h). The emitted JSON document carries its own
+// schema_version, a provenance block like bns_report's, and one record
+// per scenario.
 //
 // Exit status: 0 ok, 1 --verify found a mismatch against independent
 // estimate() runs, 2 usage or I/O failure.
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "core/analyzer.h"
-#include "core/sweep.h"
-#include "gen/benchmarks.h"
-#include "netlist/bench_io.h"
-#include "netlist/blif_io.h"
 #include "obs/obs.h"
+#include "session/session.h"
+#include "util/cli.h"
 
 namespace bns {
 namespace {
@@ -33,6 +31,25 @@ namespace {
 // Version of the bns_sweep JSON document. Bump on any key
 // rename/removal or semantic change; additions are backward compatible.
 constexpr int kSweepSchemaVersion = 1;
+
+constexpr const char kUsage[] = R"(usage: bns_sweep <circuit> [options]
+  <circuit>           path to .bench/.blif, a .bnsc artifact, or a
+                      built-in benchmark name
+options:
+  --scenarios N       number of scenarios to sweep (default 8)
+  --vary-input K      input whose signal probability is swept (default 0)
+  --p-from A          first scenario's p for the varied input (default 0.1)
+  --p-to B            last scenario's p for the varied input (default 0.9)
+  --rho R             lag-1 autocorrelation of every input (default 0)
+  --threads N         estimator worker threads (default: BNS_THREADS or 1)
+  --replicas R        independent estimators sweeping scenario chunks
+                      concurrently (default 1)
+  --verify            re-run every scenario through an independent
+                      estimate() call and require bitwise-identical
+                      results; exit 1 on any mismatch
+  --json              print the JSON document instead of the text summary
+  --out FILE          also write the JSON document to FILE
+)";
 
 struct Options {
   std::string circuit;
@@ -48,66 +65,28 @@ struct Options {
   bool json = false;
 };
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr, "%s", R"(usage: bns_sweep <circuit> [options]
-  <circuit>           path to .bench/.blif, or a built-in benchmark name
-options:
-  --scenarios N       number of scenarios to sweep (default 8)
-  --vary-input K      input whose signal probability is swept (default 0)
-  --p-from A          first scenario's p for the varied input (default 0.1)
-  --p-to B            last scenario's p for the varied input (default 0.9)
-  --rho R             lag-1 autocorrelation of every input (default 0)
-  --threads N         estimator worker threads (default: BNS_THREADS or 1)
-  --replicas R        independent estimators sweeping scenario chunks
-                      concurrently (default 1)
-  --verify            re-run every scenario through an independent
-                      estimate() call and require bitwise-identical
-                      results; exit 1 on any mismatch
-  --json              print the JSON document instead of the text summary
-  --out FILE          also write the JSON document to FILE
-)");
-  std::exit(2);
-}
-
 Options parse(int argc, char** argv) {
   Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (a == "--scenarios") {
-      o.scenarios = std::atoi(next().c_str());
-    } else if (a == "--vary-input") {
-      o.vary_input = std::atoi(next().c_str());
-    } else if (a == "--p-from") {
-      o.p_from = std::atof(next().c_str());
-    } else if (a == "--p-to") {
-      o.p_to = std::atof(next().c_str());
-    } else if (a == "--rho") {
-      o.rho = std::atof(next().c_str());
-    } else if (a == "--threads") {
-      o.threads = std::atoi(next().c_str());
-    } else if (a == "--replicas") {
-      o.replicas = std::atoi(next().c_str());
-    } else if (a == "--verify") {
-      o.verify = true;
-    } else if (a == "--json") {
-      o.json = true;
-    } else if (a == "--out") {
-      o.out_path = next();
-    } else if (!a.empty() && a[0] == '-') {
-      usage();
-    } else if (o.circuit.empty()) {
-      o.circuit = a;
-    } else {
-      usage();
-    }
-  }
+  cli::ArgParser ap("bns_sweep", kUsage);
+  ap.value("--scenarios", &o.scenarios);
+  ap.value("--vary-input", &o.vary_input);
+  ap.value("--p-from", &o.p_from);
+  ap.value("--p-to", &o.p_to);
+  ap.value("--rho", &o.rho);
+  ap.value("--threads", &o.threads);
+  ap.value("--replicas", &o.replicas);
+  ap.flag("--verify", &o.verify);
+  ap.flag("--json", &o.json);
+  ap.value("--out", &o.out_path);
+  ap.positional([&o](std::string_view a) {
+    if (!o.circuit.empty()) return false;
+    o.circuit = std::string(a);
+    return true;
+  });
+  ap.parse(argc, argv);
   if (o.circuit.empty() || o.scenarios < 1 || o.replicas < 1 ||
       o.p_from < 0.0 || o.p_from > 1.0 || o.p_to < 0.0 || o.p_to > 1.0) {
-    usage();
+    ap.fail();
   }
   return o;
 }
@@ -115,26 +94,6 @@ Options parse(int argc, char** argv) {
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-// The sweep's scenario list: every input at (0.5, rho), with the varied
-// input's p stepped linearly from p_from to p_to across scenarios.
-std::vector<InputModel> make_scenarios(const Options& o, int num_inputs) {
-  std::vector<InputModel> models;
-  models.reserve(static_cast<std::size_t>(o.scenarios));
-  for (int s = 0; s < o.scenarios; ++s) {
-    const double t = o.scenarios > 1
-                         ? static_cast<double>(s) /
-                               static_cast<double>(o.scenarios - 1)
-                         : 0.0;
-    std::vector<InputSpec> specs(
-        static_cast<std::size_t>(num_inputs),
-        InputSpec{0.5, o.rho, -1, 0.0});
-    specs[static_cast<std::size_t>(o.vary_input)].p =
-        o.p_from + t * (o.p_to - o.p_from);
-    models.push_back(InputModel::custom(std::move(specs)));
-  }
-  return models;
 }
 
 std::string to_json(const Options& o, const obs::ReportProvenance& prov,
@@ -200,30 +159,46 @@ std::string to_json(const Options& o, const obs::ReportProvenance& prov,
 
 int run(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  const Netlist nl =
-      ends_with(o.circuit, ".bench")
-          ? read_bench_file(o.circuit)
-          : (ends_with(o.circuit, ".blif") ? read_blif_file(o.circuit)
-                                           : make_benchmark(o.circuit));
-  if (o.vary_input < 0 || o.vary_input >= nl.num_inputs()) {
+
+  SessionOptions sopts;
+  sopts.estimator.num_threads = o.threads;
+  const bool from_artifact = ends_with(o.circuit, ".bnsc");
+  auto open = [&] {
+    return from_artifact ? Session::open_artifact(o.circuit, sopts)
+                         : Session::open(o.circuit, sopts);
+  };
+  Session session = open();
+
+  const int num_inputs = session.netlist().num_inputs();
+  if (o.vary_input < 0 || o.vary_input >= num_inputs) {
     std::fprintf(stderr, "bns_sweep: --vary-input %d out of range (%d inputs)\n",
-                 o.vary_input, nl.num_inputs());
-    return 2;
+                 o.vary_input, num_inputs);
+    return cli::kExitUsage;
   }
 
-  const std::vector<InputModel> models = make_scenarios(o, nl.num_inputs());
+  LinearSweepSpec spec;
+  spec.scenarios = o.scenarios;
+  spec.vary_input = o.vary_input;
+  spec.p_from = o.p_from;
+  spec.p_to = o.p_to;
+  spec.rho = o.rho;
+  const std::vector<InputModel> models =
+      make_linear_scenarios(spec, num_inputs);
 
-  SweepOptions sopts;
-  sopts.estimator.num_threads = o.threads;
-  sopts.replicas = o.replicas;
-  const SweepResult res = run_sweep(nl, models, sopts);
+  SweepResult res = session.sweep(models, o.replicas);
+  // The session's own compile (or artifact load) is part of the
+  // one-time cost the document reports; the batch engine only counts
+  // extra replicas it built itself.
+  res.compile_seconds += from_artifact
+                             ? session.load_seconds()
+                             : session.compile_stats().compile_seconds;
 
   bool verified = false;
   if (o.verify) {
-    // Independent compiled estimator; each scenario estimated from
-    // scratch. The batch contract is bitwise identity, so compare
+    // Independent session over the same source; each scenario estimated
+    // from scratch. The batch contract is bitwise identity, so compare
     // representations, not within a tolerance.
-    LidagEstimator ref(nl, models[0], sopts.estimator);
+    Session ref = open();
     for (std::size_t s = 0; s < models.size(); ++s) {
       const SwitchingEstimate want = ref.estimate(models[s]);
       const SwitchingEstimate& got = res.estimates[s];
@@ -232,7 +207,7 @@ int run(int argc, char** argv) {
                      "bns_sweep: VERIFY FAILED at scenario %zu: batch result "
                      "differs bitwise from estimate()\n",
                      s);
-        return 1;
+        return cli::kExitFailure;
       }
     }
     verified = true;
@@ -249,7 +224,7 @@ int run(int argc, char** argv) {
     std::ofstream f(o.out_path);
     if (!f) {
       std::fprintf(stderr, "bns_sweep: cannot write %s\n", o.out_path.c_str());
-      return 2;
+      return cli::kExitUsage;
     }
     f << json;
   }
@@ -259,7 +234,8 @@ int run(int argc, char** argv) {
   } else {
     std::cout << "sweep " << o.circuit << ": " << res.stats.scenarios
               << " scenarios, " << res.replicas_used << " replica(s)\n";
-    std::cout << "  compile " << res.compile_seconds << " s, sweep "
+    std::cout << "  " << (from_artifact ? "load" : "compile") << ' '
+              << res.compile_seconds << " s, sweep "
               << res.wall_seconds << " s ("
               << res.wall_seconds /
                      static_cast<double>(res.stats.scenarios)
@@ -279,7 +255,7 @@ int run(int argc, char** argv) {
     }
     t.print(std::cout);
   }
-  return 0;
+  return cli::kExitOk;
 }
 
 } // namespace
@@ -290,6 +266,6 @@ int main(int argc, char** argv) {
     return bns::run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return bns::cli::kExitUsage;
   }
 }
