@@ -1,0 +1,165 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace bns::obs {
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+// %g keeps bucket edges readable ("1e+06", not "1000000.000000").
+std::string edge_str(double d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", d);
+  return buf;
+}
+
+} // namespace
+
+MetricsDocument make_metrics_document(const ServeMetrics* red,
+                                      const MetricsRegistry* registry,
+                                      double uptime_seconds) {
+  MetricsDocument doc;
+  doc.uptime_seconds = uptime_seconds;
+  const ReportProvenance prov = default_provenance();
+  doc.git_describe = prov.git_describe;
+  doc.build_type = prov.build_type;
+  doc.hostname = prov.hostname;
+  if (red != nullptr) doc.serve = red->snapshot();
+  if (registry != nullptr) doc.counters = registry->snapshot();
+  return doc;
+}
+
+std::string render_metrics_json(const MetricsDocument& doc) {
+  const std::span<const double> edges = hist_edges(Hist::RequestNs);
+  std::string out = "{\"schema_version\":" + std::to_string(doc.schema_version);
+  out += ",\"uptime_seconds\":" + json_number(doc.uptime_seconds);
+  out += ",\"provenance\":{\"git_describe\":";
+  json_append_string(out, doc.git_describe);
+  out += ",\"build_type\":";
+  json_append_string(out, doc.build_type);
+  out += ",\"hostname\":";
+  json_append_string(out, doc.hostname);
+  out += "},\"ops\":[";
+  for (int o = 0; o < kNumServeOps; ++o) {
+    const ServeOpSnapshot& op = doc.serve.ops[static_cast<std::size_t>(o)];
+    if (o != 0) out += ",";
+    out += "{\"op\":\"";
+    out += serve_op_name(static_cast<ServeOp>(o));
+    out += "\",\"requests\":" + u64(op.requests);
+    out += ",\"errors\":{";
+    for (int e = 1; e < kNumErrorClasses; ++e) {
+      if (e != 1) out += ",";
+      out += "\"";
+      out += error_class_name(static_cast<ErrorClass>(e));
+      out += "\":" + u64(op.errors[static_cast<std::size_t>(e)]);
+    }
+    out += "},\"latency_ns\":{\"edges\":[";
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (i != 0) out += ",";
+      out += json_number(edges[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i <= edges.size(); ++i) {
+      if (i != 0) out += ",";
+      out += u64(op.latency_counts[i]);
+    }
+    out += "],\"count\":" + u64(op.latency_total);
+    out += "}}";
+  }
+  out += "],\"cache\":{";
+  for (int e = 0; e < kNumCacheEvents; ++e) {
+    if (e != 0) out += ",";
+    out += "\"";
+    out += cache_event_name(static_cast<CacheEvent>(e));
+    out += "\":" + u64(doc.serve.cache[static_cast<std::size_t>(e)]);
+  }
+  out += "},\"counters\":[";
+  bool first = true;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t v = doc.counters[static_cast<std::size_t>(i)];
+    if (v == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += counter_name(c);
+    out += "\",\"value\":" + u64(v);
+    out += ",\"gauge\":";
+    out += counter_is_gauge(c) ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_metrics_prometheus(const MetricsDocument& doc) {
+  const std::span<const double> edges = hist_edges(Hist::RequestNs);
+  std::string out;
+  out += "# HELP bns_serve_uptime_seconds Daemon uptime.\n";
+  out += "# TYPE bns_serve_uptime_seconds gauge\n";
+  out += "bns_serve_uptime_seconds " + json_number(doc.uptime_seconds) + "\n";
+
+  out += "# HELP bns_serve_requests_total Requests answered, by op.\n";
+  out += "# TYPE bns_serve_requests_total counter\n";
+  for (int o = 0; o < kNumServeOps; ++o) {
+    const ServeOpSnapshot& op = doc.serve.ops[static_cast<std::size_t>(o)];
+    out += "bns_serve_requests_total{op=\"";
+    out += serve_op_name(static_cast<ServeOp>(o));
+    out += "\"} " + u64(op.requests) + "\n";
+  }
+
+  out += "# HELP bns_serve_errors_total Failed requests, by op and class.\n";
+  out += "# TYPE bns_serve_errors_total counter\n";
+  for (int o = 0; o < kNumServeOps; ++o) {
+    const ServeOpSnapshot& op = doc.serve.ops[static_cast<std::size_t>(o)];
+    for (int e = 1; e < kNumErrorClasses; ++e) {
+      out += "bns_serve_errors_total{op=\"";
+      out += serve_op_name(static_cast<ServeOp>(o));
+      out += "\",class=\"";
+      out += error_class_name(static_cast<ErrorClass>(e));
+      out += "\"} " + u64(op.errors[static_cast<std::size_t>(e)]) + "\n";
+    }
+  }
+
+  out += "# HELP bns_serve_request_duration_ns Request latency, by op.\n";
+  out += "# TYPE bns_serve_request_duration_ns histogram\n";
+  for (int o = 0; o < kNumServeOps; ++o) {
+    const ServeOpSnapshot& op = doc.serve.ops[static_cast<std::size_t>(o)];
+    const char* name = serve_op_name(static_cast<ServeOp>(o));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      cumulative += op.latency_counts[i];
+      out += std::string("bns_serve_request_duration_ns_bucket{op=\"") +
+             name + "\",le=\"" + edge_str(edges[i]) + "\"} " +
+             u64(cumulative) + "\n";
+    }
+    out += std::string("bns_serve_request_duration_ns_bucket{op=\"") + name +
+           "\",le=\"+Inf\"} " + u64(op.latency_total) + "\n";
+    out += std::string("bns_serve_request_duration_ns_count{op=\"") + name +
+           "\"} " + u64(op.latency_total) + "\n";
+  }
+
+  out += "# HELP bns_serve_cache_events_total Session-cache outcomes.\n";
+  out += "# TYPE bns_serve_cache_events_total counter\n";
+  for (int e = 0; e < kNumCacheEvents; ++e) {
+    out += "bns_serve_cache_events_total{event=\"";
+    out += cache_event_name(static_cast<CacheEvent>(e));
+    out += "\"} " + u64(doc.serve.cache[static_cast<std::size_t>(e)]) + "\n";
+  }
+
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t v = doc.counters[static_cast<std::size_t>(i)];
+    if (v == 0) continue;
+    out += std::string("# TYPE bns_") + counter_name(c) +
+           (counter_is_gauge(c) ? " gauge\n" : " counter\n");
+    out += std::string("bns_") + counter_name(c) + " " + u64(v) + "\n";
+  }
+  return out;
+}
+
+} // namespace bns::obs

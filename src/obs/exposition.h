@@ -1,0 +1,56 @@
+// Metrics exposition: turns a merged telemetry snapshot into the two
+// formats the outside world consumes — a schema-versioned JSON document
+// (the daemon's {"op":"metrics"} payload, re-renderable by bns_report)
+// and a Prometheus-style text rendering for scrape pipelines.
+//
+// Everything here is assembly/formatting over plain value snapshots;
+// the lock-free recording side lives in obs/metrics.h (ServeMetrics).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bns::obs {
+
+// Version of the metrics JSON document. Bump on any key rename/removal
+// or semantic change; additions are backward compatible.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+// One scrape's worth of daemon telemetry, merged and immutable.
+struct MetricsDocument {
+  int schema_version = kMetricsSchemaVersion;
+  double uptime_seconds = 0.0;
+  // Build provenance, same fields RunReport stamps (obs/report.h).
+  std::string git_describe;
+  std::string build_type;
+  std::string hostname;
+  ServeMetricsSnapshot serve;    // per-op RED + cache events
+  MetricsSnapshot counters{};    // the flat pipeline registry
+};
+
+// Fills uptime/provenance/serve/counters from live sources. `red` and
+// the registry may be null (zeros); uptime is seconds since `epoch_ns`
+// against `now_ns` (caller-supplied monotonic pair).
+MetricsDocument make_metrics_document(const ServeMetrics* red,
+                                      const MetricsRegistry* registry,
+                                      double uptime_seconds);
+
+// Compact single-line JSON (the JSON-lines protocol embeds it verbatim
+// in a response, so it must not contain newlines):
+//   {"schema_version":1,"uptime_seconds":..,"provenance":{...},
+//    "ops":[{"op":"estimate","requests":..,"errors":{...},
+//            "latency_ns":{"edges":[..],"counts":[..],"count":..}},...],
+//    "cache":{"hit":..,"miss":..,"revalidate":..,"evict":..},
+//    "counters":[{"name":..,"value":..,"gauge":..},...]}
+// Every op appears (including zero-request ones) so consumers can
+// select by name without existence checks; only non-zero flat counters
+// are listed.
+std::string render_metrics_json(const MetricsDocument& doc);
+
+// Prometheus text exposition (one family per serve series plus the flat
+// registry as bns_<counter_name> lines). Histogram families follow the
+// cumulative-bucket convention with an le="+Inf" terminal bucket.
+std::string render_metrics_prometheus(const MetricsDocument& doc);
+
+} // namespace bns::obs

@@ -48,10 +48,15 @@ constexpr double kSepMinNegExpEdges[] = {1,   16,  64,  128, 256,
                                          512, 768, 1024, 1075};
 constexpr double kLineAbsErrorEdges[] = {1e-6, 1e-5, 1e-4, 1e-3, 3e-3,
                                          1e-2, 3e-2, 1e-1, 0.3};
+// 1µs .. 10s: pings land in the first buckets, compile-on-first-request
+// outliers in the last ones.
+constexpr double kRequestNsEdges[] = {1e3, 1e4, 1e5, 1e6, 1e7,
+                                      1e8, 1e9, 1e10};
 
 static_assert(std::size(kPropagateNsEdges) + 1 <= kHistMaxBuckets);
 static_assert(std::size(kSepMinNegExpEdges) + 1 <= kHistMaxBuckets);
 static_assert(std::size(kLineAbsErrorEdges) + 1 <= kHistMaxBuckets);
+static_assert(std::size(kRequestNsEdges) + 1 <= kHistMaxBuckets);
 
 } // namespace
 
@@ -60,6 +65,7 @@ const char* hist_name(Hist h) {
     case Hist::PropagateNs: return "propagate_ns";
     case Hist::SepMinNegExp: return "sep_min_neg_exp";
     case Hist::LineAbsError: return "line_abs_error";
+    case Hist::RequestNs: return "request_ns";
     case Hist::kCount: break;
   }
   return "unknown";
@@ -70,9 +76,124 @@ std::span<const double> hist_edges(Hist h) {
     case Hist::PropagateNs: return kPropagateNsEdges;
     case Hist::SepMinNegExp: return kSepMinNegExpEdges;
     case Hist::LineAbsError: return kLineAbsErrorEdges;
+    case Hist::RequestNs: return kRequestNsEdges;
     case Hist::kCount: break;
   }
   return {};
+}
+
+// --- labeled serve-layer (RED) metrics -------------------------------------
+
+const char* serve_op_name(ServeOp op) {
+  switch (op) {
+    case ServeOp::Ping: return "ping";
+    case ServeOp::Estimate: return "estimate";
+    case ServeOp::Sweep: return "sweep";
+    case ServeOp::Conditional: return "conditional";
+    case ServeOp::Stats: return "stats";
+    case ServeOp::Metrics: return "metrics";
+    case ServeOp::Invalid: return "invalid";
+    case ServeOp::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* error_class_name(ErrorClass e) {
+  switch (e) {
+    case ErrorClass::None: return "none";
+    case ErrorClass::Protocol: return "protocol";
+    case ErrorClass::Artifact: return "artifact";
+    case ErrorClass::Internal: return "internal";
+    case ErrorClass::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* cache_event_name(CacheEvent e) {
+  switch (e) {
+    case CacheEvent::Hit: return "hit";
+    case CacheEvent::Miss: return "miss";
+    case CacheEvent::Revalidate: return "revalidate";
+    case CacheEvent::Evict: return "evict";
+    case CacheEvent::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::atomic<int> g_shard_claim{0};
+
+} // namespace
+
+int this_thread_shard() {
+  thread_local const int shard =
+      g_shard_claim.fetch_add(1, std::memory_order_relaxed) %
+      kServeMetricShards;
+  return shard;
+}
+
+ServeMetrics::ServeMetrics() {
+  for (Shard& s : shards_) {
+    for (OpCell& cell : s.ops) {
+      cell.latency.init(Hist::RequestNs, hist_edges(Hist::RequestNs));
+    }
+  }
+  reset();
+}
+
+void ServeMetrics::record(ServeOp op, ErrorClass err, std::uint64_t dur_ns) {
+  OpCell& cell = shards_[static_cast<std::size_t>(this_thread_shard())]
+                     .ops[static_cast<std::size_t>(op)];
+  cell.requests.fetch_add(1, std::memory_order_relaxed);
+  if (err != ErrorClass::None) {
+    cell.errors[static_cast<std::size_t>(err)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  cell.latency.add(static_cast<double>(dur_ns));
+}
+
+void ServeMetrics::cache_event(CacheEvent e, std::uint64_t n) {
+  shards_[static_cast<std::size_t>(this_thread_shard())]
+      .cache[static_cast<std::size_t>(e)]
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+ServeMetricsSnapshot ServeMetrics::snapshot() const {
+  ServeMetricsSnapshot snap;
+  for (const Shard& s : shards_) {
+    for (int o = 0; o < kNumServeOps; ++o) {
+      const OpCell& cell = s.ops[static_cast<std::size_t>(o)];
+      ServeOpSnapshot& out = snap.ops[static_cast<std::size_t>(o)];
+      out.requests += cell.requests.load(std::memory_order_relaxed);
+      for (int e = 0; e < kNumErrorClasses; ++e) {
+        out.errors[static_cast<std::size_t>(e)] +=
+            cell.errors[static_cast<std::size_t>(e)].load(
+                std::memory_order_relaxed);
+      }
+      for (int b = 0; b < cell.latency.num_buckets(); ++b) {
+        const std::uint64_t v = cell.latency.bucket(b);
+        out.latency_counts[static_cast<std::size_t>(b)] += v;
+        out.latency_total += v;
+      }
+    }
+    for (int e = 0; e < kNumCacheEvents; ++e) {
+      snap.cache[static_cast<std::size_t>(e)] +=
+          s.cache[static_cast<std::size_t>(e)].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void ServeMetrics::reset() {
+  for (Shard& s : shards_) {
+    for (OpCell& cell : s.ops) {
+      cell.requests.store(0, std::memory_order_relaxed);
+      for (auto& e : cell.errors) e.store(0, std::memory_order_relaxed);
+      cell.latency.reset();
+    }
+    for (auto& e : s.cache) e.store(0, std::memory_order_relaxed);
+  }
 }
 
 } // namespace bns::obs

@@ -71,6 +71,8 @@ enum class Hist : int {
                    // separator cell (distributional view of SepMinNegExp)
   LineAbsError,    // per-line |estimate - reference| switching-activity
                    // error, filled by the accuracy auditor
+  RequestNs,       // serve-layer request latency in nanoseconds (also the
+                   // edge set of the per-op ServeMetrics histograms)
   kCount,
 };
 
@@ -222,6 +224,134 @@ class MetricsRegistry {
  private:
   std::array<std::atomic<std::uint64_t>, kNumCounters> vals_;
   std::array<Histogram, kNumHists> hists_;
+};
+
+// --- labeled serve-layer (RED) metrics -------------------------------------
+//
+// The registry above is a flat, label-free counter set — right for the
+// compile/update pipeline, wrong for a daemon answering heterogeneous
+// requests. The serve layer needs rates/errors/durations *per op* and a
+// cache-behavior breakdown, still recordable from the request hot path
+// with no locks and no allocation. Labels here are closed enums, so the
+// whole labeled registry is a fixed array of atomics, sharded per worker
+// thread to keep concurrent requests off each other's cache lines and
+// merged only on scrape.
+
+// Every request op the protocol answers. Invalid covers requests whose
+// op never resolved (unparseable JSON, unknown op name).
+enum class ServeOp : int {
+  Ping = 0,
+  Estimate,
+  Sweep,
+  Conditional,
+  Stats,
+  Metrics,
+  Invalid,
+  kCount,
+};
+
+inline constexpr int kNumServeOps = static_cast<int>(ServeOp::kCount);
+
+// Stable snake_case identifier, used verbatim in exposition output.
+const char* serve_op_name(ServeOp op);
+
+// How a request failed. Protocol = request-shape rejects (the
+// RequestError layer), Artifact = .bnsc load/decode failures
+// (ArtifactError), Internal = anything else that crossed the handler.
+enum class ErrorClass : int { None = 0, Protocol, Artifact, Internal, kCount };
+
+inline constexpr int kNumErrorClasses = static_cast<int>(ErrorClass::kCount);
+
+const char* error_class_name(ErrorClass e);
+
+// SessionCache lookup outcomes. Revalidate = the cached entry's file
+// mtime changed and the model was reloaded; Evict = an LRU entry was
+// dropped to respect the cache capacity.
+enum class CacheEvent : int { Hit = 0, Miss, Revalidate, Evict, kCount };
+
+inline constexpr int kNumCacheEvents = static_cast<int>(CacheEvent::kCount);
+
+const char* cache_event_name(CacheEvent e);
+
+// Stable worker-shard index for the calling thread, in
+// [0, kServeMetricShards). Claimed round-robin on first use; more
+// threads than shards simply share (every cell is atomic).
+inline constexpr int kServeMetricShards = 16;
+int this_thread_shard();
+
+// Merged value snapshot of one op's cells.
+struct ServeOpSnapshot {
+  std::uint64_t requests = 0;
+  std::array<std::uint64_t, kNumErrorClasses> errors{}; // [None] unused
+  std::array<std::uint64_t, kHistMaxBuckets> latency_counts{};
+  std::uint64_t latency_total = 0;
+
+  std::uint64_t errors_total() const {
+    std::uint64_t t = 0;
+    for (int i = 1; i < kNumErrorClasses; ++i)
+      t += errors[static_cast<std::size_t>(i)];
+    return t;
+  }
+};
+
+struct ServeMetricsSnapshot {
+  std::array<ServeOpSnapshot, kNumServeOps> ops{};
+  std::array<std::uint64_t, kNumCacheEvents> cache{};
+
+  const ServeOpSnapshot& op(ServeOp o) const {
+    return ops[static_cast<std::size_t>(o)];
+  }
+  std::uint64_t cache_count(CacheEvent e) const {
+    return cache[static_cast<std::size_t>(e)];
+  }
+  std::uint64_t requests_total() const {
+    std::uint64_t t = 0;
+    for (const ServeOpSnapshot& o : ops) t += o.requests;
+    return t;
+  }
+  std::uint64_t errors_total() const {
+    std::uint64_t t = 0;
+    for (const ServeOpSnapshot& o : ops) t += o.errors_total();
+    return t;
+  }
+};
+
+// The labeled registry: per-op request counters, per-op-per-class error
+// counters, per-op latency histograms (Hist::RequestNs edges) and the
+// cache-event counters. record() touches only the calling thread's
+// shard — one relaxed fetch_add per cell, no locks, no allocation — so
+// 8 workers hammering it scale without a shared hot line; snapshot()
+// merges all shards and is the only cross-shard reader.
+class ServeMetrics {
+ public:
+  ServeMetrics();
+  ServeMetrics(const ServeMetrics&) = delete;
+  ServeMetrics& operator=(const ServeMetrics&) = delete;
+
+  // One answered request: its op, how it failed (ErrorClass::None for a
+  // success), and its wall time. Allocation-free, lock-free.
+  void record(ServeOp op, ErrorClass err, std::uint64_t dur_ns);
+
+  // One SessionCache lookup outcome. Allocation-free, lock-free.
+  void cache_event(CacheEvent e, std::uint64_t n = 1);
+
+  // Merged totals across every shard.
+  ServeMetricsSnapshot snapshot() const;
+
+  void reset();
+
+ private:
+  struct OpCell {
+    std::atomic<std::uint64_t> requests{0};
+    std::array<std::atomic<std::uint64_t>, kNumErrorClasses> errors{};
+    Histogram latency;
+  };
+  struct Shard {
+    std::array<OpCell, kNumServeOps> ops;
+    std::array<std::atomic<std::uint64_t>, kNumCacheEvents> cache{};
+  };
+
+  std::array<Shard, kServeMetricShards> shards_;
 };
 
 } // namespace bns::obs

@@ -4,8 +4,10 @@
 // overhead contract, and "Run reports" for the report schema.
 #pragma once
 
+#include "obs/exposition.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/report.h"
 #include "obs/sinks.h"
 #include "obs/table.h"

@@ -1,0 +1,82 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace bns::obs {
+
+FlightRecorder::FlightRecorder(int per_worker_capacity)
+    : capacity_(per_worker_capacity < 1 ? 1 : per_worker_capacity),
+      rings_(kServeMetricShards) {
+  for (Ring& r : rings_) {
+    r.slots.resize(static_cast<std::size_t>(capacity_));
+  }
+}
+
+void FlightRecorder::record(ServeOp op, ErrorClass err,
+                            std::uint64_t trace_id, std::string_view model,
+                            std::uint64_t start_ns, std::uint64_t dur_ns) {
+  Ring& ring = rings_[static_cast<std::size_t>(this_thread_shard())];
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ring.mu);
+  RequestRecord& slot =
+      ring.slots[static_cast<std::size_t>(ring.head % static_cast<std::uint64_t>(capacity_))];
+  ++ring.head;
+  slot.seq = seq;
+  slot.trace_id = trace_id;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.op = op;
+  slot.error = err;
+  // Keep the tail of an over-long model path: "/very/long/.../c1908.bnsc"
+  // truncates to ".../c1908.bnsc", the part a human greps for.
+  const std::size_t max = kRecorderModelBytes - 1;
+  if (model.size() > max) model = model.substr(model.size() - max);
+  std::memcpy(slot.model, model.data(), model.size());
+  slot.model[model.size()] = '\0';
+}
+
+std::vector<RequestRecord> FlightRecorder::snapshot() const {
+  std::vector<RequestRecord> out;
+  out.reserve(rings_.size() * static_cast<std::size_t>(capacity_));
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    for (const RequestRecord& rec : ring.slots) {
+      if (rec.seq != 0) out.push_back(rec);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& os) const {
+  for (const RequestRecord& rec : snapshot()) {
+    char trace_hex[17];
+    format_trace_id(rec.trace_id, trace_hex);
+    std::string line = "{\"schema_version\":" +
+                       std::to_string(kRecorderSchemaVersion) +
+                       ",\"type\":\"request\"";
+    line += ",\"seq\":" + std::to_string(rec.seq);
+    line += ",\"op\":\"";
+    line += serve_op_name(rec.op);
+    line += "\",\"model\":";
+    json_append_string(line, rec.model);
+    line += ",\"status\":\"";
+    line += rec.error == ErrorClass::None ? "ok" : error_class_name(rec.error);
+    line += "\",\"trace_id\":\"";
+    line += trace_hex;
+    line += "\",\"start_ns\":" + std::to_string(rec.start_ns);
+    line += ",\"dur_ns\":" + std::to_string(rec.dur_ns);
+    line += "}";
+    os << line << '\n';
+  }
+  os.flush();
+}
+
+} // namespace bns::obs

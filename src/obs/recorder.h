@@ -1,0 +1,88 @@
+// FlightRecorder: a fixed-size per-worker ring buffer of the last N
+// request summaries, for post-hoc diagnosis of a stuck or slow daemon.
+//
+// The serve layer records one RequestRecord per answered request — op,
+// model, duration, status, trace id — into the calling thread's ring.
+// Recording is a slot write under an uncontended per-ring mutex with
+// all storage preallocated at construction: zero steady-state
+// allocation, so the recorder can stay on at Counters-level telemetry
+// forever. The rings only leave the process on demand: dump_jsonl() —
+// wired to SIGUSR1 and to abnormal drain in bns_serve — merges every
+// ring in request order and writes one JSON object per line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bns::obs {
+
+// Version of the recorder dump's JSON-lines schema. Bump on any key
+// rename/removal; additions are backward compatible.
+inline constexpr int kRecorderSchemaVersion = 1;
+
+// Fixed-size model-name storage: long paths are truncated (the tail
+// usually carries the interesting part, so keep the last bytes).
+inline constexpr std::size_t kRecorderModelBytes = 48;
+
+struct RequestRecord {
+  std::uint64_t seq = 0;      // global request order; 0 = empty slot
+  std::uint64_t trace_id = 0;
+  std::uint64_t start_ns = 0; // monotonic, since the recorder's epoch
+  std::uint64_t dur_ns = 0;
+  ServeOp op = ServeOp::Invalid;
+  ErrorClass error = ErrorClass::None; // None = success
+  char model[kRecorderModelBytes] = {}; // NUL-terminated, maybe truncated
+};
+
+class FlightRecorder {
+ public:
+  // `per_worker_capacity` slots per worker ring (kServeMetricShards
+  // rings); all memory is allocated here, never on record().
+  explicit FlightRecorder(int per_worker_capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Appends one summary to the calling thread's ring, overwriting the
+  // oldest entry once full. Allocation-free.
+  void record(ServeOp op, ErrorClass err, std::uint64_t trace_id,
+              std::string_view model, std::uint64_t start_ns,
+              std::uint64_t dur_ns);
+
+  // Every live record across all rings, oldest first. Allocates (dump
+  // path only, never steady state).
+  std::vector<RequestRecord> snapshot() const;
+
+  // One JSON object per record:
+  //   {"schema_version":1,"type":"request","seq":..,"op":"sweep",
+  //    "model":"c1908.bnsc","status":"ok","trace_id":"00..ab",
+  //    "start_ns":..,"dur_ns":..}
+  // status is "ok" or the error class name.
+  void dump_jsonl(std::ostream& os) const;
+
+  int per_worker_capacity() const { return capacity_; }
+
+  // Total records ever recorded (not just the retained window).
+  std::uint64_t total_recorded() const {
+    return next_seq_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<RequestRecord> slots;
+    std::uint64_t head = 0; // next slot index to write, monotonically
+  };
+
+  int capacity_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::vector<Ring> rings_; // kServeMetricShards entries
+};
+
+} // namespace bns::obs

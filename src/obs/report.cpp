@@ -190,6 +190,12 @@ ReportProvenance default_provenance() {
   return p;
 }
 
+std::string tool_version_line(std::string_view tool) {
+  std::string build = BNS_BUILD_TYPE;
+  if (build.empty()) build = "unknown";
+  return std::string(tool) + " " + BNS_GIT_DESCRIBE + " (" + build + ")";
+}
+
 ReportHistogram ReportHistogram::from_snapshot(const HistogramSnapshot& snap) {
   ReportHistogram h;
   h.name = hist_name(snap.id);

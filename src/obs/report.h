@@ -49,6 +49,11 @@ struct ReportProvenance {
 // fills circuit/threads.
 ReportProvenance default_provenance();
 
+// "<tool> <git describe> (<build type>)" — the one provenance string
+// every tool prints on --version, built from the same compiled-in
+// fields the report emits.
+std::string tool_version_line(std::string_view tool);
+
 // Mirror of lidag::CompileStats (obs cannot include lidag headers).
 struct ReportCompile {
   double compile_seconds = 0.0;

@@ -98,15 +98,31 @@ void JsonLinesSink::on_span(const SpanRecord& rec) {
   // exotic name cannot corrupt the JSON-lines stream.
   std::string name;
   json_append_string(name, rec.name);
-  char line[256];
-  std::snprintf(line, sizeof line,
-                "{\"schema_version\": %d, \"type\": \"span\", \"name\": "
-                "%s, \"depth\": %d, \"thread\": %llu, \"start_ns\": "
-                "%llu, \"dur_ns\": %llu}",
-                kTraceSchemaVersion, name.c_str(), rec.depth,
-                static_cast<unsigned long long>(rec.thread),
-                static_cast<unsigned long long>(rec.start_ns),
-                static_cast<unsigned long long>(rec.dur_ns));
+  char line[384];
+  int n = std::snprintf(line, sizeof line,
+                        "{\"schema_version\": %d, \"type\": \"span\", "
+                        "\"name\": %s, \"depth\": %d, \"thread\": %llu, "
+                        "\"start_ns\": %llu, \"dur_ns\": %llu",
+                        kTraceSchemaVersion, name.c_str(), rec.depth,
+                        static_cast<unsigned long long>(rec.thread),
+                        static_cast<unsigned long long>(rec.start_ns),
+                        static_cast<unsigned long long>(rec.dur_ns));
+  if (rec.trace_id != 0 && n > 0 && n < static_cast<int>(sizeof line)) {
+    char trace_hex[17];
+    char span_hex[17];
+    char parent_hex[17];
+    format_trace_id(rec.trace_id, trace_hex);
+    format_trace_id(rec.span_id, span_hex);
+    format_trace_id(rec.parent_span, parent_hex);
+    n += std::snprintf(line + n, sizeof line - static_cast<std::size_t>(n),
+                       ", \"trace_id\": \"%s\", \"span_id\": \"%s\", "
+                       "\"parent_span\": \"%s\"",
+                       trace_hex, span_hex, parent_hex);
+  }
+  if (n > 0 && n < static_cast<int>(sizeof line) - 1) {
+    line[n] = '}';
+    line[n + 1] = '\0';
+  }
   std::lock_guard<std::mutex> lk(mu_);
   *os_ << line << '\n';
 }

@@ -13,6 +13,10 @@ namespace {
 // thread.
 thread_local int tls_span_depth = 0;
 
+// The thread's current trace context; request handlers install one via
+// ScopedTraceContext and spans thread their parent/child ids through it.
+thread_local TraceContext tls_trace_context;
+
 std::atomic<Tracer*> g_tracer{nullptr};
 
 std::uint64_t thread_hash() {
@@ -20,7 +24,64 @@ std::uint64_t thread_hash() {
       std::hash<std::thread::id>{}(std::this_thread::get_id()));
 }
 
+// splitmix64: cheap, allocation-free, good bit dispersion for ids.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Per-thread id sequence, seeded once per thread from the clock and the
+// thread hash so concurrent workers never collide.
+std::uint64_t next_id() {
+  thread_local std::uint64_t state =
+      splitmix64(static_cast<std::uint64_t>(
+                     std::chrono::steady_clock::now().time_since_epoch()
+                         .count()) ^
+                 thread_hash());
+  state = splitmix64(state);
+  return state != 0 ? state : 1;
+}
+
 } // namespace
+
+TraceContext current_trace_context() { return tls_trace_context; }
+
+std::uint64_t generate_trace_id() { return next_id(); }
+
+std::uint64_t next_span_id() { return next_id(); }
+
+void format_trace_id(std::uint64_t id, char buf[17]) {
+  static const char* kHex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kHex[id & 0xf];
+    id >>= 4;
+  }
+  buf[16] = '\0';
+}
+
+std::uint64_t parse_trace_id(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  std::uint64_t id = 0;
+  for (const char c : hex) {
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return 0;
+    id = (id << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return id;
+}
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_id,
+                                       std::uint64_t parent_span)
+    : prev_(tls_trace_context) {
+  tls_trace_context = TraceContext{trace_id, parent_span};
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_trace_context = prev_; }
 
 void Tracer::emit(const SpanRecord& rec) {
   for (Sink* s : sinks_) s->on_span(rec);
@@ -43,17 +104,27 @@ Span::Span(Tracer* tracer, const char* name)
   if (tracer_ == nullptr) return;
   depth_ = tls_span_depth++;
   start_ns_ = tracer_->now_ns();
+  ctx_ = tls_trace_context;
+  if (ctx_.active()) {
+    // Children opened while this span is live see it as their parent.
+    span_id_ = next_span_id();
+    tls_trace_context = TraceContext{ctx_.trace_id, span_id_};
+  }
 }
 
 Span::~Span() {
   if (tracer_ == nullptr) return;
   --tls_span_depth;
+  if (ctx_.active()) tls_trace_context = ctx_;
   SpanRecord rec;
   rec.name = name_;
   rec.depth = depth_;
   rec.thread = thread_hash();
   rec.start_ns = start_ns_;
   rec.dur_ns = tracer_->now_ns() - start_ns_;
+  rec.trace_id = ctx_.trace_id;
+  rec.span_id = span_id_;
+  rec.parent_span = ctx_.parent_span;
   tracer_->emit(rec);
 }
 

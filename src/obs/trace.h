@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -26,12 +27,62 @@ namespace bns::obs {
 
 enum class TraceLevel : int { Off = 0, Counters = 1, Spans = 2 };
 
+// Request-scoped trace identity, carried across layers on the current
+// thread. A serve-layer request installs one (ScopedTraceContext) and
+// every Span opened underneath inherits the trace id and nests its
+// parent/child span ids under it — which is what lets a client-supplied
+// "trace_id" show up on the daemon's session.estimate spans, and what a
+// multi-daemon sweep coordinator forwards over the wire.
+struct TraceContext {
+  std::uint64_t trace_id = 0;   // 0 = no trace active
+  std::uint64_t parent_span = 0; // innermost open span's id (0 = root)
+
+  bool active() const { return trace_id != 0; }
+};
+
+// The calling thread's current context (inactive by default).
+TraceContext current_trace_context();
+
+// Fresh process-unique ids; allocation-free (thread-local counter mixed
+// through splitmix64), never 0.
+std::uint64_t generate_trace_id();
+std::uint64_t next_span_id();
+
+// Writes `id` as exactly 16 lowercase hex digits plus a NUL into
+// buf[17]; the wire format for trace/span ids. Allocation-free.
+void format_trace_id(std::uint64_t id, char buf[17]);
+
+// Parses the format_trace_id() wire form (1..16 hex digits, any case).
+// Returns 0 on malformed input — 0 is not a valid id.
+std::uint64_t parse_trace_id(std::string_view hex);
+
+// Installs a trace context for the current scope and restores the
+// previous one on destruction. Allocation-free; works at any trace
+// level (at Counters the context is carried but no spans record it).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t trace_id,
+                              std::uint64_t parent_span = 0);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 struct SpanRecord {
   const char* name = "";     // static string; never owned
   int depth = 0;             // 0 = top-level on its thread
   std::uint64_t thread = 0;  // hashed std::thread::id
   std::uint64_t start_ns = 0; // since the tracer's epoch
   std::uint64_t dur_ns = 0;
+  // Trace identity, all 0 when no TraceContext was active: the request
+  // trace id, this span's own id, and the id of the enclosing span.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 // Sink interface. Implementations must be internally thread-safe at
@@ -125,6 +176,8 @@ class Span {
   const char* name_;
   int depth_ = 0;
   std::uint64_t start_ns_ = 0;
+  TraceContext ctx_;            // inherited context (restored on exit)
+  std::uint64_t span_id_ = 0;   // this span's id when ctx_ is active
 };
 
 // Process-wide tracer hook for layers without an options plumbing

@@ -7,7 +7,10 @@
 #include <utility>
 #include <vector>
 
+#include "artifact/artifact.h"
+#include "obs/exposition.h"
 #include "obs/json.h"
+#include "obs/report.h"
 
 namespace bns::serve {
 namespace {
@@ -113,6 +116,16 @@ NodeId resolve_node(const obs::JsonValue& req, std::string_view key,
                      "\" must be a line name or node id");
 }
 
+obs::ServeOp serve_op_from_name(const std::string& op) {
+  if (op == "ping") return obs::ServeOp::Ping;
+  if (op == "estimate") return obs::ServeOp::Estimate;
+  if (op == "sweep") return obs::ServeOp::Sweep;
+  if (op == "conditional") return obs::ServeOp::Conditional;
+  if (op == "stats") return obs::ServeOp::Stats;
+  if (op == "metrics") return obs::ServeOp::Metrics;
+  return obs::ServeOp::Invalid;
+}
+
 std::string error_response(const std::string& op, const std::string& msg) {
   std::string out = "{\"ok\":false";
   if (!op.empty()) {
@@ -209,10 +222,21 @@ std::string handle_conditional(const obs::JsonValue& req,
   return out;
 }
 
-std::string handle_stats(SessionCache::Entry& entry) {
+std::string handle_stats(SessionCache::Entry& entry,
+                         const SessionCache& cache) {
   Session& s = entry.session;
   const CompileStats& cs = s.compile_stats();
   std::string out = "{\"ok\":true,\"op\":\"stats\"";
+  out += ",\"schema_version\":" + std::to_string(kServeProtocolVersion);
+  out += ",\"uptime_seconds\":" + obs::json_number(cache.uptime_seconds());
+  const obs::ReportProvenance prov = obs::default_provenance();
+  out += ",\"provenance\":{\"git_describe\":";
+  obs::json_append_string(out, prov.git_describe);
+  out += ",\"build_type\":";
+  obs::json_append_string(out, prov.build_type);
+  out += ",\"hostname\":";
+  obs::json_append_string(out, prov.hostname);
+  out += "}";
   out += ",\"circuit\":";
   obs::json_append_string(out, s.netlist().name());
   out += ",\"nodes\":" + std::to_string(s.netlist().num_nodes());
@@ -232,6 +256,19 @@ std::string handle_stats(SessionCache::Entry& entry) {
   return out;
 }
 
+std::string handle_metrics(SessionCache& cache) {
+  obs::Tracer* trace = cache.trace();
+  const obs::MetricsDocument doc = obs::make_metrics_document(
+      cache.telemetry().red, trace ? &trace->metrics() : nullptr,
+      cache.uptime_seconds());
+  std::string out = "{\"ok\":true,\"op\":\"metrics\",\"metrics\":";
+  out += obs::render_metrics_json(doc);
+  out += ",\"prometheus\":";
+  obs::json_append_string(out, obs::render_metrics_prometheus(doc));
+  out += "}";
+  return out;
+}
+
 } // namespace
 
 std::shared_ptr<SessionCache::Entry> SessionCache::get(
@@ -242,8 +279,13 @@ std::shared_ptr<SessionCache::Entry> SessionCache::get(
   // requests for one new model pay exactly one load.
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(model);
-  if (it != entries_.end() && it->second->mtime_ns == mtime)
+  if (it != entries_.end() && it->second->mtime_ns == mtime) {
+    cache_event(obs::CacheEvent::Hit);
+    it->second->last_used = ++lru_tick_;
     return it->second;
+  }
+  cache_event(it != entries_.end() ? obs::CacheEvent::Revalidate
+                                   : obs::CacheEvent::Miss);
 
   Session session = ends_with(model, ".bnsc")
                         ? Session::open_artifact(model, opts_)
@@ -251,53 +293,129 @@ std::shared_ptr<SessionCache::Entry> SessionCache::get(
   if (trace_ && ends_with(model, ".bnsc"))
     trace_->count(obs::Counter::ArtifactLoads);
   auto entry = std::make_shared<Entry>(std::move(session), mtime);
+  entry->last_used = ++lru_tick_;
+
+  // Respect the capacity before inserting: drop the least-recently-used
+  // *other* entry (a revalidation replaces its own slot). In-flight
+  // requests keep the evicted session alive via their shared_ptr.
+  if (max_entries_ > 0 && it == entries_.end() &&
+      static_cast<int>(entries_.size()) >= max_entries_) {
+    auto victim = entries_.end();
+    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+      if (victim == entries_.end() ||
+          e->second->last_used < victim->second->last_used)
+        victim = e;
+    }
+    if (victim != entries_.end()) {
+      entries_.erase(victim);
+      cache_event(obs::CacheEvent::Evict);
+    }
+  }
   entries_[model] = entry;
   return entry;
 }
 
+std::size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 std::string handle_request(std::string_view line, SessionCache& cache) {
   obs::Tracer* trace = cache.trace();
-  obs::Span span(trace, "serve.request");
-  if (trace) trace->count(obs::Counter::ServeRequests);
+  const std::uint64_t start_ns = cache.now_ns();
 
   std::string op;
+  std::string model;
   std::string response;
-  try {
-    const std::optional<obs::JsonValue> req = obs::json_parse(line);
-    if (!req || !req->is_object())
-      throw RequestError("request is not a JSON object");
-    const obs::JsonValue* opv = req->find("op");
-    if (!opv || !opv->is_string())
-      throw RequestError("missing string \"op\"");
-    op = opv->as_string();
+  obs::ErrorClass err = obs::ErrorClass::None;
 
-    if (op == "ping") {
-      response = "{\"ok\":true,\"op\":\"ping\"}";
-    } else if (op == "estimate" || op == "sweep" || op == "conditional" ||
-               op == "stats") {
-      const obs::JsonValue* modelv = req->find("model");
-      if (!modelv || !modelv->is_string())
-        throw RequestError("missing string \"model\"");
-      std::shared_ptr<SessionCache::Entry> entry =
-          cache.get(modelv->as_string());
-      std::lock_guard<std::mutex> lock(entry->mu);
-      if (op == "estimate") {
-        response = handle_estimate(*req, *entry);
-      } else if (op == "sweep") {
-        response = handle_sweep(*req, *entry);
-      } else if (op == "conditional") {
-        response = handle_conditional(*req, *entry);
-      } else {
-        response = handle_stats(*entry);
-      }
-    } else {
-      throw RequestError("unknown op \"" + op + "\"");
+  const std::optional<obs::JsonValue> req = obs::json_parse(line);
+
+  // Resolve the trace id before the request span opens, so the span —
+  // and every session.* span beneath it — nests under the right id. A
+  // malformed client id is a protocol reject (below), not silently
+  // replaced: silent replacement would break the client's correlation.
+  std::uint64_t trace_id = 0;
+  bool bad_trace_id = false;
+  if (req && req->is_object()) {
+    if (const obs::JsonValue* tv = req->find("trace_id")) {
+      if (tv->is_string()) trace_id = obs::parse_trace_id(tv->as_string());
+      bad_trace_id = trace_id == 0;
     }
-  } catch (const std::exception& e) {
-    response = error_response(op, e.what());
+  }
+  if (trace_id == 0) trace_id = obs::generate_trace_id();
+
+  obs::ScopedTraceContext tctx(trace_id);
+  {
+    obs::Span span(trace, "serve.request");
+    if (trace) trace->count(obs::Counter::ServeRequests);
+
+    try {
+      if (!req || !req->is_object())
+        throw RequestError("request is not a JSON object");
+      if (bad_trace_id)
+        throw RequestError("\"trace_id\" must be a string of 1-16 hex digits");
+      const obs::JsonValue* opv = req->find("op");
+      if (!opv || !opv->is_string())
+        throw RequestError("missing string \"op\"");
+      op = opv->as_string();
+
+      if (op == "ping") {
+        response = "{\"ok\":true,\"op\":\"ping\"}";
+      } else if (op == "metrics") {
+        response = handle_metrics(cache);
+      } else if (op == "estimate" || op == "sweep" || op == "conditional" ||
+                 op == "stats") {
+        const obs::JsonValue* modelv = req->find("model");
+        if (!modelv || !modelv->is_string())
+          throw RequestError("missing string \"model\"");
+        model = modelv->as_string();
+        std::shared_ptr<SessionCache::Entry> entry = cache.get(model);
+        std::lock_guard<std::mutex> lock(entry->mu);
+        if (op == "estimate") {
+          response = handle_estimate(*req, *entry);
+        } else if (op == "sweep") {
+          response = handle_sweep(*req, *entry);
+        } else if (op == "conditional") {
+          response = handle_conditional(*req, *entry);
+        } else {
+          response = handle_stats(*entry, cache);
+        }
+      } else {
+        throw RequestError("unknown op \"" + op + "\"");
+      }
+    } catch (const RequestError& e) {
+      err = obs::ErrorClass::Protocol;
+      response = error_response(op, e.what());
+    } catch (const ArtifactError& e) {
+      err = obs::ErrorClass::Artifact;
+      response = error_response(op, e.what());
+    } catch (const std::exception& e) {
+      err = obs::ErrorClass::Internal;
+      response = error_response(op, e.what());
+    }
   }
 
-  if (trace && response.compare(0, 11, "{\"ok\":false") == 0)
+  // Semantic rejects that answer {"ok":false,...} without throwing
+  // (e.g. conditional's cross-segment case) still count as errors.
+  if (err == obs::ErrorClass::None &&
+      response.compare(0, 11, "{\"ok\":false") == 0)
+    err = obs::ErrorClass::Protocol;
+
+  // Every response is one JSON object; echo the trace id as its last
+  // member by splicing before the closing brace.
+  char hex[17];
+  obs::format_trace_id(trace_id, hex);
+  response.insert(response.size() - 1,
+                  ",\"trace_id\":\"" + std::string(hex) + "\"");
+
+  const std::uint64_t dur_ns = cache.now_ns() - start_ns;
+  const obs::ServeOp sop = serve_op_from_name(op);
+  const ServeTelemetry& telemetry = cache.telemetry();
+  if (telemetry.red) telemetry.red->record(sop, err, dur_ns);
+  if (telemetry.recorder)
+    telemetry.recorder->record(sop, err, trace_id, model, start_ns, dur_ns);
+  if (trace && err != obs::ErrorClass::None)
     trace->count(obs::Counter::ServeErrors);
   return response;
 }

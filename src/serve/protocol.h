@@ -11,6 +11,7 @@
 //   {"op":"conditional","model":"...","target":"G370","given":"G430",
 //    "state":1,"p":0.5,"rho":0}
 //   {"op":"stats","model":"..."}
+//   {"op":"metrics"}
 // `model` is a .bnsc artifact path, a .bench/.blif path, or a built-in
 // benchmark name — the same resolution every tool uses (Session).
 //
@@ -18,18 +19,40 @@
 // one-line reason. Numbers are formatted with obs::json_number (%.17g),
 // the exact formatter bns_sweep's JSON uses, so a jq comparison of
 // daemon answers against in-process runs is string-exact.
+//
+// Tracing: any request may carry "trace_id" (1-16 hex digits); the
+// daemon generates one otherwise. Every response echoes the resolved id
+// as exactly 16 hex digits, and the request's serve.request span — plus
+// the session.* spans beneath it — records the same id, so a client can
+// correlate its answer with the daemon's span stream.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "session/session.h"
 
 namespace bns::serve {
+
+// Version of the serve protocol envelope (the stats op reports it).
+// Bump on any response-key rename/removal or semantic change; additions
+// are backward compatible.
+inline constexpr int kServeProtocolVersion = 1;
+
+// Optional telemetry hooks threaded through the request path. Both
+// pointers are non-owning and may be null (recording is skipped);
+// recording through them is allocation-free, so they can stay wired at
+// Counters-level telemetry in steady state.
+struct ServeTelemetry {
+  obs::ServeMetrics* red = nullptr;       // per-op RED + cache events
+  obs::FlightRecorder* recorder = nullptr; // last-N request summaries
+};
 
 // Open sessions keyed by model path, revalidated by file mtime: a
 // recompiled artifact (or edited circuit file) is picked up on the next
@@ -37,11 +60,20 @@ namespace bns::serve {
 // requests for different models load/query in parallel, requests for
 // the same model serialize on the entry lock (Session queries mutate
 // engine state).
+//
+// Every lookup outcome is counted through the telemetry hooks: Hit
+// (cached, mtime unchanged), Miss (first load), Revalidate (mtime
+// changed, reloaded), Evict (LRU capacity drop when max_entries > 0).
 class SessionCache {
  public:
   explicit SessionCache(SessionOptions opts = {},
-                        obs::Tracer* trace = nullptr)
-      : opts_(std::move(opts)), trace_(trace) {}
+                        obs::Tracer* trace = nullptr,
+                        ServeTelemetry telemetry = {}, int max_entries = 0)
+      : opts_(std::move(opts)),
+        trace_(trace),
+        telemetry_(telemetry),
+        max_entries_(max_entries),
+        start_(std::chrono::steady_clock::now()) {}
 
   struct Entry {
     Entry(Session s, std::int64_t mtime) noexcept
@@ -49,6 +81,7 @@ class SessionCache {
     std::mutex mu; // serializes queries against this session
     Session session;
     std::int64_t mtime_ns = 0;
+    std::uint64_t last_used = 0; // LRU tick, guarded by the cache mutex
   };
 
   // The cached session for `model`, (re)opened on first use or when the
@@ -56,12 +89,36 @@ class SessionCache {
   std::shared_ptr<Entry> get(const std::string& model);
 
   obs::Tracer* trace() const { return trace_; }
+  const ServeTelemetry& telemetry() const { return telemetry_; }
+  int max_entries() const { return max_entries_; }
+  std::size_t size() const;
+
+  // Monotonic nanoseconds / seconds since this cache was constructed —
+  // the daemon's uptime reference for the stats and metrics ops, and
+  // the start_ns origin for recorder entries.
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double uptime_seconds() const {
+    return static_cast<double>(now_ns()) * 1e-9;
+  }
 
  private:
-  std::mutex mu_; // guards entries_ (not the sessions themselves)
+  void cache_event(obs::CacheEvent e) {
+    if (telemetry_.red) telemetry_.red->cache_event(e);
+  }
+
+  mutable std::mutex mu_; // guards entries_ (not the sessions themselves)
   std::map<std::string, std::shared_ptr<Entry>> entries_;
   SessionOptions opts_;
   obs::Tracer* trace_;
+  ServeTelemetry telemetry_;
+  int max_entries_ = 0;      // 0 = unbounded
+  std::uint64_t lru_tick_ = 0; // guarded by mu_
+  std::chrono::steady_clock::time_point start_;
 };
 
 // Handles one request line and returns the response line (no trailing

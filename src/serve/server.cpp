@@ -39,7 +39,9 @@ bool write_all(int fd, std::string_view data) {
 } // namespace
 
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.session, opts_.trace) {
+    : opts_(std::move(opts)),
+      cache_(opts_.session, opts_.trace, opts_.telemetry,
+             opts_.cache_max_entries) {
   workers_ = ThreadPool::resolve_threads(opts_.threads);
 }
 
@@ -80,6 +82,11 @@ void Server::request_stop() {
   [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &b, 1);
 }
 
+void Server::request_dump() {
+  const char b = 'u';
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
 void Server::run() {
   if (listen_fd_ < 0) throw std::runtime_error("serve: run() before start()");
   {
@@ -108,7 +115,23 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       break;
     }
-    if (fds[1].revents != 0) break; // stop requested
+    if (fds[1].revents != 0) {
+      // Drain the wake byte to tell a dump request ('u', SIGUSR1's
+      // marker) from a stop ('s' or a failed read — fail safe toward
+      // draining). The dump runs on this thread: it may allocate and
+      // write a file, but it never blocks request workers.
+      char b = 's';
+      const ssize_t nread = ::read(wake_fds_[0], &b, 1);
+      if (nread != 1 || b != 'u') {
+        // Also raise the stop flag for the signal-handler path (which
+        // writes the byte directly), so in-flight idle connections see
+        // the drain instead of waiting for their client to hang up.
+        stop_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (opts_.on_dump) opts_.on_dump();
+      continue;
+    }
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;

@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -32,6 +33,15 @@ struct ServerOptions {
   int threads = 0;
   SessionOptions session;
   obs::Tracer* trace = nullptr;
+  // Request-path telemetry hooks (RED metrics, flight recorder); both
+  // optional, recording through them is allocation-free.
+  ServeTelemetry telemetry;
+  // SessionCache capacity (LRU-evicted beyond it); 0 = unbounded.
+  int cache_max_entries = 0;
+  // Invoked on the accept thread when a 'u' byte arrives on the wake
+  // pipe (the async-signal-safe SIGUSR1 path) — bns_serve wires the
+  // flight-recorder dump here. Serving continues afterwards.
+  std::function<void()> on_dump;
 };
 
 class Server {
@@ -54,12 +64,19 @@ class Server {
   // Initiates graceful drain. Safe from any thread.
   void request_stop();
 
-  // One byte written here also initiates drain — the async-signal-safe
-  // path for SIGTERM/SIGINT handlers (write(2) is on the safe list).
+  // Bytes written here wake the accept loop — the async-signal-safe
+  // path for signal handlers (write(2) is on the safe list). 'u' (or
+  // request_dump()) invokes on_dump and keeps serving; anything else
+  // ('s' from request_stop(), SIGTERM/SIGINT handlers) initiates drain.
   int notify_fd() const { return wake_fds_[1]; }
+
+  // Invokes on_dump from the accept loop without stopping the server —
+  // the in-process equivalent of SIGUSR1. Safe from any thread.
+  void request_dump();
 
   const std::string& socket_path() const { return opts_.socket_path; }
   int num_workers() const { return workers_; }
+  SessionCache& cache() { return cache_; }
 
  private:
   void accept_loop();

@@ -5,6 +5,7 @@
 #include "gen/benchmarks.h"
 #include "netlist/bench_io.h"
 #include "netlist/blif_io.h"
+#include "obs/trace.h"
 
 namespace bns {
 namespace {
@@ -79,6 +80,9 @@ Session Session::open_artifact(const std::string& path, SessionOptions opts) {
 }
 
 SwitchingEstimate Session::estimate(const InputModel& model) {
+  // Query spans inherit the caller's TraceContext, so a daemon request's
+  // trace id lands on them (and on the engine spans beneath).
+  obs::Span span(opts_.estimator.trace, "session.estimate");
   return est_->estimate(model);
 }
 
@@ -102,6 +106,7 @@ std::unique_ptr<LidagEstimator> Session::clone_estimator(
 
 SweepResult Session::sweep(std::span<const InputModel> scenarios,
                            int replicas) {
+  obs::Span span(opts_.estimator.trace, "session.sweep");
   std::vector<std::unique_ptr<Netlist>> replica_netlists;
   return run_sweep(
       *est_, [&] { return clone_estimator(replica_netlists); }, scenarios,
@@ -116,6 +121,7 @@ SweepResult Session::sweep(const LinearSweepSpec& spec, int replicas) {
 
 std::optional<std::array<double, 4>> Session::conditional(
     NodeId target, NodeId given, Trans state, const InputModel& model) {
+  obs::Span span(opts_.estimator.trace, "session.conditional");
   return est_->conditional_dist(target, given, state, model);
 }
 

@@ -121,6 +121,17 @@ class ArgParser {
     handlers_.push_back({std::string(name), true, std::move(fn)});
   }
 
+  // --version: prints `line` to stdout and exits kExitOk immediately
+  // (later flags are not parsed). Every tool registers the one
+  // provenance string obs::tool_version_line builds.
+  void version(std::string line) {
+    handlers_.push_back(
+        {"--version", false, [line](std::string_view) -> bool {
+           std::printf("%s\n", line.c_str());
+           std::exit(kExitOk);
+         }});
+  }
+
   // Non-dash tokens, in order. Return false to reject (e.g. a second
   // positional for a single-circuit tool). Without a handler, any
   // positional is a usage error.

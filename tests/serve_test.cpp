@@ -1,22 +1,35 @@
 // Tests for the bns_serve layers: the JSON-lines protocol handler
-// (request validation, error envelopes, cache behavior, concurrent
-// clients vs in-process Session answers) and the Unix-domain-socket
-// Server (end-to-end request over a real socket, graceful drain via
-// request_stop() and via the signal-handler notify fd).
+// (request validation, error envelopes, trace-id propagation, RED
+// metrics, cache behavior, concurrent clients vs in-process Session
+// answers) and the Unix-domain-socket Server (end-to-end request over
+// a real socket, graceful drain via request_stop() and via the
+// signal-handler notify fd, recorder dump via the 'u' wake byte).
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "alloc_hook.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "session/session.h"
@@ -32,12 +45,24 @@ bool failed(const std::string& response) {
   return response.compare(0, 11, "{\"ok\":false") == 0;
 }
 
+// The echoed trace id: exactly 16 hex digits, the response's last member.
+std::string trace_id_of(const std::string& response) {
+  const std::string key = "\"trace_id\":\"";
+  const std::size_t pos = response.rfind(key);
+  if (pos == std::string::npos) return "";
+  return response.substr(pos + key.size(), 16);
+}
+
 // --- protocol ---------------------------------------------------------
 
 TEST(ServeProtocolTest, PingPongs) {
   SessionCache cache;
-  EXPECT_EQ(handle_request(R"({"op":"ping"})", cache),
-            R"({"ok":true,"op":"ping"})");
+  const std::string response = handle_request(R"({"op":"ping"})", cache);
+  EXPECT_EQ(response.compare(0, 22, R"({"ok":true,"op":"ping")"), 0)
+      << response;
+  // A daemon-generated trace id is echoed even without a client one.
+  EXPECT_EQ(trace_id_of(response).size(), 16u) << response;
+  EXPECT_NE(obs::parse_trace_id(trace_id_of(response)), 0u) << response;
 }
 
 TEST(ServeProtocolTest, EstimateMatchesInProcessSession) {
@@ -182,6 +207,285 @@ TEST(ServeProtocolTest, CacheCountsOneLoadPerModel) {
   EXPECT_EQ(tracer.metrics().value(obs::Counter::ServeErrors), 0u);
 }
 
+// --- request tracing ---------------------------------------------------
+
+TEST(ServeProtocolTest, ClientTraceIdEchoedOnEveryOp) {
+  SessionCache cache;
+  const std::vector<std::string> requests = {
+      R"({"op":"ping","trace_id":"deadbeef"})",
+      R"({"op":"estimate","model":"c17","p":0.3,"trace_id":"deadbeef"})",
+      R"({"op":"sweep","model":"c17","scenarios":2,"trace_id":"deadbeef"})",
+      R"({"op":"conditional","model":"c17","target":10,"given":0,)"
+      R"("state":1,"trace_id":"deadbeef"})",
+      R"({"op":"stats","model":"c17","trace_id":"deadbeef"})",
+      R"({"op":"metrics","trace_id":"deadbeef"})",
+  };
+  for (const std::string& req : requests) {
+    const std::string response = handle_request(req, cache);
+    EXPECT_EQ(trace_id_of(response), "00000000deadbeef")
+        << req << " -> " << response;
+  }
+}
+
+TEST(ServeProtocolTest, GeneratedTraceIdsDifferPerRequest) {
+  SessionCache cache;
+  const std::string a = trace_id_of(handle_request(R"({"op":"ping"})", cache));
+  const std::string b = trace_id_of(handle_request(R"({"op":"ping"})", cache));
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_NE(a, b);
+}
+
+TEST(ServeProtocolTest, MalformedTraceIdIsAProtocolError) {
+  SessionCache cache;
+  for (const std::string& req : {
+           std::string(R"({"op":"ping","trace_id":"not-hex"})"),
+           std::string(R"({"op":"ping","trace_id":""})"),
+           std::string(R"({"op":"ping","trace_id":42})"),
+           std::string(R"({"op":"ping","trace_id":"11112222333344445"})"),
+       }) {
+    const std::string response = handle_request(req, cache);
+    EXPECT_TRUE(failed(response)) << req << " -> " << response;
+    // The error envelope still carries a (generated) id to correlate.
+    EXPECT_EQ(trace_id_of(response).size(), 16u) << response;
+  }
+}
+
+// The tentpole's end-to-end guarantee: a client-supplied trace id shows
+// up on the daemon's session.* spans for estimate, sweep AND
+// conditional, nested under the serve.request span of the same trace.
+TEST(ServeProtocolTest, ClientTraceIdReachesSessionSpans) {
+  obs::Tracer tracer(obs::TraceLevel::Spans);
+  std::ostringstream spans;
+  obs::JsonLinesSink sink(spans);
+  tracer.add_sink(&sink);
+  SessionOptions sopts;
+  sopts.estimator.trace = &tracer;
+  SessionCache cache(sopts, &tracer);
+
+  ASSERT_TRUE(ok(handle_request(
+      R"({"op":"estimate","model":"c17","trace_id":"abc001"})", cache)));
+  ASSERT_TRUE(ok(handle_request(
+      R"({"op":"sweep","model":"c17","scenarios":2,"trace_id":"abc002"})",
+      cache)));
+  handle_request(R"({"op":"conditional","model":"c17","target":10,)"
+                 R"("given":0,"state":1,"trace_id":"abc003"})",
+                 cache);
+
+  struct Want {
+    const char* span;
+    const char* trace_id;
+    bool seen = false;
+    std::string parent;
+    std::string request_span_id; // serve.request span of the same trace
+  };
+  std::vector<Want> wants = {{"session.estimate", "0000000000abc001"},
+                             {"session.sweep", "0000000000abc002"},
+                             {"session.conditional", "0000000000abc003"}};
+  std::istringstream in(spans.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::optional<obs::JsonValue> v = obs::json_parse(line);
+    ASSERT_TRUE(v && v->is_object()) << line;
+    for (Want& w : wants) {
+      if (v->string_or("trace_id", "") != w.trace_id) continue;
+      if (v->string_or("name", "") == w.span) {
+        w.seen = true;
+        w.parent = v->string_or("parent_span", "");
+      } else if (v->string_or("name", "") == "serve.request") {
+        w.request_span_id = v->string_or("span_id", "");
+      }
+    }
+  }
+  for (const Want& w : wants) {
+    EXPECT_TRUE(w.seen) << w.span << " span missing for " << w.trace_id
+                        << "\n" << spans.str();
+    // The session span nests directly under its request's span.
+    EXPECT_EQ(w.parent, w.request_span_id) << w.span;
+    EXPECT_NE(w.request_span_id, "") << w.span;
+  }
+}
+
+// --- RED metrics and the metrics op ------------------------------------
+
+TEST(ServeProtocolTest, MetricsOpReportsRedCountsAndCacheEvents) {
+  obs::ServeMetrics red;
+  SessionCache cache({}, nullptr, ServeTelemetry{&red, nullptr});
+
+  ASSERT_TRUE(ok(handle_request(R"({"op":"ping"})", cache)));
+  ASSERT_TRUE(
+      ok(handle_request(R"({"op":"estimate","model":"c17"})", cache)));
+  ASSERT_TRUE(
+      ok(handle_request(R"({"op":"estimate","model":"c17"})", cache)));
+  ASSERT_TRUE(failed(handle_request(R"({"op":"nope"})", cache)));
+  ASSERT_TRUE(failed(
+      handle_request(R"({"op":"estimate","model":"c17","p":9})", cache)));
+
+  const std::string response = handle_request(R"({"op":"metrics"})", cache);
+  ASSERT_TRUE(ok(response)) << response;
+  const std::optional<obs::JsonValue> v = obs::json_parse(response);
+  ASSERT_TRUE(v && v->is_object()) << response;
+  const obs::JsonValue* doc = v->find("metrics");
+  ASSERT_TRUE(doc && doc->is_object()) << response;
+  EXPECT_GE(doc->number_or("uptime_seconds", -1.0), 0.0);
+
+  const obs::JsonValue* ops = doc->find("ops");
+  ASSERT_TRUE(ops && ops->is_array());
+  for (const obs::JsonValue& op : ops->as_array()) {
+    const std::string name = op.string_or("op", "");
+    if (name == "ping") {
+      EXPECT_EQ(op.number_or("requests", -1), 1);
+    } else if (name == "estimate") {
+      EXPECT_EQ(op.number_or("requests", -1), 3);
+      EXPECT_EQ(op.find("errors")->number_or("protocol", -1), 1);
+      EXPECT_EQ(op.find("latency_ns")->number_or("count", -1), 3);
+    } else if (name == "invalid") {
+      EXPECT_EQ(op.number_or("requests", -1), 1);
+      EXPECT_EQ(op.find("errors")->number_or("protocol", -1), 1);
+    }
+  }
+  const obs::JsonValue* cachev = doc->find("cache");
+  ASSERT_TRUE(cachev && cachev->is_object());
+  EXPECT_EQ(cachev->number_or("miss", -1), 1);       // first estimate
+  EXPECT_EQ(cachev->number_or("hit", -1), 2);        // 2nd + the bad-p one
+  EXPECT_EQ(cachev->number_or("revalidate", -1), 0);
+
+  // The Prometheus rendering rides along as an escaped string.
+  const obs::JsonValue* prom = v->find("prometheus");
+  ASSERT_TRUE(prom && prom->is_string()) << response;
+  EXPECT_NE(prom->as_string().find("bns_serve_requests_total{op=\"ping\"} 1"),
+            std::string::npos)
+      << prom->as_string();
+}
+
+TEST(ServeProtocolTest, StatsCarriesSchemaUptimeAndProvenance) {
+  SessionCache cache;
+  const std::string response =
+      handle_request(R"({"op":"stats","model":"c17"})", cache);
+  ASSERT_TRUE(ok(response)) << response;
+  const std::optional<obs::JsonValue> v = obs::json_parse(response);
+  ASSERT_TRUE(v && v->is_object()) << response;
+  EXPECT_EQ(v->number_or("schema_version", -1), kServeProtocolVersion);
+  EXPECT_GE(v->number_or("uptime_seconds", -1.0), 0.0);
+  const obs::JsonValue* prov = v->find("provenance");
+  ASSERT_TRUE(prov && prov->is_object()) << response;
+  EXPECT_NE(prov->string_or("git_describe", ""), "");
+  EXPECT_NE(prov->string_or("build_type", ""), "");
+  EXPECT_NE(prov->string_or("hostname", ""), "");
+}
+
+// --- cache revalidation and eviction ------------------------------------
+
+std::string write_tiny_bench(const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  f << "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+  return path;
+}
+
+TEST(ServeProtocolTest, TouchedMtimeRevalidatesExactlyOnce) {
+  const std::string path =
+      write_tiny_bench(testing::TempDir() + "bns_revalidate_" +
+                       std::to_string(::getpid()) + ".bench");
+  obs::ServeMetrics red;
+  SessionCache cache({}, nullptr, ServeTelemetry{&red, nullptr});
+  const std::string req =
+      R"({"op":"stats","model":")" + path + R"("})";
+
+  ASSERT_TRUE(ok(handle_request(req, cache)));  // miss (first load)
+  ASSERT_TRUE(ok(handle_request(req, cache)));  // hit
+  ASSERT_TRUE(ok(handle_request(req, cache)));  // hit
+
+  // Bump st_mtim by a whole second so the nanosecond mtime must differ.
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  struct timespec times[2] = {st.st_atim, st.st_mtim};
+  times[1].tv_sec += 1;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+
+  ASSERT_TRUE(ok(handle_request(req, cache)));  // revalidate (reload)
+  ASSERT_TRUE(ok(handle_request(req, cache)));  // hit again
+
+  const obs::ServeMetricsSnapshot s = red.snapshot();
+  EXPECT_EQ(s.cache_count(obs::CacheEvent::Miss), 1u);
+  EXPECT_EQ(s.cache_count(obs::CacheEvent::Revalidate), 1u);
+  EXPECT_EQ(s.cache_count(obs::CacheEvent::Hit), 3u);
+  EXPECT_EQ(s.cache_count(obs::CacheEvent::Evict), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeProtocolTest, LruEvictsBeyondCapacity) {
+  obs::ServeMetrics red;
+  SessionCache cache({}, nullptr, ServeTelemetry{&red, nullptr},
+                     /*max_entries=*/1);
+  ASSERT_TRUE(ok(handle_request(R"({"op":"stats","model":"c17"})", cache)));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(
+      ok(handle_request(R"({"op":"stats","model":"pcler8"})", cache)));
+  EXPECT_EQ(cache.size(), 1u); // c17 evicted
+  const obs::ServeMetricsSnapshot s = red.snapshot();
+  EXPECT_EQ(s.cache_count(obs::CacheEvent::Evict), 1u);
+  EXPECT_EQ(s.cache_count(obs::CacheEvent::Miss), 2u);
+  // The evicted model is simply a miss again — still served correctly.
+  ASSERT_TRUE(ok(handle_request(R"({"op":"stats","model":"c17"})", cache)));
+  EXPECT_EQ(red.snapshot().cache_count(obs::CacheEvent::Miss), 3u);
+}
+
+// --- flight recorder through the request path ---------------------------
+
+TEST(ServeProtocolTest, RecorderCapturesRequestSummaries) {
+  obs::FlightRecorder recorder(8);
+  SessionCache cache({}, nullptr, ServeTelemetry{nullptr, &recorder});
+  ASSERT_TRUE(ok(handle_request(
+      R"({"op":"estimate","model":"c17","trace_id":"c0ffee"})", cache)));
+  ASSERT_TRUE(failed(handle_request(R"({"op":"nope"})", cache)));
+
+  const std::vector<obs::RequestRecord> snap = recorder.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].op, obs::ServeOp::Estimate);
+  EXPECT_EQ(snap[0].trace_id, 0xc0ffeeu);
+  EXPECT_STREQ(snap[0].model, "c17");
+  EXPECT_EQ(snap[0].error, obs::ErrorClass::None);
+  EXPECT_EQ(snap[1].op, obs::ServeOp::Invalid);
+  EXPECT_EQ(snap[1].error, obs::ErrorClass::Protocol);
+  EXPECT_NE(snap[1].trace_id, 0u); // generated ids are recorded too
+
+  std::ostringstream os;
+  recorder.dump_jsonl(os);
+  EXPECT_NE(os.str().find("\"trace_id\":\"0000000000c0ffee\""),
+            std::string::npos)
+      << os.str();
+}
+
+// Telemetry must not add allocations to steady-state request handling:
+// N pings with Counters-level tracer + RED + recorder wired cost
+// exactly as many allocations as N pings with telemetry off.
+TEST(ServeProtocolTest, TelemetryAddsNoAllocationsToSteadyStatePings) {
+  constexpr int kWarm = 8;
+  constexpr int kPings = 64;
+  const std::string req = R"({"op":"ping"})";
+
+  SessionCache bare;
+  for (int i = 0; i < kWarm; ++i) handle_request(req, bare);
+  const std::uint64_t bare_before = alloc_hook::allocation_count();
+  for (int i = 0; i < kPings; ++i) handle_request(req, bare);
+  const std::uint64_t bare_cost =
+      alloc_hook::allocation_count() - bare_before;
+
+  obs::Tracer tracer(obs::TraceLevel::Counters);
+  obs::ServeMetrics red;
+  obs::FlightRecorder recorder(64);
+  SessionCache wired({}, &tracer, ServeTelemetry{&red, &recorder});
+  for (int i = 0; i < kWarm; ++i) handle_request(req, wired);
+  const std::uint64_t wired_before = alloc_hook::allocation_count();
+  for (int i = 0; i < kPings; ++i) handle_request(req, wired);
+  const std::uint64_t wired_cost =
+      alloc_hook::allocation_count() - wired_before;
+
+  EXPECT_EQ(wired_cost, bare_cost);
+  EXPECT_EQ(red.snapshot().op(obs::ServeOp::Ping).requests,
+            static_cast<std::uint64_t>(kWarm + kPings));
+}
+
 // --- server (real socket) ---------------------------------------------
 
 std::string test_socket_path(const std::string& tag) {
@@ -226,7 +530,11 @@ TEST(ServeServerTest, AnswersOverSocketAndDrainsOnRequestStop) {
   std::thread runner([&server] { server.run(); });
 
   const int fd = connect_to(opts.socket_path);
-  EXPECT_EQ(roundtrip(fd, R"({"op":"ping"})"), R"({"ok":true,"op":"ping"})");
+  {
+    const std::string pong = roundtrip(fd, R"({"op":"ping"})");
+    EXPECT_EQ(pong.compare(0, 22, R"({"ok":true,"op":"ping")"), 0) << pong;
+    EXPECT_EQ(trace_id_of(pong).size(), 16u) << pong;
+  }
   const std::string est =
       roundtrip(fd, R"({"op":"estimate","model":"c17","p":0.5})");
   EXPECT_TRUE(ok(est)) << est;
@@ -241,8 +549,17 @@ TEST(ServeServerTest, AnswersOverSocketAndDrainsOnRequestStop) {
     if (n <= 0) break;
     both.append(chunk, static_cast<std::size_t>(n));
   }
-  EXPECT_EQ(both,
-            R"({"ok":true,"op":"ping"})" "\n" R"({"ok":true,"op":"ping"})" "\n");
+  {
+    std::istringstream lines(both);
+    std::string line;
+    int answered = 0;
+    while (std::getline(lines, line)) {
+      EXPECT_EQ(line.compare(0, 22, R"({"ok":true,"op":"ping")"), 0) << line;
+      EXPECT_EQ(trace_id_of(line).size(), 16u) << line;
+      ++answered;
+    }
+    EXPECT_EQ(answered, 2) << both;
+  }
   ::close(fd);
 
   server.request_stop();
@@ -273,12 +590,54 @@ TEST(ServeServerTest, NotifyFdByteDrainsLikeASignalHandler) {
   std::thread runner([&server] { server.run(); });
 
   const int fd = connect_to(opts.socket_path);
-  EXPECT_EQ(roundtrip(fd, R"({"op":"ping"})"), R"({"ok":true,"op":"ping"})");
+  {
+    const std::string pong = roundtrip(fd, R"({"op":"ping"})");
+    EXPECT_EQ(pong.compare(0, 22, R"({"ok":true,"op":"ping")"), 0) << pong;
+  }
   ::close(fd);
 
   // Exactly what the SIGTERM handler does: one byte, nothing else.
   const char b = 's';
   ASSERT_EQ(::write(server.notify_fd(), &b, 1), 1);
+  runner.join();
+}
+
+TEST(ServeServerTest, RequestDumpFiresCallbackAndKeepsServing) {
+  obs::FlightRecorder recorder(16);
+  std::atomic<int> dumps{0};
+  ServerOptions opts;
+  opts.socket_path = test_socket_path("dump");
+  opts.telemetry.recorder = &recorder;
+  opts.on_dump = [&dumps] { dumps.fetch_add(1); };
+  Server server(opts);
+  ASSERT_NO_THROW(server.start());
+  std::thread runner([&server] { server.run(); });
+
+  const int fd = connect_to(opts.socket_path);
+  const std::string first =
+      roundtrip(fd, R"({"op":"ping","trace_id":"feedface"})");
+  EXPECT_EQ(trace_id_of(first), "00000000feedface") << first;
+
+  // What the SIGUSR1 handler does: ask for a dump, then keep serving.
+  server.request_dump();
+  for (int i = 0; dumps.load() == 0 && i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(dumps.load(), 1);
+  const std::string second = roundtrip(fd, R"({"op":"ping"})");
+  EXPECT_EQ(second.compare(0, 22, R"({"ok":true,"op":"ping")"), 0) << second;
+  ::close(fd);
+
+  // The recorder saw both requests, the client-supplied id included.
+  const std::vector<obs::RequestRecord> snap = recorder.snapshot();
+  EXPECT_GE(snap.size(), 2u);
+  bool saw_client_id = false;
+  for (const obs::RequestRecord& r : snap) {
+    if (r.trace_id == 0xfeedfaceu) saw_client_id = true;
+  }
+  EXPECT_TRUE(saw_client_id);
+
+  server.request_stop();
   runner.join();
 }
 

@@ -1,0 +1,420 @@
+// Tests for the serve-telemetry obs primitives: trace contexts and span
+// id nesting, the labeled RED registry (ServeMetrics), the flight
+// recorder, the exposition renderers, and the allocation-freedom of the
+// whole record path (the contract that lets telemetry stay on at
+// Counters level in steady state).
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc_hook.h"
+#include "obs/exposition.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+
+namespace bns::obs {
+namespace {
+
+// --- trace ids and contexts -------------------------------------------
+
+TEST(TelemetryTest, GeneratedTraceIdsAreDistinctAndNonZero) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = generate_trace_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST(TelemetryTest, FormatParseRoundtrips) {
+  for (const std::uint64_t id :
+       {std::uint64_t{1}, std::uint64_t{0xdeadbeef},
+        std::uint64_t{0xffffffffffffffff}, generate_trace_id()}) {
+    char buf[17];
+    format_trace_id(id, buf);
+    EXPECT_EQ(std::string(buf).size(), 16u);
+    EXPECT_EQ(parse_trace_id(buf), id);
+  }
+}
+
+TEST(TelemetryTest, ParseAcceptsShortAndUppercaseRejectsGarbage) {
+  EXPECT_EQ(parse_trace_id("ff"), 0xffu);
+  EXPECT_EQ(parse_trace_id("DEADBEEF"), 0xdeadbeefu);
+  EXPECT_EQ(parse_trace_id(""), 0u);
+  EXPECT_EQ(parse_trace_id("xyz"), 0u);
+  EXPECT_EQ(parse_trace_id("12g4"), 0u);
+  EXPECT_EQ(parse_trace_id("0x12"), 0u);
+  EXPECT_EQ(parse_trace_id("11112222333344445"), 0u); // 17 digits
+  EXPECT_EQ(parse_trace_id("0"), 0u);                 // 0 is not a valid id
+}
+
+TEST(TelemetryTest, ScopedContextInstallsAndRestores) {
+  EXPECT_FALSE(current_trace_context().active());
+  {
+    ScopedTraceContext ctx(0x1234);
+    EXPECT_TRUE(current_trace_context().active());
+    EXPECT_EQ(current_trace_context().trace_id, 0x1234u);
+    EXPECT_EQ(current_trace_context().parent_span, 0u);
+    {
+      ScopedTraceContext inner(0x5678, 42);
+      EXPECT_EQ(current_trace_context().trace_id, 0x5678u);
+      EXPECT_EQ(current_trace_context().parent_span, 42u);
+    }
+    EXPECT_EQ(current_trace_context().trace_id, 0x1234u);
+  }
+  EXPECT_FALSE(current_trace_context().active());
+}
+
+// Collects SpanRecords for structural assertions.
+class RecordingSink final : public Sink {
+ public:
+  void on_span(const SpanRecord& rec) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    records_.push_back(rec);
+  }
+  std::vector<SpanRecord> records() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return records_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+};
+
+TEST(TelemetryTest, SpansNestUnderTraceContext) {
+  Tracer tracer(TraceLevel::Spans);
+  RecordingSink sink;
+  tracer.add_sink(&sink);
+
+  const std::uint64_t trace_id = 0xabcdef01;
+  {
+    ScopedTraceContext ctx(trace_id);
+    Span outer(&tracer, "outer");
+    { Span inner(&tracer, "inner"); }
+  }
+  // Destruction order: inner completes first.
+  const std::vector<SpanRecord> recs = sink.records();
+  ASSERT_EQ(recs.size(), 2u);
+  const SpanRecord& inner = recs[0];
+  const SpanRecord& outer = recs[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(inner.trace_id, trace_id);
+  EXPECT_EQ(outer.trace_id, trace_id);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_NE(inner.span_id, 0u);
+  EXPECT_EQ(outer.parent_span, 0u);          // root of this trace
+  EXPECT_EQ(inner.parent_span, outer.span_id); // nested under outer
+}
+
+TEST(TelemetryTest, SpansWithoutContextCarryNoTraceId) {
+  Tracer tracer(TraceLevel::Spans);
+  RecordingSink sink;
+  tracer.add_sink(&sink);
+  { Span s(&tracer, "plain"); }
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].trace_id, 0u);
+  EXPECT_EQ(sink.records()[0].span_id, 0u);
+}
+
+TEST(TelemetryTest, JsonLinesSinkEmitsTraceIdsOnlyWhenTraced) {
+  Tracer tracer(TraceLevel::Spans);
+  std::ostringstream os;
+  JsonLinesSink sink(os);
+  tracer.add_sink(&sink);
+
+  { Span s(&tracer, "untraced"); }
+  {
+    ScopedTraceContext ctx(0xfeed);
+    Span s(&tracer, "traced");
+  }
+  std::istringstream in(os.str());
+  std::string line;
+  int traced = 0, untraced = 0;
+  while (std::getline(in, line)) {
+    const std::optional<JsonValue> v = json_parse(line);
+    ASSERT_TRUE(v && v->is_object()) << line;
+    if (v->string_or("name", "") == "traced") {
+      ++traced;
+      EXPECT_EQ(v->string_or("trace_id", ""), "000000000000feed") << line;
+      EXPECT_NE(v->string_or("span_id", ""), "") << line;
+    } else if (v->string_or("name", "") == "untraced") {
+      ++untraced;
+      EXPECT_EQ(v->find("trace_id"), nullptr) << line;
+    }
+  }
+  EXPECT_EQ(traced, 1);
+  EXPECT_EQ(untraced, 1);
+}
+
+// --- ServeMetrics ------------------------------------------------------
+
+TEST(TelemetryTest, ServeMetricsRecordsPerOpAndClass) {
+  ServeMetrics m;
+  m.record(ServeOp::Estimate, ErrorClass::None, 5'000);
+  m.record(ServeOp::Estimate, ErrorClass::None, 50'000'000);
+  m.record(ServeOp::Estimate, ErrorClass::Protocol, 2'000);
+  m.record(ServeOp::Sweep, ErrorClass::Artifact, 1'000'000);
+  m.cache_event(CacheEvent::Hit);
+  m.cache_event(CacheEvent::Miss, 2);
+
+  const ServeMetricsSnapshot s = m.snapshot();
+  EXPECT_EQ(s.op(ServeOp::Estimate).requests, 3u);
+  EXPECT_EQ(s.op(ServeOp::Estimate).errors_total(), 1u);
+  EXPECT_EQ(s.op(ServeOp::Estimate)
+                .errors[static_cast<std::size_t>(ErrorClass::Protocol)],
+            1u);
+  EXPECT_EQ(s.op(ServeOp::Estimate).latency_total, 3u);
+  EXPECT_EQ(s.op(ServeOp::Sweep).requests, 1u);
+  EXPECT_EQ(s.op(ServeOp::Sweep)
+                .errors[static_cast<std::size_t>(ErrorClass::Artifact)],
+            1u);
+  EXPECT_EQ(s.op(ServeOp::Ping).requests, 0u);
+  EXPECT_EQ(s.cache_count(CacheEvent::Hit), 1u);
+  EXPECT_EQ(s.cache_count(CacheEvent::Miss), 2u);
+  EXPECT_EQ(s.requests_total(), 4u);
+  EXPECT_EQ(s.errors_total(), 2u);
+
+  m.reset();
+  EXPECT_EQ(m.snapshot().requests_total(), 0u);
+  EXPECT_EQ(m.snapshot().cache_count(CacheEvent::Miss), 0u);
+}
+
+TEST(TelemetryTest, ServeMetricsLatencyBucketsSumToRequests) {
+  ServeMetrics m;
+  // One sample per decade, spanning below the first edge to overflow.
+  const std::uint64_t samples[] = {10,        5'000,       50'000,
+                                   5'000'000, 500'000'000, 50'000'000'000};
+  for (const std::uint64_t ns : samples)
+    m.record(ServeOp::Conditional, ErrorClass::None, ns);
+  const ServeMetricsSnapshot snap = m.snapshot();
+  const ServeOpSnapshot& op = snap.op(ServeOp::Conditional);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t c : op.latency_counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, std::size(samples));
+  EXPECT_EQ(op.latency_total, std::size(samples));
+  EXPECT_EQ(op.requests, std::size(samples));
+}
+
+// Named *Concurrent* so the CI TSan job picks it up: 8 writers hammer
+// per-op cells while a reader scrapes mid-flight; after the join the
+// merged totals must equal the sum of what every worker recorded.
+TEST(TelemetryTest, ConcurrentRecordAndScrapeMergeExactTotals) {
+  ServeMetrics m;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+
+  std::thread scraper([&m, &stop] {
+    // Concurrent scrapes must be safe (and monotone per cell); values
+    // mid-flight are unordered partial sums, so only sanity-check them.
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ServeMetricsSnapshot s = m.snapshot();
+      EXPECT_LE(s.op(ServeOp::Estimate).requests,
+                static_cast<std::uint64_t>(kThreads) * kPerThread);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&m, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto err =
+            (i % 100 == 0) ? ErrorClass::Internal : ErrorClass::None;
+        m.record(ServeOp::Estimate, err,
+                 static_cast<std::uint64_t>(1'000 + i * 997 + t));
+        m.cache_event(i % 2 == 0 ? CacheEvent::Hit : CacheEvent::Miss);
+      }
+    });
+  }
+  for (std::thread& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  const ServeMetricsSnapshot s = m.snapshot();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(s.op(ServeOp::Estimate).requests, total);
+  EXPECT_EQ(s.op(ServeOp::Estimate).latency_total, total);
+  EXPECT_EQ(s.op(ServeOp::Estimate)
+                .errors[static_cast<std::size_t>(ErrorClass::Internal)],
+            static_cast<std::uint64_t>(kThreads) * (kPerThread / 100));
+  EXPECT_EQ(s.cache_count(CacheEvent::Hit) + s.cache_count(CacheEvent::Miss),
+            total);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t c : s.op(ServeOp::Estimate).latency_counts)
+    bucket_sum += c;
+  EXPECT_EQ(bucket_sum, total);
+}
+
+// --- FlightRecorder ----------------------------------------------------
+
+TEST(TelemetryTest, RecorderKeepsTheLastNOnOneThread) {
+  FlightRecorder rec(4);
+  for (int i = 1; i <= 10; ++i) {
+    rec.record(ServeOp::Ping, ErrorClass::None,
+               static_cast<std::uint64_t>(i), "m", 0, 0);
+  }
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  const std::vector<RequestRecord> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 4u); // one thread -> one ring
+  // Oldest first, and exactly the last four records survive.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].seq, 7 + i);
+    EXPECT_EQ(snap[i].trace_id, 7 + i);
+  }
+}
+
+TEST(TelemetryTest, RecorderTruncatesLongModelsKeepingTheTail) {
+  FlightRecorder rec(2);
+  const std::string long_model =
+      "/some/deeply/nested/artifact/directory/with/a/long/path/c7552.bnsc";
+  rec.record(ServeOp::Estimate, ErrorClass::None, 1, long_model, 0, 0);
+  const std::vector<RequestRecord> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const std::string stored = snap[0].model;
+  EXPECT_EQ(stored.size(), kRecorderModelBytes - 1);
+  EXPECT_EQ(stored, long_model.substr(long_model.size() - stored.size()));
+  EXPECT_NE(stored.find("c7552.bnsc"), std::string::npos);
+}
+
+TEST(TelemetryTest, RecorderDumpIsParseableJsonLines) {
+  FlightRecorder rec(8);
+  rec.record(ServeOp::Estimate, ErrorClass::None, 0xabc, "c17", 100, 5'000);
+  rec.record(ServeOp::Sweep, ErrorClass::Protocol, 0xdef, "c432.bnsc", 200,
+             7'000);
+  std::ostringstream os;
+  rec.dump_jsonl(os);
+
+  std::istringstream in(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const std::optional<JsonValue> v = json_parse(line);
+    ASSERT_TRUE(v && v->is_object()) << line;
+    EXPECT_EQ(v->number_or("schema_version", 0), kRecorderSchemaVersion);
+    EXPECT_EQ(v->string_or("type", ""), "request");
+    EXPECT_NE(v->string_or("op", ""), "");
+    EXPECT_EQ(v->string_or("trace_id", "").size(), 16u);
+  }
+  EXPECT_EQ(lines, 2);
+  EXPECT_NE(os.str().find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"status\":\"protocol\""), std::string::npos);
+}
+
+// --- exposition --------------------------------------------------------
+
+MetricsDocument sample_document() {
+  ServeMetrics red;
+  red.record(ServeOp::Estimate, ErrorClass::None, 5'000);
+  red.record(ServeOp::Estimate, ErrorClass::Protocol, 1'000);
+  red.record(ServeOp::Ping, ErrorClass::None, 500);
+  red.cache_event(CacheEvent::Hit, 3);
+  red.cache_event(CacheEvent::Revalidate);
+  MetricsRegistry reg;
+  reg.add(Counter::ServeRequests, 3);
+  reg.add(Counter::ArtifactLoads, 1);
+  return make_metrics_document(&red, &reg, 12.5);
+}
+
+TEST(TelemetryTest, MetricsJsonIsOneParseableLineWithAllOps) {
+  const MetricsDocument doc = sample_document();
+  const std::string json = render_metrics_json(doc);
+  EXPECT_EQ(json.find('\n'), std::string::npos); // protocol embeds it
+  const std::optional<JsonValue> v = json_parse(json);
+  ASSERT_TRUE(v && v->is_object()) << json;
+  EXPECT_EQ(v->number_or("schema_version", 0), kMetricsSchemaVersion);
+  EXPECT_EQ(v->number_or("uptime_seconds", 0), 12.5);
+  const JsonValue* prov = v->find("provenance");
+  ASSERT_NE(prov, nullptr);
+  EXPECT_NE(prov->string_or("hostname", ""), "");
+
+  const JsonValue* ops = v->find("ops");
+  ASSERT_TRUE(ops && ops->is_array());
+  EXPECT_EQ(ops->as_array().size(),
+            static_cast<std::size_t>(kNumServeOps)); // every op, even zero
+  bool saw_estimate = false;
+  for (const JsonValue& op : ops->as_array()) {
+    if (op.string_or("op", "") != "estimate") continue;
+    saw_estimate = true;
+    EXPECT_EQ(op.number_or("requests", 0), 2);
+    const JsonValue* errs = op.find("errors");
+    ASSERT_NE(errs, nullptr);
+    EXPECT_EQ(errs->number_or("protocol", 0), 1);
+    const JsonValue* lat = op.find("latency_ns");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->number_or("count", 0), 2);
+  }
+  EXPECT_TRUE(saw_estimate);
+  const JsonValue* cache = v->find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->number_or("hit", 0), 3);
+  EXPECT_EQ(cache->number_or("revalidate", 0), 1);
+}
+
+TEST(TelemetryTest, PrometheusRenderingFollowsConventions) {
+  const std::string text = render_metrics_prometheus(sample_document());
+  EXPECT_NE(text.find("bns_serve_uptime_seconds 12.5"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("bns_serve_requests_total{op=\"estimate\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("bns_serve_errors_total{op=\"estimate\","
+                      "class=\"protocol\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos) << text;
+  EXPECT_NE(
+      text.find("bns_serve_cache_events_total{event=\"hit\"} 3"),
+      std::string::npos)
+      << text;
+  // Cumulative buckets: the +Inf bucket of estimate equals its count.
+  EXPECT_NE(text.find("bns_serve_request_duration_ns_count{op=\"estimate\"} "
+                      "2"),
+            std::string::npos)
+      << text;
+  // Flat registry counters ride along with the bns_ prefix.
+  EXPECT_NE(text.find("bns_serve_requests 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("bns_artifact_loads 1"), std::string::npos) << text;
+}
+
+// --- allocation freedom ------------------------------------------------
+
+// The whole telemetry record path — trace-context install, span at
+// Counters level, RED record, recorder record — must not allocate:
+// that is what lets bns_serve keep it on for every request in steady
+// state. (The first record on a thread claims its shard; warm up
+// first.)
+TEST(TelemetryTest, RecordPathIsAllocationFree) {
+  Tracer tracer(TraceLevel::Counters);
+  ServeMetrics red;
+  FlightRecorder rec(16);
+  red.record(ServeOp::Ping, ErrorClass::None, 1); // claim the shard
+  rec.record(ServeOp::Ping, ErrorClass::None, 1, "warmup", 0, 0);
+
+  const std::uint64_t before = alloc_hook::allocation_count();
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = generate_trace_id();
+    ScopedTraceContext ctx(id);
+    Span span(&tracer, "serve.request");
+    tracer.count(Counter::ServeRequests);
+    red.record(ServeOp::Estimate, ErrorClass::None,
+               static_cast<std::uint64_t>(1'000 + i));
+    rec.record(ServeOp::Estimate, ErrorClass::None, id,
+               "circuits/c1908.bnsc", 0, 1'000);
+  }
+  EXPECT_EQ(alloc_hook::allocation_count(), before);
+}
+
+} // namespace
+} // namespace bns::obs

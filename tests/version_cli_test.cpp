@@ -1,0 +1,78 @@
+// End-to-end check that every shipped binary answers --version the same
+// way: "<tool> <git describe> (<build type>)" on stdout, exit 0. The
+// uniform line is what the CI provenance checks and the serve-layer
+// stats/metrics provenance block key off, so a tool drifting to its own
+// format (or exiting non-zero) should fail loudly here.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+namespace bns {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_command(const std::string& cmd) {
+  RunResult r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+struct Tool {
+  const char* name;   // expected first token of the version line
+  const char* binary; // compiled-in path
+};
+
+const Tool kTools[] = {
+    {"bns", BNS_CLI_BINARY},         {"bns_lint", BNS_LINT_BINARY},
+    {"bns_report", BNS_REPORT_BINARY}, {"bns_sweep", BNS_SWEEP_BINARY},
+    {"bns_compile", BNS_COMPILE_BINARY}, {"bns_serve", BNS_SERVE_BINARY},
+};
+
+TEST(VersionCliTest, EveryToolPrintsOneUniformVersionLine) {
+  for (const Tool& t : kTools) {
+    const RunResult r =
+        run_command(std::string(t.binary) + " --version");
+    EXPECT_EQ(r.exit_code, 0) << t.name << ": " << r.output;
+    // Exactly one line: "<tool> <describe> (<build type>)".
+    const std::string prefix = std::string(t.name) + " ";
+    EXPECT_EQ(r.output.compare(0, prefix.size(), prefix), 0)
+        << t.name << ": " << r.output;
+    EXPECT_NE(r.output.find(" ("), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find('\n'), r.output.size() - 1) << r.output;
+  }
+}
+
+TEST(VersionCliTest, VersionLinesAgreeOnProvenance) {
+  // All six binaries are built from one tree, so everything after the
+  // tool name must be identical across them.
+  std::string suffix;
+  for (const Tool& t : kTools) {
+    const RunResult r =
+        run_command(std::string(t.binary) + " --version");
+    ASSERT_EQ(r.exit_code, 0) << t.name;
+    const std::size_t space = r.output.find(' ');
+    ASSERT_NE(space, std::string::npos) << r.output;
+    const std::string rest = r.output.substr(space + 1);
+    if (suffix.empty()) {
+      suffix = rest;
+    } else {
+      EXPECT_EQ(rest, suffix) << t.name;
+    }
+  }
+  EXPECT_FALSE(suffix.empty());
+}
+
+} // namespace
+} // namespace bns

@@ -46,6 +46,7 @@ struct Options {
   bns power    <circuit> [--p V] [--rho V]
   bns convert  <in.bench|in.blif> <out.bench|out.blif>
   bns list
+  bns --version
 <circuit> = built-in name (see `bns list`) or path to .bench/.blif
 )");
   std::exit(2);
@@ -262,6 +263,10 @@ int cmd_convert(const Options& o) {
 int run(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  if (cmd == "--version") {
+    std::printf("%s\n", obs::tool_version_line("bns").c_str());
+    return 0;
+  }
   const Options o = parse(argc, argv);
   if (cmd == "list") return cmd_list();
   if (o.positional.empty()) usage();

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "obs/json.h"
+#include "obs/report.h"
 #include "session/session.h"
 #include "util/cli.h"
 #include "util/timer.h"
@@ -36,6 +37,7 @@ options:
                       bitwise-identical estimate; exit 1 on mismatch
   --json              print the summary as JSON
   --info FILE         print an existing artifact's header and exit
+  --version           print tool version and exit
 )";
 
 struct Options {
@@ -89,6 +91,7 @@ int cmd_info(const Options& o) {
 int run(int argc, char** argv) {
   Options o;
   cli::ArgParser ap("bns_compile", kUsage);
+  ap.version(obs::tool_version_line("bns_compile"));
   ap.value("-o", &o.out_path);
   ap.value("--out", &o.out_path);
   ap.value("--info", &o.info_path);

@@ -92,12 +92,14 @@ test hooks (documented for the test suite; not for production use):
   --inject frontier-gap   sweep order listing a clique before its
                           parent, so the dirty-frontier fold loses
                           a recompute obligation                   (SC009)
+  --version           print tool version and exit
 )";
 
 Options parse(int argc, char** argv) {
   Options o;
   bool schedule = false;
   cli::ArgParser ap("bns_lint", kUsage);
+  ap.version(obs::tool_version_line("bns_lint"));
   ap.custom("--level", [&o](std::string_view level) {
     if (level == "off") {
       o.level = VerifyLevel::Off;

@@ -52,6 +52,12 @@ compare mode:
   --baseline FILE           diff against a baseline report; exit 1 on regression
   --max-time-regress PCT    allowed propagate-time increase in % (default 25)
   --max-accuracy-regress E  allowed mean-abs-error increase (default 0.002)
+serve-metrics mode (no <circuit>):
+  --serve-metrics FILE      render a metrics document scraped from a daemon
+                            (`bns_serve --metrics > FILE`); --json echoes the
+                            document, default is a text rendering
+other:
+  --version                 print tool version and exit
 test hooks (documented for the test suite; not for production use):
   --inject-regress time|accuracy   fake a regression before comparing
 )";
@@ -60,6 +66,7 @@ struct Options {
   std::string circuit;
   std::string out_path;
   std::string baseline_path;
+  std::string serve_metrics_path;
   std::string git_describe; // override (CI stamps the gate's ref here)
   std::uint64_t sim_pairs = std::uint64_t{1} << 18;
   std::uint64_t seed = 1;
@@ -96,7 +103,9 @@ bool parse_u64(std::string_view s, std::uint64_t& out) {
 Options parse(int argc, char** argv) {
   Options o;
   cli::ArgParser ap("bns_report", kUsage);
+  ap.version(obs::tool_version_line("bns_report"));
   ap.flag("--json", &o.json);
+  ap.value("--serve-metrics", &o.serve_metrics_path);
   ap.value("--out", &o.out_path);
   ap.custom("--sim-pairs",
             [&o](std::string_view v) { return parse_u64(v, o.sim_pairs); });
@@ -126,8 +135,94 @@ Options parse(int argc, char** argv) {
     return true;
   });
   ap.parse(argc, argv);
+  if (!o.serve_metrics_path.empty()) {
+    if (!o.circuit.empty()) ap.fail(); // a scrape render needs no circuit
+    return o;
+  }
   if (o.circuit.empty() || o.repeat < 1 || o.sim_pairs == 0) ap.fail();
   return o;
+}
+
+// Renders a scraped serve-metrics document (the JSON `bns_serve
+// --metrics` prints) as tables: per-op RED rows, cache events, and the
+// non-zero flat counters. --json echoes the document unchanged.
+int render_serve_metrics(const Options& o) {
+  std::ifstream f(o.serve_metrics_path);
+  if (!f) {
+    std::fprintf(stderr, "bns_report: cannot read %s\n",
+                 o.serve_metrics_path.c_str());
+    return cli::kExitUsage;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::optional<obs::JsonValue> doc = obs::json_parse(ss.str());
+  if (!doc || !doc->is_object() || !doc->find("ops") ||
+      !doc->find("ops")->is_array()) {
+    std::fprintf(stderr, "bns_report: %s is not a serve-metrics document\n",
+                 o.serve_metrics_path.c_str());
+    return cli::kExitUsage;
+  }
+  if (o.json) {
+    std::cout << ss.str();
+    return cli::kExitOk;
+  }
+
+  auto u64 = [](const obs::JsonValue& v, std::string_view key) {
+    return static_cast<unsigned long long>(v.number_or(key, 0));
+  };
+  const obs::JsonValue* prov = doc->find("provenance");
+  std::printf("serve metrics (schema %d) — uptime %.1fs",
+              static_cast<int>(doc->number_or("schema_version", 0)),
+              doc->number_or("uptime_seconds", 0.0));
+  if (prov && prov->is_object()) {
+    std::printf(", %s (%s) on %s",
+                prov->string_or("git_describe", "?").c_str(),
+                prov->string_or("build_type", "?").c_str(),
+                prov->string_or("hostname", "?").c_str());
+  }
+  std::printf("\n\n");
+
+  Table ops({"op", "requests", "errors", "protocol", "artifact", "internal",
+             "latency samples"});
+  for (const obs::JsonValue& op : doc->find("ops")->as_array()) {
+    if (!op.is_object()) continue;
+    const obs::JsonValue* errs = op.find("errors");
+    const obs::JsonValue* lat = op.find("latency_ns");
+    unsigned long long protocol = 0, artifact = 0, internal = 0;
+    if (errs && errs->is_object()) {
+      protocol = u64(*errs, "protocol");
+      artifact = u64(*errs, "artifact");
+      internal = u64(*errs, "internal");
+    }
+    ops.add_row({op.string_or("op", "?"), std::to_string(u64(op, "requests")),
+                 std::to_string(protocol + artifact + internal),
+                 std::to_string(protocol), std::to_string(artifact),
+                 std::to_string(internal),
+                 std::to_string(lat && lat->is_object() ? u64(*lat, "count")
+                                                        : 0ull)});
+  }
+  ops.print(std::cout);
+
+  if (const obs::JsonValue* cache = doc->find("cache");
+      cache && cache->is_object()) {
+    std::cout << '\n';
+    Table ct({"cache event", "count"});
+    for (const char* e : {"hit", "miss", "revalidate", "evict"})
+      ct.add_row({e, std::to_string(u64(*cache, e))});
+    ct.print(std::cout);
+  }
+
+  if (const obs::JsonValue* counters = doc->find("counters");
+      counters && counters->is_array() && !counters->as_array().empty()) {
+    std::cout << '\n';
+    Table ct({"counter", "value"});
+    for (const obs::JsonValue& c : counters->as_array()) {
+      if (!c.is_object()) continue;
+      ct.add_row({c.string_or("name", "?"), std::to_string(u64(c, "value"))});
+    }
+    ct.print(std::cout);
+  }
+  return cli::kExitOk;
 }
 
 obs::RunReport build_report(const Options& o) {
@@ -267,6 +362,7 @@ int compare_reports(const obs::RunReport& base, const obs::RunReport& cur,
 
 int run(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (!o.serve_metrics_path.empty()) return render_serve_metrics(o);
   const obs::RunReport rep = build_report(o);
   const std::string json = rep.to_json();
 

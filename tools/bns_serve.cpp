@@ -6,16 +6,26 @@
 //
 // The daemon listens on a Unix-domain socket, answers JSON-lines
 // requests (serve/protocol.h: ping / estimate / sweep / conditional /
-// stats), and caches open sessions keyed by model path + mtime, so the
-// expensive compile-or-load happens once per model, not per request.
-// SIGTERM / SIGINT drain gracefully: in-flight requests finish and
-// flush, then the daemon exits 0.
+// stats / metrics), and caches open sessions keyed by model path +
+// mtime, so the expensive compile-or-load happens once per model, not
+// per request. SIGTERM / SIGINT drain gracefully: in-flight requests
+// finish and flush, then the daemon exits 0.
+//
+// Telemetry: per-op RED metrics and a flight recorder (the last N
+// request summaries per worker) are always on — recording is
+// allocation-free. SIGUSR1 dumps the recorder to --recorder-out (or
+// stderr) without stopping the daemon; an abnormal drain (any request
+// answered with an error) dumps it too, so a crashing client session
+// leaves evidence behind. --trace-out raises telemetry to span level
+// and streams JSON-lines spans, each carrying the request's trace id.
 //
 // Client mode, used by the tests and CI (no nc dependency):
 //   bns_serve --socket PATH --request '{"op":"ping"}' [--wait SECONDS]
 // sends one request line, prints the one response line, and exits 0
 // when the response carries "ok":true, 1 when it does not. --wait
-// retries the connect until the daemon is up.
+// retries the connect until the daemon is up. --metrics is a scrape
+// shorthand: it prints the metrics JSON document alone (with --text,
+// the Prometheus rendering instead).
 //
 // Exit status: daemon 0 on clean drain, 2 on startup failure; client 0
 // ok-response, 1 error-response, 2 connect/usage failure.
@@ -30,9 +40,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/sinks.h"
 #include "serve/server.h"
 #include "util/cli.h"
 
@@ -43,21 +59,39 @@ constexpr const char kUsage[] = R"(usage: bns_serve --socket PATH [options]
 options:
   --socket PATH       Unix-domain socket to listen on (required)
   --threads N         concurrent request workers (default: BNS_THREADS or 1)
+  --recorder-out FILE flight-recorder dump target (JSON lines), written on
+                      SIGUSR1 and on a drain that saw request errors
+                      (default: stderr)
+  --trace-out FILE    stream spans as JSON lines (raises telemetry from
+                      counters to spans; each span carries its trace id)
+  --cache-max N       max cached sessions, LRU-evicted beyond (0 = unbounded)
+  --version           print tool version and exit
 client mode:
   --request JSON      send one request line to --socket, print the
                       response; exit 0 when it carries "ok":true
+  --metrics           scrape {"op":"metrics"} and print the metrics JSON
+                      document (with --text: the Prometheus rendering)
+  --text              with --metrics, print Prometheus text exposition
   --wait SECONDS      retry the connect for up to SECONDS (default 0)
 )";
 
 // The server's wake pipe, published for the signal handlers. write(2)
-// is async-signal-safe; everything else about the drain happens on the
-// server's own threads.
+// is async-signal-safe; everything else about the drain (or the
+// recorder dump) happens on the server's own threads.
 std::atomic<int> g_notify_fd{-1};
 
 void on_signal(int) {
   const int fd = g_notify_fd.load(std::memory_order_relaxed);
   if (fd >= 0) {
     const char b = 's';
+    [[maybe_unused]] ssize_t n = ::write(fd, &b, 1);
+  }
+}
+
+void on_sigusr1(int) {
+  const int fd = g_notify_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char b = 'u';
     [[maybe_unused]] ssize_t n = ::write(fd, &b, 1);
   }
 }
@@ -89,10 +123,13 @@ int connect_with_wait(const std::string& path, double wait_seconds) {
   return -1;
 }
 
-int run_client(const std::string& socket_path, const std::string& request,
-               double wait_seconds) {
+// One request line in, one response line out (no trailing newline);
+// nullopt on connect/send failure or a connection closed mid-response.
+std::optional<std::string> roundtrip(const std::string& socket_path,
+                                     const std::string& request,
+                                     double wait_seconds) {
   const int fd = connect_with_wait(socket_path, wait_seconds);
-  if (fd < 0) return cli::kExitUsage;
+  if (fd < 0) return std::nullopt;
 
   const std::string line = request + "\n";
   std::size_t off = 0;
@@ -104,7 +141,7 @@ int run_client(const std::string& socket_path, const std::string& request,
       std::fprintf(stderr, "bns_serve: send failed: %s\n",
                    std::strerror(errno));
       ::close(fd);
-      return cli::kExitUsage;
+      return std::nullopt;
     }
     off += static_cast<std::size_t>(n);
   }
@@ -122,36 +159,141 @@ int run_client(const std::string& socket_path, const std::string& request,
   const std::size_t nl = response.find('\n');
   if (nl == std::string::npos) {
     std::fprintf(stderr, "bns_serve: connection closed before a response\n");
-    return cli::kExitUsage;
+    return std::nullopt;
   }
   response.resize(nl);
-  std::printf("%s\n", response.c_str());
-  return response.compare(0, 10, "{\"ok\":true") == 0 ? cli::kExitOk
-                                                      : cli::kExitFailure;
+  return response;
+}
+
+int run_client(const std::string& socket_path, const std::string& request,
+               double wait_seconds) {
+  const std::optional<std::string> response =
+      roundtrip(socket_path, request, wait_seconds);
+  if (!response) return cli::kExitUsage;
+  std::printf("%s\n", response->c_str());
+  return response->compare(0, 10, "{\"ok\":true") == 0 ? cli::kExitOk
+                                                       : cli::kExitFailure;
+}
+
+int run_metrics_client(const std::string& socket_path, double wait_seconds,
+                       bool text) {
+  const std::optional<std::string> response =
+      roundtrip(socket_path, "{\"op\":\"metrics\"}", wait_seconds);
+  if (!response) return cli::kExitUsage;
+  const std::optional<obs::JsonValue> doc = obs::json_parse(*response);
+  const obs::JsonValue* okv = doc ? doc->find("ok") : nullptr;
+  if (!doc || !doc->is_object() || !okv || !okv->is_bool() ||
+      !okv->as_bool()) {
+    std::fprintf(stderr, "bns_serve: metrics scrape failed: %s\n",
+                 response->c_str());
+    return cli::kExitFailure;
+  }
+  if (text) {
+    const obs::JsonValue* prom = doc->find("prometheus");
+    if (!prom || !prom->is_string()) {
+      std::fprintf(stderr, "bns_serve: response has no prometheus text\n");
+      return cli::kExitFailure;
+    }
+    std::fputs(prom->as_string().c_str(), stdout);
+    return cli::kExitOk;
+  }
+  // The metrics document is embedded verbatim with a fixed key order
+  // (serve/protocol.cpp), so slicing between its key and the following
+  // "prometheus" key recovers exactly the JSON the daemon rendered.
+  const std::size_t begin = response->find("\"metrics\":");
+  const std::size_t end = response->rfind(",\"prometheus\":");
+  if (begin == std::string::npos || end == std::string::npos || end <= begin) {
+    std::fprintf(stderr, "bns_serve: malformed metrics response\n");
+    return cli::kExitFailure;
+  }
+  const std::size_t start = begin + std::strlen("\"metrics\":");
+  std::printf("%s\n", response->substr(start, end - start).c_str());
+  return cli::kExitOk;
+}
+
+// Truncating dump: the recorder keeps the *last* N requests, so each
+// dump replaces the previous window rather than growing a log.
+void dump_recorder(const obs::FlightRecorder& recorder,
+                   const std::string& path) {
+  if (path.empty()) {
+    std::ostringstream os;
+    recorder.dump_jsonl(os);
+    std::fputs(os.str().c_str(), stderr);
+    return;
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "bns_serve: cannot write recorder dump to %s\n",
+                 path.c_str());
+    return;
+  }
+  recorder.dump_jsonl(os);
 }
 
 int run(int argc, char** argv) {
   std::string socket_path;
   std::string request;
+  std::string recorder_out;
+  std::string trace_out;
   int threads = 0;
+  int cache_max = 0;
   double wait_seconds = 0.0;
+  bool metrics_mode = false;
+  bool metrics_text = false;
 
   cli::ArgParser ap("bns_serve", kUsage);
+  ap.version(obs::tool_version_line("bns_serve"));
   ap.value("--socket", &socket_path);
   ap.value("--threads", &threads);
   ap.value("--request", &request);
+  ap.value("--recorder-out", &recorder_out);
+  ap.value("--trace-out", &trace_out);
+  ap.value("--cache-max", &cache_max);
   ap.value("--wait", &wait_seconds);
+  ap.flag("--metrics", &metrics_mode);
+  ap.flag("--text", &metrics_text);
   ap.parse(argc, argv);
-  if (socket_path.empty() || threads < 0 || wait_seconds < 0.0) ap.fail();
+  if (socket_path.empty() || threads < 0 || cache_max < 0 ||
+      wait_seconds < 0.0)
+    ap.fail();
+  if (metrics_text && !metrics_mode) ap.fail();
+  if (metrics_mode && !request.empty()) ap.fail();
 
+  if (metrics_mode)
+    return run_metrics_client(socket_path, wait_seconds, metrics_text);
   if (!request.empty()) return run_client(socket_path, request, wait_seconds);
 
-  obs::Tracer tracer(obs::TraceLevel::Counters);
+  obs::Tracer tracer(trace_out.empty() ? obs::TraceLevel::Counters
+                                       : obs::TraceLevel::Spans);
+  std::ofstream trace_stream;
+  std::optional<obs::JsonLinesSink> trace_sink;
+  if (!trace_out.empty()) {
+    trace_stream.open(trace_out, std::ios::trunc);
+    if (!trace_stream) {
+      std::fprintf(stderr, "bns_serve: cannot open --trace-out %s\n",
+                   trace_out.c_str());
+      return cli::kExitUsage;
+    }
+    trace_sink.emplace(trace_stream);
+    tracer.add_sink(&*trace_sink);
+  }
+
+  obs::ServeMetrics red;
+  obs::FlightRecorder recorder;
+
   serve::ServerOptions sopts;
   sopts.socket_path = socket_path;
   sopts.threads = threads;
   sopts.trace = &tracer;
   sopts.session.estimator.trace = &tracer;
+  sopts.telemetry.red = &red;
+  sopts.telemetry.recorder = &recorder;
+  sopts.cache_max_entries = cache_max;
+  sopts.on_dump = [&recorder, &recorder_out] {
+    dump_recorder(recorder, recorder_out);
+    std::fprintf(stderr, "bns_serve: recorder dumped (%llu requests seen)\n",
+                 static_cast<unsigned long long>(recorder.total_recorded()));
+  };
 
   serve::Server server(sopts);
   server.start();
@@ -161,6 +303,9 @@ int run(int argc, char** argv) {
   sa.sa_handler = on_signal;
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction su{};
+  su.sa_handler = on_sigusr1;
+  ::sigaction(SIGUSR1, &su, nullptr);
 
   std::printf("bns_serve: listening on %s (%d worker%s)\n",
               server.socket_path().c_str(), server.num_workers(),
@@ -171,6 +316,7 @@ int run(int argc, char** argv) {
   g_notify_fd.store(-1, std::memory_order_relaxed);
 
   const obs::MetricsRegistry& m = tracer.metrics();
+  const std::uint64_t errors = m.value(obs::Counter::ServeErrors);
   std::fprintf(stderr,
                "bns_serve: drained (%llu connections, %llu requests, "
                "%llu errors, %llu artifact loads)\n",
@@ -178,10 +324,13 @@ int run(int argc, char** argv) {
                    m.value(obs::Counter::ServeConnections)),
                static_cast<unsigned long long>(
                    m.value(obs::Counter::ServeRequests)),
-               static_cast<unsigned long long>(
-                   m.value(obs::Counter::ServeErrors)),
+               static_cast<unsigned long long>(errors),
                static_cast<unsigned long long>(
                    m.value(obs::Counter::ArtifactLoads)));
+  // Abnormal drain: any request error leaves the last-N window behind
+  // for diagnosis, same path as SIGUSR1.
+  if (errors > 0) dump_recorder(recorder, recorder_out);
+  if (trace_sink) tracer.flush();
   return cli::kExitOk;
 }
 

@@ -49,6 +49,7 @@ options:
                       results; exit 1 on any mismatch
   --json              print the JSON document instead of the text summary
   --out FILE          also write the JSON document to FILE
+  --version           print tool version and exit
 )";
 
 struct Options {
@@ -68,6 +69,7 @@ struct Options {
 Options parse(int argc, char** argv) {
   Options o;
   cli::ArgParser ap("bns_sweep", kUsage);
+  ap.version(obs::tool_version_line("bns_sweep"));
   ap.value("--scenarios", &o.scenarios);
   ap.value("--vary-input", &o.vary_input);
   ap.value("--p-from", &o.p_from);
