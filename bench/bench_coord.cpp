@@ -1,0 +1,276 @@
+// Distributed-sweep study: what a pool of bns_serve daemons buys (and
+// costs) over the single-process batch engine for one linear sweep.
+//
+// For each circuit: compile once and save a .bnsc artifact, run the
+// reference sweep in-process (Session::sweep over the artifact), then
+// for each requested pool size spin up that many in-process Servers on
+// their own sockets and time the coordinator fanning the identical
+// scenario range across them. Every leg asserts the merged records are
+// string-for-string identical (scenario, %.17g p and average_activity)
+// to the in-process reference — the distribution contract, not a
+// tolerance check. Reports per-leg wall seconds, speedup over the
+// in-process sweep, and the work-stealing/retry accounting.
+//
+// The daemons here share one machine, so this measures coordination
+// overhead and scaling shape, not true cluster speedup: each daemon
+// still pays an artifact load, and chunk boundaries forfeit some
+// incremental-reload locality (bench_sweep measures what that reload
+// is worth).
+//
+// Usage:
+//   bench_coord [circuit...] [--scenarios N] [--daemons LIST]
+//               [--chunk N] [--repeat N] [--json PATH]
+//
+// --daemons takes a comma-separated list of pool sizes (default 1,2,3)
+// and emits one record per size. --repeat keeps the minimum wall time
+// per leg.
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coord/coord.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "serve/server.h"
+#include "session/session.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+using namespace bns;
+
+namespace {
+
+[[noreturn]] void usage_exit() {
+  std::fprintf(stderr, "%s", R"(usage:
+  bench_coord [circuit...] [options]
+options:
+  --scenarios N   scenarios per sweep (default 48)
+  --daemons LIST  comma-separated daemon pool sizes (default 1,2,3)
+  --chunk N       scenarios per chunk (default: coordinator auto)
+  --repeat N      timed runs per leg; report the minimum (default 1)
+  --json PATH     write machine-readable results (schema_version 1)
+)");
+  std::exit(2);
+}
+
+struct JsonRecord {
+  std::string circuit;
+  int scenarios = 0;
+  int daemons = 0;
+  int chunks = 0;
+  int chunk_scenarios = 0;
+  int repeat = 1;
+  double inprocess_seconds = 0.0; // Session::sweep over the artifact (min)
+  double coord_seconds = 0.0;     // coordinate_sweep wall (min)
+  double speedup = 0.0;           // inprocess / coord
+  int stolen = 0;                 // chunks completed off a peer's block
+  int retries = 0;
+};
+
+void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    std::exit(2);
+  }
+  const obs::ReportProvenance prov = obs::default_provenance();
+  const auto escaped = [](const std::string& s) {
+    std::string out;
+    obs::json_append_string(out, s);
+    return out;
+  };
+  std::fprintf(f, "{\n  \"schema_version\": 1,\n  \"provenance\": {\n");
+  std::fprintf(f, "    \"git_describe\": %s,\n",
+               escaped(prov.git_describe).c_str());
+  std::fprintf(f, "    \"build_type\": %s,\n",
+               escaped(prov.build_type).c_str());
+  std::fprintf(f, "    \"timestamp\": %s,\n",
+               escaped(prov.timestamp_iso8601).c_str());
+  std::fprintf(f, "    \"hostname\": %s\n  },\n",
+               escaped(prov.hostname).c_str());
+  std::fprintf(f, "  \"records\": [\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const JsonRecord& r = recs[i];
+    std::fprintf(f,
+                 "    {\"circuit\": %s, \"scenarios\": %d, \"daemons\": %d, "
+                 "\"chunks\": %d, \"chunk_scenarios\": %d, \"repeat\": %d, "
+                 "\"inprocess_seconds\": %s, \"coord_seconds\": %s, "
+                 "\"speedup\": %s, \"stolen\": %d, \"retries\": %d}%s\n",
+                 escaped(r.circuit).c_str(), r.scenarios, r.daemons, r.chunks,
+                 r.chunk_scenarios, r.repeat,
+                 obs::json_number(r.inprocess_seconds).c_str(),
+                 obs::json_number(r.coord_seconds).c_str(),
+                 obs::json_number(r.speedup).c_str(), r.stolen, r.retries,
+                 i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+std::string scratch_path(const std::string& stem) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = tmp && *tmp ? tmp : "/tmp";
+  return dir + "/" + stem + "_" + std::to_string(::getpid());
+}
+
+// One running in-process daemon: Server on its own thread.
+struct Daemon {
+  explicit Daemon(std::string socket) {
+    serve::ServerOptions opts;
+    opts.socket_path = std::move(socket);
+    server = std::make_unique<serve::Server>(opts);
+    server->start();
+    runner = std::thread([this] { server->run(); });
+  }
+  ~Daemon() {
+    server->request_stop();
+    runner.join();
+  }
+  std::unique_ptr<serve::Server> server;
+  std::thread runner;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> circuits;
+  std::vector<int> pools;
+  int scenarios = 48;
+  int chunk = 0;
+  int repeat = 1;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_exit();
+      return argv[++i];
+    };
+    if (a == "--scenarios") {
+      scenarios = std::atoi(next());
+    } else if (a == "--daemons") {
+      for (std::string_view part : split(next(), ',')) {
+        const int n = std::atoi(std::string(part).c_str());
+        if (n < 1) usage_exit();
+        pools.push_back(n);
+      }
+    } else if (a == "--chunk") {
+      chunk = std::atoi(next());
+    } else if (a == "--repeat") {
+      repeat = std::atoi(next());
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (!a.empty() && a[0] == '-') {
+      usage_exit();
+    } else {
+      circuits.push_back(a);
+    }
+  }
+  if (circuits.empty()) circuits = {"c432", "c1908"};
+  if (pools.empty()) pools = {1, 2, 3};
+  if (scenarios < 1 || repeat < 1 || chunk < 0) usage_exit();
+
+  std::vector<JsonRecord> records;
+  for (const std::string& circuit : circuits) {
+    // Compile once; every daemon (and the reference) loads the artifact
+    // — the deployment shape, and it keeps compile time out of the
+    // timed legs.
+    const std::string artifact =
+        scratch_path("bench_coord_" + circuit) + ".bnsc";
+    {
+      Session compile = Session::open(circuit);
+      compile.save(artifact);
+    }
+
+    LinearSweepSpec spec;
+    spec.scenarios = scenarios;
+
+    Session ref = Session::open_artifact(artifact);
+    const std::vector<InputModel> models =
+        make_linear_scenarios(spec, ref.netlist().num_inputs());
+    double inprocess = 0.0;
+    SweepResult want;
+    for (int r = 0; r < repeat; ++r) {
+      Timer t;
+      want = ref.sweep(models);
+      const double s = t.seconds();
+      if (r == 0 || s < inprocess) inprocess = s;
+    }
+
+    std::printf("%s: %d scenarios, in-process %.3f s\n", circuit.c_str(),
+                scenarios, inprocess);
+    for (int pool : pools) {
+      std::vector<std::unique_ptr<Daemon>> daemons;
+      coord::CoordOptions copts;
+      copts.model = artifact;
+      copts.spec = spec;
+      copts.chunk_scenarios = chunk;
+      for (int d = 0; d < pool; ++d) {
+        copts.sockets.push_back(scratch_path(
+            "bench_coord_" + circuit + "_" + std::to_string(pool) + "_" +
+            std::to_string(d) + ".sock"));
+        daemons.push_back(std::make_unique<Daemon>(copts.sockets.back()));
+      }
+
+      coord::CoordSweepResult got;
+      double wall = 0.0;
+      for (int r = 0; r < repeat; ++r) {
+        got = coord::coordinate_sweep(copts);
+        if (r == 0 || got.wall_seconds < wall) wall = got.wall_seconds;
+      }
+      if (!got.ok() ||
+          got.records.size() != static_cast<std::size_t>(scenarios)) {
+        std::fprintf(stderr, "%s: coordinator failed (%zu failed chunks)\n",
+                     circuit.c_str(), got.failed.size());
+        return 1;
+      }
+      for (int s = 0; s < scenarios; ++s) {
+        const bool same =
+            got.records[static_cast<std::size_t>(s)].scenario == s &&
+            obs::json_number(got.records[static_cast<std::size_t>(s)]
+                                 .average_activity) ==
+                obs::json_number(
+                    want.estimates[static_cast<std::size_t>(s)]
+                        .average_activity());
+        if (!same) {
+          std::fprintf(stderr,
+                       "%s: MERGE MISMATCH at scenario %d (%d daemons)\n",
+                       circuit.c_str(), s, pool);
+          return 1;
+        }
+      }
+
+      JsonRecord rec;
+      rec.circuit = circuit;
+      rec.scenarios = scenarios;
+      rec.daemons = pool;
+      rec.chunks = static_cast<int>(got.chunks.size());
+      rec.chunk_scenarios = got.chunk_scenarios;
+      rec.repeat = repeat;
+      rec.inprocess_seconds = inprocess;
+      rec.coord_seconds = wall;
+      rec.speedup = wall > 0.0 ? inprocess / wall : 0.0;
+      for (const coord::EndpointAccount& a : got.endpoints) {
+        rec.stolen += a.chunks_stolen;
+      }
+      rec.retries = got.retries;
+      records.push_back(rec);
+
+      std::printf(
+          "  %d daemon(s): %.3f s (speedup %.2fx), %d chunks of %d, "
+          "%d stolen, %d retries\n",
+          pool, wall, rec.speedup, rec.chunks, rec.chunk_scenarios,
+          rec.stolen, rec.retries);
+    }
+    std::remove(artifact.c_str());
+  }
+
+  if (!json_path.empty()) write_json(json_path, records);
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "coord/chunk_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bns::coord {
+
+ChunkQueue::ChunkQueue(int num_chunks, int num_endpoints, int max_attempts)
+    : num_chunks_(num_chunks),
+      max_attempts_(std::max(1, max_attempts)),
+      own_(static_cast<std::size_t>(std::max(1, num_endpoints))),
+      state_(static_cast<std::size_t>(num_chunks), State::Queued),
+      attempts_(static_cast<std::size_t>(num_chunks), 0),
+      last_error_(static_cast<std::size_t>(num_chunks)),
+      live_(std::max(1, num_endpoints)) {
+  // Deal contiguous blocks, earlier endpoints one larger when the
+  // division is uneven — block boundaries are where incremental-reload
+  // locality breaks, so blocks stay as even as possible.
+  const int e = static_cast<int>(own_.size());
+  const int base = num_chunks / e;
+  const int extra = num_chunks % e;
+  int next = 0;
+  for (int i = 0; i < e; ++i) {
+    const int take = base + (i < extra ? 1 : 0);
+    for (int k = 0; k < take; ++k) {
+      own_[static_cast<std::size_t>(i)].push_back(Queued{next++, false});
+    }
+  }
+  assert(next == num_chunks_);
+}
+
+bool ChunkQueue::grant_from(std::deque<Queued>& dq, int /*endpoint*/,
+                            ChunkGrant* out) {
+  if (dq.empty()) return false;
+  const Queued q = dq.front();
+  dq.pop_front();
+  state_[static_cast<std::size_t>(q.chunk)] = State::InFlight;
+  ++in_flight_;
+  const int att = ++attempts_[static_cast<std::size_t>(q.chunk)];
+  *out = ChunkGrant{false, q.chunk, att, q.stolen};
+  return true;
+}
+
+ChunkGrant ChunkQueue::next(int endpoint) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& mine = own_[static_cast<std::size_t>(endpoint)];
+  for (;;) {
+    ChunkGrant g;
+    if (grant_from(mine, endpoint, &g)) return g;
+    if (grant_from(retry_, endpoint, &g)) return g;
+
+    // Steal the tail half of the largest peer deque into our own, then
+    // serve from it. Tail, not head: the victim keeps the scenarios
+    // adjacent to the ones it has already propagated.
+    std::size_t victim = own_.size();
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < own_.size(); ++i) {
+      if (i == static_cast<std::size_t>(endpoint)) continue;
+      if (own_[i].size() > best) {
+        best = own_[i].size();
+        victim = i;
+      }
+    }
+    if (victim < own_.size()) {
+      auto& theirs = own_[victim];
+      const std::size_t take = (theirs.size() + 1) / 2;
+      for (std::size_t k = 0; k < take; ++k) {
+        Queued q = theirs.back();
+        theirs.pop_back();
+        q.stolen = true;
+        mine.push_front(q); // keep ascending chunk order in our deque
+      }
+      continue;
+    }
+
+    if (settled_ + in_flight_ == num_chunks_ || settled_ == num_chunks_) {
+      if (settled_ == num_chunks_) return ChunkGrant{true, -1, 0, false};
+      // Chunks are in flight on other workers; one may fail and
+      // requeue. Wait for movement.
+      cv_.wait(lock);
+      continue;
+    }
+    // Unsettled, not in flight, but no deque holds it — impossible by
+    // construction; wait defensively rather than spin.
+    cv_.wait(lock);
+  }
+}
+
+void ChunkQueue::complete(int chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_[static_cast<std::size_t>(chunk)] = State::Done;
+  --in_flight_;
+  ++settled_;
+  cv_.notify_all();
+}
+
+bool ChunkQueue::fail(int chunk, const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_error_[static_cast<std::size_t>(chunk)] = error;
+  --in_flight_;
+  if (attempts_[static_cast<std::size_t>(chunk)] < max_attempts_ &&
+      live_ > 0) {
+    state_[static_cast<std::size_t>(chunk)] = State::Queued;
+    retry_.push_back(Queued{chunk, false});
+    cv_.notify_all();
+    return true;
+  }
+  state_[static_cast<std::size_t>(chunk)] = State::Failed;
+  ++settled_;
+  cv_.notify_all();
+  return false;
+}
+
+void ChunkQueue::settle_all_queued_locked() {
+  auto settle = [this](std::deque<Queued>& dq) {
+    for (const Queued& q : dq) {
+      state_[static_cast<std::size_t>(q.chunk)] = State::Failed;
+      if (last_error_[static_cast<std::size_t>(q.chunk)].empty()) {
+        last_error_[static_cast<std::size_t>(q.chunk)] =
+            "no live endpoints remain";
+      }
+      ++settled_;
+    }
+    dq.clear();
+  };
+  for (auto& dq : own_) settle(dq);
+  settle(retry_);
+}
+
+void ChunkQueue::retire(int endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --live_;
+  auto& mine = own_[static_cast<std::size_t>(endpoint)];
+  if (live_ > 0) {
+    // Hand the unserved block to the survivors. Attempt counts are
+    // untouched: the chunks never ran here.
+    while (!mine.empty()) {
+      retry_.push_back(mine.front());
+      mine.pop_front();
+    }
+  } else {
+    settle_all_queued_locked();
+  }
+  cv_.notify_all();
+}
+
+std::vector<ChunkQueue::FailedChunk> ChunkQueue::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailedChunk> out;
+  for (int c = 0; c < num_chunks_; ++c) {
+    if (state_[static_cast<std::size_t>(c)] == State::Failed) {
+      out.push_back(FailedChunk{c, attempts_[static_cast<std::size_t>(c)],
+                                last_error_[static_cast<std::size_t>(c)]});
+    }
+  }
+  return out;
+}
+
+int ChunkQueue::attempts(int chunk) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_[static_cast<std::size_t>(chunk)];
+}
+
+int ChunkQueue::total_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (int a : attempts_) n += std::max(0, a - 1);
+  return n;
+}
+
+int ChunkQueue::live_endpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+} // namespace bns::coord

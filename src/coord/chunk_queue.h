@@ -1,0 +1,111 @@
+// Chunk scheduling for the multi-daemon sweep coordinator: which
+// endpoint runs which contiguous block of scenarios, with work stealing
+// and a per-chunk retry budget. Deliberately free of any socket or
+// Session dependency so its scheduling policy is unit-testable with
+// plain integers.
+//
+// Policy, in grant order for an endpoint asking for work:
+//   1. the front of its own deque (chunks were dealt out as contiguous
+//      blocks, so draining front-to-back preserves the scenario
+//      locality the daemons' incremental batch engine exploits);
+//   2. the shared retry deque (chunks whose previous attempt failed);
+//   3. steal: move the tail half (ceil(n/2)) of the largest peer deque
+//      into its own deque, then serve from that — a finished endpoint
+//      takes the *later* scenarios of the slowest peer, so the peer
+//      keeps the prefix adjacent to what it has already propagated.
+// When nothing is grantable but chunks are still in flight elsewhere,
+// next() blocks: an in-flight failure may yet requeue work.
+//
+// Every grant counts one attempt. fail() requeues the chunk until its
+// attempt count reaches max_attempts, then settles it as failed with
+// the last error — that is the "chunk fails everywhere" structured
+// error the coordinator surfaces. retire() removes a dead endpoint's
+// worker from the live count (its unserved deque is spliced onto the
+// retry deque for the survivors); when the last live worker retires,
+// every still-queued chunk settles as failed so nothing waits forever.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bns::coord {
+
+// One unit of work handed to an endpoint worker. done == true means no
+// work is left and none can reappear: the worker should return.
+struct ChunkGrant {
+  bool done = false;
+  int chunk = -1;
+  int attempt = 0;    // 1 = first execution, >1 = retry
+  bool stolen = false; // granted out of a block dealt to another endpoint
+};
+
+class ChunkQueue {
+ public:
+  // Deals `num_chunks` chunks as contiguous blocks across
+  // `num_endpoints` deques (earlier endpoints get the earlier, at most
+  // one-larger blocks). Each chunk may be attempted at most
+  // `max_attempts` times (>= 1).
+  ChunkQueue(int num_chunks, int num_endpoints, int max_attempts);
+
+  // Blocks until there is a chunk for `endpoint` (own deque, retry
+  // deque, or stolen), or all chunks are settled. Never returns the
+  // same chunk to two workers at once.
+  ChunkGrant next(int endpoint);
+
+  // The granted chunk succeeded.
+  void complete(int chunk);
+
+  // The granted chunk failed at its current holder. Requeues it for
+  // another attempt and returns true, unless the attempt budget is
+  // spent — then the chunk settles as failed and this returns false.
+  bool fail(int chunk, const std::string& error);
+
+  // `endpoint`'s worker is exiting without draining its deque (its
+  // daemon is unreachable). Remaining chunks move to the retry deque
+  // (at no cost to their attempt budgets) for the surviving workers; if
+  // no live workers remain, all queued chunks settle as failed.
+  void retire(int endpoint);
+
+  struct FailedChunk {
+    int chunk = -1;
+    int attempts = 0;
+    std::string last_error;
+  };
+
+  // --- results; meaningful once all workers have returned -------------
+  std::vector<FailedChunk> failed() const;
+  int attempts(int chunk) const;
+  // Total re-dispatches: sum over chunks of (attempts - 1).
+  int total_retries() const;
+  int live_endpoints() const;
+
+ private:
+  struct Queued {
+    int chunk = -1;
+    bool stolen = false;
+  };
+  enum class State : std::uint8_t { Queued, InFlight, Done, Failed };
+
+  // All below guarded by mu_.
+  bool grant_from(std::deque<Queued>& dq, int endpoint, ChunkGrant* out);
+  void settle_all_queued_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const int num_chunks_;
+  const int max_attempts_;
+  std::vector<std::deque<Queued>> own_;  // per-endpoint dealt blocks
+  std::deque<Queued> retry_;             // failed / orphaned chunks
+  std::vector<State> state_;
+  std::vector<int> attempts_;
+  std::vector<std::string> last_error_;
+  int settled_ = 0;
+  int in_flight_ = 0;
+  int live_ = 0;
+};
+
+} // namespace bns::coord

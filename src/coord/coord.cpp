@@ -1,0 +1,464 @@
+#include "coord/coord.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "coord/chunk_queue.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace bns::coord {
+namespace {
+
+// Patience for the reconnect probe after a mid-sweep transport failure.
+// A killed daemon refuses instantly; anything longer just delays the
+// failover of its remaining chunks to the surviving endpoints.
+constexpr double kReconnectWaitSeconds = 0.5;
+
+// --- Unix-domain-socket endpoint -------------------------------------------
+
+class UnixEndpoint final : public Endpoint {
+ public:
+  explicit UnixEndpoint(std::string path) : path_(std::move(path)) {}
+  ~UnixEndpoint() override { close(); }
+
+  bool connect(double wait_seconds) override {
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) return false;
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(wait_seconds);
+    for (;;) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) return false;
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        fd_ = fd;
+        return true;
+      }
+      ::close(fd);
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  bool roundtrip(const std::string& request, std::string* response) override {
+    if (fd_ < 0) return false;
+    const std::string line = request + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd_, line.data() + off, line.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    // The connection is persistent: read exactly up to the newline and
+    // keep any over-read (there is none in practice — the server
+    // answers one line per request) for the next call.
+    while (buf_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t nl = buf_.find('\n');
+    *response = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return true;
+  }
+
+  void close() override {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buf_.clear();
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct Chunk {
+  int id = 0;
+  int base = 0;  // first scenario index
+  int count = 0; // scenarios in this chunk
+};
+
+std::string chunk_request(const CoordOptions& opts, const Chunk& c,
+                          const char* trace_id) {
+  std::string out = "{\"op\":\"sweep_chunk\",\"model\":";
+  obs::json_append_string(out, opts.model);
+  out += ",\"chunk_id\":" + std::to_string(c.id);
+  out += ",\"scenario_base\":" + std::to_string(c.base);
+  out += ",\"vary_input\":" + std::to_string(opts.spec.vary_input);
+  out += ",\"rho\":" + obs::json_number(opts.spec.rho);
+  out += ",\"trace_id\":\"";
+  out += trace_id;
+  out += "\",\"specs\":[";
+  for (int i = 0; i < c.count; ++i) {
+    if (i > 0) out += ",";
+    // The exact double the in-process sweep uses for this scenario;
+    // %.17g survives the wire round-trip bit-for-bit.
+    out += "{\"p\":" + obs::json_number(linear_scenario_p(
+                           opts.spec, c.base + i)) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// Validates a sweep_chunk response against its chunk and extracts the
+// records. False (with *err set) on any shape mismatch — a malformed
+// answer is retried like a transport failure.
+bool parse_chunk_response(const std::string& response, const Chunk& c,
+                          std::vector<CoordRecord>* records,
+                          std::string* err) {
+  const std::optional<obs::JsonValue> doc = obs::json_parse(response);
+  if (!doc || !doc->is_object()) {
+    *err = "unparseable response";
+    return false;
+  }
+  const obs::JsonValue* ok = doc->find("ok");
+  if (!ok || !ok->is_bool() || !ok->as_bool()) {
+    *err = "daemon error: " + doc->string_or("error", "(no error field)");
+    return false;
+  }
+  if (static_cast<int>(doc->number_or("chunk_id", -1)) != c.id) {
+    *err = "response chunk_id mismatch";
+    return false;
+  }
+  const obs::JsonValue* recs = doc->find("records");
+  if (!recs || !recs->is_array() ||
+      static_cast<int>(recs->as_array().size()) != c.count) {
+    *err = "response record count mismatch";
+    return false;
+  }
+  records->clear();
+  records->reserve(static_cast<std::size_t>(c.count));
+  for (int i = 0; i < c.count; ++i) {
+    const obs::JsonValue& r = recs->as_array()[static_cast<std::size_t>(i)];
+    if (!r.is_object() ||
+        static_cast<int>(r.number_or("scenario", -1)) != c.base + i ||
+        !r.find("p") || !r.find("average_activity")) {
+      *err = "malformed record " + std::to_string(i);
+      return false;
+    }
+    CoordRecord rec;
+    rec.scenario = c.base + i;
+    rec.p = r.number_or("p", 0.0);
+    rec.average_activity = r.number_or("average_activity", 0.0);
+    rec.propagate_seconds = r.number_or("propagate_seconds", 0.0);
+    records->push_back(rec);
+  }
+  return true;
+}
+
+bool ping(Endpoint& ep) {
+  std::string resp;
+  if (!ep.roundtrip("{\"op\":\"ping\"}", &resp)) return false;
+  const std::optional<obs::JsonValue> doc = obs::json_parse(resp);
+  if (!doc) return false;
+  const obs::JsonValue* ok = doc->find("ok");
+  return ok && ok->is_bool() && ok->as_bool();
+}
+
+} // namespace
+
+std::unique_ptr<Endpoint> make_unix_endpoint(std::string socket_path) {
+  return std::make_unique<UnixEndpoint>(std::move(socket_path));
+}
+
+CoordSweepResult coordinate_sweep(const CoordOptions& opts) {
+  if (opts.sockets.empty()) {
+    throw std::invalid_argument("coordinate_sweep: no endpoints");
+  }
+  if (opts.model.empty()) {
+    throw std::invalid_argument("coordinate_sweep: no model");
+  }
+  if (opts.spec.scenarios < 1) {
+    throw std::invalid_argument("coordinate_sweep: scenarios < 1");
+  }
+  const int num_endpoints = static_cast<int>(opts.sockets.size());
+  const int scenarios = opts.spec.scenarios;
+
+  // Chunk size: explicit, or aim for ~4 chunks per endpoint so a fast
+  // endpoint has tails to steal without shrinking chunks so far that
+  // the daemons lose incremental-reload locality.
+  int chunk_scenarios = opts.chunk_scenarios;
+  if (chunk_scenarios <= 0) {
+    chunk_scenarios = std::max(1, scenarios / (4 * num_endpoints));
+  }
+  std::vector<Chunk> chunks;
+  for (int base = 0, id = 0; base < scenarios; base += chunk_scenarios, ++id) {
+    chunks.push_back(
+        Chunk{id, base, std::min(chunk_scenarios, scenarios - base)});
+  }
+  const int num_chunks = static_cast<int>(chunks.size());
+  const int max_attempts = opts.max_attempts > 0
+                               ? opts.max_attempts
+                               : std::max(3, 2 * num_endpoints);
+
+  CoordSweepResult result;
+  result.chunk_scenarios = chunk_scenarios;
+  result.endpoints.resize(static_cast<std::size_t>(num_endpoints));
+  for (int e = 0; e < num_endpoints; ++e) {
+    result.endpoints[static_cast<std::size_t>(e)].socket =
+        opts.sockets[static_cast<std::size_t>(e)];
+  }
+  result.chunks.resize(static_cast<std::size_t>(num_chunks));
+
+  // Per-chunk trace ids, fixed across retries so every attempt's
+  // daemon-side spans correlate to one chunk. An ambient trace context
+  // (the coordinator called under a traced request) wins: the caller's
+  // id flows through every chunk.
+  const obs::TraceContext ambient = obs::current_trace_context();
+  std::vector<std::uint64_t> trace_ids(static_cast<std::size_t>(num_chunks));
+  for (int c = 0; c < num_chunks; ++c) {
+    trace_ids[static_cast<std::size_t>(c)] =
+        ambient.active() ? ambient.trace_id : obs::generate_trace_id();
+    ChunkAccount& ca = result.chunks[static_cast<std::size_t>(c)];
+    ca.chunk_id = c;
+    ca.scenario_base = chunks[static_cast<std::size_t>(c)].base;
+    ca.scenarios = chunks[static_cast<std::size_t>(c)].count;
+  }
+
+  // Endpoint transports: injected by tests, Unix sockets otherwise.
+  std::vector<std::unique_ptr<Endpoint>> owned;
+  std::vector<Endpoint*> endpoints(static_cast<std::size_t>(num_endpoints));
+  if (opts.endpoints_override) {
+    if (static_cast<int>(opts.endpoints_override->size()) != num_endpoints) {
+      throw std::invalid_argument(
+          "coordinate_sweep: endpoints_override size mismatch");
+    }
+    for (int e = 0; e < num_endpoints; ++e) {
+      endpoints[static_cast<std::size_t>(e)] =
+          (*opts.endpoints_override)[static_cast<std::size_t>(e)].get();
+    }
+  } else {
+    for (int e = 0; e < num_endpoints; ++e) {
+      owned.push_back(
+          make_unix_endpoint(opts.sockets[static_cast<std::size_t>(e)]));
+      endpoints[static_cast<std::size_t>(e)] = owned.back().get();
+    }
+  }
+
+  // Fan-in target. Chunks are disjoint scenario ranges and the queue
+  // grants each chunk to one worker at a time, so workers write
+  // disjoint slices with no lock; the joins below publish them.
+  std::vector<CoordRecord> merged(static_cast<std::size_t>(scenarios));
+  std::vector<char> present(static_cast<std::size_t>(scenarios), 0);
+
+  ChunkQueue queue(num_chunks, num_endpoints, max_attempts);
+  Timer total;
+
+  auto run_worker = [&](int e) {
+    Timer t;
+    EndpointAccount& acc = result.endpoints[static_cast<std::size_t>(e)];
+    Endpoint& ep = *endpoints[static_cast<std::size_t>(e)];
+    if (!ep.connect(opts.connect_wait_seconds)) {
+      acc.retired = true;
+      acc.wall_seconds = t.seconds();
+      queue.retire(e);
+      return;
+    }
+    std::vector<CoordRecord> recs;
+    for (;;) {
+      const ChunkGrant g = queue.next(e);
+      if (g.done) break;
+      const Chunk& c = chunks[static_cast<std::size_t>(g.chunk)];
+      char tid[17];
+      obs::format_trace_id(trace_ids[static_cast<std::size_t>(g.chunk)], tid);
+      // Successive holders of one chunk are ordered through the queue
+      // mutex, so this per-chunk accounting write is race-free.
+      ChunkAccount& ca = result.chunks[static_cast<std::size_t>(g.chunk)];
+      ca.attempts = g.attempt;
+      ca.trace_id = tid;
+
+      std::string resp;
+      std::string err;
+      const bool sent = ep.roundtrip(chunk_request(opts, c, tid), &resp);
+      bool ok = false;
+      if (!sent) {
+        err = "connection to " + acc.socket + " failed";
+      } else {
+        ok = parse_chunk_response(resp, c, &recs, &err);
+      }
+      if (ok) {
+        for (const CoordRecord& r : recs) {
+          merged[static_cast<std::size_t>(r.scenario)] = r;
+          present[static_cast<std::size_t>(r.scenario)] = 1;
+        }
+        ca.stolen = g.stolen;
+        ca.endpoint = e;
+        ++acc.chunks_served;
+        if (g.stolen) ++acc.chunks_stolen;
+        if (g.attempt > 1) ++acc.chunks_retried;
+        acc.records += c.count;
+        queue.complete(g.chunk);
+        continue;
+      }
+      ++acc.failures;
+      queue.fail(g.chunk, err);
+      if (!sent) {
+        // Transport failure: probe the daemon once. A dead daemon
+        // retires this worker and its remaining block fails over to
+        // the survivors, costing each chunk at most this one attempt.
+        ep.close();
+        if (!ep.connect(kReconnectWaitSeconds) || !ping(ep)) {
+          acc.retired = true;
+          acc.wall_seconds = t.seconds();
+          queue.retire(e);
+          return;
+        }
+      }
+    }
+    acc.wall_seconds = t.seconds();
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_endpoints));
+  for (int e = 0; e < num_endpoints; ++e) {
+    workers.emplace_back(run_worker, e);
+  }
+  for (std::thread& w : workers) w.join();
+
+  result.wall_seconds = total.seconds();
+  result.retries = queue.total_retries();
+  for (const ChunkQueue::FailedChunk& f : queue.failed()) {
+    const Chunk& c = chunks[static_cast<std::size_t>(f.chunk)];
+    result.failed.push_back(
+        ChunkFailure{c.id, c.base, c.count, f.attempts, f.last_error});
+  }
+  for (int s = 0; s < scenarios; ++s) {
+    if (present[static_cast<std::size_t>(s)]) {
+      result.records.push_back(merged[static_cast<std::size_t>(s)]);
+    }
+  }
+  return result;
+}
+
+std::string coord_result_to_json(const CoordOptions& opts,
+                                 const CoordSweepResult& res,
+                                 const obs::ReportProvenance& prov,
+                                 bool verified) {
+  std::string out;
+  auto kv = [&out](std::string_view k) {
+    out += "  ";
+    obs::json_append_string(out, k);
+    out += ": ";
+  };
+  out += "{\n";
+  kv("schema_version");
+  out += std::to_string(kCoordSweepSchemaVersion) + ",\n";
+  kv("provenance");
+  out += "{\n";
+  auto pkv = [&out](std::string_view k, std::string_view v, bool last = false) {
+    out += "    ";
+    obs::json_append_string(out, k);
+    out += ": ";
+    obs::json_append_string(out, v);
+    out += last ? "\n" : ",\n";
+  };
+  pkv("circuit", prov.circuit);
+  pkv("git_describe", prov.git_describe);
+  pkv("build_type", prov.build_type);
+  pkv("timestamp", prov.timestamp_iso8601);
+  pkv("hostname", prov.hostname);
+  out += "    \"threads\": " + std::to_string(prov.threads) + "\n  },\n";
+  kv("sweep");
+  out += "{\n";
+  out += "    \"scenarios\": " + std::to_string(opts.spec.scenarios) + ",\n";
+  out += "    \"vary_input\": " + std::to_string(opts.spec.vary_input) + ",\n";
+  out += "    \"p_from\": " + obs::json_number(opts.spec.p_from) + ",\n";
+  out += "    \"p_to\": " + obs::json_number(opts.spec.p_to) + ",\n";
+  out += "    \"rho\": " + obs::json_number(opts.spec.rho) + ",\n";
+  out += "    \"daemons\": " + std::to_string(res.endpoints.size()) + ",\n";
+  out += "    \"chunks\": " + std::to_string(res.chunks.size()) + ",\n";
+  out += "    \"chunk_scenarios\": " + std::to_string(res.chunk_scenarios) +
+         ",\n";
+  out += "    \"retries\": " + std::to_string(res.retries) + ",\n";
+  out += "    \"failed_chunks\": " + std::to_string(res.failed.size()) + ",\n";
+  out += "    \"wall_seconds\": " + obs::json_number(res.wall_seconds) + ",\n";
+  out += std::string("    \"verified\": ") + (verified ? "true" : "false") +
+         "\n  },\n";
+  kv("endpoints");
+  out += "[\n";
+  for (std::size_t e = 0; e < res.endpoints.size(); ++e) {
+    const EndpointAccount& a = res.endpoints[e];
+    out += "    {\"socket\": ";
+    obs::json_append_string(out, a.socket);
+    out += ", \"chunks_served\": " + std::to_string(a.chunks_served);
+    out += ", \"chunks_stolen\": " + std::to_string(a.chunks_stolen);
+    out += ", \"chunks_retried\": " + std::to_string(a.chunks_retried);
+    out += ", \"failures\": " + std::to_string(a.failures);
+    out += ", \"records\": " + std::to_string(a.records);
+    out += ", \"wall_seconds\": " + obs::json_number(a.wall_seconds);
+    out += std::string(", \"retired\": ") + (a.retired ? "true" : "false") +
+           "}";
+    out += e + 1 < res.endpoints.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  kv("chunks");
+  out += "[\n";
+  for (std::size_t c = 0; c < res.chunks.size(); ++c) {
+    const ChunkAccount& a = res.chunks[c];
+    out += "    {\"chunk_id\": " + std::to_string(a.chunk_id);
+    out += ", \"scenario_base\": " + std::to_string(a.scenario_base);
+    out += ", \"scenarios\": " + std::to_string(a.scenarios);
+    out += ", \"endpoint\": " + std::to_string(a.endpoint);
+    out += ", \"attempts\": " + std::to_string(a.attempts);
+    out += std::string(", \"stolen\": ") + (a.stolen ? "true" : "false");
+    out += ", \"trace_id\": ";
+    obs::json_append_string(out, a.trace_id);
+    out += "}";
+    out += c + 1 < res.chunks.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  kv("failed");
+  out += "[\n";
+  for (std::size_t f = 0; f < res.failed.size(); ++f) {
+    const ChunkFailure& a = res.failed[f];
+    out += "    {\"chunk_id\": " + std::to_string(a.chunk_id);
+    out += ", \"scenario_base\": " + std::to_string(a.scenario_base);
+    out += ", \"scenarios\": " + std::to_string(a.scenarios);
+    out += ", \"attempts\": " + std::to_string(a.attempts);
+    out += ", \"error\": ";
+    obs::json_append_string(out, a.error);
+    out += "}";
+    out += f + 1 < res.failed.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  kv("records");
+  out += "[\n";
+  // The exact record line format of bns_sweep --json: a merged
+  // multi-daemon sweep diffs clean against a single-process run.
+  for (std::size_t s = 0; s < res.records.size(); ++s) {
+    const CoordRecord& r = res.records[s];
+    out += "    {\"scenario\": " + std::to_string(r.scenario) +
+           ", \"p\": " + obs::json_number(r.p) + ", \"average_activity\": " +
+           obs::json_number(r.average_activity) + ", \"propagate_seconds\": " +
+           obs::json_number(r.propagate_seconds) + "}";
+    out += s + 1 < res.records.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+} // namespace bns::coord

@@ -1,0 +1,143 @@
+// Distributed linear sweeps over a pool of bns_serve daemons.
+//
+// The coordinator splits a LinearSweepSpec's scenario range into
+// contiguous chunks, dispatches them as `sweep_chunk` requests over
+// Unix-domain sockets (one persistent connection and one worker thread
+// per daemon), steals work from slow endpoints, retries failed chunks
+// elsewhere, and fans the answers back in, reassembled in scenario
+// order.
+//
+// Bitwise identity with a single-process sweep is the design center:
+// chunk boundaries are computed with session::linear_scenario_p (the
+// exact doubles make_linear_scenarios installs), shipped as %.17g
+// strings (obs::json_number round-trips doubles exactly), and each
+// daemon answers through the same Session::sweep batch engine whose
+// results are bit-identical to sequential estimate() calls. So the
+// merged record list is string-for-string identical to
+// `bns_sweep --json` on the same model — asserted by the tool's
+// --verify flag and the coord-smoke CI job, including with an endpoint
+// killed mid-sweep.
+//
+// Tracing: each chunk carries a trace id on the wire (the ambient
+// TraceContext's id when one is active, a fresh one per chunk
+// otherwise), so daemon-side serve.request spans correlate with the
+// coordinator's chunk accounting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+#include "session/session.h"
+
+namespace bns::coord {
+
+// Version of the merged-sweep JSON document (coord_result_to_json).
+// Bump on any key rename/removal or semantic change; additions are
+// backward compatible.
+inline constexpr int kCoordSweepSchemaVersion = 1;
+
+// Transport to one daemon. The default factory (make_unix_endpoint)
+// speaks JSON lines over a Unix-domain socket; tests and future host
+// transports implement the same interface.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  // (Re)establishes the connection, waiting up to wait_seconds for the
+  // daemon to come up. False when the daemon stays unreachable.
+  virtual bool connect(double wait_seconds) = 0;
+  // One request line out, one response line (no trailing newline) in.
+  // False on any transport failure; the connection is dead afterwards
+  // until connect() succeeds again.
+  virtual bool roundtrip(const std::string& request,
+                         std::string* response) = 0;
+  virtual void close() = 0;
+};
+
+std::unique_ptr<Endpoint> make_unix_endpoint(std::string socket_path);
+
+struct CoordOptions {
+  std::vector<std::string> sockets; // one bns_serve Unix socket each
+  std::string model;                // model argument sent with every chunk
+  LinearSweepSpec spec;
+  // Scenarios per chunk; 0 = auto (aim for ~4 chunks per endpoint so
+  // stealing has something to take, min 1 scenario each).
+  int chunk_scenarios = 0;
+  // Max attempts per chunk across all endpoints; 0 = auto
+  // (2 * endpoints, min 3).
+  int max_attempts = 0;
+  // First-connect patience (daemon startup); reconnect probes after a
+  // mid-sweep failure use a short fixed wait.
+  double connect_wait_seconds = 10.0;
+  // Test seam: overrides make_unix_endpoint, indexed like sockets.
+  std::vector<std::unique_ptr<Endpoint>>* endpoints_override = nullptr;
+};
+
+// One merged sweep record — the same four fields, formatted by the
+// same %.17g writer, as a bns_sweep --json record.
+struct CoordRecord {
+  int scenario = 0;
+  double p = 0.0;
+  double average_activity = 0.0;
+  double propagate_seconds = 0.0;
+};
+
+struct EndpointAccount {
+  std::string socket;
+  int chunks_served = 0;  // chunks this endpoint completed
+  int chunks_stolen = 0;  // completed chunks taken from a peer's block
+  int chunks_retried = 0; // completed chunks that were re-dispatches
+  int failures = 0;       // chunk attempts that failed here
+  int records = 0;        // scenarios answered
+  double wall_seconds = 0.0; // worker lifetime, connect to exit
+  bool retired = false;   // gave up on an unreachable daemon
+};
+
+struct ChunkAccount {
+  int chunk_id = 0;
+  int scenario_base = 0;
+  int scenarios = 0;
+  int attempts = 0;
+  bool stolen = false;
+  int endpoint = -1;       // index into endpoints; -1 = never completed
+  std::string trace_id;    // 16-hex wire form sent with the last attempt
+};
+
+struct ChunkFailure {
+  int chunk_id = 0;
+  int scenario_base = 0;
+  int scenarios = 0;
+  int attempts = 0;
+  std::string error;
+};
+
+struct CoordSweepResult {
+  // In scenario order; complete iff failed.empty(). On failure the
+  // records of successful chunks are still present (gaps elided).
+  std::vector<CoordRecord> records;
+  std::vector<EndpointAccount> endpoints;
+  std::vector<ChunkAccount> chunks;
+  std::vector<ChunkFailure> failed;
+  int chunk_scenarios = 0;
+  int retries = 0;         // total re-dispatched attempts
+  double wall_seconds = 0.0;
+
+  bool ok() const { return failed.empty(); }
+};
+
+// Runs the distributed sweep. Throws std::invalid_argument on unusable
+// options (no sockets, no model, scenarios < 1); endpoint and chunk
+// failures are reported in the result, not thrown.
+CoordSweepResult coordinate_sweep(const CoordOptions& opts);
+
+// The schema-versioned merged document: provenance, sweep block (same
+// spec keys as bns_sweep plus distribution counters), per-endpoint and
+// per-chunk accounting, failed chunks, and the records array in
+// bns_sweep's exact record format.
+std::string coord_result_to_json(const CoordOptions& opts,
+                                 const CoordSweepResult& res,
+                                 const obs::ReportProvenance& prov,
+                                 bool verified);
+
+} // namespace bns::coord

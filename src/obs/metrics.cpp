@@ -89,6 +89,7 @@ const char* serve_op_name(ServeOp op) {
     case ServeOp::Ping: return "ping";
     case ServeOp::Estimate: return "estimate";
     case ServeOp::Sweep: return "sweep";
+    case ServeOp::SweepChunk: return "sweep_chunk";
     case ServeOp::Conditional: return "conditional";
     case ServeOp::Stats: return "stats";
     case ServeOp::Metrics: return "metrics";

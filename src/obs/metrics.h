@@ -243,6 +243,7 @@ enum class ServeOp : int {
   Ping = 0,
   Estimate,
   Sweep,
+  SweepChunk,
   Conditional,
   Stats,
   Metrics,

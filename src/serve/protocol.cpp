@@ -2,7 +2,9 @@
 
 #include <sys/stat.h>
 
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,11 +22,13 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-std::int64_t file_mtime_ns(const std::string& path) {
-  struct stat st{};
-  if (::stat(path.c_str(), &st) != 0) return 0; // built-in generator names
-  return static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
-         st.st_mtim.tv_nsec;
+// Whether `model` names a file (the same resolution Session uses:
+// these suffixes are read from disk, anything else is a built-in
+// benchmark generator). Only file-backed models have an mtime to
+// revalidate — and only they can vanish out from under the cache.
+bool is_file_backed(const std::string& model) {
+  return ends_with(model, ".bnsc") || ends_with(model, ".bench") ||
+         ends_with(model, ".blif");
 }
 
 // Thrown for any request-shape problem; handle_request turns it into an
@@ -120,6 +124,7 @@ obs::ServeOp serve_op_from_name(const std::string& op) {
   if (op == "ping") return obs::ServeOp::Ping;
   if (op == "estimate") return obs::ServeOp::Estimate;
   if (op == "sweep") return obs::ServeOp::Sweep;
+  if (op == "sweep_chunk") return obs::ServeOp::SweepChunk;
   if (op == "conditional") return obs::ServeOp::Conditional;
   if (op == "stats") return obs::ServeOp::Stats;
   if (op == "metrics") return obs::ServeOp::Metrics;
@@ -140,7 +145,7 @@ std::string error_response(const std::string& op, const std::string& msg) {
 
 std::string handle_estimate(const obs::JsonValue& req,
                             SessionCache::Entry& entry) {
-  Session& s = entry.session;
+  Session& s = entry.session();
   const InputModel model = model_from_request(req, s.netlist().num_inputs());
   const SwitchingEstimate est = s.estimate(model);
   std::string out = "{\"ok\":true,\"op\":\"estimate\"";
@@ -154,7 +159,7 @@ std::string handle_estimate(const obs::JsonValue& req,
 
 std::string handle_sweep(const obs::JsonValue& req,
                          SessionCache::Entry& entry) {
-  Session& s = entry.session;
+  Session& s = entry.session();
   LinearSweepSpec spec;
   spec.scenarios = int_field(req, "scenarios", spec.scenarios);
   spec.vary_input = int_field(req, "vary_input", spec.vary_input);
@@ -195,9 +200,76 @@ std::string handle_sweep(const obs::JsonValue& req,
   return out;
 }
 
+// The coordinator's batch op: one round-trip carries a contiguous
+// scenario chunk. `specs` gives the varied input's p per scenario (the
+// other inputs sit at {0.5, rho}, exactly the shape make_linear_
+// scenarios builds), `scenario_base` is the chunk's absolute position
+// in the full grid, and `chunk_id` is echoed so the coordinator can
+// match answers to its queue. Records reuse the %.17g formatter, so a
+// fan-in that reassembles chunks in scenario order is string-exact
+// against a single-process `bns_sweep --json`.
+std::string handle_sweep_chunk(const obs::JsonValue& req,
+                               SessionCache::Entry& entry) {
+  Session& s = entry.session();
+  const int num_inputs = s.netlist().num_inputs();
+  const int chunk_id = int_field(req, "chunk_id", -1);
+  const int base = int_field(req, "scenario_base", 0);
+  const int vary_input = int_field(req, "vary_input", 0);
+  const double rho = finite_number(req, "rho", 0.0);
+  if (chunk_id < 0) throw RequestError("missing \"chunk_id\" (>= 0)");
+  if (base < 0) throw RequestError("\"scenario_base\" must be >= 0");
+  if (vary_input < 0 || vary_input >= num_inputs)
+    throw RequestError("\"vary_input\" out of range (" +
+                       std::to_string(num_inputs) + " inputs)");
+
+  const obs::JsonValue* specs = req.find("specs");
+  if (!specs || !specs->is_array())
+    throw RequestError("missing \"specs\" array of {p} objects");
+  const obs::JsonArray& arr = specs->as_array();
+  if (arr.empty() || arr.size() > 100000)
+    throw RequestError("\"specs\" must carry 1..100000 scenarios");
+
+  std::vector<InputModel> models;
+  models.reserve(arr.size());
+  for (const obs::JsonValue& e : arr) {
+    if (!e.is_object())
+      throw RequestError("\"specs\" entries must be {p} objects");
+    const double p = finite_number(e, "p", 0.5);
+    check_stats(p, rho, "specs");
+    std::vector<InputSpec> in(static_cast<std::size_t>(num_inputs),
+                              InputSpec{0.5, rho, -1, 0.0});
+    in[static_cast<std::size_t>(vary_input)].p = p;
+    models.push_back(InputModel::custom(std::move(in)));
+  }
+
+  const SweepResult res = s.sweep(models);
+
+  std::string out = "{\"ok\":true,\"op\":\"sweep_chunk\"";
+  out += ",\"chunk_id\":" + std::to_string(chunk_id);
+  out += ",\"scenario_base\":" + std::to_string(base);
+  out += ",\"scenarios\":" + std::to_string(res.stats.scenarios);
+  out += ",\"segments_reloaded\":" +
+         std::to_string(res.stats.segments_reloaded);
+  out += ",\"segments_skipped\":" + std::to_string(res.stats.segments_skipped);
+  out += ",\"wall_seconds\":" + obs::json_number(res.wall_seconds);
+  out += ",\"records\":[";
+  for (std::size_t i = 0; i < res.estimates.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"scenario\":" + std::to_string(base + static_cast<int>(i));
+    out += ",\"p\":" + obs::json_number(models[i].spec(vary_input).p);
+    out += ",\"average_activity\":" +
+           obs::json_number(res.estimates[i].average_activity());
+    out += ",\"propagate_seconds\":" +
+           obs::json_number(res.estimates[i].stats.propagate_seconds);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string handle_conditional(const obs::JsonValue& req,
                                SessionCache::Entry& entry) {
-  Session& s = entry.session;
+  Session& s = entry.session();
   const NodeId target = resolve_node(req, "target", s.netlist());
   const NodeId given = resolve_node(req, "given", s.netlist());
   const int state = int_field(req, "state", -1);
@@ -224,7 +296,7 @@ std::string handle_conditional(const obs::JsonValue& req,
 
 std::string handle_stats(SessionCache::Entry& entry,
                          const SessionCache& cache) {
-  Session& s = entry.session;
+  Session& s = entry.session();
   const CompileStats& cs = s.compile_stats();
   std::string out = "{\"ok\":true,\"op\":\"stats\"";
   out += ",\"schema_version\":" + std::to_string(kServeProtocolVersion);
@@ -273,46 +345,117 @@ std::string handle_metrics(SessionCache& cache) {
 
 std::shared_ptr<SessionCache::Entry> SessionCache::get(
     const std::string& model) {
-  const std::int64_t mtime = file_mtime_ns(model);
-  // Held across the load: first-touch compiles of *different* models
-  // serialize, which keeps the cache simple and means N concurrent
-  // requests for one new model pay exactly one load.
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(model);
-  if (it != entries_.end() && it->second->mtime_ns == mtime) {
-    cache_event(obs::CacheEvent::Hit);
-    it->second->last_used = ++lru_tick_;
-    return it->second;
-  }
-  cache_event(it != entries_.end() ? obs::CacheEvent::Revalidate
-                                   : obs::CacheEvent::Miss);
-
-  Session session = ends_with(model, ".bnsc")
-                        ? Session::open_artifact(model, opts_)
-                        : Session::open(model, opts_);
-  if (trace_ && ends_with(model, ".bnsc"))
-    trace_->count(obs::Counter::ArtifactLoads);
-  auto entry = std::make_shared<Entry>(std::move(session), mtime);
-  entry->last_used = ++lru_tick_;
-
-  // Respect the capacity before inserting: drop the least-recently-used
-  // *other* entry (a revalidation replaces its own slot). In-flight
-  // requests keep the evicted session alive via their shared_ptr.
-  if (max_entries_ > 0 && it == entries_.end() &&
-      static_cast<int>(entries_.size()) >= max_entries_) {
-    auto victim = entries_.end();
-    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
-      if (victim == entries_.end() ||
-          e->second->last_used < victim->second->last_used)
-        victim = e;
+  // Built-in benchmark names have no backing file (mtime 0, never
+  // revalidated). A file-backed model must stat cleanly: a vanished
+  // file evicts its stale entry and answers an artifact error instead
+  // of serving hits against mtime 0 forever.
+  std::int64_t mtime = 0;
+  if (is_file_backed(model)) {
+    struct stat st{};
+    if (::stat(model.c_str(), &st) != 0) {
+      const int err = errno;
+      bool evicted = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(model);
+        if (it != entries_.end()) {
+          entries_.erase(it);
+          evicted = true;
+        }
+      }
+      if (evicted) cache_event(obs::CacheEvent::Evict);
+      throw ArtifactError("model file " + model + " is gone (" +
+                          std::strerror(err) +
+                          (evicted ? "); cached session evicted" : ")"));
     }
-    if (victim != entries_.end()) {
-      entries_.erase(victim);
-      cache_event(obs::CacheEvent::Evict);
+    mtime = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+            st.st_mtim.tv_nsec;
+  }
+
+  // The cache mutex only covers the map: the load itself runs outside
+  // it, behind a placeholder entry, so first-touch compiles of
+  // different models proceed in parallel while N concurrent requests
+  // for one new model still pay exactly one load (later arrivals join
+  // the in-flight entry and wait on its load state).
+  std::shared_ptr<Entry> entry;
+  bool load_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(model);
+    if (it != entries_.end() && it->second->mtime_ns == mtime) {
+      cache_event(obs::CacheEvent::Hit);
+      it->second->last_used = ++lru_tick_;
+      entry = it->second;
+    } else {
+      cache_event(it != entries_.end() ? obs::CacheEvent::Revalidate
+                                       : obs::CacheEvent::Miss);
+      // Respect the capacity before inserting: drop the least-recently-
+      // used *other* entry (a revalidation replaces its own slot, so it
+      // neither evicts an unrelated entry nor grows the map). In-flight
+      // requests keep the evicted session alive via their shared_ptr.
+      if (max_entries_ > 0 && it == entries_.end() &&
+          static_cast<int>(entries_.size()) >= max_entries_) {
+        auto victim = entries_.end();
+        for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+          if (victim == entries_.end() ||
+              e->second->last_used < victim->second->last_used)
+            victim = e;
+        }
+        if (victim != entries_.end()) {
+          entries_.erase(victim);
+          cache_event(obs::CacheEvent::Evict);
+        }
+      }
+      entry = std::make_shared<Entry>(mtime);
+      entry->last_used = ++lru_tick_;
+      entries_[model] = entry;
+      load_here = true;
     }
   }
-  entries_[model] = entry;
+
+  if (load_here) {
+    load_into(model, entry);
+    return entry;
+  }
+  // Joined an existing entry; wait out an in-flight first-touch load.
+  std::unique_lock<std::mutex> lock(entry->load_mu);
+  entry->load_cv.wait(lock,
+                      [&entry] { return entry->state != Entry::State::Loading; });
+  if (entry->state == Entry::State::Failed)
+    throw std::runtime_error(entry->error);
   return entry;
+}
+
+void SessionCache::load_into(const std::string& model,
+                             const std::shared_ptr<Entry>& entry) {
+  try {
+    if (load_hook_) load_hook_(model);
+    Session session = ends_with(model, ".bnsc")
+                          ? Session::open_artifact(model, opts_)
+                          : Session::open(model, opts_);
+    if (trace_ && ends_with(model, ".bnsc"))
+      trace_->count(obs::Counter::ArtifactLoads);
+    std::lock_guard<std::mutex> lock(entry->load_mu);
+    entry->session_.emplace(std::move(session));
+    entry->state = Entry::State::Ready;
+    entry->load_cv.notify_all();
+  } catch (const std::exception& e) {
+    // Un-map first so the failure is never served from cache (the next
+    // request retries a fresh load), then wake every waiter with the
+    // reason.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(model);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lock(entry->load_mu);
+      entry->state = Entry::State::Failed;
+      entry->error = e.what();
+      entry->load_cv.notify_all();
+    }
+    throw;
+  }
 }
 
 std::size_t SessionCache::size() const {
@@ -364,8 +507,8 @@ std::string handle_request(std::string_view line, SessionCache& cache) {
         response = "{\"ok\":true,\"op\":\"ping\"}";
       } else if (op == "metrics") {
         response = handle_metrics(cache);
-      } else if (op == "estimate" || op == "sweep" || op == "conditional" ||
-                 op == "stats") {
+      } else if (op == "estimate" || op == "sweep" || op == "sweep_chunk" ||
+                 op == "conditional" || op == "stats") {
         const obs::JsonValue* modelv = req->find("model");
         if (!modelv || !modelv->is_string())
           throw RequestError("missing string \"model\"");
@@ -376,6 +519,8 @@ std::string handle_request(std::string_view line, SessionCache& cache) {
           response = handle_estimate(*req, *entry);
         } else if (op == "sweep") {
           response = handle_sweep(*req, *entry);
+        } else if (op == "sweep_chunk") {
+          response = handle_sweep_chunk(*req, *entry);
         } else if (op == "conditional") {
           response = handle_conditional(*req, *entry);
         } else {

@@ -8,6 +8,8 @@
 //   {"op":"estimate","model":"c432.bnsc","specs":[{"p":0.2},{"p":0.7}, ...]}
 //   {"op":"sweep","model":"...","scenarios":8,"vary_input":0,
 //    "p_from":0.1,"p_to":0.9,"rho":0}
+//   {"op":"sweep_chunk","model":"...","chunk_id":3,"scenario_base":12,
+//    "vary_input":0,"rho":0,"specs":[{"p":0.35},{"p":0.4}, ...]}
 //   {"op":"conditional","model":"...","target":"G370","given":"G430",
 //    "state":1,"p":0.5,"rho":0}
 //   {"op":"stats","model":"..."}
@@ -28,9 +30,12 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -56,14 +61,24 @@ struct ServeTelemetry {
 
 // Open sessions keyed by model path, revalidated by file mtime: a
 // recompiled artifact (or edited circuit file) is picked up on the next
-// request touching it, with no daemon restart. Thread-safe; concurrent
-// requests for different models load/query in parallel, requests for
-// the same model serialize on the entry lock (Session queries mutate
-// engine state).
+// request touching it, with no daemon restart. Thread-safe. Loads run
+// OUTSIDE the cache mutex: concurrent first-touches of *different*
+// models compile/load genuinely in parallel (the map only holds a
+// placeholder entry while a load is in flight), concurrent first-
+// touches of the *same* model dedupe onto one load (later arrivals
+// block until it is ready), and requests for one loaded model
+// serialize on the entry lock (Session queries mutate engine state).
+//
+// A model whose backing file (.bnsc / .bench / .blif) has vanished is
+// evicted and the request is answered with an artifact error — a stale
+// session never keeps serving hits for a deleted file. Built-in
+// benchmark names have no backing file and never revalidate.
 //
 // Every lookup outcome is counted through the telemetry hooks: Hit
-// (cached, mtime unchanged), Miss (first load), Revalidate (mtime
-// changed, reloaded), Evict (LRU capacity drop when max_entries > 0).
+// (cached, mtime unchanged — including a lookup that joined an
+// in-flight load), Miss (first load), Revalidate (mtime changed,
+// reloaded), Evict (LRU capacity drop when max_entries > 0, or a
+// vanished backing file).
 class SessionCache {
  public:
   explicit SessionCache(SessionOptions opts = {},
@@ -76,22 +91,44 @@ class SessionCache {
         start_(std::chrono::steady_clock::now()) {}
 
   struct Entry {
-    Entry(Session s, std::int64_t mtime) noexcept
-        : session(std::move(s)), mtime_ns(mtime) {}
+    explicit Entry(std::int64_t mtime) noexcept : mtime_ns(mtime) {}
+
+    // The loaded session. Only valid on entries returned by get(),
+    // which never hands out an entry still loading (or failed).
+    Session& session() { return *session_; }
+
     std::mutex mu; // serializes queries against this session
-    Session session;
-    std::int64_t mtime_ns = 0;
+    const std::int64_t mtime_ns; // at load time; rechecked every lookup
+
+   private:
+    friend class SessionCache;
+    enum class State { Loading, Ready, Failed };
+
+    std::mutex load_mu;          // guards state/error/session_ setup
+    std::condition_variable load_cv;
+    State state = State::Loading;
+    std::string error;           // Failed: what the load threw
+    std::optional<Session> session_;
     std::uint64_t last_used = 0; // LRU tick, guarded by the cache mutex
   };
 
   // The cached session for `model`, (re)opened on first use or when the
-  // file's mtime changed. Throws on load/compile failure.
+  // file's mtime changed. Throws on load/compile failure (including
+  // ArtifactError for a model file deleted after caching — the stale
+  // entry is evicted first).
   std::shared_ptr<Entry> get(const std::string& model);
 
   obs::Tracer* trace() const { return trace_; }
   const ServeTelemetry& telemetry() const { return telemetry_; }
   int max_entries() const { return max_entries_; }
   std::size_t size() const;
+
+  // Test-only: invoked (outside every cache lock) with the model name
+  // while its session load is in flight, so tests can stall one
+  // model's first-touch and prove other models proceed in parallel.
+  void set_load_hook(std::function<void(const std::string&)> hook) {
+    load_hook_ = std::move(hook);
+  }
 
   // Monotonic nanoseconds / seconds since this cache was constructed —
   // the daemon's uptime reference for the stats and metrics ops, and
@@ -111,6 +148,11 @@ class SessionCache {
     if (telemetry_.red) telemetry_.red->cache_event(e);
   }
 
+  // Loads `model` into `entry` outside every cache lock, publishes the
+  // result through the entry's load state, and un-maps the entry on
+  // failure (so a failed load is retried fresh, never cached).
+  void load_into(const std::string& model, const std::shared_ptr<Entry>& entry);
+
   mutable std::mutex mu_; // guards entries_ (not the sessions themselves)
   std::map<std::string, std::shared_ptr<Entry>> entries_;
   SessionOptions opts_;
@@ -119,6 +161,7 @@ class SessionCache {
   int max_entries_ = 0;      // 0 = unbounded
   std::uint64_t lru_tick_ = 0; // guarded by mu_
   std::chrono::steady_clock::time_point start_;
+  std::function<void(const std::string&)> load_hook_; // test-only
 };
 
 // Handles one request line and returns the response line (no trailing

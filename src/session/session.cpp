@@ -17,19 +17,23 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 } // namespace
 
+double linear_scenario_p(const LinearSweepSpec& spec, int s) {
+  const double t = spec.scenarios > 1
+                       ? static_cast<double>(s) /
+                             static_cast<double>(spec.scenarios - 1)
+                       : 0.0;
+  return spec.p_from + t * (spec.p_to - spec.p_from);
+}
+
 std::vector<InputModel> make_linear_scenarios(const LinearSweepSpec& spec,
                                               int num_inputs) {
   std::vector<InputModel> models;
   models.reserve(static_cast<std::size_t>(spec.scenarios));
   for (int s = 0; s < spec.scenarios; ++s) {
-    const double t = spec.scenarios > 1
-                         ? static_cast<double>(s) /
-                               static_cast<double>(spec.scenarios - 1)
-                         : 0.0;
     std::vector<InputSpec> specs(static_cast<std::size_t>(num_inputs),
                                  InputSpec{0.5, spec.rho, -1, 0.0});
     specs[static_cast<std::size_t>(spec.vary_input)].p =
-        spec.p_from + t * (spec.p_to - spec.p_from);
+        linear_scenario_p(spec, s);
     models.push_back(InputModel::custom(std::move(specs)));
   }
   return models;

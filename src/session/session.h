@@ -36,6 +36,15 @@ struct LinearSweepSpec {
 std::vector<InputModel> make_linear_scenarios(const LinearSweepSpec& spec,
                                               int num_inputs);
 
+// The varied input's signal probability in scenario `s` of `spec` —
+// the exact double make_linear_scenarios installs. Factored out so the
+// sweep coordinator (src/coord/) can compute chunk boundaries without
+// knowing the model's input count, with bitwise-identical values: a
+// %.17g round-trip of this double over the wire reconstructs the same
+// scenario the in-process sweep runs. scenarios == 1 answers p_from
+// (no 0/0 step).
+double linear_scenario_p(const LinearSweepSpec& spec, int s);
+
 // Resolves a circuit argument the way all tools do: *.bench and *.blif
 // are read from disk, anything else names a built-in benchmark
 // generator. Throws (std::runtime_error / std::invalid_argument) on

@@ -1,0 +1,446 @@
+// Tests for the distributed sweep coordinator (src/coord/): the
+// ChunkQueue scheduling policy (contiguous block dealing, tail-half
+// work stealing, retry budgets, retire/failover settlement) with plain
+// integers, and coordinate_sweep end-to-end against real in-process
+// Servers — where the contract is that the merged records are
+// string-for-string identical (%.17g) to a single-process
+// Session::sweep, on c432 and c1908, with and without endpoints
+// failing mid-sweep.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coord/chunk_queue.h"
+#include "coord/coord.h"
+#include "obs/json.h"
+#include "serve/server.h"
+#include "session/session.h"
+
+namespace bns::coord {
+namespace {
+
+// --- ChunkQueue scheduling policy -------------------------------------
+
+TEST(ChunkQueueTest, SingleEndpointDrainsItsBlockInOrder) {
+  ChunkQueue q(5, 1, 3);
+  for (int want = 0; want < 5; ++want) {
+    const ChunkGrant g = q.next(0);
+    ASSERT_FALSE(g.done);
+    EXPECT_EQ(g.chunk, want);
+    EXPECT_EQ(g.attempt, 1);
+    EXPECT_FALSE(g.stolen);
+    q.complete(g.chunk);
+  }
+  EXPECT_TRUE(q.next(0).done);
+  EXPECT_EQ(q.total_retries(), 0);
+  EXPECT_TRUE(q.failed().empty());
+}
+
+TEST(ChunkQueueTest, FinishedEndpointStealsTailHalfOfLargestPeer) {
+  // Blocks: endpoint 0 gets {0,1,2,3}, endpoint 1 gets {4,5,6,7}.
+  // Endpoint 1 never asks; endpoint 0 drains its own block front-to-
+  // back, then repeatedly steals the tail half of 1's remainder:
+  // {6,7}, then {5}, then {4}.
+  ChunkQueue q(8, 2, 3);
+  const int expect_chunk[] = {0, 1, 2, 3, 6, 7, 5, 4};
+  const bool expect_stolen[] = {false, false, false, false,
+                                true,  true,  true,  true};
+  for (int i = 0; i < 8; ++i) {
+    const ChunkGrant g = q.next(0);
+    ASSERT_FALSE(g.done) << i;
+    EXPECT_EQ(g.chunk, expect_chunk[i]) << i;
+    EXPECT_EQ(g.stolen, expect_stolen[i]) << i;
+    q.complete(g.chunk);
+  }
+  EXPECT_TRUE(q.next(0).done);
+}
+
+TEST(ChunkQueueTest, FailRequeuesUntilAttemptBudgetThenSettlesFailed) {
+  ChunkQueue q(1, 1, 2);
+  ChunkGrant g = q.next(0);
+  EXPECT_EQ(g.attempt, 1);
+  EXPECT_TRUE(q.fail(g.chunk, "first"));  // requeued
+  g = q.next(0);
+  EXPECT_EQ(g.chunk, 0);
+  EXPECT_EQ(g.attempt, 2);
+  EXPECT_FALSE(q.fail(g.chunk, "second")); // budget spent
+  EXPECT_TRUE(q.next(0).done);
+
+  const std::vector<ChunkQueue::FailedChunk> failed = q.failed();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].chunk, 0);
+  EXPECT_EQ(failed[0].attempts, 2);
+  EXPECT_EQ(failed[0].last_error, "second");
+  EXPECT_EQ(q.total_retries(), 1);
+}
+
+TEST(ChunkQueueTest, RetiredEndpointsBlockFailsOverToSurvivors) {
+  // Endpoint 1 dies without serving anything; endpoint 0 must end up
+  // serving all four chunks, at one attempt each (orphaning is free).
+  ChunkQueue q(4, 2, 3);
+  q.retire(1);
+  int served = 0;
+  for (;;) {
+    const ChunkGrant g = q.next(0);
+    if (g.done) break;
+    EXPECT_EQ(g.attempt, 1);
+    q.complete(g.chunk);
+    ++served;
+  }
+  EXPECT_EQ(served, 4);
+  EXPECT_EQ(q.total_retries(), 0);
+  EXPECT_TRUE(q.failed().empty());
+}
+
+TEST(ChunkQueueTest, LastRetireSettlesEveryQueuedChunkAsFailed) {
+  ChunkQueue q(2, 1, 3);
+  const ChunkGrant g = q.next(0);
+  EXPECT_EQ(g.chunk, 0);
+  EXPECT_TRUE(q.fail(g.chunk, "connection lost")); // requeued
+  q.retire(0); // no live endpoints left: nothing can serve the queue
+
+  const std::vector<ChunkQueue::FailedChunk> failed = q.failed();
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_EQ(failed[0].chunk, 0);
+  EXPECT_EQ(failed[0].last_error, "connection lost");
+  EXPECT_EQ(failed[1].chunk, 1);
+  EXPECT_EQ(failed[1].last_error, "no live endpoints remain");
+}
+
+TEST(ChunkQueueTest, BlockedWorkerWakesWhenAFailureRequeuesWork) {
+  // Endpoint 0 holds the only chunk in flight; endpoint 1's next()
+  // must block (a failure may requeue it) — and then receive exactly
+  // that chunk once endpoint 0 fails it.
+  ChunkQueue q(1, 2, 3);
+  const ChunkGrant first = q.next(0);
+  ASSERT_EQ(first.chunk, 0);
+
+  std::atomic<bool> got{false};
+  std::thread waiter([&q, &got] {
+    const ChunkGrant g = q.next(1);
+    EXPECT_FALSE(g.done);
+    EXPECT_EQ(g.chunk, 0);
+    EXPECT_EQ(g.attempt, 2);
+    got.store(true);
+    q.complete(g.chunk);
+    EXPECT_TRUE(q.next(1).done);
+  });
+  // Give the waiter a moment to actually block, then fail the chunk.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  EXPECT_TRUE(q.fail(first.chunk, "boom"));
+  waiter.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_EQ(q.total_retries(), 1);
+}
+
+// --- coordinate_sweep against real in-process daemons -----------------
+
+std::string scratch(const std::string& stem) {
+  return testing::TempDir() + "bns_coord_test_" + stem + "_" +
+         std::to_string(::getpid());
+}
+
+// A bns_serve daemon running in this process on its own thread.
+struct Daemon {
+  explicit Daemon(std::string socket) {
+    serve::ServerOptions opts;
+    opts.socket_path = std::move(socket);
+    server = std::make_unique<serve::Server>(opts);
+    server->start();
+    runner = std::thread([this] { server->run(); });
+  }
+  ~Daemon() { stop(); }
+  void stop() {
+    if (!runner.joinable()) return;
+    server->request_stop();
+    runner.join();
+  }
+  std::unique_ptr<serve::Server> server;
+  std::thread runner;
+};
+
+struct Pool {
+  explicit Pool(int n, const std::string& tag) {
+    for (int d = 0; d < n; ++d) {
+      sockets.push_back(scratch(tag + "_" + std::to_string(d)) + ".sock");
+      daemons.push_back(std::make_unique<Daemon>(sockets.back()));
+    }
+  }
+  std::vector<std::string> sockets;
+  std::vector<std::unique_ptr<Daemon>> daemons;
+};
+
+// Compiles `circuit` once into a scratch .bnsc artifact (what a daemon
+// pool serves in deployment; also keeps per-daemon load cost low).
+std::string compile_artifact(const std::string& circuit) {
+  const std::string path = scratch(circuit) + ".bnsc";
+  Session s = Session::open(circuit);
+  s.save(path);
+  return path;
+}
+
+// The distribution contract: every merged record equals the in-process
+// sweep's record string-for-string under the shared %.17g formatter.
+void expect_records_exact(const CoordSweepResult& got, Session& ref,
+                          const LinearSweepSpec& spec) {
+  const std::vector<InputModel> models =
+      make_linear_scenarios(spec, ref.netlist().num_inputs());
+  const SweepResult want = ref.sweep(models);
+  ASSERT_EQ(got.records.size(), models.size());
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    EXPECT_EQ(got.records[s].scenario, static_cast<int>(s));
+    EXPECT_EQ(obs::json_number(got.records[s].p),
+              obs::json_number(models[s].spec(spec.vary_input).p))
+        << "scenario " << s;
+    EXPECT_EQ(obs::json_number(got.records[s].average_activity),
+              obs::json_number(want.estimates[s].average_activity()))
+        << "scenario " << s;
+  }
+}
+
+TEST(CoordSweepTest, MergedRecordsStringExact_c432) {
+  const std::string artifact = compile_artifact("c432");
+  Pool pool(3, "exact432");
+
+  CoordOptions opts;
+  opts.sockets = pool.sockets;
+  opts.model = artifact;
+  opts.spec.scenarios = 12;
+  opts.chunk_scenarios = 2;
+  const CoordSweepResult res = coordinate_sweep(opts);
+
+  ASSERT_TRUE(res.ok()) << res.failed.size() << " failed chunks";
+  Session ref = Session::open_artifact(artifact);
+  expect_records_exact(res, ref, opts.spec);
+
+  // Accounting adds up: every chunk served exactly once, every record
+  // attributed, every chunk's trace id on the wire form.
+  int served = 0;
+  int records = 0;
+  for (const EndpointAccount& a : res.endpoints) {
+    served += a.chunks_served;
+    records += a.records;
+    EXPECT_FALSE(a.retired) << a.socket;
+  }
+  EXPECT_EQ(served, static_cast<int>(res.chunks.size()));
+  EXPECT_EQ(records, 12);
+  for (const ChunkAccount& c : res.chunks) {
+    EXPECT_EQ(c.attempts, 1);
+    EXPECT_GE(c.endpoint, 0);
+    EXPECT_EQ(c.trace_id.size(), 16u);
+  }
+  EXPECT_EQ(res.retries, 0);
+  std::remove(artifact.c_str());
+}
+
+TEST(CoordSweepTest, MergedRecordsStringExact_c1908) {
+  const std::string artifact = compile_artifact("c1908");
+  Pool pool(2, "exact1908");
+
+  CoordOptions opts;
+  opts.sockets = pool.sockets;
+  opts.model = artifact;
+  opts.spec.scenarios = 6;
+  opts.spec.vary_input = 3;
+  opts.spec.rho = 0.2;
+  opts.chunk_scenarios = 1;
+  const CoordSweepResult res = coordinate_sweep(opts);
+
+  ASSERT_TRUE(res.ok()) << res.failed.size() << " failed chunks";
+  Session ref = Session::open_artifact(artifact);
+  expect_records_exact(res, ref, opts.spec);
+  std::remove(artifact.c_str());
+}
+
+// Delegating test double: behaves like the real Unix endpoint but
+// force-fails chosen roundtrips, so failover is deterministic instead
+// of timing-dependent.
+class FlakyEndpoint final : public Endpoint {
+ public:
+  // fail_first: report transport failure on that many roundtrips
+  // (requests are swallowed, never sent). dead: every roundtrip fails —
+  // including the coordinator's reconnect ping, which retires the
+  // worker.
+  FlakyEndpoint(std::string socket, int fail_first, bool dead)
+      : real_(make_unix_endpoint(std::move(socket))),
+        fail_remaining_(fail_first),
+        dead_(dead) {}
+
+  bool connect(double wait_seconds) override {
+    return real_->connect(wait_seconds);
+  }
+  bool roundtrip(const std::string& request, std::string* response) override {
+    if (dead_) return false;
+    if (fail_remaining_ > 0) {
+      --fail_remaining_;
+      return false;
+    }
+    return real_->roundtrip(request, response);
+  }
+  void close() override { real_->close(); }
+
+ private:
+  std::unique_ptr<Endpoint> real_;
+  int fail_remaining_;
+  bool dead_;
+};
+
+TEST(CoordSweepTest, TransientFailureRedispatchesTheChunkBitExactly) {
+  const std::string artifact = compile_artifact("c432");
+  Pool pool(2, "transient");
+
+  CoordOptions opts;
+  opts.sockets = pool.sockets;
+  opts.model = artifact;
+  opts.spec.scenarios = 8;
+  opts.chunk_scenarios = 2;
+  std::vector<std::unique_ptr<Endpoint>> eps;
+  eps.push_back(std::make_unique<FlakyEndpoint>(pool.sockets[0],
+                                                /*fail_first=*/1,
+                                                /*dead=*/false));
+  eps.push_back(std::make_unique<FlakyEndpoint>(pool.sockets[1], 0, false));
+  opts.endpoints_override = &eps;
+
+  const CoordSweepResult res = coordinate_sweep(opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.retries, 1);
+  EXPECT_EQ(res.endpoints[0].failures, 1);
+  int retried = 0;
+  for (const ChunkAccount& c : res.chunks) retried += c.attempts > 1 ? 1 : 0;
+  EXPECT_EQ(retried, 1);
+
+  Session ref = Session::open_artifact(artifact);
+  expect_records_exact(res, ref, opts.spec);
+  std::remove(artifact.c_str());
+}
+
+TEST(CoordSweepTest, DeadEndpointRetiresAndSurvivorsFinishBitExactly) {
+  const std::string artifact = compile_artifact("c432");
+  Pool pool(2, "dead");
+
+  CoordOptions opts;
+  opts.sockets = pool.sockets;
+  opts.model = artifact;
+  opts.spec.scenarios = 8;
+  opts.chunk_scenarios = 2;
+  std::vector<std::unique_ptr<Endpoint>> eps;
+  eps.push_back(std::make_unique<FlakyEndpoint>(pool.sockets[0], 0,
+                                                /*dead=*/true));
+  eps.push_back(std::make_unique<FlakyEndpoint>(pool.sockets[1], 0, false));
+  opts.endpoints_override = &eps;
+
+  const CoordSweepResult res = coordinate_sweep(opts);
+  ASSERT_TRUE(res.ok()) << res.failed.size() << " failed chunks";
+  EXPECT_TRUE(res.endpoints[0].retired);
+  EXPECT_EQ(res.endpoints[0].chunks_served, 0);
+  EXPECT_EQ(res.endpoints[1].chunks_served, 4);
+  EXPECT_GE(res.retries, 1); // the dead endpoint's in-flight chunk
+  for (const ChunkAccount& c : res.chunks) EXPECT_EQ(c.endpoint, 1);
+
+  Session ref = Session::open_artifact(artifact);
+  expect_records_exact(res, ref, opts.spec);
+  std::remove(artifact.c_str());
+}
+
+TEST(CoordSweepTest, StoppedDaemonMidSweepFailsOverBitExactly) {
+  // The real-socket version of the failover story: a daemon is drained
+  // mid-sweep, the coordinator's persistent connection dies, its
+  // chunks fail over to the survivors, and the merged records stay
+  // exact. (CI's coord-smoke job repeats this with kill -9 across
+  // processes.) The stop lands before the victim can have drained its
+  // whole block, so the only nondeterminism is *which* chunks move.
+  const std::string artifact = compile_artifact("c432");
+  Pool pool(3, "stopsweep");
+
+  CoordOptions opts;
+  opts.sockets = pool.sockets;
+  opts.model = artifact;
+  opts.spec.scenarios = 30;
+  opts.chunk_scenarios = 1; // 30 chunks: every daemon holds a long block
+  std::thread stopper([&pool] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    pool.daemons[0]->stop();
+  });
+  const CoordSweepResult res = coordinate_sweep(opts);
+  stopper.join();
+
+  ASSERT_TRUE(res.ok()) << res.failed.size() << " failed chunks";
+  Session ref = Session::open_artifact(artifact);
+  expect_records_exact(res, ref, opts.spec);
+  std::remove(artifact.c_str());
+}
+
+TEST(CoordSweepTest, AllEndpointsUnreachableSurfacesStructuredErrors) {
+  CoordOptions opts;
+  opts.sockets = {scratch("ghost_a") + ".sock", scratch("ghost_b") + ".sock"};
+  opts.model = "c17";
+  opts.spec.scenarios = 4;
+  opts.chunk_scenarios = 2;
+  opts.connect_wait_seconds = 0.05;
+
+  const CoordSweepResult res = coordinate_sweep(opts);
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(res.records.empty());
+  ASSERT_EQ(res.failed.size(), 2u);
+  for (const ChunkFailure& f : res.failed) {
+    EXPECT_EQ(f.error, "no live endpoints remain");
+    EXPECT_EQ(f.scenarios, 2);
+  }
+  for (const EndpointAccount& a : res.endpoints) EXPECT_TRUE(a.retired);
+}
+
+TEST(CoordSweepTest, MergedDocumentCarriesSchemaAccountingAndRecords) {
+  const std::string artifact = compile_artifact("c432");
+  Pool pool(2, "doc");
+
+  CoordOptions opts;
+  opts.sockets = pool.sockets;
+  opts.model = artifact;
+  opts.spec.scenarios = 4;
+  opts.chunk_scenarios = 2;
+  const CoordSweepResult res = coordinate_sweep(opts);
+  ASSERT_TRUE(res.ok());
+
+  obs::ReportProvenance prov = obs::default_provenance();
+  prov.circuit = artifact;
+  const std::string doc =
+      coord_result_to_json(opts, res, prov, /*verified=*/true);
+  const std::optional<obs::JsonValue> v = obs::json_parse(doc);
+  ASSERT_TRUE(v && v->is_object()) << doc;
+  EXPECT_EQ(v->number_or("schema_version", -1), kCoordSweepSchemaVersion);
+  const obs::JsonValue* sweep = v->find("sweep");
+  ASSERT_TRUE(sweep && sweep->is_object());
+  EXPECT_EQ(sweep->number_or("daemons", -1), 2);
+  EXPECT_EQ(sweep->number_or("chunks", -1), 2);
+  EXPECT_EQ(sweep->number_or("failed_chunks", -1), 0);
+  const obs::JsonValue* endpoints = v->find("endpoints");
+  ASSERT_TRUE(endpoints && endpoints->is_array());
+  EXPECT_EQ(endpoints->as_array().size(), 2u);
+  const obs::JsonValue* records = v->find("records");
+  ASSERT_TRUE(records && records->is_array());
+  ASSERT_EQ(records->as_array().size(), 4u);
+  // The record lines are bns_sweep's own format, verbatim.
+  Session ref = Session::open_artifact(artifact);
+  const std::vector<InputModel> models =
+      make_linear_scenarios(opts.spec, ref.netlist().num_inputs());
+  const SweepResult want = ref.sweep(models);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::string line =
+        "{\"scenario\": " + std::to_string(s) + ", \"p\": " +
+        obs::json_number(models[s].spec(0).p) + ", \"average_activity\": " +
+        obs::json_number(want.estimates[s].average_activity());
+    EXPECT_NE(doc.find(line), std::string::npos) << "missing: " << line;
+  }
+  std::remove(artifact.c_str());
+}
+
+} // namespace
+} // namespace bns::coord

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -428,6 +429,280 @@ TEST(ServeProtocolTest, LruEvictsBeyondCapacity) {
   // The evicted model is simply a miss again — still served correctly.
   ASSERT_TRUE(ok(handle_request(R"({"op":"stats","model":"c17"})", cache)));
   EXPECT_EQ(red.snapshot().cache_count(obs::CacheEvent::Miss), 3u);
+}
+
+TEST(ServeProtocolTest, SameKeyReloadAtCapacityEvictsNothingUnrelated) {
+  const std::string path =
+      write_tiny_bench(testing::TempDir() + "bns_samekey_" +
+                       std::to_string(::getpid()) + ".bench");
+  obs::ServeMetrics red;
+  SessionCache cache({}, nullptr, ServeTelemetry{&red, nullptr},
+                     /*max_entries=*/2);
+  const std::string file_req = R"({"op":"stats","model":")" + path + R"("})";
+
+  ASSERT_TRUE(ok(handle_request(file_req, cache)));               // miss
+  ASSERT_TRUE(ok(handle_request(R"({"op":"stats","model":"c17"})", cache)));
+  ASSERT_EQ(cache.size(), 2u);
+
+  // A same-key reload (mtime changed) replaces its own slot in place:
+  // it must not evict the unrelated entry, nor grow past capacity.
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  struct timespec times[2] = {st.st_atim, st.st_mtim};
+  times[1].tv_sec += 1;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+  ASSERT_TRUE(ok(handle_request(file_req, cache)));               // revalidate
+  EXPECT_EQ(cache.size(), 2u);
+  {
+    const obs::ServeMetricsSnapshot s = red.snapshot();
+    EXPECT_EQ(s.cache_count(obs::CacheEvent::Revalidate), 1u);
+    EXPECT_EQ(s.cache_count(obs::CacheEvent::Evict), 0u);
+    EXPECT_EQ(s.cache_count(obs::CacheEvent::Miss), 2u);
+  }
+  // c17 survived the reload: looking it up is a hit, not a miss.
+  ASSERT_TRUE(ok(handle_request(R"({"op":"stats","model":"c17"})", cache)));
+  EXPECT_EQ(red.snapshot().cache_count(obs::CacheEvent::Miss), 2u);
+
+  // A genuinely new key at capacity evicts exactly one LRU entry.
+  ASSERT_TRUE(
+      ok(handle_request(R"({"op":"stats","model":"pcler8"})", cache)));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(red.snapshot().cache_count(obs::CacheEvent::Evict), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeProtocolTest, VanishedModelFileEvictsAndAnswersArtifactError) {
+  const std::string path =
+      write_tiny_bench(testing::TempDir() + "bns_vanished_" +
+                       std::to_string(::getpid()) + ".bench");
+  obs::ServeMetrics red;
+  SessionCache cache({}, nullptr, ServeTelemetry{&red, nullptr});
+  const std::string req = R"({"op":"stats","model":")" + path + R"("})";
+
+  ASSERT_TRUE(ok(handle_request(req, cache)));
+  ASSERT_EQ(cache.size(), 1u);
+
+  // Deleting the backing file must not leave a stale session serving
+  // hits: the entry is evicted and the request fails as an artifact
+  // error (counted in its own class), not a protocol or internal one.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  const std::string response = handle_request(req, cache);
+  EXPECT_TRUE(failed(response)) << response;
+  EXPECT_NE(response.find("is gone"), std::string::npos) << response;
+  EXPECT_EQ(cache.size(), 0u);
+  {
+    const obs::ServeMetricsSnapshot s = red.snapshot();
+    EXPECT_EQ(s.cache_count(obs::CacheEvent::Evict), 1u);
+    EXPECT_EQ(s.op(obs::ServeOp::Stats)
+                  .errors[static_cast<std::size_t>(obs::ErrorClass::Artifact)],
+              1u);
+  }
+  // Asking again is still an artifact error — but with nothing cached
+  // there is nothing further to evict.
+  EXPECT_TRUE(failed(handle_request(req, cache)));
+  EXPECT_EQ(red.snapshot().cache_count(obs::CacheEvent::Evict), 1u);
+  // A built-in name keeps resolving: no backing file, no revalidation.
+  EXPECT_TRUE(ok(handle_request(R"({"op":"stats","model":"c17"})", cache)));
+}
+
+// The SessionCache bugfix contract: loads run outside the cache mutex.
+// A slow first-touch of one model (stalled via the test hook) must not
+// block a concurrent first-touch of a *different* model.
+TEST(ServeProtocolTest, SlowLoadOfOneModelDoesNotBlockAnother) {
+  SessionCache cache;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> stalled{0};
+  cache.set_load_hook([&](const std::string& model) {
+    if (model == "c432") {
+      stalled.fetch_add(1);
+      gate.wait();
+    }
+  });
+
+  std::thread slow([&cache] {
+    EXPECT_TRUE(
+        ok(handle_request(R"({"op":"stats","model":"c432"})", cache)));
+  });
+  while (stalled.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // c432's load is provably in flight; c17 must load to completion
+  // anyway. (Before the fix this deadlocked: the stalled load held the
+  // cache mutex.)
+  EXPECT_TRUE(ok(handle_request(R"({"op":"stats","model":"c17"})", cache)));
+  EXPECT_EQ(stalled.load(), 1);
+  release.set_value();
+  slow.join();
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// And the dedupe half: concurrent first-touches of the *same* model
+// share one load — later arrivals join it (a Hit) instead of compiling
+// their own copy.
+TEST(ServeProtocolTest, ConcurrentFirstTouchesOfSameModelShareOneLoad) {
+  obs::ServeMetrics red;
+  SessionCache cache({}, nullptr, ServeTelemetry{&red, nullptr});
+  std::atomic<int> loads{0};
+  cache.set_load_hook([&loads](const std::string&) { loads.fetch_add(1); });
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> good(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &good, t] {
+      if (ok(handle_request(R"({"op":"stats","model":"c432"})", cache))) {
+        good[static_cast<std::size_t>(t)] = 1;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(good[static_cast<std::size_t>(t)], 1) << "thread " << t;
+  }
+  EXPECT_EQ(loads.load(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+  const obs::ServeMetricsSnapshot s = red.snapshot();
+  EXPECT_EQ(s.cache_count(obs::CacheEvent::Miss), 1u);
+  EXPECT_EQ(s.cache_count(obs::CacheEvent::Hit),
+            static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// --- sweep_chunk (the coordinator's batch op) ---------------------------
+
+TEST(ServeProtocolTest, SweepChunkMatchesInProcessSweepStringExactly) {
+  SessionCache cache;
+  // Chunk covering scenarios 2..4 of a 6-scenario sweep over c17: the
+  // p values are the exact doubles linear_scenario_p produces, shipped
+  // the way the coordinator ships them (%.17g).
+  LinearSweepSpec spec;
+  spec.scenarios = 6;
+  spec.p_from = 0.2;
+  spec.p_to = 0.8;
+  std::string req =
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":1,"scenario_base":2,)"
+      R"("vary_input":0,"rho":0,"specs":[)";
+  for (int s = 2; s <= 4; ++s) {
+    if (s > 2) req += ",";
+    req += "{\"p\":" + obs::json_number(linear_scenario_p(spec, s)) + "}";
+  }
+  req += "]}";
+  const std::string response = handle_request(req, cache);
+  ASSERT_TRUE(ok(response)) << response;
+  EXPECT_NE(response.find("\"chunk_id\":1"), std::string::npos) << response;
+
+  Session ref = Session::open("c17");
+  const std::vector<InputModel> models =
+      make_linear_scenarios(spec, ref.netlist().num_inputs());
+  const SweepResult want = ref.sweep(models);
+  for (int s = 2; s <= 4; ++s) {
+    // Absolute scenario numbering and string-exact p / activity.
+    const std::string line =
+        "{\"scenario\":" + std::to_string(s) +
+        ",\"p\":" + obs::json_number(models[static_cast<std::size_t>(s)]
+                                         .spec(0)
+                                         .p) +
+        ",\"average_activity\":" +
+        obs::json_number(
+            want.estimates[static_cast<std::size_t>(s)].average_activity());
+    EXPECT_NE(response.find(line), std::string::npos)
+        << "missing " << line << " in " << response;
+  }
+}
+
+TEST(ServeProtocolTest, SweepChunkMalformedRequestsRejected) {
+  SessionCache cache;
+  const std::vector<std::string> bad = {
+      // missing chunk_id
+      R"({"op":"sweep_chunk","model":"c17","specs":[{"p":0.5}]})",
+      // negative scenario_base
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":0,"scenario_base":-1,)"
+      R"("specs":[{"p":0.5}]})",
+      // missing specs
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":0})",
+      // specs not an array
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":0,"specs":"all"})",
+      // empty specs
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":0,"specs":[]})",
+      // spec entry not an object
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":0,"specs":[0.5]})",
+      // p out of range
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":0,"specs":[{"p":1.5}]})",
+      // vary_input out of range
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":0,"vary_input":99,)"
+      R"("specs":[{"p":0.5}]})",
+  };
+  for (const std::string& line : bad) {
+    const std::string response = handle_request(line, cache);
+    EXPECT_TRUE(failed(response)) << "request `" << line << "` -> "
+                                  << response;
+  }
+  // The cache still serves a well-formed chunk afterwards.
+  EXPECT_TRUE(ok(handle_request(
+      R"({"op":"sweep_chunk","model":"c17","chunk_id":0,"specs":[{"p":0.5}]})",
+      cache)));
+}
+
+// make_linear_scenarios edge cases through the daemon: one-scenario
+// sweeps answer p_from (no 0/0 step), degenerate ranges hold p
+// constant, and the last input is as sweepable as the first — all
+// string-exact against the in-process sweep.
+TEST(ServeProtocolTest, SweepEdgeCasesMatchInProcessStringExactly) {
+  SessionCache cache;
+  Session ref = Session::open("c17");
+  const int last = ref.netlist().num_inputs() - 1;
+
+  struct Case {
+    const char* name;
+    LinearSweepSpec spec;
+  };
+  std::vector<Case> cases;
+  { // scenarios:1 — the varied input answers p_from, not NaN
+    LinearSweepSpec s;
+    s.scenarios = 1;
+    s.p_from = 0.3;
+    s.p_to = 0.9;
+    cases.push_back({"one_scenario", s});
+  }
+  { // p_from == p_to — every scenario identical
+    LinearSweepSpec s;
+    s.scenarios = 4;
+    s.p_from = 0.42;
+    s.p_to = 0.42;
+    cases.push_back({"degenerate_range", s});
+  }
+  { // vary_input at the last index
+    LinearSweepSpec s;
+    s.scenarios = 3;
+    s.vary_input = last;
+    cases.push_back({"last_input", s});
+  }
+
+  for (const Case& c : cases) {
+    const std::string req =
+        R"({"op":"sweep","model":"c17","scenarios":)" +
+        std::to_string(c.spec.scenarios) +
+        ",\"vary_input\":" + std::to_string(c.spec.vary_input) +
+        ",\"p_from\":" + obs::json_number(c.spec.p_from) +
+        ",\"p_to\":" + obs::json_number(c.spec.p_to) + "}";
+    const std::string response = handle_request(req, cache);
+    ASSERT_TRUE(ok(response)) << c.name << ": " << response;
+    ASSERT_EQ(response.find("nan"), std::string::npos)
+        << c.name << ": " << response;
+
+    const std::vector<InputModel> models =
+        make_linear_scenarios(c.spec, ref.netlist().num_inputs());
+    const SweepResult want = ref.sweep(models);
+    for (std::size_t s = 0; s < models.size(); ++s) {
+      const std::string line =
+          "{\"scenario\":" + std::to_string(s) + ",\"p\":" +
+          obs::json_number(models[s].spec(c.spec.vary_input).p) +
+          ",\"average_activity\":" +
+          obs::json_number(want.estimates[s].average_activity());
+      EXPECT_NE(response.find(line), std::string::npos)
+          << c.name << ": missing " << line << " in " << response;
+    }
+  }
 }
 
 // --- flight recorder through the request path ---------------------------

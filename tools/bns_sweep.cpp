@@ -4,6 +4,8 @@
 //   bns_sweep c1908 --scenarios 16 --verify       also check bitwise vs estimate()
 //   bns_sweep c1908.bnsc --json                   sweep a precompiled artifact
 //   bns_sweep circuit.bench --json --out s.json   schema-versioned JSON document
+//   bns_sweep c1908.bnsc --daemons a.sock,b.sock  distribute chunks over a
+//                                                 pool of bns_serve daemons
 //
 // The sweep opens one Session (compiling the LIDAG junction trees, or
 // restoring them from a .bnsc artifact) and runs every scenario through
@@ -13,17 +15,26 @@
 // schema_version, a provenance block like bns_report's, and one record
 // per scenario.
 //
-// Exit status: 0 ok, 1 --verify found a mismatch against independent
-// estimate() runs, 2 usage or I/O failure.
+// With --daemons, the same scenario range is instead chunked across the
+// listed bns_serve sockets by the coordinator (src/coord/): contiguous
+// chunks per daemon, work stealing, per-chunk retry with failover. The
+// merged records are string-for-string identical to the single-process
+// --json records — --verify proves it against an in-process
+// Session::sweep on every run.
+//
+// Exit status: 0 ok, 1 --verify found a mismatch (or a chunk failed on
+// every endpoint), 2 usage or I/O failure.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "coord/coord.h"
 #include "obs/obs.h"
 #include "session/session.h"
 #include "util/cli.h"
+#include "util/strings.h"
 
 namespace bns {
 namespace {
@@ -50,6 +61,16 @@ options:
   --json              print the JSON document instead of the text summary
   --out FILE          also write the JSON document to FILE
   --version           print tool version and exit
+distributed mode:
+  --daemons LIST      comma-separated bns_serve Unix sockets; chunk the
+                      sweep across them instead of running in-process
+                      (--verify then checks the merged records against
+                      an in-process Session::sweep, string-exactly)
+  --chunk N           scenarios per chunk (default: ~4 chunks/daemon)
+  --attempts N        max attempts per chunk before it is reported as
+                      failed (default: 2 x daemons, min 3)
+  --wait SECONDS      patience for the first connect to each daemon
+                      (default 10)
 )";
 
 struct Options {
@@ -64,6 +85,10 @@ struct Options {
   int replicas = 1;
   bool verify = false;
   bool json = false;
+  std::string daemons; // comma-separated sockets; non-empty = distributed
+  int chunk = 0;       // scenarios per chunk (0 = coordinator default)
+  int attempts = 0;    // max attempts per chunk (0 = coordinator default)
+  double wait = 10.0;  // first-connect patience per daemon
 };
 
 Options parse(int argc, char** argv) {
@@ -80,6 +105,10 @@ Options parse(int argc, char** argv) {
   ap.flag("--verify", &o.verify);
   ap.flag("--json", &o.json);
   ap.value("--out", &o.out_path);
+  ap.value("--daemons", &o.daemons);
+  ap.value("--chunk", &o.chunk);
+  ap.value("--attempts", &o.attempts);
+  ap.value("--wait", &o.wait);
   ap.positional([&o](std::string_view a) {
     if (!o.circuit.empty()) return false;
     o.circuit = std::string(a);
@@ -87,7 +116,8 @@ Options parse(int argc, char** argv) {
   });
   ap.parse(argc, argv);
   if (o.circuit.empty() || o.scenarios < 1 || o.replicas < 1 ||
-      o.p_from < 0.0 || o.p_from > 1.0 || o.p_to < 0.0 || o.p_to > 1.0) {
+      o.p_from < 0.0 || o.p_from > 1.0 || o.p_to < 0.0 || o.p_to > 1.0 ||
+      o.chunk < 0 || o.attempts < 0 || o.wait < 0.0) {
     ap.fail();
   }
   return o;
@@ -159,8 +189,116 @@ std::string to_json(const Options& o, const obs::ReportProvenance& prov,
   return out;
 }
 
+// --daemons mode: chunk the sweep across a pool of bns_serve daemons
+// and fan the answers back in. The merged records use the same %.17g
+// formatter as the in-process document, so --verify can insist on
+// string-exact equality against Session::sweep.
+int run_distributed(const Options& o) {
+  coord::CoordOptions copts;
+  for (std::string_view s : split(o.daemons, ',')) {
+    const std::string_view t = trim(s);
+    if (!t.empty()) copts.sockets.emplace_back(t);
+  }
+  if (copts.sockets.empty()) {
+    std::fprintf(stderr, "bns_sweep: --daemons lists no sockets\n");
+    return cli::kExitUsage;
+  }
+  copts.model = o.circuit;
+  copts.spec.scenarios = o.scenarios;
+  copts.spec.vary_input = o.vary_input;
+  copts.spec.p_from = o.p_from;
+  copts.spec.p_to = o.p_to;
+  copts.spec.rho = o.rho;
+  copts.chunk_scenarios = o.chunk;
+  copts.max_attempts = o.attempts;
+  copts.connect_wait_seconds = o.wait;
+
+  const coord::CoordSweepResult res = coord::coordinate_sweep(copts);
+
+  // A chunk that failed on every endpoint is a structured error, not a
+  // silently shorter document.
+  for (const coord::ChunkFailure& f : res.failed) {
+    std::fprintf(stderr,
+                 "bns_sweep: chunk %d (scenarios %d..%d) failed after %d "
+                 "attempt(s): %s\n",
+                 f.chunk_id, f.scenario_base,
+                 f.scenario_base + f.scenarios - 1, f.attempts,
+                 f.error.c_str());
+  }
+
+  bool verified = false;
+  if (o.verify && res.ok()) {
+    // The ground truth the merged document must reproduce exactly: one
+    // in-process batch sweep over the identical spec.
+    SessionOptions sopts;
+    sopts.estimator.num_threads = o.threads;
+    Session ref = ends_with(o.circuit, ".bnsc")
+                      ? Session::open_artifact(o.circuit, sopts)
+                      : Session::open(o.circuit, sopts);
+    const std::vector<InputModel> models =
+        make_linear_scenarios(copts.spec, ref.netlist().num_inputs());
+    const SweepResult want = ref.sweep(models);
+    for (std::size_t s = 0; s < models.size(); ++s) {
+      const coord::CoordRecord& got = res.records[s];
+      const std::string want_p =
+          obs::json_number(models[s].spec(o.vary_input).p);
+      const std::string want_a =
+          obs::json_number(want.estimates[s].average_activity());
+      if (got.scenario != static_cast<int>(s) ||
+          obs::json_number(got.p) != want_p ||
+          obs::json_number(got.average_activity) != want_a) {
+        std::fprintf(stderr,
+                     "bns_sweep: VERIFY FAILED at scenario %zu: merged "
+                     "record differs from in-process sweep (p %s vs %s, "
+                     "average_activity %s vs %s)\n",
+                     s, obs::json_number(got.p).c_str(), want_p.c_str(),
+                     obs::json_number(got.average_activity).c_str(),
+                     want_a.c_str());
+        return cli::kExitFailure;
+      }
+    }
+    verified = true;
+  }
+
+  obs::ReportProvenance prov = obs::default_provenance();
+  prov.circuit = o.circuit;
+  prov.threads = 1; // coordinator-side; daemon thread counts are theirs
+
+  const std::string json = coord::coord_result_to_json(copts, res, prov,
+                                                       verified);
+  if (!o.out_path.empty()) {
+    std::ofstream f(o.out_path);
+    if (!f) {
+      std::fprintf(stderr, "bns_sweep: cannot write %s\n", o.out_path.c_str());
+      return cli::kExitUsage;
+    }
+    f << json;
+  }
+
+  if (o.json) {
+    std::cout << json;
+  } else {
+    std::cout << "sweep " << o.circuit << ": " << o.scenarios
+              << " scenarios over " << res.endpoints.size()
+              << " daemon(s), " << res.chunks.size() << " chunk(s) of "
+              << res.chunk_scenarios << '\n';
+    std::cout << "  wall " << res.wall_seconds << " s, retries "
+              << res.retries << ", failed chunks " << res.failed.size()
+              << '\n';
+    for (const coord::EndpointAccount& a : res.endpoints) {
+      std::cout << "  " << a.socket << ": served " << a.chunks_served
+                << " (stolen " << a.chunks_stolen << ", retried "
+                << a.chunks_retried << "), failures " << a.failures
+                << (a.retired ? ", retired" : "") << '\n';
+    }
+    if (verified) std::cout << "  verify: ok (string-exact)\n";
+  }
+  return res.ok() ? cli::kExitOk : cli::kExitFailure;
+}
+
 int run(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (!o.daemons.empty()) return run_distributed(o);
 
   SessionOptions sopts;
   sopts.estimator.num_threads = o.threads;
